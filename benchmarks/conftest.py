@@ -1,0 +1,141 @@
+"""Shared machinery for the per-figure benchmark drivers.
+
+Every ``test_fig*.py`` module declares ``EXPERIMENT_ID``; the fixtures
+here generate its workload once per module (at ``REPRO_BENCH_N`` records,
+default 2500 -- the paper's 500K scaled down for the pure-Python
+substrate, see DESIGN.md), build the per-strategy transformed datasets
+and indexes up front (the paper treats index construction as offline),
+and benchmark each algorithm's full run exactly once.
+
+Each module's report test regenerates the figure as a plain-text
+milestone table (time and dominance checks to output the first answer
+and each 20% of the answers) under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.bench.experiments import Experiment, get_experiment
+from repro.bench.harness import count_false_positives, prepare_dataset, run_progressive
+from repro.bench.reporting import format_run_table, format_timelines
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_size() -> int:
+    """Benchmark record count (``REPRO_BENCH_N``, default 2500)."""
+    return int(os.environ.get("REPRO_BENCH_N", "2500"))
+
+
+class ExperimentSetup:
+    """Workload + prepared datasets for one experiment module."""
+
+    def __init__(self, experiment: Experiment) -> None:
+        self.experiment = experiment
+        self.config = experiment.config(bench_size())
+        self.workload = generate_workload(self.config)
+        self.datasets: dict[str, TransformedDataset] = {}
+        for spec in experiment.lineup:
+            if spec.strategy not in self.datasets:
+                self.datasets[spec.strategy] = TransformedDataset(
+                    self.workload.schema, self.workload.records, strategy=spec.strategy
+                )
+        for spec in experiment.lineup:
+            prepare_dataset(
+                self.datasets[spec.strategy],
+                get_algorithm(spec.algorithm, **spec.options),
+            )
+
+    def spec(self, label: str):
+        return next(s for s in self.experiment.lineup if s.label == label)
+
+    def dataset(self, label: str) -> TransformedDataset:
+        return self.datasets[self.spec(label).strategy]
+
+    def algorithm(self, label: str):
+        spec = self.spec(label)
+        return get_algorithm(spec.algorithm, **spec.options)
+
+
+@pytest.fixture(scope="module")
+def setup(request) -> ExperimentSetup:
+    return ExperimentSetup(get_experiment(request.module.EXPERIMENT_ID))
+
+
+def bench_run(benchmark, setup: ExperimentSetup, label: str):
+    """Benchmark one full algorithm run (single round: runs are seconds-
+    scale and deterministic in comparison counts)."""
+    algo = setup.algorithm(label)
+    dataset = setup.dataset(label)
+    benchmark.group = f"{setup.experiment.id}: {setup.experiment.title}"
+    points = benchmark.pedantic(
+        lambda: list(algo.run(dataset)), rounds=1, iterations=1
+    )
+    assert len(points) == len({p.record.rid for p in points})
+    return points
+
+
+def write_report(setup: ExperimentSetup) -> dict:
+    """Run every curve instrumented, verify agreement, write the tables."""
+    runs = {}
+    reference_rids = None
+    for spec in setup.experiment.lineup:
+        run = run_progressive(
+            setup.datasets[spec.strategy], spec.algorithm, **spec.options
+        )
+        runs[spec.label] = run
+        if reference_rids is None:
+            reference_rids = run.rids
+        assert run.rids == reference_rids, f"{spec.label} disagrees"
+
+    skyline_size, false_positives = count_false_positives(
+        next(iter(setup.datasets.values()))
+    )
+    assert skyline_size == len(reference_rids)
+
+    header = (
+        f"{setup.experiment.paper_ref} -- {setup.experiment.title}\n"
+        f"records={len(setup.workload.records)}  skyline={skyline_size}  "
+        f"false_positives={false_positives}\n"
+        f"paper: {setup.experiment.paper_notes}\n"
+    )
+    body = (
+        format_run_table(runs, "time", "time-to-output milestones (ms)")
+        + "\n\n"
+        + format_run_table(runs, "checks", "dominance-check milestones")
+        + "\n\n"
+        + format_timelines(runs)
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{setup.experiment.id}.txt"
+    path.write_text(header + "\n" + body + "\n")
+
+    # Machine-readable companion for plotting tools.
+    import json
+
+    from repro.bench.experiments import ExperimentResult
+
+    result = ExperimentResult(
+        setup.experiment,
+        len(setup.workload.records),
+        runs,
+        skyline_size,
+        false_positives,
+        next(iter(setup.datasets.values())).category_counts(),
+        next(iter(setup.datasets.values())).stratification.num_strata,
+    )
+    (RESULTS_DIR / f"{setup.experiment.id}.json").write_text(
+        json.dumps(result.to_dict(), indent=2)
+    )
+
+    print()
+    print(header)
+    print(body)
+    return runs

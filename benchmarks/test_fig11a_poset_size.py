@@ -1,0 +1,41 @@
+"""Fig. 11(a): poset size grown from 450 to 1000 nodes.
+
+Paper headline: the proposed algorithms are only mildly affected; the
+skyline (and false-positive count) grows, and BNL+ suffers most.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_run, bench_size, write_report
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import count_false_positives
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+EXPERIMENT_ID = "fig11a"
+LABELS = ("BNL", "BNL+", "BBS+", "SDC", "SDC+")
+
+
+@pytest.mark.parametrize("label", LABELS)
+def test_algorithm(benchmark, setup, label):
+    points = bench_run(benchmark, setup, label)
+    assert points
+
+
+def test_report_and_shape(benchmark, setup):
+    benchmark.group = f"{setup.experiment.id}: figure regeneration"
+    runs = benchmark.pedantic(lambda: write_report(setup), rounds=1, iterations=1)
+
+    # Larger domain -> larger skyline than the 450-node default.
+    default_cfg = get_experiment("fig10a").config(bench_size())
+    default_wl = generate_workload(default_cfg)
+    default_sky, _ = count_false_positives(
+        TransformedDataset(default_wl.schema, default_wl.records)
+    )
+    assert runs["SDC+"].skyline_size >= default_sky
+
+    # Stratified algorithms keep their progressive first answer.
+    bbs_first = runs["BBS+"].first_answer().dominance_checks
+    assert runs["SDC+"].first_answer().dominance_checks < bbs_first / 10

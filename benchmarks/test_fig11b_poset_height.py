@@ -1,0 +1,44 @@
+"""Fig. 11(b): tall (13-level), relatively sparse poset.
+
+Paper headline: deeper posets mean larger set-valued representations, so
+every original-domain comparison gets costlier -- BNL and BNL+ are hit
+hardest; SDC+ needed 25 strata.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_run, write_report
+
+EXPERIMENT_ID = "fig11b"
+LABELS = ("BNL", "BNL+", "BBS+", "SDC", "SDC+")
+
+
+@pytest.mark.parametrize("label", LABELS)
+def test_algorithm(benchmark, setup, label):
+    points = bench_run(benchmark, setup, label)
+    assert points
+
+
+def test_report_and_shape(benchmark, setup):
+    benchmark.group = f"{setup.experiment.id}: figure regeneration"
+    runs = benchmark.pedantic(lambda: write_report(setup), rounds=1, iterations=1)
+
+    # The tall poset's sets are larger than the default workload's.
+    attr = setup.workload.schema.partial_attrs[0]
+    assert attr.set_domain.average_set_size > 4.0
+
+    # More strata than the trivial two covered ones.
+    dataset = next(iter(setup.datasets.values()))
+    assert dataset.stratification.num_strata > 2
+
+    # BNL does by far the most expensive native set comparisons.
+    assert (
+        runs["BNL"].final_delta["native_set"]
+        > runs["SDC"].final_delta["native_set"]
+    )
+    assert (
+        runs["BNL"].final_delta["native_set"]
+        > runs["BBS+"].final_delta["native_set"]
+    )

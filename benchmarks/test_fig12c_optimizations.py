@@ -1,0 +1,54 @@
+"""Fig. 12(c): dominance-classification optimisation for SDC+
+(plain vs MaxPC vs MinPC spanning trees).
+
+Paper headline: SDC+-MaxPC improves only slightly on SDC+; SDC+-MinPC
+improves significantly (fewer dominance comparisons involving the (c,c)
+subset).  On this pure-Python substrate the effect is measured primarily
+through comparison counts and the shift in category populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_run, write_report
+from repro.core.categories import Category
+
+EXPERIMENT_ID = "fig12c"
+LABELS = ("SDC+", "SDC+-MaxPC", "SDC+-MinPC")
+
+
+@pytest.mark.parametrize("label", LABELS)
+def test_algorithm(benchmark, setup, label):
+    points = bench_run(benchmark, setup, label)
+    assert points
+
+
+def test_report_and_shape(benchmark, setup):
+    benchmark.group = f"{setup.experiment.id}: figure regeneration"
+    runs = benchmark.pedantic(lambda: write_report(setup), rounds=1, iterations=1)
+
+    # The strategies must shift the classification in their defining
+    # directions relative to each other.
+    counts = {
+        strategy: dataset.category_counts()
+        for strategy, dataset in setup.datasets.items()
+    }
+    assert counts["minpc"][Category.PC] <= counts["maxpc"][Category.PC]
+    assert counts["minpc"][Category.CC] >= counts["maxpc"][Category.CC]
+
+    # MaxPC maximises m-dominance usage: it must beat MinPC (which
+    # deliberately trades native comparisons for fewer (c,c) checks) on
+    # expensive native comparisons and stay in the default's ballpark.
+    assert (
+        runs["SDC+-MaxPC"].final_delta["native_set"]
+        <= runs["SDC+-MinPC"].final_delta["native_set"]
+    )
+    assert (
+        runs["SDC+-MaxPC"].final_delta["native_set"]
+        <= 1.25 * runs["SDC+"].final_delta["native_set"]
+    )
+
+    # All three remain fully progressive for the covered strata.
+    for label in LABELS:
+        assert runs[label].first_answer().dominance_checks < 1000

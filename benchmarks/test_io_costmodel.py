@@ -1,0 +1,104 @@
+"""A4: 2005-era cost-model projection of the default workload.
+
+The substitution table in DESIGN.md notes that pure Python flattens both
+the set-vs-integer comparison cost ratio and the I/O costs that shape the
+paper's absolute numbers.  This benchmark re-weights the *measured*
+operation counts of Fig. 10(a)'s five algorithms with the explicit
+:class:`~repro.bench.costmodel.CostModel` (disk-resident R-trees behind a
+shared LRU buffer pool, sequential scans for the BNL variants, set
+comparisons an order of magnitude above integer comparisons) and checks
+that the paper's orderings that depend on those ratios re-emerge:
+
+* BNL+ beats BNL (the paper's default-workload ordering that raw Python
+  wall-clock inverts), and
+* every index-based algorithm beats both BNL variants on CPU cost.
+
+The I/O column is reported but not asserted across algorithm families:
+random page reads do not down-scale with the record count (an R-tree
+stays a few levels deep) while sequential scans shrink linearly, so at
+benchmark scale the absolute I/O balance between index traversals and
+scans is not meaningful -- another facet of the substitution documented
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from conftest import RESULTS_DIR, bench_size
+from repro.bench.costmodel import BufferPool, CostModel
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_progressive
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+EXPERIMENT_ID = "fig10a"
+ALGORITHMS = ("bnl", "bnl+", "bbs+", "sdc", "sdc+")
+#: Buffer pool of 32 pages -- a deliberately small fraction of the index
+#: so random I/O stays visible, as with the paper's 256MB vs 500K records.
+POOL_PAGES = 32
+
+_runs: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def dataset() -> TransformedDataset:
+    workload = generate_workload(get_experiment(EXPERIMENT_ID).config(bench_size()))
+    d = TransformedDataset(workload.schema, workload.records)
+    d.attach_buffer_pool(BufferPool(POOL_PAGES))
+    return d
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_algorithm(benchmark, dataset, name):
+    benchmark.group = "A4: cost-model projection (default workload)"
+    run = benchmark.pedantic(
+        lambda: run_progressive(dataset, name), rounds=1, iterations=1
+    )
+    _runs[name] = run
+    assert run.skyline_size > 0
+
+
+def test_report_and_shape(benchmark, dataset):
+    benchmark.group = "A4: cost-model projection (default workload)"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in ALGORITHMS:
+        if name not in _runs:
+            _runs[name] = run_progressive(dataset, name)
+
+    model = CostModel()
+    lines = [
+        "A4 -- 2005-era cost-model projection (Fig. 10(a) workload)",
+        f"records={len(dataset.records)}  buffer={POOL_PAGES} pages  "
+        f"weights: rnd={model.random_page_ms}ms seq={model.sequential_page_ms}ms/page "
+        f"int={model.m_compare_ms}ms set={model.set_compare_ms}ms",
+        "",
+        f"{'algorithm':8} {'est. total':>11} {'est. I/O':>10} {'est. CPU':>10} "
+        f"{'misses':>8} {'scans':>8}",
+    ]
+    costs = {}
+    for name in ALGORITHMS:
+        delta = _runs[name].final_delta
+        costs[name] = model.total_cost(delta)
+        lines.append(
+            f"{name:8} {model.total_cost(delta):10.1f}m {model.io_cost(delta):9.1f}m "
+            f"{model.cpu_cost(delta):9.1f}m {delta.get('page_misses', 0):8d} "
+            f"{delta.get('tuples_scanned', 0):8d}"
+        )
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    pathlib.Path(RESULTS_DIR / "io_costmodel.txt").write_text(text)
+    print()
+    print(text)
+
+    # The paper's ratio-dependent orderings re-emerge under the model.
+    assert costs["bnl+"] < costs["bnl"], "BNL+ should win once sets cost ~10x ints"
+    cpu = {name: model.cpu_cost(_runs[name].final_delta) for name in ALGORITHMS}
+    for name in ("bbs+", "sdc", "sdc+"):
+        assert cpu[name] < cpu["bnl"]
+        assert cpu[name] < cpu["bnl+"]
+    # SDC's m-dominance-first optimisation dominates the CPU picture.
+    assert cpu["sdc"] < cpu["bbs+"]
+    assert cpu["sdc+"] < cpu["bbs+"]

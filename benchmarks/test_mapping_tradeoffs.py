@@ -1,0 +1,100 @@
+"""Future-work experiment (Section 6): domain-mapping tradeoffs.
+
+The paper closes by asking about "the tradeoffs of using different domain
+mapping functions".  This benchmark compares the paper's two-integer
+spanning-tree encoding (original-domain fallbacks answered by real set
+containment) against the full compressed-transitive-closure mapping of
+``repro.posets.closure`` (fallbacks answered exactly by a few integer
+interval probes), on the default workload, for BBS+/SDC/SDC+.
+
+Both modes return identical skylines; the closure trades extra per-value
+storage (its interval sets) for cheap exact fallbacks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from conftest import RESULTS_DIR, bench_size
+from repro.algorithms.base import get_algorithm
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import prepare_dataset, run_progressive
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+EXPERIMENT_ID = "fig10a"  # same workload, different comparison backends
+MODES = ("native", "closure")
+ALGORITHMS = ("bbs+", "sdc", "sdc+")
+
+_runs: dict[tuple[str, str], object] = {}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    workload = generate_workload(get_experiment(EXPERIMENT_ID).config(bench_size()))
+    out = {}
+    for mode in MODES:
+        dataset = TransformedDataset(
+            workload.schema, workload.records, native_mode=mode
+        )
+        for name in ALGORITHMS:
+            prepare_dataset(dataset, get_algorithm(name))
+        out[mode] = dataset
+    return out
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_algorithm(benchmark, datasets, mode, name):
+    benchmark.group = f"mapping-tradeoff: {name} (native sets vs closure)"
+    run = benchmark.pedantic(
+        lambda: run_progressive(datasets[mode], name), rounds=1, iterations=1
+    )
+    _runs[(mode, name)] = run
+    assert run.skyline_size > 0
+
+
+def test_report_and_shape(benchmark, datasets):
+    benchmark.group = "mapping-tradeoff: report"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in ALGORITHMS:
+        for mode in MODES:
+            if (mode, name) not in _runs:
+                _runs[(mode, name)] = run_progressive(datasets[mode], name)
+
+    # Identical answers across mappings.
+    for name in ALGORITHMS:
+        assert _runs[("native", name)].rids == _runs[("closure", name)].rids
+
+    closure_stats = [
+        m.closure.average_intervals for m in datasets["closure"].mappings
+    ]
+    lines = [
+        "FW1 -- domain-mapping tradeoff (paper Section 6 future work)",
+        f"records={len(datasets['native'].records)}  "
+        f"avg closure intervals per value={closure_stats[0]:.2f}",
+        "",
+        f"{'algorithm':8} {'mode':8} {'total ms':>9} {'set cmps':>9} {'closure cmps':>13}",
+    ]
+    for name in ALGORITHMS:
+        for mode in MODES:
+            run = _runs[(mode, name)]
+            lines.append(
+                f"{name:8} {mode:8} {run.total_elapsed * 1000:8.1f}m "
+                f"{run.final_delta['native_set']:9d} "
+                f"{run.final_delta['native_closure']:13d}"
+            )
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    pathlib.Path(RESULTS_DIR / "mapping_tradeoffs.txt").write_text(text)
+    print()
+    print(text)
+
+    # Closure mode answers every fallback through intervals, none through
+    # sets -- the defining tradeoff.
+    for name in ALGORITHMS:
+        run = _runs[("closure", name)]
+        assert run.final_delta["native_set"] == 0
+        assert run.final_delta["native_closure"] > 0

@@ -1,0 +1,57 @@
+"""A5: scaling sweep over data sizes (extends Fig. 12(a)).
+
+Runs the default workload at a geometric ladder of sizes and records how
+each algorithm's dominance-check total grows, checking the qualitative
+expectations: work grows monotonically with n for every algorithm, the
+BNL variants grow super-linearly (window pressure), and the stratified
+algorithms keep their first answer effectively free at every size.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from conftest import RESULTS_DIR, bench_size
+from repro.bench.sweep import format_sweep, run_sweep
+
+LABELS = ["BNL", "BBS+", "SDC", "SDC+"]
+
+_points = []
+
+
+def _sizes() -> list[int]:
+    base = max(400, bench_size() // 4)
+    return [base, base * 2, base * 4]
+
+
+def test_sweep(benchmark):
+    benchmark.group = "A5: scaling sweep (default workload)"
+    points = benchmark.pedantic(
+        lambda: run_sweep("fig10a", _sizes(), labels=LABELS),
+        rounds=1,
+        iterations=1,
+    )
+    _points.extend(points)
+
+    text = "A5 -- scaling sweep, total dominance checks\n\n" + format_sweep(points)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    pathlib.Path(RESULTS_DIR / "scaling_sweep.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    for label in LABELS:
+        checks = [p.checks(label) for p in points]
+        assert checks == sorted(checks), f"{label} work not monotone in n"
+
+    # Stratified algorithms: first answer nearly free at every size.
+    for point in points:
+        for label in ("SDC", "SDC+"):
+            assert point.runs[label].first_answer().dominance_checks < 1000
+
+    # BNL grows super-linearly in checks (quadratic-ish window pressure):
+    # quadrupling n should much more than quadruple its comparisons.
+    small, _, large = points
+    ratio = large.checks("BNL") / max(1, small.checks("BNL"))
+    assert ratio > 4.0

@@ -1,0 +1,78 @@
+"""Section 5.1 prose statistics (experiment id ``A2`` in DESIGN.md).
+
+Regenerates the quantities the paper reports in the running text of the
+performance study rather than in the figures: skyline and false-positive
+counts per workload, the category distribution of the skyline (the paper:
+"80% of the skyline points belong to S(c,p)"), and the reduction in
+actual set-valued comparisons of SDC vs BBS+ (paper: 59%) and SDC+ vs SDC
+(paper: 30% fewer set comparisons).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from conftest import RESULTS_DIR, bench_size
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import count_false_positives, run_progressive
+from repro.core.categories import Category
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+EXPERIMENT_ID = "fig10a"  # statistics are quoted for the default workload
+
+
+def test_prose_statistics(benchmark):
+    experiment = get_experiment(EXPERIMENT_ID)
+    workload = generate_workload(experiment.config(bench_size()))
+    dataset = TransformedDataset(workload.schema, workload.records)
+    benchmark.group = "A2: Section 5.1 prose statistics"
+
+    skyline_size, false_positives = benchmark.pedantic(
+        lambda: count_false_positives(dataset), rounds=1, iterations=1
+    )
+    assert skyline_size > 0
+    assert false_positives > 0  # non-hierarchical posets must create some
+
+    bbs = run_progressive(dataset, "bbs+")
+    sdc = run_progressive(dataset, "sdc")
+    sdc_plus = run_progressive(dataset, "sdc+")
+    assert bbs.rids == sdc.rids == sdc_plus.rids
+
+    skyline_categories = {cat: 0 for cat in Category}
+    for p in sdc.points:
+        skyline_categories[p.category] += 1
+    covered_share = (
+        skyline_categories[Category.CP] + skyline_categories[Category.CC]
+    ) / skyline_size
+
+    sdc_drop = 1 - sdc.final_delta["native_set"] / max(
+        1, bbs.final_delta["native_set"]
+    )
+    plus_drop = 1 - sdc_plus.final_delta["native_set"] / max(
+        1, sdc.final_delta["native_set"]
+    )
+
+    lines = [
+        "A2 -- Section 5.1 prose statistics (default workload)",
+        f"records                 {len(workload.records)}",
+        f"skyline points          {skyline_size}   (paper @500K: 662)",
+        f"false positives         {false_positives}   (paper @500K: 561)",
+        "skyline by category     "
+        + ", ".join(f"{cat}:{n}" for cat, n in skyline_categories.items()),
+        f"covered skyline share   {covered_share:.0%}   (paper: ~80% in S(c,p))",
+        f"SDC set-compare drop    {sdc_drop:.0%} vs BBS+   (paper: 59%)",
+        f"SDC+ set-compare drop   {plus_drop:.0%} vs SDC    (paper: 30%)",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    pathlib.Path(RESULTS_DIR / "stats_counters.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    print()
+    print("\n".join(lines))
+
+    # Shape assertions: the drops exist and the covered categories carry
+    # the majority of the skyline.
+    assert sdc_drop > 0
+    assert plus_drop >= 0
+    assert covered_share > 0.3

@@ -1,0 +1,91 @@
+"""Live catalogue: dynamic updates, constrained skylines and k-skybands.
+
+Demonstrates the library's extensions beyond the paper's core (its
+Section 6 future-work items): a product catalogue that changes while
+being queried.
+
+* products arrive and sell out -- `engine.insert` / `engine.delete`
+  maintain the R-tree and the SDC+ strata incrementally;
+* a budget shopper runs a **constrained skyline** (price cap + "must
+  include the base feature pack");
+* a recommender widens the result with a **3-skyband** (products beaten
+  by at most two others).
+
+Run:  python examples/live_catalogue.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Record, SkylineEngine
+from repro.queries import Constraint, constrained_skyline, k_skyband
+from repro.workloads.scenarios import product_catalogue
+
+
+def main() -> None:
+    rng = random.Random(99)
+    schema, products = product_catalogue(800, seed=99)
+    feature_packs = schema.attribute("features").poset
+
+    engine = SkylineEngine(schema, products, strategy="minpc")
+    print(f"initial skyline: {len(engine.skyline('sdc+'))} of {len(products)} products")
+
+    # --- live updates -------------------------------------------------
+    sold_out = [r.rid for r in engine.skyline("sdc+")][:5]
+    for rid in sold_out:
+        engine.delete(rid)
+    for i in range(20):
+        engine.insert(
+            Record(
+                f"new-{i:03d}",
+                (rng.randint(20, 500), rng.randint(100, 3000)),
+                (rng.randrange(len(feature_packs)),),
+            )
+        )
+    print(
+        f"after selling out {len(sold_out)} skyline SKUs and adding 20 new ones: "
+        f"{len(engine.skyline('sdc+'))} skyline products"
+    )
+
+    # --- constrained skyline -------------------------------------------
+    base_pack = feature_packs.minimal_values[0]
+    budget = Constraint(
+        ranges={"price": (None, 150)},
+        must_dominate={"features": base_pack},
+    )
+    answers = constrained_skyline(engine.dataset, budget)
+    print(
+        f"\nbudget skyline (price <= 150, features >= pack {base_pack!r}): "
+        f"{len(answers)} products"
+    )
+    for point in answers[:5]:
+        price, weight = point.record.totals
+        print(f"  {point.record.rid}: ${price}, {weight} g, pack #{point.record.partials[0]}")
+
+    # --- k-skyband ------------------------------------------------------
+    for k in (1, 2, 3):
+        band = k_skyband(engine.dataset, k)
+        print(f"{k}-skyband: {len(band)} products")
+    print("(the 1-skyband is exactly the skyline; larger k widens the result)")
+
+    # --- incremental result maintenance ----------------------------------
+    from repro.queries import MaintainedSkyline
+
+    live = MaintainedSkyline(engine.dataset)
+    before = len(live)
+    changed = live.apply(
+        inserts=[
+            Record("flash-sale", (15, 400), (products[0].partials[0],)),
+        ],
+        deletes=[live.records()[0].rid],
+    )
+    print(
+        f"\nmaintained skyline: {before} -> {len(live)} answers after "
+        f"{changed} effective updates (no recomputation)"
+    )
+    assert live.verify()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: skyline over a price + amenity-set hotel table.
+
+The paper's motivating example: a tourist wants hotels that are cheap
+*and* offer many amenities.  Price is totally ordered (lower is better);
+amenity sets are only partially ordered (a superset dominates, disjoint
+sets are incomparable), so no single "best" hotel exists -- the skyline
+holds every hotel not beaten on both criteria.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import NumericAttribute, PosetAttribute, Record, Schema, skyline
+from repro.posets import from_set_family
+
+AMENITY_PACKAGES = {
+    "deluxe": {"gym", "pool", "spa", "wifi"},
+    "active": {"gym", "pool"},
+    "relax": {"spa", "wifi"},
+    "gym-only": {"gym"},
+    "wifi-only": {"wifi"},
+    "none": set(),
+}
+
+HOTELS = [
+    ("Grand Palace", 320, "deluxe"),
+    ("Cheap & Cheerful", 60, "none"),
+    ("Fitness Inn", 140, "active"),
+    ("Fitness Inn Annex", 190, "active"),  # dominated by Fitness Inn
+    ("Spa Retreat", 150, "relax"),
+    ("Iron Works", 90, "gym-only"),
+    ("Net Cafe Hotel", 85, "wifi-only"),
+    ("Overpriced Basic", 110, "none"),  # dominated by Cheap & Cheerful
+]
+
+
+def main() -> None:
+    amenity_poset = from_set_family(AMENITY_PACKAGES)
+    schema = Schema(
+        [
+            NumericAttribute("price", "min"),
+            PosetAttribute.set_valued("amenities", amenity_poset),
+        ]
+    )
+    records = [
+        Record(name, (price,), (package,)) for name, price, package in HOTELS
+    ]
+
+    answers = skyline(records, schema, algorithm="sdc+")
+
+    print("Hotel skyline (price MIN, amenities SUPERSET):\n")
+    for record in answers:
+        package = AMENITY_PACKAGES[record.partials[0]]
+        amenities = ", ".join(sorted(package)) or "(none)"
+        print(f"  {record.rid:18} ${record.totals[0]:<5} {amenities}")
+
+    dominated = {name for name, _, _ in HOTELS} - {r.rid for r in answers}
+    print(f"\nDominated and pruned: {', '.join(sorted(dominated))}")
+
+
+if __name__ == "__main__":
+    main()

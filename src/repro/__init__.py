@@ -1,0 +1,79 @@
+"""repro -- Stratified computation of skylines with partially-ordered domains.
+
+A from-scratch reproduction of Chan, Eng and Tan (SIGMOD 2005): skyline
+queries over schemas mixing totally-ordered attributes with
+partially-ordered (poset / set-valued) attributes, evaluated via interval
+domain transformation, R*-tree indexing and the BBS+/SDC/SDC+ family of
+algorithms, plus the BNL/BNL+ baselines of the paper's performance study.
+
+Quick start::
+
+    from repro import NumericAttribute, PosetAttribute, Record, Schema, skyline
+    from repro.posets import from_set_family
+
+    amenities = from_set_family({
+        "full":  {"gym", "pool", "spa"},
+        "fit":   {"gym"},
+        "swim":  {"pool"},
+        "basic": set(),
+    })
+    schema = Schema([
+        NumericAttribute("price", "min"),
+        PosetAttribute.set_valued("amenities", amenities),
+    ])
+    hotels = [
+        Record("Grand", (320,), ("full",)),
+        Record("Budget", (80,), ("basic",)),
+        Record("Middle", (150,), ("fit",)),
+        Record("Worse", (200,), ("fit",)),
+    ]
+    answers = skyline(hotels, schema, algorithm="sdc+")
+"""
+
+from repro.core.categories import Category
+from repro.core.record import Record
+from repro.core.schema import AttributeKind, NumericAttribute, PosetAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.engine import SkylineEngine, skyline
+from repro.exceptions import (
+    AlgorithmError,
+    CyclicPosetError,
+    PosetError,
+    ReproError,
+    SchemaError,
+    UnknownValueError,
+    WorkloadError,
+)
+from repro.posets.optimize import SpanningTreeStrategy
+from repro.posets.poset import Poset
+from repro.algorithms.base import available_algorithms, get_algorithm
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "Record",
+    "Schema",
+    "AttributeKind",
+    "NumericAttribute",
+    "PosetAttribute",
+    "ComparisonStats",
+    "SkylineEngine",
+    "skyline",
+    "Poset",
+    "SpanningTreeStrategy",
+    "available_algorithms",
+    "get_algorithm",
+    "WorkloadConfig",
+    "generate_workload",
+    "ReproError",
+    "PosetError",
+    "CyclicPosetError",
+    "UnknownValueError",
+    "SchemaError",
+    "AlgorithmError",
+    "WorkloadError",
+    "__version__",
+]

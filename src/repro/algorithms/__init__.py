@@ -1,0 +1,52 @@
+"""Skyline evaluation algorithms.
+
+The paper's three proposals and all evaluated baselines:
+
+========  ============================================================
+``bnl``   Block-nested-loops on the native domains (Börzsönyi ICDE'01)
+``bnl+``  Two-stage BNL: m-dominance filter, native post-process
+``sfs``   Sort-filter-skyline on the transformed space + native filter
+``dnc``   Divide & conquer on the transformed space + native filter
+``nn+``   Nearest-neighbour skyline (VLDB'02) + native filter
+``bbs``   Branch-and-bound skyline for totally-ordered schemas
+``bbs+``  BBS over the transformed space with false-positive removal
+``sdc``   Stratification by dominance classification (runtime strata)
+``sdc+``  Offline stratification by category and uncovered level
+========  ============================================================
+
+Every algorithm is a generator over definite skyline
+:class:`~repro.transform.point.Point` objects; non-progressive algorithms
+simply emit everything at the end.
+"""
+
+from repro.algorithms.base import (
+    SkylineAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register,
+)
+from repro.algorithms.bnl import BlockNestedLoops
+from repro.algorithms.bnl_plus import BlockNestedLoopsPlus
+from repro.algorithms.sfs import SortFilterSkyline
+from repro.algorithms.dnc import DivideAndConquer
+from repro.algorithms.nn import NearestNeighborSkyline
+from repro.algorithms.bbs import BranchAndBoundSkyline
+from repro.algorithms.bbs_plus import BBSPlus
+from repro.algorithms.sdc import SDC
+from repro.algorithms.sdc_plus import SDCPlus
+
+__all__ = [
+    "SkylineAlgorithm",
+    "available_algorithms",
+    "get_algorithm",
+    "register",
+    "BlockNestedLoops",
+    "BlockNestedLoopsPlus",
+    "SortFilterSkyline",
+    "DivideAndConquer",
+    "NearestNeighborSkyline",
+    "BranchAndBoundSkyline",
+    "BBSPlus",
+    "SDC",
+    "SDCPlus",
+]

@@ -1,0 +1,122 @@
+"""Branch-and-bound skyline (BBS, Papadias et al. SIGMOD'03) -- Fig. 1.
+
+This module also hosts :func:`traverse`, the heap-driven best-first
+R-tree traversal shared by BBS, BBS+, SDC and the per-stratum passes of
+SDC+.  The traversal pops entries in ascending ``sum(mins)`` order, so a
+data point is popped only after every point that could m-dominate it; the
+algorithm-specific behaviour (which intermediate-skyline subsets prune an
+entry, what happens to popped points) is supplied through callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.core.stats import ComparisonStats
+from repro.exceptions import AlgorithmError
+from repro.rtree.heap import EntryHeap
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarTree
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["traverse", "BranchAndBoundSkyline"]
+
+
+def traverse(
+    tree: RStarTree,
+    stats: ComparisonStats,
+    node_pruned: Callable[[Node], bool],
+    point_pruned: Callable[[Point], bool],
+) -> Iterator[Point]:
+    """Best-first traversal yielding surviving data points in key order.
+
+    ``node_pruned`` is consulted when an internal/leaf node entry is about
+    to be pushed and again when it is popped (the intermediate skyline may
+    have grown in between, exactly as in Fig. 1 steps 6 and 8);
+    ``point_pruned`` is consulted when a data point is about to be pushed.
+    Popped points are yielded for the caller's ``UpdateSkylines``.
+    """
+    heap = EntryHeap(stats)
+    if tree.size == 0:
+        return
+    root = tree.root
+    tree.access(root)
+    entries = root.entries
+    if root.leaf:
+        for p in entries:
+            if not point_pruned(p):
+                heap.push(p)
+    else:
+        for child in entries:
+            if not node_pruned(child):
+                heap.push(child)
+    while heap:
+        entry = heap.pop()
+        if isinstance(entry, Point):
+            yield entry
+            continue
+        if node_pruned(entry):
+            continue
+        tree.access(entry)
+        if entry.leaf:
+            for p in entry.entries:
+                if not point_pruned(p):
+                    heap.push(p)
+        else:
+            for child in entry.entries:
+                if not node_pruned(child):
+                    heap.push(child)
+
+
+@register
+class BranchAndBoundSkyline(SkylineAlgorithm):
+    """Classic BBS for purely totally-ordered schemas.
+
+    With no poset attributes the transformed space *is* the native space,
+    every intermediate skyline point is definite, and the algorithm is
+    fully progressive and I/O optimal.  Used as the TOS baseline and as a
+    sanity anchor for the adapted algorithms.
+    """
+
+    name = "bbs"
+    progressive = True
+    uses_index = True
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        if not dataset.schema.is_totally_ordered:
+            raise AlgorithmError(
+                "bbs handles only totally-ordered schemas; use bbs+, sdc or sdc+"
+            )
+        kernel = dataset.kernel
+        stats = dataset.stats
+        # Points are popped in ascending key order, so `skyline` stays
+        # key-sorted; a dominator's key is strictly below its target's
+        # (sum of a Pareto-smaller vector), so scans stop at the bound.
+        skyline: list[Point] = []
+
+        def node_pruned(node: Node) -> bool:
+            mins = node.mins
+            bound = node.min_key
+            for p in skyline:
+                if p.key >= bound:
+                    return False
+                if kernel.m_dominates_mins(p, mins):
+                    return True
+            return False
+
+        def point_pruned(point: Point) -> bool:
+            bound = point.key
+            for p in skyline:
+                if p.key >= bound:
+                    return False
+                if kernel.m_dominates(p, point):
+                    return True
+            return False
+
+        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+            if point_pruned(e):
+                continue
+            skyline.append(e)
+            yield e

@@ -1,0 +1,81 @@
+"""BBS+ -- the direct adaptation of BBS to POS-queries (Section 4.4, Fig. 3).
+
+Two changes relative to BBS:
+
+* every heap-pruning comparison ("dominated") becomes an **m-dominance**
+  comparison, since the R-tree indexes the transformed attribute values;
+* ``UpdateSkylines`` must both detect that the new point is dominated
+  *and* delete intermediate skyline points the new point dominates
+  (false positives), using the **original** domain values.
+
+Because any intermediate skyline point may later turn out to be a false
+positive, BBS+ cannot emit anything until the traversal finishes -- it is
+the least progressive of the three proposed algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.algorithms.bbs import traverse
+from repro.rtree.node import Node
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["BBSPlus"]
+
+
+@register
+class BBSPlus(SkylineAlgorithm):
+    """BBS over the transformed space with native false-positive removal."""
+
+    name = "bbs+"
+    progressive = False
+    uses_index = True
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        stats = dataset.stats
+        # Kept key-sorted (ascending pop order, order-preserving deletes)
+        # so m-dominance pruning scans can stop at the key bound; the
+        # native UpdateSkylines comparisons cannot (native-only dominance
+        # does not bound the transformed key).
+        skyline: list[Point] = []
+
+        def node_pruned(node: Node) -> bool:
+            mins = node.mins
+            bound = node.min_key
+            for p in skyline:
+                if p.key >= bound:
+                    return False
+                if kernel.m_dominates_mins(p, mins):
+                    return True
+            return False
+
+        def point_pruned(point: Point) -> bool:
+            bound = point.key
+            for p in skyline:
+                if p.key >= bound:
+                    return False
+                if kernel.m_dominates(p, point):
+                    return True
+            return False
+
+        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+            # UpdateSkylines (Fig. 3): native comparisons against every
+            # intermediate skyline point, both directions.
+            dominated = False
+            i = 0
+            while i < len(skyline):
+                p = skyline[i]
+                if kernel.native_dominates(p, e):
+                    dominated = True
+                    break
+                if kernel.native_dominates(e, p):
+                    del skyline[i]
+                    continue
+                i += 1
+            if not dominated:
+                skyline.append(e)
+        yield from skyline

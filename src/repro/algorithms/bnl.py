@@ -1,0 +1,133 @@
+"""Block-nested-loops skyline (Börzsönyi et al., ICDE'01).
+
+The classic windowed, multi-pass algorithm with timestamp-based early
+output:
+
+* every incoming record is compared against the window; dominated records
+  are dropped, records dominating window entries evict them;
+* when the window is full, survivors overflow to a temporary file that
+  becomes the next pass's input;
+* a window entry inserted after ``d`` records had already overflowed owes
+  comparisons to exactly those ``d`` records (everything written later
+  was compared against the whole window on arrival), so it can be emitted
+  as a definite skyline point as soon as the *next* pass has read ``d``
+  records -- or at the end of its own pass when ``d == 0``.
+
+On partially-ordered schemas BNL compares records in their **native**
+domains (actual set containment), which is what makes it expensive; the
+transformed-space variant lives in :mod:`repro.algorithms.bnl_plus`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.core.stats import ComparisonStats
+from repro.exceptions import AlgorithmError
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["bnl_passes", "BlockNestedLoops"]
+
+
+def bnl_passes(
+    points: list[Point],
+    dominates: Callable[[Point, Point], bool],
+    window_size: int,
+    stats: ComparisonStats,
+) -> Iterator[Point]:
+    """Core multi-pass BNL; yields definite skyline points as they mature.
+
+    ``carried`` holds window entries surviving from the previous pass as
+    ``[point, debt]`` pairs sorted by debt, where ``debt`` counts how many
+    records at the head of the current input they still owe comparisons
+    to.  Entries evicted or emitted mid-pass become ``None`` so the debt
+    ordering stays intact.
+    """
+    if window_size < 1:
+        raise AlgorithmError("window_size must be positive")
+    current = list(points)
+    carried: list[list | None] = []
+    while current:
+        temp: list[Point] = []
+        fresh: list[list] = []  # [point, overflow-count-at-insert]
+        release_at = 0  # prefix of `carried` fully processed (matured/evicted)
+        live_carried = len(carried)
+        stats.tuples_scanned += len(current)
+        for read_pos, r in enumerate(current, start=1):
+            # Mature carried entries that have now been compared against
+            # all records that predate them.
+            while release_at < len(carried):
+                entry = carried[release_at]
+                if entry is None:
+                    release_at += 1
+                elif entry[1] <= read_pos - 1:
+                    yield entry[0]
+                    carried[release_at] = None
+                    live_carried -= 1
+                    release_at += 1
+                else:
+                    break
+            dominated = False
+            for i in range(release_at, len(carried)):
+                entry = carried[i]
+                if entry is None:
+                    continue
+                w = entry[0]
+                if dominates(w, r):
+                    dominated = True
+                    break
+                if dominates(r, w):
+                    carried[i] = None
+                    live_carried -= 1
+            if not dominated:
+                i = 0
+                while i < len(fresh):
+                    w = fresh[i][0]
+                    if dominates(w, r):
+                        dominated = True
+                        break
+                    if dominates(r, w):
+                        fresh[i] = fresh[-1]
+                        fresh.pop()
+                        continue
+                    i += 1
+            if dominated:
+                continue
+            if len(fresh) + live_carried < window_size:
+                fresh.append([r, len(temp)])
+                stats.window_inserts += 1
+            else:
+                temp.append(r)
+        # End of pass: every surviving carried entry has now been compared
+        # with the entire input; fresh entries with no debt owe nothing.
+        for i in range(release_at, len(carried)):
+            entry = carried[i]
+            if entry is not None:
+                yield entry[0]
+        carried = []
+        for point, debt in fresh:
+            if debt == 0:
+                yield point
+            else:
+                carried.append([point, debt])
+        current = temp
+
+
+@register
+class BlockNestedLoops(SkylineAlgorithm):
+    """BNL on the native domains (the paper's ``BNL`` baseline)."""
+
+    name = "bnl"
+    progressive = False
+    uses_index = False
+
+    def __init__(self, window_size: int = 1000) -> None:
+        self.window_size = window_size
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        yield from bnl_passes(
+            dataset.points, kernel.native_dominates, self.window_size, dataset.stats
+        )

@@ -1,0 +1,108 @@
+"""Divide & conquer skyline over the transformed space (extension baseline).
+
+The classic D&C scheme (Börzsönyi et al., after Kung/Luccio/Preparata):
+split the points at the median of the widest transformed coordinate into
+a *better* half ``A`` (coordinate strictly below the median) and a *rest*
+half ``B``.  No point of ``B`` can m-dominate a point of ``A`` (its split
+coordinate is not ``<=``), so
+
+    ``skyline(S) = skyline(A) + [b in skyline(B) not m-dominated by skyline(A)]``.
+
+Small partitions fall back to a quadratic scan.  As with BNL+, the result
+in the transformed space may contain false positives, which a native BNL
+pass removes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.algorithms.bnl import bnl_passes
+from repro.core.dominance import DominanceKernel
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["DivideAndConquer"]
+
+
+@register
+class DivideAndConquer(SkylineAlgorithm):
+    """Median-split divide & conquer with a native post-process."""
+
+    name = "dnc"
+    progressive = False
+    uses_index = False
+
+    def __init__(self, window_size: int = 1000, base_size: int = 64) -> None:
+        self.window_size = window_size
+        self.base_size = max(1, base_size)
+
+    # ------------------------------------------------------------------
+    def _base_case(self, points: list[Point], kernel: DominanceKernel) -> list[Point]:
+        result: list[Point] = []
+        for r in points:
+            dominated = False
+            i = 0
+            while i < len(result):
+                w = result[i]
+                if kernel.m_dominates(w, r):
+                    dominated = True
+                    break
+                if kernel.m_dominates(r, w):
+                    result[i] = result[-1]
+                    result.pop()
+                    continue
+                i += 1
+            if not dominated:
+                result.append(r)
+        return result
+
+    def _skyline(self, points: list[Point], kernel: DominanceKernel) -> list[Point]:
+        if len(points) <= self.base_size:
+            return self._base_case(points, kernel)
+        dims = len(points[0].vector)
+        best_dim = 0
+        best_spread = -1.0
+        for d in range(dims):
+            column = [p.vector[d] for p in points]
+            spread = max(column) - min(column)
+            if spread > best_spread:
+                best_spread = spread
+                best_dim = d
+        if best_spread == 0.0:
+            # All points identical in every coordinate: mutually
+            # non-dominating transformed-space duplicates.
+            return self._base_case(points, kernel)
+        column = sorted(p.vector[best_dim] for p in points)
+        median = column[len(column) // 2]
+        better = [p for p in points if p.vector[best_dim] < median]
+        rest = [p for p in points if p.vector[best_dim] >= median]
+        if not better:
+            # Degenerate split (median equals the minimum); shave the
+            # minimum plane off instead to guarantee progress.
+            low = column[0]
+            better = [p for p in points if p.vector[best_dim] == low]
+            rest = [p for p in points if p.vector[best_dim] > low]
+            sky_better = self._base_case(better, kernel)
+        else:
+            sky_better = self._skyline(better, kernel)
+        sky_rest = self._skyline(rest, kernel)
+        merged = list(sky_better)
+        for b in sky_rest:
+            if not any(kernel.m_dominates(a, b) for a in sky_better):
+                merged.append(b)
+        return merged
+
+    # ------------------------------------------------------------------
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        if not dataset.points:
+            return
+        candidates = self._skyline(list(dataset.points), kernel)
+        if dataset.schema.is_totally_ordered:
+            yield from candidates
+            return
+        yield from bnl_passes(
+            candidates, kernel.native_dominates, self.window_size, dataset.stats
+        )

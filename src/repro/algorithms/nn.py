@@ -1,0 +1,124 @@
+"""Nearest-neighbour skyline (Kossmann/Ramsak/Rost, VLDB'02) adapted to
+POS-queries ("NN+").
+
+The NN algorithm was the state of the art before BBS and is the other
+index-based evaluator the paper's introduction names.  It repeatedly
+finds the point nearest to the origin inside a constraint region (such a
+point is always a skyline point of the region), then splits the region
+into ``d`` subregions -- one per dimension, upper-bounded by the found
+point's coordinate -- and recurses over a to-do list.  Because the
+subregions overlap, the same skyline point can be rediscovered; a
+membership check against the result set removes those duplicates.
+
+Adaptation to partially-ordered schemas follows the paper's framework:
+the search runs in the transformed space (so "nearest" uses the same L1
+key as BBS and region bounds apply to the transformed coordinates), which
+yields the *m-skyline* -- a superset of the true skyline -- and a native
+block-nested-loops pass removes the false positives, exactly as in BNL+.
+
+Transformed-space duplicates need care: region bounds are exclusive, so
+a point's exact-vector duplicates fall outside every subregion; they are
+recovered with an exact range probe when their representative is found.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.algorithms.bnl import bnl_passes
+from repro.rtree.rstar import RStarTree
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["NearestNeighborSkyline"]
+
+
+def _nearest_in_region(
+    tree: RStarTree, bounds: tuple[float, ...], stats
+) -> Point | None:
+    """Minimum-key point whose every coordinate is strictly below
+    ``bounds`` (best-first search with region pruning)."""
+    if tree.size == 0:
+        return None
+    heap: list[tuple[float, int, object]] = []
+    tie = itertools.count()
+    root = tree.root
+    tree.access(root)
+    entries = [root] if root.entries else []
+    for entry in entries:
+        heapq.heappush(heap, (entry.min_key, next(tie), entry))
+    while heap:
+        _, _, entry = heapq.heappop(heap)
+        if isinstance(entry, Point):
+            return entry
+        # A node can contain a qualifying point only if its best corner
+        # is strictly inside the region in every dimension.
+        if not all(lo < b for lo, b in zip(entry.mins, bounds)):
+            continue
+        tree.access(entry)
+        if entry.leaf:
+            for p in entry.entries:
+                if all(x < b for x, b in zip(p.vector, bounds)):
+                    heapq.heappush(heap, (p.key, next(tie), p))
+        else:
+            for child in entry.entries:
+                if all(lo < b for lo, b in zip(child.mins, bounds)):
+                    heapq.heappush(heap, (child.min_key, next(tie), child))
+    return None
+
+
+@register
+class NearestNeighborSkyline(SkylineAlgorithm):
+    """NN over the transformed space + native false-positive removal."""
+
+    name = "nn+"
+    progressive = False
+    uses_index = True
+
+    def __init__(self, window_size: int = 1000) -> None:
+        self.window_size = window_size
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        stats = dataset.stats
+        tree = dataset.index
+        if tree.size == 0:
+            return
+        dims = dataset.dimensions
+        infinity = float("inf")
+        todo: list[tuple[float, ...]] = [(infinity,) * dims]
+        seen_regions: set[tuple[float, ...]] = set(todo)
+        found: dict[int, Point] = {}
+        candidates: list[Point] = []
+
+        while todo:
+            bounds = todo.pop()
+            p = _nearest_in_region(tree, bounds, stats)
+            if p is None:
+                continue
+            if id(p) not in found:
+                found[id(p)] = p
+                candidates.append(p)
+                # Exclusive subregion bounds drop exact-vector duplicates:
+                # recover them with an exact range probe.
+                for twin in tree.search(p.vector, p.vector):
+                    if id(twin) not in found:
+                        found[id(twin)] = twin
+                        candidates.append(twin)
+            for k in range(dims):
+                sub = list(bounds)
+                sub[k] = p.vector[k]
+                region = tuple(sub)
+                # Overlapping subregions rediscover points; identical
+                # regions (the NN algorithm's known blow-up) are searched
+                # once only.
+                if region not in seen_regions:
+                    seen_regions.add(region)
+                    todo.append(region)
+
+        yield from bnl_passes(
+            candidates, kernel.native_dominates, self.window_size, stats
+        )

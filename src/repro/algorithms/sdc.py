@@ -1,0 +1,174 @@
+"""SDC -- Stratification by Dominance Classification (Section 4.5, Fig. 6).
+
+SDC runs the BBS+ traversal but organises the intermediate skyline set
+``S`` into the four dominance categories of Fig. 5, which buys three
+optimisations (each independently switchable for the Section 5.3
+ablation):
+
+* **minimising dominance comparisons** (Section 4.5.2,
+  ``restrict_categories``): a popped point ``e`` is compared only against
+  the categories that can dominate it (``C``) or that it can dominate
+  (``C'``), per Lemma 4.1; R-tree entries are likewise pruned only
+  against the categories that can dominate the entries' aggregated
+  category bits.
+* **optimising dominance comparisons** (Section 4.5.3,
+  ``optimize_comparisons``): ``CompareDominance`` tries the two-integer
+  m-dominance test first and touches the expensive original domains only
+  when Lemma 4.2 leaves room for a native-only dominance.
+* **progressive computation** (Section 4.5.4, ``progressive_output``):
+  a completely covered intermediate skyline point can never be displaced
+  later (any native dominator would m-dominate it and would have been
+  popped earlier), so it is emitted immediately (Lemma 4.3); by the same
+  lemma ``C'`` only needs the partially covered categories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.algorithms.bbs import traverse
+from repro.core.categories import (
+    Category,
+    dominators_of,
+    dominators_of_set,
+    ordered_categories,
+    targets_of,
+)
+from repro.exceptions import AlgorithmError
+from repro.rtree.node import Node
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["SDC"]
+
+_ALL_CATEGORIES = frozenset(Category)
+
+
+@register
+class SDC(SkylineAlgorithm):
+    """Runtime stratification of the intermediate skyline set."""
+
+    name = "sdc"
+    progressive = True
+    uses_index = True
+
+    def __init__(
+        self,
+        restrict_categories: bool = True,
+        optimize_comparisons: bool = True,
+        progressive_output: bool = True,
+    ) -> None:
+        self.restrict_categories = restrict_categories
+        self.optimize_comparisons = optimize_comparisons
+        self.progressive_output = progressive_output
+
+    # ------------------------------------------------------------------
+    def _compare(self, kernel, e: Point, p: Point) -> int:
+        if self.optimize_comparisons:
+            return kernel.compare_dominance(e, p)
+        # Ablation: original-domain comparisons only (BBS+-style).
+        kernel.stats.compare_dominance_calls += 1
+        if kernel.native_dominates(p, e):
+            return 1
+        if kernel.native_dominates(e, p):
+            return -1
+        return 0
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        stats = dataset.stats
+        S: dict[Category, list[Point]] = {cat: [] for cat in Category}
+        emitted: set[int] = set()
+
+        # Precomputed, deterministically ordered category scan lists.
+        prune_order: dict[frozenset, tuple[Category, ...]] = {}
+        point_order = {
+            cat: ordered_categories(
+                dominators_of(cat) if self.restrict_categories else _ALL_CATEGORIES
+            )
+            for cat in Category
+        }
+        check_order: dict[Category, tuple[Category, ...]] = {}
+        for cat in Category:
+            if self.restrict_categories:
+                check = set(dominators_of(cat))
+                targets = targets_of(cat)
+                if self.progressive_output:
+                    # Lemma 4.3: completely covered intermediate points
+                    # are definite; a new point can never displace them.
+                    targets = frozenset(
+                        t for t in targets if not t.completely_covered
+                    )
+                check |= targets
+            else:
+                check = set(_ALL_CATEGORIES)
+            check_order[cat] = ordered_categories(frozenset(check))
+
+        # The category buckets stay key-sorted: points arrive in ascending
+        # key order and deletions preserve order, so m-dominance scans can
+        # stop once keys reach the probe's bound (a dominator's vector sum
+        # is strictly smaller).
+        def node_pruned(node: Node) -> bool:
+            if self.restrict_categories:
+                possible = node.possible_categories()
+                cats = prune_order.get(possible)
+                if cats is None:
+                    cats = ordered_categories(dominators_of_set(possible))
+                    prune_order[possible] = cats
+            else:
+                cats = point_order[Category.PC]  # all categories, ordered
+            mins = node.mins
+            bound = node.min_key
+            for cat in cats:
+                for p in S[cat]:
+                    if p.key >= bound:
+                        break
+                    if kernel.m_dominates_mins(p, mins):
+                        return True
+            return False
+
+        def point_pruned(point: Point) -> bool:
+            cats = point_order[point.category]
+            bound = point.key
+            for cat in cats:
+                for p in S[cat]:
+                    if p.key >= bound:
+                        break
+                    if kernel.m_dominates(p, point):
+                        return True
+            return False
+
+        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+            cat = e.category
+            dominated = False
+            for scat in check_order[cat]:
+                bucket = S[scat]
+                i = 0
+                while i < len(bucket):
+                    ret = self._compare(kernel, e, bucket[i])
+                    if ret == 1:
+                        dominated = True
+                        break
+                    if ret == -1:
+                        victim = bucket[i]
+                        if id(victim) in emitted:
+                            raise AlgorithmError(
+                                "SDC invariant violated: emitted point displaced"
+                            )
+                        del bucket[i]  # order-preserving: buckets stay key-sorted
+                        continue
+                    i += 1
+                if dominated:
+                    break
+            if dominated:
+                continue
+            S[cat].append(e)
+            if self.progressive_output and cat.completely_covered:
+                emitted.add(id(e))
+                yield e
+
+        for cat in Category:
+            for p in S[cat]:
+                if id(p) not in emitted:
+                    yield p

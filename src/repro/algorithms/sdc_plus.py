@@ -1,0 +1,147 @@
+"""SDC+ -- offline data stratification (Section 4.6, Fig. 7).
+
+The data is partitioned offline into the stratum sequence
+``R_{c,p}, R_{c,c}, R^1_{p,p}, R^1_{p,c}, R^2_{p,p}, R^2_{p,c}, ...``
+(see :mod:`repro.transform.stratification`) and each stratum is processed
+by a BBS+-style pass (``SDC+-sub``) that prunes against ``S + L``, where
+``S`` holds the definite skyline points of the finished strata and ``L``
+the local skyline of the current stratum.  No point of a later stratum
+can dominate a local skyline point of an earlier one, so ``L`` is
+definite when its stratum finishes -- and for the two completely covered
+strata each point is definite the moment it enters ``L`` (Lemma 4.3),
+making SDC+ the most progressive of the three algorithms.
+
+Paper deviation (DESIGN.md): Fig. 7 step 8 excludes the point's own
+category when checking ``e`` against ``S``.  For partially covered
+categories this can miss a lower-uncovered-level point of the *same*
+category that natively (but not m-) dominates ``e`` -- Lemma 4.4 only
+rules out the opposite direction -- so by default the same-category
+subset is included; ``faithful_category_exclusion=True`` reproduces the
+pseudocode literally (a regression test crafts a counterexample).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.algorithms.bbs import traverse
+from repro.core.categories import Category, dominators_of, ordered_categories
+from repro.exceptions import AlgorithmError
+from repro.rtree.node import Node
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+__all__ = ["SDCPlus"]
+
+
+@register
+class SDCPlus(SkylineAlgorithm):
+    """Offline stratification by dominance category and uncovered level."""
+
+    name = "sdc+"
+    progressive = True
+    uses_index = True
+
+    def __init__(self, faithful_category_exclusion: bool = False) -> None:
+        self.faithful_category_exclusion = faithful_category_exclusion
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        stats = dataset.stats
+        stratification = dataset.stratification
+        S: dict[Category, list[Point]] = {cat: [] for cat in Category}
+
+        for stratum in stratification:
+            cat = stratum.category
+            covered = cat.completely_covered
+            # Every point of this stratum has category `cat`, so only the
+            # categories that can dominate `cat` matter for pruning.
+            # (Deterministic scan order keeps comparison counts
+            # reproducible across processes.)
+            prune_cats = ordered_categories(dominators_of(cat))
+            check_cats = tuple(
+                scat
+                for scat in prune_cats
+                if not (self.faithful_category_exclusion and scat is cat)
+            )
+            L: list[Point] = []
+
+            # `L` and every `S` bucket are key-sorted (ascending pops;
+            # order-preserving deletes; key-merged at stratum ends), so
+            # m-dominance scans stop at the probe's key bound.
+            def node_pruned(node: Node) -> bool:
+                mins = node.mins
+                bound = node.min_key
+                for p in L:
+                    if p.key >= bound:
+                        break
+                    if kernel.m_dominates_mins(p, mins):
+                        return True
+                for scat in prune_cats:
+                    for p in S[scat]:
+                        if p.key >= bound:
+                            break
+                        if kernel.m_dominates_mins(p, mins):
+                            return True
+                return False
+
+            def point_pruned(point: Point) -> bool:
+                bound = point.key
+                for p in L:
+                    if p.key >= bound:
+                        break
+                    if kernel.m_dominates(p, point):
+                        return True
+                for scat in prune_cats:
+                    for p in S[scat]:
+                        if p.key >= bound:
+                            break
+                        if kernel.m_dominates(p, point):
+                            return True
+                return False
+
+            for e in traverse(stratum.tree, stats, node_pruned, point_pruned):
+                # UpdateSkylines(e, S, L) -- Fig. 7.
+                dominated = False
+                i = 0
+                while i < len(L):
+                    ret = kernel.compare_dominance(e, L[i])
+                    if ret == 1:
+                        dominated = True
+                        break
+                    if ret == -1:
+                        if covered:
+                            raise AlgorithmError(
+                                "SDC+ invariant violated: covered-stratum "
+                                "point displaced after emission"
+                            )
+                        del L[i]  # order-preserving: L stays key-sorted
+                        continue
+                    i += 1
+                if dominated:
+                    continue
+                for scat in check_cats:
+                    for p in S[scat]:
+                        if kernel.compare_dominance(e, p) == 1:
+                            dominated = True
+                            break
+                    if dominated:
+                        break
+                if dominated:
+                    continue
+                L.append(e)
+                if covered:
+                    # Lemma 4.3: definite immediately.
+                    yield e
+
+            if not covered:
+                yield from L
+            # Keys are not monotone *across* strata: merge to keep the
+            # bucket sorted for the key-bounded pruning scans.
+            bucket = S[cat]
+            if bucket and L and L[0].key < bucket[-1].key:
+                merged = list(heapq.merge(bucket, L, key=lambda p: p.key))
+                S[cat] = merged
+            else:
+                bucket.extend(L)

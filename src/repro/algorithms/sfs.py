@@ -1,0 +1,53 @@
+"""Sort-filter-skyline over the transformed space (extension baseline).
+
+SFS (Chomicki et al.) presorts the input by a function monotone with
+dominance; a record can then never be dominated by a later one, so a
+single windowed pass yields the skyline.  ``sum(vector)`` is monotone with
+**m-dominance** (a dominator's coordinates are all ``<=`` with one ``<``),
+but *not* with native dominance on poset attributes -- so, like BNL+, the
+partially-ordered variant runs the sorted filter in the transformed space
+and pipes the surviving candidates through a native BNL pass.
+
+Not part of the paper's evaluated set; included as an additional
+non-index baseline (the paper cites the preference-query line of work it
+descends from in Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, register
+from repro.algorithms.bnl import bnl_passes
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["SortFilterSkyline"]
+
+
+@register
+class SortFilterSkyline(SkylineAlgorithm):
+    """Presort by key, filter with m-dominance, post-process natively."""
+
+    name = "sfs"
+    progressive = False
+    uses_index = False
+
+    def __init__(self, window_size: int = 1000) -> None:
+        self.window_size = window_size
+
+    def run(self, dataset: TransformedDataset) -> Iterator[Point]:
+        kernel = dataset.kernel
+        ordered = sorted(dataset.points, key=lambda p: p.key)
+        candidates: list[Point] = []
+        for r in ordered:
+            if not any(kernel.m_dominates(w, r) for w in candidates):
+                candidates.append(r)
+                dataset.stats.window_inserts += 1
+        if dataset.schema.is_totally_ordered:
+            # No poset attributes: m-dominance is exact, no post-process.
+            yield from candidates
+            return
+        yield from bnl_passes(
+            candidates, kernel.native_dominates, self.window_size, dataset.stats
+        )

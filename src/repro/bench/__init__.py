@@ -1,0 +1,49 @@
+"""Benchmark harness reproducing the paper's performance study.
+
+* :mod:`repro.bench.harness` -- progressive runs: per-answer timestamps
+  and comparison-count snapshots, milestone extraction (first answer,
+  20/40/60/80/100%), false-positive counting.
+* :mod:`repro.bench.experiments` -- one named experiment per table/figure
+  of Section 5, mapping figure ids to workload configs and algorithm
+  line-ups.
+* :mod:`repro.bench.reporting` -- plain-text tables matching the figures'
+  axes (time/comparisons to reach each output percentage).
+"""
+
+from repro.bench.harness import (
+    AlgorithmRun,
+    Milestone,
+    count_false_positives,
+    prepare_dataset,
+    run_progressive,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+from repro.bench.reporting import format_run_table, format_summary
+from repro.bench.costmodel import BufferPool, CostModel
+from repro.bench.sweep import SweepPoint, format_sweep, run_sweep
+
+__all__ = [
+    "BufferPool",
+    "CostModel",
+    "SweepPoint",
+    "run_sweep",
+    "format_sweep",
+    "AlgorithmRun",
+    "Milestone",
+    "run_progressive",
+    "prepare_dataset",
+    "count_false_positives",
+    "Experiment",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "format_run_table",
+    "format_summary",
+]

@@ -1,0 +1,124 @@
+"""Disk/CPU cost model bridging the in-memory substrate to the paper's
+2005-era testbed (see the substitution table in DESIGN.md).
+
+The paper ran C code against disk-resident R*-trees (4K pages) on a
+Pentium 4 with 256MB of RAM; our substrate is in-memory Python, which
+flattens the ratio between an original-domain set comparison and a
+two-integer m-dominance comparison and makes I/O free.  This module
+restores those ratios *as an explicit, inspectable model*:
+
+* :class:`BufferPool` -- an LRU page cache attached to the R-trees; node
+  accesses are classified into hits and misses
+  (``ComparisonStats.page_misses``).
+* :class:`CostModel` -- converts a counter delta into estimated
+  milliseconds: random page reads for buffer misses, sequential page
+  reads for scan-based input passes (``tuples_scanned``), and per-type
+  CPU costs for comparisons, with defaults chosen for ~2005 commodity
+  hardware (10 ms random I/O, 0.05 ms sequential page, integer compares
+  ~0.2 µs, set comparisons an order of magnitude more).
+
+The model is used by the ``io-costmodel`` benchmark to show that the
+paper's BNL+ > BNL ordering on the default workload -- which pure-Python
+wall-clock does not reproduce -- re-emerges as soon as set comparisons
+cost ~10x an integer comparison, with everything else measured, not
+assumed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+__all__ = ["BufferPool", "CostModel"]
+
+
+class BufferPool:
+    """LRU cache of R-tree nodes (pages).
+
+    ``capacity`` is in pages; an access returns ``True`` on hit.  One
+    pool may be shared by several trees (e.g. all SDC+ stratum trees),
+    mirroring a DBMS buffer shared across one query's indexes.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ReproError("buffer pool capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, node: object) -> bool:
+        """Touch a page; returns ``True`` when it was resident."""
+        key = id(node)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[key] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return False
+
+    def clear(self) -> None:
+        """Empty the pool (cold-start the next run)."""
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def resident(self) -> int:
+        """Pages currently cached."""
+        return len(self._pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BufferPool(capacity={self.capacity}, resident={self.resident})"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weighted cost translation of a :class:`ComparisonStats` delta.
+
+    All times in milliseconds.  The defaults sketch 2005 commodity
+    hardware; every weight is a constructor argument so sensitivity
+    studies are one call away.
+    """
+
+    #: Random 4K page read (disk seek + rotation), per buffer miss.
+    random_page_ms: float = 10.0
+    #: Sequential 4K page read, charged to scan-based input passes.
+    sequential_page_ms: float = 0.05
+    #: Records per 4K page for the sequential-scan translation.
+    tuples_per_page: int = 64
+    #: One m-dominance / numeric comparison (a handful of int compares).
+    m_compare_ms: float = 0.0002
+    #: One original-domain set comparison (variable-length set walk).
+    set_compare_ms: float = 0.002
+    #: One compressed-closure probe (binary search over few intervals).
+    closure_compare_ms: float = 0.0004
+
+    def io_cost(self, delta: dict[str, int]) -> float:
+        """Estimated I/O milliseconds of a counter delta."""
+        random_io = delta.get("page_misses", 0) * self.random_page_ms
+        pages = delta.get("tuples_scanned", 0) / self.tuples_per_page
+        return random_io + pages * self.sequential_page_ms
+
+    def cpu_cost(self, delta: dict[str, int]) -> float:
+        """Estimated CPU milliseconds of a counter delta."""
+        cheap = (
+            delta.get("m_dominance_point", 0)
+            + delta.get("m_dominance_mbr", 0)
+            + delta.get("native_numeric", 0)
+        )
+        return (
+            cheap * self.m_compare_ms
+            + delta.get("native_set", 0) * self.set_compare_ms
+            + delta.get("native_closure", 0) * self.closure_compare_ms
+        )
+
+    def total_cost(self, delta: dict[str, int]) -> float:
+        """I/O + CPU estimate in milliseconds."""
+        return self.io_cost(delta) + self.cpu_cost(delta)

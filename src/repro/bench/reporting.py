@@ -1,0 +1,152 @@
+"""Plain-text reports matching the paper's figure axes.
+
+:func:`format_run_table` prints, per algorithm, the time (and comparison
+count) needed to output the first answer and each 20% slice of the
+answers -- the exact series plotted in Figs. 10-12.  :func:`format_summary`
+prints the dataset statistics the paper quotes in prose (skyline size,
+false positives, category distribution, stratum count).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import FRACTIONS, AlgorithmRun
+
+__all__ = [
+    "format_run_table",
+    "format_summary",
+    "format_milestone_header",
+    "emission_timeline",
+    "format_timelines",
+    "ascii_scatter",
+]
+
+
+def format_milestone_header() -> str:
+    """Column header for milestone tables."""
+    cells = ["algorithm".ljust(18), "first".rjust(9)]
+    cells += [f"{int(f * 100)}%".rjust(9) for f in FRACTIONS]
+    cells += ["answers".rjust(8), "checks".rjust(12), "set-cmps".rjust(10)]
+    return " ".join(cells)
+
+
+def _format_row(label: str, run: AlgorithmRun, metric: str) -> str:
+    milestones = run.milestones()
+    cells = [label.ljust(18)]
+    if not milestones:
+        cells.append("(no answers)")
+        return " ".join(cells)
+    for m in milestones:
+        if metric == "time":
+            cells.append(f"{m.elapsed * 1000:8.1f}m")
+        else:
+            cells.append(f"{m.dominance_checks:9d}")
+    final = run.final_delta
+    checks = (
+        final.get("m_dominance_point", 0)
+        + final.get("native_set", 0)
+        + final.get("native_numeric", 0)
+    )
+    cells.append(f"{run.skyline_size:8d}")
+    cells.append(f"{checks:12d}")
+    cells.append(f"{final.get('native_set', 0):10d}")
+    return " ".join(cells)
+
+
+def format_run_table(
+    runs: dict[str, AlgorithmRun], metric: str = "time", title: str | None = None
+) -> str:
+    """Milestone table over several runs.
+
+    ``metric`` is ``"time"`` (milliseconds, the figures' y-axis) or
+    ``"checks"`` (cumulative dominance checks, the deterministic proxy).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_milestone_header())
+    lines.append("-" * len(lines[-1]))
+    for label, run in runs.items():
+        lines.append(_format_row(label, run, metric))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: list[tuple[float, float]],
+    highlight: set | None = None,
+    width: int = 60,
+    height: int = 20,
+) -> str:
+    """ASCII scatter of 2-D points with an optional highlighted subset.
+
+    ``highlight`` holds the indices of points drawn as ``*`` (e.g. the
+    skyline); everything else renders as ``.``.  The vertical axis grows
+    downward so the "good" corner (small x, small y in minimisation
+    space) sits top-left, where skyline points cluster.
+    """
+    if not points:
+        return "(no points)"
+    highlight = highlight or set()
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (x, y) in enumerate(points):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        if index in highlight:
+            grid[row][col] = "*"
+        elif grid[row][col] != "*":
+            grid[row][col] = "."
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def emission_timeline(run: AlgorithmRun, buckets: int = 40) -> str:
+    """ASCII density of answer emissions over the run's wall-clock span.
+
+    Each column covers ``1/buckets`` of the run; darker characters mean
+    more answers emitted in that slice.  Progressive algorithms light up
+    on the left, blocking ones only in the final column.
+    """
+    if not run.emissions or run.total_elapsed <= 0:
+        return "(no answers)"
+    histogram = [0] * buckets
+    for elapsed, _ in run.emissions:
+        index = min(buckets - 1, int(elapsed / run.total_elapsed * buckets))
+        histogram[index] += 1
+    peak = max(histogram)
+    shades = " .:*#"
+    return "".join(
+        shades[min(4, (4 * count + peak - 1) // peak) if count else 0]
+        for count in histogram
+    )
+
+
+def format_timelines(runs: dict[str, AlgorithmRun], buckets: int = 40) -> str:
+    """One emission timeline row per run."""
+    lines = [f"emission timelines (each column = 1/{buckets} of the run):"]
+    for label, run in runs.items():
+        lines.append(f"  {label:18} |{emission_timeline(run, buckets)}|")
+    return "\n".join(lines)
+
+
+def format_summary(result) -> str:
+    """Dataset statistics block for one experiment result."""
+    counts = ", ".join(
+        f"{cat}:{n}" for cat, n in sorted(result.category_counts.items(), key=lambda kv: str(kv[0]))
+    )
+    lines = [
+        f"experiment      {result.experiment.id} ({result.experiment.paper_ref})",
+        f"title           {result.experiment.title}",
+        f"data size       {result.data_size}",
+        f"skyline points  {result.skyline_size}",
+        f"false positives {result.false_positives}",
+        f"categories      {counts}",
+        f"strata (SDC+)   {result.num_strata}",
+        f"paper notes     {result.experiment.paper_notes}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Scaling sweeps: one experiment, several data sizes.
+
+Complements Fig. 12(a) (a single 2x step) with a multi-point scaling
+study: the same experiment is run at a geometric ladder of record counts
+and each algorithm's dominance-check totals and milestone series are
+collected, so growth exponents can be eyeballed (or asserted) directly.
+All counts are deterministic, so sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.experiments import Experiment, get_experiment
+from repro.bench.harness import AlgorithmRun, run_progressive
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+__all__ = ["SweepPoint", "run_sweep", "format_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Results of one experiment at one data size."""
+
+    data_size: int
+    skyline_size: int
+    runs: dict[str, AlgorithmRun]
+
+    def checks(self, label: str) -> int:
+        """Total dominance checks of one curve at this size."""
+        delta = self.runs[label].final_delta
+        return (
+            delta.get("m_dominance_point", 0)
+            + delta.get("native_set", 0)
+            + delta.get("native_numeric", 0)
+        )
+
+
+def run_sweep(
+    experiment: Experiment | str,
+    sizes: list[int],
+    labels: list[str] | None = None,
+) -> list[SweepPoint]:
+    """Run ``experiment`` at each size; returns one point per size."""
+    if isinstance(experiment, str):
+        experiment = get_experiment(experiment)
+    points: list[SweepPoint] = []
+    for size in sizes:
+        config = experiment.config(size)
+        workload = generate_workload(config)
+        datasets: dict[str, TransformedDataset] = {}
+        runs: dict[str, AlgorithmRun] = {}
+        for spec in experiment.lineup:
+            if labels is not None and spec.label not in labels:
+                continue
+            dataset = datasets.get(spec.strategy)
+            if dataset is None:
+                dataset = TransformedDataset(
+                    workload.schema, workload.records, strategy=spec.strategy
+                )
+                datasets[spec.strategy] = dataset
+            runs[spec.label] = run_progressive(
+                dataset, spec.algorithm, **spec.options
+            )
+        reference = next(iter(runs.values()))
+        for label, run in runs.items():
+            assert run.rids == reference.rids, f"{label} disagrees at n={size}"
+        points.append(
+            SweepPoint(config.data_size, reference.skyline_size, runs)
+        )
+    return points
+
+
+def format_sweep(points: list[SweepPoint]) -> str:
+    """Tabulate check totals per algorithm across the sweep sizes."""
+    if not points:
+        return "(empty sweep)"
+    labels = list(points[0].runs)
+    header = f"{'n':>8} {'skyline':>8} " + " ".join(f"{l:>12}" for l in labels)
+    lines = [header, "-" * len(header)]
+    for point in points:
+        cells = [f"{point.data_size:8d}", f"{point.skyline_size:8d}"]
+        cells += [f"{point.checks(label):12d}" for label in labels]
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``algorithms``
+    List the registered skyline algorithms.
+``demo``
+    Run the hotel/amenity quickstart on built-in data.
+``generate``
+    Generate a Table-1-style synthetic workload and save it as JSON.
+``query``
+    Answer a skyline query over a saved workload.
+``experiment``
+    Run one of the paper's experiments and print its figure tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.algorithms.base import available_algorithms
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import format_run_table, format_summary
+from repro.engine import SkylineEngine
+from repro.io import load_workload, save_workload
+from repro.posets.generator import PosetGeneratorConfig
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skylines with partially-ordered domains (SIGMOD 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list registered algorithms")
+
+    sub.add_parser("demo", help="run the hotel/amenity quickstart")
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload JSON")
+    gen.add_argument("output", help="output JSON path")
+    gen.add_argument("--size", type=int, default=10_000, help="number of records")
+    gen.add_argument("--num-total", type=int, default=2)
+    gen.add_argument("--num-partial", type=int, default=1)
+    gen.add_argument(
+        "--correlation",
+        choices=["independent", "correlated", "anti-correlated"],
+        default="independent",
+    )
+    gen.add_argument("--poset-nodes", type=int, default=450)
+    gen.add_argument("--poset-height", type=int, default=6)
+    gen.add_argument("--seed", type=int, default=7)
+
+    query = sub.add_parser("query", help="skyline of a saved workload")
+    query.add_argument("workload", help="workload JSON path")
+    query.add_argument("--algorithm", default="sdc+", choices=sorted(available_algorithms()))
+    query.add_argument(
+        "--strategy",
+        default="default",
+        choices=["default", "random", "minpc", "maxpc"],
+    )
+    query.add_argument("--limit", type=int, default=20, help="answers to print (0 = all)")
+    query.add_argument("--stats", action="store_true", help="print comparison counters")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    exp.add_argument("--size", type=int, default=None, help="records (default REPRO_BENCH_N/4000)")
+    exp.add_argument(
+        "--metric", choices=["time", "checks", "both"], default="both"
+    )
+
+    band = sub.add_parser("skyband", help="k-skyband of a saved workload")
+    band.add_argument("workload", help="workload JSON path")
+    band.add_argument("-k", type=int, default=2, help="dominator threshold")
+    band.add_argument("--method", choices=["bbs", "nested-loops"], default="bbs")
+    band.add_argument("--limit", type=int, default=20)
+
+    lay = sub.add_parser("layers", help="skyline layers of a saved workload")
+    lay.add_argument("workload", help="workload JSON path")
+    lay.add_argument("--max-layers", type=int, default=5)
+    lay.add_argument("--algorithm", default="bnl", choices=sorted(available_algorithms()))
+
+    ssp = sub.add_parser("subspace", help="skyline over selected attributes")
+    ssp.add_argument("workload", help="workload JSON path")
+    ssp.add_argument("attributes", nargs="+", help="attribute names")
+    ssp.add_argument("--limit", type=int, default=20)
+
+    exp2 = sub.add_parser(
+        "explain", help="dataset structure + instrumented query report"
+    )
+    exp2.add_argument("workload", help="workload JSON path")
+    exp2.add_argument(
+        "--algorithm", default="sdc+", choices=sorted(available_algorithms())
+    )
+    exp2.add_argument(
+        "--strategy",
+        default="default",
+        choices=["default", "random", "minpc", "maxpc"],
+    )
+    return parser
+
+
+def _cmd_algorithms(_args) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _run_demo() -> int:
+    from repro import NumericAttribute, PosetAttribute, Record, Schema, skyline
+    from repro.posets import from_set_family
+
+    amenities = from_set_family(
+        {
+            "deluxe": {"gym", "pool", "spa"},
+            "active": {"gym", "pool"},
+            "relax": {"spa"},
+            "none": set(),
+        }
+    )
+    schema = Schema(
+        [
+            NumericAttribute("price", "min"),
+            PosetAttribute.set_valued("amenities", amenities),
+        ]
+    )
+    hotels = [
+        Record("Grand", (320,), ("deluxe",)),
+        Record("Budget", (60,), ("none",)),
+        Record("Fit", (140,), ("active",)),
+        Record("Worse", (190,), ("active",)),
+    ]
+    print("skyline of the demo hotel table:")
+    for record in skyline(hotels, schema):
+        print(f"  {record.rid:8} price={record.totals[0]:<4} amenities={record.partials[0]}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    config = WorkloadConfig(
+        num_total=args.num_total,
+        num_partial=args.num_partial,
+        correlation=args.correlation,
+        data_size=args.size,
+        poset=PosetGeneratorConfig(
+            num_nodes=args.poset_nodes, height=args.poset_height, seed=args.seed
+        ),
+        seed=args.seed,
+    )
+    workload = generate_workload(config)
+    save_workload(args.output, workload.schema, workload.records)
+    print(
+        f"wrote {len(workload.records)} records "
+        f"({workload.schema.num_total} numeric + "
+        f"{workload.schema.num_partial} poset attrs) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    schema, records = load_workload(args.workload)
+    engine = SkylineEngine(schema, records, strategy=args.strategy)
+    start = time.perf_counter()
+    answers = engine.skyline(args.algorithm)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(answers)} skyline records out of {len(records)} "
+        f"({args.algorithm}, {elapsed * 1000:.1f} ms)"
+    )
+    shown = answers if args.limit == 0 else answers[: args.limit]
+    for record in shown:
+        print(f"  rid={record.rid} totals={record.totals} partials={record.partials}")
+    if len(shown) < len(answers):
+        print(f"  ... {len(answers) - len(shown)} more (use --limit 0)")
+    if args.stats:
+        print(engine.stats)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = run_experiment(args.id, data_size=args.size)
+    print(format_summary(result))
+    print()
+    if args.metric in ("time", "both"):
+        print(format_run_table(result.runs, "time", "time-to-output milestones (ms)"))
+        print()
+    if args.metric in ("checks", "both"):
+        print(format_run_table(result.runs, "checks", "dominance-check milestones"))
+    return 0
+
+
+def _cmd_skyband(args) -> int:
+    from repro.queries.skyband import k_skyband
+    from repro.transform.dataset import TransformedDataset
+
+    schema, records = load_workload(args.workload)
+    dataset = TransformedDataset(schema, records)
+    band = k_skyband(dataset, args.k, args.method)
+    print(f"{args.k}-skyband: {len(band)} of {len(records)} records")
+    for point in band[: args.limit]:
+        r = point.record
+        print(f"  rid={r.rid} totals={r.totals} partials={r.partials}")
+    if len(band) > args.limit:
+        print(f"  ... {len(band) - args.limit} more")
+    return 0
+
+
+def _cmd_layers(args) -> int:
+    from repro.queries.layers import skyline_layers
+    from repro.transform.dataset import TransformedDataset
+
+    schema, records = load_workload(args.workload)
+    dataset = TransformedDataset(schema, records)
+    for number, layer in enumerate(
+        skyline_layers(dataset, max_layers=args.max_layers, algorithm=args.algorithm),
+        start=1,
+    ):
+        print(f"layer {number}: {len(layer)} records")
+    return 0
+
+
+def _cmd_subspace(args) -> int:
+    from repro.queries.subspace import subspace_skyline
+    from repro.transform.dataset import TransformedDataset
+
+    schema, records = load_workload(args.workload)
+    dataset = TransformedDataset(schema, records)
+    answers = subspace_skyline(dataset, args.attributes)
+    names = ", ".join(args.attributes)
+    print(f"subspace [{names}]: {len(answers)} skyline records of {len(records)}")
+    for record in answers[: args.limit]:
+        print(f"  rid={record.rid} totals={record.totals} partials={record.partials}")
+    if len(answers) > args.limit:
+        print(f"  ... {len(answers) - args.limit} more")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    schema, records = load_workload(args.workload)
+    engine = SkylineEngine(schema, records, strategy=args.strategy)
+    print(json.dumps(engine.describe(), indent=2))
+    print(json.dumps(engine.explain(args.algorithm), indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "algorithms": _cmd_algorithms,
+        "demo": lambda _a: _run_demo(),
+        "generate": _cmd_generate,
+        "query": _cmd_query,
+        "experiment": _cmd_experiment,
+        "skyband": _cmd_skyband,
+        "layers": _cmd_layers,
+        "subspace": _cmd_subspace,
+        "explain": _cmd_explain,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `repro algorithms | head -1`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

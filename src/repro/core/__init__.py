@@ -1,0 +1,34 @@
+"""Core record model, dominance kernel and the paper's dominance graph."""
+
+from repro.core.categories import (
+    BOLD_EDGES,
+    DOMINANCE_EDGES,
+    Category,
+    can_dominate,
+    dominators_of,
+    dominators_of_set,
+    is_bold,
+    targets_of,
+)
+from repro.core.record import Record
+from repro.core.schema import AttributeKind, NumericAttribute, PosetAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.core.dominance import DominanceKernel
+
+__all__ = [
+    "Category",
+    "DOMINANCE_EDGES",
+    "BOLD_EDGES",
+    "can_dominate",
+    "is_bold",
+    "dominators_of",
+    "dominators_of_set",
+    "targets_of",
+    "Record",
+    "Schema",
+    "AttributeKind",
+    "NumericAttribute",
+    "PosetAttribute",
+    "ComparisonStats",
+    "DominanceKernel",
+]

@@ -1,0 +1,186 @@
+"""Dominance categories and the dominance graph DG (Fig. 5, Lemma 4.1/4.2).
+
+A value (or record) is tagged ``(covered, covering)`` where each component
+is ``c`` (completely) or ``p`` (partially); see
+:mod:`repro.posets.classification`.  Fig. 5 of the paper is an image, so
+the edge set is re-derived here from first principles (and property-tested
+in ``tests/test_categories.py`` against brute-force dominance):
+
+* If ``x`` is completely covering and ``x`` dominates ``y``, every
+  outgoing path of ``x`` -- including the witnessing path extended past
+  ``y`` -- lies in the spanning forest, hence *y is completely covering
+  too*.  So a source with covering ``c`` only reaches targets with
+  covering ``c``.
+* Dually, if ``y`` is completely covered and ``x`` dominates ``y``, every
+  incoming path of ``x`` extends to an incoming path of ``y`` and lies in
+  the forest, hence *x is completely covered too*.  So a target with
+  covered ``c`` is only reached from sources with covered ``c``.
+
+Together these rules give exactly the edges below (self-loops included;
+the relation is reflexive, antisymmetric and transitive as the paper
+notes).  An edge is **bold** -- meaning dominance and m-dominance coincide
+across it (Lemma 4.2) -- when the source is completely covering or the
+target is completely covered.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Category",
+    "DOMINANCE_EDGES",
+    "BOLD_EDGES",
+    "CATEGORY_SCAN_ORDER",
+    "can_dominate",
+    "is_bold",
+    "dominators_of",
+    "targets_of",
+    "dominators_of_set",
+    "ordered_categories",
+]
+
+
+class Category(enum.Enum):
+    """``(covered, covering)`` dominance category of a value or record."""
+
+    CC = ("c", "c")
+    CP = ("c", "p")
+    PC = ("p", "c")
+    PP = ("p", "p")
+
+    def __init__(self, covered: str, covering: str) -> None:
+        self._covered = covered
+        self._covering = covering
+
+    @property
+    def covered(self) -> str:
+        """``'c'`` when completely covered, ``'p'`` otherwise."""
+        return self._covered
+
+    @property
+    def covering(self) -> str:
+        """``'c'`` when completely covering, ``'p'`` otherwise."""
+        return self._covering
+
+    @property
+    def completely_covered(self) -> bool:
+        """Whether the covered component is ``c``."""
+        return self._covered == "c"
+
+    @property
+    def completely_covering(self) -> bool:
+        """Whether the covering component is ``c``."""
+        return self._covering == "c"
+
+    @staticmethod
+    def of(covered: bool, covering: bool) -> "Category":
+        """Category from boolean (covered, covering) flags."""
+        return _BY_FLAGS[(covered, covering)]
+
+    def __str__(self) -> str:
+        return f"({self._covered},{self._covering})"
+
+
+_BY_FLAGS = {
+    (True, True): Category.CC,
+    (True, False): Category.CP,
+    (False, True): Category.PC,
+    (False, False): Category.PP,
+}
+
+
+def _derive_edges() -> frozenset[tuple[Category, Category]]:
+    edges = set()
+    for src in Category:
+        for dst in Category:
+            if src.completely_covering and not dst.completely_covering:
+                continue  # covering sources only dominate covering targets
+            if dst.completely_covered and not src.completely_covered:
+                continue  # covered targets only dominated by covered sources
+            edges.add((src, dst))
+    return frozenset(edges)
+
+
+#: All ``(source, target)`` category pairs across which dominance is
+#: possible (Lemma 4.1).  Self-loops are present: the relation is
+#: reflexive.
+DOMINANCE_EDGES: frozenset[tuple[Category, Category]] = _derive_edges()
+
+#: The subset of :data:`DOMINANCE_EDGES` across which dominance and
+#: m-dominance coincide (Lemma 4.2, the bold edges of Fig. 5).
+BOLD_EDGES: frozenset[tuple[Category, Category]] = frozenset(
+    (src, dst)
+    for (src, dst) in DOMINANCE_EDGES
+    if src.completely_covering or dst.completely_covered
+)
+
+
+def can_dominate(src: Category, dst: Category) -> bool:
+    """Whether a record in ``src`` can possibly dominate one in ``dst``."""
+    return (src, dst) in DOMINANCE_EDGES
+
+
+def is_bold(src: Category, dst: Category) -> bool:
+    """Whether dominance across ``(src, dst)`` implies m-dominance."""
+    return (src, dst) in BOLD_EDGES
+
+
+def dominators_of(dst: Category) -> frozenset[Category]:
+    """Categories whose records can dominate a record in ``dst``."""
+    return _DOMINATORS[dst]
+
+
+def targets_of(src: Category) -> frozenset[Category]:
+    """Categories whose records can be dominated by a record in ``src``."""
+    return _TARGETS[src]
+
+
+def dominators_of_set(dsts: frozenset[Category]) -> frozenset[Category]:
+    """Union of :func:`dominators_of` over a set of target categories.
+
+    Used for heap pruning of R-tree entries whose aggregated category bits
+    admit several point categories.
+    """
+    return _DOMINATORS_OF_SET[dsts]
+
+
+_DOMINATORS = {
+    dst: frozenset(src for src in Category if (src, dst) in DOMINANCE_EDGES)
+    for dst in Category
+}
+_TARGETS = {
+    src: frozenset(dst for dst in Category if (src, dst) in DOMINANCE_EDGES)
+    for src in Category
+}
+
+
+def _powerset_dominators() -> dict[frozenset[Category], frozenset[Category]]:
+    cats = list(Category)
+    table: dict[frozenset[Category], frozenset[Category]] = {}
+    for mask in range(1, 1 << len(cats)):
+        subset = frozenset(cats[i] for i in range(len(cats)) if mask >> i & 1)
+        acc: frozenset[Category] = frozenset()
+        for dst in subset:
+            acc |= _DOMINATORS[dst]
+        table[subset] = acc
+    return table
+
+
+_DOMINATORS_OF_SET = _powerset_dominators()
+
+#: Canonical order for iterating category subsets.  Fixed (rather than
+#: Python's id-dependent set order) so comparison counts are reproducible
+#: across processes; ``(c,p)`` first because its members can dominate
+#: everything and hence prune earliest.
+CATEGORY_SCAN_ORDER: tuple[Category, ...] = (
+    Category.CP,
+    Category.CC,
+    Category.PP,
+    Category.PC,
+)
+
+
+def ordered_categories(cats: frozenset[Category]) -> tuple[Category, ...]:
+    """``cats`` as a tuple in :data:`CATEGORY_SCAN_ORDER`."""
+    return tuple(c for c in CATEGORY_SCAN_ORDER if c in cats)

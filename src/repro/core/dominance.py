@@ -1,0 +1,253 @@
+"""Dominance kernel: native dominance, m-dominance, ``CompareDominance``.
+
+Operates on the :class:`~repro.transform.point.Point` objects built by the
+transform layer, which carry
+
+* ``vector`` -- the normalised minimisation vector (totally-ordered
+  coordinates first, then ``(low, n - post)`` per poset attribute), on
+  which **m-dominance is exactly coordinate-wise Pareto dominance**;
+* ``nsets`` / ``pix`` -- native set representations / poset node indices
+  for the expensive original-domain comparisons;
+* ``category`` -- the record's ``(covered, covering)`` dominance category.
+
+``CompareDominance`` follows Fig. 6 of the paper: m-dominance first, and
+only when that is inconclusive *and* Lemma 4.2 leaves room for a
+native-only dominance does it fall back to the original domains.  One
+deviation (see DESIGN.md): the original-domain checks here gate each
+*direction* separately (``x`` natively dominating ``y`` is possible only
+when ``x`` is partially covering and ``y`` partially covered -- and
+symmetrically), whereas the figure gates both directions on the single
+condition for the ``x``-dominates-``y`` direction, which can miss a
+``(c,p)``/``(p,p)`` point natively dominating a ``(p,c)`` point.  The
+paper-literal behaviour is available via ``faithful_gate=True`` and is
+exercised by a regression test.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.schema import Schema
+from repro.core.stats import ComparisonStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transform.point import Point
+
+__all__ = ["DominanceKernel"]
+
+
+class DominanceKernel:
+    """Schema-bound dominance comparisons with counters.
+
+    Parameters
+    ----------
+    schema:
+        The query schema; decides how many leading vector coordinates are
+        totally ordered and which backend each poset attribute compares
+        natively with (real sets when a
+        :class:`~repro.posets.setvalued.SetValuedDomain` is attached,
+        reachability otherwise).
+    stats:
+        Counter bundle shared with the calling algorithm.
+    faithful_gate:
+        Reproduce Fig. 6's single-direction gate in
+        :meth:`compare_dominance` (for the regression test / ablation).
+    closures:
+        Optional per-poset-attribute
+        :class:`~repro.posets.closure.IntervalClosure` objects.  When
+        provided, original-domain comparisons are answered exactly
+        through the compressed transitive closure (a few integer
+        comparisons) instead of set containment / reachability -- the
+        "different domain mapping function" tradeoff of the paper's
+        future work.
+    """
+
+    __slots__ = (
+        "schema",
+        "stats",
+        "faithful_gate",
+        "_num_total",
+        "_set_modes",
+        "_posets",
+        "_closures",
+    )
+
+    def __init__(
+        self,
+        schema: Schema,
+        stats: ComparisonStats | None = None,
+        faithful_gate: bool = False,
+        closures: tuple | None = None,
+    ) -> None:
+        self.schema = schema
+        self.stats = stats if stats is not None else ComparisonStats()
+        self.faithful_gate = faithful_gate
+        self._num_total = schema.num_total
+        self._set_modes = tuple(a.set_domain is not None for a in schema.partial_attrs)
+        self._posets = tuple(a.poset for a in schema.partial_attrs)
+        if closures is not None and len(closures) != len(self._posets):
+            from repro.exceptions import SchemaError
+
+            raise SchemaError("one closure per poset attribute required")
+        self._closures = closures
+
+    # ------------------------------------------------------------------
+    # m-dominance (transformed space)
+    # ------------------------------------------------------------------
+    def m_dominates(self, p: "Point", q: "Point") -> bool:
+        """Whether ``p`` m-dominates ``q`` (Section 4.2).
+
+        Pure Pareto dominance on the normalised vectors: every coordinate
+        ``<=`` and at least one ``<``.
+        """
+        self.stats.m_dominance_point += 1
+        strict = False
+        for a, b in zip(p.vector, q.vector):
+            if a > b:
+                return False
+            if a < b:
+                strict = True
+        return strict
+
+    def m_dominates_mins(self, p: "Point", mins: tuple[float, ...]) -> bool:
+        """Whether ``p`` m-dominates every possible point of an MBR.
+
+        ``mins`` is the MBR's best corner.  Strictness against the corner
+        is required so that transformed-space duplicates of ``p`` are
+        never pruned (they are legitimate skyline answers).
+        """
+        self.stats.m_dominance_mbr += 1
+        strict = False
+        for a, b in zip(p.vector, mins):
+            if a > b:
+                return False
+            if a < b:
+                strict = True
+        return strict
+
+    # ------------------------------------------------------------------
+    # Native dominance (original domains)
+    # ------------------------------------------------------------------
+    def native_dominates(self, p: "Point", q: "Point") -> bool:
+        """Whether ``p`` dominates ``q`` on the *original* domains.
+
+        The totally-ordered attributes are compared first (their
+        normalised coordinates are the leading vector entries); poset
+        attributes are compared by real set containment or reachability.
+        Counted as an expensive ``native_set`` comparison only when a
+        poset attribute was actually examined.
+        """
+        nt = self._num_total
+        pv, qv = p.vector, q.vector
+        strict = False
+        for k in range(nt):
+            a, b = pv[k], qv[k]
+            if a > b:
+                self.stats.native_numeric += 1
+                return False
+            if a < b:
+                strict = True
+        if not self._posets:
+            self.stats.native_numeric += 1
+            return strict
+        if self._closures is not None:
+            self.stats.native_closure += 1
+            for k, closure in enumerate(self._closures):
+                ip, iq = p.pix[k], q.pix[k]
+                if ip == iq:
+                    continue
+                if closure.reachable_ix(ip, iq):
+                    strict = True
+                    continue
+                return False
+            return strict
+        self.stats.native_set += 1
+        for k, set_mode in enumerate(self._set_modes):
+            if set_mode:
+                sp, sq = p.nsets[k], q.nsets[k]
+                # Element-wise containment walk: a faithful stand-in for
+                # the paper's original-domain set comparisons, whose cost
+                # grows with the set cardinality (Section 5.2) -- unlike
+                # CPython's opaque C-level subset operator.
+                contained = True
+                for item in sq:
+                    if item not in sp:
+                        contained = False
+                        break
+                if not contained:
+                    return False
+                if len(sp) > len(sq):
+                    strict = True
+                continue
+            ip, iq = p.pix[k], q.pix[k]
+            if ip == iq:
+                continue
+            if self._posets[k].dominates_ix(ip, iq):
+                strict = True
+                continue
+            return False
+        return strict
+
+    # ------------------------------------------------------------------
+    # CompareDominance (Fig. 6)
+    # ------------------------------------------------------------------
+    def compare_dominance(self, x: "Point", y: "Point") -> int:
+        """Three-way comparison: ``-1`` if ``x`` dominates ``y``, ``1`` if
+        ``y`` dominates ``x``, ``0`` when incomparable.
+
+        m-dominance is always tried first; the expensive original-domain
+        comparison runs only when Lemma 4.2 admits a native-only dominance
+        for the corresponding direction.
+        """
+        stats = self.stats
+        stats.compare_dominance_calls += 1
+        xv, yv = x.vector, y.vector
+        # Inlined double m-dominance scan: one pass decides both
+        # directions (they are mutually exclusive unless the vectors tie).
+        stats.m_dominance_point += 2
+        x_le = True  # x <= y so far
+        y_le = True  # y <= x so far
+        for a, b in zip(xv, yv):
+            if a < b:
+                y_le = False
+                if not x_le:
+                    break
+            elif b < a:
+                x_le = False
+                if not y_le:
+                    break
+        if y_le and not x_le:
+            return 1
+        if x_le and not y_le:
+            return -1
+        if x_le and y_le:
+            return 0  # identical vectors: identical values (f injective)
+        x_cat, y_cat = x.category, y.category
+        if self.faithful_gate:
+            # Paper-literal single gate (Fig. 6 steps 5-9).
+            if not x_cat.completely_covering and not y_cat.completely_covered:
+                if self.native_dominates(y, x):
+                    return 1
+                if self.native_dominates(x, y):
+                    return -1
+            return 0
+        # Direction-correct gates derived from Lemma 4.2.
+        if not y_cat.completely_covering and not x_cat.completely_covered:
+            if self.native_dominates(y, x):
+                return 1
+        if not x_cat.completely_covering and not y_cat.completely_covered:
+            if self.native_dominates(x, y):
+                return -1
+        return 0
+
+    def full_dominates(self, p: "Point", q: "Point") -> bool:
+        """Exact original-domain dominance, trying m-dominance first.
+
+        Used by BBS+'s ``UpdateSkylines`` (Fig. 3), which must detect
+        every true dominance among intermediate skyline points.
+        """
+        if self.m_dominates(p, q):
+            return True
+        if p.category.completely_covering or q.category.completely_covered:
+            return False  # Lemma 4.2: dominance would imply m-dominance
+        return self.native_dominates(p, q)

@@ -1,0 +1,63 @@
+"""The record model.
+
+A :class:`Record` is a plain, immutable carrier of attribute values:
+totally-ordered values in :attr:`Record.totals` and partially-ordered
+values (poset domain values) in :attr:`Record.partials`, each in schema
+order.  All derived information -- transformed vectors, dominance
+categories, uncovered levels, native set representations -- lives on the
+:class:`~repro.transform.dataset.Point` objects the transform layer builds
+around records, so records stay cheap to create in bulk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Any, Optional
+
+__all__ = ["Record"]
+
+
+class Record:
+    """One tuple of the input relation.
+
+    Parameters
+    ----------
+    rid:
+        A caller-chosen identifier (row number, primary key, ...).
+    totals:
+        Raw totally-ordered attribute values, in schema order.
+    partials:
+        Partially-ordered attribute values (poset domain values), in
+        schema order.
+    payload:
+        Optional opaque object carried along (e.g. the full source row).
+    """
+
+    __slots__ = ("rid", "totals", "partials", "payload")
+
+    def __init__(
+        self,
+        rid: Any,
+        totals: tuple[float, ...] = (),
+        partials: tuple[Hashable, ...] = (),
+        payload: Optional[Any] = None,
+    ) -> None:
+        self.rid = rid
+        self.totals = tuple(totals)
+        self.partials = tuple(partials)
+        self.payload = payload
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (
+            self.rid == other.rid
+            and self.totals == other.totals
+            and self.partials == other.partials
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rid, self.totals, self.partials))
+
+    def __repr__(self) -> str:
+        return f"Record({self.rid!r}, totals={self.totals}, partials={self.partials})"

@@ -1,0 +1,183 @@
+"""Schemas mixing totally- and partially-ordered attributes (Section 4.2).
+
+A :class:`Schema` is an ordered list of attribute specifications:
+
+* :class:`NumericAttribute` -- a totally-ordered attribute with a
+  preference direction (``MIN`` like the hotel price, or ``MAX``);
+* :class:`PosetAttribute` -- a partially-ordered attribute whose values
+  live in a :class:`~repro.posets.poset.Poset`; an optional
+  :class:`~repro.posets.setvalued.SetValuedDomain` supplies the *native*
+  set representation used for the expensive original-domain comparisons
+  the paper evaluates.
+
+Records (:class:`~repro.core.record.Record`) store totally-ordered values
+and partially-ordered values in two parallel tuples, in schema order
+within each kind.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Optional
+
+from repro.exceptions import SchemaError
+from repro.posets.poset import Poset
+from repro.posets.setvalued import SetValuedDomain
+
+__all__ = ["AttributeKind", "NumericAttribute", "PosetAttribute", "Schema"]
+
+
+class AttributeKind(enum.Enum):
+    """Whether an attribute is totally or partially ordered."""
+
+    TOTAL = "total"
+    PARTIAL = "partial"
+
+
+class NumericAttribute:
+    """A totally-ordered attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (unique within a schema).
+    direction:
+        ``"min"`` when smaller values are preferred (dominate), ``"max"``
+        otherwise.
+    """
+
+    __slots__ = ("name", "direction")
+    kind = AttributeKind.TOTAL
+
+    def __init__(self, name: str, direction: str = "min") -> None:
+        if direction not in ("min", "max"):
+            raise SchemaError(f"direction must be 'min' or 'max', got {direction!r}")
+        self.name = name
+        self.direction = direction
+
+    @property
+    def sign(self) -> int:
+        """Multiplier that maps raw values onto minimisation coordinates."""
+        return 1 if self.direction == "min" else -1
+
+    def normalize(self, value: float) -> float:
+        """Raw value -> minimisation coordinate (smaller is better)."""
+        return value * self.sign
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NumericAttribute({self.name!r}, {self.direction!r})"
+
+
+class PosetAttribute:
+    """A partially-ordered attribute over a poset domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name.
+    poset:
+        The partial order of the domain; a value dominates another when a
+        directed path connects them in the DAG.
+    set_domain:
+        Optional set-valued representation.  When present, native
+        dominance checks compare actual sets by containment -- the
+        realistic expensive comparison the paper's experiments measure.
+        When absent, native checks fall back to poset reachability.
+    """
+
+    __slots__ = ("name", "poset", "set_domain")
+    kind = AttributeKind.PARTIAL
+
+    def __init__(
+        self, name: str, poset: Poset, set_domain: Optional[SetValuedDomain] = None
+    ) -> None:
+        if set_domain is not None and set_domain.poset is not poset:
+            raise SchemaError(f"set domain of {name!r} was built from a different poset")
+        self.name = name
+        self.poset = poset
+        self.set_domain = set_domain
+
+    @classmethod
+    def set_valued(cls, name: str, poset: Poset) -> "PosetAttribute":
+        """Build with a canonical set-valued representation derived from
+        the poset (containment isomorphic to the order)."""
+        return cls(name, poset, SetValuedDomain.from_poset(poset))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "set-valued" if self.set_domain is not None else "reachability"
+        return f"PosetAttribute({self.name!r}, |D|={len(self.poset)}, {tag})"
+
+
+class Schema:
+    """An ordered collection of attributes defining the skyline query."""
+
+    __slots__ = ("attributes", "total_attrs", "partial_attrs", "_names")
+
+    def __init__(self, attributes: Iterable[NumericAttribute | PosetAttribute]) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {names}")
+        self.attributes = attrs
+        self.total_attrs: tuple[NumericAttribute, ...] = tuple(
+            a for a in attrs if a.kind is AttributeKind.TOTAL
+        )
+        self.partial_attrs: tuple[PosetAttribute, ...] = tuple(
+            a for a in attrs if a.kind is AttributeKind.PARTIAL
+        )
+        self._names = {a.name: a for a in attrs}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_total(self) -> int:
+        """Number of totally-ordered attributes."""
+        return len(self.total_attrs)
+
+    @property
+    def num_partial(self) -> int:
+        """Number of partially-ordered attributes."""
+        return len(self.partial_attrs)
+
+    @property
+    def transformed_dimensions(self) -> int:
+        """Dimensionality after the interval transformation (S1)."""
+        return self.num_total + 2 * self.num_partial
+
+    @property
+    def is_totally_ordered(self) -> bool:
+        """``True`` for a classic TOS-query schema (no poset attributes)."""
+        return not self.partial_attrs
+
+    def attribute(self, name: str) -> NumericAttribute | PosetAttribute:
+        """Look an attribute up by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def validate_record(
+        self, totals: Sequence[float], partials: Sequence[Hashable]
+    ) -> None:
+        """Raise :class:`SchemaError` when a record does not fit the schema."""
+        if len(totals) != self.num_total:
+            raise SchemaError(
+                f"expected {self.num_total} totally-ordered values, got {len(totals)}"
+            )
+        if len(partials) != self.num_partial:
+            raise SchemaError(
+                f"expected {self.num_partial} partially-ordered values, got {len(partials)}"
+            )
+        for attr, value in zip(self.partial_attrs, partials):
+            if value not in attr.poset:
+                raise SchemaError(
+                    f"value {value!r} is not in the domain of attribute {attr.name!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema(total={self.num_total}, partial={self.num_partial})"

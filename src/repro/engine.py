@@ -1,0 +1,233 @@
+"""High-level public API.
+
+:func:`skyline` answers a one-shot query; :class:`SkylineEngine` keeps the
+transformed dataset (domain mappings, R-tree indexes, strata) around so
+several algorithms or repeated queries can share the build work -- the
+paper's setting, where the index is constructed once offline.
+
+Example
+-------
+>>> from repro import NumericAttribute, PosetAttribute, Record, Schema, skyline
+>>> from repro.posets import diamond
+>>> schema = Schema([NumericAttribute("price", "min"),
+...                  PosetAttribute.set_valued("tier", diamond())])
+>>> records = [Record(0, (100,), ("a",)), Record(1, (100,), ("d",))]
+>>> [r.rid for r in skyline(records, schema)]
+[0]
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+
+from repro.algorithms.base import SkylineAlgorithm, get_algorithm
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.core.stats import ComparisonStats
+from repro.posets.optimize import SpanningTreeStrategy
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["SkylineEngine", "skyline"]
+
+
+class SkylineEngine:
+    """Reusable query engine over one dataset.
+
+    Parameters
+    ----------
+    schema, records:
+        The relation to query.
+    strategy:
+        Spanning-tree strategy (``default``, ``random``, ``minpc``,
+        ``maxpc``) applied to every poset attribute.
+    stats:
+        Optional shared counter bundle.
+    max_entries, bulk_load, faithful_gate, rng:
+        Forwarded to :class:`~repro.transform.dataset.TransformedDataset`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Iterable[Record],
+        strategy: SpanningTreeStrategy | str = SpanningTreeStrategy.DEFAULT,
+        stats: ComparisonStats | None = None,
+        max_entries: int = 50,
+        bulk_load: bool = True,
+        faithful_gate: bool = False,
+        native_mode: str = "native",
+        rng: random.Random | None = None,
+        forests: dict | None = None,
+    ) -> None:
+        self.dataset = TransformedDataset(
+            schema,
+            records,
+            strategy=strategy,
+            stats=stats,
+            faithful_gate=faithful_gate,
+            max_entries=max_entries,
+            bulk_load=bulk_load,
+            native_mode=native_mode,
+            rng=rng,
+            forests=forests,
+        )
+
+    @property
+    def stats(self) -> ComparisonStats:
+        """The counter bundle shared with all runs on this engine."""
+        return self.dataset.stats
+
+    def algorithm(self, name: str | SkylineAlgorithm, **options) -> SkylineAlgorithm:
+        """Resolve an algorithm argument (name or ready instance)."""
+        if isinstance(name, SkylineAlgorithm):
+            return name
+        return get_algorithm(name, **options)
+
+    def run_points(
+        self, algorithm: str | SkylineAlgorithm = "sdc+", **options
+    ) -> Iterator[Point]:
+        """Stream skyline :class:`Point` objects progressively."""
+        return self.algorithm(algorithm, **options).run(self.dataset)
+
+    def run(
+        self, algorithm: str | SkylineAlgorithm = "sdc+", **options
+    ) -> Iterator[Record]:
+        """Stream skyline :class:`Record` objects progressively."""
+        for point in self.run_points(algorithm, **options):
+            yield point.record
+
+    def skyline(
+        self, algorithm: str | SkylineAlgorithm = "sdc+", **options
+    ) -> list[Record]:
+        """The full skyline as a record list."""
+        return list(self.run(algorithm, **options))
+
+    # ------------------------------------------------------------------
+    # Skyline-related queries (repro.queries convenience front-ends)
+    # ------------------------------------------------------------------
+    def skyband(self, k: int, method: str = "bbs") -> list[Record]:
+        """Records dominated by fewer than ``k`` others (1 == skyline)."""
+        from repro.queries.skyband import k_skyband
+
+        return [p.record for p in k_skyband(self.dataset, k, method)]
+
+    def constrained(self, constraint, method: str = "bbs") -> list[Record]:
+        """Skyline of the records admitted by a
+        :class:`~repro.queries.constrained.Constraint`."""
+        from repro.queries.constrained import constrained_skyline
+
+        return [
+            p.record for p in constrained_skyline(self.dataset, constraint, method)
+        ]
+
+    def layers(
+        self, max_layers: int | None = None, algorithm: str = "bnl"
+    ) -> Iterator[list[Record]]:
+        """Successive skyline layers (onion peeling)."""
+        from repro.queries.layers import skyline_layers
+
+        for layer in skyline_layers(self.dataset, max_layers, algorithm):
+            yield [p.record for p in layer]
+
+    def subspace(
+        self, attributes: list[str], algorithm: str = "bnl"
+    ) -> list[Record]:
+        """Skyline over a subset of the schema's attributes."""
+        from repro.queries.subspace import subspace_skyline
+
+        return subspace_skyline(self.dataset, attributes, algorithm)
+
+    def top_k_dominating(self, k: int) -> list[tuple[Record, int]]:
+        """The ``k`` records dominating the most others, with counts."""
+        from repro.queries.topk import top_k_dominating
+
+        return [(p.record, count) for p, count in top_k_dominating(self.dataset, k)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Structural summary of the dataset and its domain mappings.
+
+        Covers the quantities the paper's analysis turns on: category
+        populations, uncovered-level range, per-attribute poset shape
+        (size, height, width, comparability) and SDC+ stratum count.
+        """
+        from repro.posets.analysis import comparability_ratio, width
+
+        dataset = self.dataset
+        attributes = []
+        for mapping in dataset.mappings:
+            poset = mapping.attribute.poset
+            attributes.append(
+                {
+                    "name": mapping.attribute.name,
+                    "domain_size": len(poset),
+                    "height": poset.height,
+                    "width": width(poset),
+                    "comparability_ratio": round(comparability_ratio(poset), 4),
+                    "max_uncovered_level": mapping.max_level,
+                    "set_valued": mapping.attribute.set_domain is not None,
+                }
+            )
+        return {
+            "records": len(dataset),
+            "schema": {
+                "total": dataset.schema.num_total,
+                "partial": dataset.schema.num_partial,
+                "transformed_dimensions": dataset.dimensions,
+            },
+            "strategy": dataset.strategy.value,
+            "native_mode": dataset.native_mode,
+            "categories": {
+                str(cat): count for cat, count in dataset.category_counts().items()
+            },
+            "max_uncovered_level": dataset.max_uncovered_level,
+            "strata": dataset.stratification.num_strata,
+            "poset_attributes": attributes,
+        }
+
+    def explain(self, algorithm: str | SkylineAlgorithm = "sdc+", **options) -> dict:
+        """Run one instrumented query and report what it cost.
+
+        Returns the answer size, wall time, counter deltas, first-answer
+        latency and the emission-progressiveness score.
+        """
+        from repro.bench.harness import run_progressive
+
+        run = run_progressive(self.dataset, algorithm, **options)
+        first = run.first_answer()
+        return {
+            "algorithm": run.algorithm,
+            "answers": run.skyline_size,
+            "total_seconds": round(run.total_elapsed, 6),
+            "first_answer_seconds": round(first.elapsed, 6) if first else None,
+            "first_answer_checks": first.dominance_checks if first else None,
+            "progressiveness": round(run.progressiveness(), 4),
+            "counters": run.final_delta,
+        }
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (paper future work, Section 6)
+    # ------------------------------------------------------------------
+    def insert(self, record: Record) -> None:
+        """Add a record; indexes and strata are maintained incrementally."""
+        self.dataset.insert_record(record)
+
+    def delete(self, rid) -> bool:
+        """Remove the record with id ``rid``; returns ``False`` if absent."""
+        return self.dataset.delete_record(rid)
+
+
+def skyline(
+    records: Iterable[Record],
+    schema: Schema,
+    algorithm: str | SkylineAlgorithm = "sdc+",
+    strategy: SpanningTreeStrategy | str = SpanningTreeStrategy.DEFAULT,
+    **options,
+) -> list[Record]:
+    """One-shot skyline query (see :class:`SkylineEngine` for reuse)."""
+    engine = SkylineEngine(schema, records, strategy=strategy)
+    return engine.skyline(algorithm, **options)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class PosetError(ReproError):
+    """Base class for errors involving partially-ordered domains."""
+
+
+class CyclicPosetError(PosetError):
+    """Raised when edges supplied for a poset contain a directed cycle.
+
+    A partial order is antisymmetric, so its covering DAG must be acyclic.
+    """
+
+    def __init__(self, cycle: list | None = None) -> None:
+        self.cycle = list(cycle) if cycle is not None else None
+        detail = f" (cycle: {' -> '.join(map(str, self.cycle))})" if self.cycle else ""
+        super().__init__(f"poset edges contain a directed cycle{detail}")
+
+
+class UnknownValueError(PosetError):
+    """Raised when a value is not part of a poset's domain."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+        super().__init__(f"value {value!r} is not in the poset domain")
+
+
+class SchemaError(ReproError):
+    """Raised for invalid schemas or records inconsistent with a schema."""
+
+
+class IndexError_(ReproError):
+    """Raised for invalid R-tree operations (named to avoid the builtin)."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when a skyline algorithm is misconfigured or misused."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload-generation parameters."""

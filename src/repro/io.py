@@ -1,0 +1,153 @@
+"""JSON persistence for posets, schemas and workloads.
+
+Lets generated experiment inputs be saved, shared and re-queried (e.g.
+through the ``python -m repro`` CLI) without regenerating them.  Domain
+values and record ids must be JSON-representable scalars (str / int /
+float / bool); set-valued domains serialise their element tokens the same
+way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import ReproError
+from repro.posets.poset import Poset
+from repro.posets.setvalued import SetValuedDomain
+
+__all__ = [
+    "poset_to_dict",
+    "poset_from_dict",
+    "schema_to_dict",
+    "schema_from_dict",
+    "records_to_list",
+    "records_from_list",
+    "save_workload",
+    "load_workload",
+]
+
+_SCALARS = (str, int, float, bool)
+
+
+def _check_scalar(value: Any, what: str) -> Any:
+    if not isinstance(value, _SCALARS):
+        raise ReproError(f"{what} {value!r} is not JSON-serialisable")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Posets
+# ---------------------------------------------------------------------------
+def poset_to_dict(poset: Poset) -> dict:
+    """Serialise a poset (values + cover edges)."""
+    return {
+        "values": [_check_scalar(v, "poset value") for v in poset.values],
+        "edges": [
+            [_check_scalar(v, "poset value"), _check_scalar(w, "poset value")]
+            for v, w in poset.edges()
+        ],
+    }
+
+
+def poset_from_dict(data: dict) -> Poset:
+    """Inverse of :func:`poset_to_dict`."""
+    return Poset(data["values"], [tuple(edge) for edge in data["edges"]])
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> dict:
+    """Serialise a schema including poset domains and set assignments."""
+    attrs: list[dict] = []
+    for attr in schema.attributes:
+        if isinstance(attr, NumericAttribute):
+            attrs.append(
+                {"kind": "numeric", "name": attr.name, "direction": attr.direction}
+            )
+        else:
+            entry: dict = {
+                "kind": "poset",
+                "name": attr.name,
+                "poset": poset_to_dict(attr.poset),
+                "set_domain": None,
+            }
+            if attr.set_domain is not None:
+                entry["set_domain"] = {
+                    str(json.dumps(_check_scalar(v, "poset value"))): sorted(
+                        attr.set_domain.set_of(v), key=repr
+                    )
+                    for v in attr.poset.values
+                }
+            attrs.append(entry)
+    return {"attributes": attrs}
+
+
+def schema_from_dict(data: dict) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    attrs: list[NumericAttribute | PosetAttribute] = []
+    for entry in data["attributes"]:
+        if entry["kind"] == "numeric":
+            attrs.append(NumericAttribute(entry["name"], entry["direction"]))
+        elif entry["kind"] == "poset":
+            poset = poset_from_dict(entry["poset"])
+            set_domain = None
+            if entry.get("set_domain") is not None:
+                sets = {
+                    json.loads(key): frozenset(elements)
+                    for key, elements in entry["set_domain"].items()
+                }
+                set_domain = SetValuedDomain(poset, sets)
+            attrs.append(PosetAttribute(entry["name"], poset, set_domain))
+        else:
+            raise ReproError(f"unknown attribute kind {entry.get('kind')!r}")
+    return Schema(attrs)
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+def records_to_list(records: list[Record]) -> list[dict]:
+    """Serialise records (payloads are not persisted)."""
+    return [
+        {
+            "rid": _check_scalar(r.rid, "record id"),
+            "totals": list(r.totals),
+            "partials": [_check_scalar(v, "poset value") for v in r.partials],
+        }
+        for r in records
+    ]
+
+
+def records_from_list(data: list[dict]) -> list[Record]:
+    """Inverse of :func:`records_to_list`."""
+    return [
+        Record(entry["rid"], tuple(entry["totals"]), tuple(entry["partials"]))
+        for entry in data
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Whole workloads
+# ---------------------------------------------------------------------------
+def save_workload(path: str | Path, schema: Schema, records: list[Record]) -> None:
+    """Write ``{schema, records}`` as JSON to ``path``."""
+    payload = {
+        "format": "repro-workload",
+        "version": 1,
+        "schema": schema_to_dict(schema),
+        "records": records_to_list(records),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_workload(path: str | Path) -> tuple[Schema, list[Record]]:
+    """Inverse of :func:`save_workload`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-workload":
+        raise ReproError(f"{path} is not a repro workload file")
+    return schema_from_dict(payload["schema"]), records_from_list(payload["records"])

@@ -1,0 +1,83 @@
+"""Partially-ordered domain substrate.
+
+This subpackage implements everything the paper needs about posets:
+
+* :class:`~repro.posets.poset.Poset` -- an immutable DAG representation of
+  a partial order with reachability / dominance queries.
+* :mod:`~repro.posets.builder` -- convenience constructors (chains, trees,
+  antichains, from explicit relations, from set families, ...).
+* :mod:`~repro.posets.generator` -- the synthetic poset generator of the
+  paper's performance study (forest of trees plus random level-respecting
+  inter-tree edges).
+* :mod:`~repro.posets.setvalued` -- derives a set-valued domain from a
+  poset so that set containment is isomorphic to the partial order.
+* :mod:`~repro.posets.spanning_tree` -- spanning-tree (forest) selection
+  over the poset DAG.
+* :mod:`~repro.posets.encoding` -- the interval (two-integer) encoding of
+  Section 4.3 (postorder labelling of a spanning tree, after
+  Agrawal/Borgida/Jagadish SIGMOD'89).
+* :mod:`~repro.posets.classification` -- dominance classification
+  (completely/partially covered & covering) and uncovered levels
+  (Sections 4.5.1 and 4.6.1).
+* :mod:`~repro.posets.optimize` -- the MinPC / MaxPC spanning-tree
+  optimisation strategies of Section 4.7.
+"""
+
+from repro.posets.poset import Poset
+from repro.posets.builder import (
+    antichain,
+    chain,
+    diamond,
+    from_relations,
+    from_set_family,
+    paper_example_poset,
+    powerset_lattice,
+    random_tree,
+)
+from repro.posets.spanning_tree import SpanningForest, default_spanning_forest
+from repro.posets.encoding import IntervalEncoding, encode
+from repro.posets.closure import IntervalClosure
+from repro.posets.analysis import (
+    chain_partition,
+    comparability_ratio,
+    linear_extension,
+    longest_chain,
+    maximum_antichain,
+    mirsky_decomposition,
+    width,
+)
+from repro.posets.classification import DominanceClassification, classify
+from repro.posets.optimize import SpanningTreeStrategy, optimize_spanning_forest
+from repro.posets.generator import PosetGeneratorConfig, generate_poset
+from repro.posets.setvalued import SetValuedDomain
+
+__all__ = [
+    "Poset",
+    "antichain",
+    "chain",
+    "diamond",
+    "from_relations",
+    "from_set_family",
+    "paper_example_poset",
+    "powerset_lattice",
+    "random_tree",
+    "SpanningForest",
+    "default_spanning_forest",
+    "IntervalEncoding",
+    "encode",
+    "IntervalClosure",
+    "comparability_ratio",
+    "longest_chain",
+    "mirsky_decomposition",
+    "width",
+    "maximum_antichain",
+    "chain_partition",
+    "linear_extension",
+    "DominanceClassification",
+    "classify",
+    "SpanningTreeStrategy",
+    "optimize_spanning_forest",
+    "PosetGeneratorConfig",
+    "generate_poset",
+    "SetValuedDomain",
+]

@@ -1,0 +1,242 @@
+"""Order-theoretic analysis of poset domains.
+
+Structural measures that characterise how "partial" a partially-ordered
+domain is -- the properties that drive skyline sizes and false-positive
+rates in the paper's experiments:
+
+* :func:`comparability_ratio` -- fraction of comparable value pairs
+  (1.0 for a chain, 0.0 for an antichain); low ratios mean large
+  skylines.
+* :func:`longest_chain` / :func:`mirsky_decomposition` -- height and the
+  minimal partition into antichains (Mirsky's theorem: their number
+  equals the height).
+* :func:`width` / :func:`maximum_antichain` / :func:`chain_partition` --
+  Dilworth's theorem, computed exactly via maximum bipartite matching on
+  the reachability relation (Kőnig recovery for the antichain): the
+  width is the largest set of mutually incomparable values and equals
+  the minimum number of chains covering the domain.
+* :func:`linear_extension` / :func:`random_linear_extension` -- total
+  orders compatible with the partial order.
+
+All functions are exact; the matching is Kuhn's augmenting-path algorithm
+(O(V·E) over the transitive closure), comfortably fast for the paper's
+450-1000-value domains.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from repro.posets.poset import Poset
+
+__all__ = [
+    "comparability_ratio",
+    "longest_chain",
+    "mirsky_decomposition",
+    "width",
+    "maximum_antichain",
+    "chain_partition",
+    "linear_extension",
+    "random_linear_extension",
+    "is_antichain",
+    "is_chain",
+]
+
+
+def comparability_ratio(poset: Poset) -> float:
+    """Fraction of unordered value pairs that are comparable."""
+    n = len(poset)
+    if n < 2:
+        return 1.0
+    comparable = sum(len(poset.descendants_ix(i)) for i in range(n))
+    return comparable / (n * (n - 1) / 2)
+
+
+def longest_chain(poset: Poset) -> list[Hashable]:
+    """One maximum-length chain (top-down)."""
+    n = len(poset)
+    if n == 0:
+        return []
+    best_len = [1] * n
+    best_next = [-1] * n
+    for i in reversed(poset.topological_order):
+        for child in poset.children_ix(i):
+            if best_len[child] + 1 > best_len[i]:
+                best_len[i] = best_len[child] + 1
+                best_next[i] = child
+    start = max(range(n), key=lambda i: best_len[i])
+    chain: list[Hashable] = []
+    node = start
+    while node != -1:
+        chain.append(poset.value(node))
+        node = best_next[node]
+    return chain
+
+
+def mirsky_decomposition(poset: Poset) -> list[list[Hashable]]:
+    """Partition into antichains by level; their count equals the height."""
+    buckets: dict[int, list[Hashable]] = {}
+    for i, level in enumerate(poset.levels):
+        buckets.setdefault(level, []).append(poset.value(i))
+    return [buckets[level] for level in sorted(buckets)]
+
+
+# ---------------------------------------------------------------------------
+# Dilworth machinery
+# ---------------------------------------------------------------------------
+def _maximum_matching(poset: Poset) -> list[int]:
+    """Kuhn's algorithm on the bipartite reachability graph.
+
+    Returns ``match_right`` where ``match_right[v] == u`` means the chain
+    edge ``u -> v`` was chosen (``-1`` when ``v`` is unmatched).
+    """
+    n = len(poset)
+    match_right = [-1] * n
+    match_left = [-1] * n
+    order = sorted(range(n), key=lambda i: -len(poset.descendants_ix(i)))
+    for u in order:
+        seen = [False] * n
+        _try_augment(poset, u, seen, match_left, match_right)
+    return match_right
+
+
+def _try_augment(
+    poset: Poset,
+    u: int,
+    seen: list[bool],
+    match_left: list[int],
+    match_right: list[int],
+) -> bool:
+    for v in poset.descendants_ix(u):
+        if seen[v]:
+            continue
+        seen[v] = True
+        if match_right[v] == -1 or _try_augment(
+            poset, match_right[v], seen, match_left, match_right
+        ):
+            match_right[v] = u
+            match_left[u] = v
+            return True
+    return False
+
+
+def chain_partition(poset: Poset) -> list[list[Hashable]]:
+    """A minimum partition into chains (Dilworth: their count == width)."""
+    n = len(poset)
+    match_right = _maximum_matching(poset)
+    successor = [-1] * n
+    has_pred = [False] * n
+    for v, u in enumerate(match_right):
+        if u != -1:
+            successor[u] = v
+            has_pred[v] = True
+    chains: list[list[Hashable]] = []
+    for start in range(n):
+        if has_pred[start]:
+            continue
+        chain: list[Hashable] = []
+        node = start
+        while node != -1:
+            chain.append(poset.value(node))
+            node = successor[node]
+        chains.append(chain)
+    return chains
+
+
+def width(poset: Poset) -> int:
+    """Size of the largest antichain (Dilworth's theorem)."""
+    if len(poset) == 0:
+        return 0
+    match_right = _maximum_matching(poset)
+    matched = sum(1 for u in match_right if u != -1)
+    return len(poset) - matched
+
+
+def maximum_antichain(poset: Poset) -> list[Hashable]:
+    """One maximum antichain, recovered via Kőnig's theorem.
+
+    With left/right copies of every value and edges for strict
+    reachability, a minimum vertex cover is derived from the maximum
+    matching; a value belongs to the antichain when *neither* of its
+    copies is in the cover.
+    """
+    n = len(poset)
+    if n == 0:
+        return []
+    match_right = _maximum_matching(poset)
+    match_left = [-1] * n
+    for v, u in enumerate(match_right):
+        if u != -1:
+            match_left[u] = v
+
+    # Alternating BFS/DFS from unmatched left vertices.
+    visited_left = [False] * n
+    visited_right = [False] * n
+    stack = [u for u in range(n) if match_left[u] == -1]
+    for u in stack:
+        visited_left[u] = True
+    while stack:
+        u = stack.pop()
+        for v in poset.descendants_ix(u):
+            if visited_right[v]:
+                continue
+            visited_right[v] = True
+            w = match_right[v]
+            if w != -1 and not visited_left[w]:
+                visited_left[w] = True
+                stack.append(w)
+
+    # Kőnig cover: unreached left vertices + reached right vertices.
+    in_cover_left = [not visited_left[u] for u in range(n)]
+    in_cover_right = list(visited_right)
+    antichain = [
+        poset.value(i)
+        for i in range(n)
+        if not in_cover_left[i] and not in_cover_right[i]
+    ]
+    return antichain
+
+
+# ---------------------------------------------------------------------------
+# Linear extensions
+# ---------------------------------------------------------------------------
+def linear_extension(poset: Poset) -> list[Hashable]:
+    """A deterministic total order compatible with the partial order."""
+    return [poset.value(i) for i in poset.topological_order]
+
+
+def random_linear_extension(
+    poset: Poset, rng: random.Random | None = None
+) -> list[Hashable]:
+    """A random total order compatible with the partial order."""
+    rng = rng or random.Random(0)
+    indegree = [len(poset.parents_ix(i)) for i in range(len(poset))]
+    ready = [i for i, d in enumerate(indegree) if d == 0]
+    out: list[Hashable] = []
+    while ready:
+        pick = ready.pop(rng.randrange(len(ready)))
+        out.append(poset.value(pick))
+        for child in poset.children_ix(pick):
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+    return out
+
+
+def is_antichain(poset: Poset, values: list[Hashable]) -> bool:
+    """Whether ``values`` are pairwise incomparable."""
+    return all(
+        not poset.comparable(a, b)
+        for i, a in enumerate(values)
+        for b in values[i + 1 :]
+    )
+
+
+def is_chain(poset: Poset, values: list[Hashable]) -> bool:
+    """Whether ``values`` are pairwise comparable."""
+    return all(
+        poset.comparable(a, b)
+        for i, a in enumerate(values)
+        for b in values[i + 1 :]
+    )

@@ -1,0 +1,129 @@
+"""Dominance classification and uncovered levels (Sections 4.5.1, 4.6.1).
+
+Relative to a spanning forest ``ST`` of the poset DAG ``G``:
+
+* a value is **completely covered** when *every* directed incoming path in
+  ``G`` also lies in ``ST`` (equivalently: it has at most one cover parent
+  and that parent is itself completely covered);
+* a value is **completely covering** when *every* directed outgoing path
+  in ``G`` also lies in ``ST`` (equivalently: each outgoing cover edge was
+  retained and each child is itself completely covering);
+* the **uncovered level** ``L(v)`` is the maximum number of non-forest
+  edges on any incoming path (Eq. 1 of the paper); ``L(v) == 0`` iff the
+  value is completely covered.
+
+Values are tagged ``(covered, covering)`` with ``c``/``p`` components; the
+same tags classify whole records in :mod:`repro.core.categories`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.categories import Category
+from repro.posets.spanning_tree import SpanningForest
+
+__all__ = ["DominanceClassification", "classify"]
+
+
+class DominanceClassification:
+    """Covered/covering flags and uncovered levels for one spanning forest."""
+
+    __slots__ = ("forest", "_covered", "_covering", "_level")
+
+    def __init__(self, forest: SpanningForest) -> None:
+        self.forest = forest
+        poset = forest.poset
+        n = len(poset)
+
+        covered = [False] * n
+        level = [0] * n
+        for i in poset.topological_order:
+            parents = poset.parents_ix(i)
+            if not parents:
+                covered[i] = True
+                level[i] = 0
+                continue
+            covered[i] = len(parents) == 1 and covered[parents[0]]
+            level[i] = max(
+                level[p] + (0 if forest.contains_edge(p, i) else 1) for p in parents
+            )
+
+        covering = [True] * n
+        for i in reversed(poset.topological_order):
+            for child in poset.children_ix(i):
+                if not forest.contains_edge(i, child) or not covering[child]:
+                    covering[i] = False
+                    break
+
+        self._covered = tuple(covered)
+        self._covering = tuple(covering)
+        self._level = tuple(level)
+
+    # ------------------------------------------------------------------
+    def is_completely_covered_ix(self, i: int) -> bool:
+        """Covered flag of node index ``i``."""
+        return self._covered[i]
+
+    def is_completely_covering_ix(self, i: int) -> bool:
+        """Covering flag of node index ``i``."""
+        return self._covering[i]
+
+    def uncovered_level_ix(self, i: int) -> int:
+        """Uncovered level ``L`` of node index ``i``."""
+        return self._level[i]
+
+    def category_ix(self, i: int) -> Category:
+        """The ``(covered, covering)`` category of node index ``i``."""
+        return Category.of(self._covered[i], self._covering[i])
+
+    def is_completely_covered(self, value: Hashable) -> bool:
+        """Covered flag of a domain value."""
+        return self._covered[self.forest.poset.index(value)]
+
+    def is_completely_covering(self, value: Hashable) -> bool:
+        """Covering flag of a domain value."""
+        return self._covering[self.forest.poset.index(value)]
+
+    def uncovered_level(self, value: Hashable) -> int:
+        """Uncovered level ``L`` of a domain value."""
+        return self._level[self.forest.poset.index(value)]
+
+    def category(self, value: Hashable) -> Category:
+        """The ``(covered, covering)`` category of a domain value."""
+        return self.category_ix(self.forest.poset.index(value))
+
+    # ------------------------------------------------------------------
+    @property
+    def partially_covered_values(self) -> frozenset[Hashable]:
+        """Values with at least one incoming path outside the forest."""
+        poset = self.forest.poset
+        return frozenset(poset.value(i) for i, c in enumerate(self._covered) if not c)
+
+    @property
+    def partially_covering_values(self) -> frozenset[Hashable]:
+        """Values with at least one outgoing path outside the forest."""
+        poset = self.forest.poset
+        return frozenset(poset.value(i) for i, c in enumerate(self._covering) if not c)
+
+    @property
+    def max_uncovered_level(self) -> int:
+        """Largest uncovered level over the domain."""
+        return max(self._level, default=0)
+
+    def category_counts(self) -> dict[Category, int]:
+        """Number of values per category (drives MinPC/MaxPC evaluation)."""
+        counts = {cat: 0 for cat in Category}
+        for i in range(len(self._covered)):
+            counts[self.category_ix(i)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        counts = self.category_counts()
+        body = ", ".join(f"{cat.name}={n}" for cat, n in counts.items())
+        return f"DominanceClassification({body})"
+
+
+def classify(forest: SpanningForest) -> DominanceClassification:
+    """Classify every value of ``forest``'s poset (convenience wrapper)."""
+    return DominanceClassification(forest)

@@ -1,0 +1,247 @@
+"""Synthetic poset generator (paper Section 5, "Data Sets").
+
+Reproduces the paper's construction: *"The poset ... is created by first
+generating a forest of trees, by varying the number of trees, their
+heights and branching factors.  Next, the poset is then formed by randomly
+connecting nodes among the trees, such that two nodes can be linked only
+if their levels differ by one.  The density of edges in the poset is
+controlled by the number of iterations of adding inter-tree edges and the
+probability of adding an edge for a node."*
+
+Because every edge (tree or inter-tree) connects adjacent levels, the
+result is automatically acyclic *and* transitively reduced (no path of
+length >= 2 can join adjacent levels), so the DAG is a valid Hasse
+diagram.
+
+Node labels are the integers ``0 .. num_nodes-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.exceptions import WorkloadError
+from repro.posets.poset import Poset
+
+__all__ = [
+    "PosetGeneratorConfig",
+    "generate_poset",
+    "default_poset_config",
+    "large_poset_config",
+    "tall_poset_config",
+]
+
+
+@dataclass(frozen=True)
+class PosetGeneratorConfig:
+    """Parameters of the random poset construction.
+
+    Attributes
+    ----------
+    num_nodes:
+        Total domain size (paper defaults: 450, varied to 1000).
+    height:
+        Number of levels (paper defaults: 6, varied to 13).
+    num_trees:
+        Trees in the initial forest.
+    max_branching:
+        Cap on tree children per node.
+    edge_iterations:
+        Rounds of inter-tree edge addition (density control).
+    edge_probability:
+        Per-node probability of gaining an inter-tree edge each round.
+    seed:
+        RNG seed (the generator is fully deterministic given the config).
+    connect:
+        Add a minimal number of extra level-respecting edges afterwards so
+        the DAG is weakly connected when possible (the paper assumes a
+        single connected component).
+    """
+
+    num_nodes: int = 450
+    height: int = 6
+    num_trees: int = 5
+    max_branching: int = 8
+    edge_iterations: int = 2
+    edge_probability: float = 0.3
+    seed: int = 42
+    connect: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on inconsistent parameters."""
+        if self.num_nodes < 1:
+            raise WorkloadError("num_nodes must be positive")
+        if self.height < 1:
+            raise WorkloadError("height must be positive")
+        if self.num_trees < 1:
+            raise WorkloadError("num_trees must be positive")
+        if self.num_nodes < self.num_trees * self.height:
+            raise WorkloadError(
+                f"{self.num_nodes} nodes cannot form {self.num_trees} trees "
+                f"of height {self.height}"
+            )
+        if self.max_branching < 1:
+            raise WorkloadError("max_branching must be positive")
+        if not 0.0 <= self.edge_probability <= 1.0:
+            raise WorkloadError("edge_probability must be within [0, 1]")
+        if self.edge_iterations < 0:
+            raise WorkloadError("edge_iterations must be non-negative")
+
+
+def default_poset_config(**overrides) -> PosetGeneratorConfig:
+    """Paper default: 450 nodes, 6 levels."""
+    return replace(PosetGeneratorConfig(), **overrides)
+
+
+def large_poset_config(**overrides) -> PosetGeneratorConfig:
+    """Fig. 11(a) variation: 1000 nodes, 6 levels."""
+    return replace(PosetGeneratorConfig(num_nodes=1000), **overrides)
+
+
+def tall_poset_config(**overrides) -> PosetGeneratorConfig:
+    """Fig. 11(b) variation: tall (13 levels) and relatively sparse."""
+    return replace(
+        PosetGeneratorConfig(height=13, edge_iterations=1, edge_probability=0.15),
+        **overrides,
+    )
+
+
+def generate_poset(config: PosetGeneratorConfig | None = None, **overrides) -> Poset:
+    """Generate a random poset according to ``config``.
+
+    Keyword overrides are applied on top of the (default) config, so
+    ``generate_poset(num_nodes=100, height=4)`` works directly.
+    """
+    config = replace(config or PosetGeneratorConfig(), **overrides)
+    config.validate()
+    rng = random.Random(config.seed)
+
+    level: list[int] = []
+    tree_of: list[int] = []
+    child_count: list[int] = []
+    edges: list[tuple[int, int]] = []
+
+    def new_node(lvl: int, tree: int) -> int:
+        node = len(level)
+        level.append(lvl)
+        tree_of.append(tree)
+        child_count.append(0)
+        return node
+
+    # --- forest of trees: a full-height spine per tree guarantees the
+    # requested height, remaining nodes attach below random parents.
+    spine_tip: list[int] = []
+    for tree in range(config.num_trees):
+        prev = new_node(0, tree)
+        for lvl in range(1, config.height):
+            node = new_node(lvl, tree)
+            edges.append((prev, node))
+            child_count[prev] += 1
+            prev = node
+        spine_tip.append(prev)
+
+    attachable: list[int] = [
+        i for i in range(len(level)) if level[i] < config.height - 1
+    ]
+    while len(level) < config.num_nodes:
+        if config.height == 1:
+            # Degenerate single-level posets are antichains: every extra
+            # node becomes its own trivial tree.
+            new_node(0, len(spine_tip) + len(level))
+            continue
+        # Re-filter lazily: nodes at full branching leave the pool.
+        candidates = [i for i in attachable if child_count[i] < config.max_branching]
+        if not candidates:
+            # Every prospective parent is saturated; widen the pool by
+            # allowing the freshly added nodes (they are in `attachable`
+            # already) -- if still empty, branching is impossible.
+            raise WorkloadError(
+                "max_branching too small to place all nodes; increase it"
+            )
+        parent = rng.choice(candidates)
+        node = new_node(level[parent] + 1, tree_of[parent])
+        edges.append((parent, node))
+        child_count[parent] += 1
+        if level[node] < config.height - 1:
+            attachable.append(node)
+
+    n = len(level)
+    by_level: dict[int, list[int]] = {}
+    for i in range(n):
+        by_level.setdefault(level[i], []).append(i)
+
+    existing = set(edges)
+
+    # --- random inter-tree edges between adjacent levels.
+    for _ in range(config.edge_iterations):
+        order = list(range(n))
+        rng.shuffle(order)
+        for v in order:
+            if rng.random() >= config.edge_probability:
+                continue
+            targets = [
+                w
+                for w in by_level.get(level[v] + 1, ())
+                if tree_of[w] != tree_of[v] and (v, w) not in existing
+            ]
+            if not targets:
+                continue
+            w = rng.choice(targets)
+            edges.append((v, w))
+            existing.add((v, w))
+
+    poset = Poset(range(n), edges)
+
+    if config.connect and not poset.is_connected():
+        poset = _connect_components(poset, level, rng, existing)
+    return poset
+
+
+def _connect_components(
+    poset: Poset,
+    level: list[int],
+    rng: random.Random,
+    existing: set[tuple[int, int]],
+) -> Poset:
+    """Join weak components with level-respecting edges where possible."""
+    n = len(poset)
+    comp = [-1] * n
+    num_comp = 0
+    for start in range(n):
+        if comp[start] != -1:
+            continue
+        stack = [start]
+        comp[start] = num_comp
+        while stack:
+            i = stack.pop()
+            for j in poset.children_ix(i) + poset.parents_ix(i):
+                if comp[j] == -1:
+                    comp[j] = num_comp
+                    stack.append(j)
+        num_comp += 1
+    if num_comp == 1:
+        return poset
+
+    edges = list(poset.edges())
+    merged = list(range(num_comp))
+
+    def find(c: int) -> int:
+        while merged[c] != c:
+            merged[c] = merged[merged[c]]
+            c = merged[c]
+        return c
+
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for v in nodes:
+        for w in nodes:
+            if find(comp[v]) == find(comp[w]):
+                continue
+            if level[w] == level[v] + 1 and (v, w) not in existing:
+                edges.append((v, w))
+                existing.add((v, w))
+                merged[find(comp[w])] = find(comp[v])
+    # Height-1 forests (antichains of roots) cannot be connected with
+    # level-respecting edges; return the best effort.
+    return Poset(range(n), edges)

@@ -1,0 +1,130 @@
+"""Spanning-tree optimisation: MinPC and MaxPC (Section 4.7, Fig. 9).
+
+The DAG fixes which values are completely/partially *covered*, but the
+spanning forest decides which are completely/partially *covering*:
+excluding a DAG edge ``(u, v)`` from the forest turns ``u`` **and every
+DAG ancestor of u** into partially covering values.  The greedy algorithm
+``OptimizeSpanningTree`` therefore walks the DAG topologically and, for
+every node with several cover parents, chooses which single parent edge to
+retain:
+
+* ``PCSet_v(w)`` -- the currently-``(p,c)`` values that would flip to
+  ``(p,p)`` if all incoming edges of ``v`` except ``(w, v)`` were deleted;
+* ``CCSet_v(w)`` -- likewise the ``(c,c)`` values flipping to ``(c,p)``.
+
+**MinPC** minimises the number of ``(p,c)`` values (primary: keep the
+parent whose deletion set flips the *most* ``(p,c)`` values; secondary:
+flip the fewest ``(c,c)``), which maximises points whose comparisons can
+skip the ``(c,c)`` subset; **MaxPC** flips the *fewest* ``(p,c)`` values,
+maximising m-dominance-only comparisons.  Per the paper's footnote the two
+strategies differ in a single comparison operator.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.exceptions import PosetError
+from repro.posets.poset import Poset
+from repro.posets.spanning_tree import (
+    SpanningForest,
+    default_spanning_forest,
+    random_spanning_forest,
+)
+
+__all__ = ["SpanningTreeStrategy", "optimize_spanning_forest", "build_forest"]
+
+
+class SpanningTreeStrategy(enum.Enum):
+    """How the spanning forest underlying the encoding is chosen."""
+
+    DEFAULT = "default"
+    RANDOM = "random"
+    MINPC = "minpc"
+    MAXPC = "maxpc"
+
+    @classmethod
+    def parse(cls, value: "SpanningTreeStrategy | str") -> "SpanningTreeStrategy":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            raise PosetError(f"unknown spanning-tree strategy {value!r}") from None
+
+
+def optimize_spanning_forest(
+    poset: Poset, strategy: SpanningTreeStrategy | str = SpanningTreeStrategy.MINPC
+) -> SpanningForest:
+    """Run ``OptimizeSpanningTree`` with the MinPC or MaxPC criterion."""
+    strategy = SpanningTreeStrategy.parse(strategy)
+    if strategy not in (SpanningTreeStrategy.MINPC, SpanningTreeStrategy.MAXPC):
+        raise PosetError(f"{strategy} is not an optimising strategy")
+    minpc = strategy is SpanningTreeStrategy.MINPC
+
+    n = len(poset)
+    # Covered flags depend only on the DAG (Section 4.7).
+    covered = [False] * n
+    for i in poset.topological_order:
+        parents = poset.parents_ix(i)
+        covered[i] = not parents or (len(parents) == 1 and covered[parents[0]])
+
+    # Steps 2-6: start from ST = G with a default completely-covering
+    # classification, then greedily delete surplus incoming edges.
+    covering = [True] * n
+    parent_choice = [-1] * n
+
+    for v in poset.topological_order:
+        parents = poset.parents_ix(v)
+        if not parents:
+            continue
+        if len(parents) == 1:
+            parent_choice[v] = parents[0]
+            continue
+
+        best_w = -1
+        best_flips: set[int] = set()
+        best_pc = -1
+        best_cc = -1
+        for w in parents:
+            flips: set[int] = set()
+            for u in parents:
+                if u == w:
+                    continue
+                if covering[u]:
+                    flips.add(u)
+                for a in poset.ancestors_ix(u):
+                    if covering[a]:
+                        flips.add(a)
+            pc = sum(1 for t in flips if not covered[t])  # PCSet_v(w)
+            cc = len(flips) - pc  # CCSet_v(w)
+            if best_w == -1:
+                better = True
+            elif minpc:
+                better = pc > best_pc or (pc == best_pc and cc < best_cc)
+            else:
+                better = pc < best_pc or (pc == best_pc and cc < best_cc)
+            if better:
+                best_w, best_flips, best_pc, best_cc = w, flips, pc, cc
+
+        parent_choice[v] = best_w
+        for t in best_flips:
+            covering[t] = False
+
+    return SpanningForest(poset, parent_choice)
+
+
+def build_forest(
+    poset: Poset,
+    strategy: SpanningTreeStrategy | str = SpanningTreeStrategy.DEFAULT,
+    rng: random.Random | None = None,
+) -> SpanningForest:
+    """Dispatch on strategy: default / random / MinPC / MaxPC."""
+    strategy = SpanningTreeStrategy.parse(strategy)
+    if strategy is SpanningTreeStrategy.DEFAULT:
+        return default_spanning_forest(poset)
+    if strategy is SpanningTreeStrategy.RANDOM:
+        return random_spanning_forest(poset, rng)
+    return optimize_spanning_forest(poset, strategy)

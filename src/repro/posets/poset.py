@@ -1,0 +1,376 @@
+"""Immutable DAG representation of a partial order.
+
+The paper (Section 4.2) represents each partially-ordered domain
+``(D_i, <=_i)`` by a DAG ``G_i = (D_i, E_i)`` whose edges are the *cover*
+relation: ``(v, w)`` is an edge when ``w < v`` and no ``x`` satisfies
+``w < x < v``.  Edges therefore point from the *dominating* (better) value
+to the *dominated* (worse) value, and ``v`` dominates ``w`` exactly when a
+directed path leads from ``v`` to ``w``.
+
+:class:`Poset` stores the DAG with integer indices internally and exposes
+dominance tests, reachability sets, topological orders and structural
+metadata (levels, heights, maximal/minimal values) used throughout the
+library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Optional
+
+from repro.exceptions import CyclicPosetError, PosetError, UnknownValueError
+
+__all__ = ["Poset"]
+
+
+class Poset:
+    """A finite partial order represented by its covering DAG.
+
+    Parameters
+    ----------
+    values:
+        The domain values.  Any hashable, distinct objects.
+    edges:
+        Directed cover edges ``(v, w)`` meaning *v dominates w* (``w < v``).
+        Duplicate edges are ignored; self-loops and cycles raise
+        :class:`~repro.exceptions.CyclicPosetError`.
+
+    Notes
+    -----
+    The class is deliberately immutable: every derived structure (spanning
+    forests, encodings, classifications) caches against it safely.
+    """
+
+    __slots__ = (
+        "_values",
+        "_index",
+        "_children",
+        "_parents",
+        "_n",
+        "_topo",
+        "_descendants",
+        "_ancestors",
+        "_levels",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        values: Iterable[Hashable],
+        edges: Iterable[tuple[Hashable, Hashable]],
+    ) -> None:
+        values = list(values)
+        if len(set(values)) != len(values):
+            raise PosetError("poset domain values must be distinct")
+        self._values: tuple[Hashable, ...] = tuple(values)
+        self._index: dict[Hashable, int] = {v: i for i, v in enumerate(values)}
+        self._n = len(values)
+        children: list[list[int]] = [[] for _ in range(self._n)]
+        parents: list[list[int]] = [[] for _ in range(self._n)]
+        seen: set[tuple[int, int]] = set()
+        for v, w in edges:
+            if v not in self._index:
+                raise UnknownValueError(v)
+            if w not in self._index:
+                raise UnknownValueError(w)
+            a, b = self._index[v], self._index[w]
+            if a == b:
+                raise CyclicPosetError([v, w])
+            if (a, b) in seen:
+                continue
+            seen.add((a, b))
+            children[a].append(b)
+            parents[b].append(a)
+        self._children: tuple[tuple[int, ...], ...] = tuple(tuple(c) for c in children)
+        self._parents: tuple[tuple[int, ...], ...] = tuple(tuple(p) for p in parents)
+        self._topo: tuple[int, ...] = self._toposort()
+        self._descendants: Optional[tuple[frozenset[int], ...]] = None
+        self._ancestors: Optional[tuple[frozenset[int], ...]] = None
+        self._levels: Optional[tuple[int, ...]] = None
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _toposort(self) -> tuple[int, ...]:
+        """Kahn topological order (dominators first); detects cycles."""
+        indeg = [len(p) for p in self._parents]
+        stack = [i for i in range(self._n) if indeg[i] == 0]
+        order: list[int] = []
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for child in self._children[node]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    stack.append(child)
+        if len(order) != self._n:
+            cycle = self._find_cycle()
+            raise CyclicPosetError([self._values[i] for i in cycle])
+        return tuple(order)
+
+    def _find_cycle(self) -> list[int]:
+        """Locate one directed cycle for error reporting."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = [WHITE] * self._n
+        stack_path: list[int] = []
+
+        def visit(start: int) -> Optional[list[int]]:
+            todo: list[tuple[int, Iterator[int]]] = [(start, iter(self._children[start]))]
+            color[start] = GREY
+            stack_path.append(start)
+            while todo:
+                node, it = todo[-1]
+                advanced = False
+                for child in it:
+                    if color[child] == GREY:
+                        pos = stack_path.index(child)
+                        return stack_path[pos:] + [child]
+                    if color[child] == WHITE:
+                        color[child] = GREY
+                        stack_path.append(child)
+                        todo.append((child, iter(self._children[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    todo.pop()
+                    stack_path.pop()
+                    color[node] = BLACK
+            return None
+
+        for i in range(self._n):
+            if color[i] == WHITE:
+                found = visit(i)
+                if found is not None:
+                    return found
+        return []  # pragma: no cover - only called when a cycle exists
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Poset(n={self._n}, edges={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Poset):
+            return NotImplemented
+        return self._values == other._values and self._children == other._children
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._values, self._children))
+        return self._hash
+
+    @property
+    def values(self) -> tuple[Hashable, ...]:
+        """Domain values in construction order."""
+        return self._values
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (deduplicated) cover edges."""
+        return sum(len(c) for c in self._children)
+
+    def index(self, value: Hashable) -> int:
+        """Internal integer index of ``value`` (raises on unknown values)."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise UnknownValueError(value) from None
+
+    def value(self, index: int) -> Hashable:
+        """Domain value at internal ``index``."""
+        return self._values[index]
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Iterate cover edges as ``(dominator, dominated)`` value pairs."""
+        for i, kids in enumerate(self._children):
+            for j in kids:
+                yield self._values[i], self._values[j]
+
+    # -- index-level structure (used by the encoding / classification) --
+    def children_ix(self, i: int) -> tuple[int, ...]:
+        """Indices directly dominated by node index ``i``."""
+        return self._children[i]
+
+    def parents_ix(self, i: int) -> tuple[int, ...]:
+        """Indices directly dominating node index ``i``."""
+        return self._parents[i]
+
+    @property
+    def topological_order(self) -> tuple[int, ...]:
+        """Indices in a topological order (every parent before its children)."""
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # Reachability / dominance
+    # ------------------------------------------------------------------
+    def _compute_descendants(self) -> tuple[frozenset[int], ...]:
+        if self._descendants is None:
+            desc: list[frozenset[int]] = [frozenset()] * self._n
+            for i in reversed(self._topo):
+                acc: set[int] = set()
+                for child in self._children[i]:
+                    acc.add(child)
+                    acc |= desc[child]
+                desc[i] = frozenset(acc)
+            self._descendants = tuple(desc)
+        return self._descendants
+
+    def _compute_ancestors(self) -> tuple[frozenset[int], ...]:
+        if self._ancestors is None:
+            anc: list[frozenset[int]] = [frozenset()] * self._n
+            for i in self._topo:
+                acc: set[int] = set()
+                for parent in self._parents[i]:
+                    acc.add(parent)
+                    acc |= anc[parent]
+                anc[i] = frozenset(acc)
+            self._ancestors = tuple(anc)
+        return self._ancestors
+
+    def descendants_ix(self, i: int) -> frozenset[int]:
+        """All node indices strictly dominated by index ``i``."""
+        return self._compute_descendants()[i]
+
+    def ancestors_ix(self, i: int) -> frozenset[int]:
+        """All node indices strictly dominating index ``i``."""
+        return self._compute_ancestors()[i]
+
+    def descendants(self, value: Hashable) -> frozenset[Hashable]:
+        """All values strictly dominated by ``value``."""
+        return frozenset(self._values[j] for j in self.descendants_ix(self.index(value)))
+
+    def ancestors(self, value: Hashable) -> frozenset[Hashable]:
+        """All values strictly dominating ``value``."""
+        return frozenset(self._values[j] for j in self.ancestors_ix(self.index(value)))
+
+    def dominates(self, v: Hashable, w: Hashable) -> bool:
+        """``True`` when ``v`` strictly dominates ``w`` (``w < v``)."""
+        return self.index(w) in self.descendants_ix(self.index(v))
+
+    def dominates_ix(self, i: int, j: int) -> bool:
+        """Index-level strict dominance test."""
+        return j in self._compute_descendants()[i]
+
+    def leq(self, w: Hashable, v: Hashable) -> bool:
+        """``True`` when ``w <= v`` in the partial order."""
+        return w == v or self.dominates(v, w)
+
+    def comparable(self, v: Hashable, w: Hashable) -> bool:
+        """``True`` when ``v`` and ``w`` are comparable (Section 4.2)."""
+        return v == w or self.dominates(v, w) or self.dominates(w, v)
+
+    # ------------------------------------------------------------------
+    # Structural metadata
+    # ------------------------------------------------------------------
+    @property
+    def maximal_ix(self) -> tuple[int, ...]:
+        """Indices of maximal values (no dominating value)."""
+        return tuple(i for i in range(self._n) if not self._parents[i])
+
+    @property
+    def minimal_ix(self) -> tuple[int, ...]:
+        """Indices of minimal values (no dominated value)."""
+        return tuple(i for i in range(self._n) if not self._children[i])
+
+    @property
+    def maximal_values(self) -> tuple[Hashable, ...]:
+        """Maximal values of the order."""
+        return tuple(self._values[i] for i in self.maximal_ix)
+
+    @property
+    def minimal_values(self) -> tuple[Hashable, ...]:
+        """Minimal values of the order."""
+        return tuple(self._values[i] for i in self.minimal_ix)
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """Level of each node index: longest edge-path from a maximal value."""
+        if self._levels is None:
+            lvl = [0] * self._n
+            for i in self._topo:
+                for child in self._children[i]:
+                    if lvl[i] + 1 > lvl[child]:
+                        lvl[child] = lvl[i] + 1
+            self._levels = tuple(lvl)
+        return self._levels
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for an antichain)."""
+        if self._n == 0:
+            return 0
+        return max(self.levels) + 1
+
+    def is_connected(self) -> bool:
+        """Weak (undirected) connectivity of the DAG."""
+        if self._n <= 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            i = stack.pop()
+            for j in self._children[i] + self._parents[i]:
+                if j not in seen:
+                    seen.add(j)
+                    stack.append(j)
+        return len(seen) == self._n
+
+    def is_tree(self) -> bool:
+        """``True`` when every node has at most one parent (a forest)."""
+        return all(len(p) <= 1 for p in self._parents)
+
+    def is_total_order(self) -> bool:
+        """``True`` when the order is a chain."""
+        desc = self._compute_descendants()
+        return all(len(desc[i]) + len(self.ancestors_ix(i)) == self._n - 1 for i in range(self._n))
+
+    # ------------------------------------------------------------------
+    # Derived posets
+    # ------------------------------------------------------------------
+    def transitive_reduction(self) -> "Poset":
+        """Return the poset restricted to its cover (Hasse) edges.
+
+        Useful when callers supply transitively-redundant edges: the
+        encoding and classification of the paper assume cover edges only.
+        """
+        desc = self._compute_descendants()
+        keep: list[tuple[Hashable, Hashable]] = []
+        for i in range(self._n):
+            kids = self._children[i]
+            for j in kids:
+                # (i, j) is redundant if some other child of i reaches j.
+                if any(k != j and j in desc[k] for k in kids):
+                    continue
+                keep.append((self._values[i], self._values[j]))
+        return Poset(self._values, keep)
+
+    def is_hasse(self) -> bool:
+        """``True`` when no edge is implied by a longer path."""
+        return self.num_edges == self.transitive_reduction().num_edges
+
+    def dual(self) -> "Poset":
+        """Return the order-theoretic dual (all edges reversed)."""
+        return Poset(self._values, [(w, v) for v, w in self.edges()])
+
+    def restrict(self, values: Sequence[Hashable]) -> "Poset":
+        """Induced suborder on ``values`` (cover edges recomputed)."""
+        chosen = [v for v in self._values if v in set(values)]
+        idx = {self.index(v) for v in chosen}
+        desc = self._compute_descendants()
+        rels: list[tuple[Hashable, Hashable]] = []
+        for i in idx:
+            for j in idx:
+                if j in desc[i]:
+                    rels.append((self._values[i], self._values[j]))
+        return Poset(chosen, rels).transitive_reduction()

@@ -1,0 +1,96 @@
+"""Set-valued domains isomorphic to a poset (paper Section 5, "Data Sets").
+
+The experiments use *set-valued attributes where dominance is based on set
+containment*, with "the domain of the set-valued attribute values ...
+derived from the constructed poset".  :class:`SetValuedDomain` performs
+that derivation: each poset value ``v`` is assigned the set of tokens of
+``v`` and all its descendants, which makes proper set containment exactly
+the strict partial order::
+
+    set(v) > set(w)  iff  v dominates w.
+
+Native (original-domain) dominance comparisons then operate on real
+``frozenset`` objects, reproducing the paper's cost model where set
+comparisons are markedly more expensive than the two-integer m-dominance
+checks -- and where taller posets mean larger sets and costlier compares
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+from repro.exceptions import PosetError, UnknownValueError
+from repro.posets.poset import Poset
+
+__all__ = ["SetValuedDomain"]
+
+
+class SetValuedDomain:
+    """Assignment of a concrete set to every poset value."""
+
+    __slots__ = ("poset", "_sets", "_by_index")
+
+    def __init__(self, poset: Poset, sets: Mapping[Hashable, frozenset]) -> None:
+        if set(sets) != set(poset.values):
+            raise PosetError("set assignment must cover exactly the poset domain")
+        self.poset = poset
+        self._sets = {v: frozenset(s) for v, s in sets.items()}
+        self._by_index = tuple(self._sets[poset.value(i)] for i in range(len(poset)))
+
+    @classmethod
+    def from_poset(cls, poset: Poset) -> "SetValuedDomain":
+        """Canonical derivation: ``set(v) = {token(u) : u in {v} + desc(v)}``.
+
+        Tokens are the node indices themselves, so every value's set
+        contains its own token -- which is what makes incomparable values
+        map to incomparable sets.
+        """
+        sets = {
+            poset.value(i): frozenset(poset.descendants_ix(i) | {i})
+            for i in range(len(poset))
+        }
+        return cls(poset, sets)
+
+    # ------------------------------------------------------------------
+    def set_of(self, value: Hashable) -> frozenset:
+        """The concrete set assigned to ``value``."""
+        try:
+            return self._sets[value]
+        except KeyError:
+            raise UnknownValueError(value) from None
+
+    def set_of_ix(self, i: int) -> frozenset:
+        """The concrete set assigned to node index ``i``."""
+        return self._by_index[i]
+
+    def dominates(self, v: Hashable, w: Hashable) -> bool:
+        """Strict dominance via proper set containment."""
+        return self.set_of(v) > self.set_of(w)
+
+    @property
+    def average_set_size(self) -> float:
+        """Mean cardinality (grows with poset height; see Section 5.2)."""
+        if not self._by_index:
+            return 0.0
+        return sum(len(s) for s in self._by_index) / len(self._by_index)
+
+    @property
+    def max_set_size(self) -> int:
+        """Largest cardinality in the domain."""
+        return max((len(s) for s in self._by_index), default=0)
+
+    def verify_isomorphism(self) -> bool:
+        """Exhaustively check containment == order (test helper, O(n^2))."""
+        poset = self.poset
+        n = len(poset)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                if (self._by_index[i] > self._by_index[j]) != poset.dominates_ix(i, j):
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SetValuedDomain(n={len(self.poset)}, avg|s|={self.average_set_size:.1f})"

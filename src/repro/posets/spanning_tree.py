@@ -1,0 +1,185 @@
+"""Spanning forests over poset DAGs (Section 4.3).
+
+The interval encoding labels a *spanning tree* of the poset DAG.  Because
+a poset may have several maximal values, the general object is a spanning
+*forest*: every non-maximal node keeps exactly one of its incoming cover
+edges; maximal nodes are roots.
+
+The choice of retained edges drives the dominance classification of
+Section 4.5.1 and is exactly what the MinPC/MaxPC strategies of
+Section 4.7 optimise (see :mod:`repro.posets.optimize`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.exceptions import PosetError
+from repro.posets.poset import Poset
+
+__all__ = ["SpanningForest", "default_spanning_forest", "random_spanning_forest"]
+
+
+class SpanningForest:
+    """A spanning forest of a poset DAG.
+
+    Parameters
+    ----------
+    poset:
+        The underlying partial order.
+    parent_ix:
+        For every node index, the retained parent's index, or ``-1`` for
+        maximal (root) nodes.  Each retained parent must be an actual
+        cover parent in the DAG.
+    """
+
+    __slots__ = ("poset", "_parent", "_children", "_postorder")
+
+    def __init__(self, poset: Poset, parent_ix: Iterable[int]) -> None:
+        self.poset = poset
+        parent = tuple(parent_ix)
+        n = len(poset)
+        if len(parent) != n:
+            raise PosetError(f"parent array has length {len(parent)}, expected {n}")
+        children: list[list[int]] = [[] for _ in range(n)]
+        for i, p in enumerate(parent):
+            if p == -1:
+                if poset.parents_ix(i):
+                    raise PosetError(
+                        f"node {poset.value(i)!r} is not maximal but has no spanning parent"
+                    )
+                continue
+            if p not in poset.parents_ix(i):
+                raise PosetError(
+                    f"{poset.value(p)!r} is not a cover parent of {poset.value(i)!r}"
+                )
+            children[p].append(i)
+        self._parent = parent
+        self._children: tuple[tuple[int, ...], ...] = tuple(tuple(c) for c in children)
+        self._postorder: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_choice(
+        cls, poset: Poset, kept_edges: Iterable[tuple[Hashable, Hashable]]
+    ) -> "SpanningForest":
+        """Build from explicit kept edges ``(parent_value, child_value)``.
+
+        Every non-maximal node must appear exactly once as a child.
+        """
+        n = len(poset)
+        parent = [-1] * n
+        for v, w in kept_edges:
+            child = poset.index(w)
+            if parent[child] != -1:
+                raise PosetError(f"node {w!r} given two spanning parents")
+            parent[child] = poset.index(v)
+        for i in range(n):
+            if parent[i] == -1 and poset.parents_ix(i):
+                raise PosetError(
+                    f"non-maximal node {poset.value(i)!r} missing a spanning parent"
+                )
+        return cls(poset, parent)
+
+    @classmethod
+    def from_parent_map(
+        cls, poset: Poset, parents: Mapping[Hashable, Hashable]
+    ) -> "SpanningForest":
+        """Build from a ``child_value -> parent_value`` mapping."""
+        return cls.from_edge_choice(poset, [(p, c) for c, p in parents.items()])
+
+    # ------------------------------------------------------------------
+    def parent_of(self, i: int) -> int:
+        """Spanning parent index of node index ``i`` (``-1`` for roots)."""
+        return self._parent[i]
+
+    def children_of(self, i: int) -> tuple[int, ...]:
+        """Spanning children indices of node index ``i``."""
+        return self._children[i]
+
+    @property
+    def parent_array(self) -> tuple[int, ...]:
+        """Raw parent array (``-1`` marks roots)."""
+        return self._parent
+
+    @property
+    def roots(self) -> tuple[int, ...]:
+        """Root node indices (the poset's maximal values)."""
+        return tuple(i for i, p in enumerate(self._parent) if p == -1)
+
+    def contains_edge(self, i: int, j: int) -> bool:
+        """``True`` when DAG edge ``(i, j)`` was retained in the forest."""
+        return self._parent[j] == i
+
+    def kept_edges(self) -> list[tuple[Hashable, Hashable]]:
+        """Retained edges as ``(parent_value, child_value)`` pairs."""
+        poset = self.poset
+        return [
+            (poset.value(p), poset.value(i))
+            for i, p in enumerate(self._parent)
+            if p != -1
+        ]
+
+    def excluded_edges_ix(self) -> list[tuple[int, int]]:
+        """DAG cover edges *not* retained, as index pairs."""
+        poset = self.poset
+        out: list[tuple[int, int]] = []
+        for j in range(len(poset)):
+            for i in poset.parents_ix(j):
+                if self._parent[j] != i:
+                    out.append((i, j))
+        return out
+
+    def postorder(self) -> tuple[int, ...]:
+        """Node indices in forest postorder (roots visited in index order).
+
+        This is the traversal the interval encoding numbers; it is cached
+        because the forest is immutable.
+        """
+        if self._postorder is None:
+            order: list[int] = []
+            for root in self.roots:
+                stack: list[tuple[int, bool]] = [(root, False)]
+                while stack:
+                    node, expanded = stack.pop()
+                    if expanded:
+                        order.append(node)
+                    else:
+                        stack.append((node, True))
+                        for child in reversed(self._children[node]):
+                            stack.append((child, False))
+            self._postorder = tuple(order)
+        return self._postorder
+
+    def tree_path_exists(self, i: int, j: int) -> bool:
+        """``True`` when a forest path runs from ``i`` down to ``j``.
+
+        Quadratic fallback used in tests; production code answers this via
+        interval containment in :mod:`repro.posets.encoding`.
+        """
+        node = j
+        while node != -1:
+            if node == i:
+                return True
+            node = self._parent[node]
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanningForest(n={len(self.poset)}, roots={len(self.roots)})"
+
+
+def default_spanning_forest(poset: Poset) -> SpanningForest:
+    """Keep each node's first cover parent (deterministic baseline)."""
+    parent = [(poset.parents_ix(i)[0] if poset.parents_ix(i) else -1) for i in range(len(poset))]
+    return SpanningForest(poset, parent)
+
+
+def random_spanning_forest(poset: Poset, rng: random.Random | None = None) -> SpanningForest:
+    """Keep a uniformly random cover parent per node (for property tests)."""
+    rng = rng or random.Random(0)
+    parent = [
+        (rng.choice(poset.parents_ix(i)) if poset.parents_ix(i) else -1)
+        for i in range(len(poset))
+    ]
+    return SpanningForest(poset, parent)

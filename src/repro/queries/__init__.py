@@ -1,0 +1,55 @@
+"""Skyline-related queries over partially-ordered domains.
+
+The paper's Section 6 names "the evaluation of other skyline-related
+queries that involve partially-ordered domains" as future work; this
+subpackage provides two classic members of that family, generalised to
+mixed totally-/partially-ordered schemas:
+
+* :mod:`repro.queries.skyband` -- the **k-skyband** (records dominated by
+  fewer than ``k`` others; the skyline is the 1-skyband), with both a
+  nested-loops evaluator and an index-accelerated BBS-style evaluator
+  that prunes an entry once ``k`` candidates m-dominate it.
+* :mod:`repro.queries.constrained` -- **constrained skylines**: the
+  skyline of the records satisfying range predicates on totally-ordered
+  attributes and dominance predicates (``must dominate v`` /
+  ``dominated by v``) on poset attributes.
+* :mod:`repro.queries.layers` -- **skyline layers** (onion peeling into a
+  full preference ranking).
+* :mod:`repro.queries.topk` -- **top-k dominating** records by exact
+  dominance counts (m-dominance fast path per Lemma 4.2).
+* :mod:`repro.queries.subspace` -- **subspace skylines** and the full
+  **skycube** over every attribute subset.
+"""
+
+from repro.queries.skyband import k_skyband, k_skyband_bbs, k_skyband_nested_loops
+from repro.queries.constrained import Constraint, constrained_skyline
+from repro.queries.layers import layer_of, skyline_layers
+from repro.queries.topk import dominance_counts, top_k_dominating
+from repro.queries.subspace import project_dataset, skycube, subspace_skyline
+from repro.queries.maintain import MaintainedSkyline
+from repro.queries.winnow import (
+    check_preference,
+    lexicographic_preference,
+    pareto_preference,
+    winnow,
+)
+
+__all__ = [
+    "k_skyband",
+    "k_skyband_bbs",
+    "k_skyband_nested_loops",
+    "Constraint",
+    "constrained_skyline",
+    "skyline_layers",
+    "layer_of",
+    "top_k_dominating",
+    "dominance_counts",
+    "project_dataset",
+    "subspace_skyline",
+    "skycube",
+    "MaintainedSkyline",
+    "winnow",
+    "check_preference",
+    "pareto_preference",
+    "lexicographic_preference",
+]

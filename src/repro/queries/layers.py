@@ -1,0 +1,69 @@
+"""Skyline layers ("onion peeling") over partially-ordered domains.
+
+Layer 1 is the skyline; layer ``i`` is the skyline of the records not in
+layers ``1..i-1``.  Layers generalise the skyline into a full preference
+ranking and relate to, but differ from, the k-skyband: a record in layer
+``i`` may be dominated by arbitrarily many records, all sitting in layer
+``i-1``.
+
+The evaluator peels layers by re-running any registered skyline algorithm
+over the shrinking remainder (each layer's run reuses the dataset's
+domain mappings; only the per-layer point set changes).  For the
+index-based algorithms each layer builds a fresh R-tree over the
+remainder, so ``bnl`` is usually the right workhorse when many layers are
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algorithms.base import get_algorithm
+from repro.exceptions import AlgorithmError
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["skyline_layers", "layer_of"]
+
+
+def skyline_layers(
+    dataset: TransformedDataset,
+    max_layers: int | None = None,
+    algorithm: str = "bnl",
+    **options,
+) -> Iterator[list[Point]]:
+    """Yield successive skyline layers of ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The transformed dataset (shared mappings across layers).
+    max_layers:
+        Stop after this many layers (``None`` peels everything).
+    algorithm:
+        Registered skyline algorithm used for each peel.
+    """
+    if max_layers is not None and max_layers < 1:
+        raise AlgorithmError("max_layers must be positive")
+    remaining = list(dataset.points)
+    produced = 0
+    algo = get_algorithm(algorithm, **options)
+    while remaining and (max_layers is None or produced < max_layers):
+        layer_dataset = dataset.subset_view(remaining)
+        layer = list(algo.run(layer_dataset))
+        if not layer:  # defensive: a non-empty set always has a skyline
+            raise AlgorithmError("algorithm produced an empty layer")
+        yield layer
+        produced += 1
+        layer_ids = {id(p) for p in layer}
+        remaining = [p for p in remaining if id(p) not in layer_ids]
+
+
+def layer_of(dataset: TransformedDataset, rid, algorithm: str = "bnl") -> int:
+    """1-based layer number of the record with id ``rid`` (0 if absent)."""
+    for number, layer in enumerate(skyline_layers(dataset, algorithm=algorithm), 1):
+        if any(p.record.rid == rid for p in layer):
+            return number
+    return 0
+
+

@@ -1,0 +1,116 @@
+"""Subspace skylines and the skycube.
+
+A *subspace skyline* evaluates the skyline over a subset of the schema's
+attributes -- the natural "what if I only care about price and amenities"
+companion of the full query, and another member of the skyline-related
+family the paper's future work points at.  The *skycube* materialises the
+skylines of **all** non-empty attribute subsets.
+
+Projection notes:
+
+* projecting drops attributes wholesale; dominance in the subspace is
+  dominance under the projected schema (records equal on the subspace
+  become duplicates and are all returned when non-dominated, consistent
+  with the full-space evaluators);
+* each subspace gets its own
+  :class:`~repro.transform.dataset.TransformedDataset`, so index-based
+  algorithms work unchanged; the default evaluator is ``bnl`` since a
+  skycube over a ``d``-attribute schema builds ``2^d - 1`` subspaces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algorithms.base import get_algorithm
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.exceptions import SchemaError
+from repro.transform.dataset import TransformedDataset
+
+__all__ = ["project_dataset", "subspace_skyline", "skycube"]
+
+
+def project_dataset(
+    dataset: TransformedDataset, attributes: Sequence[str]
+) -> TransformedDataset:
+    """A new dataset over only the named attributes (original order)."""
+    if not attributes:
+        raise SchemaError("a subspace needs at least one attribute")
+    wanted = set(attributes)
+    unknown = wanted - {a.name for a in dataset.schema.attributes}
+    if unknown:
+        raise SchemaError(f"unknown attributes in subspace: {sorted(unknown)}")
+
+    kept = [a for a in dataset.schema.attributes if a.name in wanted]
+    schema = Schema(kept)
+    total_idx = [
+        k
+        for k, attr in enumerate(dataset.schema.total_attrs)
+        if attr.name in wanted
+    ]
+    partial_idx = [
+        k
+        for k, attr in enumerate(dataset.schema.partial_attrs)
+        if attr.name in wanted
+    ]
+    records = [
+        Record(
+            r.rid,
+            tuple(r.totals[k] for k in total_idx),
+            tuple(r.partials[k] for k in partial_idx),
+            payload=r.payload,
+        )
+        for r in dataset.records
+    ]
+    return TransformedDataset(
+        schema,
+        records,
+        strategy=dataset.strategy,
+        stats=dataset.stats,
+        max_entries=dataset.max_entries,
+        bulk_load=dataset.bulk_load,
+        native_mode=dataset.native_mode,
+    )
+
+
+def subspace_skyline(
+    dataset: TransformedDataset,
+    attributes: Sequence[str],
+    algorithm: str = "bnl",
+    **options,
+) -> list[Record]:
+    """Skyline over ``attributes`` only; returns the *original* records."""
+    projected = project_dataset(dataset, attributes)
+    by_rid = {r.rid: r for r in dataset.records}
+    return [
+        by_rid[p.record.rid]
+        for p in get_algorithm(algorithm, **options).run(projected)
+    ]
+
+
+def skycube(
+    dataset: TransformedDataset,
+    algorithm: str = "bnl",
+    max_attributes: int = 6,
+    **options,
+) -> dict[frozenset, list]:
+    """Record-id skylines of every non-empty attribute subset.
+
+    ``max_attributes`` guards against accidental 2^d blow-ups on wide
+    schemas.
+    """
+    names = [a.name for a in dataset.schema.attributes]
+    if len(names) > max_attributes:
+        raise SchemaError(
+            f"schema has {len(names)} attributes; a skycube would build "
+            f"{2 ** len(names) - 1} subspaces (raise max_attributes to force)"
+        )
+    cube: dict[frozenset, list] = {}
+    for mask in range(1, 1 << len(names)):
+        subset = [names[i] for i in range(len(names)) if mask >> i & 1]
+        answers = subspace_skyline(dataset, subset, algorithm, **options)
+        cube[frozenset(subset)] = sorted(
+            (r.rid for r in answers), key=lambda rid: (str(type(rid)), str(rid))
+        )
+    return cube

@@ -1,0 +1,55 @@
+"""Top-k dominating queries over partially-ordered domains.
+
+Returns the ``k`` records that dominate the most other records -- a
+ranking cousin of the skyline (the best record by dominance count need
+not be a skyline member in general orders, though with our strict
+dominance it cannot be dominated by a record with an equal count...
+no such guarantee is assumed here; counts are computed exactly).
+
+Counting uses a cheap m-dominance lower bound first: m-dominance implies
+native dominance, so only the pairs where the two verdicts can differ --
+partially covering dominator and partially covered target (Lemma 4.2) --
+need the expensive original-domain comparison.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AlgorithmError
+from repro.transform.dataset import TransformedDataset
+from repro.transform.point import Point
+
+__all__ = ["top_k_dominating", "dominance_counts"]
+
+
+def dominance_counts(dataset: TransformedDataset) -> dict:
+    """Exact map ``rid -> number of records it dominates``."""
+    kernel = dataset.kernel
+    points = dataset.points
+    counts: dict = {p.record.rid: 0 for p in points}
+    for p in points:
+        p_covering = p.category.completely_covering
+        for q in points:
+            if p is q:
+                continue
+            if kernel.m_dominates(p, q):
+                counts[p.record.rid] += 1
+            elif not p_covering and not q.category.completely_covered:
+                # Lemma 4.2 leaves room for native-only dominance.
+                if kernel.native_dominates(p, q):
+                    counts[p.record.rid] += 1
+    return counts
+
+
+def top_k_dominating(dataset: TransformedDataset, k: int) -> list[tuple[Point, int]]:
+    """The ``k`` records with the highest dominance counts.
+
+    Returns ``(point, count)`` pairs sorted by descending count (ties
+    broken by record id order of first appearance).
+    """
+    if k < 1:
+        raise AlgorithmError("k must be at least 1")
+    counts = dominance_counts(dataset)
+    order = sorted(
+        dataset.points, key=lambda p: counts[p.record.rid], reverse=True
+    )
+    return [(p, counts[p.record.rid]) for p in order[:k]]

@@ -1,0 +1,138 @@
+"""The winnow operator: "best matches" under arbitrary preferences.
+
+Section 2 of the paper situates skylines inside the qualitative
+preference-query frameworks (Chomicki's *winnow* operator, Kießling's
+Pareto preferences, Torlone/Ciaccia's *Best* operator): the skyline is
+winnow under the Pareto dominance relation.  This module provides the
+general operator for **any user-supplied strict partial order** over
+records, evaluated BNL-style, so schema dominance, weighted preferences,
+lexicographic rules or hand-written business preferences all share one
+evaluator.
+
+The preference must be a strict partial order (irreflexive, transitive);
+:func:`check_preference` spot-verifies those laws on a sample and the
+evaluator can do so automatically via ``validate=True``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.core.record import Record
+from repro.exceptions import AlgorithmError
+
+__all__ = ["winnow", "check_preference", "pareto_preference", "lexicographic_preference"]
+
+Preference = Callable[[Record, Record], bool]
+
+
+def winnow(
+    records: Sequence[Record],
+    prefers: Preference,
+    validate: bool = False,
+) -> list[Record]:
+    """Records not strictly worse than any other under ``prefers``.
+
+    ``prefers(a, b)`` is ``True`` when ``a`` is strictly better than
+    ``b``.  With ``validate=True`` the preference's partial-order laws
+    are spot-checked on a sample first.
+    """
+    if validate:
+        check_preference(records, prefers)
+    window: list[Record] = []
+    for r in records:
+        beaten = False
+        i = 0
+        while i < len(window):
+            w = window[i]
+            if prefers(w, r):
+                beaten = True
+                break
+            if prefers(r, w):
+                window[i] = window[-1]
+                window.pop()
+                continue
+            i += 1
+        if not beaten:
+            window.append(r)
+    # Preserve input order in the answer.
+    kept = {id(r) for r in window}
+    return [r for r in records if id(r) in kept]
+
+
+def check_preference(
+    records: Sequence[Record],
+    prefers: Preference,
+    sample_size: int = 25,
+    seed: int = 0,
+) -> None:
+    """Spot-check irreflexivity, asymmetry and transitivity.
+
+    Raises :class:`AlgorithmError` on the first violation found in a
+    random sample (a sound preference passes vacuously).
+    """
+    if not records:
+        return
+    rng = random.Random(seed)
+    sample = [rng.choice(records) for _ in range(min(sample_size, 3 * len(records)))]
+    for a in sample:
+        if prefers(a, a):
+            raise AlgorithmError(f"preference is not irreflexive at {a.rid!r}")
+    for a in sample:
+        for b in sample:
+            if a is b:
+                continue
+            if prefers(a, b) and prefers(b, a):
+                raise AlgorithmError(
+                    f"preference is not asymmetric on ({a.rid!r}, {b.rid!r})"
+                )
+    for a in sample[:8]:
+        for b in sample[:8]:
+            for c in sample[:8]:
+                if prefers(a, b) and prefers(b, c) and not prefers(a, c):
+                    raise AlgorithmError(
+                        "preference is not transitive on "
+                        f"({a.rid!r}, {b.rid!r}, {c.rid!r})"
+                    )
+
+
+def pareto_preference(schema) -> Preference:
+    """The schema's native dominance as a winnow preference.
+
+    ``winnow(records, pareto_preference(schema))`` equals the skyline.
+    """
+    from repro.reference import reference_dominates
+
+    def prefers(a: Record, b: Record) -> bool:
+        return reference_dominates(schema, a, b)
+
+    return prefers
+
+
+def lexicographic_preference(schema, order: Sequence[str]) -> Preference:
+    """Strict lexicographic preference over totally-ordered attributes.
+
+    ``order`` names numeric attributes most-significant first; ties on a
+    prefix are broken by the next attribute, records equal on all listed
+    attributes are incomparable (not preferred either way).
+    """
+    indices = []
+    for name in order:
+        attr = schema.attribute(name)
+        if attr.kind.value != "total":
+            raise AlgorithmError(
+                f"lexicographic preference needs numeric attributes, got {name!r}"
+            )
+        indices.append((schema.total_attrs.index(attr), attr.sign))
+
+    def prefers(a: Record, b: Record) -> bool:
+        for k, sign in indices:
+            x, y = a.totals[k] * sign, b.totals[k] * sign
+            if x < y:
+                return True
+            if x > y:
+                return False
+        return False
+
+    return prefers

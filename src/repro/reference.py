@@ -1,0 +1,84 @@
+"""Reference (brute-force) implementations straight from the definitions.
+
+These oracles exist so downstream users -- and this repository's own test
+suite -- can verify any evaluator against the Section 4.2 definitions
+with no shared code paths: dominance is computed attribute by attribute
+from the schema (numeric direction comparisons plus poset reachability),
+and the skyline/skyband by quadratic scans.
+
+They are deliberately simple and unoptimised; use the real algorithms for
+anything beyond validation-sized inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.record import Record
+from repro.core.schema import Schema
+
+__all__ = [
+    "reference_dominates",
+    "reference_skyline",
+    "reference_skyband",
+    "reference_dominance_count",
+]
+
+
+def reference_dominates(schema: Schema, r1: Record, r2: Record) -> bool:
+    """Native dominance of ``r1`` over ``r2`` per Section 4.2.
+
+    ``r1`` dominates ``r2`` iff it is at least as good on every attribute
+    (direction-aware for numeric attributes, partial-order ``<=`` for
+    poset attributes) and strictly better on at least one.
+    """
+    strict = False
+    for attr, a, b in zip(schema.total_attrs, r1.totals, r2.totals):
+        na, nb = attr.normalize(a), attr.normalize(b)
+        if na > nb:
+            return False
+        if na < nb:
+            strict = True
+    for attr, a, b in zip(schema.partial_attrs, r1.partials, r2.partials):
+        if a == b:
+            continue
+        if attr.poset.dominates(a, b):
+            strict = True
+            continue
+        return False
+    return strict
+
+
+def reference_skyline(schema: Schema, records: Sequence[Record]) -> list[Record]:
+    """The exact skyline by an O(n^2) scan (order of input preserved)."""
+    return [
+        r
+        for i, r in enumerate(records)
+        if not any(
+            reference_dominates(schema, other, r)
+            for j, other in enumerate(records)
+            if i != j
+        )
+    ]
+
+
+def reference_dominance_count(
+    schema: Schema, records: Sequence[Record], record: Record
+) -> int:
+    """Number of records in ``records`` that dominate ``record``."""
+    return sum(
+        1
+        for other in records
+        if other is not record and reference_dominates(schema, other, record)
+    )
+
+
+def reference_skyband(
+    schema: Schema, records: Sequence[Record], k: int
+) -> list[Record]:
+    """The exact k-skyband (dominated by fewer than ``k`` records)."""
+    return [
+        r
+        for r in records
+        if reference_dominance_count(schema, records, r) < k
+    ]

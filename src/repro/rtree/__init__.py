@@ -1,0 +1,38 @@
+"""From-scratch R*-tree substrate.
+
+Implements the index of the paper's step (S2): an R*-tree (Beckmann et
+al., SIGMOD'90) over the transformed minimisation space, with
+
+* dynamic insertion (ChooseSubtree with minimum-overlap at the leaf level,
+  R* axis/distribution splits, one round of forced reinsertion per level),
+* STR bulk loading (Leutenegger et al.) for fast index construction,
+* per-entry aggregated dominance-category bits, as described in the
+  paper's Section 5 ("each entry in the index nodes has two additional
+  bits indicating whether the entry is partially/completely
+  covered/covering"), and
+* a node-access counter, the paper's I/O proxy.
+"""
+
+from repro.rtree.geometry import (
+    rect_area,
+    rect_contains,
+    rect_enlargement,
+    rect_margin,
+    rect_overlap,
+    rect_union,
+)
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarTree
+from repro.rtree.bulk import str_bulk_load
+
+__all__ = [
+    "rect_area",
+    "rect_margin",
+    "rect_union",
+    "rect_overlap",
+    "rect_contains",
+    "rect_enlargement",
+    "Node",
+    "RStarTree",
+    "str_bulk_load",
+]

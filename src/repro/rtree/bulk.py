@@ -1,0 +1,105 @@
+"""Sort-Tile-Recursive (STR) bulk loading (Leutenegger et al., ICDE'97).
+
+Builds a packed R-tree bottom-up: points are recursively sorted and tiled
+one dimension at a time into runs of (roughly) equal size, leaves are
+packed to ``fill * max_entries``, and parent levels are packed over the
+child MBR centers the same way.  The result plugs into the same
+:class:`~repro.rtree.rstar.RStarTree` container so traversals, validation
+and statistics are shared with the dynamic path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import IndexError_
+from repro.rtree.geometry import rect_center
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarTree
+from repro.transform.point import Point
+
+__all__ = ["str_bulk_load"]
+
+
+def _tile(
+    items: list,
+    key_for_dim,
+    dimensions: int,
+    capacity: int,
+) -> list[list]:
+    """Recursively sort-and-tile ``items`` into runs of <= capacity."""
+
+    def recurse(chunk: list, dim: int) -> list[list]:
+        if len(chunk) <= capacity:
+            return [chunk]
+        if dim >= dimensions - 1:
+            chunk = sorted(chunk, key=key_for_dim(dim))
+            return [chunk[i : i + capacity] for i in range(0, len(chunk), capacity)]
+        pages = math.ceil(len(chunk) / capacity)
+        slabs = math.ceil(pages ** (1.0 / (dimensions - dim)))
+        slab_size = math.ceil(len(chunk) / slabs)
+        chunk = sorted(chunk, key=key_for_dim(dim))
+        out: list[list] = []
+        for i in range(0, len(chunk), slab_size):
+            out.extend(recurse(chunk[i : i + slab_size], dim + 1))
+        return out
+
+    return recurse(list(items), 0)
+
+
+def str_bulk_load(
+    points: list[Point],
+    dimensions: int,
+    max_entries: int = 50,
+    fill: float = 0.7,
+    stats: ComparisonStats | None = None,
+) -> RStarTree:
+    """Build a packed R-tree over ``points``.
+
+    Parameters
+    ----------
+    points:
+        Transformed points (may be empty).
+    dimensions:
+        Vector dimensionality (must match the points).
+    max_entries:
+        Node capacity (paper default 50).
+    fill:
+        Packing factor; leaves/internal nodes are packed to
+        ``ceil(fill * max_entries)`` entries.
+    stats:
+        Counter bundle shared with the caller.
+    """
+    if not 0.0 < fill <= 1.0:
+        raise IndexError_("fill must be in (0, 1]")
+    tree = RStarTree(dimensions, max_entries=max_entries, stats=stats)
+    if not points:
+        return tree
+    for p in points:
+        if len(p.vector) != dimensions:
+            raise IndexError_(
+                f"point has {len(p.vector)} dimensions, expected {dimensions}"
+            )
+    capacity = max(2, int(math.ceil(fill * max_entries)))
+
+    def point_key(dim: int):
+        return lambda p: p.vector[dim]
+
+    groups = _tile(points, point_key, dimensions, capacity)
+    level: list[Node] = [Node(leaf=True, entries=group) for group in groups]
+    height = 1
+
+    def node_key(dim: int):
+        return lambda n: rect_center(n.mins, n.maxs)[dim]
+
+    while len(level) > 1:
+        groups = _tile(level, node_key, dimensions, capacity)
+        level = [Node(leaf=False, entries=group) for group in groups]
+        height += 1
+
+    tree.root = level[0]
+    tree.height = height
+    tree.size = len(points)
+    tree.packed = True
+    return tree

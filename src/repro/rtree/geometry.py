@@ -1,0 +1,166 @@
+"""Axis-aligned rectangle (MBR) arithmetic.
+
+Rectangles are represented as two coordinate tuples ``(mins, maxs)``
+handled as separate arguments for speed; points are bare coordinate
+tuples.  All functions work in any dimensionality.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "rect_union",
+    "rect_union_point",
+    "rect_area",
+    "rect_margin",
+    "rect_overlap",
+    "rect_intersects",
+    "rect_contains",
+    "rect_contains_point",
+    "rect_enlargement",
+    "rect_center",
+    "point_rect_distance2",
+    "mbr_of_points",
+    "mbr_of_rects",
+]
+
+
+def rect_union(
+    mins_a: tuple[float, ...],
+    maxs_a: tuple[float, ...],
+    mins_b: tuple[float, ...],
+    maxs_b: tuple[float, ...],
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Smallest rectangle covering both arguments."""
+    return (
+        tuple(a if a < b else b for a, b in zip(mins_a, mins_b)),
+        tuple(a if a > b else b for a, b in zip(maxs_a, maxs_b)),
+    )
+
+
+def rect_union_point(
+    mins: tuple[float, ...],
+    maxs: tuple[float, ...],
+    point: tuple[float, ...],
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Smallest rectangle covering the rectangle and the point."""
+    return (
+        tuple(a if a < b else b for a, b in zip(mins, point)),
+        tuple(a if a > b else b for a, b in zip(maxs, point)),
+    )
+
+
+def rect_area(mins: tuple[float, ...], maxs: tuple[float, ...]) -> float:
+    """Hyper-volume of the rectangle."""
+    area = 1.0
+    for lo, hi in zip(mins, maxs):
+        area *= hi - lo
+    return area
+
+
+def rect_margin(mins: tuple[float, ...], maxs: tuple[float, ...]) -> float:
+    """Sum of side lengths (the R* margin criterion)."""
+    return sum(hi - lo for lo, hi in zip(mins, maxs))
+
+
+def rect_overlap(
+    mins_a: tuple[float, ...],
+    maxs_a: tuple[float, ...],
+    mins_b: tuple[float, ...],
+    maxs_b: tuple[float, ...],
+) -> float:
+    """Hyper-volume of the intersection (0 when disjoint)."""
+    volume = 1.0
+    for lo_a, hi_a, lo_b, hi_b in zip(mins_a, maxs_a, mins_b, maxs_b):
+        lo = lo_a if lo_a > lo_b else lo_b
+        hi = hi_a if hi_a < hi_b else hi_b
+        if hi <= lo:
+            return 0.0
+        volume *= hi - lo
+    return volume
+
+
+def rect_intersects(
+    mins_a: tuple[float, ...],
+    maxs_a: tuple[float, ...],
+    mins_b: tuple[float, ...],
+    maxs_b: tuple[float, ...],
+) -> bool:
+    """Whether the rectangles share at least one point (boundaries
+    inclusive; correct for degenerate/zero-volume boxes, unlike testing
+    ``rect_overlap() > 0``)."""
+    return all(
+        lo_a <= hi_b and lo_b <= hi_a
+        for lo_a, hi_a, lo_b, hi_b in zip(mins_a, maxs_a, mins_b, maxs_b)
+    )
+
+
+def rect_contains(
+    mins_outer: tuple[float, ...],
+    maxs_outer: tuple[float, ...],
+    mins_inner: tuple[float, ...],
+    maxs_inner: tuple[float, ...],
+) -> bool:
+    """Whether the first rectangle fully contains the second."""
+    return all(
+        lo_o <= lo_i and hi_i <= hi_o
+        for lo_o, hi_o, lo_i, hi_i in zip(mins_outer, maxs_outer, mins_inner, maxs_inner)
+    )
+
+
+def rect_contains_point(
+    mins: tuple[float, ...], maxs: tuple[float, ...], point: tuple[float, ...]
+) -> bool:
+    """Whether the rectangle contains the point (boundaries inclusive)."""
+    return all(lo <= x <= hi for lo, hi, x in zip(mins, maxs, point))
+
+
+def rect_enlargement(
+    mins: tuple[float, ...],
+    maxs: tuple[float, ...],
+    point: tuple[float, ...],
+) -> float:
+    """Area growth needed for the rectangle to absorb the point."""
+    new_area = 1.0
+    old_area = 1.0
+    for lo, hi, x in zip(mins, maxs, point):
+        old_area *= hi - lo
+        new_area *= (hi if hi > x else x) - (lo if lo < x else x)
+    return new_area - old_area
+
+
+def rect_center(
+    mins: tuple[float, ...], maxs: tuple[float, ...]
+) -> tuple[float, ...]:
+    """Geometric center of the rectangle."""
+    return tuple((lo + hi) / 2.0 for lo, hi in zip(mins, maxs))
+
+
+def point_rect_distance2(
+    point: tuple[float, ...], mins: tuple[float, ...], maxs: tuple[float, ...]
+) -> float:
+    """Squared Euclidean distance from a point to a rectangle."""
+    acc = 0.0
+    for x, lo, hi in zip(point, mins, maxs):
+        if x < lo:
+            acc += (lo - x) ** 2
+        elif x > hi:
+            acc += (x - hi) ** 2
+    return acc
+
+
+def mbr_of_points(
+    vectors: list[tuple[float, ...]],
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Bounding rectangle of a non-empty list of points."""
+    mins = tuple(min(col) for col in zip(*vectors))
+    maxs = tuple(max(col) for col in zip(*vectors))
+    return mins, maxs
+
+
+def mbr_of_rects(
+    rects: list[tuple[tuple[float, ...], tuple[float, ...]]],
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Bounding rectangle of a non-empty list of rectangles."""
+    mins = tuple(min(col) for col in zip(*(r[0] for r in rects)))
+    maxs = tuple(max(col) for col in zip(*(r[1] for r in rects)))
+    return mins, maxs

@@ -1,0 +1,53 @@
+"""Min-heap over R-tree entries keyed by BBS priority.
+
+BBS visits index entries in ascending order of their L1 distance to the
+ideal corner of the (normalised minimisation) space: ``sum(mins)`` for a
+node, ``sum(vector)`` for a point.  That ordering guarantees a point is
+popped only after every point that could m-dominate it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Union
+
+from repro.core.stats import ComparisonStats
+from repro.rtree.node import Node
+from repro.transform.point import Point
+
+__all__ = ["EntryHeap", "entry_key"]
+
+
+def entry_key(entry: Union[Node, Point]) -> float:
+    """BBS priority of a heap entry."""
+    if isinstance(entry, Point):
+        return entry.key
+    return entry.min_key
+
+
+class EntryHeap:
+    """Priority queue of mixed node/point entries with stable tie-breaks."""
+
+    __slots__ = ("_heap", "_tie", "stats")
+
+    def __init__(self, stats: ComparisonStats | None = None) -> None:
+        self._heap: list[tuple[float, int, Union[Node, Point]]] = []
+        self._tie = itertools.count()
+        self.stats = stats if stats is not None else ComparisonStats()
+
+    def push(self, entry: Union[Node, Point]) -> None:
+        """Insert an entry with its BBS priority."""
+        self.stats.heap_pushes += 1
+        heapq.heappush(self._heap, (entry_key(entry), next(self._tie), entry))
+
+    def pop(self) -> Union[Node, Point]:
+        """Remove and return the entry with the smallest priority."""
+        self.stats.heap_pops += 1
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,110 @@
+"""R-tree nodes.
+
+Leaf nodes hold :class:`~repro.transform.point.Point` entries; internal
+nodes hold child :class:`Node` entries.  Every node maintains its MBR and
+the paper's two aggregated dominance-classification bits:
+
+* ``covered_all`` -- every point below is completely covered;
+* ``covering_all`` -- every point below is completely covering.
+
+The bits let SDC/SDC+ restrict which intermediate-skyline subsets an index
+entry needs to be checked against during heap pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.categories import Category
+from repro.transform.point import Point
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One R-tree node (page)."""
+
+    __slots__ = ("leaf", "entries", "mins", "maxs", "covered_all", "covering_all")
+
+    def __init__(self, leaf: bool, entries: list[Union["Node", Point]] | None = None) -> None:
+        self.leaf = leaf
+        self.entries: list[Union[Node, Point]] = entries if entries is not None else []
+        self.mins: tuple[float, ...] = ()
+        self.maxs: tuple[float, ...] = ()
+        self.covered_all = True
+        self.covering_all = True
+        if self.entries:
+            self.refresh()
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Recompute the MBR and category bits from the entries."""
+        if not self.entries:
+            self.mins = ()
+            self.maxs = ()
+            self.covered_all = True
+            self.covering_all = True
+            return
+        if self.leaf:
+            vectors = [p.vector for p in self.entries]
+            self.mins = tuple(min(col) for col in zip(*vectors))
+            self.maxs = tuple(max(col) for col in zip(*vectors))
+            self.covered_all = all(p.category.completely_covered for p in self.entries)
+            self.covering_all = all(p.category.completely_covering for p in self.entries)
+        else:
+            self.mins = tuple(min(col) for col in zip(*(c.mins for c in self.entries)))
+            self.maxs = tuple(max(col) for col in zip(*(c.maxs for c in self.entries)))
+            self.covered_all = all(c.covered_all for c in self.entries)
+            self.covering_all = all(c.covering_all for c in self.entries)
+
+    def extend_for(self, entry: Union["Node", Point]) -> None:
+        """Grow the MBR/bits to absorb one entry (cheaper than refresh)."""
+        if isinstance(entry, Point):
+            lo = hi = entry.vector
+            covered = entry.category.completely_covered
+            covering = entry.category.completely_covering
+        else:
+            lo, hi = entry.mins, entry.maxs
+            covered = entry.covered_all
+            covering = entry.covering_all
+        if not self.mins:
+            self.mins, self.maxs = tuple(lo), tuple(hi)
+        else:
+            self.mins = tuple(a if a < b else b for a, b in zip(self.mins, lo))
+            self.maxs = tuple(a if a > b else b for a, b in zip(self.maxs, hi))
+        self.covered_all = self.covered_all and covered
+        self.covering_all = self.covering_all and covering
+
+    # ------------------------------------------------------------------
+    @property
+    def min_key(self) -> float:
+        """BBS priority of the node: L1 distance of its best corner."""
+        return sum(self.mins)
+
+    def possible_categories(self) -> frozenset[Category]:
+        """Point categories that may occur beneath this node.
+
+        Derived conservatively from the two aggregated bits: a ``c`` bit
+        pins the component, a ``p`` bit admits both values.
+        """
+        covered_opts = (True,) if self.covered_all else (True, False)
+        covering_opts = (True,) if self.covering_all else (True, False)
+        return frozenset(
+            Category.of(cov, ing) for cov in covered_opts for ing in covering_opts
+        )
+
+    def count_points(self) -> int:
+        """Number of data points in the subtree (test helper)."""
+        if self.leaf:
+            return len(self.entries)
+        return sum(c.count_points() for c in self.entries)
+
+    def depth(self) -> int:
+        """Height of the subtree (1 for a leaf)."""
+        if self.leaf:
+            return 1
+        return 1 + max(c.depth() for c in self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.leaf else "internal"
+        return f"Node({kind}, fanout={len(self.entries)})"

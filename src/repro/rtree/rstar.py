@@ -1,0 +1,449 @@
+"""R*-tree with dynamic insertion (Beckmann et al., SIGMOD'90).
+
+Node heights are counted from the leaves (a leaf has height 1), so
+pending forced-reinsert entries keep a stable target height even when the
+root splits.  The implementation follows the R* paper:
+
+* **ChooseSubtree** -- minimum overlap enlargement when the children are
+  leaves (ties: minimum area enlargement, then minimum area), minimum
+  area enlargement otherwise;
+* **OverflowTreatment** -- one forced reinsertion of the 30% of entries
+  farthest from the node center per level per insertion, then splits;
+* **Split** -- choose the axis with the least margin sum over all
+  distributions, then the distribution with the least overlap (ties:
+  least combined area).
+
+The paper indexes transformed data points with "page sizes of 4K bytes
+and node capacity of 50"; ``max_entries`` defaults to 50 accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Union
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import IndexError_
+from repro.rtree.geometry import (
+    rect_area,
+    rect_center,
+    rect_contains,
+    rect_contains_point,
+    rect_enlargement,
+    rect_intersects,
+    rect_overlap,
+    rect_union,
+)
+from repro.rtree.node import Node
+from repro.transform.point import Point
+
+__all__ = ["RStarTree"]
+
+Entry = Union[Node, Point]
+
+
+def _entry_rect(entry: Entry) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    if isinstance(entry, Point):
+        return entry.vector, entry.vector
+    return entry.mins, entry.maxs
+
+
+class RStarTree:
+    """An in-memory R*-tree over transformed points."""
+
+    REINSERT_FRACTION = 0.3
+
+    def __init__(
+        self,
+        dimensions: int,
+        max_entries: int = 50,
+        min_fill: float = 0.4,
+        reinsert: bool = True,
+        stats: ComparisonStats | None = None,
+    ) -> None:
+        if dimensions < 1:
+            raise IndexError_("dimensions must be positive")
+        if max_entries < 4:
+            raise IndexError_("max_entries must be at least 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise IndexError_("min_fill must be in (0, 0.5]")
+        self.dimensions = dimensions
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(math.ceil(min_fill * max_entries)))
+        self.reinsert_enabled = reinsert
+        self.stats = stats if stats is not None else ComparisonStats()
+        self.root = Node(leaf=True)
+        self.height = 1
+        self.size = 0
+        self.packed = False  # set by STR bulk loading (relaxes occupancy checks)
+        #: Optional :class:`~repro.bench.costmodel.BufferPool`; when
+        #: attached, :meth:`access` classifies node reads as hits/misses.
+        self.buffer_pool = None
+        self._reinserted_heights: set[int] = set()
+        self._pending: list[tuple[Entry, int]] = []
+
+    # ------------------------------------------------------------------
+    # Page access accounting
+    # ------------------------------------------------------------------
+    def access(self, node: Node) -> None:
+        """Record one node (page) read during query processing."""
+        self.stats.node_accesses += 1
+        if self.buffer_pool is not None and not self.buffer_pool.access(node):
+            self.stats.page_misses += 1
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert one transformed point."""
+        if len(point.vector) != self.dimensions:
+            raise IndexError_(
+                f"point has {len(point.vector)} dimensions, tree has {self.dimensions}"
+            )
+        self._reinserted_heights = set()
+        self._pending = [(point, 1)]
+        while self._pending:
+            entry, target_height = self._pending.pop()
+            self._root_insert(entry, target_height)
+        self.size += 1
+
+    def extend(self, points: list[Point]) -> None:
+        """Insert many points one by one."""
+        for point in points:
+            self.insert(point)
+
+    def _root_insert(self, entry: Entry, target_height: int) -> None:
+        split, _ = self._insert(self.root, entry, target_height, self.height)
+        if split is not None:
+            self.root = Node(leaf=False, entries=[self.root, split])
+            self.height += 1
+
+    def _insert(
+        self, node: Node, entry: Entry, target_height: int, height: int
+    ) -> tuple[Node | None, bool]:
+        """Recursive insert; returns ``(split_sibling, subtree_shrunk)``."""
+        shrunk = False
+        if height == target_height:
+            node.entries.append(entry)
+            node.extend_for(entry)
+        else:
+            child = self._choose_child(node, entry, height)
+            split, child_shrunk = self._insert(child, entry, target_height, height - 1)
+            if split is not None:
+                node.entries.append(split)
+            if child_shrunk or split is not None:
+                node.refresh()
+                shrunk = True
+            else:
+                node.extend_for(entry)
+        if len(node.entries) > self.max_entries:
+            sibling, removed = self._overflow(node, height)
+            return sibling, shrunk or removed
+        return None, shrunk
+
+    def _choose_child(self, node: Node, entry: Entry, height: int) -> Node:
+        mins_e, maxs_e = _entry_rect(entry)
+        children: list[Node] = node.entries  # type: ignore[assignment]
+        if height - 1 == 1:
+            # Children are leaves: minimise overlap enlargement.
+            best = None
+            best_key = None
+            for i, child in enumerate(children):
+                new_mins, new_maxs = rect_union(child.mins, child.maxs, mins_e, maxs_e)
+                overlap_before = 0.0
+                overlap_after = 0.0
+                for j, other in enumerate(children):
+                    if i == j:
+                        continue
+                    overlap_before += rect_overlap(
+                        child.mins, child.maxs, other.mins, other.maxs
+                    )
+                    overlap_after += rect_overlap(new_mins, new_maxs, other.mins, other.maxs)
+                enlargement = rect_area(new_mins, new_maxs) - rect_area(
+                    child.mins, child.maxs
+                )
+                key = (
+                    overlap_after - overlap_before,
+                    enlargement,
+                    rect_area(child.mins, child.maxs),
+                )
+                if best_key is None or key < best_key:
+                    best, best_key = child, key
+            return best  # type: ignore[return-value]
+        best = None
+        best_key = None
+        for child in children:
+            enlargement = rect_enlargement(child.mins, child.maxs, mins_e) + rect_enlargement(
+                child.mins, child.maxs, maxs_e
+            )
+            key = (enlargement, rect_area(child.mins, child.maxs))
+            if best_key is None or key < best_key:
+                best, best_key = child, key
+        return best  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Overflow treatment
+    # ------------------------------------------------------------------
+    def _overflow(self, node: Node, height: int) -> tuple[Node | None, bool]:
+        if (
+            self.reinsert_enabled
+            and node is not self.root
+            and height not in self._reinserted_heights
+        ):
+            self._reinserted_heights.add(height)
+            self._forced_reinsert(node, height)
+            return None, True
+        sibling = self._split(node)
+        return sibling, True
+
+    def _forced_reinsert(self, node: Node, height: int) -> None:
+        center = rect_center(node.mins, node.maxs)
+        scored: list[tuple[float, Entry]] = []
+        for entry in node.entries:
+            mins_e, maxs_e = _entry_rect(entry)
+            ecenter = rect_center(mins_e, maxs_e)
+            dist = sum((a - b) ** 2 for a, b in zip(center, ecenter))
+            scored.append((dist, entry))
+        scored.sort(key=lambda pair: pair[0], reverse=True)
+        count = max(1, int(self.REINSERT_FRACTION * len(node.entries)))
+        removed = [entry for _, entry in scored[:count]]
+        node.entries = [entry for _, entry in scored[count:]]
+        node.refresh()
+        # Close reinsert: nearest-first so entries likely land back nearby.
+        for entry in reversed(removed):
+            self._pending.append((entry, height))
+
+    # ------------------------------------------------------------------
+    # R* split
+    # ------------------------------------------------------------------
+    def _split(self, node: Node) -> Node:
+        entries = node.entries
+        m = self.min_entries
+        total = len(entries)
+        rects = [_entry_rect(e) for e in entries]
+
+        best_axis = -1
+        best_margin = None
+        for axis in range(self.dimensions):
+            margin_sum = 0.0
+            for sort_key in (
+                lambda i: (rects[i][0][axis], rects[i][1][axis]),
+                lambda i: (rects[i][1][axis], rects[i][0][axis]),
+            ):
+                order = sorted(range(total), key=sort_key)
+                margin_sum += self._distributions_margin(order, rects, m)
+            if best_margin is None or margin_sum < best_margin:
+                best_margin = margin_sum
+                best_axis = axis
+
+        axis = best_axis
+        best_groups = None
+        best_key = None
+        for sort_key in (
+            lambda i: (rects[i][0][axis], rects[i][1][axis]),
+            lambda i: (rects[i][1][axis], rects[i][0][axis]),
+        ):
+            order = sorted(range(total), key=sort_key)
+            prefix = self._prefix_mbrs([rects[i] for i in order])
+            suffix = self._prefix_mbrs([rects[i] for i in reversed(order)])
+            for k in range(m, total - m + 1):
+                mins1, maxs1 = prefix[k - 1]
+                mins2, maxs2 = suffix[total - k - 1]
+                overlap = rect_overlap(mins1, maxs1, mins2, maxs2)
+                area = rect_area(mins1, maxs1) + rect_area(mins2, maxs2)
+                key = (overlap, area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_groups = (
+                        [entries[i] for i in order[:k]],
+                        [entries[i] for i in order[k:]],
+                    )
+
+        group1, group2 = best_groups  # type: ignore[misc]
+        node.entries = group1
+        node.refresh()
+        sibling = Node(leaf=node.leaf, entries=group2)
+        return sibling
+
+    @staticmethod
+    def _prefix_mbrs(
+        rects: list[tuple[tuple[float, ...], tuple[float, ...]]],
+    ) -> list[tuple[tuple[float, ...], tuple[float, ...]]]:
+        out = []
+        mins, maxs = rects[0]
+        out.append((mins, maxs))
+        for lo, hi in rects[1:]:
+            mins, maxs = rect_union(mins, maxs, lo, hi)
+            out.append((mins, maxs))
+        return out
+
+    def _distributions_margin(
+        self,
+        order: list[int],
+        rects: list[tuple[tuple[float, ...], tuple[float, ...]]],
+        m: int,
+    ) -> float:
+        from repro.rtree.geometry import rect_margin
+
+        total = len(order)
+        prefix = self._prefix_mbrs([rects[i] for i in order])
+        suffix = self._prefix_mbrs([rects[i] for i in reversed(order)])
+        margin_sum = 0.0
+        for k in range(m, total - m + 1):
+            margin_sum += rect_margin(*prefix[k - 1]) + rect_margin(*suffix[total - k - 1])
+        return margin_sum
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, point: Point) -> bool:
+        """Remove one point; returns ``False`` when it is not stored.
+
+        Classic R-tree deletion with CondenseTree: underfull nodes along
+        the path are dissolved and their data points reinserted (orphan
+        subtrees are flattened to points -- simpler than height-matched
+        subtree reinsertion and equivalent for correctness).
+        """
+        path = self._find_leaf(self.root, point)
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.entries = [e for e in leaf.entries if e is not point]
+        self.size -= 1
+
+        orphan_points: list[Point] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self.min_entries:
+                parent.entries = [e for e in parent.entries if e is not node]
+                orphan_points.extend(self._collect_points(node))
+            else:
+                node.refresh()
+        self.root.refresh()
+
+        # Shrink the root while it has a single non-leaf child.
+        while not self.root.leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0]  # type: ignore[assignment]
+            self.height -= 1
+        if not self.root.entries:
+            self.root = Node(leaf=True)
+            self.height = 1
+
+        self.size -= len(orphan_points)
+        for orphan in orphan_points:
+            self.insert(orphan)
+        return True
+
+    def _find_leaf(self, node: Node, point: Point) -> list[Node] | None:
+        if node.leaf:
+            if any(e is point for e in node.entries):
+                return [node]
+            return None
+        for child in node.entries:
+            if rect_contains_point(child.mins, child.maxs, point.vector):  # type: ignore[union-attr]
+                found = self._find_leaf(child, point)  # type: ignore[arg-type]
+                if found is not None:
+                    return [node] + found
+        return None
+
+    @staticmethod
+    def _collect_points(node: Node) -> list[Point]:
+        out: list[Point] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.leaf:
+                out.extend(current.entries)  # type: ignore[arg-type]
+            else:
+                stack.extend(current.entries)  # type: ignore[arg-type]
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries and maintenance helpers
+    # ------------------------------------------------------------------
+    def points(self) -> Iterator[Point]:
+        """Iterate every stored point (arbitrary order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                yield from node.entries  # type: ignore[misc]
+            else:
+                stack.extend(node.entries)  # type: ignore[arg-type]
+
+    def search(
+        self, mins: tuple[float, ...], maxs: tuple[float, ...]
+    ) -> list[Point]:
+        """Range query: all points inside the rectangle (inclusive)."""
+        out: list[Point] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.access(node)
+            if node.leaf:
+                for p in node.entries:
+                    if rect_contains_point(mins, maxs, p.vector):  # type: ignore[union-attr]
+                        out.append(p)  # type: ignore[arg-type]
+            else:
+                for child in node.entries:
+                    if rect_intersects(mins, maxs, child.mins, child.maxs):
+                        stack.append(child)  # type: ignore[arg-type]
+        return out
+
+    def __len__(self) -> int:
+        return self.size
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`IndexError_`.
+
+        Verifies uniform leaf depth, occupancy bounds, MBR containment and
+        aggregated category-bit consistency.
+        """
+        if self.size == 0:
+            if self.root.entries:
+                raise IndexError_("empty tree has root entries")
+            return
+        leaf_depths: set[int] = set()
+
+        def walk(node: Node, depth: int, is_root: bool) -> None:
+            if not node.entries and not is_root:
+                raise IndexError_("empty non-root node")
+            if not is_root and not self.packed and not (
+                self.min_entries <= len(node.entries) <= self.max_entries
+            ):
+                raise IndexError_(
+                    f"node occupancy {len(node.entries)} outside "
+                    f"[{self.min_entries}, {self.max_entries}]"
+                )
+            if is_root and not self.packed and len(node.entries) > self.max_entries:
+                raise IndexError_("root overflow")
+            if node.leaf:
+                leaf_depths.add(depth)
+                covered = True
+                covering = True
+                for p in node.entries:
+                    if not rect_contains_point(node.mins, node.maxs, p.vector):  # type: ignore[union-attr]
+                        raise IndexError_("leaf MBR does not contain a point")
+                    covered = covered and p.category.completely_covered  # type: ignore[union-attr]
+                    covering = covering and p.category.completely_covering  # type: ignore[union-attr]
+                if covered != node.covered_all or covering != node.covering_all:
+                    raise IndexError_("leaf category bits inconsistent")
+                return
+            covered = True
+            covering = True
+            for child in node.entries:
+                if not rect_contains(node.mins, node.maxs, child.mins, child.maxs):  # type: ignore[union-attr]
+                    raise IndexError_("node MBR does not contain child MBR")
+                covered = covered and child.covered_all  # type: ignore[union-attr]
+                covering = covering and child.covering_all  # type: ignore[union-attr]
+                walk(child, depth + 1, False)  # type: ignore[arg-type]
+            if covered != node.covered_all or covering != node.covering_all:
+                raise IndexError_("internal category bits inconsistent")
+
+        walk(self.root, 1, True)
+        if len(leaf_depths) != 1:
+            raise IndexError_(f"leaves at different depths: {sorted(leaf_depths)}")
+        count = self.root.count_points()
+        if count != self.size:
+            raise IndexError_(f"size {self.size} != stored points {count}")

@@ -1,0 +1,95 @@
+"""Hypothesis strategies for property-based testing against this library.
+
+Shipped as part of the public API so downstream users can fuzz their own
+skyline-adjacent code with structurally valid posets, schemas and
+records; this repository's own test suite builds on the same generators.
+
+Requires the optional ``hypothesis`` dependency (``pip install
+repro[test]``).
+
+Example
+-------
+>>> from hypothesis import given
+>>> from repro.strategies import datasets
+>>> from repro.reference import reference_skyline
+>>> @given(datasets())
+... def test_my_evaluator(data):
+...     schema, records = data
+...     assert my_skyline(schema, records) == reference_skyline(schema, records)
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.posets.poset import Poset
+
+__all__ = ["posets", "schemas", "records_for", "datasets"]
+
+
+@st.composite
+def posets(draw, max_nodes: int = 12, max_height: int = 4) -> Poset:
+    """Random DAG posets with adjacent-level (Hasse) edges."""
+    n = draw(st.integers(1, max_nodes))
+    height = draw(st.integers(1, min(max_height, n)))
+    levels = [0] + [draw(st.integers(0, height - 1)) for _ in range(n - 1)]
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            if levels[j] == levels[i] + 1 and draw(st.booleans()):
+                edges.append((i, j))
+    return Poset(range(n), edges)
+
+
+@st.composite
+def schemas(
+    draw,
+    max_total: int = 3,
+    max_partial: int = 2,
+    set_valued: bool | None = None,
+) -> Schema:
+    """Random mixed schemas with at least one attribute."""
+    num_total = draw(st.integers(0, max_total))
+    min_partial = 0 if num_total else 1
+    num_partial = draw(st.integers(min_partial, max_partial))
+    attrs: list[NumericAttribute | PosetAttribute] = []
+    for k in range(num_total):
+        direction = draw(st.sampled_from(["min", "max"]))
+        attrs.append(NumericAttribute(f"t{k}", direction))
+    for k in range(num_partial):
+        poset = draw(posets())
+        use_sets = (
+            draw(st.booleans()) if set_valued is None else set_valued
+        )
+        if use_sets:
+            attrs.append(PosetAttribute.set_valued(f"p{k}", poset))
+        else:
+            attrs.append(PosetAttribute(f"p{k}", poset))
+    return Schema(attrs)
+
+
+@st.composite
+def records_for(draw, schema: Schema, max_records: int = 40) -> list[Record]:
+    """Random record lists valid for ``schema``."""
+    n = draw(st.integers(0, max_records))
+    out = []
+    for i in range(n):
+        totals = tuple(
+            draw(st.integers(0, 12)) for _ in range(schema.num_total)
+        )
+        partials = tuple(
+            attr.poset.value(draw(st.integers(0, len(attr.poset) - 1)))
+            for attr in schema.partial_attrs
+        )
+        out.append(Record(i, totals, partials))
+    return out
+
+
+@st.composite
+def datasets(draw, max_records: int = 40) -> tuple[Schema, list[Record]]:
+    """``(schema, records)`` pairs ready for any evaluator."""
+    schema = draw(schemas())
+    records = draw(records_for(schema, max_records=max_records))
+    return schema, records

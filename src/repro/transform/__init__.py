@@ -1,0 +1,22 @@
+"""Transform layer: domain mappings, transformed points, indexed datasets.
+
+Implements steps (S1) and (S2) of Section 4.1: every poset attribute is
+replaced by two integer coordinates via its interval encoding, records
+become :class:`~repro.transform.point.Point` objects in a normalised
+minimisation space, and the points are organised in R*-trees -- one tree
+for BBS+/SDC, one tree per stratum for SDC+.
+"""
+
+from repro.transform.mapping import DomainMapping, build_mappings
+from repro.transform.point import Point
+from repro.transform.dataset import TransformedDataset
+from repro.transform.stratification import Stratification, stratify
+
+__all__ = [
+    "DomainMapping",
+    "build_mappings",
+    "Point",
+    "TransformedDataset",
+    "Stratification",
+    "stratify",
+]

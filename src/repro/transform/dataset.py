@@ -1,0 +1,270 @@
+"""Transformed datasets: records -> points -> R-tree (steps S1+S2).
+
+:class:`TransformedDataset` is the object every algorithm consumes.  It
+owns the domain mappings (per the configured spanning-tree strategy), the
+transformed :class:`~repro.transform.point.Point` list, the dominance
+kernel bound to the schema, and lazily-built R*-tree indexes -- one global
+tree for BBS+/SDC and per-stratum trees for SDC+ (via
+:mod:`repro.transform.stratification`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.core.categories import Category
+from repro.core.dominance import DominanceKernel
+from repro.core.record import Record
+from repro.core.schema import Schema
+from repro.core.stats import ComparisonStats
+from repro.posets.optimize import SpanningTreeStrategy
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.rstar import RStarTree
+from repro.transform.mapping import DomainMapping, build_mappings
+from repro.transform.point import Point
+
+__all__ = ["TransformedDataset"]
+
+
+class TransformedDataset:
+    """Schema + records + mappings + transformed points + indexes.
+
+    Parameters
+    ----------
+    schema:
+        Query schema (mixed totally-/partially-ordered attributes).
+    records:
+        Input relation.
+    strategy:
+        Spanning-tree strategy for every poset attribute (``default``,
+        ``random``, ``minpc`` or ``maxpc``; Section 4.7).
+    stats:
+        Shared counter bundle (one is created when omitted).
+    faithful_gate:
+        Forwarded to :class:`~repro.core.dominance.DominanceKernel`.
+    max_entries:
+        R-tree node capacity (paper default 50).
+    bulk_load:
+        Build indexes with STR packing (default) instead of one-by-one
+        R*-tree insertion.
+    native_mode:
+        ``"native"`` (default) answers original-domain comparisons with
+        real set containment (or poset reachability); ``"closure"``
+        answers them exactly through the compressed transitive closure
+        of :mod:`repro.posets.closure` -- same results, different cost
+        profile (the mapping-tradeoff experiment).
+    forests:
+        Optional explicit spanning forests by poset-attribute name,
+        overriding ``strategy`` per attribute (used to reproduce the
+        paper's worked examples exactly).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Iterable[Record],
+        strategy: SpanningTreeStrategy | str = SpanningTreeStrategy.DEFAULT,
+        stats: ComparisonStats | None = None,
+        faithful_gate: bool = False,
+        max_entries: int = 50,
+        bulk_load: bool = True,
+        native_mode: str = "native",
+        rng: random.Random | None = None,
+        forests: dict | None = None,
+    ) -> None:
+        if native_mode not in ("native", "closure"):
+            from repro.exceptions import SchemaError
+
+            raise SchemaError(f"unknown native_mode {native_mode!r}")
+        self.schema = schema
+        self.records = list(records)
+        self.strategy = SpanningTreeStrategy.parse(strategy)
+        self.stats = stats if stats is not None else ComparisonStats()
+        self.mappings: tuple[DomainMapping, ...] = build_mappings(
+            schema, self.strategy, rng, forests
+        )
+        self.native_mode = native_mode
+        closures = (
+            tuple(m.closure for m in self.mappings)
+            if native_mode == "closure" and self.mappings
+            else None
+        )
+        self.kernel = DominanceKernel(schema, self.stats, faithful_gate, closures)
+        self.max_entries = max_entries
+        self.bulk_load = bulk_load
+        self.points: list[Point] = [self.transform(r) for r in self.records]
+        self._index: RStarTree | None = None
+        self._stratification = None
+        self._buffer_pool = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        """Transformed-space dimensionality."""
+        return self.schema.transformed_dimensions
+
+    def transform(self, record: Record) -> Point:
+        """Map one record into the transformed minimisation space."""
+        self.schema.validate_record(record.totals, record.partials)
+        vector: list[float] = [
+            attr.normalize(value)
+            for attr, value in zip(self.schema.total_attrs, record.totals)
+        ]
+        pix: list[int] = []
+        nsets: list[frozenset | None] = []
+        covered = True
+        covering = True
+        level = 0
+        for mapping, value in zip(self.mappings, record.partials):
+            i = mapping.node_index(value)
+            pix.append(i)
+            vector.extend(mapping.normalized_ix(i))
+            nsets.append(mapping.native_set_ix(i))
+            covered = covered and mapping.covered_ix(i)
+            covering = covering and mapping.covering_ix(i)
+            node_level = mapping.level_ix(i)
+            if node_level > level:
+                level = node_level
+        return Point(
+            record,
+            tuple(vector),
+            tuple(pix),
+            tuple(nsets),
+            Category.of(covered, covering),
+            level,
+        )
+
+    # ------------------------------------------------------------------
+    def build_tree(self, points: list[Point]) -> RStarTree:
+        """Index an arbitrary point list with the dataset's settings."""
+        if self.bulk_load:
+            tree = str_bulk_load(
+                points, self.dimensions, max_entries=self.max_entries, stats=self.stats
+            )
+        else:
+            tree = RStarTree(
+                self.dimensions, max_entries=self.max_entries, stats=self.stats
+            )
+            tree.extend(points)
+        tree.buffer_pool = self._buffer_pool
+        return tree
+
+    @property
+    def index(self) -> RStarTree:
+        """The single R-tree over all points (built on first use)."""
+        if self._index is None:
+            self._index = self.build_tree(self.points)
+        return self._index
+
+    @property
+    def stratification(self):
+        """The SDC+ stratification (built once, stratum trees lazy)."""
+        if self._stratification is None:
+            from repro.transform.stratification import Stratification
+
+            self._stratification = Stratification(self)
+        return self._stratification
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (paper future work, Section 6)
+    # ------------------------------------------------------------------
+    def insert_record(self, record: Record) -> Point:
+        """Add one record, keeping index and strata consistent.
+
+        The record's poset values must already belong to the attribute
+        domains: the interval labels of a poset are assigned offline, so
+        *domain* growth requires re-encoding (call :meth:`invalidate`
+        after swapping the schema) -- exactly the open problem the paper
+        defers to future work.  Record-level churn, however, is handled
+        incrementally here.
+        """
+        point = self.transform(record)
+        self.records.append(record)
+        self.points.append(point)
+        if self._index is not None:
+            self._index.insert(point)
+        if self._stratification is not None:
+            if not self._stratification.add_point(point):
+                self._stratification = None  # new stratum needed: rebuild
+        return point
+
+    def delete_record(self, rid) -> bool:
+        """Remove the record with id ``rid``; returns ``False`` if absent."""
+        position = next(
+            (k for k, p in enumerate(self.points) if p.record.rid == rid), None
+        )
+        if position is None:
+            return False
+        point = self.points.pop(position)
+        del self.records[position]
+        if self._index is not None:
+            self._index.delete(point)
+        if self._stratification is not None:
+            self._stratification.remove_point(point)
+        return True
+
+    def invalidate(self) -> None:
+        """Drop derived structures so they rebuild on next access."""
+        self._index = None
+        self._stratification = None
+
+    def subset_view(self, points: list[Point]) -> "TransformedDataset":
+        """A shallow view over a subset of this dataset's points.
+
+        Shares the schema, domain mappings, dominance kernel, counters
+        and buffer pool; gets its own (lazily built) index and strata.
+        Used by layer peeling and other queries that re-evaluate over a
+        shrinking remainder without re-transforming records.
+        """
+        view = TransformedDataset.__new__(TransformedDataset)
+        view.schema = self.schema
+        view.records = [p.record for p in points]
+        view.strategy = self.strategy
+        view.stats = self.stats
+        view.mappings = self.mappings
+        view.native_mode = self.native_mode
+        view.kernel = self.kernel
+        view.max_entries = self.max_entries
+        view.bulk_load = self.bulk_load
+        view.points = list(points)
+        view._index = None
+        view._stratification = None
+        view._buffer_pool = self._buffer_pool
+        return view
+
+    def attach_buffer_pool(self, pool) -> None:
+        """Share one LRU page cache across every index of this dataset.
+
+        Applies to the main tree and all stratum trees, present and
+        future (``build_tree`` wires new trees up automatically).
+        """
+        self._buffer_pool = pool
+        if self._index is not None:
+            self._index.buffer_pool = pool
+        if self._stratification is not None:
+            for stratum in self._stratification:
+                if stratum._tree is not None:
+                    stratum._tree.buffer_pool = pool
+
+    # ------------------------------------------------------------------
+    def category_counts(self) -> dict[Category, int]:
+        """Number of points per dominance category."""
+        counts = {cat: 0 for cat in Category}
+        for p in self.points:
+            counts[p.category] += 1
+        return counts
+
+    @property
+    def max_uncovered_level(self) -> int:
+        """Largest record-level uncovered level in the data."""
+        return max((p.level for p in self.points), default=0)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransformedDataset(n={len(self.points)}, dims={self.dimensions}, "
+            f"strategy={self.strategy.value})"
+        )

@@ -1,0 +1,65 @@
+"""Transformed data points.
+
+A :class:`Point` is a record enriched with everything the algorithms of
+Section 4 need in their hot loops:
+
+* ``vector`` -- the normalised minimisation vector: one coordinate per
+  totally-ordered attribute (sign-adjusted so smaller is better) followed
+  by ``(low, n - post)`` per poset attribute.  m-dominance is plain
+  Pareto dominance on this vector.
+* ``pix`` -- poset node indices of the partially-ordered values.
+* ``nsets`` -- native set representations (``None`` entries when an
+  attribute compares by reachability instead).
+* ``category`` -- the record-level ``(covered, covering)`` category: a
+  record is completely covered/covering only when *every* poset attribute
+  value is (Section 4.5.1).
+* ``level`` -- the record's uncovered level: the maximum of its values'
+  uncovered levels (Section 4.6.1).
+* ``key`` -- the BBS priority (sum of vector coordinates, i.e. the L1
+  "distance" to the ideal corner); if ``p`` m-dominates ``q`` then
+  ``key(p) < key(q)``, which is what makes BBS-style traversals emit
+  dominators before the points they dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.categories import Category
+from repro.core.record import Record
+
+__all__ = ["Point"]
+
+
+class Point:
+    """A record in the transformed (normalised minimisation) space."""
+
+    __slots__ = ("record", "vector", "pix", "nsets", "category", "level", "key")
+
+    def __init__(
+        self,
+        record: Record,
+        vector: tuple[float, ...],
+        pix: tuple[int, ...],
+        nsets: tuple[Optional[frozenset], ...],
+        category: Category,
+        level: int,
+    ) -> None:
+        self.record = record
+        self.vector = vector
+        self.pix = pix
+        self.nsets = nsets
+        self.category = category
+        self.level = level
+        self.key = sum(vector)
+
+    @property
+    def rid(self):
+        """The underlying record's identifier."""
+        return self.record.rid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Point(rid={self.record.rid!r}, vector={self.vector}, "
+            f"cat={self.category}, L={self.level})"
+        )

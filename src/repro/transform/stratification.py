@@ -1,0 +1,159 @@
+"""Offline data stratification for SDC+ (Section 4.6.1).
+
+Points are partitioned into the stratum sequence
+
+    ``R_{c,p}, R_{c,c}, R^1_{p,p}, R^1_{p,c}, R^2_{p,p}, R^2_{p,c}, ...``
+
+where the superscript is the record's uncovered level.  The ordering
+guarantees that a local skyline point of one stratum cannot be dominated
+by any point of a later stratum:
+
+* only ``(c,p)`` points can dominate ``(c,p)`` points;
+* ``(c,·)`` strata precede all partially-covered strata, and partially
+  covered points never dominate completely covered ones (Lemma 4.1);
+* among partially covered points, a dominator's uncovered level never
+  exceeds the dominated point's level (Lemma 4.4), and within one level
+  ``(p,c)`` points cannot dominate ``(p,p)`` points, so processing
+  ``R^i_{p,p}`` before ``R^i_{p,c}`` is safe.
+
+The paper notes the strata may conceptually share one physical R-tree with
+a stratum-number attribute; here each stratum gets its own (lazily built)
+tree, which is equivalent for the traversal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.categories import Category
+from repro.rtree.rstar import RStarTree
+from repro.transform.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transform.dataset import TransformedDataset
+
+__all__ = ["Stratum", "Stratification", "stratify"]
+
+
+class Stratum:
+    """One stratum: a category, an uncovered level and its points."""
+
+    __slots__ = ("category", "level", "points", "_tree", "_dataset")
+
+    def __init__(
+        self, dataset: "TransformedDataset", category: Category, level: int
+    ) -> None:
+        self.category = category
+        self.level = level
+        self.points: list[Point] = []
+        self._tree: RStarTree | None = None
+        self._dataset = dataset
+
+    @property
+    def label(self) -> str:
+        """Human-readable stratum name, e.g. ``R(p,p)^2``."""
+        if self.category.completely_covered:
+            return f"R{self.category}"
+        return f"R{self.category}^{self.level}"
+
+    @property
+    def tree(self) -> RStarTree:
+        """The stratum's R-tree (built on first use)."""
+        if self._tree is None:
+            self._tree = self._dataset.build_tree(self.points)
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stratum({self.label}, n={len(self.points)})"
+
+
+class Stratification:
+    """The ordered stratum sequence of one dataset."""
+
+    def __init__(self, dataset: "TransformedDataset") -> None:
+        self.dataset = dataset
+        points = dataset.points
+        max_pp = max(
+            (p.level for p in points if p.category is Category.PP), default=0
+        )
+        max_pc = max(
+            (p.level for p in points if p.category is Category.PC), default=0
+        )
+        by_key: dict[tuple[Category, int], Stratum] = {}
+        order: list[Stratum] = []
+
+        def add(category: Category, level: int) -> None:
+            stratum = Stratum(dataset, category, level)
+            by_key[(category, level)] = stratum
+            order.append(stratum)
+
+        add(Category.CP, 0)
+        add(Category.CC, 0)
+        for level in range(1, max(max_pp, max_pc) + 1):
+            if level <= max_pp:
+                add(Category.PP, level)
+            if level <= max_pc:
+                add(Category.PC, level)
+
+        for p in points:
+            level = 0 if p.category.completely_covered else p.level
+            by_key[(p.category, level)].points.append(p)
+
+        # Drop empty strata: they would only cost empty-tree traversals.
+        self.strata: tuple[Stratum, ...] = tuple(s for s in order if s.points)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (record-level updates, Section 6)
+    # ------------------------------------------------------------------
+    def _stratum_of(self, point: Point) -> Stratum | None:
+        level = 0 if point.category.completely_covered else point.level
+        for stratum in self.strata:
+            if stratum.category is point.category and stratum.level == level:
+                return stratum
+        return None
+
+    def add_point(self, point: Point) -> bool:
+        """Insert into the matching stratum; ``False`` when none exists
+        (the caller must rebuild -- a brand-new stratum changes the
+        processing sequence)."""
+        stratum = self._stratum_of(point)
+        if stratum is None:
+            return False
+        stratum.points.append(point)
+        if stratum._tree is not None:
+            stratum._tree.insert(point)
+        return True
+
+    def remove_point(self, point: Point) -> bool:
+        """Remove from its stratum; empty strata are dropped lazily."""
+        stratum = self._stratum_of(point)
+        if stratum is None or point not in stratum.points:
+            return False
+        stratum.points.remove(point)
+        if stratum._tree is not None:
+            stratum._tree.delete(point)
+        if not stratum.points:
+            self.strata = tuple(s for s in self.strata if s is not stratum)
+        return True
+
+    def __iter__(self) -> Iterator[Stratum]:
+        return iter(self.strata)
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    @property
+    def num_strata(self) -> int:
+        """Number of non-empty strata (the paper reports e.g. 25)."""
+        return len(self.strata)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Stratification(" + ", ".join(s.label for s in self.strata) + ")"
+
+
+def stratify(dataset: "TransformedDataset") -> Stratification:
+    """Build the SDC+ stratification of ``dataset``."""
+    return Stratification(dataset)

@@ -1,0 +1,20 @@
+"""Synthetic workloads reproducing the paper's experimental data sets."""
+
+from repro.workloads.numeric import (
+    anti_correlated,
+    correlated,
+    independent,
+    numeric_columns,
+)
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import GeneratedWorkload, generate_workload
+
+__all__ = [
+    "independent",
+    "correlated",
+    "anti_correlated",
+    "numeric_columns",
+    "WorkloadConfig",
+    "GeneratedWorkload",
+    "generate_workload",
+]

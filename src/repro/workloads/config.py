@@ -1,0 +1,92 @@
+"""Workload configuration mirroring Table 1 of the paper.
+
+=============================================  =========================
+Parameter                                      Values (default first)
+=============================================  =========================
+``|A_total|``  totally-ordered attributes       2, 1, 4
+``|A_partial|`` partially-ordered attributes    1, 2
+attribute correlation                           independent, anti-corr.
+poset size (# nodes)                            450, 1000
+poset height (# levels)                         6, 13
+data size (# points)                            500K, 1000K
+=============================================  =========================
+
+``data_size`` defaults to 500K as in the paper; the benchmark drivers
+scale it down (pure-Python substitution, see DESIGN.md) via the
+``REPRO_BENCH_N`` environment variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import WorkloadError
+from repro.posets.generator import PosetGeneratorConfig, tall_poset_config
+
+__all__ = ["WorkloadConfig"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Full description of one synthetic experiment input."""
+
+    num_total: int = 2
+    num_partial: int = 1
+    correlation: str = "independent"
+    data_size: int = 500_000
+    poset: PosetGeneratorConfig = field(default_factory=PosetGeneratorConfig)
+    seed: int = 7
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on inconsistent parameters."""
+        if self.num_total < 0 or self.num_partial < 0:
+            raise WorkloadError("attribute counts must be non-negative")
+        if self.num_total + self.num_partial == 0:
+            raise WorkloadError("at least one attribute is required")
+        if self.data_size < 0:
+            raise WorkloadError("data_size must be non-negative")
+        self.poset.validate()
+
+    # ------------------------------------------------------------------
+    # Named variants, one per experiment of Section 5
+    # ------------------------------------------------------------------
+    def scaled(self, data_size: int) -> "WorkloadConfig":
+        """Same workload with a different number of data points."""
+        return replace(self, data_size=data_size)
+
+    @classmethod
+    def default(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 10(a): 2 numeric + 1 set-valued, independent, 450/6 poset."""
+        return replace(cls(), **overrides)
+
+    @classmethod
+    def more_set_valued(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 10(b): 2 numeric + 2 set-valued attributes."""
+        return replace(cls(num_partial=2), **overrides)
+
+    @classmethod
+    def more_numeric(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 10(c): 4 numeric + 1 set-valued attributes."""
+        return replace(cls(num_total=4), **overrides)
+
+    @classmethod
+    def large_poset(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 11(a): poset grown to 1000 nodes."""
+        return replace(
+            cls(poset=PosetGeneratorConfig(num_nodes=1000)), **overrides
+        )
+
+    @classmethod
+    def tall_poset(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 11(b): tall (13-level), relatively sparse poset."""
+        return replace(cls(poset=tall_poset_config()), **overrides)
+
+    @classmethod
+    def large_dataset(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 12(a): data size doubled to 1000K points."""
+        return replace(cls(data_size=1_000_000), **overrides)
+
+    @classmethod
+    def anti_correlated(cls, **overrides) -> "WorkloadConfig":
+        """Fig. 12(b): anti-correlated totally-ordered attributes."""
+        return replace(cls(correlation="anti-correlated"), **overrides)

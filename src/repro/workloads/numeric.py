@@ -1,0 +1,91 @@
+"""Totally-ordered attribute generation (after Börzsönyi et al., ICDE'01).
+
+The paper uses "integer values from the domain (0, 1000], where values are
+generated as described in [4] with possible correlation among different
+attributes".  Three families:
+
+* **independent** -- each dimension uniform on the domain;
+* **correlated** -- values scatter tightly around a per-record base level,
+  so a record good in one dimension tends to be good in all (small
+  skylines);
+* **anti-correlated** -- values are spread around a hyperplane of roughly
+  constant sum, so a record good in one dimension is bad in another
+  (large skylines).
+
+All generators are deterministic given the seed and return integer arrays
+in ``[1, 1000]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["independent", "correlated", "anti_correlated", "numeric_columns"]
+
+DOMAIN_MAX = 1000
+
+
+def _check(n: int, dims: int) -> None:
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    if dims < 0:
+        raise WorkloadError("dims must be non-negative")
+
+
+def _to_domain(unit: np.ndarray) -> np.ndarray:
+    """Map unit-interval floats onto the integer domain [1, 1000]."""
+    clipped = np.clip(unit, 0.0, 1.0 - 1e-12)
+    return (clipped * DOMAIN_MAX).astype(np.int64) + 1
+
+
+def independent(n: int, dims: int, seed: int = 0) -> np.ndarray:
+    """Uniform, independently drawn values; shape ``(n, dims)``."""
+    _check(n, dims)
+    rng = np.random.default_rng(seed)
+    return _to_domain(rng.random((n, dims)))
+
+
+def correlated(n: int, dims: int, seed: int = 0, spread: float = 0.07) -> np.ndarray:
+    """Values clustered around a per-record base level; shape ``(n, dims)``."""
+    _check(n, dims)
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, 1))
+    noise = rng.normal(0.0, spread, (n, dims))
+    return _to_domain(base + noise)
+
+
+def anti_correlated(
+    n: int, dims: int, seed: int = 0, plane_spread: float = 0.08
+) -> np.ndarray:
+    """Values spread across a roughly constant-sum hyperplane.
+
+    Each record gets a plane position ``c ~ N(0.5, plane_spread)``; the
+    dimension values are uniform draws recentred so their mean is ``c``,
+    which makes the dimensions strongly negatively correlated (a good
+    value in one dimension forces bad values elsewhere).
+    """
+    _check(n, dims)
+    rng = np.random.default_rng(seed)
+    if dims == 0:
+        return np.empty((n, 0), dtype=np.int64)
+    c = rng.normal(0.5, plane_spread, (n, 1))
+    u = rng.random((n, dims))
+    recentred = u - u.mean(axis=1, keepdims=True) + c
+    return _to_domain(recentred)
+
+
+def numeric_columns(
+    correlation: str, n: int, dims: int, seed: int = 0
+) -> np.ndarray:
+    """Dispatch by correlation name (``independent`` / ``correlated`` /
+    ``anti-correlated``)."""
+    key = correlation.lower().replace("_", "-")
+    if key == "independent":
+        return independent(n, dims, seed)
+    if key == "correlated":
+        return correlated(n, dims, seed)
+    if key in ("anti-correlated", "anticorrelated"):
+        return anti_correlated(n, dims, seed)
+    raise WorkloadError(f"unknown correlation {correlation!r}")

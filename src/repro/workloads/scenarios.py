@@ -1,0 +1,121 @@
+"""Named, realistic demo scenarios built on the public API.
+
+The examples and integration tests share these builders; downstream users
+get ready-made mixed-domain datasets that exercise every feature:
+
+* :func:`hotel_catalogue` -- the paper's motivating domain: price and
+  distance (MIN) plus a partially-ordered amenity-package attribute
+  sampled from a generated poset, set-containment semantics.
+* :func:`org_chart` -- categorical role hierarchies (the paper's second
+  motivating example): a reporting DAG with a matrix-style double report,
+  salary MIN + rank (higher dominates), reachability semantics.
+* :func:`product_catalogue` -- price/weight MIN plus a feature-pack
+  poset; used by the dynamic-updates example.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import WorkloadError
+from repro.posets.generator import generate_poset
+from repro.posets.poset import Poset
+
+__all__ = ["hotel_catalogue", "org_chart", "product_catalogue", "ORG_REPORTING"]
+
+
+def hotel_catalogue(
+    num_hotels: int = 5000, seed: int = 2024
+) -> tuple[Schema, list[Record]]:
+    """Synthetic hotel table: price, distance and amenity packages."""
+    if num_hotels < 0:
+        raise WorkloadError("num_hotels must be non-negative")
+    amenity_poset = generate_poset(num_nodes=120, height=5, num_trees=3, seed=seed)
+    schema = Schema(
+        [
+            NumericAttribute("price", "min"),
+            NumericAttribute("distance_km", "min"),
+            PosetAttribute.set_valued("amenities", amenity_poset),
+        ]
+    )
+    rng = random.Random(seed)
+    records = [
+        Record(
+            f"hotel-{i:05d}",
+            (rng.randint(40, 800), round(rng.uniform(0.1, 25.0), 1)),
+            (rng.randrange(len(amenity_poset)),),
+        )
+        for i in range(num_hotels)
+    ]
+    return schema, records
+
+
+#: (superior, subordinate) reporting edges; "tooling-lead" reports into
+#: both engineering and research, making the order a genuine DAG.
+ORG_REPORTING: tuple[tuple[str, str], ...] = (
+    ("president", "eng-head"),
+    ("president", "fin-head"),
+    ("president", "research-head"),
+    ("eng-head", "backend-lead"),
+    ("eng-head", "frontend-lead"),
+    ("eng-head", "tooling-lead"),
+    ("research-head", "tooling-lead"),
+    ("research-head", "ml-lead"),
+    ("backend-lead", "backend-dev"),
+    ("frontend-lead", "frontend-dev"),
+    ("tooling-lead", "tooling-dev"),
+    ("ml-lead", "ml-dev"),
+    ("fin-head", "accountant"),
+)
+
+
+def org_chart(
+    num_employees: int = 200, seed: int = 11
+) -> tuple[Schema, list[Record]]:
+    """Synthetic employee table over the fixed reporting hierarchy."""
+    if num_employees < 0:
+        raise WorkloadError("num_employees must be non-negative")
+    roles = sorted({r for edge in ORG_REPORTING for r in edge})
+    rank = Poset(roles, ORG_REPORTING)
+    schema = Schema(
+        [
+            NumericAttribute("salary", "min"),
+            PosetAttribute("rank", rank),
+        ]
+    )
+    rng = random.Random(seed)
+    records = []
+    for i in range(num_employees):
+        role = rng.choice(roles)
+        seniority = max(rank.levels) - rank.levels[rank.index(role)]
+        salary = 80 + 60 * seniority + rng.randint(-20, 40)
+        records.append(Record(f"emp-{i:04d}", (salary,), (role,)))
+    return schema, records
+
+
+def product_catalogue(
+    num_products: int = 800, seed: int = 99
+) -> tuple[Schema, list[Record]]:
+    """Synthetic product table: price/weight plus feature packs."""
+    if num_products < 0:
+        raise WorkloadError("num_products must be non-negative")
+    feature_packs = generate_poset(num_nodes=60, height=4, num_trees=2, seed=5)
+    schema = Schema(
+        [
+            NumericAttribute("price", "min"),
+            NumericAttribute("weight_g", "min"),
+            PosetAttribute.set_valued("features", feature_packs),
+        ]
+    )
+    rng = random.Random(seed)
+    records = [
+        Record(
+            f"sku-{i:04d}",
+            (rng.randint(20, 500), rng.randint(100, 3000)),
+            (rng.randrange(len(feature_packs)),),
+        )
+        for i in range(num_products)
+    ]
+    return schema, records

@@ -1,0 +1,113 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.posets.builder import diamond, paper_example_poset
+from repro.posets.generator import PosetGeneratorConfig, generate_poset
+from repro.posets.poset import Poset
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+
+# ---------------------------------------------------------------------------
+# Ground truth (thin wrappers over the library's public reference oracles)
+# ---------------------------------------------------------------------------
+from repro.reference import reference_dominates, reference_skyline  # noqa: E402
+
+
+def record_dominates(schema: Schema, r1: Record, r2: Record) -> bool:
+    """Brute-force native dominance straight from the definitions."""
+    return reference_dominates(schema, r1, r2)
+
+
+def brute_force_skyline(schema: Schema, records: list[Record]) -> list:
+    """O(n^2) reference skyline; returns sorted record ids."""
+    return sorted(r.rid for r in reference_skyline(schema, records))
+
+
+def random_poset(rng: random.Random, max_nodes: int = 14) -> Poset:
+    """Small random DAG poset with adjacent-level edges (always Hasse)."""
+    n = rng.randint(1, max_nodes)
+    height = rng.randint(1, min(4, n))
+    levels = [rng.randrange(height) for _ in range(n)]
+    levels[0] = 0
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            if levels[j] == levels[i] + 1 and rng.random() < 0.4:
+                edges.append((i, j))
+    return Poset(range(n), edges)
+
+
+def random_mixed_dataset(
+    rng: random.Random,
+    n: int = 60,
+    num_total: int = 1,
+    num_partial: int = 1,
+    set_valued: bool = True,
+):
+    """A small random schema + records pair for agreement tests."""
+    attrs = [NumericAttribute(f"t{k}") for k in range(num_total)]
+    posets = [random_poset(rng) for _ in range(num_partial)]
+    for k, poset in enumerate(posets):
+        if set_valued:
+            attrs.append(PosetAttribute.set_valued(f"p{k}", poset))
+        else:
+            attrs.append(PosetAttribute(f"p{k}", poset))
+    schema = Schema(attrs)
+    records = [
+        Record(
+            i,
+            tuple(rng.randint(1, 10) for _ in range(num_total)),
+            tuple(poset.value(rng.randrange(len(poset))) for poset in posets),
+        )
+        for i in range(n)
+    ]
+    return schema, records
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def diamond_poset() -> Poset:
+    return diamond()
+
+
+@pytest.fixture
+def fig4_poset() -> Poset:
+    return paper_example_poset()
+
+
+@pytest.fixture(scope="session")
+def medium_poset() -> Poset:
+    return generate_poset(
+        PosetGeneratorConfig(num_nodes=60, height=4, num_trees=3, seed=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    config = WorkloadConfig.default(
+        data_size=300,
+        poset=PosetGeneratorConfig(num_nodes=40, height=4, num_trees=2, seed=3),
+        seed=11,
+    )
+    return generate_workload(config)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_workload) -> TransformedDataset:
+    return TransformedDataset(small_workload.schema, small_workload.records)
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_workload):
+    return brute_force_skyline(small_workload.schema, small_workload.records)

@@ -1,0 +1,176 @@
+"""Cross-algorithm agreement: every evaluator returns the exact skyline.
+
+This is the library's strongest end-to-end guarantee: BNL (native
+domains, the ground-truth-style baseline), BNL+, SFS, D&C, BBS+, SDC (all
+ablation variants) and SDC+ must produce identical answer sets on random
+mixed-domain datasets under every spanning-tree strategy, and all must
+match the O(n^2) definition-level brute force.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.algorithms.base import available_algorithms, get_algorithm
+from repro.engine import SkylineEngine
+from repro.exceptions import AlgorithmError
+from repro.transform.dataset import TransformedDataset
+
+ALL_POS_ALGORITHMS = ("bnl", "bnl+", "sfs", "dnc", "nn+", "bbs+", "sdc", "sdc+")
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = available_algorithms()
+        for name in ALL_POS_ALGORITHMS + ("bbs",):
+            assert name in names
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(AlgorithmError):
+            get_algorithm("quantum-skyline")
+
+    def test_options_forwarded(self):
+        algo = get_algorithm("bnl", window_size=7)
+        assert algo.window_size == 7
+
+
+class TestFixedWorkload:
+    @pytest.mark.parametrize("name", ALL_POS_ALGORITHMS)
+    def test_matches_brute_force(self, small_dataset, small_truth, name):
+        algo = get_algorithm(name)
+        got = sorted(p.record.rid for p in algo.run(small_dataset))
+        assert got == small_truth
+
+    @pytest.mark.parametrize("strategy", ["default", "minpc", "maxpc"])
+    def test_strategies_dont_change_answers(
+        self, small_workload, small_truth, strategy
+    ):
+        engine = SkylineEngine(
+            small_workload.schema, small_workload.records, strategy=strategy
+        )
+        for name in ("bbs+", "sdc", "sdc+"):
+            assert sorted(r.rid for r in engine.skyline(name)) == small_truth
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"restrict_categories": False},
+            {"optimize_comparisons": False},
+            {"progressive_output": False},
+            {
+                "restrict_categories": False,
+                "optimize_comparisons": False,
+                "progressive_output": False,
+            },
+        ],
+    )
+    def test_sdc_ablations_correct(self, small_dataset, small_truth, options):
+        algo = get_algorithm("sdc", **options)
+        assert sorted(p.record.rid for p in algo.run(small_dataset)) == small_truth
+
+    def test_each_algorithm_emits_each_point_once(self, small_dataset):
+        for name in ALL_POS_ALGORITHMS:
+            rids = [p.record.rid for p in get_algorithm(name).run(small_dataset)]
+            assert len(rids) == len(set(rids)), name
+
+    def test_dynamic_index_same_answers(self, small_workload, small_truth):
+        d = TransformedDataset(
+            small_workload.schema,
+            small_workload.records,
+            bulk_load=False,
+            max_entries=10,
+        )
+        for name in ("bbs+", "sdc", "sdc+"):
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == small_truth, name
+
+
+class TestEdgeCases:
+    def test_empty_dataset(self):
+        rng = random.Random(0)
+        schema, _ = random_mixed_dataset(rng, n=1)
+        d = TransformedDataset(schema, [])
+        for name in ALL_POS_ALGORITHMS:
+            assert list(get_algorithm(name).run(d)) == [], name
+
+    def test_single_record(self):
+        rng = random.Random(0)
+        schema, records = random_mixed_dataset(rng, n=1)
+        d = TransformedDataset(schema, records)
+        for name in ALL_POS_ALGORITHMS:
+            assert [p.record.rid for p in get_algorithm(name).run(d)] == [0], name
+
+    def test_all_identical_records(self):
+        rng = random.Random(0)
+        schema, records = random_mixed_dataset(rng, n=1)
+        clones = [
+            type(records[0])(i, records[0].totals, records[0].partials)
+            for i in range(12)
+        ]
+        d = TransformedDataset(schema, clones)
+        for name in ALL_POS_ALGORITHMS:
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == list(range(12)), name
+
+    def test_pure_partial_schema(self):
+        rng = random.Random(5)
+        schema, records = random_mixed_dataset(rng, n=40, num_total=0)
+        d = TransformedDataset(schema, records)
+        expected = brute_force_skyline(schema, records)
+        for name in ALL_POS_ALGORITHMS:
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == expected, name
+
+    def test_reachability_mode_schema(self):
+        rng = random.Random(6)
+        schema, records = random_mixed_dataset(rng, n=40, set_valued=False)
+        d = TransformedDataset(schema, records)
+        expected = brute_force_skyline(schema, records)
+        for name in ALL_POS_ALGORITHMS:
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == expected, name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    num_total=st.integers(0, 2),
+    num_partial=st.integers(1, 2),
+    strategy=st.sampled_from(["default", "minpc", "maxpc", "random"]),
+)
+def test_agreement_property(seed, num_total, num_partial, strategy):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(
+        rng, n=45, num_total=num_total, num_partial=num_partial
+    )
+    expected = brute_force_skyline(schema, records)
+    engine = SkylineEngine(schema, records, strategy=strategy, rng=random.Random(seed))
+    for name in ALL_POS_ALGORITHMS:
+        got = sorted(r.rid for r in engine.skyline(name))
+        assert got == expected, f"{name} with {strategy}"
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_paper_faithful_modes_may_overreport_but_never_drop(seed):
+    """The paper-literal variants can only *add* false positives (missed
+    eliminations) -- they can never lose a true skyline point."""
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=45, num_partial=2)
+    expected = set(brute_force_skyline(schema, records))
+    gate_engine = SkylineEngine(
+        schema, records, strategy="random", faithful_gate=True, rng=random.Random(seed)
+    )
+    for name in ("sdc", "sdc+"):
+        got = {r.rid for r in gate_engine.skyline(name)}
+        assert got >= expected, name
+    excl_engine = SkylineEngine(schema, records, strategy="random", rng=random.Random(seed))
+    got = {
+        r.rid for r in excl_engine.skyline("sdc+", faithful_category_exclusion=True)
+    }
+    assert got >= expected

@@ -1,0 +1,178 @@
+"""Per-algorithm behavioural details beyond set-equality agreement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.bnl import bnl_passes
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.transform.dataset import TransformedDataset
+
+
+def numeric_dataset(values, **kwargs):
+    dims = len(values[0]) if values else 2
+    schema = Schema([NumericAttribute(f"x{k}") for k in range(dims)])
+    return TransformedDataset(schema, [Record(i, v) for i, v in enumerate(values)], **kwargs)
+
+
+class TestBNLPlusStages:
+    def test_stage1_candidates_superset_of_answers(self):
+        rng = random.Random(3)
+        schema, records = random_mixed_dataset(rng, n=60)
+        d = TransformedDataset(schema, records)
+        stats = ComparisonStats()
+        stage1 = {
+            p.record.rid
+            for p in bnl_passes(d.points, d.kernel.m_dominates, 10**9, stats)
+        }
+        answers = set(brute_force_skyline(schema, records))
+        assert stage1 >= answers
+
+    def test_stage1_equals_answers_on_totally_ordered(self):
+        rng = random.Random(4)
+        values = [(rng.randint(0, 30), rng.randint(0, 30)) for _ in range(80)]
+        d = numeric_dataset(values)
+        stats = ComparisonStats()
+        stage1 = sorted(
+            p.record.rid
+            for p in bnl_passes(d.points, d.kernel.m_dominates, 10**9, stats)
+        )
+        assert stage1 == brute_force_skyline(d.schema, d.records)
+
+
+class TestSFS:
+    def test_candidates_considered_in_key_order(self):
+        """SFS correctness hinges on the presort: its window never holds
+        a candidate with a key above a later input's.  Indirectly
+        verified: with a monotone input SFS inserts exactly the
+        m-skyline, nothing more."""
+        rng = random.Random(5)
+        schema, records = random_mixed_dataset(rng, n=60)
+        d = TransformedDataset(schema, records)
+        before = d.stats.snapshot()
+        list(get_algorithm("sfs").run(d))
+        delta = d.stats.diff(before)
+        scratch = ComparisonStats()
+        m_skyline = list(bnl_passes(d.points, d.kernel.m_dominates, 10**9, scratch))
+        # SFS inserts exactly the m-skyline into its sorted filter window,
+        # plus whatever its native post-pass inserts.
+        post = ComparisonStats()
+        saved = d.kernel.stats
+        d.kernel.stats = post
+        try:
+            list(bnl_passes(m_skyline, d.kernel.native_dominates, 10**9, post))
+        finally:
+            d.kernel.stats = saved
+        assert delta["window_inserts"] == len(m_skyline) + post.window_inserts
+
+
+class TestDivideAndConquer:
+    def test_all_identical_points(self):
+        d = numeric_dataset([(5, 5)] * 30)
+        got = sorted(p.record.rid for p in get_algorithm("dnc").run(d))
+        assert got == list(range(30))
+
+    def test_identical_in_one_dimension(self):
+        d = numeric_dataset([(5, i) for i in range(40)])
+        got = [p.record.rid for p in get_algorithm("dnc").run(d)]
+        assert got == [0]
+
+    def test_tiny_base_size(self):
+        rng = random.Random(6)
+        values = [(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(100)]
+        d = numeric_dataset(values)
+        small = sorted(
+            p.record.rid for p in get_algorithm("dnc", base_size=1).run(d)
+        )
+        assert small == brute_force_skyline(d.schema, d.records)
+
+    def test_three_dims(self):
+        rng = random.Random(7)
+        values = [
+            (rng.randint(0, 15), rng.randint(0, 15), rng.randint(0, 15))
+            for _ in range(120)
+        ]
+        d = numeric_dataset(values)
+        got = sorted(p.record.rid for p in get_algorithm("dnc").run(d))
+        assert got == brute_force_skyline(d.schema, d.records)
+
+
+class TestBBSPlusBehaviour:
+    def test_prunes_relative_to_exhaustive_traversal(self):
+        rng = random.Random(8)
+        schema, records = random_mixed_dataset(rng, n=400)
+        d1 = TransformedDataset(schema, records)
+        d1.index
+        before = d1.stats.snapshot()
+        list(get_algorithm("bbs+").run(d1))
+        accesses = d1.stats.diff(before)["node_accesses"]
+
+        def count_nodes(node):
+            if node.leaf:
+                return 1
+            return 1 + sum(count_nodes(c) for c in node.entries)
+
+        assert accesses < count_nodes(d1.index.root)
+
+    def test_emits_nothing_until_done(self):
+        """BBS+ is blocking: the generator's first yield happens only
+        after the traversal, i.e. after all node accesses."""
+        rng = random.Random(9)
+        schema, records = random_mixed_dataset(rng, n=200)
+        d = TransformedDataset(schema, records)
+        d.index
+        gen = get_algorithm("bbs+").run(d)
+        before = d.stats.node_accesses
+        first = next(gen)
+        accesses_at_first = d.stats.node_accesses - before
+        rest = list(gen)
+        accesses_total = d.stats.node_accesses - before
+        assert first is not None
+        assert accesses_at_first == accesses_total  # no I/O left after 1st
+
+    def test_native_comparisons_only_in_update(self):
+        """BBS+'s heap side is pure m-dominance: a totally-ordered
+        dataset (no poset attrs) must produce zero set comparisons."""
+        rng = random.Random(10)
+        values = [(rng.randint(0, 30), rng.randint(0, 30)) for _ in range(150)]
+        d = numeric_dataset(values)
+        list(get_algorithm("bbs+").run(d))
+        assert d.stats.native_set == 0
+
+
+class TestSDCPlusBehaviour:
+    def test_first_emission_before_any_pp_stratum(self):
+        rng = random.Random(11)
+        schema, records = random_mixed_dataset(rng, n=300)
+        d = TransformedDataset(schema, records)
+        covered_total = sum(
+            1 for p in d.points if p.category.completely_covered
+        )
+        if covered_total == 0:
+            pytest.skip("degenerate forest: no covered points")
+        emitted = list(get_algorithm("sdc+").run(d))
+        covered_prefix = 0
+        for p in emitted:
+            if not p.category.completely_covered:
+                break
+            covered_prefix += 1
+        # every covered answer precedes every partially covered one
+        assert all(
+            p.category.completely_covered for p in emitted[:covered_prefix]
+        )
+        assert not any(
+            p.category.completely_covered for p in emitted[covered_prefix:]
+        )
+
+    def test_stratum_count_matches_stratification(self):
+        rng = random.Random(12)
+        schema, records = random_mixed_dataset(rng, n=200)
+        d = TransformedDataset(schema, records)
+        strata = d.stratification
+        assert sum(len(s) for s in strata) == len(records)

@@ -1,0 +1,143 @@
+"""Tests for poset analysis (Dilworth/Mirsky/extensions)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_poset
+from repro.posets.analysis import (
+    chain_partition,
+    comparability_ratio,
+    is_antichain,
+    is_chain,
+    linear_extension,
+    longest_chain,
+    maximum_antichain,
+    mirsky_decomposition,
+    random_linear_extension,
+    width,
+)
+from repro.posets.builder import antichain, chain, diamond, paper_example_poset
+from repro.posets.generator import generate_poset
+from repro.posets.poset import Poset
+
+
+class TestBasics:
+    def test_chain_measures(self):
+        p = chain("abcde")
+        assert width(p) == 1
+        assert comparability_ratio(p) == 1.0
+        assert longest_chain(p) == list("abcde")
+        assert len(mirsky_decomposition(p)) == 5
+        assert chain_partition(p) == [list("abcde")]
+
+    def test_antichain_measures(self):
+        p = antichain("abcd")
+        assert width(p) == 4
+        assert comparability_ratio(p) == 0.0
+        assert len(longest_chain(p)) == 1
+        assert mirsky_decomposition(p) == [list("abcd")]
+        assert len(chain_partition(p)) == 4
+
+    def test_diamond_measures(self):
+        p = diamond()
+        assert width(p) == 2
+        assert len(longest_chain(p)) == 3
+        assert sorted(maximum_antichain(p)) == ["b", "c"]
+
+    def test_paper_poset(self):
+        p = paper_example_poset()
+        w = width(p)
+        assert w == 5  # the five maximal values a..e are incomparable
+        assert is_antichain(p, maximum_antichain(p))
+
+    def test_empty_and_single(self):
+        assert width(Poset([], [])) == 0
+        assert maximum_antichain(Poset([], [])) == []
+        assert longest_chain(Poset([], [])) == []
+        assert width(Poset(["x"], [])) == 1
+
+    def test_is_chain_is_antichain(self):
+        p = diamond()
+        assert is_chain(p, ["a", "b", "d"])
+        assert not is_chain(p, ["b", "c"])
+        assert is_antichain(p, ["b", "c"])
+        assert not is_antichain(p, ["a", "d"])
+
+    def test_comparability_ratio_monotone_in_density(self):
+        sparse = generate_poset(
+            num_nodes=100, height=4, num_trees=4, edge_probability=0.05, seed=1
+        )
+        dense = generate_poset(
+            num_nodes=100, height=4, num_trees=4, edge_probability=0.9, seed=1
+        )
+        assert comparability_ratio(dense) > comparability_ratio(sparse)
+
+
+class TestLinearExtensions:
+    def test_deterministic_extension_respects_order(self, medium_poset):
+        order = linear_extension(medium_poset)
+        position = {v: k for k, v in enumerate(order)}
+        for v, w in medium_poset.edges():
+            assert position[v] < position[w]
+
+    def test_random_extension_respects_order(self, medium_poset):
+        order = random_linear_extension(medium_poset, random.Random(4))
+        assert sorted(map(str, order)) == sorted(map(str, medium_poset.values))
+        position = {v: k for k, v in enumerate(order)}
+        for v, w in medium_poset.edges():
+            assert position[v] < position[w]
+
+    def test_random_extensions_vary(self, medium_poset):
+        a = random_linear_extension(medium_poset, random.Random(1))
+        b = random_linear_extension(medium_poset, random.Random(2))
+        assert a != b
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_dilworth_duality_property(seed):
+    """width == |maximum antichain| == |minimum chain partition|, the
+    antichain is pairwise incomparable, the chains are chains and they
+    partition the domain."""
+    poset = random_poset(random.Random(seed))
+    w = width(poset)
+    anti = maximum_antichain(poset)
+    chains = chain_partition(poset)
+    assert len(anti) == w
+    assert len(chains) == w
+    assert is_antichain(poset, anti)
+    covered = [v for c in chains for v in c]
+    assert sorted(map(str, covered)) == sorted(map(str, poset.values))
+    for c in chains:
+        assert is_chain(poset, c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_mirsky_property(seed):
+    """Mirsky: minimal antichain cover size == longest chain length; each
+    level bucket is an antichain."""
+    poset = random_poset(random.Random(seed))
+    decomposition = mirsky_decomposition(poset)
+    if len(poset) == 0:
+        assert decomposition == []
+        return
+    assert len(decomposition) == len(longest_chain(poset))
+    for bucket in decomposition:
+        assert is_antichain(poset, bucket)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_longest_chain_is_chain(seed):
+    poset = random_poset(random.Random(seed))
+    c = longest_chain(poset)
+    assert is_chain(poset, c)
+    # Consecutive elements strictly ordered top-down.
+    for a, b in zip(c, c[1:]):
+        assert poset.dominates(a, b)

@@ -1,0 +1,168 @@
+"""Tests for the benchmark harness and experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    default_bench_size,
+    get_experiment,
+    run_experiment,
+)
+from repro.bench.harness import count_false_positives, run_progressive
+from repro.bench.reporting import format_run_table, format_summary
+from repro.exceptions import ReproError
+
+
+class TestHarness:
+    def test_run_progressive_collects_emissions(self, small_dataset, small_truth):
+        run = run_progressive(small_dataset, "sdc+")
+        assert run.skyline_size == len(small_truth)
+        assert run.rids == small_truth
+        assert len(run.emissions) == run.skyline_size
+        elapsed = [e for e, _ in run.emissions]
+        assert elapsed == sorted(elapsed)
+        assert run.total_elapsed >= elapsed[-1]
+
+    def test_milestones_shape(self, small_dataset):
+        run = run_progressive(small_dataset, "sdc+")
+        ms = run.milestones()
+        assert len(ms) == 6  # first + 5 fractions
+        assert ms[0].answers == 1
+        assert ms[-1].fraction == 1.0
+        assert ms[-1].answers == run.skyline_size
+        checks = [m.dominance_checks for m in ms]
+        assert checks == sorted(checks)
+
+    def test_progressive_algorithms_have_earlier_first_answer(self, small_dataset):
+        blocking = run_progressive(small_dataset, "bbs+")
+        progressive = run_progressive(small_dataset, "sdc+")
+        assert (
+            progressive.first_answer().dominance_checks
+            < blocking.first_answer().dominance_checks
+        )
+
+    def test_progressiveness_score_orders_algorithms(self, small_dataset):
+        blocking = run_progressive(small_dataset, "bbs+")
+        progressive = run_progressive(small_dataset, "sdc+")
+        # Lower == answers arrive earlier in the run.
+        assert progressive.progressiveness() < blocking.progressiveness()
+
+    def test_options_require_name(self, small_dataset):
+        from repro.algorithms.base import get_algorithm
+        from repro.exceptions import AlgorithmError
+
+        with pytest.raises(AlgorithmError):
+            run_progressive(small_dataset, get_algorithm("sdc"), window_size=2)
+
+    def test_count_false_positives(self, small_dataset, small_truth):
+        sky, fp = count_false_positives(small_dataset)
+        assert sky == len(small_truth)
+        assert fp >= 0
+
+    def test_count_false_positives_leaves_stats_untouched(self, small_dataset):
+        before = small_dataset.stats.snapshot()
+        count_false_positives(small_dataset)
+        assert small_dataset.stats.snapshot() == before
+
+    def test_empty_run(self):
+        from repro.core.schema import NumericAttribute, Schema
+        from repro.transform.dataset import TransformedDataset
+
+        d = TransformedDataset(Schema([NumericAttribute("x")]), [])
+        run = run_progressive(d, "sdc+")
+        assert run.skyline_size == 0
+        assert run.first_answer() is None
+        assert run.milestones() == []
+
+
+class TestExperiments:
+    def test_registry_covers_every_figure(self):
+        for exp_id in (
+            "fig10a",
+            "fig10b",
+            "fig10c",
+            "fig11a",
+            "fig11b",
+            "fig12a",
+            "fig12b",
+            "fig12c",
+            "ablation-sdc",
+            "sdc-minpc-maxpc",
+        ):
+            assert exp_id in EXPERIMENTS
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("FIG10A").id == "fig10a"
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99z")
+
+    def test_default_bench_size_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_N", "123")
+        assert default_bench_size() == 123
+
+    def test_size_factor(self):
+        exp = get_experiment("fig12a")
+        assert exp.config(100).data_size == 200
+
+    def test_run_experiment_small(self):
+        result = run_experiment("fig10a", data_size=250)
+        assert set(result.runs) == {"BNL", "BNL+", "BBS+", "SDC", "SDC+"}
+        result.verify_agreement()
+        sizes = {run.skyline_size for run in result.runs.values()}
+        assert len(sizes) == 1
+        assert result.skyline_size == sizes.pop()
+        assert result.num_strata >= 1
+
+    def test_run_experiment_strategy_lineup(self):
+        result = run_experiment("fig12c", data_size=200)
+        assert set(result.runs) == {"SDC+", "SDC+-MaxPC", "SDC+-MinPC"}
+        result.verify_agreement()
+
+    def test_to_dict_machine_readable(self):
+        import json
+
+        result = run_experiment("fig10a", data_size=150)
+        payload = result.to_dict()
+        text = json.dumps(payload)  # must be JSON-serialisable
+        assert payload["experiment"] == "fig10a"
+        assert payload["skyline_size"] == result.skyline_size
+        curve = payload["curves"]["SDC+"]
+        assert curve["answers"] == result.runs["SDC+"].skyline_size
+        assert curve["milestones"][-1]["fraction"] == 1.0
+        assert "m_dominance_point" in curve["counters"]
+        assert "BNL" in text
+
+    def test_verify_agreement_raises_on_mismatch(self):
+        result = run_experiment("fig10a", data_size=150, verify=False)
+        result.runs["BNL"].points.pop()
+        with pytest.raises(ReproError):
+            result.verify_agreement()
+
+
+class TestReporting:
+    def test_format_run_table(self, small_dataset):
+        runs = {"SDC+": run_progressive(small_dataset, "sdc+")}
+        for metric in ("time", "checks"):
+            table = format_run_table(runs, metric, title="demo")
+            assert "SDC+" in table
+            assert "demo" in table
+            assert "100%" in table
+
+    def test_format_summary(self):
+        result = run_experiment("fig10a", data_size=150)
+        text = format_summary(result)
+        assert "fig10a" in text
+        assert "skyline points" in text
+        assert "false positives" in text
+
+    def test_empty_run_row(self):
+        from repro.core.schema import NumericAttribute, Schema
+        from repro.transform.dataset import TransformedDataset
+
+        d = TransformedDataset(Schema([NumericAttribute("x")]), [])
+        table = format_run_table({"SDC+": run_progressive(d, "sdc+")})
+        assert "(no answers)" in table

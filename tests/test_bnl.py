@@ -1,0 +1,125 @@
+"""Tests for block-nested-loops (window semantics, passes, early output)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.algorithms.bnl import BlockNestedLoops, bnl_passes
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.exceptions import AlgorithmError
+from repro.transform.dataset import TransformedDataset
+
+
+def numeric_dataset(values: list[tuple[float, ...]]) -> TransformedDataset:
+    dims = len(values[0]) if values else 2
+    schema = Schema([NumericAttribute(f"x{k}") for k in range(dims)])
+    return TransformedDataset(schema, [Record(i, v) for i, v in enumerate(values)])
+
+
+def run_bnl(dataset: TransformedDataset, window_size: int) -> list:
+    stats = ComparisonStats()
+    out = bnl_passes(
+        dataset.points, dataset.kernel.native_dominates, window_size, stats
+    )
+    return sorted(p.record.rid for p in out)
+
+
+class TestBasics:
+    def test_simple_case(self):
+        d = numeric_dataset([(1, 5), (5, 1), (3, 3), (4, 4), (6, 6)])
+        assert run_bnl(d, 10) == [0, 1, 2]
+
+    def test_empty_input(self):
+        d = numeric_dataset([])
+        assert run_bnl(d, 10) == []
+
+    def test_single_record(self):
+        d = numeric_dataset([(1, 1)])
+        assert run_bnl(d, 10) == [0]
+
+    def test_duplicates_all_kept(self):
+        d = numeric_dataset([(2, 2), (2, 2), (2, 2)])
+        assert run_bnl(d, 10) == [0, 1, 2]
+
+    def test_dominated_duplicates_dropped(self):
+        d = numeric_dataset([(1, 1), (2, 2), (2, 2)])
+        assert run_bnl(d, 10) == [0]
+
+    def test_window_size_one(self):
+        values = [(random.Random(1).randint(0, 20), random.Random(i).randint(0, 20)) for i in range(40)]
+        d = numeric_dataset(values)
+        assert run_bnl(d, 1) == run_bnl(d, 1000)
+
+    def test_invalid_window(self):
+        d = numeric_dataset([(1, 1)])
+        with pytest.raises(AlgorithmError):
+            list(bnl_passes(d.points, d.kernel.native_dominates, 0, ComparisonStats()))
+
+    def test_each_point_emitted_once(self):
+        rng = random.Random(3)
+        values = [(rng.randint(0, 10), rng.randint(0, 10)) for _ in range(120)]
+        d = numeric_dataset(values)
+        stats = ComparisonStats()
+        out = list(bnl_passes(d.points, d.kernel.native_dominates, 5, stats))
+        rids = [p.record.rid for p in out]
+        assert len(rids) == len(set(rids))
+
+    def test_window_inserts_counted(self):
+        d = numeric_dataset([(1, 5), (5, 1)])
+        stats = ComparisonStats()
+        list(bnl_passes(d.points, d.kernel.native_dominates, 10, stats))
+        assert stats.window_inserts == 2
+
+
+class TestMultiPass:
+    @pytest.mark.parametrize("window", [1, 2, 3, 7, 50])
+    def test_all_window_sizes_agree(self, window):
+        rng = random.Random(11)
+        values = [(rng.randint(0, 30), rng.randint(0, 30)) for _ in range(150)]
+        d = numeric_dataset(values)
+        expected = brute_force_skyline(d.schema, d.records)
+        assert run_bnl(d, window) == expected
+
+    def test_anti_correlated_tiny_window(self):
+        # Anti-correlated data has a huge skyline -- many overflow passes.
+        values = [(i, 100 - i) for i in range(100)]
+        d = numeric_dataset(values)
+        assert run_bnl(d, 3) == list(range(100))
+
+    def test_algorithm_class(self, small_dataset, small_truth):
+        algo = BlockNestedLoops(window_size=20)
+        got = sorted(p.record.rid for p in algo.run(small_dataset))
+        assert got == small_truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), window=st.integers(1, 20))
+def test_bnl_matches_brute_force_property(seed, window):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=50)
+    d = TransformedDataset(schema, records)
+    got = run_bnl(d, window)
+    assert got == brute_force_skyline(schema, records)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), window=st.integers(1, 10))
+def test_bnl_m_dominance_superset_property(seed, window):
+    """Stage-1-style BNL with m-dominance yields a superset of the true
+    skyline (false positives only, never false negatives)."""
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=40)
+    d = TransformedDataset(schema, records)
+    stats = ComparisonStats()
+    candidates = {
+        p.record.rid
+        for p in bnl_passes(d.points, d.kernel.m_dominates, window, stats)
+    }
+    assert candidates >= set(brute_force_skyline(schema, records))

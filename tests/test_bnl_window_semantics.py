@@ -1,0 +1,87 @@
+"""Fine-grained tests of BNL's timestamped window semantics."""
+
+from __future__ import annotations
+
+import random
+
+from conftest import brute_force_skyline
+from repro.algorithms.bnl import bnl_passes
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.transform.dataset import TransformedDataset
+
+
+def dataset_of(values):
+    schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+    return TransformedDataset(schema, [Record(i, v) for i, v in enumerate(values)])
+
+
+def run(values, window):
+    d = dataset_of(values)
+    stats = ComparisonStats()
+    out = list(bnl_passes(d.points, d.kernel.native_dominates, window, stats))
+    return [p.record.rid for p in out], stats, d
+
+
+class TestMaturation:
+    def test_zero_debt_entries_emitted_at_pass_end(self):
+        # Window of 2: first two incomparable records fill it with debt 0.
+        values = [(1, 9), (9, 1), (2, 8), (8, 2)]
+        rids, stats, d = run(values, 2)
+        assert sorted(rids) == [0, 1, 2, 3]
+        assert stats.tuples_scanned > len(values)  # overflow pass happened
+
+    def test_carried_entry_released_mid_pass(self):
+        """An entry with debt d matures as soon as the next pass has read
+        its d predecessors; progressive emission order shows it."""
+        # Window 1: (5,5) enters; (1,9) incomparable -> temp (debt source);
+        # (0,10) incomparable -> temp. Pass 2 reads temp...
+        values = [(5, 5), (1, 9), (0, 10)]
+        rids, _, _ = run(values, 1)
+        assert sorted(rids) == [0, 1, 2]
+
+    def test_eviction_of_carried_entry(self):
+        # (5,5) carried with debt; the temp record (1,1) dominates it in
+        # the next pass -> carried entry must be evicted, not emitted.
+        values = [(2, 2), (5, 5), (1, 1)]
+        # window 2: (2,2) in, (5,5) dominated by (2,2)? yes -> dropped.
+        # Make (5,5) incomparable instead:
+        values = [(2, 9), (5, 5), (1, 1)]
+        rids, _, _ = run(values, 1)
+        assert sorted(rids) == [2]
+
+    def test_single_pass_when_window_fits(self):
+        rng = random.Random(5)
+        values = [(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(80)]
+        _, stats, _ = run(values, 10**6)
+        assert stats.tuples_scanned == 80
+
+    def test_many_passes_tiny_window(self):
+        values = [(i, 100 - i) for i in range(50)]  # pure anti-correlated
+        rids, stats, d = run(values, 2)
+        assert sorted(rids) == list(range(50))
+        # Window 2 forces ~25 passes over shrinking temp files.
+        assert stats.tuples_scanned > 300
+
+    def test_order_of_emission_is_a_valid_certificate(self):
+        """No emitted record may be dominated by a record emitted later
+        (every emission is definite at emission time)."""
+        rng = random.Random(6)
+        values = [(rng.randint(0, 15), rng.randint(0, 15)) for _ in range(120)]
+        d = dataset_of(values)
+        stats = ComparisonStats()
+        emitted = list(
+            bnl_passes(d.points, d.kernel.native_dominates, 4, stats)
+        )
+        kernel = d.kernel
+        for i, p in enumerate(emitted):
+            for q in emitted[i + 1 :]:
+                assert not kernel.native_dominates(q, p)
+
+    def test_matches_brute_force_under_adversarial_order(self):
+        # Descending quality: every record dominated by the last one read.
+        values = [(i, i) for i in range(30, 0, -1)]
+        rids, _, d = run(values, 3)
+        assert rids == [29]
+        assert brute_force_skyline(d.schema, d.records) == [29]

@@ -1,0 +1,139 @@
+"""Unit tests for :mod:`repro.posets.builder`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import PosetError
+from repro.posets.builder import (
+    antichain,
+    chain,
+    diamond,
+    from_relations,
+    from_set_family,
+    paper_example_poset,
+    powerset_lattice,
+    random_tree,
+)
+
+
+class TestChainAntichain:
+    def test_chain_order(self):
+        p = chain([3, 2, 1])
+        assert p.dominates(3, 1)
+        assert not p.dominates(1, 3)
+
+    def test_chain_single(self):
+        assert len(chain(["only"])) == 1
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(PosetError):
+            chain([])
+
+    def test_antichain_no_relations(self):
+        p = antichain(range(5))
+        assert p.num_edges == 0
+        assert not p.comparable(0, 1)
+
+
+class TestDiamond:
+    def test_shape(self):
+        p = diamond()
+        assert p.dominates("a", "d")
+        assert not p.comparable("b", "c")
+        assert p.num_edges == 4
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        p = random_tree(30, rng=random.Random(1))
+        assert p.is_tree()
+        assert p.is_connected()
+        assert len(p) == 30
+
+    def test_branching_respected(self):
+        p = random_tree(40, max_branching=2, rng=random.Random(2))
+        assert all(len(p.children_ix(i)) <= 2 for i in range(len(p)))
+
+    def test_single_node(self):
+        assert len(random_tree(1)) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(PosetError):
+            random_tree(0)
+        with pytest.raises(PosetError):
+            random_tree(5, max_branching=0)
+
+
+class TestFromRelations:
+    def test_collects_domain(self):
+        p = from_relations([("a", "b"), ("b", "c")])
+        assert set(p.values) == {"a", "b", "c"}
+        assert p.dominates("a", "c")
+
+    def test_reduces_by_default(self):
+        p = from_relations([("a", "b"), ("b", "c"), ("a", "c")])
+        assert p.num_edges == 2
+
+    def test_no_reduce(self):
+        p = from_relations([("a", "b"), ("b", "c"), ("a", "c")], reduce=False)
+        assert p.num_edges == 3
+
+    def test_explicit_values_keep_isolated(self):
+        p = from_relations([("a", "b")], values=["a", "b", "lonely"])
+        assert "lonely" in p
+
+
+class TestFromSetFamily:
+    def test_containment_order(self):
+        p = from_set_family(
+            {"big": {1, 2, 3}, "mid": {1, 2}, "small": {1}, "other": {3}}
+        )
+        assert p.dominates("big", "small")
+        assert p.dominates("big", "other")
+        assert not p.comparable("mid", "other")
+
+    def test_cover_edges_only(self):
+        p = from_set_family({"a": {1, 2, 3}, "b": {1, 2}, "c": {1}})
+        assert p.num_edges == 2  # a->b->c, no shortcut a->c
+
+    def test_equal_sets_distinct_names_incomparable(self):
+        p = from_set_family({"x": {1}, "y": {1}})
+        assert not p.comparable("x", "y")
+
+
+class TestPowersetLattice:
+    def test_sizes(self):
+        p = powerset_lattice("ab")
+        assert len(p) == 4
+        assert p.height == 3
+
+    def test_order(self):
+        p = powerset_lattice("abc")
+        assert p.dominates(frozenset("abc"), frozenset("a"))
+        assert not p.comparable(frozenset("a"), frozenset("b"))
+
+    def test_cover_edges_differ_by_one(self):
+        p = powerset_lattice("abc")
+        for v, w in p.edges():
+            assert len(v) == len(w) + 1
+
+    def test_too_large_rejected(self):
+        with pytest.raises(PosetError):
+            powerset_lattice(list(range(13)))
+
+
+class TestPaperExample:
+    def test_ten_values(self):
+        p = paper_example_poset()
+        assert len(p) == 10
+        assert set(p.maximal_values) == set("abcde")
+
+    def test_known_dominances(self):
+        p = paper_example_poset()
+        assert p.dominates("a", "f")
+        assert p.dominates("a", "i")  # via f
+        assert p.dominates("d", "j")
+        assert not p.comparable("e", "i")

@@ -1,0 +1,134 @@
+"""Tests for the dominance graph DG (Fig. 5, Lemmas 4.1 and 4.2).
+
+The figure is an image in the paper, so the edge set is *verified* here:
+a brute-force sweep over random posets, forests and value pairs checks
+that every actual dominance respects the derived edges (Lemma 4.1) and
+that dominance coincides with interval containment across bold edges
+(Lemma 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_poset
+from repro.core.categories import (
+    BOLD_EDGES,
+    DOMINANCE_EDGES,
+    Category,
+    can_dominate,
+    dominators_of,
+    dominators_of_set,
+    is_bold,
+    targets_of,
+)
+from repro.posets.classification import classify
+from repro.posets.encoding import IntervalEncoding
+from repro.posets.spanning_tree import random_spanning_forest
+
+
+class TestEdgeSet:
+    def test_expected_edges(self):
+        expected = {
+            (Category.CP, Category.CP),
+            (Category.CP, Category.CC),
+            (Category.CP, Category.PP),
+            (Category.CP, Category.PC),
+            (Category.CC, Category.CC),
+            (Category.CC, Category.PC),
+            (Category.PP, Category.PP),
+            (Category.PP, Category.PC),
+            (Category.PC, Category.PC),
+        }
+        assert DOMINANCE_EDGES == frozenset(expected)
+
+    def test_reflexive(self):
+        for cat in Category:
+            assert can_dominate(cat, cat)
+
+    def test_antisymmetric_without_loops(self):
+        for src in Category:
+            for dst in Category:
+                if src is not dst and can_dominate(src, dst):
+                    assert not can_dominate(dst, src)
+
+    def test_transitive(self):
+        for a in Category:
+            for b in Category:
+                for c in Category:
+                    if can_dominate(a, b) and can_dominate(b, c):
+                        assert can_dominate(a, c)
+
+    def test_bold_edges_rule(self):
+        for src, dst in DOMINANCE_EDGES:
+            expected = src.completely_covering or dst.completely_covered
+            assert is_bold(src, dst) == expected
+        assert BOLD_EDGES <= DOMINANCE_EDGES
+
+    def test_cc_pp_disconnected(self):
+        """Section 4.7: no comparisons needed between (c,c) and (p,p)."""
+        assert not can_dominate(Category.CC, Category.PP)
+        assert not can_dominate(Category.PP, Category.CC)
+
+    def test_cp_dominates_everything(self):
+        assert targets_of(Category.CP) == frozenset(Category)
+
+    def test_pc_dominated_by_everything(self):
+        assert dominators_of(Category.PC) == frozenset(Category)
+
+    def test_dominators_targets_duality(self):
+        for src in Category:
+            for dst in Category:
+                assert (dst in targets_of(src)) == (src in dominators_of(dst))
+
+    def test_dominators_of_set_union(self):
+        subset = frozenset({Category.CC, Category.PP})
+        assert dominators_of_set(subset) == dominators_of(Category.CC) | dominators_of(
+            Category.PP
+        )
+
+    def test_category_of_flags(self):
+        assert Category.of(True, True) is Category.CC
+        assert Category.of(True, False) is Category.CP
+        assert Category.of(False, True) is Category.PC
+        assert Category.of(False, False) is Category.PP
+
+    def test_str(self):
+        assert str(Category.CP) == "(c,p)"
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_lemma_4_1_brute_force(seed):
+    """Every actual dominance between values follows a DG edge."""
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    forest = random_spanning_forest(poset, rng)
+    cls = classify(forest)
+    for i in range(len(poset)):
+        for j in poset.descendants_ix(i):
+            assert can_dominate(cls.category_ix(i), cls.category_ix(j)), (
+                f"dominance {i}->{j} violates DG edge "
+                f"{cls.category_ix(i)}->{cls.category_ix(j)}"
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_lemma_4_2_brute_force(seed):
+    """Across bold pairs, dominance == containment (m-dominance)."""
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    forest = random_spanning_forest(poset, rng)
+    cls = classify(forest)
+    enc = IntervalEncoding(forest)
+    n = len(poset)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if cls.is_completely_covering_ix(i) or cls.is_completely_covered_ix(j):
+                assert poset.dominates_ix(i, j) == enc.strictly_contains_ix(i, j)

@@ -1,0 +1,176 @@
+"""Unit and property tests for dominance classification (Section 4.5.1)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_poset
+from repro.core.categories import Category
+from repro.posets.builder import (
+    PAPER_FIG4_SPANNING_EDGES,
+    antichain,
+    chain,
+    paper_example_poset,
+    random_tree,
+)
+from repro.posets.classification import DominanceClassification, classify
+from repro.posets.spanning_tree import (
+    SpanningForest,
+    default_spanning_forest,
+    random_spanning_forest,
+)
+
+
+def fig4_classification() -> DominanceClassification:
+    poset = paper_example_poset()
+    forest = SpanningForest.from_edge_choice(poset, PAPER_FIG4_SPANNING_EDGES)
+    return DominanceClassification(forest)
+
+
+class TestPaperExamples:
+    def test_example_4_3_partially_covering(self):
+        cls = fig4_classification()
+        assert cls.partially_covering_values == frozenset("abcdfh")
+
+    def test_example_4_3_partially_covered(self):
+        cls = fig4_classification()
+        assert cls.partially_covered_values == frozenset("fghij")
+
+    def test_example_4_4_uncovered_levels(self):
+        cls = fig4_classification()
+        expected = dict.fromkeys("abcde", 0)
+        expected.update(dict.fromkeys("fghj", 1))
+        expected["i"] = 2
+        for value, level in expected.items():
+            assert cls.uncovered_level(value) == level, value
+
+    def test_fig4_categories(self):
+        cls = fig4_classification()
+        assert cls.category("e") is Category.CC
+        assert cls.category("a") is Category.CP
+        assert cls.category("g") is Category.PC
+        assert cls.category("f") is Category.PP
+
+
+class TestDegenerateShapes:
+    def test_chain_everything_completely_both(self):
+        cls = classify(default_spanning_forest(chain("abcde")))
+        assert not cls.partially_covered_values
+        assert not cls.partially_covering_values
+        assert cls.max_uncovered_level == 0
+
+    def test_antichain_everything_completely_both(self):
+        cls = classify(default_spanning_forest(antichain("abc")))
+        assert not cls.partially_covered_values
+        assert not cls.partially_covering_values
+
+    def test_tree_everything_completely_both(self):
+        p = random_tree(30, rng=random.Random(7))
+        cls = classify(default_spanning_forest(p))
+        assert not cls.partially_covered_values
+        assert not cls.partially_covering_values
+
+    def test_category_counts_sum(self, medium_poset):
+        cls = classify(default_spanning_forest(medium_poset))
+        assert sum(cls.category_counts().values()) == len(medium_poset)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_covered_iff_level_zero(seed):
+    """L(v) == 0 exactly when v is completely covered (Eq. 1)."""
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    cls = classify(random_spanning_forest(poset, rng))
+    for i in range(len(poset)):
+        assert (cls.uncovered_level_ix(i) == 0) == cls.is_completely_covered_ix(i)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_covered_definition_brute_force(seed):
+    """Completely covered == every incoming DAG path lies in the forest.
+
+    Brute force: enumerate all incoming paths by walking ancestors.
+    """
+    rng = random.Random(seed)
+    poset = random_poset(rng, max_nodes=10)
+    forest = random_spanning_forest(poset, rng)
+    cls = classify(forest)
+
+    def all_incoming_paths_in_forest(target: int) -> bool:
+        # DFS over reversed edges, tracking whether any used edge is
+        # outside the forest.
+        stack = [(target, False)]
+        while stack:
+            node, dirty = stack.pop()
+            if dirty:
+                return False
+            for parent in poset.parents_ix(node):
+                stack.append((parent, not forest.contains_edge(parent, node)))
+        return True
+
+    for i in range(len(poset)):
+        assert cls.is_completely_covered_ix(i) == all_incoming_paths_in_forest(i)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_covering_definition_brute_force(seed):
+    """Completely covering == every outgoing DAG path lies in the forest."""
+    rng = random.Random(seed)
+    poset = random_poset(rng, max_nodes=10)
+    forest = random_spanning_forest(poset, rng)
+    cls = classify(forest)
+
+    def all_outgoing_paths_in_forest(source: int) -> bool:
+        stack = [(source, False)]
+        while stack:
+            node, dirty = stack.pop()
+            if dirty:
+                return False
+            for child in poset.children_ix(node):
+                stack.append((child, not forest.contains_edge(node, child)))
+        return True
+
+    for i in range(len(poset)):
+        assert cls.is_completely_covering_ix(i) == all_outgoing_paths_in_forest(i)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lemma_4_4_levels(seed):
+    """Lemma 4.4: if v dominates w then L(v) <= L(w)."""
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    cls = classify(random_spanning_forest(poset, rng))
+    for i in range(len(poset)):
+        for j in poset.descendants_ix(i):
+            assert cls.uncovered_level_ix(i) <= cls.uncovered_level_ix(j)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_level_brute_force(seed):
+    """L(v) equals the max count of non-forest edges over incoming paths."""
+    rng = random.Random(seed)
+    poset = random_poset(rng, max_nodes=9)
+    forest = random_spanning_forest(poset, rng)
+    cls = classify(forest)
+
+    def max_dirty(target: int) -> int:
+        best = 0
+        stack = [(target, 0)]
+        while stack:
+            node, dirty = stack.pop()
+            best = max(best, dirty)
+            for parent in poset.parents_ix(node):
+                cost = 0 if forest.contains_edge(parent, node) else 1
+                stack.append((parent, dirty + cost))
+        return best
+
+    for i in range(len(poset)):
+        assert cls.uncovered_level_ix(i) == max_dirty(i)

@@ -1,0 +1,126 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "x.json", "--algorithm", "magic"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99x"])
+
+
+class TestCommands:
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "sdc+" in out and "bnl" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Budget" in out
+        assert "Worse" not in out  # dominated hotel must be pruned
+
+    def test_generate_then_query(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(path),
+                    "--size",
+                    "120",
+                    "--poset-nodes",
+                    "24",
+                    "--poset-height",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-workload"
+        assert len(payload["records"]) == 120
+
+        assert main(["query", str(path), "--algorithm", "sdc+", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "skyline records out of 120" in out
+
+    def test_query_all_algorithms_agree(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        main(["generate", str(path), "--size", "80", "--poset-nodes", "20", "--poset-height", "3"])
+        capsys.readouterr()
+        sizes = set()
+        for algorithm in ("bnl", "bbs+", "sdc", "sdc+"):
+            main(["query", str(path), "--algorithm", algorithm, "--limit", "0"])
+            out = capsys.readouterr().out
+            sizes.add(out.splitlines()[0].split()[0])
+        assert len(sizes) == 1
+
+    def test_query_stats_flag(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        main(["generate", str(path), "--size", "50", "--poset-nodes", "20", "--poset-height", "3"])
+        capsys.readouterr()
+        main(["query", str(path), "--stats"])
+        assert "ComparisonStats" in capsys.readouterr().out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "fig10a", "--size", "150", "--metric", "checks"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10a" in out
+        assert "dominance-check milestones" in out
+        assert "SDC+" in out
+
+    def test_experiment_time_metric(self, capsys):
+        assert main(["experiment", "fig12c", "--size", "120", "--metric", "time"]) == 0
+        out = capsys.readouterr().out
+        assert "time-to-output milestones" in out
+        assert "SDC+-MinPC" in out
+
+    def test_skyband(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        main(["generate", str(path), "--size", "80", "--poset-nodes", "20", "--poset-height", "3"])
+        capsys.readouterr()
+        assert main(["skyband", str(path), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2-skyband:" in out
+
+    def test_subspace(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        main(["generate", str(path), "--size", "80", "--poset-nodes", "20", "--poset-height", "3"])
+        capsys.readouterr()
+        assert main(["subspace", str(path), "t0", "p0"]) == 0
+        out = capsys.readouterr().out
+        assert "subspace [t0, p0]:" in out
+
+    def test_explain(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        main(["generate", str(path), "--size", "80", "--poset-nodes", "20", "--poset-height", "3"])
+        capsys.readouterr()
+        assert main(["explain", str(path), "--algorithm", "sdc+"]) == 0
+        out = capsys.readouterr().out
+        assert '"records": 80' in out
+        assert '"progressiveness"' in out
+
+    def test_layers(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        main(["generate", str(path), "--size", "80", "--poset-nodes", "20", "--poset-height", "3"])
+        capsys.readouterr()
+        assert main(["layers", str(path), "--max-layers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "layer 1:" in out
+        assert "layer 3:" in out

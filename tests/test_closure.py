@@ -1,0 +1,144 @@
+"""Tests for the compressed transitive closure and the closure-backed
+native comparison mode (paper future work: alternative domain mappings)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset, random_poset
+from repro.algorithms.base import get_algorithm
+from repro.exceptions import SchemaError
+from repro.posets.builder import antichain, chain, diamond, paper_example_poset, random_tree
+from repro.posets.closure import IntervalClosure, _merge
+from repro.posets.generator import generate_poset
+from repro.posets.spanning_tree import default_spanning_forest, random_spanning_forest
+from repro.transform.dataset import TransformedDataset
+
+
+class TestMerge:
+    def test_empty(self):
+        assert _merge([]) == ()
+
+    def test_disjoint_kept(self):
+        assert _merge([(1, 2), (5, 6)]) == ((1, 2), (5, 6))
+
+    def test_overlap_merged(self):
+        assert _merge([(1, 4), (3, 6)]) == ((1, 6),)
+
+    def test_adjacent_integers_merged(self):
+        assert _merge([(1, 2), (3, 4)]) == ((1, 4),)
+
+    def test_contained_absorbed(self):
+        assert _merge([(1, 10), (3, 5)]) == ((1, 10),)
+
+    def test_unsorted_input(self):
+        assert _merge([(7, 8), (1, 2)]) == ((1, 2), (7, 8))
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "poset_maker",
+        [
+            diamond,
+            paper_example_poset,
+            lambda: chain("abcdef"),
+            lambda: antichain("abc"),
+            lambda: random_tree(25, rng=random.Random(3)),
+            lambda: generate_poset(num_nodes=120, height=5, num_trees=3, seed=7),
+        ],
+    )
+    def test_exact_on_shapes(self, poset_maker):
+        poset = poset_maker()
+        closure = IntervalClosure.for_poset(poset)
+        assert closure.verify_exact()
+
+    def test_diamond_fixes_paper_false_negative(self):
+        """Example 4.2's miss (c does not m-dominate d) is repaired by the
+        closure: c's interval set covers d's postorder."""
+        poset = diamond()
+        closure = IntervalClosure.for_poset(poset)
+        assert closure.reachable("c", "d")
+        assert not closure.encoding.contains("c", "d")
+
+    def test_tree_closure_is_single_interval(self):
+        poset = random_tree(30, rng=random.Random(5))
+        closure = IntervalClosure.for_poset(poset)
+        assert closure.max_intervals == 1
+
+    def test_interval_count_stats(self):
+        poset = generate_poset(num_nodes=100, height=4, num_trees=2, seed=2)
+        closure = IntervalClosure.for_poset(poset)
+        assert closure.average_intervals >= 1.0
+        assert closure.max_intervals >= 1
+
+    def test_value_level_api(self):
+        closure = IntervalClosure.for_poset(diamond())
+        assert closure.reachable("a", "d")
+        assert not closure.reachable("d", "a")
+        assert not closure.reachable("a", "a")
+        assert closure.intervals("a")
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_closure_exact_property(seed):
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    closure = IntervalClosure(random_spanning_forest(poset, rng))
+    assert closure.verify_exact()
+
+
+class TestClosureNativeMode:
+    def test_same_skyline_as_native(self):
+        rng = random.Random(31)
+        schema, records = random_mixed_dataset(rng, n=60, num_partial=2)
+        expected = brute_force_skyline(schema, records)
+        d = TransformedDataset(schema, records, native_mode="closure")
+        for name in ("bnl", "bbs+", "sdc", "sdc+"):
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == expected, name
+
+    def test_counts_closure_not_set(self):
+        rng = random.Random(32)
+        schema, records = random_mixed_dataset(rng, n=60)
+        d = TransformedDataset(schema, records, native_mode="closure")
+        list(get_algorithm("bbs+").run(d))
+        assert d.stats.native_closure > 0
+        assert d.stats.native_set == 0
+
+    def test_native_mode_validation(self):
+        rng = random.Random(33)
+        schema, records = random_mixed_dataset(rng, n=5)
+        with pytest.raises(SchemaError):
+            TransformedDataset(schema, records, native_mode="psychic")
+
+    def test_closure_shares_forest_with_mapping(self):
+        rng = random.Random(34)
+        schema, records = random_mixed_dataset(rng, n=5)
+        d = TransformedDataset(schema, records, native_mode="closure")
+        mapping = d.mappings[0]
+        assert mapping.closure.forest is mapping.forest
+        assert mapping.closure is mapping.closure  # cached
+
+    def test_kernel_closure_arity_checked(self):
+        from repro.core.dominance import DominanceKernel
+
+        rng = random.Random(35)
+        schema, _ = random_mixed_dataset(rng, n=5, num_partial=2)
+        with pytest.raises(SchemaError):
+            DominanceKernel(schema, closures=(None,))
+
+    def test_numeric_only_schema_ignores_closure_mode(self):
+        from repro.core.record import Record
+        from repro.core.schema import NumericAttribute, Schema
+
+        schema = Schema([NumericAttribute("x")])
+        d = TransformedDataset(
+            schema, [Record(0, (1,)), Record(1, (2,))], native_mode="closure"
+        )
+        got = sorted(p.record.rid for p in get_algorithm("bnl").run(d))
+        assert got == [0]

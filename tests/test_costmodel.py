@@ -1,0 +1,121 @@
+"""Tests for the buffer pool and the 2005-era cost model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import random_mixed_dataset
+from repro.algorithms.base import get_algorithm
+from repro.bench.costmodel import BufferPool, CostModel
+from repro.bench.harness import run_progressive
+from repro.exceptions import ReproError
+from repro.transform.dataset import TransformedDataset
+
+
+class TestBufferPool:
+    def test_hit_after_miss(self):
+        pool = BufferPool(4)
+        node = object()
+        assert not pool.access(node)
+        assert pool.access(node)
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        a, b, c = object(), object(), object()
+        pool.access(a)
+        pool.access(b)
+        pool.access(c)  # evicts a
+        assert not pool.access(a)  # miss again
+        assert pool.resident == 2
+
+    def test_move_to_end_keeps_hot_page(self):
+        pool = BufferPool(2)
+        a, b, c = object(), object(), object()
+        pool.access(a)
+        pool.access(b)
+        pool.access(a)  # a becomes most recent
+        pool.access(c)  # evicts b, not a
+        assert pool.access(a)
+
+    def test_clear(self):
+        pool = BufferPool(2)
+        pool.access(object())
+        pool.clear()
+        assert pool.resident == 0 and pool.hits == 0 and pool.misses == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ReproError):
+            BufferPool(0)
+
+
+class TestCostModel:
+    def test_io_cost(self):
+        model = CostModel(random_page_ms=10, sequential_page_ms=0.1, tuples_per_page=10)
+        delta = {"page_misses": 3, "tuples_scanned": 100}
+        assert model.io_cost(delta) == pytest.approx(30 + 1.0)
+
+    def test_cpu_cost_weights_set_compares_heavier(self):
+        model = CostModel()
+        cheap = model.cpu_cost({"m_dominance_point": 1000})
+        expensive = model.cpu_cost({"native_set": 1000})
+        assert expensive > cheap
+
+    def test_total_is_sum(self):
+        model = CostModel()
+        delta = {"page_misses": 1, "native_set": 10, "m_dominance_point": 5}
+        assert model.total_cost(delta) == pytest.approx(
+            model.io_cost(delta) + model.cpu_cost(delta)
+        )
+
+    def test_empty_delta_is_free(self):
+        assert CostModel().total_cost({}) == 0.0
+
+
+class TestIntegration:
+    def make(self, seed=0, n=300):
+        rng = random.Random(seed)
+        schema, records = random_mixed_dataset(rng, n=n)
+        return TransformedDataset(schema, records)
+
+    def test_misses_counted_with_pool(self):
+        d = self.make()
+        d.attach_buffer_pool(BufferPool(2))
+        list(get_algorithm("bbs+").run(d))
+        assert d.stats.page_misses > 0
+        assert d.stats.page_misses <= d.stats.node_accesses
+
+    def test_no_pool_no_misses(self):
+        d = self.make()
+        list(get_algorithm("bbs+").run(d))
+        assert d.stats.page_misses == 0
+        assert d.stats.node_accesses > 0
+
+    def test_large_pool_mostly_hits(self):
+        d = self.make()
+        small_misses = self._misses_with_pool(self.make(), 2)
+        large_misses = self._misses_with_pool(self.make(), 10_000)
+        assert large_misses <= small_misses
+
+    @staticmethod
+    def _misses_with_pool(dataset, capacity):
+        dataset.attach_buffer_pool(BufferPool(capacity))
+        list(get_algorithm("bbs+").run(dataset))
+        return dataset.stats.page_misses
+
+    def test_pool_attached_to_existing_structures(self):
+        d = self.make()
+        d.index
+        d.stratification
+        for stratum in d.stratification:
+            stratum.tree
+        d.attach_buffer_pool(BufferPool(8))
+        list(get_algorithm("sdc+").run(d))
+        assert d.stats.page_misses > 0
+
+    def test_bnl_counts_tuples_scanned(self):
+        d = self.make(n=200)
+        run = run_progressive(d, "bnl", window_size=8)
+        assert run.final_delta["tuples_scanned"] >= 200  # multi-pass => more

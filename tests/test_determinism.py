@@ -1,0 +1,67 @@
+"""Reproducibility guarantees.
+
+Comparison counts are the library's machine-independent benchmark
+currency, so identical inputs must yield identical counters -- both
+within a process and across interpreter invocations (a regression test
+for iteration over id-hashed sets, which silently varied per process).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.algorithms.base import get_algorithm
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+_PROBE = """
+from repro.bench.harness import run_progressive
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+wl = generate_workload(WorkloadConfig.default(data_size=400))
+d = TransformedDataset(wl.schema, wl.records)
+for name in ("bbs+", "sdc", "sdc+"):
+    run = run_progressive(d, name)
+    delta = run.final_delta
+    print(name, delta["m_dominance_point"], delta["m_dominance_mbr"],
+          delta["native_set"], delta["node_accesses"], run.skyline_size)
+"""
+
+
+def _counts_in_fresh_interpreter() -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _PROBE], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_counts_identical_across_processes():
+    assert _counts_in_fresh_interpreter() == _counts_in_fresh_interpreter()
+
+
+def test_counts_identical_within_process():
+    wl = generate_workload(WorkloadConfig.default(data_size=300))
+    snapshots = []
+    for _ in range(2):
+        d = TransformedDataset(wl.schema, wl.records)
+        d.index
+        d.stratification
+        before = d.stats.snapshot()
+        for name in ("bbs+", "sdc", "sdc+"):
+            list(get_algorithm(name).run(d))
+        snapshots.append(d.stats.diff(before))
+    assert snapshots[0] == snapshots[1]
+
+
+def test_workload_generation_deterministic():
+    a = generate_workload(WorkloadConfig.default(data_size=200))
+    b = generate_workload(WorkloadConfig.default(data_size=200))
+    assert a.records == b.records
+    assert list(a.schema.partial_attrs[0].poset.edges()) == list(
+        b.schema.partial_attrs[0].poset.edges()
+    )

@@ -1,0 +1,219 @@
+"""Tests for the dominance kernel (m-dominance, native, CompareDominance)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_mixed_dataset, record_dominates
+from repro.core.categories import Category
+from repro.core.dominance import DominanceKernel
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.posets.poset import Poset
+from repro.transform.dataset import TransformedDataset
+
+
+def counterexample_poset() -> Poset:
+    """A poset on which the paper-literal pseudocode goes wrong.
+
+    With the default (first-parent) spanning forest:
+
+    * ``a`` is ``(p,p)`` with uncovered level 1,
+    * ``b`` is ``(p,p)`` with uncovered level 2 and is natively dominated
+      by ``a`` through the excluded edge ``(a, b)``,
+    * ``z`` is ``(p,c)`` with level 3 and is natively dominated by ``b``
+      through the excluded edge ``(b, z)``.
+
+    Edge insertion order matters: it pins the default forest to
+    ``{(r,a), (t,b), (u,z)}``.
+    """
+    return Poset(
+        ["r", "s", "t", "u", "a", "b", "z"],
+        [("r", "a"), ("s", "a"), ("t", "b"), ("a", "b"), ("u", "z"), ("b", "z")],
+    )
+
+
+@pytest.fixture
+def counterexample_dataset() -> TransformedDataset:
+    poset = counterexample_poset()
+    schema = Schema([PosetAttribute.set_valued("p", poset)])
+    records = [Record(v, (), (v,)) for v in poset.values]
+    return TransformedDataset(schema, records)
+
+
+def point_of(dataset: TransformedDataset, value):
+    return next(p for p in dataset.points if p.record.rid == value)
+
+
+class TestCounterexampleClassification:
+    def test_categories(self, counterexample_dataset):
+        d = counterexample_dataset
+        assert point_of(d, "a").category is Category.PP
+        assert point_of(d, "b").category is Category.PP
+        assert point_of(d, "z").category is Category.PC
+        assert point_of(d, "u").category is Category.CC
+
+    def test_levels(self, counterexample_dataset):
+        d = counterexample_dataset
+        assert point_of(d, "a").level == 1
+        assert point_of(d, "b").level == 2
+        assert point_of(d, "z").level == 3
+
+    def test_native_without_m_dominance(self, counterexample_dataset):
+        d = counterexample_dataset
+        a, b, z = (point_of(d, v) for v in "abz")
+        kernel = d.kernel
+        assert kernel.native_dominates(a, b)
+        assert not kernel.m_dominates(a, b)
+        assert kernel.native_dominates(b, z)
+        assert not kernel.m_dominates(b, z)
+
+
+class TestCompareDominance:
+    def test_m_dominance_fast_path(self, counterexample_dataset):
+        d = counterexample_dataset
+        r, a = point_of(d, "r"), point_of(d, "a")
+        assert d.kernel.compare_dominance(r, a) == -1
+        assert d.kernel.compare_dominance(a, r) == 1
+
+    def test_native_fallback_both_directions(self, counterexample_dataset):
+        d = counterexample_dataset
+        a, b = point_of(d, "a"), point_of(d, "b")
+        assert d.kernel.compare_dominance(a, b) == -1
+        assert d.kernel.compare_dominance(b, a) == 1
+
+    def test_incomparable(self, counterexample_dataset):
+        d = counterexample_dataset
+        r, s = point_of(d, "r"), point_of(d, "s")
+        assert d.kernel.compare_dominance(r, s) == 0
+
+    def test_identical_points_zero(self):
+        schema = Schema([NumericAttribute("x")])
+        records = [Record(0, (5,)), Record(1, (5,))]
+        d = TransformedDataset(schema, records)
+        assert d.kernel.compare_dominance(d.points[0], d.points[1]) == 0
+
+    def test_faithful_gate_misses_pc_target(self, counterexample_dataset):
+        """Fig. 6's single gate misses (c,p)/(p,p) natively dominating a
+        (p,c) point: z in (p,c) is dominated by b but the gate requires z
+        to be partially covering."""
+        d = counterexample_dataset
+        b, z = point_of(d, "b"), point_of(d, "z")
+        faithful = DominanceKernel(d.schema, ComparisonStats(), faithful_gate=True)
+        assert faithful.compare_dominance(z, b) == 0  # the paper-literal miss
+        assert d.kernel.compare_dominance(z, b) == 1  # corrected gate
+
+    def test_gates_agree_with_ground_truth(self, counterexample_dataset):
+        d = counterexample_dataset
+        kernel = d.kernel
+        for x in d.points:
+            for y in d.points:
+                expected = 0
+                if record_dominates(d.schema, y.record, x.record):
+                    expected = 1
+                elif record_dominates(d.schema, x.record, y.record):
+                    expected = -1
+                assert kernel.compare_dominance(x, y) == expected
+
+
+class TestNativeDominance:
+    def test_numeric_only_schema(self):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y", "max")])
+        records = [Record(0, (1, 9)), Record(1, (2, 5)), Record(2, (1, 9))]
+        d = TransformedDataset(schema, records)
+        k = d.kernel
+        assert k.native_dominates(d.points[0], d.points[1])
+        assert not k.native_dominates(d.points[1], d.points[0])
+        assert not k.native_dominates(d.points[0], d.points[2])  # duplicate
+
+    def test_counts_native_numeric_vs_set(self):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+        d = TransformedDataset(schema, [Record(0, (1, 2)), Record(1, (3, 4))])
+        d.kernel.native_dominates(d.points[0], d.points[1])
+        assert d.stats.native_numeric == 1
+        assert d.stats.native_set == 0
+
+    def test_set_attr_counts_native_set(self, counterexample_dataset):
+        d = counterexample_dataset
+        before = d.stats.native_set
+        d.kernel.native_dominates(point_of(d, "a"), point_of(d, "b"))
+        assert d.stats.native_set == before + 1
+
+    def test_reachability_mode(self):
+        poset = counterexample_poset()
+        schema = Schema([PosetAttribute("p", poset)])  # no set domain
+        records = [Record(v, (), (v,)) for v in poset.values]
+        d = TransformedDataset(schema, records)
+        a, b = point_of(d, "a"), point_of(d, "b")
+        assert d.kernel.native_dominates(a, b)
+        assert not d.kernel.native_dominates(b, a)
+
+    def test_m_dominates_strictness(self):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+        d = TransformedDataset(schema, [Record(0, (1, 2)), Record(1, (1, 2))])
+        assert not d.kernel.m_dominates(d.points[0], d.points[1])
+
+    def test_m_dominates_mins(self):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+        d = TransformedDataset(schema, [Record(0, (1, 2))])
+        p = d.points[0]
+        assert d.kernel.m_dominates_mins(p, (2.0, 3.0))
+        assert not d.kernel.m_dominates_mins(p, (1.0, 2.0))  # equal corner
+        assert not d.kernel.m_dominates_mins(p, (0.0, 5.0))
+
+    def test_full_dominates(self, counterexample_dataset):
+        d = counterexample_dataset
+        a, b, r = point_of(d, "a"), point_of(d, "b"), point_of(d, "r")
+        assert d.kernel.full_dominates(a, b)  # native-only pair
+        assert d.kernel.full_dominates(r, a)  # m-dominance pair
+        assert not d.kernel.full_dominates(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_kernel_agrees_with_brute_force(seed):
+    """m-dominance implies native dominance; native dominance matches the
+    definition-level brute force; CompareDominance agrees with both."""
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=25)
+    d = TransformedDataset(schema, records)
+    k = d.kernel
+    pts = d.points
+    for i in range(len(pts)):
+        for j in range(len(pts)):
+            if i == j:
+                continue
+            x, y = pts[i], pts[j]
+            truth = record_dominates(schema, x.record, y.record)
+            assert k.native_dominates(x, y) == truth
+            if k.m_dominates(x, y):
+                assert truth
+            ret = k.compare_dominance(x, y)
+            if truth:
+                assert ret == -1
+            elif record_dominates(schema, y.record, x.record):
+                assert ret == 1
+            else:
+                assert ret == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lemma_4_2_on_records(seed):
+    """Record-level Lemma 4.2: completely covering dominator or completely
+    covered target forces dominance == m-dominance."""
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=25, num_partial=2)
+    d = TransformedDataset(schema, records)
+    k = d.kernel
+    for x in d.points:
+        for y in d.points:
+            if x is y:
+                continue
+            if x.category.completely_covering or y.category.completely_covered:
+                assert k.native_dominates(x, y) == k.m_dominates(x, y)

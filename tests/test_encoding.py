@@ -1,0 +1,151 @@
+"""Unit and property tests for the interval encoding (Section 4.3)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_poset
+from repro.posets.builder import chain, diamond, paper_example_poset, random_tree
+from repro.posets.encoding import IntervalEncoding, encode
+from repro.posets.spanning_tree import (
+    SpanningForest,
+    default_spanning_forest,
+    random_spanning_forest,
+)
+
+
+class TestPaperExamples:
+    def test_example_4_2_intervals(self):
+        """Example 4.2: spanning tree without edge (c, d) gives
+        a=[1,4], b=[1,2], c=[3,3], d=[1,1]."""
+        p = diamond()
+        forest = SpanningForest.from_parent_map(p, {"b": "a", "c": "a", "d": "b"})
+        enc = IntervalEncoding(forest)
+        assert enc.mapping() == {"a": (1, 4), "b": (1, 2), "c": (3, 3), "d": (1, 1)}
+
+    def test_example_4_2_c_does_not_mdominate_d(self):
+        p = diamond()
+        forest = SpanningForest.from_parent_map(p, {"b": "a", "c": "a", "d": "b"})
+        enc = IntervalEncoding(forest)
+        assert p.dominates("c", "d")
+        assert not enc.contains("c", "d")  # the false-negative of Example 4.2
+
+    def test_example_4_1_isomorphic_alternative(self):
+        """Example 4.1's mapping is isomorphic; ours (Example 4.2) is the
+        approximate ABJ one -- both must satisfy containment => dominance."""
+        p = diamond()
+        enc = encode(p)
+        for v in p.values:
+            for w in p.values:
+                if v != w and enc.strictly_contains(v, w):
+                    assert p.dominates(v, w)
+
+
+class TestBasicProperties:
+    def test_postorder_numbers_unique(self, medium_poset):
+        enc = encode(medium_poset)
+        posts = [enc.interval_ix(i)[1] for i in range(len(medium_poset))]
+        assert sorted(posts) == list(range(1, len(medium_poset) + 1))
+
+    def test_interval_low_le_high(self, medium_poset):
+        enc = encode(medium_poset)
+        for i in range(len(medium_poset)):
+            lo, hi = enc.interval_ix(i)
+            assert 1 <= lo <= hi <= len(medium_poset)
+
+    def test_containment_reflexive(self, medium_poset):
+        enc = encode(medium_poset)
+        for i in range(len(medium_poset)):
+            assert enc.contains_ix(i, i)
+            assert not enc.strictly_contains_ix(i, i)
+
+    def test_containment_iff_tree_path(self, medium_poset):
+        forest = default_spanning_forest(medium_poset)
+        enc = IntervalEncoding(forest)
+        n = len(medium_poset)
+        for i in range(n):
+            for j in range(n):
+                assert enc.contains_ix(i, j) == forest.tree_path_exists(i, j)
+
+    def test_normalized_equivalent_to_containment(self, medium_poset):
+        enc = encode(medium_poset)
+        n = len(medium_poset)
+        for i in range(0, n, 3):
+            for j in range(0, n, 2):
+                ni, nj = enc.normalized_ix(i), enc.normalized_ix(j)
+                pareto = ni[0] <= nj[0] and ni[1] <= nj[1]
+                assert pareto == enc.contains_ix(i, j)
+
+    def test_tree_poset_encoding_is_exact(self):
+        """For hierarchical domains (trees) the paper notes false
+        positives can be avoided entirely: containment == dominance."""
+        p = random_tree(25, rng=random.Random(4))
+        enc = encode(p)
+        for i in range(len(p)):
+            for j in range(len(p)):
+                if i != j:
+                    assert enc.strictly_contains_ix(i, j) == p.dominates_ix(i, j)
+
+    def test_chain_nested_intervals(self):
+        p = chain("abcd")
+        enc = encode(p)
+        intervals = [enc.interval(v) for v in "abcd"]
+        for outer, inner in zip(intervals, intervals[1:]):
+            assert outer[0] <= inner[0] and inner[1] <= outer[1]
+
+    def test_domain_size(self, medium_poset):
+        assert encode(medium_poset).domain_size == len(medium_poset)
+
+    def test_fig4_known_false_negative(self):
+        """With the paper's spanning tree, d dominates h but the edge
+        (d, h) is excluded, so f(d) must not contain f(h)."""
+        from repro.posets.builder import PAPER_FIG4_SPANNING_EDGES
+
+        p = paper_example_poset()
+        forest = SpanningForest.from_edge_choice(p, PAPER_FIG4_SPANNING_EDGES)
+        enc = IntervalEncoding(forest)
+        assert p.dominates("d", "h")
+        assert not enc.contains("d", "h")
+        assert enc.contains("c", "h")  # kept edge
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_soundness_containment_implies_dominance(seed):
+    """Domain mapping property: f(v) contains f(v') => v dominates v',
+    for arbitrary posets and arbitrary spanning forests."""
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    forest = random_spanning_forest(poset, rng)
+    enc = IntervalEncoding(forest)
+    n = len(poset)
+    for i in range(n):
+        for j in range(n):
+            if i != j and enc.contains_ix(i, j):
+                assert poset.dominates_ix(i, j)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_kept_edges_always_contained(seed):
+    """The domain mapping property's converse direction on kept edges:
+    every spanning edge (v, v') satisfies f(v) contains f(v')."""
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    forest = random_spanning_forest(poset, rng)
+    enc = IntervalEncoding(forest)
+    for v, w in forest.kept_edges():
+        assert enc.contains(v, w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_encoding_injective(seed):
+    rng = random.Random(seed)
+    poset = random_poset(rng)
+    enc = encode(poset)
+    intervals = [enc.interval_ix(i) for i in range(len(poset))]
+    assert len(set(intervals)) == len(intervals)

@@ -1,0 +1,140 @@
+"""Tests for the public API (:mod:`repro.engine`, package exports)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    NumericAttribute,
+    PosetAttribute,
+    Record,
+    Schema,
+    SkylineEngine,
+    skyline,
+)
+from repro.algorithms.base import get_algorithm
+from repro.exceptions import AlgorithmError
+from repro.posets.builder import diamond, from_set_family
+
+
+def hotel_setup():
+    amenities = from_set_family(
+        {
+            "full": {"gym", "pool", "spa"},
+            "fit": {"gym"},
+            "swim": {"pool"},
+            "basic": set(),
+        }
+    )
+    schema = Schema(
+        [
+            NumericAttribute("price", "min"),
+            PosetAttribute.set_valued("amenities", amenities),
+        ]
+    )
+    hotels = [
+        Record("Grand", (320,), ("full",)),
+        Record("Budget", (80,), ("basic",)),
+        Record("Fit", (150,), ("fit",)),
+        Record("FitWorse", (200,), ("fit",)),
+        Record("Swim", (150,), ("swim",)),
+    ]
+    return schema, hotels
+
+
+class TestSkylineFunction:
+    def test_hotel_example(self):
+        schema, hotels = hotel_setup()
+        answers = {r.rid for r in skyline(hotels, schema)}
+        assert answers == {"Grand", "Budget", "Fit", "Swim"}
+
+    def test_algorithm_choice(self):
+        schema, hotels = hotel_setup()
+        for name in ("bnl", "bbs+", "sdc", "sdc+"):
+            answers = {r.rid for r in skyline(hotels, schema, algorithm=name)}
+            assert answers == {"Grand", "Budget", "Fit", "Swim"}
+
+    def test_strategy_choice(self):
+        schema, hotels = hotel_setup()
+        answers = {r.rid for r in skyline(hotels, schema, strategy="minpc")}
+        assert answers == {"Grand", "Budget", "Fit", "Swim"}
+
+    def test_docstring_example(self):
+        schema = Schema(
+            [
+                NumericAttribute("price", "min"),
+                PosetAttribute.set_valued("tier", diamond()),
+            ]
+        )
+        records = [Record(0, (100,), ("a",)), Record(1, (100,), ("d",))]
+        assert [r.rid for r in skyline(records, schema)] == [0]
+
+
+class TestEngine:
+    def test_reuse_across_algorithms(self):
+        schema, hotels = hotel_setup()
+        engine = SkylineEngine(schema, hotels)
+        a = {r.rid for r in engine.skyline("bbs+")}
+        b = {r.rid for r in engine.skyline("sdc+")}
+        assert a == b
+
+    def test_run_is_lazy(self):
+        schema, hotels = hotel_setup()
+        engine = SkylineEngine(schema, hotels)
+        it = engine.run("sdc+")
+        assert next(it).rid is not None
+
+    def test_run_points_exposes_metadata(self):
+        schema, hotels = hotel_setup()
+        engine = SkylineEngine(schema, hotels)
+        point = next(engine.run_points("sdc+"))
+        assert point.category is not None
+        assert isinstance(point.vector, tuple)
+
+    def test_stats_accumulate(self):
+        schema, hotels = hotel_setup()
+        engine = SkylineEngine(schema, hotels)
+        engine.skyline("bnl")
+        assert engine.stats.total_dominance_checks > 0
+
+    def test_algorithm_instance_passthrough(self):
+        schema, hotels = hotel_setup()
+        engine = SkylineEngine(schema, hotels)
+        algo = get_algorithm("bnl", window_size=2)
+        assert engine.algorithm(algo) is algo
+        assert {r.rid for r in engine.skyline(algo)} == {
+            "Grand",
+            "Budget",
+            "Fit",
+            "Swim",
+        }
+
+    def test_unknown_algorithm(self):
+        schema, hotels = hotel_setup()
+        engine = SkylineEngine(schema, hotels)
+        with pytest.raises(AlgorithmError):
+            engine.skyline("nope")
+
+    def test_payload_carried_through(self):
+        schema, hotels = hotel_setup()
+        hotels[0] = Record("Grand", (320,), ("full",), payload={"stars": 5})
+        engine = SkylineEngine(schema, hotels)
+        grand = next(r for r in engine.skyline("sdc+") if r.rid == "Grand")
+        assert grand.payload == {"stars": 5}
+
+    def test_empty_records(self):
+        schema, _ = hotel_setup()
+        assert skyline([], schema) == []
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_available_algorithms_export(self):
+        assert "sdc+" in repro.available_algorithms()

@@ -1,0 +1,82 @@
+"""Tests for the engine's query convenience front-ends."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.engine import SkylineEngine
+from repro.queries.constrained import Constraint
+from repro.reference import reference_skyband
+
+
+@pytest.fixture(scope="module")
+def engine_and_data():
+    rng = random.Random(17)
+    schema, records = random_mixed_dataset(rng, n=70, num_total=2)
+    return SkylineEngine(schema, records), schema, records
+
+
+class TestEngineQueryFrontends:
+    def test_skyband(self, engine_and_data):
+        engine, schema, records = engine_and_data
+        got = sorted(r.rid for r in engine.skyband(3))
+        expected = sorted(r.rid for r in reference_skyband(schema, records, 3))
+        assert got == expected
+
+    def test_skyband_one_is_skyline(self, engine_and_data):
+        engine, schema, records = engine_and_data
+        assert sorted(r.rid for r in engine.skyband(1)) == brute_force_skyline(
+            schema, records
+        )
+
+    def test_constrained(self, engine_and_data):
+        engine, schema, records = engine_and_data
+        constraint = Constraint(ranges={"t0": (2, 8)})
+        got = sorted(r.rid for r in engine.constrained(constraint))
+        expected = brute_force_skyline(
+            schema, [r for r in records if 2 <= r.totals[0] <= 8]
+        )
+        assert got == expected
+
+    def test_layers_partition(self, engine_and_data):
+        engine, schema, records = engine_and_data
+        seen = []
+        for layer in engine.layers():
+            seen.extend(r.rid for r in layer)
+        assert sorted(seen) == sorted(r.rid for r in records)
+
+    def test_layers_limit(self, engine_and_data):
+        engine, _, _ = engine_and_data
+        assert len(list(engine.layers(max_layers=2))) == 2
+
+    def test_subspace(self, engine_and_data):
+        engine, schema, records = engine_and_data
+        got = sorted(r.rid for r in engine.subspace(["t0"]))
+        minimum = min(r.totals[0] for r in records)
+        expected = sorted(r.rid for r in records if r.totals[0] == minimum)
+        assert got == expected
+
+    def test_top_k_dominating(self, engine_and_data):
+        engine, schema, records = engine_and_data
+        top = engine.top_k_dominating(3)
+        assert len(top) == 3
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+        # Spot-check the champion's count against brute force.
+        from repro.reference import reference_dominates
+
+        champion, count = top[0]
+        actual = sum(
+            1
+            for other in records
+            if other is not champion and reference_dominates(schema, champion, other)
+        )
+        assert count == actual
+
+    def test_frontends_return_records_not_points(self, engine_and_data):
+        engine, _, records = engine_and_data
+        sample = engine.skyband(2)[0]
+        assert sample in records

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script runs end to end on reduced input."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Cheap & Cheerful" in out
+    assert "Fitness Inn Annex" not in out.split("Dominated")[0]
+
+
+def test_org_hierarchy():
+    out = run_example("org_hierarchy.py")
+    assert "Mona" in out
+    assert "Nils" in out.split("dominated:")[1]
+
+
+def test_hotel_search_small():
+    out = run_example("hotel_search.py", "400")
+    assert "all algorithms agree" in out
+    for name in ("bnl", "bbs+", "sdc+"):
+        assert name in out
+
+
+def test_progressive_dashboard_small():
+    out = run_example("progressive_dashboard.py", "400")
+    assert "emission timelines" in out
+    assert "skyline size:" in out
+
+
+def test_live_catalogue():
+    out = run_example("live_catalogue.py")
+    assert "initial skyline" in out
+    assert "1-skyband" in out
+    assert "budget skyline" in out
+    assert "maintained skyline" in out
+
+
+def test_paper_walkthrough():
+    out = run_example("paper_walkthrough.py")
+    assert "f(a) = [1, 4]" in out
+    assert "partially covering: abcdfh" in out
+    assert "R(c,p), R(c,c)" in out
+    assert "agree" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "hotel_search.py",
+        "org_hierarchy.py",
+        "progressive_dashboard.py",
+        "live_catalogue.py",
+        "paper_walkthrough.py",
+    ],
+)
+def test_examples_have_docstrings(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.startswith('"""')
+    assert "Run:" in text

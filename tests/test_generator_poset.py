@@ -1,0 +1,145 @@
+"""Tests for the synthetic poset generator (Section 5 data sets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.posets.generator import (
+    PosetGeneratorConfig,
+    default_poset_config,
+    generate_poset,
+    large_poset_config,
+    tall_poset_config,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = default_poset_config()
+        assert cfg.num_nodes == 450
+        assert cfg.height == 6
+
+    def test_large_matches_paper(self):
+        assert large_poset_config().num_nodes == 1000
+
+    def test_tall_matches_paper(self):
+        assert tall_poset_config().height == 13
+
+    def test_overrides(self):
+        cfg = default_poset_config(num_nodes=99, seed=5)
+        assert cfg.num_nodes == 99 and cfg.seed == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"height": 0},
+            {"num_trees": 0},
+            {"num_nodes": 5, "num_trees": 2, "height": 6},
+            {"max_branching": 0},
+            {"edge_probability": 1.5},
+            {"edge_probability": -0.1},
+            {"edge_iterations": -1},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(WorkloadError):
+            PosetGeneratorConfig(**kwargs).validate()
+
+
+class TestGeneratedStructure:
+    def test_node_count_exact(self):
+        p = generate_poset(num_nodes=137, height=4, num_trees=3)
+        assert len(p) == 137
+
+    def test_height_exact(self):
+        for h in (1, 2, 6, 13):
+            p = generate_poset(
+                num_nodes=max(60, 5 * h), height=h, num_trees=3, max_branching=64
+            )
+            assert p.height == h
+
+    def test_default_poset(self):
+        p = generate_poset()
+        assert len(p) == 450
+        assert p.height == 6
+        assert p.is_connected()
+
+    def test_hasse_property(self):
+        """Adjacent-level edges can never be transitively redundant."""
+        p = generate_poset(num_nodes=200, height=5, num_trees=4, seed=2)
+        assert p.is_hasse()
+
+    def test_edges_respect_levels(self):
+        p = generate_poset(num_nodes=150, height=5, num_trees=3, seed=8)
+        levels = p.levels
+        for v, w in p.edges():
+            assert levels[p.index(w)] == levels[p.index(v)] + 1
+
+    def test_deterministic(self):
+        a = generate_poset(num_nodes=100, height=4, num_trees=2, seed=77)
+        b = generate_poset(num_nodes=100, height=4, num_trees=2, seed=77)
+        assert a == b
+
+    def test_seed_changes_structure(self):
+        a = generate_poset(num_nodes=100, height=4, num_trees=2, seed=1)
+        b = generate_poset(num_nodes=100, height=4, num_trees=2, seed=2)
+        assert a != b
+
+    def test_density_grows_with_probability(self):
+        sparse = generate_poset(
+            num_nodes=200, height=5, num_trees=4, edge_probability=0.05, seed=3
+        )
+        dense = generate_poset(
+            num_nodes=200, height=5, num_trees=4, edge_probability=0.8, seed=3
+        )
+        assert dense.num_edges > sparse.num_edges
+
+    def test_density_grows_with_iterations(self):
+        one = generate_poset(
+            num_nodes=200, height=5, num_trees=4, edge_iterations=1, seed=3
+        )
+        many = generate_poset(
+            num_nodes=200, height=5, num_trees=4, edge_iterations=6, seed=3
+        )
+        assert many.num_edges > one.num_edges
+
+    def test_no_inter_tree_edges_gives_forest(self):
+        p = generate_poset(
+            num_nodes=80,
+            height=4,
+            num_trees=4,
+            edge_iterations=0,
+            connect=False,
+            seed=6,
+        )
+        assert p.is_tree()
+        assert len(p.maximal_ix) == 4
+
+    def test_connect_flag(self):
+        connected = generate_poset(
+            num_nodes=120, height=4, num_trees=4, edge_probability=0.02, seed=5
+        )
+        assert connected.is_connected()
+
+    def test_branching_cap_respected_in_trees(self):
+        p = generate_poset(
+            num_nodes=120,
+            height=4,
+            num_trees=3,
+            max_branching=3,
+            edge_iterations=0,
+            connect=False,
+            seed=4,
+        )
+        for i in range(len(p)):
+            assert len(p.children_ix(i)) <= 3
+
+    def test_saturated_branching_raises(self):
+        # 2 trees * height 2 spines = 4 nodes; max_branching 1 saturates
+        # the spine, leaving nowhere to attach the rest.
+        with pytest.raises(WorkloadError):
+            generate_poset(
+                num_nodes=40, height=2, num_trees=2, max_branching=1, seed=1
+            )

@@ -1,0 +1,117 @@
+"""Tests for MBR arithmetic (:mod:`repro.rtree.geometry`)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import (
+    mbr_of_points,
+    mbr_of_rects,
+    point_rect_distance2,
+    rect_area,
+    rect_center,
+    rect_contains,
+    rect_contains_point,
+    rect_enlargement,
+    rect_margin,
+    rect_overlap,
+    rect_union,
+    rect_union_point,
+)
+
+
+class TestBasics:
+    def test_area(self):
+        assert rect_area((0, 0), (2, 3)) == 6
+
+    def test_area_degenerate(self):
+        assert rect_area((1, 1), (1, 5)) == 0
+
+    def test_margin(self):
+        assert rect_margin((0, 0), (2, 3)) == 5
+
+    def test_union(self):
+        mins, maxs = rect_union((0, 0), (1, 1), (2, -1), (3, 0.5))
+        assert mins == (0, -1) and maxs == (3, 1)
+
+    def test_union_point(self):
+        mins, maxs = rect_union_point((0, 0), (1, 1), (2, -5))
+        assert mins == (0, -5) and maxs == (2, 1)
+
+    def test_overlap_positive(self):
+        assert rect_overlap((0, 0), (2, 2), (1, 1), (3, 3)) == 1
+
+    def test_overlap_disjoint(self):
+        assert rect_overlap((0, 0), (1, 1), (2, 2), (3, 3)) == 0
+
+    def test_overlap_touching_is_zero(self):
+        assert rect_overlap((0, 0), (1, 1), (1, 0), (2, 1)) == 0
+
+    def test_contains(self):
+        assert rect_contains((0, 0), (4, 4), (1, 1), (2, 2))
+        assert not rect_contains((0, 0), (4, 4), (1, 1), (5, 2))
+
+    def test_contains_point(self):
+        assert rect_contains_point((0, 0), (2, 2), (2, 0))
+        assert not rect_contains_point((0, 0), (2, 2), (2.1, 0))
+
+    def test_enlargement_zero_inside(self):
+        assert rect_enlargement((0, 0), (2, 2), (1, 1)) == 0
+
+    def test_enlargement_outside(self):
+        assert rect_enlargement((0, 0), (2, 2), (4, 1)) == 4
+
+    def test_center(self):
+        assert rect_center((0, 2), (4, 4)) == (2, 3)
+
+    def test_point_rect_distance(self):
+        assert point_rect_distance2((0, 0), (1, 1), (2, 2)) == 2
+        assert point_rect_distance2((1.5, 1.5), (1, 1), (2, 2)) == 0
+
+    def test_mbr_of_points(self):
+        mins, maxs = mbr_of_points([(1, 5), (3, 2), (2, 4)])
+        assert mins == (1, 2) and maxs == (3, 5)
+
+    def test_mbr_of_rects(self):
+        mins, maxs = mbr_of_rects([((0, 0), (1, 1)), ((2, -1), (3, 0))])
+        assert mins == (0, -1) and maxs == (3, 1)
+
+
+coords = st.tuples(
+    st.floats(-100, 100, allow_nan=False), st.floats(-100, 100, allow_nan=False)
+)
+
+
+def _rect(a, b):
+    return tuple(map(min, zip(a, b))), tuple(map(max, zip(a, b)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=coords, b=coords, c=coords, d=coords)
+def test_union_contains_both(a, b, c, d):
+    r1 = _rect(a, b)
+    r2 = _rect(c, d)
+    mins, maxs = rect_union(r1[0], r1[1], r2[0], r2[1])
+    assert rect_contains(mins, maxs, *r1)
+    assert rect_contains(mins, maxs, *r2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=coords, b=coords, c=coords, d=coords)
+def test_overlap_symmetric_and_bounded(a, b, c, d):
+    r1 = _rect(a, b)
+    r2 = _rect(c, d)
+    o12 = rect_overlap(r1[0], r1[1], r2[0], r2[1])
+    o21 = rect_overlap(r2[0], r2[1], r1[0], r1[1])
+    assert abs(o12 - o21) < 1e-9
+    assert o12 <= min(rect_area(*r1), rect_area(*r2)) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=coords, b=coords, p=coords)
+def test_enlargement_nonnegative(a, b, p):
+    r = _rect(a, b)
+    assert rect_enlargement(r[0], r[1], p) >= -1e-9

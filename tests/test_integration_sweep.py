@@ -1,0 +1,87 @@
+"""End-to-end integration sweep: the whole Table-1 grid, every algorithm.
+
+Scaled-down versions of all seven experimental parameter variations are
+generated, evaluated by every registered POS algorithm under both native
+comparison backends, and checked against the definition-level brute
+force.  This is the closest single test to "the paper's entire study is
+internally consistent".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import brute_force_skyline
+from repro.algorithms.base import get_algorithm
+from repro.bench.harness import count_false_positives
+from repro.posets.generator import PosetGeneratorConfig
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+ALGORITHMS = ("bnl", "bnl+", "sfs", "dnc", "nn+", "bbs+", "sdc", "sdc+")
+
+SMALL_POSET = PosetGeneratorConfig(num_nodes=36, height=4, num_trees=2, seed=13)
+TALL_POSET = PosetGeneratorConfig(
+    num_nodes=40, height=8, num_trees=2, edge_probability=0.15, seed=13
+)
+
+GRID = {
+    "default": WorkloadConfig.default(data_size=160, poset=SMALL_POSET),
+    "one-numeric": WorkloadConfig.default(
+        num_total=1, data_size=160, poset=SMALL_POSET
+    ),
+    "four-numeric": WorkloadConfig.more_numeric(data_size=160, poset=SMALL_POSET),
+    "two-partial": WorkloadConfig.more_set_valued(data_size=160, poset=SMALL_POSET),
+    "anti-correlated": WorkloadConfig.anti_correlated(
+        data_size=160, poset=SMALL_POSET
+    ),
+    "bigger-poset": WorkloadConfig.default(
+        data_size=160,
+        poset=PosetGeneratorConfig(num_nodes=80, height=4, num_trees=3, seed=13),
+    ),
+    "tall-poset": WorkloadConfig.default(data_size=160, poset=TALL_POSET),
+}
+
+
+@pytest.fixture(scope="module")
+def grid_data():
+    out = {}
+    for name, config in GRID.items():
+        workload = generate_workload(config)
+        truth = brute_force_skyline(workload.schema, workload.records)
+        out[name] = (workload, truth)
+    return out
+
+
+@pytest.mark.parametrize("variation", sorted(GRID))
+@pytest.mark.parametrize("native_mode", ["native", "closure"])
+def test_grid_point_all_algorithms(grid_data, variation, native_mode):
+    workload, truth = grid_data[variation]
+    dataset = TransformedDataset(
+        workload.schema, workload.records, native_mode=native_mode
+    )
+    for name in ALGORITHMS:
+        got = sorted(p.record.rid for p in get_algorithm(name).run(dataset))
+        assert got == truth, f"{name} on {variation} ({native_mode})"
+
+
+@pytest.mark.parametrize("variation", sorted(GRID))
+def test_grid_point_strategies(grid_data, variation):
+    workload, truth = grid_data[variation]
+    for strategy in ("minpc", "maxpc"):
+        dataset = TransformedDataset(
+            workload.schema, workload.records, strategy=strategy
+        )
+        for name in ("bbs+", "sdc", "sdc+"):
+            got = sorted(p.record.rid for p in get_algorithm(name).run(dataset))
+            assert got == truth, f"{name} on {variation} ({strategy})"
+
+
+@pytest.mark.parametrize("variation", sorted(GRID))
+def test_false_positive_accounting(grid_data, variation):
+    workload, truth = grid_data[variation]
+    dataset = TransformedDataset(workload.schema, workload.records)
+    skyline_size, false_positives = count_false_positives(dataset)
+    assert skyline_size == len(truth)
+    assert false_positives >= 0

@@ -1,0 +1,132 @@
+"""Tests for JSON persistence (:mod:`repro.io`)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.engine import skyline
+from repro.exceptions import ReproError
+from repro.io import (
+    load_workload,
+    poset_from_dict,
+    poset_to_dict,
+    records_from_list,
+    records_to_list,
+    save_workload,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.posets.builder import diamond
+from repro.posets.generator import generate_poset
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+
+class TestPosetRoundtrip:
+    def test_diamond(self):
+        p = diamond()
+        assert poset_from_dict(poset_to_dict(p)) == p
+
+    def test_generated(self):
+        p = generate_poset(num_nodes=80, height=4, num_trees=2, seed=1)
+        restored = poset_from_dict(poset_to_dict(p))
+        assert restored == p
+
+    def test_json_safe(self):
+        text = json.dumps(poset_to_dict(diamond()))
+        assert poset_from_dict(json.loads(text)) == diamond()
+
+    def test_unserialisable_values_rejected(self):
+        from repro.posets.poset import Poset
+
+        p = Poset([frozenset({1})], [])
+        with pytest.raises(ReproError):
+            poset_to_dict(p)
+
+
+class TestSchemaRoundtrip:
+    def make(self):
+        return Schema(
+            [
+                NumericAttribute("price", "min"),
+                NumericAttribute("rating", "max"),
+                PosetAttribute.set_valued("tier", diamond()),
+            ]
+        )
+
+    def test_roundtrip_structure(self):
+        schema = self.make()
+        restored = schema_from_dict(json.loads(json.dumps(schema_to_dict(schema))))
+        assert restored.num_total == 2
+        assert restored.num_partial == 1
+        assert restored.attribute("rating").direction == "max"
+        assert restored.attribute("tier").poset == diamond()
+
+    def test_set_domain_preserved(self):
+        schema = self.make()
+        restored = schema_from_dict(schema_to_dict(schema))
+        original = schema.attribute("tier").set_domain
+        recovered = restored.attribute("tier").set_domain
+        for value in "abcd":
+            assert recovered.set_of(value) == original.set_of(value)
+
+    def test_reachability_mode_schema(self):
+        schema = Schema([PosetAttribute("p", diamond())])
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.attribute("p").set_domain is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            schema_from_dict({"attributes": [{"kind": "holographic"}]})
+
+
+class TestRecordsRoundtrip:
+    def test_roundtrip(self):
+        records = [Record(1, (10, 20), ("a",)), Record("x", (1, 2), ("d",))]
+        restored = records_from_list(records_to_list(records))
+        assert restored == records
+
+    def test_payload_not_persisted(self):
+        records = [Record(1, (1,), (), payload=object())]
+        restored = records_from_list(records_to_list(records))
+        assert restored[0].payload is None
+
+
+class TestWorkloadFiles:
+    def test_save_load_and_requery(self, tmp_path):
+        rng = random.Random(3)
+        schema, records = random_mixed_dataset(rng, n=40)
+        path = tmp_path / "wl.json"
+        save_workload(path, schema, records)
+        schema2, records2 = load_workload(path)
+        expected = brute_force_skyline(schema, records)
+        got = sorted(r.rid for r in skyline(records2, schema2, algorithm="sdc+"))
+        assert got == expected
+
+    def test_generated_workload_roundtrip(self, tmp_path):
+        from dataclasses import replace
+        from repro.posets.generator import PosetGeneratorConfig
+
+        config = WorkloadConfig.default(
+            data_size=60, poset=PosetGeneratorConfig(num_nodes=30, height=3, num_trees=2)
+        )
+        workload = generate_workload(config)
+        path = tmp_path / "generated.json"
+        save_workload(path, workload.schema, workload.records)
+        schema2, records2 = load_workload(path)
+        assert len(records2) == 60
+        a = sorted(r.rid for r in skyline(workload.records, workload.schema))
+        b = sorted(r.rid for r in skyline(records2, schema2))
+        assert a == b
+
+    def test_load_rejects_other_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ReproError):
+            load_workload(path)

@@ -1,0 +1,57 @@
+"""Round-trip property tests for persistence and the strategies module."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_mixed_dataset, random_poset
+from repro.io import (
+    load_workload,
+    poset_from_dict,
+    poset_to_dict,
+    records_from_list,
+    records_to_list,
+    save_workload,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.reference import reference_skyline
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_poset_roundtrip_property(seed):
+    poset = random_poset(random.Random(seed))
+    assert poset_from_dict(json.loads(json.dumps(poset_to_dict(poset)))) == poset
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_schema_roundtrip_preserves_dominance(seed):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=12, num_total=1)
+    restored = schema_from_dict(json.loads(json.dumps(schema_to_dict(schema))))
+    restored_records = records_from_list(
+        json.loads(json.dumps(records_to_list(records)))
+    )
+    a = sorted(r.rid for r in reference_skyline(schema, records))
+    b = sorted(r.rid for r in reference_skyline(restored, restored_records))
+    assert a == b
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_workload_file_roundtrip_property(seed, tmp_path_factory):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=15)
+    path = tmp_path_factory.mktemp("wl") / f"wl-{seed}.json"
+    save_workload(path, schema, records)
+    schema2, records2 = load_workload(path)
+    assert len(records2) == len(records)
+    a = sorted(r.rid for r in reference_skyline(schema, records))
+    b = sorted(r.rid for r in reference_skyline(schema2, records2))
+    assert a == b

@@ -1,0 +1,180 @@
+"""Tests for skyline layers, top-k dominating and the reference module."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_mixed_dataset
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.exceptions import AlgorithmError
+from repro.queries.layers import layer_of, skyline_layers
+from repro.queries.topk import dominance_counts, top_k_dominating
+from repro.reference import (
+    reference_dominance_count,
+    reference_dominates,
+    reference_skyband,
+    reference_skyline,
+)
+from repro.transform.dataset import TransformedDataset
+
+
+def brute_force_layers(schema, records):
+    remaining = list(records)
+    layers = []
+    while remaining:
+        layer = reference_skyline(schema, remaining)
+        layers.append(sorted(r.rid for r in layer))
+        chosen = {r.rid for r in layer}
+        remaining = [r for r in remaining if r.rid not in chosen]
+    return layers
+
+
+class TestLayers:
+    def make(self, seed=0, n=50):
+        rng = random.Random(seed)
+        schema, records = random_mixed_dataset(rng, n=n)
+        return schema, records, TransformedDataset(schema, records)
+
+    @pytest.mark.parametrize("algorithm", ["bnl", "bbs+", "sdc+"])
+    def test_layers_match_brute_force(self, algorithm):
+        schema, records, d = self.make(seed=1)
+        expected = brute_force_layers(schema, records)
+        got = [
+            sorted(p.record.rid for p in layer)
+            for layer in skyline_layers(d, algorithm=algorithm)
+        ]
+        assert got == expected
+
+    def test_layers_partition_everything(self):
+        _, records, d = self.make(seed=2)
+        seen = []
+        for layer in skyline_layers(d):
+            seen.extend(p.record.rid for p in layer)
+        assert sorted(seen) == sorted(r.rid for r in records)
+
+    def test_max_layers(self):
+        _, _, d = self.make(seed=3)
+        layers = list(skyline_layers(d, max_layers=2))
+        assert len(layers) == 2
+
+    def test_max_layers_validation(self):
+        _, _, d = self.make(seed=4, n=5)
+        with pytest.raises(AlgorithmError):
+            list(skyline_layers(d, max_layers=0))
+
+    def test_layer_of(self):
+        schema = Schema([NumericAttribute("x")])
+        records = [Record("best", (1,)), Record("mid", (2,)), Record("worst", (3,))]
+        d = TransformedDataset(schema, records)
+        assert layer_of(d, "best") == 1
+        assert layer_of(d, "mid") == 2
+        assert layer_of(d, "worst") == 3
+        assert layer_of(d, "missing") == 0
+
+    def test_empty_dataset(self):
+        schema = Schema([NumericAttribute("x")])
+        d = TransformedDataset(schema, [])
+        assert list(skyline_layers(d)) == []
+
+    def test_layer_count_bounded_by_longest_chain(self):
+        # An antichain peels in exactly one layer.
+        rng = random.Random(5)
+        schema, records, _ = self.make(seed=5, n=1)
+        clones = [Record(i, records[0].totals, records[0].partials) for i in range(8)]
+        d = TransformedDataset(schema, clones)
+        layers = list(skyline_layers(d))
+        assert len(layers) == 1
+        assert len(layers[0]) == 8
+
+
+class TestTopKDominating:
+    def make(self, seed=0, n=40):
+        rng = random.Random(seed)
+        schema, records = random_mixed_dataset(rng, n=n)
+        return schema, records, TransformedDataset(schema, records)
+
+    def test_counts_match_reference(self):
+        schema, records, d = self.make(seed=7)
+        counts = dominance_counts(d)
+        for r in records:
+            dominated = sum(
+                1 for other in records if other is not r and reference_dominates(schema, r, other)
+            )
+            assert counts[r.rid] == dominated
+
+    def test_top_k_sorted_and_sized(self):
+        _, _, d = self.make(seed=8)
+        top = top_k_dominating(d, 5)
+        assert len(top) == 5
+        values = [count for _, count in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_k_larger_than_data(self):
+        _, records, d = self.make(seed=9, n=10)
+        assert len(top_k_dominating(d, 50)) == 10
+
+    def test_invalid_k(self):
+        _, _, d = self.make(seed=10, n=5)
+        with pytest.raises(AlgorithmError):
+            top_k_dominating(d, 0)
+
+    def test_chain_counts(self):
+        schema = Schema([NumericAttribute("x")])
+        records = [Record(i, (i,)) for i in range(5)]
+        d = TransformedDataset(schema, records)
+        top = top_k_dominating(d, 1)
+        assert top[0][0].record.rid == 0
+        assert top[0][1] == 4
+
+
+class TestReferenceModule:
+    def test_skyband_k1_is_skyline(self):
+        rng = random.Random(11)
+        schema, records = random_mixed_dataset(rng, n=30)
+        a = {r.rid for r in reference_skyline(schema, records)}
+        b = {r.rid for r in reference_skyband(schema, records, 1)}
+        assert a == b
+
+    def test_dominance_count_zero_for_skyline(self):
+        rng = random.Random(12)
+        schema, records = random_mixed_dataset(rng, n=30)
+        for r in reference_skyline(schema, records):
+            assert reference_dominance_count(schema, records, r) == 0
+
+    def test_dominates_irreflexive(self):
+        rng = random.Random(13)
+        schema, records = random_mixed_dataset(rng, n=5)
+        for r in records:
+            assert not reference_dominates(schema, r, r)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_layers_property(seed):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=30)
+    d = TransformedDataset(schema, records)
+    got = [
+        sorted(p.record.rid for p in layer) for layer in skyline_layers(d)
+    ]
+    assert got == brute_force_layers(schema, records)
+    # No record in layer i+1 dominates any record in layer i, and every
+    # record in layer i+1 is dominated by someone in layers 1..i.
+    flat = {}
+    for number, layer in enumerate(got, 1):
+        for rid in layer:
+            flat[rid] = number
+    by_rid = {r.rid: r for r in records}
+    for rid, number in flat.items():
+        if number == 1:
+            continue
+        assert any(
+            reference_dominates(schema, by_rid[other], by_rid[rid])
+            for other, other_layer in flat.items()
+            if other_layer == number - 1
+        )

@@ -1,0 +1,123 @@
+"""Tests for incremental skyline maintenance under churn."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_mixed_dataset
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.exceptions import AlgorithmError
+from repro.queries.maintain import MaintainedSkyline
+from repro.transform.dataset import TransformedDataset
+
+
+def numeric_maintained(values):
+    schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+    records = [Record(i, v) for i, v in enumerate(values)]
+    dataset = TransformedDataset(schema, records)
+    return MaintainedSkyline(dataset), schema
+
+
+class TestInsert:
+    def test_dominated_insert_changes_nothing(self):
+        m, _ = numeric_maintained([(1, 1)])
+        assert not m.insert(Record("new", (5, 5)))
+        assert sorted(map(str, m._skyline)) == ["0"]
+        assert m.verify()
+
+    def test_dominating_insert_evicts(self):
+        m, _ = numeric_maintained([(4, 4), (1, 9)])
+        assert m.insert(Record("champ", (0, 0)))
+        assert list(m._skyline) == ["champ"]
+        assert m.verify()
+
+    def test_incomparable_insert_joins(self):
+        m, _ = numeric_maintained([(1, 9)])
+        assert m.insert(Record("other", (9, 1)))
+        assert len(m) == 2
+        assert m.verify()
+
+    def test_duplicate_rid_rejected(self):
+        m, _ = numeric_maintained([(1, 1)])
+        with pytest.raises(AlgorithmError):
+            m.insert(Record(0, (2, 2)))
+
+    def test_contains(self):
+        m, _ = numeric_maintained([(1, 1), (5, 5)])
+        assert 0 in m
+        assert 1 not in m
+
+
+class TestDelete:
+    def test_delete_non_skyline_free(self):
+        m, _ = numeric_maintained([(1, 1), (5, 5)])
+        assert not m.delete(1)
+        assert m.verify()
+
+    def test_delete_skyline_promotes_shielded(self):
+        # 0 dominates 1 and 2; removing 0 promotes both (incomparable).
+        m, _ = numeric_maintained([(0, 0), (1, 5), (5, 1)])
+        assert m.delete(0)
+        assert sorted(m._skyline) == [1, 2]
+        assert m.verify()
+
+    def test_delete_promotion_respects_candidate_dominance(self):
+        # 0 dominates 1 and 2, and 1 dominates 2: only 1 gets promoted.
+        m, _ = numeric_maintained([(0, 0), (1, 1), (2, 2)])
+        assert m.delete(0)
+        assert sorted(m._skyline) == [1]
+        assert m.verify()
+
+    def test_delete_shielded_by_survivor(self):
+        # two incomparable skyline members both dominate 2; deleting one
+        # leaves 2 shielded.
+        m, _ = numeric_maintained([(0, 5), (5, 0), (6, 6)])
+        assert m.delete(0)
+        assert sorted(m._skyline) == [1]
+        assert m.verify()
+
+    def test_delete_unknown_rid(self):
+        m, _ = numeric_maintained([(1, 1)])
+        with pytest.raises(AlgorithmError):
+            m.delete("ghost")
+
+    def test_records_accessor(self):
+        m, _ = numeric_maintained([(1, 1)])
+        assert [r.rid for r in m.records()] == [0]
+
+
+class TestBatch:
+    def test_apply_counts_changes(self):
+        m, _ = numeric_maintained([(3, 3), (9, 9)])
+        changed = m.apply(
+            inserts=[Record("a", (1, 1)), Record("b", (8, 8))], deletes=[1]
+        )
+        assert changed == 1  # delete of 1 (non-skyline) and b are no-ops
+        assert m.verify()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_churn_matches_recompute_property(seed):
+    rng = random.Random(seed)
+    schema, raw = random_mixed_dataset(rng, n=35)
+    records = [Record(f"r{r.rid}", r.totals, r.partials) for r in raw]
+    dataset = TransformedDataset(schema, records)
+    maintained = MaintainedSkyline(dataset)
+    alive = {r.rid: r for r in records}
+    for step in range(15):
+        if alive and rng.random() < 0.5:
+            rid = rng.choice(sorted(alive))
+            maintained.delete(rid)
+            del alive[rid]
+        else:
+            template = records[rng.randrange(len(records))]
+            record = Record(f"new-{step}", template.totals, template.partials)
+            maintained.insert(record)
+            alive[record.rid] = record
+        assert maintained.verify(), f"diverged at step {step}"

@@ -1,0 +1,106 @@
+"""Tests for the NN+ skyline algorithm."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.nn import _nearest_in_region
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.transform.dataset import TransformedDataset
+
+
+def numeric_dataset(values, bulk=True):
+    dims = len(values[0]) if values else 2
+    schema = Schema([NumericAttribute(f"x{k}") for k in range(dims)])
+    return TransformedDataset(
+        schema, [Record(i, v) for i, v in enumerate(values)], bulk_load=bulk,
+        max_entries=8,
+    )
+
+
+class TestNearestInRegion:
+    def test_unbounded_returns_global_minimum(self):
+        d = numeric_dataset([(5, 5), (1, 2), (3, 1)])
+        p = _nearest_in_region(d.index, (float("inf"),) * 2, d.stats)
+        assert p.record.rid == 1  # key 3 is smallest
+
+    def test_bounds_are_exclusive(self):
+        d = numeric_dataset([(1, 2), (4, 4)])
+        p = _nearest_in_region(d.index, (4.0, 4.0), d.stats)
+        assert p.record.rid == 0
+        p = _nearest_in_region(d.index, (1.0, 2.0), d.stats)
+        assert p is None  # (1,2) excluded: coordinates not strictly below
+
+    def test_empty_tree(self):
+        schema = Schema([NumericAttribute("x")])
+        d = TransformedDataset(schema, [])
+        assert _nearest_in_region(d.index, (float("inf"),), d.stats) is None
+
+    def test_region_restriction(self):
+        d = numeric_dataset([(1, 10), (10, 1), (6, 6)])
+        # Only points with x0 < 5 qualify -> rid 0 despite larger key.
+        p = _nearest_in_region(d.index, (5.0, float("inf")), d.stats)
+        assert p.record.rid == 0
+
+
+class TestNNPlus:
+    def test_simple(self):
+        d = numeric_dataset([(1, 5), (5, 1), (3, 3), (4, 4), (6, 6)])
+        got = sorted(p.record.rid for p in get_algorithm("nn+").run(d))
+        assert got == [0, 1, 2]
+
+    def test_matches_brute_force_numeric(self):
+        rng = random.Random(1)
+        values = [(rng.randint(0, 40), rng.randint(0, 40)) for _ in range(150)]
+        d = numeric_dataset(values)
+        got = sorted(p.record.rid for p in get_algorithm("nn+").run(d))
+        assert got == brute_force_skyline(d.schema, d.records)
+
+    def test_matches_brute_force_mixed(self, small_dataset, small_truth):
+        got = sorted(p.record.rid for p in get_algorithm("nn+").run(small_dataset))
+        assert got == small_truth
+
+    def test_duplicates_preserved(self):
+        d = numeric_dataset([(2, 2), (2, 2), (2, 2), (5, 5)])
+        got = sorted(p.record.rid for p in get_algorithm("nn+").run(d))
+        assert got == [0, 1, 2]
+
+    def test_empty(self):
+        schema = Schema([NumericAttribute("x")])
+        d = TransformedDataset(schema, [])
+        assert list(get_algorithm("nn+").run(d)) == []
+
+    def test_registered(self):
+        from repro.algorithms.base import available_algorithms
+
+        assert "nn+" in available_algorithms()
+
+    def test_dynamic_index(self):
+        rng = random.Random(2)
+        values = [(rng.randint(0, 30), rng.randint(0, 30), rng.randint(0, 30)) for _ in range(80)]
+        d = numeric_dataset(values, bulk=False)
+        got = sorted(p.record.rid for p in get_algorithm("nn+").run(d))
+        assert got == brute_force_skyline(d.schema, d.records)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_total=st.integers(0, 2),
+    num_partial=st.integers(1, 2),
+)
+def test_nn_plus_agreement_property(seed, num_total, num_partial):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(
+        rng, n=40, num_total=num_total, num_partial=num_partial
+    )
+    d = TransformedDataset(schema, records)
+    got = sorted(p.record.rid for p in get_algorithm("nn+").run(d))
+    assert got == brute_force_skyline(schema, records)

@@ -1,0 +1,196 @@
+"""Unit tests for :mod:`repro.posets.poset`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CyclicPosetError, PosetError, UnknownValueError
+from repro.posets.builder import antichain, chain, diamond
+from repro.posets.poset import Poset
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Poset("ab", [("a", "b")])
+        assert len(p) == 2
+        assert p.num_edges == 1
+
+    def test_values_preserved_in_order(self):
+        p = Poset(["x", "y", "z"], [])
+        assert p.values == ("x", "y", "z")
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(PosetError):
+            Poset(["a", "a"], [])
+
+    def test_duplicate_edges_deduplicated(self):
+        p = Poset("ab", [("a", "b"), ("a", "b")])
+        assert p.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CyclicPosetError):
+            Poset("a", [("a", "a")])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CyclicPosetError):
+            Poset("ab", [("a", "b"), ("b", "a")])
+
+    def test_long_cycle_rejected_and_reported(self):
+        with pytest.raises(CyclicPosetError) as exc:
+            Poset("abcd", [("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")])
+        assert exc.value.cycle is not None
+        assert len(exc.value.cycle) >= 3
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(UnknownValueError):
+            Poset("ab", [("a", "q")])
+        with pytest.raises(UnknownValueError):
+            Poset("ab", [("q", "a")])
+
+    def test_empty_poset(self):
+        p = Poset([], [])
+        assert len(p) == 0
+        assert p.height == 0
+        assert p.is_connected()
+
+    def test_contains(self):
+        p = Poset("ab", [])
+        assert "a" in p and "q" not in p
+
+    def test_equality_and_hash(self):
+        p1 = Poset("ab", [("a", "b")])
+        p2 = Poset("ab", [("a", "b")])
+        p3 = Poset("ab", [])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1 != p3
+        assert p1 != "not a poset"
+
+
+class TestDominance:
+    def test_direct_edge(self, diamond_poset):
+        assert diamond_poset.dominates("a", "b")
+        assert not diamond_poset.dominates("b", "a")
+
+    def test_transitive_path(self, diamond_poset):
+        assert diamond_poset.dominates("a", "d")
+
+    def test_incomparable(self, diamond_poset):
+        assert not diamond_poset.dominates("b", "c")
+        assert not diamond_poset.dominates("c", "b")
+        assert not diamond_poset.comparable("b", "c")
+
+    def test_dominance_is_strict(self, diamond_poset):
+        assert not diamond_poset.dominates("a", "a")
+
+    def test_leq_reflexive(self, diamond_poset):
+        assert diamond_poset.leq("a", "a")
+        assert diamond_poset.leq("d", "a")
+        assert not diamond_poset.leq("a", "d")
+
+    def test_comparable_includes_equal(self, diamond_poset):
+        assert diamond_poset.comparable("b", "b")
+
+    def test_unknown_value(self, diamond_poset):
+        with pytest.raises(UnknownValueError):
+            diamond_poset.dominates("a", "zz")
+
+    def test_descendants_and_ancestors(self, diamond_poset):
+        assert diamond_poset.descendants("a") == frozenset("bcd")
+        assert diamond_poset.descendants("d") == frozenset()
+        assert diamond_poset.ancestors("d") == frozenset("abc")
+        assert diamond_poset.ancestors("a") == frozenset()
+
+    def test_dominance_consistent_with_descendants(self, medium_poset):
+        p = medium_poset
+        for i in range(0, len(p), 7):
+            for j in range(0, len(p), 5):
+                expected = j in p.descendants_ix(i)
+                assert p.dominates_ix(i, j) == expected
+
+
+class TestStructure:
+    def test_maximal_minimal(self, diamond_poset):
+        assert diamond_poset.maximal_values == ("a",)
+        assert diamond_poset.minimal_values == ("d",)
+
+    def test_levels_diamond(self, diamond_poset):
+        levels = {
+            diamond_poset.value(i): lvl for i, lvl in enumerate(diamond_poset.levels)
+        }
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_height(self, diamond_poset):
+        assert diamond_poset.height == 3
+
+    def test_levels_longest_path(self):
+        # a->b->d and a->d directly: level of d is the longest path, 2.
+        p = Poset("abd", [("a", "b"), ("b", "d"), ("a", "d")])
+        assert p.levels[p.index("d")] == 2
+
+    def test_antichain_structure(self):
+        p = antichain("abc")
+        assert p.height == 1
+        assert set(p.maximal_values) == set("abc")
+        assert set(p.minimal_values) == set("abc")
+        assert not p.is_connected()
+        assert p.is_tree()
+
+    def test_chain_structure(self):
+        p = chain("abc")
+        assert p.is_total_order()
+        assert p.is_tree()
+        assert p.is_connected()
+        assert p.height == 3
+
+    def test_diamond_not_total_order(self, diamond_poset):
+        assert not diamond_poset.is_total_order()
+        assert not diamond_poset.is_tree()
+        assert diamond_poset.is_connected()
+
+    def test_topological_order_parents_first(self, medium_poset):
+        pos = {node: k for k, node in enumerate(medium_poset.topological_order)}
+        for v, w in medium_poset.edges():
+            assert pos[medium_poset.index(v)] < pos[medium_poset.index(w)]
+
+    def test_edges_roundtrip(self, diamond_poset):
+        assert sorted(diamond_poset.edges()) == [
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        ]
+
+
+class TestDerivedPosets:
+    def test_transitive_reduction_removes_shortcut(self):
+        p = Poset("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        reduced = p.transitive_reduction()
+        assert reduced.num_edges == 2
+        assert reduced.dominates("a", "c")
+        assert not p.is_hasse()
+        assert reduced.is_hasse()
+
+    def test_transitive_reduction_preserves_order(self, medium_poset):
+        reduced = medium_poset.transitive_reduction()
+        for i in range(0, len(medium_poset), 9):
+            for j in range(0, len(medium_poset), 6):
+                assert reduced.dominates_ix(i, j) == medium_poset.dominates_ix(i, j)
+
+    def test_dual_reverses_dominance(self, diamond_poset):
+        d = diamond_poset.dual()
+        assert d.dominates("d", "a")
+        assert not d.dominates("a", "d")
+        assert set(d.maximal_values) == {"d"}
+
+    def test_dual_involution(self, diamond_poset):
+        assert diamond_poset.dual().dual() == diamond_poset
+
+    def test_restrict_induced_order(self, diamond_poset):
+        sub = diamond_poset.restrict(["a", "d"])
+        assert len(sub) == 2
+        assert sub.dominates("a", "d")
+
+    def test_restrict_keeps_incomparability(self, diamond_poset):
+        sub = diamond_poset.restrict(["b", "c"])
+        assert not sub.comparable("b", "c")

@@ -1,0 +1,144 @@
+"""Extra poset-layer edge cases and properties not covered elsewhere."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_poset
+from repro.posets.builder import paper_example_poset
+from repro.posets.classification import classify
+from repro.posets.encoding import encode
+from repro.posets.generator import generate_poset
+from repro.posets.poset import Poset
+from repro.posets.spanning_tree import default_spanning_forest, random_spanning_forest
+
+
+class TestTransitiveReduction:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_reduction_is_minimal(self, seed):
+        """Removing any edge of the reduced poset changes reachability."""
+        poset = random_poset(random.Random(seed), max_nodes=9)
+        reduced = poset.transitive_reduction()
+        edges = list(reduced.edges())
+        for drop in range(len(edges)):
+            kept = [e for i, e in enumerate(edges) if i != drop]
+            thinner = Poset(reduced.values, kept)
+            v, w = edges[drop]
+            assert not thinner.dominates(v, w)
+
+    def test_reduction_idempotent(self, fig4_poset):
+        once = fig4_poset.transitive_reduction()
+        assert once.transitive_reduction() == once
+
+
+class TestRestrict:
+    def test_restrict_bridges_removed_middle(self):
+        p = Poset("abc", [("a", "b"), ("b", "c")])
+        sub = p.restrict(["a", "c"])
+        assert sub.dominates("a", "c")  # transitivity survives projection
+        assert sub.num_edges == 1
+
+    def test_restrict_preserves_given_universe_order(self):
+        p = paper_example_poset()
+        sub = p.restrict(["j", "a", "f"])
+        assert set(sub.values) == {"a", "f", "j"}
+        assert sub.dominates("a", "f")
+        assert not sub.comparable("a", "j")
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_restrict_order_agrees_with_parent(self, seed):
+        rng = random.Random(seed)
+        poset = random_poset(rng, max_nodes=10)
+        chosen = [v for v in poset.values if rng.random() < 0.6]
+        if not chosen:
+            return
+        sub = poset.restrict(chosen)
+        for v in chosen:
+            for w in chosen:
+                if v != w:
+                    assert sub.dominates(v, w) == poset.dominates(v, w)
+
+
+class TestDuality:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_dual_swaps_maximal_minimal(self, seed):
+        poset = random_poset(random.Random(seed))
+        dual = poset.dual()
+        assert set(dual.maximal_values) == set(poset.minimal_values)
+        assert set(dual.minimal_values) == set(poset.maximal_values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_dual_reverses_every_dominance(self, seed):
+        poset = random_poset(random.Random(seed), max_nodes=9)
+        dual = poset.dual()
+        for i in range(len(poset)):
+            for j in range(len(poset)):
+                if i == j:
+                    continue
+                assert poset.dominates_ix(i, j) == dual.dominates(
+                    dual.value(j), dual.value(i)
+                )
+
+
+class TestGeneratorConnectivity:
+    def test_disconnected_without_connect_flag(self):
+        p = generate_poset(
+            num_nodes=60,
+            height=3,
+            num_trees=4,
+            edge_iterations=0,
+            connect=False,
+            seed=3,
+        )
+        assert not p.is_connected()
+
+    def test_connect_flag_joins_components(self):
+        p = generate_poset(
+            num_nodes=60,
+            height=3,
+            num_trees=4,
+            edge_iterations=0,
+            connect=True,
+            seed=3,
+        )
+        assert p.is_connected()
+        assert p.is_hasse()  # connection edges are level-respecting too
+
+    def test_antichain_cannot_connect_gracefully(self):
+        p = generate_poset(num_nodes=5, height=1, num_trees=1, seed=1)
+        # Height-1 domains have no adjacent levels to bridge; the
+        # generator returns the best effort instead of raising.
+        assert len(p) == 5
+        assert not p.is_connected()
+
+
+class TestEncodingForestInteraction:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_false_negatives_touch_excluded_edges_only(self, seed):
+        """Every dominance missed by the encoding involves a path through
+        at least one excluded edge (soundness of the classification)."""
+        rng = random.Random(seed)
+        poset = random_poset(rng, max_nodes=10)
+        forest = random_spanning_forest(poset, rng)
+        enc = encode(poset, forest)
+        cls = classify(forest)
+        for i in range(len(poset)):
+            for j in poset.descendants_ix(i):
+                if not enc.contains_ix(i, j):
+                    # Lemma 4.2 contrapositive: the dominator must be
+                    # partially covering and the target partially covered.
+                    assert not cls.is_completely_covering_ix(i)
+                    assert not cls.is_completely_covered_ix(j)
+
+    def test_default_forest_deterministic(self, medium_poset):
+        a = default_spanning_forest(medium_poset)
+        b = default_spanning_forest(medium_poset)
+        assert a.parent_array == b.parent_array

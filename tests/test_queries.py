@@ -1,0 +1,226 @@
+"""Tests for the skyline-related query extensions (skyband, constrained)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset, record_dominates
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import AlgorithmError, SchemaError
+from repro.posets.builder import diamond
+from repro.queries.constrained import Constraint, constrained_skyline
+from repro.queries.skyband import k_skyband, k_skyband_bbs, k_skyband_nested_loops
+from repro.transform.dataset import TransformedDataset
+
+
+def brute_force_skyband(schema, records, k):
+    out = []
+    for r in records:
+        dominators = sum(
+            1 for other in records if other is not r and record_dominates(schema, other, r)
+        )
+        if dominators < k:
+            out.append(r.rid)
+    return sorted(out)
+
+
+class TestSkyband:
+    def make(self, seed=0, n=60):
+        rng = random.Random(seed)
+        schema, records = random_mixed_dataset(rng, n=n)
+        return schema, records, TransformedDataset(schema, records)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_bbs_matches_brute_force(self, k):
+        schema, records, d = self.make(seed=k)
+        got = sorted(p.record.rid for p in k_skyband_bbs(d, k))
+        assert got == brute_force_skyband(schema, records, k)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_nested_loops_matches_brute_force(self, k):
+        schema, records, d = self.make(seed=10 + k)
+        got = sorted(p.record.rid for p in k_skyband_nested_loops(d, k))
+        assert got == brute_force_skyband(schema, records, k)
+
+    def test_one_skyband_is_skyline(self):
+        schema, records, d = self.make(seed=20)
+        got = sorted(p.record.rid for p in k_skyband(d, 1))
+        assert got == brute_force_skyline(schema, records)
+
+    def test_skyband_monotone_in_k(self):
+        _, _, d = self.make(seed=21)
+        previous: set = set()
+        for k in (1, 2, 3, 4):
+            current = {p.record.rid for p in k_skyband(d, k)}
+            assert current >= previous
+            previous = current
+
+    def test_large_k_returns_everything(self):
+        _, records, d = self.make(seed=22, n=25)
+        assert len(k_skyband(d, len(records) + 1)) == len(records)
+
+    def test_invalid_k(self):
+        _, _, d = self.make(seed=23, n=5)
+        with pytest.raises(AlgorithmError):
+            k_skyband_bbs(d, 0)
+        with pytest.raises(AlgorithmError):
+            k_skyband_nested_loops(d, -1)
+
+    def test_method_dispatch(self):
+        _, _, d = self.make(seed=24, n=20)
+        a = sorted(p.record.rid for p in k_skyband(d, 2, "bbs"))
+        b = sorted(p.record.rid for p in k_skyband(d, 2, "nested-loops"))
+        assert a == b
+        with pytest.raises(AlgorithmError):
+            k_skyband(d, 2, "magic")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_skyband_property(seed, k):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=40)
+    d = TransformedDataset(schema, records)
+    expected = brute_force_skyband(schema, records, k)
+    assert sorted(p.record.rid for p in k_skyband_bbs(d, k)) == expected
+    assert sorted(p.record.rid for p in k_skyband_nested_loops(d, k)) == expected
+
+
+def hotel_dataset():
+    schema = Schema(
+        [
+            NumericAttribute("price", "min"),
+            NumericAttribute("rating", "max"),
+            PosetAttribute.set_valued("tier", diamond()),
+        ]
+    )
+    records = [
+        Record(0, (100, 3), ("a",)),
+        Record(1, (80, 4), ("b",)),
+        Record(2, (90, 5), ("c",)),
+        Record(3, (60, 2), ("d",)),
+        Record(4, (300, 5), ("a",)),
+        Record(5, (85, 4), ("b",)),
+    ]
+    return schema, records, TransformedDataset(schema, records)
+
+
+class TestConstrainedSkyline:
+    def brute(self, schema, records, admit):
+        qualifying = [r for r in records if admit(r)]
+        return brute_force_skyline(schema, qualifying)
+
+    @pytest.mark.parametrize("method", ["bbs", "bnl"])
+    def test_price_range(self, method):
+        schema, records, d = hotel_dataset()
+        c = Constraint(ranges={"price": (70, 150)})
+        got = sorted(
+            p.record.rid for p in constrained_skyline(d, c, method=method)
+        )
+        assert got == self.brute(schema, records, lambda r: 70 <= r.totals[0] <= 150)
+
+    @pytest.mark.parametrize("method", ["bbs", "bnl"])
+    def test_open_ended_range(self, method):
+        schema, records, d = hotel_dataset()
+        c = Constraint(ranges={"price": (None, 90)})
+        got = sorted(
+            p.record.rid for p in constrained_skyline(d, c, method=method)
+        )
+        assert got == self.brute(schema, records, lambda r: r.totals[0] <= 90)
+
+    @pytest.mark.parametrize("method", ["bbs", "bnl"])
+    def test_max_attribute_range(self, method):
+        schema, records, d = hotel_dataset()
+        c = Constraint(ranges={"rating": (4, None)})
+        got = sorted(
+            p.record.rid for p in constrained_skyline(d, c, method=method)
+        )
+        assert got == self.brute(schema, records, lambda r: r.totals[1] >= 4)
+
+    @pytest.mark.parametrize("method", ["bbs", "bnl"])
+    def test_must_dominate(self, method):
+        schema, records, d = hotel_dataset()
+        poset = schema.attribute("tier").poset
+        c = Constraint(must_dominate={"tier": "d"})
+        got = sorted(
+            p.record.rid for p in constrained_skyline(d, c, method=method)
+        )
+        assert got == self.brute(
+            schema, records, lambda r: poset.leq("d", r.partials[0])
+        )
+
+    @pytest.mark.parametrize("method", ["bbs", "bnl"])
+    def test_dominated_by(self, method):
+        schema, records, d = hotel_dataset()
+        poset = schema.attribute("tier").poset
+        c = Constraint(dominated_by={"tier": "b"})
+        got = sorted(
+            p.record.rid for p in constrained_skyline(d, c, method=method)
+        )
+        assert got == self.brute(
+            schema, records, lambda r: poset.leq(r.partials[0], "b")
+        )
+
+    def test_conjunction(self):
+        schema, records, d = hotel_dataset()
+        poset = schema.attribute("tier").poset
+        c = Constraint(
+            ranges={"price": (70, 200)}, must_dominate={"tier": "d"}
+        )
+        got = sorted(p.record.rid for p in constrained_skyline(d, c))
+        assert got == self.brute(
+            schema,
+            records,
+            lambda r: 70 <= r.totals[0] <= 200 and poset.leq("d", r.partials[0]),
+        )
+
+    def test_empty_constraint_is_plain_skyline(self):
+        schema, records, d = hotel_dataset()
+        got = sorted(p.record.rid for p in constrained_skyline(d, Constraint()))
+        assert got == brute_force_skyline(schema, records)
+
+    def test_unsatisfiable(self):
+        _, _, d = hotel_dataset()
+        assert constrained_skyline(d, Constraint(ranges={"price": (1, 2)})) == []
+
+    def test_validation_errors(self):
+        _, _, d = hotel_dataset()
+        with pytest.raises(SchemaError):
+            constrained_skyline(d, Constraint(ranges={"tier": (1, 2)}))
+        with pytest.raises(SchemaError):
+            constrained_skyline(d, Constraint(must_dominate={"price": "a"}))
+        with pytest.raises(SchemaError):
+            constrained_skyline(d, Constraint(must_dominate={"tier": "zz"}))
+        with pytest.raises(AlgorithmError):
+            constrained_skyline(d, Constraint(), method="psychic")
+
+    def test_excluded_records_do_not_dominate(self):
+        """A WHERE-clause skyline: a dominator filtered out by the
+        constraint must not suppress qualifying records."""
+        schema, records, d = hotel_dataset()
+        # Record 3 (price 60) dominates nothing within price >= 80... but
+        # excluding cheap records must let pricier ones re-enter.
+        c = Constraint(ranges={"price": (80, None)})
+        got = {p.record.rid for p in constrained_skyline(d, c)}
+        unconstrained = set(brute_force_skyline(schema, records))
+        assert not got <= unconstrained or got == unconstrained - {0, 3} | got
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), lo=st.integers(1, 5), width=st.integers(0, 6))
+def test_constrained_property(seed, lo, width):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=40)
+    d = TransformedDataset(schema, records)
+    c = Constraint(ranges={"t0": (lo, lo + width)})
+    expected = brute_force_skyline(
+        schema, [r for r in records if lo <= r.totals[0] <= lo + width]
+    )
+    for method in ("bbs", "bnl"):
+        got = sorted(p.record.rid for p in constrained_skyline(d, c, method=method))
+        assert got == expected, method

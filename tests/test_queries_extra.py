@@ -1,0 +1,94 @@
+"""Additional property coverage for the query extensions."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.queries.constrained import Constraint, constrained_skyline
+from repro.queries.skyband import k_skyband_bbs, k_skyband_nested_loops
+from repro.queries.layers import skyline_layers
+from repro.transform.dataset import TransformedDataset
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_constrained_poset_anchor_property(seed):
+    """must_dominate / dominated_by anchors match the brute-force filter
+    for arbitrary anchors in the attribute's domain."""
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=40)
+    d = TransformedDataset(schema, records)
+    poset = schema.partial_attrs[0].poset
+    anchor = poset.value(rng.randrange(len(poset)))
+
+    for kind in ("must_dominate", "dominated_by"):
+        constraint = Constraint(**{kind: {"p0": anchor}})
+        if kind == "must_dominate":
+            keep = [r for r in records if poset.leq(anchor, r.partials[0])]
+        else:
+            keep = [r for r in records if poset.leq(r.partials[0], anchor)]
+        expected = brute_force_skyline(schema, keep)
+        for method in ("bbs", "bnl"):
+            got = sorted(
+                p.record.rid for p in constrained_skyline(d, constraint, method)
+            )
+            assert got == expected, (kind, method)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+def test_skyband_methods_agree_under_closure_backend(seed, k):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=35)
+    d = TransformedDataset(schema, records, native_mode="closure")
+    a = sorted(p.record.rid for p in k_skyband_bbs(d, k))
+    b = sorted(p.record.rid for p in k_skyband_nested_loops(d, k))
+    assert a == b
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_layers_on_churned_dataset(seed):
+    """Layer peeling stays correct after incremental inserts/deletes."""
+    rng = random.Random(seed)
+    schema, raw = random_mixed_dataset(rng, n=30)
+    from repro.core.record import Record
+
+    records = [Record(f"r{r.rid}", r.totals, r.partials) for r in raw]
+    d = TransformedDataset(schema, records)
+    d.index
+    # Churn: drop 5, add 5 copies.
+    for r in records[:5]:
+        d.delete_record(r.rid)
+    clones = [
+        Record(f"c{i}", records[10 + i].totals, records[10 + i].partials)
+        for i in range(5)
+    ]
+    for c in clones:
+        d.insert_record(c)
+    current = records[5:] + clones
+
+    remaining = list(current)
+    for layer in skyline_layers(d):
+        rids = sorted(p.record.rid for p in layer)
+        assert rids == brute_force_skyline(schema, remaining)
+        chosen = set(rids)
+        remaining = [r for r in remaining if r.rid not in chosen]
+    assert not remaining
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_skyband_contains_every_layer_up_to_k(seed):
+    """The k-skyband always contains the first layer; deeper layers may
+    exceed k dominators, but layer 1 never does."""
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=30)
+    d = TransformedDataset(schema, records)
+    band = {p.record.rid for p in k_skyband_bbs(d, 2)}
+    first_layer = set(brute_force_skyline(schema, records))
+    assert first_layer <= band

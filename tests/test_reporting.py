@@ -1,0 +1,155 @@
+"""Tests for milestone math and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FRACTIONS, AlgorithmRun, Milestone
+from repro.bench.reporting import (
+    emission_timeline,
+    format_milestone_header,
+    format_run_table,
+    format_timelines,
+)
+
+
+def make_run(n_answers: int, total: float = 1.0, spread: str = "uniform"):
+    """Synthetic run: n answers, controllable emission pattern."""
+    emissions = []
+    for i in range(n_answers):
+        if spread == "uniform":
+            t = (i + 1) / n_answers * total
+        elif spread == "early":
+            t = total * 0.01 * (i + 1) / n_answers
+        else:  # late
+            t = total * (0.99 + 0.01 * (i + 1) / n_answers)
+        emissions.append((t, {"m_dominance_point": (i + 1) * 10, "native_set": i}))
+    return AlgorithmRun("test", [object()] * n_answers, emissions, total, {})
+
+
+class TestMilestones:
+    def test_fraction_indices(self):
+        run = make_run(10)
+        ms = run.milestones()
+        assert [m.fraction for m in ms] == [0.0, *FRACTIONS]
+        assert ms[0].answers == 1
+        assert [m.answers for m in ms[1:]] == [2, 4, 6, 8, 10]
+
+    def test_rounding_with_awkward_counts(self):
+        for n in (1, 2, 3, 7, 13):
+            run = make_run(n)
+            ms = run.milestones()
+            answers = [m.answers for m in ms]
+            assert answers[0] == 1
+            assert answers[-1] == n
+            assert all(1 <= a <= n for a in answers)
+            assert answers[1:] == sorted(answers[1:])
+
+    def test_milestone_carries_counters(self):
+        run = make_run(5)
+        last = run.milestones()[-1]
+        assert isinstance(last, Milestone)
+        assert last.dominance_checks == 50 + 4  # m_dominance + native_set
+        assert last.native_set == 4
+
+    def test_first_answer(self):
+        run = make_run(5)
+        first = run.first_answer()
+        assert first.answers == 1
+        assert first.fraction == 0.0
+
+    def test_empty_run(self):
+        run = AlgorithmRun("test", [], [], 0.0, {})
+        assert run.first_answer() is None
+        assert run.milestones() == []
+        assert run.progressiveness() == 0.0
+
+
+class TestProgressivenessScore:
+    def test_uniform_is_half(self):
+        run = make_run(1000)
+        assert run.progressiveness() == pytest.approx(0.5, abs=0.01)
+
+    def test_early_lower_than_late(self):
+        early = make_run(100, spread="early")
+        late = make_run(100, spread="late")
+        assert early.progressiveness() < 0.05
+        assert late.progressiveness() > 0.95
+
+
+class TestTimeline:
+    def test_blocking_run_lights_last_column(self):
+        run = make_run(50, spread="late")
+        line = emission_timeline(run, buckets=20)
+        assert len(line) == 20
+        assert line[-1] == "#"
+        assert set(line[:-2]) <= {" "}
+
+    def test_early_run_lights_first_column(self):
+        run = make_run(50, spread="early")
+        line = emission_timeline(run, buckets=20)
+        assert line[0] == "#"
+
+    def test_empty(self):
+        run = AlgorithmRun("test", [], [], 0.0, {})
+        assert emission_timeline(run) == "(no answers)"
+
+    def test_format_timelines(self):
+        runs = {"A": make_run(10), "B": make_run(10, spread="late")}
+        text = format_timelines(runs, buckets=10)
+        assert "A" in text and "B" in text
+        assert text.count("|") == 4
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        from repro.bench.reporting import ascii_scatter
+
+        assert ascii_scatter([]) == "(no points)"
+
+    def test_dimensions(self):
+        from repro.bench.reporting import ascii_scatter
+
+        art = ascii_scatter([(0, 0), (1, 1)], width=10, height=4)
+        lines = art.splitlines()
+        assert len(lines) == 6  # 4 rows + 2 borders
+        assert all(len(line) == 12 for line in lines)
+
+    def test_highlight_marker(self):
+        from repro.bench.reporting import ascii_scatter
+
+        art = ascii_scatter([(0, 0), (1, 1)], highlight={0}, width=10, height=4)
+        assert "*" in art and "." in art
+
+    def test_highlight_wins_cell_conflicts(self):
+        from repro.bench.reporting import ascii_scatter
+
+        art = ascii_scatter([(0, 0), (0, 0)], highlight={1}, width=5, height=3)
+        assert "*" in art and "." not in art
+
+    def test_degenerate_single_point(self):
+        from repro.bench.reporting import ascii_scatter
+
+        art = ascii_scatter([(5, 5)], width=8, height=3)
+        assert art.count(".") == 1
+
+    def test_corner_placement(self):
+        from repro.bench.reporting import ascii_scatter
+
+        art = ascii_scatter([(0, 0), (10, 10)], width=10, height=4)
+        rows = art.splitlines()[1:-1]
+        assert rows[0][1] == "."  # min/min at top-left
+        assert rows[-1][-2] == "."  # max/max at bottom-right
+
+
+class TestTables:
+    def test_header_and_rows(self):
+        runs = {"ALGO": make_run(10)}
+        table = format_run_table(runs, "checks", title="demo")
+        assert "demo" in table
+        assert "ALGO" in table
+        assert format_milestone_header() in table
+
+    def test_time_metric_formats_ms(self):
+        table = format_run_table({"X": make_run(4, total=2.0)}, "time")
+        assert "m" in table  # millisecond suffix

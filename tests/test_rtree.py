@@ -1,0 +1,252 @@
+"""Tests for the R*-tree substrate (dynamic insert, STR bulk load, heap)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import Category
+from repro.core.record import Record
+from repro.exceptions import IndexError_
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.heap import EntryHeap, entry_key
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarTree
+from repro.transform.point import Point
+
+
+def make_point(vector, rid=0, category=Category.CC, level=0) -> Point:
+    return Point(Record(rid), tuple(float(x) for x in vector), (), (), category, level)
+
+
+def random_points(n, dims, rng, categories=None) -> list[Point]:
+    categories = categories or [Category.CC]
+    return [
+        make_point(
+            [rng.uniform(0, 100) for _ in range(dims)],
+            rid=i,
+            category=rng.choice(categories),
+        )
+        for i in range(n)
+    ]
+
+
+class TestDynamicInsert:
+    def test_small_insert_and_validate(self):
+        tree = RStarTree(2, max_entries=4)
+        rng = random.Random(0)
+        for p in random_points(30, 2, rng):
+            tree.insert(p)
+        tree.validate()
+        assert len(tree) == 30
+        assert len(list(tree.points())) == 30
+
+    def test_larger_insert_multiple_levels(self):
+        tree = RStarTree(3, max_entries=6)
+        rng = random.Random(1)
+        pts = random_points(400, 3, rng)
+        tree.extend(pts)
+        tree.validate()
+        assert tree.height >= 3
+        assert sorted(p.rid for p in tree.points()) == list(range(400))
+
+    def test_no_reinsert_variant(self):
+        tree = RStarTree(2, max_entries=5, reinsert=False)
+        rng = random.Random(2)
+        tree.extend(random_points(200, 2, rng))
+        tree.validate()
+        assert len(tree) == 200
+
+    def test_duplicate_points_allowed(self):
+        tree = RStarTree(2, max_entries=4)
+        for i in range(20):
+            tree.insert(make_point([1.0, 2.0], rid=i))
+        tree.validate()
+        assert len(tree) == 20
+
+    def test_dimension_mismatch(self):
+        tree = RStarTree(2)
+        with pytest.raises(IndexError_):
+            tree.insert(make_point([1.0, 2.0, 3.0]))
+
+    def test_bad_params(self):
+        with pytest.raises(IndexError_):
+            RStarTree(0)
+        with pytest.raises(IndexError_):
+            RStarTree(2, max_entries=3)
+        with pytest.raises(IndexError_):
+            RStarTree(2, min_fill=0.9)
+
+    def test_search_matches_linear_scan(self):
+        rng = random.Random(3)
+        pts = random_points(300, 2, rng)
+        tree = RStarTree(2, max_entries=8)
+        tree.extend(pts)
+        mins, maxs = (20.0, 30.0), (70.0, 60.0)
+        expected = sorted(
+            p.rid
+            for p in pts
+            if all(lo <= x <= hi for lo, hi, x in zip(mins, maxs, p.vector))
+        )
+        got = sorted(p.rid for p in tree.search(mins, maxs))
+        assert got == expected
+
+    def test_degenerate_point_search(self):
+        """Regression: a zero-volume query box must still descend into
+        children (volume-overlap tests fail for point probes)."""
+        pts = [make_point([5.0, 5.0], rid=i) for i in range(3)]
+        pts += [make_point([1.0, 9.0], rid="other")]
+        tree = RStarTree(2, max_entries=4)
+        tree.extend(pts + random_points(80, 2, random.Random(10)))
+        got = sorted(str(p.rid) for p in tree.search((5.0, 5.0), (5.0, 5.0)))
+        assert got == ["0", "1", "2"]
+
+    def test_node_access_counter_increases(self):
+        rng = random.Random(4)
+        tree = RStarTree(2, max_entries=8)
+        tree.extend(random_points(100, 2, rng))
+        before = tree.stats.node_accesses
+        tree.search((0.0, 0.0), (100.0, 100.0))
+        assert tree.stats.node_accesses > before
+
+
+class TestBulkLoad:
+    def test_str_contains_all_points(self):
+        rng = random.Random(5)
+        pts = random_points(500, 4, rng)
+        tree = str_bulk_load(pts, 4, max_entries=10)
+        tree.validate()
+        assert len(tree) == 500
+        assert sorted(p.rid for p in tree.points()) == list(range(500))
+
+    def test_str_empty(self):
+        tree = str_bulk_load([], 2)
+        tree.validate()
+        assert len(tree) == 0
+
+    def test_str_single_point(self):
+        tree = str_bulk_load([make_point([1, 2])], 2)
+        tree.validate()
+        assert len(tree) == 1
+
+    def test_str_search(self):
+        rng = random.Random(6)
+        pts = random_points(400, 2, rng)
+        tree = str_bulk_load(pts, 2, max_entries=16)
+        expected = sorted(
+            p.rid for p in pts if 10 <= p.vector[0] <= 50 and 5 <= p.vector[1] <= 95
+        )
+        got = sorted(p.rid for p in tree.search((10.0, 5.0), (50.0, 95.0)))
+        assert got == expected
+
+    def test_str_height_reasonable(self):
+        rng = random.Random(7)
+        pts = random_points(1000, 2, rng)
+        tree = str_bulk_load(pts, 2, max_entries=50)
+        assert tree.height <= 3
+
+    def test_str_dimension_mismatch(self):
+        with pytest.raises(IndexError_):
+            str_bulk_load([make_point([1, 2, 3])], 2)
+
+    def test_str_bad_fill(self):
+        with pytest.raises(IndexError_):
+            str_bulk_load([make_point([1, 2])], 2, fill=0.0)
+
+
+class TestCategoryBits:
+    def test_leaf_bits_aggregate(self):
+        pts = [
+            make_point([1, 1], 0, Category.CC),
+            make_point([2, 2], 1, Category.PP),
+        ]
+        node = Node(leaf=True, entries=pts)
+        assert not node.covered_all
+        assert not node.covering_all
+
+    def test_pure_leaf_bits(self):
+        node = Node(leaf=True, entries=[make_point([1, 1], 0, Category.CP)])
+        assert node.covered_all and not node.covering_all
+
+    def test_possible_categories_conservative(self):
+        node = Node(leaf=True, entries=[make_point([1, 1], 0, Category.CP)])
+        assert node.possible_categories() == frozenset({Category.CC, Category.CP})
+        pure = Node(leaf=True, entries=[make_point([1, 1], 0, Category.CC)])
+        assert pure.possible_categories() == frozenset({Category.CC})
+
+    def test_bits_propagate_through_tree(self):
+        rng = random.Random(8)
+        pts = random_points(300, 2, rng, categories=[Category.PP])
+        tree = str_bulk_load(pts, 2, max_entries=8)
+        assert not tree.root.covered_all
+        assert not tree.root.covering_all
+        tree.validate()  # validates bit consistency at every node
+
+    def test_bits_maintained_by_dynamic_insert(self):
+        rng = random.Random(9)
+        tree = RStarTree(2, max_entries=5)
+        tree.extend(random_points(150, 2, rng, categories=list(Category)))
+        tree.validate()
+
+
+class TestHeap:
+    def test_entry_key_point_vs_node(self):
+        p = make_point([3, 4])
+        assert entry_key(p) == 7
+        node = Node(leaf=True, entries=[p])
+        assert entry_key(node) == 7
+
+    def test_heap_orders_by_key(self):
+        heap = EntryHeap()
+        pts = [make_point([x, 0], rid=x) for x in (5, 1, 3, 2, 4)]
+        for p in pts:
+            heap.push(p)
+        popped = [heap.pop().rid for _ in range(len(pts))]
+        assert popped == [1, 2, 3, 4, 5]
+
+    def test_heap_stable_on_ties(self):
+        heap = EntryHeap()
+        a, b = make_point([1, 1], rid="a"), make_point([2, 0], rid="b")
+        heap.push(a)
+        heap.push(b)
+        assert heap.pop().rid == "a"
+
+    def test_heap_counts_stats(self):
+        heap = EntryHeap()
+        heap.push(make_point([1, 1]))
+        heap.pop()
+        assert heap.stats.heap_pushes == 1
+        assert heap.stats.heap_pops == 1
+
+    def test_heap_len_bool(self):
+        heap = EntryHeap()
+        assert not heap
+        heap.push(make_point([0, 0]))
+        assert len(heap) == 1 and heap
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 120),
+    max_entries=st.integers(4, 12),
+)
+def test_dynamic_tree_invariants_property(seed, n, max_entries):
+    rng = random.Random(seed)
+    tree = RStarTree(2, max_entries=max_entries)
+    tree.extend(random_points(n, 2, rng, categories=list(Category)))
+    tree.validate()
+    assert len(list(tree.points())) == n
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(0, 300))
+def test_bulk_tree_invariants_property(seed, n):
+    rng = random.Random(seed)
+    pts = random_points(n, 3, rng, categories=list(Category))
+    tree = str_bulk_load(pts, 3, max_entries=8)
+    tree.validate()
+    assert len(list(tree.points())) == n

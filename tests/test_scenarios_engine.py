@@ -1,0 +1,130 @@
+"""Tests for scenario builders, engine introspection and public
+hypothesis strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import brute_force_skyline
+from repro.engine import SkylineEngine
+from repro.exceptions import WorkloadError
+from repro.reference import reference_skyline
+from repro.strategies import datasets, posets, records_for, schemas
+from repro.workloads.scenarios import (
+    ORG_REPORTING,
+    hotel_catalogue,
+    org_chart,
+    product_catalogue,
+)
+
+
+class TestScenarios:
+    def test_hotel_catalogue_shape(self):
+        schema, records = hotel_catalogue(100)
+        assert len(records) == 100
+        assert schema.num_total == 2 and schema.num_partial == 1
+        assert schema.attribute("amenities").set_domain is not None
+
+    def test_org_chart_shape(self):
+        schema, records = org_chart(50)
+        assert len(records) == 50
+        assert schema.attribute("rank").set_domain is None  # reachability mode
+        roles = {r for edge in ORG_REPORTING for r in edge}
+        assert all(r.partials[0] in roles for r in records)
+
+    def test_product_catalogue_shape(self):
+        schema, records = product_catalogue(30)
+        assert len(records) == 30
+        assert schema.num_total == 2
+
+    def test_deterministic(self):
+        assert hotel_catalogue(20)[1] == hotel_catalogue(20)[1]
+        assert org_chart(20)[1] == org_chart(20)[1]
+
+    @pytest.mark.parametrize("builder", [hotel_catalogue, org_chart, product_catalogue])
+    def test_skyline_queryable(self, builder):
+        schema, records = builder(120)
+        engine = SkylineEngine(schema, records)
+        answers = engine.skyline("sdc+")
+        assert sorted(r.rid for r in answers) == brute_force_skyline(schema, records)
+
+    @pytest.mark.parametrize("builder", [hotel_catalogue, org_chart, product_catalogue])
+    def test_negative_count_rejected(self, builder):
+        with pytest.raises(WorkloadError):
+            builder(-1)
+
+    def test_empty_scenarios(self):
+        for builder in (hotel_catalogue, org_chart, product_catalogue):
+            _, records = builder(0)
+            assert records == []
+
+
+class TestIntrospection:
+    def test_describe(self):
+        schema, records = hotel_catalogue(150)
+        engine = SkylineEngine(schema, records, strategy="minpc")
+        info = engine.describe()
+        assert info["records"] == 150
+        assert info["schema"]["transformed_dimensions"] == 4
+        assert info["strategy"] == "minpc"
+        assert sum(info["categories"].values()) == 150
+        assert info["strata"] >= 1
+        attr = info["poset_attributes"][0]
+        assert attr["name"] == "amenities"
+        assert attr["domain_size"] == 120
+        assert 0.0 <= attr["comparability_ratio"] <= 1.0
+        assert attr["width"] >= 1
+
+    def test_explain(self):
+        schema, records = hotel_catalogue(150)
+        engine = SkylineEngine(schema, records)
+        report = engine.explain("sdc+")
+        assert report["algorithm"] == "sdc+"
+        assert report["answers"] > 0
+        assert report["first_answer_checks"] is not None
+        assert report["counters"]["m_dominance_point"] > 0
+        assert 0.0 <= report["progressiveness"] <= 1.0
+
+    def test_explain_blocking_algorithm(self):
+        schema, records = hotel_catalogue(120)
+        engine = SkylineEngine(schema, records)
+        blocking = engine.explain("bbs+")
+        streaming = engine.explain("sdc+")
+        assert streaming["progressiveness"] < blocking["progressiveness"]
+
+    def test_explain_empty_dataset(self):
+        schema, _ = hotel_catalogue(1)
+        engine = SkylineEngine(schema, [])
+        report = engine.explain("sdc+")
+        assert report["answers"] == 0
+        assert report["first_answer_seconds"] is None
+
+
+class TestPublicStrategies:
+    @settings(max_examples=25, deadline=None)
+    @given(posets())
+    def test_posets_valid(self, poset):
+        assert len(poset) >= 1
+        assert poset.is_hasse()
+
+    @settings(max_examples=25, deadline=None)
+    @given(schemas())
+    def test_schemas_valid(self, schema):
+        assert len(schema) >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(datasets(max_records=25))
+    def test_datasets_queryable(self, data):
+        schema, records = data
+        engine = SkylineEngine(schema, records)
+        got = sorted(r.rid for r in engine.skyline("sdc+"))
+        assert got == sorted(r.rid for r in reference_skyline(schema, records))
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=__import__("hypothesis").strategies.data())
+    def test_records_for_respects_schema(self, data):
+        schema = data.draw(schemas(set_valued=True))
+        records = data.draw(records_for(schema, max_records=8))
+        for r in records:
+            schema.validate_record(r.totals, r.partials)

@@ -1,0 +1,127 @@
+"""Tests for schemas and records (:mod:`repro.core.schema`, ``record``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import AttributeKind, NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import SchemaError
+from repro.posets.builder import chain, diamond
+from repro.posets.setvalued import SetValuedDomain
+
+
+class TestNumericAttribute:
+    def test_min_direction(self):
+        a = NumericAttribute("price", "min")
+        assert a.sign == 1
+        assert a.normalize(5) == 5
+
+    def test_max_direction(self):
+        a = NumericAttribute("rating", "max")
+        assert a.sign == -1
+        assert a.normalize(5) == -5
+
+    def test_default_is_min(self):
+        assert NumericAttribute("x").direction == "min"
+
+    def test_bad_direction(self):
+        with pytest.raises(SchemaError):
+            NumericAttribute("x", "upwards")
+
+    def test_kind(self):
+        assert NumericAttribute("x").kind is AttributeKind.TOTAL
+
+
+class TestPosetAttribute:
+    def test_plain(self):
+        a = PosetAttribute("tier", diamond())
+        assert a.set_domain is None
+        assert a.kind is AttributeKind.PARTIAL
+
+    def test_set_valued_factory(self):
+        a = PosetAttribute.set_valued("tier", diamond())
+        assert a.set_domain is not None
+        assert a.set_domain.poset is a.poset
+
+    def test_foreign_set_domain_rejected(self):
+        dom = SetValuedDomain.from_poset(chain("ab"))
+        with pytest.raises(SchemaError):
+            PosetAttribute("tier", diamond(), dom)
+
+
+class TestSchema:
+    def make(self):
+        return Schema(
+            [
+                NumericAttribute("price", "min"),
+                NumericAttribute("rating", "max"),
+                PosetAttribute.set_valued("tier", diamond()),
+            ]
+        )
+
+    def test_partitions(self):
+        s = self.make()
+        assert s.num_total == 2
+        assert s.num_partial == 1
+        assert len(s) == 3
+
+    def test_transformed_dimensions(self):
+        assert self.make().transformed_dimensions == 4
+
+    def test_is_totally_ordered(self):
+        assert Schema([NumericAttribute("x")]).is_totally_ordered
+        assert not self.make().is_totally_ordered
+
+    def test_attribute_lookup(self):
+        s = self.make()
+        assert s.attribute("tier").name == "tier"
+        with pytest.raises(SchemaError):
+            s.attribute("missing")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([NumericAttribute("x"), NumericAttribute("x")])
+
+    def test_validate_record_ok(self):
+        self.make().validate_record((10, 4), ("a",))
+
+    def test_validate_record_wrong_total_count(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_record((10,), ("a",))
+
+    def test_validate_record_wrong_partial_count(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_record((10, 4), ())
+
+    def test_validate_record_unknown_value(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_record((10, 4), ("zz",))
+
+
+class TestRecord:
+    def test_fields(self):
+        r = Record(7, (1, 2), ("a",), payload={"note": "hi"})
+        assert r.rid == 7
+        assert r.totals == (1, 2)
+        assert r.partials == ("a",)
+        assert r.payload == {"note": "hi"}
+
+    def test_tuples_coerced(self):
+        r = Record(0, [1, 2], ["a"])
+        assert isinstance(r.totals, tuple) and isinstance(r.partials, tuple)
+
+    def test_equality_ignores_payload(self):
+        assert Record(1, (1,), ("a",), payload="x") == Record(1, (1,), ("a",))
+        assert Record(1, (1,)) != Record(2, (1,))
+        assert Record(1, (1,)) != "record"
+
+    def test_hashable(self):
+        assert len({Record(1, (1,)), Record(1, (1,))}) == 1
+
+    def test_repr(self):
+        assert "Record" in repr(Record(1, (1,), ("a",)))

@@ -1,0 +1,94 @@
+"""Tests for set-valued domains (:mod:`repro.posets.setvalued`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_poset
+from repro.exceptions import PosetError, UnknownValueError
+from repro.posets.builder import antichain, chain, diamond
+from repro.posets.generator import generate_poset
+from repro.posets.setvalued import SetValuedDomain
+
+
+class TestCanonicalDerivation:
+    def test_diamond_isomorphism(self):
+        dom = SetValuedDomain.from_poset(diamond())
+        assert dom.verify_isomorphism()
+
+    def test_chain_sets_nested(self):
+        p = chain("abc")
+        dom = SetValuedDomain.from_poset(p)
+        assert dom.set_of("a") > dom.set_of("b") > dom.set_of("c")
+
+    def test_antichain_singletons(self):
+        dom = SetValuedDomain.from_poset(antichain("xyz"))
+        sizes = {len(dom.set_of(v)) for v in "xyz"}
+        assert sizes == {1}
+
+    def test_dominates_matches_poset(self, medium_poset):
+        dom = SetValuedDomain.from_poset(medium_poset)
+        values = medium_poset.values
+        for i in range(0, len(values), 5):
+            for j in range(0, len(values), 7):
+                if i == j:
+                    continue
+                assert dom.dominates(values[i], values[j]) == medium_poset.dominates(
+                    values[i], values[j]
+                )
+
+    def test_set_of_ix_matches_set_of(self, medium_poset):
+        dom = SetValuedDomain.from_poset(medium_poset)
+        for i in range(len(medium_poset)):
+            assert dom.set_of_ix(i) == dom.set_of(medium_poset.value(i))
+
+    def test_taller_posets_have_larger_sets(self):
+        """The Section 5.2 cost driver: height grows the sets."""
+        short = SetValuedDomain.from_poset(
+            generate_poset(num_nodes=200, height=3, num_trees=4, seed=1)
+        )
+        tall = SetValuedDomain.from_poset(
+            generate_poset(num_nodes=200, height=10, num_trees=4, seed=1)
+        )
+        assert tall.average_set_size > short.average_set_size
+
+    def test_sizes(self):
+        dom = SetValuedDomain.from_poset(diamond())
+        assert dom.max_set_size == 4  # a's set covers everything
+        assert dom.average_set_size == pytest.approx((4 + 2 + 2 + 1) / 4)
+
+
+class TestExplicitAssignment:
+    def test_custom_sets(self):
+        p = chain("ab")
+        dom = SetValuedDomain(p, {"a": frozenset({1, 2}), "b": frozenset({1})})
+        assert dom.dominates("a", "b")
+
+    def test_incomplete_assignment_rejected(self):
+        p = chain("ab")
+        with pytest.raises(PosetError):
+            SetValuedDomain(p, {"a": frozenset({1})})
+
+    def test_extra_assignment_rejected(self):
+        p = chain("ab")
+        with pytest.raises(PosetError):
+            SetValuedDomain(
+                p,
+                {"a": frozenset({1, 2}), "b": frozenset({1}), "c": frozenset()},
+            )
+
+    def test_unknown_value_raises(self):
+        dom = SetValuedDomain.from_poset(diamond())
+        with pytest.raises(UnknownValueError):
+            dom.set_of("nope")
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_from_poset_always_isomorphic(seed):
+    poset = random_poset(random.Random(seed))
+    assert SetValuedDomain.from_poset(poset).verify_isomorphism()

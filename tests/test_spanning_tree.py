@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.posets.spanning_tree`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import PosetError
+from repro.posets.builder import antichain, chain, diamond, paper_example_poset
+from repro.posets.builder import PAPER_FIG4_SPANNING_EDGES
+from repro.posets.spanning_tree import (
+    SpanningForest,
+    default_spanning_forest,
+    random_spanning_forest,
+)
+
+
+class TestConstruction:
+    def test_default_keeps_first_parent(self):
+        p = diamond()
+        f = default_spanning_forest(p)
+        assert f.parent_of(p.index("d")) == p.index("b")
+
+    def test_roots_are_maximal(self, fig4_poset):
+        f = default_spanning_forest(fig4_poset)
+        assert set(f.roots) == set(fig4_poset.maximal_ix)
+
+    def test_every_nonroot_has_one_parent(self, medium_poset):
+        f = default_spanning_forest(medium_poset)
+        for i in range(len(medium_poset)):
+            if medium_poset.parents_ix(i):
+                assert f.parent_of(i) in medium_poset.parents_ix(i)
+            else:
+                assert f.parent_of(i) == -1
+
+    def test_wrong_length_rejected(self, diamond_poset):
+        with pytest.raises(PosetError):
+            SpanningForest(diamond_poset, [-1, 0])
+
+    def test_nonparent_rejected(self, diamond_poset):
+        p = diamond_poset
+        bad = [-1, p.index("a"), p.index("a"), p.index("a")]
+        # d's parent must be b or c, not a.
+        with pytest.raises(PosetError):
+            SpanningForest(p, bad)
+
+    def test_missing_parent_for_nonroot_rejected(self, diamond_poset):
+        p = diamond_poset
+        bad = [-1, -1, p.index("a"), p.index("b")]
+        with pytest.raises(PosetError):
+            SpanningForest(p, bad)
+
+    def test_from_edge_choice(self, fig4_poset):
+        f = SpanningForest.from_edge_choice(fig4_poset, PAPER_FIG4_SPANNING_EDGES)
+        assert f.contains_edge(fig4_poset.index("a"), fig4_poset.index("f"))
+        assert not f.contains_edge(fig4_poset.index("b"), fig4_poset.index("f"))
+
+    def test_from_edge_choice_duplicate_child_rejected(self, diamond_poset):
+        with pytest.raises(PosetError):
+            SpanningForest.from_edge_choice(
+                diamond_poset,
+                [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+            )
+
+    def test_from_edge_choice_missing_child_rejected(self, diamond_poset):
+        with pytest.raises(PosetError):
+            SpanningForest.from_edge_choice(diamond_poset, [("a", "b"), ("a", "c")])
+
+    def test_from_parent_map(self, diamond_poset):
+        f = SpanningForest.from_parent_map(
+            diamond_poset, {"b": "a", "c": "a", "d": "c"}
+        )
+        assert f.parent_of(diamond_poset.index("d")) == diamond_poset.index("c")
+
+
+class TestStructure:
+    def test_kept_plus_excluded_is_all_edges(self, fig4_poset):
+        f = default_spanning_forest(fig4_poset)
+        kept = set(
+            (fig4_poset.index(v), fig4_poset.index(w)) for v, w in f.kept_edges()
+        )
+        excluded = set(f.excluded_edges_ix())
+        all_edges = set(
+            (fig4_poset.index(v), fig4_poset.index(w)) for v, w in fig4_poset.edges()
+        )
+        assert kept | excluded == all_edges
+        assert not kept & excluded
+
+    def test_postorder_children_before_parent(self, medium_poset):
+        f = default_spanning_forest(medium_poset)
+        pos = {node: k for k, node in enumerate(f.postorder())}
+        for i in range(len(medium_poset)):
+            for child in f.children_of(i):
+                assert pos[child] < pos[i]
+
+    def test_postorder_is_permutation(self, medium_poset):
+        f = default_spanning_forest(medium_poset)
+        assert sorted(f.postorder()) == list(range(len(medium_poset)))
+
+    def test_tree_path_exists(self, diamond_poset):
+        p = diamond_poset
+        f = default_spanning_forest(p)  # keeps (a,b), (a,c), (b,d)
+        assert f.tree_path_exists(p.index("a"), p.index("d"))
+        assert f.tree_path_exists(p.index("b"), p.index("d"))
+        assert not f.tree_path_exists(p.index("c"), p.index("d"))
+        assert f.tree_path_exists(p.index("d"), p.index("d"))
+
+    def test_antichain_forest_all_roots(self):
+        p = antichain("xyz")
+        f = default_spanning_forest(p)
+        assert set(f.roots) == {0, 1, 2}
+
+    def test_chain_forest_is_chain(self):
+        p = chain("abc")
+        f = default_spanning_forest(p)
+        assert f.parent_array == (-1, 0, 1)
+
+
+class TestRandomForest:
+    def test_valid_and_deterministic(self, medium_poset):
+        f1 = random_spanning_forest(medium_poset, random.Random(9))
+        f2 = random_spanning_forest(medium_poset, random.Random(9))
+        assert f1.parent_array == f2.parent_array
+        for i in range(len(medium_poset)):
+            parents = medium_poset.parents_ix(i)
+            if parents:
+                assert f1.parent_of(i) in parents
+
+    def test_different_seeds_usually_differ(self, medium_poset):
+        f1 = random_spanning_forest(medium_poset, random.Random(1))
+        f2 = random_spanning_forest(medium_poset, random.Random(2))
+        assert f1.parent_array != f2.parent_array

@@ -1,0 +1,83 @@
+"""Tests for counters and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import (
+    AlgorithmError,
+    CyclicPosetError,
+    IndexError_,
+    PosetError,
+    ReproError,
+    SchemaError,
+    UnknownValueError,
+    WorkloadError,
+)
+
+
+class TestComparisonStats:
+    def test_snapshot_roundtrip(self):
+        s = ComparisonStats()
+        s.m_dominance_point += 3
+        s.native_set += 2
+        snap = s.snapshot()
+        assert snap["m_dominance_point"] == 3
+        assert snap["native_set"] == 2
+        s.m_dominance_point += 1
+        assert snap["m_dominance_point"] == 3  # snapshot is detached
+
+    def test_reset(self):
+        s = ComparisonStats(node_accesses=5)
+        s.reset()
+        assert s.node_accesses == 0
+
+    def test_merge(self):
+        a = ComparisonStats(heap_pushes=2)
+        b = ComparisonStats(heap_pushes=3, native_set=1)
+        a.merge(b)
+        assert a.heap_pushes == 5
+        assert a.native_set == 1
+
+    def test_total_dominance_checks(self):
+        s = ComparisonStats(m_dominance_point=1, native_set=2, native_numeric=3)
+        assert s.total_dominance_checks == 6
+
+    def test_diff(self):
+        s = ComparisonStats()
+        before = s.snapshot()
+        s.window_inserts += 4
+        assert s.diff(before)["window_inserts"] == 4
+
+    def test_str(self):
+        assert "m_dominance_point" in str(ComparisonStats())
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            PosetError,
+            CyclicPosetError,
+            UnknownValueError,
+            SchemaError,
+            IndexError_,
+            AlgorithmError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_cyclic_message(self):
+        e = CyclicPosetError(["a", "b", "a"])
+        assert "a -> b -> a" in str(e)
+        assert CyclicPosetError().cycle is None
+
+    def test_unknown_value_message(self):
+        assert "'q'" in str(UnknownValueError("q"))
+
+    def test_poset_errors_catchable_as_poset_error(self):
+        assert issubclass(CyclicPosetError, PosetError)
+        assert issubclass(UnknownValueError, PosetError)

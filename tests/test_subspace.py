@@ -1,0 +1,151 @@
+"""Tests for subspace skylines and the skycube."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import SchemaError
+from repro.posets.builder import diamond
+from repro.queries.subspace import project_dataset, skycube, subspace_skyline
+from repro.transform.dataset import TransformedDataset
+
+
+def make_dataset(seed=0, n=40):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=n, num_total=2, num_partial=1)
+    return schema, records, TransformedDataset(schema, records)
+
+
+def brute_subspace(schema, records, names):
+    wanted = set(names)
+    total_idx = [k for k, a in enumerate(schema.total_attrs) if a.name in wanted]
+    partial_idx = [k for k, a in enumerate(schema.partial_attrs) if a.name in wanted]
+    projected_schema = Schema([a for a in schema.attributes if a.name in wanted])
+    projected = [
+        Record(
+            r.rid,
+            tuple(r.totals[k] for k in total_idx),
+            tuple(r.partials[k] for k in partial_idx),
+        )
+        for r in records
+    ]
+    return brute_force_skyline(projected_schema, projected)
+
+
+class TestProjection:
+    def test_projected_schema_shape(self):
+        _, _, d = make_dataset()
+        projected = project_dataset(d, ["t0", "p0"])
+        assert projected.schema.num_total == 1
+        assert projected.schema.num_partial == 1
+        assert len(projected) == len(d)
+
+    def test_attribute_order_preserved(self):
+        _, _, d = make_dataset()
+        projected = project_dataset(d, ["p0", "t1"])  # order given differs
+        assert [a.name for a in projected.schema.attributes] == ["t1", "p0"]
+
+    def test_unknown_attribute(self):
+        _, _, d = make_dataset()
+        with pytest.raises(SchemaError):
+            project_dataset(d, ["bogus"])
+
+    def test_empty_subspace(self):
+        _, _, d = make_dataset()
+        with pytest.raises(SchemaError):
+            project_dataset(d, [])
+
+    def test_payload_preserved(self):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+        records = [Record(0, (1, 2), payload="keep me")]
+        d = TransformedDataset(schema, records)
+        projected = project_dataset(d, ["x"])
+        assert projected.records[0].payload == "keep me"
+
+
+class TestSubspaceSkyline:
+    @pytest.mark.parametrize(
+        "names", [["t0"], ["t1"], ["p0"], ["t0", "t1"], ["t0", "p0"], ["t0", "t1", "p0"]]
+    )
+    def test_matches_brute_force(self, names):
+        schema, records, d = make_dataset(seed=3)
+        got = sorted(r.rid for r in subspace_skyline(d, names))
+        assert got == brute_subspace(schema, records, names)
+
+    def test_returns_original_records(self):
+        schema, records, d = make_dataset(seed=4)
+        for r in subspace_skyline(d, ["t0"]):
+            assert r in records  # full records, not projections
+            assert len(r.totals) == 2
+
+    def test_full_subspace_is_plain_skyline(self):
+        schema, records, d = make_dataset(seed=5)
+        names = [a.name for a in schema.attributes]
+        got = sorted(r.rid for r in subspace_skyline(d, names))
+        assert got == brute_force_skyline(schema, records)
+
+    def test_index_algorithm_in_subspace(self):
+        schema, records, d = make_dataset(seed=6)
+        a = sorted(r.rid for r in subspace_skyline(d, ["t0", "p0"], "bbs+"))
+        b = sorted(r.rid for r in subspace_skyline(d, ["t0", "p0"], "bnl"))
+        assert a == b
+
+    def test_single_numeric_subspace_minimum(self):
+        schema = Schema([NumericAttribute("x"), NumericAttribute("y")])
+        records = [Record(i, (v, 10 - v)) for i, v in enumerate([3, 1, 4, 1, 5])]
+        d = TransformedDataset(schema, records)
+        got = sorted(r.rid for r in subspace_skyline(d, ["x"]))
+        assert got == [1, 3]  # both records with the minimum x
+
+
+class TestSkycube:
+    def test_all_subsets_present(self):
+        schema, _, d = make_dataset(seed=7, n=20)
+        cube = skycube(d)
+        assert len(cube) == 2 ** len(schema.attributes) - 1
+
+    def test_cube_entries_match_subspace_queries(self):
+        schema, records, d = make_dataset(seed=8, n=25)
+        cube = skycube(d)
+        for subset, rids in cube.items():
+            expected = brute_subspace(schema, records, list(subset))
+            assert sorted(rids) == expected
+
+    def test_width_guard(self):
+        schema = Schema([NumericAttribute(f"x{i}") for i in range(7)])
+        d = TransformedDataset(schema, [])
+        with pytest.raises(SchemaError):
+            skycube(d)
+        assert skycube(d, max_attributes=7) is not None
+
+    def test_subspace_skylines_cover_full_skyline(self):
+        """Every full-space skyline record appears in at least one
+        single-attribute... not guaranteed in general; instead check the
+        standard containment: the full-space skyline is a subset of the
+        union of all subspace skylines."""
+        schema, records, d = make_dataset(seed=9, n=30)
+        cube = skycube(d)
+        union = set()
+        for rids in cube.values():
+            union |= set(rids)
+        full = set(brute_force_skyline(schema, records))
+        assert full <= union
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_subspace_property(seed):
+    schema, records, dataset = make_dataset(seed=seed, n=30)
+    names = [a.name for a in schema.attributes]
+    rng = random.Random(seed)
+    size = rng.randint(1, len(names))
+    subset = rng.sample(names, size)
+    got = sorted(r.rid for r in subspace_skyline(dataset, subset))
+    assert got == brute_subspace(schema, records, subset)

@@ -1,0 +1,54 @@
+"""Unit tests for the scaling-sweep helper (outside pytest-benchmark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sweep import SweepPoint, format_sweep, run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep("fig10a", [120, 240], labels=["BNL", "SDC+"])
+
+
+class TestRunSweep:
+    def test_point_per_size(self, sweep):
+        assert [p.data_size for p in sweep] == [120, 240]
+
+    def test_labels_filtered(self, sweep):
+        assert set(sweep[0].runs) == {"BNL", "SDC+"}
+
+    def test_agreement_enforced(self, sweep):
+        for point in sweep:
+            sizes = {run.skyline_size for run in point.runs.values()}
+            assert sizes == {point.skyline_size}
+
+    def test_checks_accessor(self, sweep):
+        point = sweep[0]
+        delta = point.runs["BNL"].final_delta
+        expected = (
+            delta["m_dominance_point"] + delta["native_set"] + delta["native_numeric"]
+        )
+        assert point.checks("BNL") == expected
+
+    def test_size_factor_respected(self):
+        points = run_sweep("fig12a", [100], labels=["SDC+"])
+        assert points[0].data_size == 200  # fig12a doubles the size
+
+    def test_experiment_object_accepted(self):
+        from repro.bench.experiments import get_experiment
+
+        points = run_sweep(get_experiment("fig10a"), [100], labels=["SDC+"])
+        assert len(points) == 1
+
+
+class TestFormatSweep:
+    def test_empty(self):
+        assert format_sweep([]) == "(empty sweep)"
+
+    def test_table_contains_labels_and_sizes(self, sweep):
+        text = format_sweep(sweep)
+        assert "BNL" in text and "SDC+" in text
+        assert "120" in text and "240" in text
+        assert len(text.splitlines()) == 2 + len(sweep)

@@ -1,0 +1,276 @@
+"""Tests for the transform layer (mappings, points, datasets, strata)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_mixed_dataset, record_dominates
+from repro.core.categories import Category
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import SchemaError
+from repro.posets.builder import diamond
+from repro.transform.dataset import TransformedDataset
+from repro.transform.mapping import DomainMapping, build_mappings
+from repro.transform.stratification import stratify
+
+
+class TestDomainMapping:
+    def test_per_node_arrays_match_components(self, medium_poset):
+        attr = PosetAttribute.set_valued("p", medium_poset)
+        mapping = DomainMapping.build(attr, "default")
+        enc, cls = mapping.encoding, mapping.classification
+        for i in range(len(medium_poset)):
+            assert mapping.normalized_ix(i) == enc.normalized_ix(i)
+            assert mapping.covered_ix(i) == cls.is_completely_covered_ix(i)
+            assert mapping.covering_ix(i) == cls.is_completely_covering_ix(i)
+            assert mapping.level_ix(i) == cls.uncovered_level_ix(i)
+            assert mapping.native_set_ix(i) == attr.set_domain.set_of_ix(i)
+
+    def test_reachability_mode_has_no_sets(self, medium_poset):
+        mapping = DomainMapping.build(PosetAttribute("p", medium_poset))
+        assert mapping.native_set_ix(0) is None
+
+    def test_build_mappings_one_per_partial(self, medium_poset):
+        schema = Schema(
+            [
+                NumericAttribute("x"),
+                PosetAttribute.set_valued("p0", medium_poset),
+                PosetAttribute.set_valued("p1", diamond()),
+            ]
+        )
+        mappings = build_mappings(schema)
+        assert len(mappings) == 2
+        assert mappings[0].attribute.name == "p0"
+
+    def test_max_level(self, medium_poset):
+        mapping = DomainMapping.build(PosetAttribute("p", medium_poset))
+        assert mapping.max_level == max(
+            mapping.level_ix(i) for i in range(len(medium_poset))
+        )
+
+    def test_explicit_forest_pinning(self):
+        """``forests=`` reproduces a chosen spanning tree exactly."""
+        from repro.posets.builder import PAPER_FIG4_SPANNING_EDGES, paper_example_poset
+        from repro.posets.spanning_tree import SpanningForest
+
+        poset = paper_example_poset()
+        forest = SpanningForest.from_edge_choice(poset, PAPER_FIG4_SPANNING_EDGES)
+        schema = Schema([PosetAttribute.set_valued("rank", poset)])
+        d = TransformedDataset(schema, [], forests={"rank": forest})
+        assert d.mappings[0].forest is forest
+
+    def test_explicit_forest_wrong_poset_rejected(self):
+        from repro.posets.builder import chain
+        from repro.posets.spanning_tree import default_spanning_forest
+
+        schema = Schema([PosetAttribute.set_valued("tier", diamond())])
+        with pytest.raises(SchemaError):
+            TransformedDataset(
+                schema, [], forests={"tier": default_spanning_forest(chain("ab"))}
+            )
+
+
+class TestPointTransform:
+    def make_dataset(self):
+        schema = Schema(
+            [
+                NumericAttribute("price", "min"),
+                NumericAttribute("rating", "max"),
+                PosetAttribute.set_valued("tier", diamond()),
+            ]
+        )
+        records = [
+            Record(0, (100, 4), ("a",)),
+            Record(1, (200, 2), ("d",)),
+        ]
+        return TransformedDataset(schema, records)
+
+    def test_vector_layout(self):
+        d = self.make_dataset()
+        p = d.points[0]
+        assert len(p.vector) == 4
+        assert p.vector[0] == 100  # min attribute unchanged
+        assert p.vector[1] == -4  # max attribute negated
+
+    def test_key_is_vector_sum(self):
+        d = self.make_dataset()
+        for p in d.points:
+            assert p.key == pytest.approx(sum(p.vector))
+
+    def test_diamond_categories(self):
+        d = self.make_dataset()
+        # Default forest keeps (a,b),(a,c),(b,d): c is partially covering;
+        # d is partially covered.
+        cats = {p.record.rid: p.category for p in d.points}
+        assert cats[0] is Category.CP  # value 'a': covered, partially covering
+        assert cats[1] is Category.PC  # value 'd': partially covered, covering
+
+    def test_record_level_is_max_of_attrs(self, medium_poset):
+        schema = Schema(
+            [
+                PosetAttribute.set_valued("p0", medium_poset),
+                PosetAttribute.set_valued("p1", diamond()),
+            ]
+        )
+        d = TransformedDataset(schema, [])
+        m0, m1 = d.mappings
+        v0 = max(range(len(medium_poset)), key=m0.level_ix)
+        record = Record(0, (), (medium_poset.value(v0), "a"))
+        point = d.transform(record)
+        assert point.level == max(m0.level_ix(v0), m1.level_ix(m1.node_index("a")))
+
+    def test_invalid_record_rejected(self):
+        d = self.make_dataset()
+        with pytest.raises(SchemaError):
+            d.transform(Record(9, (1,), ("a",)))
+
+    def test_m_dominance_via_vectors_matches_definition(self):
+        """m-dominance on vectors == totals-dominance + interval
+        containment per Section 4.2."""
+        d = self.make_dataset()
+        p0, p1 = d.points
+        # a contains d in the diamond encoding, and p0 beats p1 on both
+        # numeric attributes, so p0 m-dominates p1.
+        assert d.kernel.m_dominates(p0, p1)
+        assert not d.kernel.m_dominates(p1, p0)
+
+
+class TestDataset:
+    def test_counts(self, small_dataset):
+        counts = small_dataset.category_counts()
+        assert sum(counts.values()) == len(small_dataset)
+
+    def test_index_contains_everything(self, small_dataset):
+        tree = small_dataset.index
+        assert len(tree) == len(small_dataset)
+        tree.validate()
+
+    def test_index_cached(self, small_dataset):
+        assert small_dataset.index is small_dataset.index
+
+    def test_dynamic_build(self, small_workload):
+        d = TransformedDataset(
+            small_workload.schema,
+            small_workload.records[:100],
+            bulk_load=False,
+            max_entries=8,
+        )
+        d.index.validate()
+        assert len(d.index) == 100
+
+    def test_stratification_cached(self, small_dataset):
+        assert small_dataset.stratification is small_dataset.stratification
+
+
+class TestSubsetView:
+    def test_view_shares_kernel_and_mappings(self, small_dataset):
+        view = small_dataset.subset_view(small_dataset.points[:50])
+        assert view.kernel is small_dataset.kernel
+        assert view.mappings is small_dataset.mappings
+        assert view.stats is small_dataset.stats
+        assert len(view) == 50
+
+    def test_view_builds_own_index(self, small_dataset):
+        small_dataset.index
+        view = small_dataset.subset_view(small_dataset.points[:30])
+        assert view.index is not small_dataset.index
+        assert len(view.index) == 30
+
+    def test_view_queryable(self, small_dataset, small_truth):
+        from repro.algorithms.base import get_algorithm
+
+        view = small_dataset.subset_view(list(small_dataset.points))
+        got = sorted(p.record.rid for p in get_algorithm("sdc+").run(view))
+        assert got == small_truth
+
+    def test_empty_view(self, small_dataset):
+        view = small_dataset.subset_view([])
+        assert len(view) == 0
+        assert view.stratification.num_strata == 0
+
+
+class TestStratification:
+    def test_partition_is_exact(self, small_dataset):
+        strat = stratify(small_dataset)
+        total = sum(len(s) for s in strat)
+        assert total == len(small_dataset)
+
+    def test_stratum_homogeneous(self, small_dataset):
+        for stratum in stratify(small_dataset):
+            for p in stratum.points:
+                assert p.category is stratum.category
+                if not stratum.category.completely_covered:
+                    assert p.level == stratum.level
+
+    def test_order_covered_first_then_levels(self, small_dataset):
+        strata = list(stratify(small_dataset))
+        labels = [s.label for s in strata]
+        # (c,p) before (c,c) before any partially covered stratum.
+        covered = [i for i, s in enumerate(strata) if s.category.completely_covered]
+        partial = [
+            i for i, s in enumerate(strata) if not s.category.completely_covered
+        ]
+        if covered and partial:
+            assert max(covered) < min(partial), labels
+        # Levels non-decreasing among partial strata, and (p,p) before
+        # (p,c) within one level.
+        last = (0, 0)
+        for i in partial:
+            s = strata[i]
+            key = (s.level, 0 if s.category is Category.PP else 1)
+            assert key >= last, labels
+            last = key
+
+    def test_no_later_stratum_dominates_earlier_local_skyline(self, small_dataset):
+        """The core stratification guarantee behind SDC+ (Section 4.6.1)."""
+        kernel = small_dataset.kernel
+        strata = list(stratify(small_dataset))
+        for i, stratum in enumerate(strata):
+            # Local skyline of the stratum alone.
+            local = []
+            for p in stratum.points:
+                if not any(
+                    kernel.native_dominates(q, p) for q in stratum.points if q is not p
+                ):
+                    local.append(p)
+            for later in strata[i + 1 :]:
+                for q in later.points:
+                    for p in local:
+                        assert not kernel.native_dominates(q, p)
+
+    def test_stratum_trees_hold_their_points(self, small_dataset):
+        for stratum in stratify(small_dataset):
+            assert stratum.tree.size == len(stratum)
+
+    def test_empty_strata_dropped(self, small_dataset):
+        for stratum in stratify(small_dataset):
+            assert len(stratum) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_stratification_guarantee_property(seed):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=40)
+    d = TransformedDataset(schema, records)
+    strata = list(stratify(d))
+    assert sum(len(s) for s in strata) == len(records)
+    for i, stratum in enumerate(strata):
+        for later in strata[i + 1 :]:
+            for q in later.points:
+                for p in stratum.points:
+                    # A later-stratum point may dominate an earlier-stratum
+                    # point only if that point is dominated *within* its own
+                    # stratum or earlier (i.e. not a local skyline point).
+                    if record_dominates(schema, q.record, p.record):
+                        assert any(
+                            record_dominates(schema, w.record, p.record)
+                            for j in range(i + 1)
+                            for w in strata[j].points
+                            if w is not p
+                        )

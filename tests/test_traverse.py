@@ -1,0 +1,124 @@
+"""Focused tests for the shared best-first traversal (`algorithms.bbs.traverse`)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.bbs import traverse
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.transform.dataset import TransformedDataset
+
+
+def numeric_dataset(values, max_entries=4):
+    dims = len(values[0]) if values else 2
+    schema = Schema([NumericAttribute(f"x{k}") for k in range(dims)])
+    return TransformedDataset(
+        schema,
+        [Record(i, v) for i, v in enumerate(values)],
+        max_entries=max_entries,
+    )
+
+
+def run_traverse(dataset, node_pruned=None, point_pruned=None):
+    node_pruned = node_pruned or (lambda node: False)
+    point_pruned = point_pruned or (lambda point: False)
+    return list(
+        traverse(dataset.index, dataset.stats, node_pruned, point_pruned)
+    )
+
+
+class TestOrdering:
+    def test_points_yielded_in_key_order(self):
+        rng = random.Random(0)
+        values = [(rng.randint(0, 50), rng.randint(0, 50)) for _ in range(200)]
+        d = numeric_dataset(values)
+        keys = [p.key for p in run_traverse(d)]
+        assert keys == sorted(keys)
+
+    def test_all_points_visited_without_pruning(self):
+        rng = random.Random(1)
+        values = [(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(120)]
+        d = numeric_dataset(values)
+        assert sorted(p.record.rid for p in run_traverse(d)) == list(range(120))
+
+    def test_empty_tree(self):
+        d = numeric_dataset([])
+        assert run_traverse(d) == []
+
+    def test_single_point_leaf_root(self):
+        d = numeric_dataset([(3, 4)])
+        out = run_traverse(d)
+        assert len(out) == 1 and out[0].record.rid == 0
+
+
+class TestPruning:
+    def test_point_pruned_blocks_emission(self):
+        d = numeric_dataset([(1, 1), (9, 9)])
+        out = run_traverse(d, point_pruned=lambda p: p.vector[0] > 5)
+        assert [p.record.rid for p in out] == [0]
+
+    def test_node_pruned_skips_subtrees(self):
+        rng = random.Random(2)
+        values = [(rng.randint(0, 9), rng.randint(0, 9)) for _ in range(100)]
+        values += [(100 + i, 100 + i) for i in range(100)]  # far cluster
+        d = numeric_dataset(values)
+
+        accesses_before = d.stats.node_accesses
+        out = run_traverse(d, node_pruned=lambda n: n.mins[0] >= 50)
+        pruned_accesses = d.stats.node_accesses - accesses_before
+        # Entire far-cluster subtrees are pruned; at most one boundary
+        # leaf can leak a handful of far points into the heap.
+        far_emitted = sum(1 for p in out if p.vector[0] >= 100)
+        assert far_emitted < 100 // 2
+
+        d2 = numeric_dataset(values)
+        before = d2.stats.node_accesses
+        run_traverse(d2)
+        full_accesses = d2.stats.node_accesses - before
+        assert pruned_accesses < full_accesses
+
+    def test_node_pruned_rechecked_at_pop(self):
+        """The prune callback runs again when an entry pops (Fig. 1 step 6):
+        a condition that becomes true between push and pop must still
+        prune.  We emulate a growing intermediate set with a flag flipped
+        by the first popped point."""
+        rng = random.Random(3)
+        values = [(0, 0)] + [(rng.randint(40, 50), rng.randint(40, 50)) for _ in range(80)]
+        d = numeric_dataset(values)
+        state = {"armed": False}
+
+        def node_pruned(node):
+            return state["armed"]
+
+        out = []
+        for p in traverse(d.index, d.stats, node_pruned, lambda q: False):
+            out.append(p)
+            state["armed"] = True  # after the first answer, prune the rest
+        # Only entries already sitting in the heap as points can still
+        # arrive; whole subtrees pushed but not expanded are pruned.
+        assert out[0].record.rid == 0
+        assert len(out) < len(values)
+
+    def test_access_accounting(self):
+        rng = random.Random(4)
+        values = [(rng.randint(0, 30), rng.randint(0, 30)) for _ in range(150)]
+        d = numeric_dataset(values)
+        before = d.stats.node_accesses
+        run_traverse(d)
+        accessed = d.stats.node_accesses - before
+
+        def count_nodes(node):
+            if node.leaf:
+                return 1
+            return 1 + sum(count_nodes(c) for c in node.entries)
+
+        assert accessed == count_nodes(d.index.root)
+
+    def test_heap_traffic_counted(self):
+        d = numeric_dataset([(i, i) for i in range(50)])
+        before = d.stats.snapshot()
+        run_traverse(d)
+        delta = d.stats.diff(before)
+        assert delta["heap_pushes"] == delta["heap_pops"]
+        assert delta["heap_pushes"] >= 50

@@ -1,0 +1,232 @@
+"""Tests for dynamic updates: R-tree deletion, dataset/engine churn.
+
+The paper's Section 6 defers "efficient methods to update the domain
+mappings and indexes when the data points are modified" to future work;
+these tests cover the record-level half implemented here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.algorithms.base import get_algorithm
+from repro.core.categories import Category
+from repro.core.record import Record
+from repro.engine import SkylineEngine
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.rstar import RStarTree
+from repro.transform.dataset import TransformedDataset
+from test_rtree import make_point, random_points
+
+
+class TestRTreeDelete:
+    def test_delete_existing(self):
+        rng = random.Random(0)
+        pts = random_points(100, 2, rng)
+        tree = RStarTree(2, max_entries=6)
+        tree.extend(pts)
+        assert tree.delete(pts[37])
+        tree.validate()
+        assert len(tree) == 99
+        assert all(p is not pts[37] for p in tree.points())
+
+    def test_delete_missing_returns_false(self):
+        rng = random.Random(1)
+        pts = random_points(20, 2, rng)
+        tree = RStarTree(2, max_entries=6)
+        tree.extend(pts)
+        stranger = make_point([1.0, 2.0], rid="ghost")
+        assert not tree.delete(stranger)
+        assert len(tree) == 20
+
+    def test_delete_duplicate_vector_by_identity(self):
+        a = make_point([5.0, 5.0], rid="a")
+        b = make_point([5.0, 5.0], rid="b")
+        tree = RStarTree(2, max_entries=4)
+        tree.insert(a)
+        tree.insert(b)
+        assert tree.delete(a)
+        remaining = list(tree.points())
+        assert len(remaining) == 1 and remaining[0] is b
+
+    def test_delete_everything(self):
+        rng = random.Random(2)
+        pts = random_points(60, 2, rng)
+        tree = RStarTree(2, max_entries=5)
+        tree.extend(pts)
+        rng.shuffle(pts)
+        for p in pts:
+            assert tree.delete(p)
+        assert len(tree) == 0
+        tree.validate()
+        tree.insert(make_point([0.0, 0.0]))  # still usable afterwards
+        assert len(tree) == 1
+
+    def test_root_shrinks(self):
+        rng = random.Random(3)
+        pts = random_points(300, 2, rng)
+        tree = RStarTree(2, max_entries=5)
+        tree.extend(pts)
+        tall = tree.height
+        for p in pts[:280]:
+            tree.delete(p)
+        tree.validate()
+        assert tree.height < tall
+        assert len(tree) == 20
+
+    def test_delete_from_bulk_loaded(self):
+        rng = random.Random(4)
+        pts = random_points(200, 3, rng)
+        tree = str_bulk_load(pts, 3, max_entries=10)
+        for p in pts[:50]:
+            assert tree.delete(p)
+        assert len(tree) == 150
+        assert sorted(p.rid for p in tree.points()) == sorted(
+            p.rid for p in pts[50:]
+        )
+
+    def test_search_consistent_after_churn(self):
+        rng = random.Random(5)
+        pts = random_points(150, 2, rng)
+        tree = RStarTree(2, max_entries=6)
+        tree.extend(pts)
+        alive = list(pts)
+        for _ in range(60):
+            victim = alive.pop(rng.randrange(len(alive)))
+            tree.delete(victim)
+        fresh = random_points(40, 2, random.Random(6))
+        for p in fresh:
+            tree.insert(p)
+            alive.append(p)
+        tree.validate()
+        got = sorted(p.rid for p in tree.search((0.0, 0.0), (100.0, 100.0)))
+        expected = sorted(p.rid for p in alive)
+        assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(5, 80), deletions=st.integers(1, 40))
+def test_rtree_churn_property(seed, n, deletions):
+    rng = random.Random(seed)
+    pts = random_points(n, 2, rng, categories=list(Category))
+    tree = RStarTree(2, max_entries=5)
+    tree.extend(pts)
+    alive = list(pts)
+    for _ in range(min(deletions, n - 1)):
+        victim = alive.pop(rng.randrange(len(alive)))
+        assert tree.delete(victim)
+        tree.validate()
+    assert sorted(p.rid for p in tree.points()) == sorted(p.rid for p in alive)
+
+
+class TestDatasetUpdates:
+    def make(self, seed=0, n=50):
+        rng = random.Random(seed)
+        schema, records = random_mixed_dataset(rng, n=n)
+        return schema, records, TransformedDataset(schema, records)
+
+    def test_insert_updates_skyline(self):
+        schema, records, d = self.make()
+        d.index
+        d.stratification
+        extra = Record(999, records[0].totals, records[0].partials)
+        d.insert_record(extra)
+        expected = brute_force_skyline(schema, records + [extra])
+        for name in ("bbs+", "sdc", "sdc+"):
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == expected, name
+
+    def test_delete_updates_skyline(self):
+        schema, records, d = self.make(seed=1)
+        d.index
+        d.stratification
+        truth = brute_force_skyline(schema, records)
+        victim = truth[0]  # remove a skyline record: answers must change
+        assert d.delete_record(victim)
+        expected = brute_force_skyline(
+            schema, [r for r in records if r.rid != victim]
+        )
+        for name in ("bbs+", "sdc", "sdc+"):
+            got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+            assert got == expected, name
+
+    def test_delete_missing(self):
+        _, _, d = self.make(seed=2)
+        assert not d.delete_record("no-such-rid")
+
+    def test_insert_before_index_built(self):
+        schema, records, d = self.make(seed=3)
+        extra = Record(1000, records[0].totals, records[0].partials)
+        d.insert_record(extra)
+        assert len(d.index) == len(records) + 1
+
+    def test_stratification_rebuild_on_new_stratum(self):
+        """Deleting a whole stratum then inserting a point of that kind
+        must still produce correct answers (rebuild path)."""
+        schema, records, d = self.make(seed=4)
+        strat = d.stratification
+        target = strat.strata[-1]
+        doomed = [p.record.rid for p in list(target.points)]
+        survivors = [r for r in records if r.rid not in set(doomed)]
+        resurrect = [r for r in records if r.rid in set(doomed)][0]
+        for rid in doomed:
+            d.delete_record(rid)
+        revived = Record("back", resurrect.totals, resurrect.partials)
+        d.insert_record(revived)
+        expected = brute_force_skyline(schema, survivors + [revived])
+        got = sorted(p.record.rid for p in get_algorithm("sdc+").run(d))
+        assert got == expected
+
+    def test_invalidate_rebuilds(self):
+        _, _, d = self.make(seed=5)
+        tree = d.index
+        d.invalidate()
+        assert d.index is not tree
+
+
+class TestEngineUpdates:
+    def test_engine_churn_end_to_end(self):
+        rng = random.Random(7)
+        schema, records = random_mixed_dataset(rng, n=60)
+        engine = SkylineEngine(schema, records)
+        engine.skyline("sdc+")  # force structures
+        engine.delete(records[0].rid)
+        engine.insert(Record("new", records[1].totals, records[1].partials))
+        current = [r for r in records[1:]] + [
+            Record("new", records[1].totals, records[1].partials)
+        ]
+        expected = brute_force_skyline(schema, current)
+        assert sorted(r.rid for r in engine.skyline("sdc+")) == expected
+        assert sorted(r.rid for r in engine.skyline("bnl")) == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dataset_churn_property(seed):
+    rng = random.Random(seed)
+    schema, raw = random_mixed_dataset(rng, n=40)
+    records = [Record(f"r{r.rid}", r.totals, r.partials) for r in raw]
+    d = TransformedDataset(schema, records)
+    d.index
+    d.stratification
+    alive = {r.rid: r for r in records}
+    for step in range(12):
+        if alive and rng.random() < 0.5:
+            rid = rng.choice(list(alive))
+            assert d.delete_record(rid)
+            del alive[rid]
+        else:
+            template = records[rng.randrange(len(records))]
+            rid = f"new-{seed}-{step}"
+            record = Record(rid, template.totals, template.partials)
+            d.insert_record(record)
+            alive[rid] = record
+    expected = brute_force_skyline(schema, list(alive.values()))
+    for name in ("bbs+", "sdc+"):
+        got = sorted(p.record.rid for p in get_algorithm(name).run(d))
+        assert got == expected, name

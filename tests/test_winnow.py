@@ -1,0 +1,132 @@
+"""Tests for the winnow operator (arbitrary-preference best matches)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, Schema
+from repro.exceptions import AlgorithmError
+from repro.queries.winnow import (
+    check_preference,
+    lexicographic_preference,
+    pareto_preference,
+    winnow,
+)
+
+
+def numeric_schema(dims=2):
+    return Schema([NumericAttribute(f"x{k}") for k in range(dims)])
+
+
+class TestWinnowCore:
+    def test_skyline_as_winnow(self):
+        rng = random.Random(1)
+        schema, records = random_mixed_dataset(rng, n=50)
+        got = sorted(r.rid for r in winnow(records, pareto_preference(schema)))
+        assert got == brute_force_skyline(schema, records)
+
+    def test_empty(self):
+        schema = numeric_schema()
+        assert winnow([], pareto_preference(schema)) == []
+
+    def test_input_order_preserved(self):
+        schema = numeric_schema()
+        records = [Record(i, (v, 10 - v)) for i, v in enumerate([5, 1, 9, 3])]
+        answers = winnow(records, pareto_preference(schema))
+        assert [r.rid for r in answers] == [0, 1, 2, 3]  # all incomparable
+
+    def test_total_preference_leaves_one_equivalence_class(self):
+        schema = numeric_schema(1)
+        records = [Record(i, (v,)) for i, v in enumerate([4, 2, 7, 2])]
+        prefers = lexicographic_preference(schema, ["x0"])
+        answers = winnow(records, prefers)
+        assert sorted(r.rid for r in answers) == [1, 3]  # the tied minima
+
+    def test_custom_business_preference(self):
+        schema = numeric_schema()
+        records = [Record(i, (i, 0)) for i in range(6)]
+
+        def prefers(a, b):  # strictly smaller even beats strictly larger even
+            ax, bx = a.totals[0], b.totals[0]
+            return ax % 2 == 0 and bx % 2 == 0 and ax < bx
+
+        answers = winnow(records, prefers)
+        # Odd records are incomparable islands; even records reduce to 0.
+        assert sorted(r.rid for r in answers) == [0, 1, 3, 5]
+
+
+class TestLexicographic:
+    def test_tie_broken_by_second_attribute(self):
+        schema = numeric_schema()
+        records = [Record(0, (1, 9)), Record(1, (1, 2)), Record(2, (2, 0))]
+        prefers = lexicographic_preference(schema, ["x0", "x1"])
+        answers = winnow(records, prefers)
+        assert [r.rid for r in answers] == [1]
+
+    def test_max_direction_respected(self):
+        schema = Schema([NumericAttribute("score", "max")])
+        records = [Record(0, (10,)), Record(1, (50,)), Record(2, (30,))]
+        prefers = lexicographic_preference(schema, ["score"])
+        assert [r.rid for r in winnow(records, prefers)] == [1]
+
+    def test_rejects_poset_attribute(self):
+        rng = random.Random(2)
+        schema, _ = random_mixed_dataset(rng, n=1)
+        with pytest.raises(AlgorithmError):
+            lexicographic_preference(schema, ["p0"])
+
+
+class TestValidation:
+    def test_reflexive_preference_caught(self):
+        records = [Record(0, (1,))]
+        with pytest.raises(AlgorithmError):
+            check_preference(records, lambda a, b: True)
+
+    def test_symmetric_preference_caught(self):
+        records = [Record(0, (1,)), Record(1, (2,))]
+
+        def prefers(a, b):
+            return a is not b  # symmetric: both directions true
+
+        with pytest.raises(AlgorithmError):
+            check_preference(records, prefers)
+
+    def test_intransitive_preference_caught(self):
+        # rock-paper-scissors on rid mod 3
+        records = [Record(i, (i,)) for i in range(3)]
+
+        def prefers(a, b):
+            return (a.rid - b.rid) % 3 == 1
+
+        with pytest.raises(AlgorithmError):
+            check_preference(records, prefers, sample_size=9)
+
+    def test_valid_preference_passes(self):
+        schema = numeric_schema()
+        rng = random.Random(3)
+        records = [Record(i, (rng.randint(0, 9), rng.randint(0, 9))) for i in range(20)]
+        check_preference(records, pareto_preference(schema))
+        winnow(records, pareto_preference(schema), validate=True)
+
+    def test_empty_records_skip_validation(self):
+        check_preference([], lambda a, b: True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_winnow_matches_quadratic_definition(seed):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=35)
+    prefers = pareto_preference(schema)
+    expected = sorted(
+        r.rid
+        for r in records
+        if not any(prefers(o, r) for o in records if o is not r)
+    )
+    assert sorted(r.rid for r in winnow(records, prefers)) == expected

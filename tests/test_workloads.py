@@ -1,0 +1,145 @@
+"""Tests for workload generation (numeric families, configs, datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+from repro.workloads.numeric import (
+    anti_correlated,
+    correlated,
+    independent,
+    numeric_columns,
+)
+
+
+class TestNumericFamilies:
+    def test_domain_bounds(self):
+        for maker in (independent, correlated, anti_correlated):
+            data = maker(2000, 3, seed=1)
+            assert data.min() >= 1
+            assert data.max() <= 1000
+            assert data.dtype == np.int64
+
+    def test_shapes(self):
+        assert independent(10, 4).shape == (10, 4)
+        assert correlated(0, 2).shape == (0, 2)
+        assert anti_correlated(5, 0).shape == (5, 0)
+
+    def test_deterministic(self):
+        assert (independent(50, 2, seed=3) == independent(50, 2, seed=3)).all()
+        assert (anti_correlated(50, 2, seed=3) == anti_correlated(50, 2, seed=3)).all()
+
+    def test_independent_roughly_uncorrelated(self):
+        data = independent(5000, 2, seed=2).astype(float)
+        corr = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_correlated_positive(self):
+        data = correlated(5000, 2, seed=2).astype(float)
+        corr = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert corr > 0.7
+
+    def test_anti_correlated_negative(self):
+        data = anti_correlated(5000, 2, seed=2).astype(float)
+        corr = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert corr < -0.5
+
+    def test_anti_correlated_bigger_skyline_than_independent(self):
+        """The well-known effect the paper leans on in Fig. 12(b)."""
+        from conftest import brute_force_skyline
+        from repro.core.record import Record
+        from repro.core.schema import NumericAttribute, Schema
+
+        schema = Schema([NumericAttribute("a"), NumericAttribute("b")])
+        ind = independent(400, 2, seed=5)
+        ant = anti_correlated(400, 2, seed=5)
+        sky_ind = brute_force_skyline(
+            schema, [Record(i, tuple(map(int, row))) for i, row in enumerate(ind)]
+        )
+        sky_ant = brute_force_skyline(
+            schema, [Record(i, tuple(map(int, row))) for i, row in enumerate(ant)]
+        )
+        assert len(sky_ant) > len(sky_ind)
+
+    def test_dispatch(self):
+        assert numeric_columns("independent", 5, 2).shape == (5, 2)
+        assert numeric_columns("anti-correlated", 5, 2).shape == (5, 2)
+        assert numeric_columns("ANTICORRELATED", 5, 2).shape == (5, 2)
+        assert numeric_columns("correlated", 5, 2).shape == (5, 2)
+        with pytest.raises(WorkloadError):
+            numeric_columns("diagonal", 5, 2)
+
+    def test_negative_args(self):
+        with pytest.raises(WorkloadError):
+            independent(-1, 2)
+        with pytest.raises(WorkloadError):
+            independent(1, -2)
+
+
+class TestWorkloadConfig:
+    def test_default_matches_table_1(self):
+        cfg = WorkloadConfig()
+        assert cfg.num_total == 2
+        assert cfg.num_partial == 1
+        assert cfg.correlation == "independent"
+        assert cfg.data_size == 500_000
+        assert cfg.poset.num_nodes == 450
+        assert cfg.poset.height == 6
+
+    def test_variants(self):
+        assert WorkloadConfig.more_set_valued().num_partial == 2
+        assert WorkloadConfig.more_numeric().num_total == 4
+        assert WorkloadConfig.large_poset().poset.num_nodes == 1000
+        assert WorkloadConfig.tall_poset().poset.height == 13
+        assert WorkloadConfig.large_dataset().data_size == 1_000_000
+        assert WorkloadConfig.anti_correlated().correlation == "anti-correlated"
+
+    def test_scaled(self):
+        assert WorkloadConfig.default().scaled(1234).data_size == 1234
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(num_total=0, num_partial=0).validate()
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(data_size=-1).validate()
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(num_total=-1).validate()
+
+
+class TestGenerateWorkload:
+    def test_shapes_and_domains(self):
+        cfg = WorkloadConfig.default(data_size=200).scaled(200)
+        wl = generate_workload(cfg)
+        assert len(wl) == 200
+        assert wl.schema.num_total == 2
+        assert wl.schema.num_partial == 1
+        for r in wl.records[:20]:
+            assert len(r.totals) == 2
+            assert all(1 <= v <= 1000 for v in r.totals)
+            assert r.partials[0] in wl.schema.partial_attrs[0].poset
+
+    def test_distinct_posets_per_attribute(self):
+        cfg = WorkloadConfig.more_set_valued(data_size=50).scaled(50)
+        wl = generate_workload(cfg)
+        p0 = wl.schema.partial_attrs[0].poset
+        p1 = wl.schema.partial_attrs[1].poset
+        assert p0 is not p1
+        assert p0 != p1
+
+    def test_deterministic(self):
+        cfg = WorkloadConfig.default(data_size=100)
+        a = generate_workload(cfg)
+        b = generate_workload(cfg)
+        assert a.records == b.records
+
+    def test_zero_records(self):
+        wl = generate_workload(WorkloadConfig.default(data_size=0))
+        assert len(wl) == 0
+
+    def test_rid_is_row_number(self):
+        wl = generate_workload(WorkloadConfig.default(data_size=10))
+        assert [r.rid for r in wl.records] == list(range(10))
