@@ -1,0 +1,118 @@
+"""Python vs numpy dominance-backend benchmark (``kernel=`` option).
+
+Two tiers over the Fig. 12(a) lineup (BNL, BNL+, BBS+, SDC, SDC+):
+
+* **Smoke** (always on, CI): ~1K records.  Asserts exact parity of
+  answer sequences and counter bundles and that the numpy backend's
+  lineup-aggregate wall clock is no slower than the python backend's.
+* **Full** (``REPRO_BENCH_KERNEL_FULL=1``): the fig12a large-dataset
+  configuration (``REPRO_BENCH_KERNEL_N`` pre-scaling, default 50000 --
+  doubled to 100K records by the experiment's ``size_factor=2``, the
+  same doubling the paper applies to reach 1M).  Asserts the >=3x
+  aggregate speedup documented in ``docs/performance.md``.
+
+Both tiers record their measurements in
+``benchmarks/results/kernel_backends.json`` (each tier updates its own
+section, preserving the other's committed numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.bench.experiments import get_experiment
+from repro.bench.harness import run_progressive
+from repro.transform.dataset import TransformedDataset
+from repro.workloads.generator import generate_workload
+
+EXPERIMENT_ID = "fig12a"
+LINEUP = ("bnl", "bnl+", "bbs+", "sdc", "sdc+")
+RESULT_PATH = RESULTS_DIR / "kernel_backends.json"
+
+
+def measure_lineup(data_size: int, rounds: int) -> dict:
+    """Best-of-``rounds`` lineup timings for both backends, with parity.
+
+    Timings exclude workload generation and offline structure builds
+    (indexes, strata trees, the batch kernel's relation memo), matching
+    the paper's offline-index convention.
+    """
+    experiment = get_experiment(EXPERIMENT_ID)
+    workload = generate_workload(experiment.config(data_size))
+    section: dict = {
+        "experiment": EXPERIMENT_ID,
+        "records": len(workload.records),
+        "rounds": rounds,
+        "algorithms": {},
+    }
+    totals = {"python": 0.0, "numpy": 0.0}
+    for name in LINEUP:
+        row: dict = {}
+        observed = {}
+        for kernel in ("python", "numpy"):
+            dataset = TransformedDataset(
+                workload.schema, workload.records, kernel=kernel
+            )
+            runs = [run_progressive(dataset, name) for _ in range(rounds)]
+            best = min(run.total_elapsed for run in runs)
+            observed[kernel] = (
+                [p.record.rid for p in runs[0].points],
+                runs[0].final_delta,
+            )
+            row[f"{kernel}_s"] = round(best, 4)
+            totals[kernel] += best
+        assert observed["numpy"][0] == observed["python"][0], (
+            f"{name}: backends disagree on the answer sequence"
+        )
+        assert observed["numpy"][1] == observed["python"][1], (
+            f"{name}: backends disagree on comparison counters"
+        )
+        row["answers"] = len(observed["python"][0])
+        row["speedup"] = round(row["python_s"] / row["numpy_s"], 2)
+        section["algorithms"][name] = row
+    section["python_s"] = round(totals["python"], 4)
+    section["numpy_s"] = round(totals["numpy"], 4)
+    section["aggregate_speedup"] = round(totals["python"] / totals["numpy"], 2)
+    return section
+
+
+def record(key: str, section: dict) -> None:
+    """Merge one tier's measurements into the committed results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if RESULT_PATH.exists():
+        data = json.loads(RESULT_PATH.read_text())
+    data[key] = section
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_smoke_numpy_not_slower():
+    size = int(os.environ.get("REPRO_BENCH_KERNEL_N", "500"))
+    section = measure_lineup(size, rounds=2)
+    record("smoke", section)
+    print()
+    print(json.dumps(section, indent=2))
+    assert section["aggregate_speedup"] >= 1.0, (
+        "numpy backend slower than python on the lineup aggregate: "
+        f"{section['aggregate_speedup']}x"
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_KERNEL_FULL"),
+    reason="full fig12a kernel benchmark (set REPRO_BENCH_KERNEL_FULL=1)",
+)
+def test_full_fig12a_speedup():
+    size = int(os.environ.get("REPRO_BENCH_KERNEL_N", "50000"))
+    section = measure_lineup(size, rounds=3)
+    record("fig12a", section)
+    print()
+    print(json.dumps(section, indent=2))
+    assert section["aggregate_speedup"] >= 3.0, (
+        "fig12a large-dataset aggregate speedup regressed below 3x: "
+        f"{section['aggregate_speedup']}x"
+    )

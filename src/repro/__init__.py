@@ -30,6 +30,7 @@ Quick start::
     answers = skyline(hotels, schema, algorithm="sdc+")
 """
 
+from repro.core.batch import BatchDominanceKernel
 from repro.core.categories import Category
 from repro.core.record import Record
 from repro.core.schema import AttributeKind, NumericAttribute, PosetAttribute, Schema
@@ -60,6 +61,7 @@ __all__ = [
     "NumericAttribute",
     "PosetAttribute",
     "ComparisonStats",
+    "BatchDominanceKernel",
     "SkylineEngine",
     "skyline",
     "Poset",

@@ -91,6 +91,19 @@ class BranchAndBoundSkyline(SkylineAlgorithm):
             )
         kernel = dataset.kernel
         stats = dataset.stats
+        if getattr(kernel, "is_batch", False):
+            skyline_buf = kernel.new_buffer()
+            for e in traverse(
+                dataset.index,
+                stats,
+                lambda node: skyline_buf.prunes_mins(node.mins, node.min_key),
+                skyline_buf.prunes_point,
+            ):
+                if skyline_buf.prunes_point(e):
+                    continue
+                skyline_buf.append(e)
+                yield e
+            return
         # Points are popped in ascending key order, so `skyline` stays
         # key-sorted; a dominator's key is strictly below its target's
         # (sum of a Pareto-smaller vector), so scans stop at the bound.

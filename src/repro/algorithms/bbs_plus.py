@@ -37,6 +37,19 @@ class BBSPlus(SkylineAlgorithm):
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
         stats = dataset.stats
+        if getattr(kernel, "is_batch", False):
+            skyline_buf = kernel.new_buffer()
+            for e in traverse(
+                dataset.index,
+                stats,
+                lambda node: skyline_buf.prunes_mins(node.mins, node.min_key),
+                skyline_buf.prunes_point,
+            ):
+                dominated, _victims = skyline_buf.update_native(e)
+                if not dominated:
+                    skyline_buf.append(e)
+            yield from skyline_buf.points
+            return
         # Kept key-sorted (ascending pop order, order-preserving deletes)
         # so m-dominance pruning scans can stop at the key bound; the
         # native UpdateSkylines comparisons cannot (native-only dominance

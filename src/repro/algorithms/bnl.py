@@ -128,6 +128,13 @@ class BlockNestedLoops(SkylineAlgorithm):
 
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
+        if getattr(kernel, "is_batch", False):
+            from repro.core.batch import batch_bnl_passes
+
+            yield from batch_bnl_passes(
+                dataset.points, kernel, "native", self.window_size, dataset.stats
+            )
+            return
         yield from bnl_passes(
             dataset.points, kernel.native_dominates, self.window_size, dataset.stats
         )

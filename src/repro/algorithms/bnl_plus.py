@@ -40,6 +40,18 @@ class BlockNestedLoopsPlus(SkylineAlgorithm):
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
         stats = dataset.stats
+        if getattr(kernel, "is_batch", False):
+            from repro.core.batch import batch_bnl_passes
+
+            candidates = list(
+                batch_bnl_passes(
+                    dataset.points, kernel, "m", self.window_size, stats
+                )
+            )
+            yield from batch_bnl_passes(
+                candidates, kernel, "native", self.window_size, stats
+            )
+            return
         candidates = list(
             bnl_passes(dataset.points, kernel.m_dominates, self.window_size, stats)
         )

@@ -105,6 +105,12 @@ class SDC(SkylineAlgorithm):
                 check = set(_ALL_CATEGORIES)
             check_order[cat] = ordered_categories(frozenset(check))
 
+        if getattr(kernel, "is_batch", False):
+            yield from self._run_batch(
+                dataset, kernel, stats, point_order, check_order, prune_order
+            )
+            return
+
         # The category buckets stay key-sorted: points arrive in ascending
         # key order and deletions preserve order, so m-dominance scans can
         # stop once keys reach the probe's bound (a dominator's vector sum
@@ -159,6 +165,59 @@ class SDC(SkylineAlgorithm):
                         del bucket[i]  # order-preserving: buckets stay key-sorted
                         continue
                     i += 1
+                if dominated:
+                    break
+            if dominated:
+                continue
+            S[cat].append(e)
+            if self.progressive_output and cat.completely_covered:
+                emitted.add(id(e))
+                yield e
+
+        for cat in Category:
+            for p in S[cat]:
+                if id(p) not in emitted:
+                    yield p
+
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self, dataset, kernel, stats, point_order, check_order, prune_order
+    ) -> Iterator[Point]:
+        """Same control flow over vectorized per-category buffers."""
+        S = {cat: kernel.new_buffer() for cat in Category}
+        emitted: set[int] = set()
+
+        def node_pruned(node: Node) -> bool:
+            if self.restrict_categories:
+                possible = node.possible_categories()
+                cats = prune_order.get(possible)
+                if cats is None:
+                    cats = ordered_categories(dominators_of_set(possible))
+                    prune_order[possible] = cats
+            else:
+                cats = point_order[Category.PC]  # all categories, ordered
+            mins = node.mins
+            bound = node.min_key
+            return any(S[cat].prunes_mins(mins, bound) for cat in cats)
+
+        def point_pruned(point: Point) -> bool:
+            return any(
+                S[cat].prunes_point(point) for cat in point_order[point.category]
+            )
+
+        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+            cat = e.category
+            dominated = False
+            for scat in check_order[cat]:
+                bucket = S[scat]
+                if self.optimize_comparisons:
+                    dominated, victims = bucket.update_compare(e)
+                else:
+                    dominated, victims = bucket.update_native(e, count_calls=True)
+                if any(id(v) in emitted for v in victims):
+                    raise AlgorithmError(
+                        "SDC invariant violated: emitted point displaced"
+                    )
                 if dominated:
                     break
             if dominated:

@@ -50,6 +50,9 @@ class SDCPlus(SkylineAlgorithm):
         kernel = dataset.kernel
         stats = dataset.stats
         stratification = dataset.stratification
+        if getattr(kernel, "is_batch", False):
+            yield from self._run_batch(dataset, kernel, stats, stratification)
+            return
         S: dict[Category, list[Point]] = {cat: [] for cat in Category}
 
         for stratum in stratification:
@@ -145,3 +148,52 @@ class SDCPlus(SkylineAlgorithm):
                 S[cat] = merged
             else:
                 bucket.extend(L)
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, dataset, kernel, stats, stratification) -> Iterator[Point]:
+        """Same per-stratum control flow over vectorized buffers."""
+        S = {cat: kernel.new_buffer() for cat in Category}
+
+        for stratum in stratification:
+            cat = stratum.category
+            covered = cat.completely_covered
+            prune_cats = ordered_categories(dominators_of(cat))
+            check_cats = tuple(
+                scat
+                for scat in prune_cats
+                if not (self.faithful_category_exclusion and scat is cat)
+            )
+            L = kernel.new_buffer()
+
+            def node_pruned(node: Node) -> bool:
+                mins = node.mins
+                bound = node.min_key
+                if L.prunes_mins(mins, bound):
+                    return True
+                return any(S[scat].prunes_mins(mins, bound) for scat in prune_cats)
+
+            def point_pruned(point: Point) -> bool:
+                if L.prunes_point(point):
+                    return True
+                return any(S[scat].prunes_point(point) for scat in prune_cats)
+
+            for e in traverse(stratum.tree, stats, node_pruned, point_pruned):
+                # UpdateSkylines(e, S, L) -- Fig. 7.
+                dominated, victims = L.update_compare(e)
+                if victims and covered:
+                    raise AlgorithmError(
+                        "SDC+ invariant violated: covered-stratum "
+                        "point displaced after emission"
+                    )
+                if dominated:
+                    continue
+                if any(S[scat].scan_compare(e) for scat in check_cats):
+                    continue
+                L.append(e)
+                if covered:
+                    # Lemma 4.3: definite immediately.
+                    yield e
+
+            if not covered:
+                yield from L.points
+            S[cat].absorb(L)

@@ -39,6 +39,22 @@ class SortFilterSkyline(SkylineAlgorithm):
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
         ordered = sorted(dataset.points, key=lambda p: p.key)
+        if getattr(kernel, "is_batch", False):
+            from repro.core.batch import batch_bnl_passes
+
+            window = kernel.new_buffer()
+            for r in ordered:
+                if not window.filters(r):
+                    window.append(r)
+                    dataset.stats.window_inserts += 1
+            candidates = window.points
+            if dataset.schema.is_totally_ordered:
+                yield from candidates
+                return
+            yield from batch_bnl_passes(
+                candidates, kernel, "native", self.window_size, dataset.stats
+            )
+            return
         candidates: list[Point] = []
         for r in ordered:
             if not any(kernel.m_dominates(w, r) for w in candidates):

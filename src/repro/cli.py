@@ -12,6 +12,9 @@ Commands
     Answer a skyline query over a saved workload.
 ``experiment``
     Run one of the paper's experiments and print its figure tables.
+``bench-kernels``
+    Side-by-side ``explain()`` of the python vs numpy dominance
+    backends on a generated workload.
 """
 
 from __future__ import annotations
@@ -68,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--limit", type=int, default=20, help="answers to print (0 = all)")
     query.add_argument("--stats", action="store_true", help="print comparison counters")
+    query.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -104,6 +113,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="default",
         choices=["default", "random", "minpc", "maxpc"],
     )
+    exp2.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
+
+    bk = sub.add_parser(
+        "bench-kernels",
+        help="compare the python and numpy dominance backends side by side",
+    )
+    bk.add_argument("--size", type=int, default=1000, help="records to generate")
+    bk.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+"],
+        choices=sorted(available_algorithms()),
+        help="algorithms to time",
+    )
+    bk.add_argument("--seed", type=int, default=7, help="workload seed")
     return parser
 
 
@@ -166,7 +195,9 @@ def _cmd_generate(args) -> int:
 
 def _cmd_query(args) -> int:
     schema, records = load_workload(args.workload)
-    engine = SkylineEngine(schema, records, strategy=args.strategy)
+    engine = SkylineEngine(
+        schema, records, strategy=args.strategy, kernel=args.kernel
+    )
     start = time.perf_counter()
     answers = engine.skyline(args.algorithm)
     elapsed = time.perf_counter() - start
@@ -246,10 +277,55 @@ def _cmd_explain(args) -> int:
     import json
 
     schema, records = load_workload(args.workload)
-    engine = SkylineEngine(schema, records, strategy=args.strategy)
+    engine = SkylineEngine(
+        schema, records, strategy=args.strategy, kernel=args.kernel
+    )
     print(json.dumps(engine.describe(), indent=2))
     print(json.dumps(engine.explain(args.algorithm), indent=2))
     return 0
+
+
+def _cmd_bench_kernels(args) -> int:
+    from repro.bench.harness import run_progressive
+    from repro.transform.dataset import TransformedDataset
+
+    config = WorkloadConfig.default(data_size=args.size, seed=args.seed)
+    workload = generate_workload(config)
+    print(
+        f"workload: {len(workload.records)} records, "
+        f"{workload.schema.num_total} numeric + "
+        f"{workload.schema.num_partial} poset attrs"
+    )
+    header = (
+        f"{'algorithm':<10} {'python (s)':>12} {'numpy (s)':>12} "
+        f"{'speedup':>9}  {'answers':>7}  parity"
+    )
+    print(header)
+    print("-" * len(header))
+    exit_code = 0
+    for name in args.algorithms:
+        results = {}
+        for kernel in ("python", "numpy"):
+            dataset = TransformedDataset(
+                workload.schema, workload.records, kernel=kernel
+            )
+            run = run_progressive(dataset, name)
+            results[kernel] = (
+                run.total_elapsed,
+                [p.record.rid for p in run.points],
+                run.final_delta,
+            )
+        py_s, py_rids, py_counters = results["python"]
+        np_s, np_rids, np_counters = results["numpy"]
+        parity = py_rids == np_rids and py_counters == np_counters
+        if not parity:
+            exit_code = 1
+        speedup = py_s / np_s if np_s > 0 else float("inf")
+        print(
+            f"{name:<10} {py_s:>12.4f} {np_s:>12.4f} {speedup:>8.2f}x "
+            f"{len(py_rids):>8}  {'ok' if parity else 'MISMATCH'}"
+        )
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -265,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
         "layers": _cmd_layers,
         "subspace": _cmd_subspace,
         "explain": _cmd_explain,
+        "bench-kernels": _cmd_bench_kernels,
     }
     try:
         return handlers[args.command](args)

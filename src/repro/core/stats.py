@@ -80,6 +80,11 @@ class ComparisonStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def __iadd__(self, other: "ComparisonStats") -> "ComparisonStats":
+        """``stats += other`` -- combine per-stratum/per-kernel bundles."""
+        self.merge(other)
+        return self
+
     @property
     def total_dominance_checks(self) -> int:
         """All point-level dominance work (m-dominance plus native)."""

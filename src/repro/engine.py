@@ -44,6 +44,10 @@ class SkylineEngine:
         ``maxpc``) applied to every poset attribute.
     stats:
         Optional shared counter bundle.
+    kernel:
+        Dominance backend, ``"python"`` or ``"numpy"`` (vectorized; see
+        ``docs/performance.md``).  Answers, emission order and counters
+        are identical.
     max_entries, bulk_load, faithful_gate, rng:
         Forwarded to :class:`~repro.transform.dataset.TransformedDataset`.
     """
@@ -60,6 +64,7 @@ class SkylineEngine:
         native_mode: str = "native",
         rng: random.Random | None = None,
         forests: dict | None = None,
+        kernel: str = "python",
     ) -> None:
         self.dataset = TransformedDataset(
             schema,
@@ -72,6 +77,7 @@ class SkylineEngine:
             native_mode=native_mode,
             rng=rng,
             forests=forests,
+            kernel=kernel,
         )
 
     @property
@@ -181,6 +187,7 @@ class SkylineEngine:
             },
             "strategy": dataset.strategy.value,
             "native_mode": dataset.native_mode,
+            "kernel": dataset.kernel_name,
             "categories": {
                 str(cat): count for cat, count in dataset.category_counts().items()
             },
@@ -226,8 +233,9 @@ def skyline(
     schema: Schema,
     algorithm: str | SkylineAlgorithm = "sdc+",
     strategy: SpanningTreeStrategy | str = SpanningTreeStrategy.DEFAULT,
+    kernel: str = "python",
     **options,
 ) -> list[Record]:
     """One-shot skyline query (see :class:`SkylineEngine` for reuse)."""
-    engine = SkylineEngine(schema, records, strategy=strategy)
+    engine = SkylineEngine(schema, records, strategy=strategy, kernel=kernel)
     return engine.skyline(algorithm, **options)

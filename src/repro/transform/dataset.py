@@ -58,6 +58,12 @@ class TransformedDataset:
         Optional explicit spanning forests by poset-attribute name,
         overriding ``strategy`` per attribute (used to reproduce the
         paper's worked examples exactly).
+    kernel:
+        Dominance backend: ``"python"`` (default) compares one pair at a
+        time; ``"numpy"`` uses the vectorized
+        :class:`~repro.core.batch.BatchDominanceKernel` with memoized
+        native comparisons.  Same answers, emission order and counters;
+        see ``docs/performance.md``.
     """
 
     def __init__(
@@ -72,11 +78,16 @@ class TransformedDataset:
         native_mode: str = "native",
         rng: random.Random | None = None,
         forests: dict | None = None,
+        kernel: str = "python",
     ) -> None:
         if native_mode not in ("native", "closure"):
             from repro.exceptions import SchemaError
 
             raise SchemaError(f"unknown native_mode {native_mode!r}")
+        if kernel not in ("python", "numpy"):
+            from repro.exceptions import SchemaError
+
+            raise SchemaError(f"unknown kernel {kernel!r}")
         self.schema = schema
         self.records = list(records)
         self.strategy = SpanningTreeStrategy.parse(strategy)
@@ -85,12 +96,20 @@ class TransformedDataset:
             schema, self.strategy, rng, forests
         )
         self.native_mode = native_mode
+        self.kernel_name = kernel
         closures = (
             tuple(m.closure for m in self.mappings)
             if native_mode == "closure" and self.mappings
             else None
         )
-        self.kernel = DominanceKernel(schema, self.stats, faithful_gate, closures)
+        if kernel == "numpy":
+            from repro.core.batch import BatchDominanceKernel
+
+            self.kernel = BatchDominanceKernel(
+                schema, self.stats, faithful_gate, closures, self.mappings
+            )
+        else:
+            self.kernel = DominanceKernel(schema, self.stats, faithful_gate, closures)
         self.max_entries = max_entries
         self.bulk_load = bulk_load
         self.points: list[Point] = [self.transform(r) for r in self.records]
@@ -224,6 +243,7 @@ class TransformedDataset:
         view.stats = self.stats
         view.mappings = self.mappings
         view.native_mode = self.native_mode
+        view.kernel_name = self.kernel_name
         view.kernel = self.kernel
         view.max_entries = self.max_entries
         view.bulk_load = self.bulk_load

@@ -18,7 +18,9 @@ Section 4 need in their hot loops:
 * ``key`` -- the BBS priority (sum of vector coordinates, i.e. the L1
   "distance" to the ideal corner); if ``p`` m-dominates ``q`` then
   ``key(p) < key(q)``, which is what makes BBS-style traversals emit
-  dominators before the points they dominate.
+  dominators before the points they dominate.  Computed lazily so the
+  transform layer can emit vectors straight into the batch backend's
+  numpy matrices without a per-point Python ``sum()``.
 """
 
 from __future__ import annotations
@@ -34,7 +36,9 @@ __all__ = ["Point"]
 class Point:
     """A record in the transformed (normalised minimisation) space."""
 
-    __slots__ = ("record", "vector", "pix", "nsets", "category", "level", "key")
+    __slots__ = (
+        "record", "vector", "pix", "nsets", "category", "level", "_key", "_arr"
+    )
 
     def __init__(
         self,
@@ -51,7 +55,21 @@ class Point:
         self.nsets = nsets
         self.category = category
         self.level = level
-        self.key = sum(vector)
+        self._key: float | None = None
+        self._arr = None  # cached float64 vector (batch backend)
+
+    @property
+    def key(self) -> float:
+        """The BBS priority, ``sum(vector)`` (computed on first access).
+
+        Always a Python ``sum`` over the original tuple: both backends
+        must see bit-identical keys, and ``numpy.sum``'s pairwise
+        accumulation can round differently.
+        """
+        k = self._key
+        if k is None:
+            k = self._key = sum(self.vector)
+        return k
 
     @property
     def rid(self):
