@@ -38,9 +38,17 @@ from repro.core.stats import ComparisonStats
 from repro.engine import SkylineEngine, skyline
 from repro.exceptions import (
     AlgorithmError,
+    BudgetExhaustedError,
     CyclicPosetError,
+    InputFormatError,
+    KernelError,
+    KernelFallbackWarning,
     PosetError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
+    ResilienceError,
+    RTreeError,
     SchemaError,
     UnknownValueError,
     WorkloadError,
@@ -48,6 +56,13 @@ from repro.exceptions import (
 from repro.posets.optimize import SpanningTreeStrategy
 from repro.posets.poset import Poset
 from repro.algorithms.base import available_algorithms, get_algorithm
+from repro.resilience import (
+    CancellationToken,
+    PartialResult,
+    QueryContext,
+    ResourceBudget,
+    execute,
+)
 from repro.workloads.config import WorkloadConfig
 from repro.workloads.generator import generate_workload
 
@@ -70,6 +85,11 @@ __all__ = [
     "get_algorithm",
     "WorkloadConfig",
     "generate_workload",
+    "CancellationToken",
+    "QueryContext",
+    "ResourceBudget",
+    "PartialResult",
+    "execute",
     "ReproError",
     "PosetError",
     "CyclicPosetError",
@@ -77,5 +97,13 @@ __all__ = [
     "SchemaError",
     "AlgorithmError",
     "WorkloadError",
+    "RTreeError",
+    "InputFormatError",
+    "KernelError",
+    "ResilienceError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "BudgetExhaustedError",
+    "KernelFallbackWarning",
     "__version__",
 ]

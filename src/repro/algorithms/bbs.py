@@ -15,6 +15,7 @@ from typing import Callable, Iterator
 from repro.algorithms.base import SkylineAlgorithm, register
 from repro.core.stats import ComparisonStats
 from repro.exceptions import AlgorithmError
+from repro.resilience.context import NULL_CONTEXT, QueryContext
 from repro.rtree.heap import EntryHeap
 from repro.rtree.node import Node
 from repro.rtree.rstar import RStarTree
@@ -29,6 +30,7 @@ def traverse(
     stats: ComparisonStats,
     node_pruned: Callable[[Node], bool],
     point_pruned: Callable[[Point], bool],
+    context: QueryContext = NULL_CONTEXT,
 ) -> Iterator[Point]:
     """Best-first traversal yielding surviving data points in key order.
 
@@ -37,10 +39,16 @@ def traverse(
     have grown in between, exactly as in Fig. 1 steps 6 and 8);
     ``point_pruned`` is consulted when a data point is about to be pushed.
     Popped points are yielded for the caller's ``UpdateSkylines``.
+
+    ``context`` plants one cooperative checkpoint per heap pop (deadline,
+    cancellation, comparison budget) and guards the live heap size, so
+    every BBS-family algorithm inherits resilient execution from here.
     """
     heap = EntryHeap(stats)
     if tree.size == 0:
         return
+    checkpoint = context.checkpoint
+    guard_heap = context.guard_heap
     root = tree.root
     tree.access(root)
     entries = root.entries
@@ -53,6 +61,8 @@ def traverse(
             if not node_pruned(child):
                 heap.push(child)
     while heap:
+        checkpoint()
+        guard_heap(len(heap))
         entry = heap.pop()
         if isinstance(entry, Point):
             yield entry
@@ -98,6 +108,7 @@ class BranchAndBoundSkyline(SkylineAlgorithm):
                 stats,
                 lambda node: skyline_buf.prunes_mins(node.mins, node.min_key),
                 skyline_buf.prunes_point,
+                dataset.context,
             ):
                 if skyline_buf.prunes_point(e):
                     continue
@@ -128,7 +139,9 @@ class BranchAndBoundSkyline(SkylineAlgorithm):
                     return True
             return False
 
-        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+        for e in traverse(
+            dataset.index, stats, node_pruned, point_pruned, dataset.context
+        ):
             if point_pruned(e):
                 continue
             skyline.append(e)

@@ -44,6 +44,7 @@ class BBSPlus(SkylineAlgorithm):
                 stats,
                 lambda node: skyline_buf.prunes_mins(node.mins, node.min_key),
                 skyline_buf.prunes_point,
+                dataset.context,
             ):
                 dominated, _victims = skyline_buf.update_native(e)
                 if not dominated:
@@ -75,7 +76,9 @@ class BBSPlus(SkylineAlgorithm):
                     return True
             return False
 
-        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+        for e in traverse(
+            dataset.index, stats, node_pruned, point_pruned, dataset.context
+        ):
             # UpdateSkylines (Fig. 3): native comparisons against every
             # intermediate skyline point, both directions.
             dominated = False

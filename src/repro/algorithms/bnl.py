@@ -25,6 +25,7 @@ from typing import Callable, Iterator
 from repro.algorithms.base import SkylineAlgorithm, register
 from repro.core.stats import ComparisonStats
 from repro.exceptions import AlgorithmError
+from repro.resilience.context import NULL_CONTEXT, QueryContext
 from repro.transform.dataset import TransformedDataset
 from repro.transform.point import Point
 
@@ -36,6 +37,7 @@ def bnl_passes(
     dominates: Callable[[Point, Point], bool],
     window_size: int,
     stats: ComparisonStats,
+    context: QueryContext = NULL_CONTEXT,
 ) -> Iterator[Point]:
     """Core multi-pass BNL; yields definite skyline points as they mature.
 
@@ -44,9 +46,14 @@ def bnl_passes(
     records at the head of the current input they still owe comparisons
     to.  Entries evicted or emitted mid-pass become ``None`` so the debt
     ordering stays intact.
+
+    ``context`` plants one cooperative checkpoint per scanned record and
+    guards the live window size against its budget.
     """
     if window_size < 1:
         raise AlgorithmError("window_size must be positive")
+    checkpoint = context.checkpoint
+    guard_window = context.guard_window
     current = list(points)
     carried: list[list | None] = []
     while current:
@@ -56,6 +63,7 @@ def bnl_passes(
         live_carried = len(carried)
         stats.tuples_scanned += len(current)
         for read_pos, r in enumerate(current, start=1):
+            checkpoint()
             # Mature carried entries that have now been compared against
             # all records that predate them.
             while release_at < len(carried):
@@ -96,6 +104,7 @@ def bnl_passes(
             if dominated:
                 continue
             if len(fresh) + live_carried < window_size:
+                guard_window(len(fresh) + live_carried + 1)
                 fresh.append([r, len(temp)])
                 stats.window_inserts += 1
             else:
@@ -132,9 +141,18 @@ class BlockNestedLoops(SkylineAlgorithm):
             from repro.core.batch import batch_bnl_passes
 
             yield from batch_bnl_passes(
-                dataset.points, kernel, "native", self.window_size, dataset.stats
+                dataset.points,
+                kernel,
+                "native",
+                self.window_size,
+                dataset.stats,
+                dataset.context,
             )
             return
         yield from bnl_passes(
-            dataset.points, kernel.native_dominates, self.window_size, dataset.stats
+            dataset.points,
+            kernel.native_dominates,
+            self.window_size,
+            dataset.stats,
+            dataset.context,
         )

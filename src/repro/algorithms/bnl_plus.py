@@ -40,21 +40,24 @@ class BlockNestedLoopsPlus(SkylineAlgorithm):
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
         stats = dataset.stats
+        context = dataset.context
         if getattr(kernel, "is_batch", False):
             from repro.core.batch import batch_bnl_passes
 
             candidates = list(
                 batch_bnl_passes(
-                    dataset.points, kernel, "m", self.window_size, stats
+                    dataset.points, kernel, "m", self.window_size, stats, context
                 )
             )
             yield from batch_bnl_passes(
-                candidates, kernel, "native", self.window_size, stats
+                candidates, kernel, "native", self.window_size, stats, context
             )
             return
         candidates = list(
-            bnl_passes(dataset.points, kernel.m_dominates, self.window_size, stats)
+            bnl_passes(
+                dataset.points, kernel.m_dominates, self.window_size, stats, context
+            )
         )
         yield from bnl_passes(
-            candidates, kernel.native_dominates, self.window_size, stats
+            candidates, kernel.native_dominates, self.window_size, stats, context
         )

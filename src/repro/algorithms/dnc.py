@@ -20,6 +20,7 @@ from typing import Iterator
 from repro.algorithms.base import SkylineAlgorithm, register
 from repro.algorithms.bnl import bnl_passes
 from repro.core.dominance import DominanceKernel
+from repro.resilience.context import NULL_CONTEXT, QueryContext
 from repro.transform.dataset import TransformedDataset
 from repro.transform.point import Point
 
@@ -39,9 +40,16 @@ class DivideAndConquer(SkylineAlgorithm):
         self.base_size = max(1, base_size)
 
     # ------------------------------------------------------------------
-    def _base_case(self, points: list[Point], kernel: DominanceKernel) -> list[Point]:
+    def _base_case(
+        self,
+        points: list[Point],
+        kernel: DominanceKernel,
+        context: QueryContext = NULL_CONTEXT,
+    ) -> list[Point]:
+        checkpoint = context.checkpoint
         result: list[Point] = []
         for r in points:
+            checkpoint()
             dominated = False
             i = 0
             while i < len(result):
@@ -58,9 +66,15 @@ class DivideAndConquer(SkylineAlgorithm):
                 result.append(r)
         return result
 
-    def _skyline(self, points: list[Point], kernel: DominanceKernel) -> list[Point]:
+    def _skyline(
+        self,
+        points: list[Point],
+        kernel: DominanceKernel,
+        context: QueryContext = NULL_CONTEXT,
+    ) -> list[Point]:
+        context.checkpoint()
         if len(points) <= self.base_size:
-            return self._base_case(points, kernel)
+            return self._base_case(points, kernel, context)
         dims = len(points[0].vector)
         best_dim = 0
         best_spread = -1.0
@@ -73,7 +87,7 @@ class DivideAndConquer(SkylineAlgorithm):
         if best_spread == 0.0:
             # All points identical in every coordinate: mutually
             # non-dominating transformed-space duplicates.
-            return self._base_case(points, kernel)
+            return self._base_case(points, kernel, context)
         column = sorted(p.vector[best_dim] for p in points)
         median = column[len(column) // 2]
         better = [p for p in points if p.vector[best_dim] < median]
@@ -84,10 +98,10 @@ class DivideAndConquer(SkylineAlgorithm):
             low = column[0]
             better = [p for p in points if p.vector[best_dim] == low]
             rest = [p for p in points if p.vector[best_dim] > low]
-            sky_better = self._base_case(better, kernel)
+            sky_better = self._base_case(better, kernel, context)
         else:
-            sky_better = self._skyline(better, kernel)
-        sky_rest = self._skyline(rest, kernel)
+            sky_better = self._skyline(better, kernel, context)
+        sky_rest = self._skyline(rest, kernel, context)
         merged = list(sky_better)
         for b in sky_rest:
             if not any(kernel.m_dominates(a, b) for a in sky_better):
@@ -97,12 +111,13 @@ class DivideAndConquer(SkylineAlgorithm):
     # ------------------------------------------------------------------
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
+        context = dataset.context
         if not dataset.points:
             return
-        candidates = self._skyline(list(dataset.points), kernel)
+        candidates = self._skyline(list(dataset.points), kernel, context)
         if dataset.schema.is_totally_ordered:
             yield from candidates
             return
         yield from bnl_passes(
-            candidates, kernel.native_dominates, self.window_size, dataset.stats
+            candidates, kernel.native_dominates, self.window_size, dataset.stats, context
         )

@@ -29,6 +29,7 @@ from typing import Iterator
 
 from repro.algorithms.base import SkylineAlgorithm, register
 from repro.algorithms.bnl import bnl_passes
+from repro.resilience.context import NULL_CONTEXT, QueryContext
 from repro.rtree.rstar import RStarTree
 from repro.transform.dataset import TransformedDataset
 from repro.transform.point import Point
@@ -37,12 +38,17 @@ __all__ = ["NearestNeighborSkyline"]
 
 
 def _nearest_in_region(
-    tree: RStarTree, bounds: tuple[float, ...], stats
+    tree: RStarTree,
+    bounds: tuple[float, ...],
+    stats,
+    context: QueryContext = NULL_CONTEXT,
 ) -> Point | None:
     """Minimum-key point whose every coordinate is strictly below
     ``bounds`` (best-first search with region pruning)."""
     if tree.size == 0:
         return None
+    checkpoint = context.checkpoint
+    guard_heap = context.guard_heap
     heap: list[tuple[float, int, object]] = []
     tie = itertools.count()
     root = tree.root
@@ -51,6 +57,8 @@ def _nearest_in_region(
     for entry in entries:
         heapq.heappush(heap, (entry.min_key, next(tie), entry))
     while heap:
+        checkpoint()
+        guard_heap(len(heap))
         _, _, entry = heapq.heappop(heap)
         if isinstance(entry, Point):
             return entry
@@ -94,9 +102,11 @@ class NearestNeighborSkyline(SkylineAlgorithm):
         found: dict[int, Point] = {}
         candidates: list[Point] = []
 
+        context = dataset.context
         while todo:
+            context.checkpoint()
             bounds = todo.pop()
-            p = _nearest_in_region(tree, bounds, stats)
+            p = _nearest_in_region(tree, bounds, stats, context)
             if p is None:
                 continue
             if id(p) not in found:
@@ -120,5 +130,5 @@ class NearestNeighborSkyline(SkylineAlgorithm):
                     todo.append(region)
 
         yield from bnl_passes(
-            candidates, kernel.native_dominates, self.window_size, stats
+            candidates, kernel.native_dominates, self.window_size, stats, context
         )

@@ -145,7 +145,9 @@ class SDC(SkylineAlgorithm):
                         return True
             return False
 
-        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+        for e in traverse(
+            dataset.index, stats, node_pruned, point_pruned, dataset.context
+        ):
             cat = e.category
             dominated = False
             for scat in check_order[cat]:
@@ -205,7 +207,9 @@ class SDC(SkylineAlgorithm):
                 S[cat].prunes_point(point) for cat in point_order[point.category]
             )
 
-        for e in traverse(dataset.index, stats, node_pruned, point_pruned):
+        for e in traverse(
+            dataset.index, stats, node_pruned, point_pruned, dataset.context
+        ):
             cat = e.category
             dominated = False
             for scat in check_order[cat]:

@@ -104,7 +104,9 @@ class SDCPlus(SkylineAlgorithm):
                             return True
                 return False
 
-            for e in traverse(stratum.tree, stats, node_pruned, point_pruned):
+            for e in traverse(
+                stratum.tree, stats, node_pruned, point_pruned, dataset.context
+            ):
                 # UpdateSkylines(e, S, L) -- Fig. 7.
                 dominated = False
                 i = 0
@@ -177,7 +179,9 @@ class SDCPlus(SkylineAlgorithm):
                     return True
                 return any(S[scat].prunes_point(point) for scat in prune_cats)
 
-            for e in traverse(stratum.tree, stats, node_pruned, point_pruned):
+            for e in traverse(
+                stratum.tree, stats, node_pruned, point_pruned, dataset.context
+            ):
                 # UpdateSkylines(e, S, L) -- Fig. 7.
                 dominated, victims = L.update_compare(e)
                 if victims and covered:

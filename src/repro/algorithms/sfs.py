@@ -38,12 +38,15 @@ class SortFilterSkyline(SkylineAlgorithm):
 
     def run(self, dataset: TransformedDataset) -> Iterator[Point]:
         kernel = dataset.kernel
+        context = dataset.context
+        checkpoint = context.checkpoint
         ordered = sorted(dataset.points, key=lambda p: p.key)
         if getattr(kernel, "is_batch", False):
             from repro.core.batch import batch_bnl_passes
 
             window = kernel.new_buffer()
             for r in ordered:
+                checkpoint()
                 if not window.filters(r):
                     window.append(r)
                     dataset.stats.window_inserts += 1
@@ -52,11 +55,12 @@ class SortFilterSkyline(SkylineAlgorithm):
                 yield from candidates
                 return
             yield from batch_bnl_passes(
-                candidates, kernel, "native", self.window_size, dataset.stats
+                candidates, kernel, "native", self.window_size, dataset.stats, context
             )
             return
         candidates: list[Point] = []
         for r in ordered:
+            checkpoint()
             if not any(kernel.m_dominates(w, r) for w in candidates):
                 candidates.append(r)
                 dataset.stats.window_inserts += 1
@@ -65,5 +69,5 @@ class SortFilterSkyline(SkylineAlgorithm):
             yield from candidates
             return
         yield from bnl_passes(
-            candidates, kernel.native_dominates, self.window_size, dataset.stats
+            candidates, kernel.native_dominates, self.window_size, dataset.stats, context
         )

@@ -77,6 +77,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="python",
         help="dominance backend (see docs/performance.md)",
     )
+    query.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; an expired query exits 2 with its partial answers",
+    )
+    query.add_argument(
+        "--max-comparisons",
+        type=int,
+        default=None,
+        help="dominance-comparison budget; exhausting it truncates gracefully",
+    )
+    query.add_argument(
+        "--max-answers",
+        type=int,
+        default=None,
+        help="stop after this many skyline answers",
+    )
+    query.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="inject a deterministic kernel fault (fault-injection demo; "
+        "see docs/robustness.md)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -198,13 +224,45 @@ def _cmd_query(args) -> int:
     engine = SkylineEngine(
         schema, records, strategy=args.strategy, kernel=args.kernel
     )
-    start = time.perf_counter()
-    answers = engine.skyline(args.algorithm)
-    elapsed = time.perf_counter() - start
-    print(
-        f"{len(answers)} skyline records out of {len(records)} "
-        f"({args.algorithm}, {elapsed * 1000:.1f} ms)"
+    resilient = (
+        args.deadline is not None
+        or args.max_comparisons is not None
+        or args.max_answers is not None
+        or args.chaos_seed is not None
     )
+    if not resilient:
+        start = time.perf_counter()
+        answers = engine.skyline(args.algorithm)
+        elapsed = time.perf_counter() - start
+        status = f"{args.algorithm}, {elapsed * 1000:.1f} ms"
+    else:
+        from repro.exceptions import QueryTimeoutError
+        from repro.resilience.chaos import FaultInjector, inject_kernel_faults
+
+        if args.chaos_seed is not None:
+            inject_kernel_faults(
+                engine.dataset, FaultInjector(seed=args.chaos_seed, fail_after=10)
+            )
+        exit_code = 0
+        try:
+            result = engine.query(
+                args.algorithm,
+                deadline=args.deadline,
+                max_comparisons=args.max_comparisons,
+                max_answers=args.max_answers,
+            )
+        except QueryTimeoutError as err:
+            result = err.partial
+            exit_code = 2
+        answers = result.records
+        status = f"{args.algorithm}, {result.elapsed * 1000:.1f} ms"
+        if result.complete:
+            status += ", complete"
+        else:
+            status += f", PARTIAL ({result.exhausted_reason})"
+        if result.fallback:
+            status += ", python-kernel fallback"
+    print(f"{len(answers)} skyline records out of {len(records)} ({status})")
     shown = answers if args.limit == 0 else answers[: args.limit]
     for record in shown:
         print(f"  rid={record.rid} totals={record.totals} partials={record.partials}")
@@ -212,7 +270,7 @@ def _cmd_query(args) -> int:
         print(f"  ... {len(answers) - len(shown)} more (use --limit 0)")
     if args.stats:
         print(engine.stats)
-    return 0
+    return exit_code if resilient else 0
 
 
 def _cmd_experiment(args) -> int:

@@ -913,6 +913,7 @@ def batch_bnl_passes(
     mode: str,
     window_size: int,
     stats: ComparisonStats,
+    context=None,
 ) -> Iterator["Point"]:
     """Vectorized twin of :func:`repro.algorithms.bnl.bnl_passes`.
 
@@ -936,6 +937,12 @@ def batch_bnl_passes(
         from repro.exceptions import AlgorithmError
 
         raise AlgorithmError("window_size must be positive")
+    if context is None:
+        from repro.resilience.context import NULL_CONTEXT
+
+        context = NULL_CONTEXT
+    checkpoint = context.checkpoint
+    guard_window = context.guard_window
     native = mode != "m"
     if native:
         scalar_dom = kernel.native_dominates
@@ -962,6 +969,7 @@ def batch_bnl_passes(
         live_carried = len(carried)
         stats.tuples_scanned += len(current)
         for read_pos, r in enumerate(current, start=1):
+            checkpoint()
             while release_at < len(carried):
                 entry = carried[release_at]
                 if entry is None:
@@ -1086,6 +1094,7 @@ def batch_bnl_passes(
             if dominated:
                 continue
             if len(fresh) + live_carried < window_size:
+                guard_window(len(fresh) + live_carried + 1)
                 fresh.append([r, len(temp)])
                 nf = len(fresh)
                 if nf > cap:

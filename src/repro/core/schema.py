@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Hashable, Iterable, Sequence
+from math import isfinite
 from typing import Optional
 
 from repro.exceptions import SchemaError
@@ -170,6 +171,20 @@ class Schema:
             raise SchemaError(
                 f"expected {self.num_partial} partially-ordered values, got {len(partials)}"
             )
+        for attr, value in zip(self.total_attrs, totals):
+            # NaN poisons every comparison silently (all orderings are
+            # False) and infinities break the normalised key space, so
+            # both are rejected at the boundary.
+            try:
+                finite = isfinite(value)
+            except TypeError:
+                raise SchemaError(
+                    f"non-numeric value {value!r} for attribute {attr.name!r}"
+                ) from None
+            if not finite:
+                raise SchemaError(
+                    f"non-finite value {value!r} for attribute {attr.name!r}"
+                )
         for attr, value in zip(self.partial_attrs, partials):
             if value not in attr.poset:
                 raise SchemaError(

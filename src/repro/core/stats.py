@@ -51,6 +51,10 @@ class ComparisonStats:
         Priority-queue traffic of the BBS-style traversals.
     window_inserts:
         Window insertions performed by block-nested-loops variants.
+    kernel_fallbacks:
+        Batch-kernel failures recovered by re-running the remaining work
+        on the reference python kernel (see
+        :mod:`repro.resilience.executor`); zero on every healthy query.
     """
 
     m_dominance_point: int = 0
@@ -65,6 +69,7 @@ class ComparisonStats:
     heap_pushes: int = 0
     heap_pops: int = 0
     window_inserts: int = 0
+    kernel_fallbacks: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Immutable copy of all counters."""

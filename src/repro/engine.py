@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.algorithms.base import SkylineAlgorithm, get_algorithm
 from repro.core.record import Record
@@ -28,6 +29,9 @@ from repro.core.stats import ComparisonStats
 from repro.posets.optimize import SpanningTreeStrategy
 from repro.transform.dataset import TransformedDataset
 from repro.transform.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.context import CancellationToken, QueryContext
 
 __all__ = ["SkylineEngine", "skyline"]
 
@@ -109,6 +113,42 @@ class SkylineEngine:
     ) -> list[Record]:
         """The full skyline as a record list."""
         return list(self.run(algorithm, **options))
+
+    def query(
+        self,
+        algorithm: str | SkylineAlgorithm = "sdc+",
+        *,
+        deadline: float | None = None,
+        max_comparisons: int | None = None,
+        max_heap_entries: int | None = None,
+        max_window_entries: int | None = None,
+        max_answers: int | None = None,
+        cancel: "CancellationToken | None" = None,
+        context: "QueryContext | None" = None,
+        fallback: bool = True,
+        **options,
+    ):
+        """Run one resilient query (see :mod:`repro.resilience`).
+
+        Returns a :class:`~repro.resilience.executor.PartialResult`;
+        exhausting a resource budget truncates gracefully, while an
+        expired ``deadline`` (seconds) or a fired ``cancel`` token raises
+        the typed control error with the partial result attached.  A
+        ready-made ``context`` overrides the individual limits.
+        """
+        from repro.resilience import QueryContext, ResourceBudget, execute
+
+        if context is None:
+            limits = (max_comparisons, max_heap_entries, max_window_entries,
+                      max_answers)
+            budget = (
+                ResourceBudget(*limits) if any(v is not None for v in limits)
+                else None
+            )
+            context = QueryContext(deadline=deadline, budget=budget, cancel=cancel)
+        return execute(
+            self.dataset, algorithm, context, fallback=fallback, **options
+        )
 
     # ------------------------------------------------------------------
     # Skyline-related queries (repro.queries convenience front-ends)

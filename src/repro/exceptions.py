@@ -1,7 +1,11 @@
 """Exception hierarchy for the :mod:`repro` library.
 
 All library-raised errors derive from :class:`ReproError` so callers can
-catch everything from this package with a single ``except`` clause.
+catch everything from this package with a single ``except`` clause.  The
+resilience layer (:mod:`repro.resilience`) adds a sub-family of
+*query-execution control* errors that carry the answers emitted before
+the query was stopped (:attr:`ResilienceError.partial`), so no limit or
+failure ever silently truncates a result.
 """
 
 from __future__ import annotations
@@ -39,8 +43,15 @@ class SchemaError(ReproError):
     """Raised for invalid schemas or records inconsistent with a schema."""
 
 
-class IndexError_(ReproError):
-    """Raised for invalid R-tree operations (named to avoid the builtin)."""
+class RTreeError(ReproError):
+    """Raised for invalid R-tree operations or corrupted index structure."""
+
+
+#: Deprecated alias of :class:`RTreeError` (the original awkward name,
+#: chosen to avoid shadowing the ``IndexError`` builtin).  Kept so
+#: existing ``except IndexError_`` / ``raises(IndexError_)`` callers keep
+#: working; new code should catch :class:`RTreeError`.
+IndexError_ = RTreeError
 
 
 class AlgorithmError(ReproError):
@@ -49,3 +60,96 @@ class AlgorithmError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload-generation parameters."""
+
+
+class InputFormatError(ReproError):
+    """Raised when persisted workload data is malformed or corrupt.
+
+    Carries the offending JSON ``key`` (when one is known) so corrupt
+    files fail with context instead of a raw ``KeyError`` traceback.
+    """
+
+    def __init__(self, message: str, key: object | None = None) -> None:
+        self.key = key
+        if key is not None:
+            message = f"{message} (key: {key!r})"
+        super().__init__(message)
+
+
+class KernelError(ReproError):
+    """Raised when a dominance kernel fails mid-query.
+
+    The resilient executor treats this (and ``FloatingPointError`` from
+    numpy) as a *recoverable* backend failure: when the failing kernel is
+    the vectorized batch backend, the query is retried on the reference
+    python kernel (see :mod:`repro.resilience.executor`).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Query-execution control (repro.resilience)
+# ---------------------------------------------------------------------------
+class ResilienceError(ReproError):
+    """Base class for deadline / cancellation / budget query stops.
+
+    Attributes
+    ----------
+    partial:
+        The :class:`~repro.resilience.executor.PartialResult` holding the
+        answers emitted before the stop, attached by the resilient
+        executor (``None`` when the error escaped outside it).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.partial = None
+
+
+class QueryTimeoutError(ResilienceError):
+    """Raised when a query's wall-clock deadline expires."""
+
+    def __init__(self, deadline: float, elapsed: float) -> None:
+        self.deadline = deadline
+        self.elapsed = elapsed
+        super().__init__(
+            f"query deadline of {deadline:.6g}s exceeded "
+            f"(elapsed {elapsed:.6g}s)"
+        )
+
+
+class QueryCancelledError(ResilienceError):
+    """Raised when a query's cooperative cancellation token fires."""
+
+    def __init__(self) -> None:
+        super().__init__("query cancelled")
+
+
+class BudgetExhaustedError(ResilienceError):
+    """Raised at a checkpoint when a resource budget is exhausted.
+
+    Attributes
+    ----------
+    reason:
+        Which budget ran out: ``"comparisons"``, ``"heap_entries"``,
+        ``"window_entries"`` or ``"answers"``.
+    limit / used:
+        The configured limit and the usage that tripped it.
+    """
+
+    def __init__(self, reason: str, limit: int, used: int) -> None:
+        self.reason = reason
+        self.limit = limit
+        self.used = used
+        super().__init__(
+            f"{reason} budget exhausted ({used} used, limit {limit})"
+        )
+
+
+class KernelFallbackWarning(UserWarning):
+    """Warned when a batch-kernel failure triggers the python fallback.
+
+    Not a :class:`ReproError`: the query still completes (on the
+    reference kernel); the warning records that it did not complete on
+    the backend that was asked for.  The event is also counted in
+    :attr:`repro.core.stats.ComparisonStats.kernel_fallbacks`.
+    """

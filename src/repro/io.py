@@ -4,18 +4,24 @@ Lets generated experiment inputs be saved, shared and re-queried (e.g.
 through the ``python -m repro`` CLI) without regenerating them.  Domain
 values and record ids must be JSON-representable scalars (str / int /
 float / bool); set-valued domains serialise their element tokens the same
-way.
+way.  Numeric payloads must be finite -- JSON has no NaN/Infinity
+literals, and a non-finite total would silently poison every dominance
+comparison downstream.  Structural problems (missing keys, wrong types)
+raise a typed :class:`~repro.exceptions.InputFormatError` naming the
+offending key instead of leaking a raw ``KeyError``.
 """
 
 from __future__ import annotations
 
 import json
+import math
+from functools import wraps
 from pathlib import Path
 from typing import Any
 
 from repro.core.record import Record
 from repro.core.schema import NumericAttribute, PosetAttribute, Schema
-from repro.exceptions import ReproError
+from repro.exceptions import InputFormatError, ReproError
 from repro.posets.poset import Poset
 from repro.posets.setvalued import SetValuedDomain
 
@@ -35,8 +41,40 @@ _SCALARS = (str, int, float, bool)
 
 def _check_scalar(value: Any, what: str) -> Any:
     if not isinstance(value, _SCALARS):
-        raise ReproError(f"{what} {value!r} is not JSON-serialisable")
+        raise InputFormatError(f"{what} {value!r} is not JSON-serialisable")
+    if isinstance(value, float) and not math.isfinite(value):
+        raise InputFormatError(f"{what} {value!r} is not finite")
     return value
+
+
+def _check_total(value: Any, what: str) -> float:
+    try:
+        finite = math.isfinite(value)
+    except TypeError:
+        raise InputFormatError(f"{what} {value!r} is not numeric") from None
+    if not finite:
+        raise InputFormatError(f"{what} {value!r} is not finite")
+    return value
+
+
+def _typed_key_errors(func):
+    """Turn ``KeyError``/``TypeError`` on malformed input into
+    :class:`~repro.exceptions.InputFormatError` naming the missing key."""
+
+    @wraps(func)
+    def wrapper(data):
+        try:
+            return func(data)
+        except KeyError as err:
+            raise InputFormatError(
+                f"malformed input for {func.__name__}", key=err.args[0]
+            ) from err
+        except (TypeError, AttributeError) as err:
+            raise InputFormatError(
+                f"malformed input for {func.__name__}: {err}"
+            ) from err
+
+    return wrapper
 
 
 # ---------------------------------------------------------------------------
@@ -53,6 +91,7 @@ def poset_to_dict(poset: Poset) -> dict:
     }
 
 
+@_typed_key_errors
 def poset_from_dict(data: dict) -> Poset:
     """Inverse of :func:`poset_to_dict`."""
     return Poset(data["values"], [tuple(edge) for edge in data["edges"]])
@@ -87,6 +126,7 @@ def schema_to_dict(schema: Schema) -> dict:
     return {"attributes": attrs}
 
 
+@_typed_key_errors
 def schema_from_dict(data: dict) -> Schema:
     """Inverse of :func:`schema_to_dict`."""
     attrs: list[NumericAttribute | PosetAttribute] = []
@@ -116,17 +156,22 @@ def records_to_list(records: list[Record]) -> list[dict]:
     return [
         {
             "rid": _check_scalar(r.rid, "record id"),
-            "totals": list(r.totals),
+            "totals": [_check_total(v, "record total") for v in r.totals],
             "partials": [_check_scalar(v, "poset value") for v in r.partials],
         }
         for r in records
     ]
 
 
+@_typed_key_errors
 def records_from_list(data: list[dict]) -> list[Record]:
     """Inverse of :func:`records_to_list`."""
     return [
-        Record(entry["rid"], tuple(entry["totals"]), tuple(entry["partials"]))
+        Record(
+            entry["rid"],
+            tuple(_check_total(v, "record total") for v in entry["totals"]),
+            tuple(entry["partials"]),
+        )
         for entry in data
     ]
 

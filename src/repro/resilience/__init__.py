@@ -1,0 +1,27 @@
+"""Resilient query execution for the skyline engine.
+
+Deadlines, cooperative cancellation and resource budgets
+(:mod:`repro.resilience.context`), a resilient executor with partial
+results and automatic batch-kernel fallback
+(:mod:`repro.resilience.executor`), and a deterministic fault-injection
+harness for the chaos test suite (:mod:`repro.resilience.chaos`).
+
+See ``docs/robustness.md`` for a guided tour.
+"""
+
+from repro.resilience.context import (
+    NULL_CONTEXT,
+    CancellationToken,
+    QueryContext,
+    ResourceBudget,
+)
+from repro.resilience.executor import PartialResult, execute
+
+__all__ = [
+    "CancellationToken",
+    "QueryContext",
+    "ResourceBudget",
+    "NULL_CONTEXT",
+    "PartialResult",
+    "execute",
+]

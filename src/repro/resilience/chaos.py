@@ -1,0 +1,291 @@
+"""Deterministic fault injection for the chaos test suite.
+
+Every injector is seeded, so a failing chaos run reproduces exactly.
+Four failure families are covered, matching the ways a production
+skyline service actually breaks:
+
+* **kernel exceptions** -- :class:`FaultInjector` wraps a dataset's
+  dominance kernel (and the vectorized buffers it hands out) in
+  :class:`ChaoticKernel` / :class:`ChaoticBuffer` proxies that raise a
+  typed :class:`~repro.exceptions.KernelError` on a chosen call;
+* **R-tree node corruption** -- :func:`corrupt_rtree` flips one node's
+  MBR or category bits in place, which
+  :meth:`~repro.rtree.rstar.RStarTree.validate` must detect as a typed
+  :class:`~repro.exceptions.RTreeError`;
+* **malformed records** -- :func:`malform_records` produces records with
+  wrong arity or out-of-domain poset values (typed
+  :class:`~repro.exceptions.SchemaError` at transform time);
+* **NaN / infinity numerics** -- :func:`malform_records` also emits
+  non-finite totals, rejected by input hardening in the schema and
+  :mod:`repro.io` layers.
+
+None of the proxies ever *falsifies* a verdict: a fault is always an
+exception, never a wrong answer, so everything an algorithm emitted
+before the fault is still correct -- which is what lets the resilient
+executor keep the emitted prefix when it falls back to the python
+kernel.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.record import Record
+from repro.exceptions import KernelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtree.rstar import RStarTree
+    from repro.transform.dataset import TransformedDataset
+
+__all__ = [
+    "FaultInjector",
+    "ChaoticKernel",
+    "ChaoticBuffer",
+    "inject_kernel_faults",
+    "corrupt_rtree",
+    "malform_records",
+]
+
+
+class FaultInjector:
+    """Seeded fault source shared by one query's chaos proxies.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the injector's private RNG (used by ``rate`` mode).
+    fail_after:
+        Deterministic mode: fail exactly on the N-th intercepted call.
+    rate:
+        Probabilistic mode: each intercepted call fails with this
+        probability (still deterministic for a fixed seed).
+    max_faults:
+        Stop injecting after this many faults (default one, so a
+        recovered query cannot be re-broken by the same injector).
+    fault_type:
+        Exception class to raise; defaults to
+        :class:`~repro.exceptions.KernelError`.
+    """
+
+    __slots__ = ("rng", "fail_after", "rate", "max_faults", "fault_type",
+                 "calls", "fired", "sites")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fail_after: int | None = None,
+        rate: float = 0.0,
+        max_faults: int = 1,
+        fault_type: type = KernelError,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.fail_after = fail_after
+        self.rate = rate
+        self.max_faults = max_faults
+        self.fault_type = fault_type
+        self.calls = 0
+        self.fired = 0
+        self.sites: list[str] = []
+
+    def maybe_fail(self, site: str) -> None:
+        """Count one intercepted call; raise when this one should fail."""
+        self.calls += 1
+        if self.fired >= self.max_faults:
+            return
+        trip = False
+        if self.fail_after is not None:
+            trip = self.calls >= self.fail_after
+        elif self.rate > 0.0:
+            trip = self.rng.random() < self.rate
+        if trip:
+            self.fired += 1
+            self.sites.append(site)
+            raise self.fault_type(
+                f"injected fault at {site} (call #{self.calls})"
+            )
+
+
+class ChaoticBuffer:
+    """Fault-injecting proxy over a vectorized skyline buffer."""
+
+    __slots__ = ("_buffer", "_injector")
+
+    def __init__(self, buffer, injector: FaultInjector) -> None:
+        self._buffer = buffer
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._buffer, name)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._buffer)
+
+    def prunes_point(self, point):
+        """Proxy of the buffer's ``prunes_point`` (may inject a fault)."""
+        self._injector.maybe_fail("buffer.prunes_point")
+        return self._buffer.prunes_point(point)
+
+    def prunes_mins(self, mins, bound):
+        """Proxy of the buffer's ``prunes_mins`` (may inject a fault)."""
+        self._injector.maybe_fail("buffer.prunes_mins")
+        return self._buffer.prunes_mins(mins, bound)
+
+    def filters(self, point):
+        """Proxy of the buffer's ``filters`` (may inject a fault)."""
+        self._injector.maybe_fail("buffer.filters")
+        return self._buffer.filters(point)
+
+    def update_native(self, point, count_calls: bool = False):
+        """Proxy of the buffer's ``update_native`` (may inject a fault)."""
+        self._injector.maybe_fail("buffer.update_native")
+        return self._buffer.update_native(point, count_calls)
+
+    def update_compare(self, point):
+        """Proxy of the buffer's ``update_compare`` (may inject a fault)."""
+        self._injector.maybe_fail("buffer.update_compare")
+        return self._buffer.update_compare(point)
+
+    def scan_compare(self, point):
+        """Proxy of the buffer's ``scan_compare`` (may inject a fault)."""
+        self._injector.maybe_fail("buffer.scan_compare")
+        return self._buffer.scan_compare(point)
+
+    def absorb(self, other) -> None:
+        """Proxy of the buffer's ``absorb``; unwraps a proxied ``other``."""
+        self._injector.maybe_fail("buffer.absorb")
+        if isinstance(other, ChaoticBuffer):
+            other = other._buffer
+        self._buffer.absorb(other)
+
+
+class ChaoticKernel:
+    """Fault-injecting proxy over a dominance kernel.
+
+    Wraps the scalar comparison methods and, for batch kernels, the
+    buffers handed out by ``new_buffer`` -- so faults hit both the
+    python-style scalar paths and the vectorized batch paths.  All
+    other attributes pass through to the wrapped kernel.
+    """
+
+    __slots__ = ("_kernel", "_injector")
+
+    def __init__(self, kernel, injector: FaultInjector) -> None:
+        self._kernel = kernel
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._kernel, name)
+
+    @property
+    def wrapped(self):
+        """The kernel behind the proxy."""
+        return self._kernel
+
+    def m_dominates(self, p, q):
+        """Proxy of the kernel's ``m_dominates`` (may inject a fault)."""
+        self._injector.maybe_fail("kernel.m_dominates")
+        return self._kernel.m_dominates(p, q)
+
+    def m_dominates_mins(self, p, mins):
+        """Proxy of the kernel's ``m_dominates_mins`` (may inject a fault)."""
+        self._injector.maybe_fail("kernel.m_dominates_mins")
+        return self._kernel.m_dominates_mins(p, mins)
+
+    def native_dominates(self, p, q):
+        """Proxy of the kernel's ``native_dominates`` (may inject a fault)."""
+        self._injector.maybe_fail("kernel.native_dominates")
+        return self._kernel.native_dominates(p, q)
+
+    def compare_dominance(self, x, y):
+        """Proxy of the kernel's ``compare_dominance`` (may inject a fault)."""
+        self._injector.maybe_fail("kernel.compare_dominance")
+        return self._kernel.compare_dominance(x, y)
+
+    def full_dominates(self, p, q):
+        """Proxy of the kernel's ``full_dominates`` (may inject a fault)."""
+        self._injector.maybe_fail("kernel.full_dominates")
+        return self._kernel.full_dominates(p, q)
+
+    def new_buffer(self):
+        """New buffer, wrapped in a :class:`ChaoticBuffer` proxy."""
+        self._injector.maybe_fail("kernel.new_buffer")
+        return ChaoticBuffer(self._kernel.new_buffer(), self._injector)
+
+
+def inject_kernel_faults(
+    dataset: "TransformedDataset", injector: FaultInjector
+) -> FaultInjector:
+    """Swap the dataset's kernel for a fault-injecting proxy.
+
+    Returns the injector (for inspecting ``calls`` / ``fired`` after the
+    run).  The resilient executor's fallback path builds a *fresh*
+    python kernel, so a recovered query bypasses the proxy entirely.
+    """
+    dataset.kernel = ChaoticKernel(dataset.kernel, injector)
+    return injector
+
+
+# ---------------------------------------------------------------------------
+# Structure / data corruption
+# ---------------------------------------------------------------------------
+def _all_nodes(node) -> list:
+    nodes = [node]
+    if not node.leaf:
+        for child in node.entries:
+            nodes.extend(_all_nodes(child))
+    return nodes
+
+
+def corrupt_rtree(tree: "RStarTree", seed: int = 0) -> str:
+    """Deterministically corrupt one R-tree node in place.
+
+    Picks a node by seed and either shifts its MBR (so it no longer
+    contains its entries) or flips its aggregated category bits.
+    Returns a description of what was broken;
+    :meth:`~repro.rtree.rstar.RStarTree.validate` must subsequently
+    raise :class:`~repro.exceptions.RTreeError`.
+    """
+    rng = random.Random(seed)
+    if tree.size == 0:
+        raise KernelError("cannot corrupt an empty tree")
+    nodes = _all_nodes(tree.root)
+    node = rng.choice(nodes)
+    if rng.random() < 0.5 and node.mins:
+        node.mins = tuple(m + 1.0 for m in node.mins)
+        return f"shifted MBR mins of {'leaf' if node.leaf else 'internal'} node"
+    node.covered_all = not node.covered_all
+    return f"flipped covered_all of {'leaf' if node.leaf else 'internal'} node"
+
+
+def malform_records(
+    seed: int = 0,
+    kinds: tuple[str, ...] = ("nan", "inf", "arity", "unknown"),
+) -> list[Record]:
+    """Deterministic malformed records, one per requested kind.
+
+    ``nan`` / ``inf`` carry non-finite totals, ``arity`` has the wrong
+    number of poset values, ``unknown`` uses a value outside any poset
+    domain.  Feeding any of them to a transform must raise a typed
+    :class:`~repro.exceptions.SchemaError` (never a raw traceback or --
+    worse -- a silently poisoned comparison).
+    """
+    rng = random.Random(seed)
+    records = []
+    for kind in kinds:
+        rid = f"chaos-{kind}-{rng.randrange(1 << 16)}"
+        if kind == "nan":
+            records.append(Record(rid, (math.nan,), ("a",)))
+        elif kind == "inf":
+            records.append(Record(rid, (math.inf,), ("a",)))
+        elif kind == "arity":
+            records.append(Record(rid, (1.0,), ("a", "b", "c")))
+        elif kind == "unknown":
+            records.append(Record(rid, (1.0,), ("no-such-value",)))
+        else:
+            raise KernelError(f"unknown malformation kind {kind!r}")
+    return records

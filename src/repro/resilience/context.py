@@ -1,0 +1,232 @@
+"""Query-execution control: deadlines, cancellation, resource budgets.
+
+Every algorithm loop in the library calls
+:meth:`QueryContext.checkpoint` once per unit of work (one heap pop of
+the R-tree traversal, one scanned record of a block-nested-loops pass,
+one NN region, one D&C partition).  A checkpoint is a few attribute
+reads on an unarmed context -- the default :data:`NULL_CONTEXT` that
+every :class:`~repro.transform.dataset.TransformedDataset` starts with
+-- so unlimited queries pay almost nothing.  An armed context raises a
+typed :class:`~repro.exceptions.ResilienceError` subclass the moment a
+limit trips, which the resilient executor
+(:mod:`repro.resilience.executor`) converts into a
+:class:`~repro.resilience.executor.PartialResult` carrying everything
+emitted so far.
+
+Limits come in three kinds:
+
+* a wall-clock **deadline** (seconds from :meth:`QueryContext.start`),
+* a cooperative **cancellation token** another thread (or callback) can
+  fire, and
+* **resource budgets** -- dominance comparisons, live heap entries,
+  live window entries, emitted answers (:class:`ResourceBudget`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import (
+    BudgetExhaustedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    WorkloadError,
+)
+
+__all__ = [
+    "CancellationToken",
+    "ResourceBudget",
+    "QueryContext",
+    "NULL_CONTEXT",
+]
+
+
+class CancellationToken:
+    """A latch a caller flips to stop a running query cooperatively."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation; the query stops at its next checkpoint."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CancellationToken(cancelled={self._cancelled})"
+
+
+class ResourceBudget:
+    """Hard caps on the resources one query may consume.
+
+    Parameters
+    ----------
+    max_comparisons:
+        Cap on point-level dominance work
+        (:attr:`~repro.core.stats.ComparisonStats.total_dominance_checks`
+        delta since the query started).
+    max_heap_entries:
+        Cap on the live size of a BBS-style traversal heap.
+    max_window_entries:
+        Cap on the live window size of a block-nested-loops pass.
+    max_answers:
+        Cap on emitted answers (enforced by the executor, which stops
+        consuming the algorithm's generator -- the cheapest stop of all).
+    """
+
+    __slots__ = (
+        "max_comparisons",
+        "max_heap_entries",
+        "max_window_entries",
+        "max_answers",
+    )
+
+    def __init__(
+        self,
+        max_comparisons: int | None = None,
+        max_heap_entries: int | None = None,
+        max_window_entries: int | None = None,
+        max_answers: int | None = None,
+    ) -> None:
+        for name in self.__slots__:
+            value = locals()[name]
+            if value is not None and value < 1:
+                raise WorkloadError(f"{name} must be positive, got {value!r}")
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"{name}={getattr(self, name)}"
+            for name in self.__slots__
+            if getattr(self, name) is not None
+        ]
+        return f"ResourceBudget({', '.join(parts)})"
+
+
+class QueryContext:
+    """Deadline + cancellation + budgets threaded through one query.
+
+    A context is *unarmed* until :meth:`start` is called (the resilient
+    executor does this), at which point the deadline clock starts and
+    the comparison budget is baselined against the dataset's shared
+    counter bundle.  Contexts are single-use per query but cheap to
+    build; :meth:`start` may be called again to reuse one.
+    """
+
+    __slots__ = (
+        "deadline",
+        "budget",
+        "cancel",
+        "checkpoints",
+        "_armed",
+        "_expires_at",
+        "_stats",
+        "_base_checks",
+        "_max_comparisons",
+        "_max_heap",
+        "_max_window",
+    )
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        budget: ResourceBudget | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise WorkloadError(f"deadline must be >= 0, got {deadline!r}")
+        self.deadline = deadline
+        self.budget = budget
+        self.cancel = cancel
+        self.checkpoints = 0
+        self._armed = False
+        self._expires_at: float | None = None
+        self._stats: ComparisonStats | None = None
+        self._base_checks = 0
+        self._max_comparisons = budget.max_comparisons if budget else None
+        self._max_heap = budget.max_heap_entries if budget else None
+        self._max_window = budget.max_window_entries if budget else None
+
+    # ------------------------------------------------------------------
+    def start(self, stats: ComparisonStats) -> "QueryContext":
+        """Arm the context: start the clock, baseline the counters."""
+        self._stats = stats
+        self._base_checks = stats.total_dominance_checks
+        self.checkpoints = 0
+        if self.deadline is not None:
+            self._expires_at = time.monotonic() + self.deadline
+        self._armed = (
+            self.deadline is not None
+            or self.cancel is not None
+            or self._max_comparisons is not None
+        )
+        return self
+
+    @property
+    def armed(self) -> bool:
+        """Whether checkpoints currently enforce any limit."""
+        return self._armed
+
+    def comparisons_used(self) -> int:
+        """Dominance checks charged since :meth:`start`."""
+        if self._stats is None:
+            return 0
+        return self._stats.total_dominance_checks - self._base_checks
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Cooperative stop point; raises a typed error when a limit trips.
+
+        Called once per unit of algorithm work.  Raises
+        :class:`QueryCancelledError`, :class:`QueryTimeoutError` or
+        :class:`BudgetExhaustedError` (reason ``"comparisons"``).
+        """
+        if not self._armed:
+            return
+        self.checkpoints += 1
+        cancel = self.cancel
+        if cancel is not None and cancel._cancelled:
+            raise QueryCancelledError()
+        expires = self._expires_at
+        if expires is not None:
+            now = time.monotonic()
+            if now >= expires:
+                raise QueryTimeoutError(
+                    self.deadline, now - (expires - self.deadline)
+                )
+        limit = self._max_comparisons
+        if limit is not None:
+            used = self._stats.total_dominance_checks - self._base_checks
+            if used >= limit:
+                raise BudgetExhaustedError("comparisons", limit, used)
+
+    def guard_heap(self, size: int) -> None:
+        """Budget check on a traversal heap's live entry count."""
+        limit = self._max_heap
+        if limit is not None and size > limit:
+            raise BudgetExhaustedError("heap_entries", limit, size)
+
+    def guard_window(self, size: int) -> None:
+        """Budget check on a BNL window's live entry count."""
+        limit = self._max_window
+        if limit is not None and size > limit:
+            raise BudgetExhaustedError("window_entries", limit, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryContext(deadline={self.deadline}, budget={self.budget!r}, "
+            f"armed={self._armed})"
+        )
+
+
+#: The shared unarmed context every dataset starts with.  Its
+#: :meth:`~QueryContext.checkpoint` is a single attribute test, so
+#: algorithms can call it unconditionally in their hot loops.
+NULL_CONTEXT = QueryContext()

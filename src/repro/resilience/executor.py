@@ -1,0 +1,229 @@
+"""Resilient query execution: partial results and kernel fallback.
+
+:func:`execute` runs one skyline algorithm under a
+:class:`~repro.resilience.context.QueryContext` and guarantees a usable
+outcome in every case:
+
+* **completion** -- a :class:`PartialResult` with ``complete=True``;
+* **budget exhaustion** -- a :class:`PartialResult` carrying the answers
+  emitted so far (always a prefix of the algorithm's deterministic
+  emission order), the ``exhausted_reason`` and the counter deltas;
+* **deadline / cancellation** -- the typed
+  :class:`~repro.exceptions.QueryTimeoutError` /
+  :class:`~repro.exceptions.QueryCancelledError` is re-raised with the
+  partial result attached to its ``partial`` attribute;
+* **batch-kernel failure** -- a
+  :class:`~repro.exceptions.KernelFallbackWarning` is logged + warned,
+  :attr:`~repro.core.stats.ComparisonStats.kernel_fallbacks` is bumped,
+  and the remaining work is retried on the reference python kernel (the
+  already-emitted prefix is kept; re-emissions are deduplicated), still
+  under the same deadline and budgets.
+
+Algorithms raise the control errors themselves (at the checkpoints the
+context plants in their loops); this module only catches, packages and
+-- for kernel faults -- recovers.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    KernelError,
+    KernelFallbackWarning,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.resilience.context import QueryContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import SkylineAlgorithm
+    from repro.core.record import Record
+    from repro.transform.dataset import TransformedDataset
+    from repro.transform.point import Point
+
+__all__ = ["PartialResult", "execute", "KERNEL_FAULTS"]
+
+logger = logging.getLogger("repro.resilience")
+
+#: Exception types the executor treats as recoverable kernel failures.
+#: ``FloatingPointError`` is what numpy raises under ``np.errstate`` when
+#: a vectorized reduction hits an invalid value.
+KERNEL_FAULTS = (KernelError, FloatingPointError)
+
+
+@dataclass
+class PartialResult:
+    """The outcome of one resilient query -- possibly truncated, never silent.
+
+    Attributes
+    ----------
+    points:
+        The emitted skyline points, in the algorithm's emission order.
+        When the query was stopped early this is a prefix of the full
+        emission order (algorithms are deterministic).
+    complete:
+        ``True`` when the algorithm ran to completion.
+    exhausted_reason:
+        ``None`` on completion; otherwise the budget that stopped the
+        query (``"comparisons"``, ``"heap_entries"``,
+        ``"window_entries"``, ``"answers"``) or the stop kind
+        (``"deadline"``, ``"cancelled"``) when attached to a raised
+        control error.
+    algorithm / elapsed / counters / checkpoints:
+        What ran, how long it took, the counter deltas it charged and
+        how many cooperative checkpoints it passed.
+    fallback:
+        ``True`` when a batch-kernel failure was recovered by re-running
+        the remaining work on the reference python kernel.
+    """
+
+    points: list["Point"] = field(default_factory=list)
+    complete: bool = False
+    exhausted_reason: str | None = None
+    algorithm: str = ""
+    elapsed: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    checkpoints: int = 0
+    fallback: bool = False
+
+    @property
+    def records(self) -> list["Record"]:
+        """The emitted answers as :class:`~repro.core.record.Record` objects."""
+        return [p.record for p in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator["Point"]:
+        return iter(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "complete" if self.complete else f"partial:{self.exhausted_reason}"
+        return (
+            f"PartialResult({self.algorithm}, {len(self.points)} answers, "
+            f"{status}{', fallback' if self.fallback else ''})"
+        )
+
+
+def _drain(
+    gen: Iterator["Point"],
+    into: list["Point"],
+    seen: set[int],
+    max_answers: int | None,
+) -> str | None:
+    """Consume a run generator into ``into``; returns an exhausted reason.
+
+    ``seen`` deduplicates by point identity so a fallback re-run can
+    append only the answers the failed run had not emitted yet (datasets
+    share their :class:`Point` objects across kernels).
+    """
+    for point in gen:
+        if id(point) in seen:
+            continue
+        seen.add(id(point))
+        into.append(point)
+        if max_answers is not None and len(into) >= max_answers:
+            gen.close()
+            return "answers"
+    return None
+
+
+def execute(
+    dataset: "TransformedDataset",
+    algorithm: "str | SkylineAlgorithm" = "sdc+",
+    context: QueryContext | None = None,
+    *,
+    fallback: bool = True,
+    **options,
+) -> PartialResult:
+    """Run ``algorithm`` over ``dataset`` under ``context``.
+
+    Returns a :class:`PartialResult`; raises
+    :class:`~repro.exceptions.QueryTimeoutError` /
+    :class:`~repro.exceptions.QueryCancelledError` (with ``partial``
+    attached) when the deadline or cancellation token fires, and
+    re-raises unrecoverable kernel faults (with ``partial`` attached
+    when they are :class:`~repro.exceptions.ReproError` subclasses).
+
+    ``fallback`` controls the batch-kernel recovery path; it only
+    applies when the dataset's kernel is the vectorized backend.
+    """
+    # Imported lazily: repro.algorithms pulls in the transform layer,
+    # which itself imports the (lighter) resilience context module.
+    from repro.algorithms.base import SkylineAlgorithm, get_algorithm
+
+    if isinstance(algorithm, SkylineAlgorithm):
+        algo = algorithm
+    else:
+        algo = get_algorithm(algorithm, **options)
+    ctx = context if context is not None else QueryContext()
+    ctx.start(dataset.stats)
+    before = dataset.stats.snapshot()
+    started = time.perf_counter()
+    points: list["Point"] = []
+    seen: set[int] = set()
+    max_answers = ctx.budget.max_answers if ctx.budget is not None else None
+    used_fallback = False
+
+    def result(complete: bool, reason: str | None) -> PartialResult:
+        return PartialResult(
+            points=points,
+            complete=complete,
+            exhausted_reason=reason,
+            algorithm=algo.name,
+            elapsed=time.perf_counter() - started,
+            counters=dataset.stats.diff(before),
+            checkpoints=ctx.checkpoints,
+            fallback=used_fallback,
+        )
+
+    previous = dataset.context
+    dataset.context = ctx
+    try:
+        reason = None
+        try:
+            reason = _drain(algo.run(dataset), points, seen, max_answers)
+        except BudgetExhaustedError as err:
+            reason = err.reason
+        except QueryTimeoutError as err:
+            err.partial = result(False, "deadline")
+            raise
+        except QueryCancelledError as err:
+            err.partial = result(False, "cancelled")
+            raise
+        except KERNEL_FAULTS as err:
+            if not fallback or not getattr(dataset.kernel, "is_batch", False):
+                if isinstance(err, KernelError):
+                    err.partial = result(False, "kernel")
+                raise
+            used_fallback = True
+            dataset.stats.kernel_fallbacks += 1
+            message = (
+                f"batch kernel failed mid-query "
+                f"({type(err).__name__}: {err}); retrying remaining work "
+                f"on the python reference kernel "
+                f"(algorithm={algo.name}, emitted={len(points)})"
+            )
+            logger.warning(message)
+            warnings.warn(message, KernelFallbackWarning, stacklevel=2)
+            fb_view = dataset.fallback_view()
+            fb_view.context = ctx  # same deadline/budgets still apply
+            try:
+                reason = _drain(algo.run(fb_view), points, seen, max_answers)
+            except BudgetExhaustedError as fb_err:
+                reason = fb_err.reason
+            except QueryTimeoutError as fb_err:
+                fb_err.partial = result(False, "deadline")
+                raise
+            except QueryCancelledError as fb_err:
+                fb_err.partial = result(False, "cancelled")
+                raise
+        return result(reason is None, reason)
+    finally:
+        dataset.context = previous

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.core.stats import ComparisonStats
-from repro.exceptions import IndexError_
+from repro.exceptions import RTreeError
 from repro.rtree.geometry import rect_center
 from repro.rtree.node import Node
 from repro.rtree.rstar import RStarTree
@@ -72,13 +72,13 @@ def str_bulk_load(
         Counter bundle shared with the caller.
     """
     if not 0.0 < fill <= 1.0:
-        raise IndexError_("fill must be in (0, 1]")
+        raise RTreeError("fill must be in (0, 1]")
     tree = RStarTree(dimensions, max_entries=max_entries, stats=stats)
     if not points:
         return tree
     for p in points:
         if len(p.vector) != dimensions:
-            raise IndexError_(
+            raise RTreeError(
                 f"point has {len(p.vector)} dimensions, expected {dimensions}"
             )
     capacity = max(2, int(math.ceil(fill * max_entries)))

@@ -23,7 +23,7 @@ import math
 from typing import Iterator, Union
 
 from repro.core.stats import ComparisonStats
-from repro.exceptions import IndexError_
+from repro.exceptions import RTreeError
 from repro.rtree.geometry import (
     rect_area,
     rect_center,
@@ -62,11 +62,11 @@ class RStarTree:
         stats: ComparisonStats | None = None,
     ) -> None:
         if dimensions < 1:
-            raise IndexError_("dimensions must be positive")
+            raise RTreeError("dimensions must be positive")
         if max_entries < 4:
-            raise IndexError_("max_entries must be at least 4")
+            raise RTreeError("max_entries must be at least 4")
         if not 0.0 < min_fill <= 0.5:
-            raise IndexError_("min_fill must be in (0, 0.5]")
+            raise RTreeError("min_fill must be in (0, 0.5]")
         self.dimensions = dimensions
         self.max_entries = max_entries
         self.min_entries = max(2, int(math.ceil(min_fill * max_entries)))
@@ -97,7 +97,7 @@ class RStarTree:
     def insert(self, point: Point) -> None:
         """Insert one transformed point."""
         if len(point.vector) != self.dimensions:
-            raise IndexError_(
+            raise RTreeError(
                 f"point has {len(point.vector)} dimensions, tree has {self.dimensions}"
             )
         self._reinserted_heights = set()
@@ -395,55 +395,55 @@ class RStarTree:
         return self.size
 
     def validate(self) -> None:
-        """Check structural invariants; raises :class:`IndexError_`.
+        """Check structural invariants; raises :class:`RTreeError`.
 
         Verifies uniform leaf depth, occupancy bounds, MBR containment and
         aggregated category-bit consistency.
         """
         if self.size == 0:
             if self.root.entries:
-                raise IndexError_("empty tree has root entries")
+                raise RTreeError("empty tree has root entries")
             return
         leaf_depths: set[int] = set()
 
         def walk(node: Node, depth: int, is_root: bool) -> None:
             if not node.entries and not is_root:
-                raise IndexError_("empty non-root node")
+                raise RTreeError("empty non-root node")
             if not is_root and not self.packed and not (
                 self.min_entries <= len(node.entries) <= self.max_entries
             ):
-                raise IndexError_(
+                raise RTreeError(
                     f"node occupancy {len(node.entries)} outside "
                     f"[{self.min_entries}, {self.max_entries}]"
                 )
             if is_root and not self.packed and len(node.entries) > self.max_entries:
-                raise IndexError_("root overflow")
+                raise RTreeError("root overflow")
             if node.leaf:
                 leaf_depths.add(depth)
                 covered = True
                 covering = True
                 for p in node.entries:
                     if not rect_contains_point(node.mins, node.maxs, p.vector):  # type: ignore[union-attr]
-                        raise IndexError_("leaf MBR does not contain a point")
+                        raise RTreeError("leaf MBR does not contain a point")
                     covered = covered and p.category.completely_covered  # type: ignore[union-attr]
                     covering = covering and p.category.completely_covering  # type: ignore[union-attr]
                 if covered != node.covered_all or covering != node.covering_all:
-                    raise IndexError_("leaf category bits inconsistent")
+                    raise RTreeError("leaf category bits inconsistent")
                 return
             covered = True
             covering = True
             for child in node.entries:
                 if not rect_contains(node.mins, node.maxs, child.mins, child.maxs):  # type: ignore[union-attr]
-                    raise IndexError_("node MBR does not contain child MBR")
+                    raise RTreeError("node MBR does not contain child MBR")
                 covered = covered and child.covered_all  # type: ignore[union-attr]
                 covering = covering and child.covering_all  # type: ignore[union-attr]
                 walk(child, depth + 1, False)  # type: ignore[arg-type]
             if covered != node.covered_all or covering != node.covering_all:
-                raise IndexError_("internal category bits inconsistent")
+                raise RTreeError("internal category bits inconsistent")
 
         walk(self.root, 1, True)
         if len(leaf_depths) != 1:
-            raise IndexError_(f"leaves at different depths: {sorted(leaf_depths)}")
+            raise RTreeError(f"leaves at different depths: {sorted(leaf_depths)}")
         count = self.root.count_points()
         if count != self.size:
-            raise IndexError_(f"size {self.size} != stored points {count}")
+            raise RTreeError(f"size {self.size} != stored points {count}")

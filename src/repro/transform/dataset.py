@@ -19,6 +19,7 @@ from repro.core.record import Record
 from repro.core.schema import Schema
 from repro.core.stats import ComparisonStats
 from repro.posets.optimize import SpanningTreeStrategy
+from repro.resilience.context import NULL_CONTEXT, QueryContext
 from repro.rtree.bulk import str_bulk_load
 from repro.rtree.rstar import RStarTree
 from repro.transform.mapping import DomainMapping, build_mappings
@@ -112,6 +113,12 @@ class TransformedDataset:
             self.kernel = DominanceKernel(schema, self.stats, faithful_gate, closures)
         self.max_entries = max_entries
         self.bulk_load = bulk_load
+        #: The active query-execution control context.  Algorithms call
+        #: its ``checkpoint()`` in their loops; the resilient executor
+        #: (:mod:`repro.resilience.executor`) installs an armed context
+        #: for the duration of one query.  Defaults to the unarmed
+        #: :data:`~repro.resilience.context.NULL_CONTEXT`.
+        self.context: QueryContext = NULL_CONTEXT
         self.points: list[Point] = [self.transform(r) for r in self.records]
         self._index: RStarTree | None = None
         self._stratification = None
@@ -247,9 +254,42 @@ class TransformedDataset:
         view.kernel = self.kernel
         view.max_entries = self.max_entries
         view.bulk_load = self.bulk_load
+        view.context = self.context
         view.points = list(points)
         view._index = None
         view._stratification = None
+        view._buffer_pool = self._buffer_pool
+        return view
+
+    def fallback_view(self) -> "TransformedDataset":
+        """A view of this dataset bound to the reference python kernel.
+
+        Shares the records, points, mappings, counters, built indexes
+        and strata -- only the dominance kernel is replaced by a fresh
+        :class:`~repro.core.dominance.DominanceKernel` with the same
+        configuration.  Used by the resilient executor to retry a query
+        after a batch-kernel failure (``kernel="numpy"`` answers and
+        emission order are identical by construction, so the retry
+        computes the same skyline).
+        """
+        kernel = self.kernel
+        view = TransformedDataset.__new__(TransformedDataset)
+        view.schema = self.schema
+        view.records = self.records
+        view.strategy = self.strategy
+        view.stats = self.stats
+        view.mappings = self.mappings
+        view.native_mode = self.native_mode
+        view.kernel_name = "python"
+        view.kernel = DominanceKernel(
+            self.schema, self.stats, kernel.faithful_gate, kernel._closures
+        )
+        view.max_entries = self.max_entries
+        view.bulk_load = self.bulk_load
+        view.context = self.context
+        view.points = self.points
+        view._index = self._index
+        view._stratification = self._stratification
         view._buffer_pool = self._buffer_pool
         return view
 

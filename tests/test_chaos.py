@@ -1,0 +1,166 @@
+"""Fault-injection (chaos) suite: seeded failures, typed errors, recovery.
+
+CI runs this file once per seed in ``CHAOS_SEEDS`` (the chaos smoke job
+sets ``REPRO_CHAOS_SEED``); locally every test runs over all three.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import warnings
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.engine import SkylineEngine
+from repro.exceptions import (
+    KernelError,
+    KernelFallbackWarning,
+    RTreeError,
+    SchemaError,
+)
+from repro.posets.builder import diamond
+from repro.resilience.chaos import (
+    FaultInjector,
+    corrupt_rtree,
+    inject_kernel_faults,
+    malform_records,
+)
+
+_FIXED_SEEDS = (7, 101, 2025)
+_ENV_SEED = os.environ.get("REPRO_CHAOS_SEED")
+CHAOS_SEEDS = (int(_ENV_SEED),) if _ENV_SEED else _FIXED_SEEDS
+
+ALL_ALGORITHMS = ("bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+", "nn+", "dnc")
+
+
+def _make_engine(kernel: str) -> SkylineEngine:
+    rng = random.Random(31)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 40), rng.randint(1, 40)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(150)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+@pytest.fixture(scope="module")
+def reference_skyline_rids():
+    return sorted(r.rid for r in _make_engine("python").skyline("sdc+"))
+
+
+# ---------------------------------------------------------------------------
+# Batch-kernel faults: python fallback recovers the exact skyline
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_numpy_fault_falls_back_to_exact_answer(
+    seed, algorithm, reference_skyline_rids
+):
+    engine = _make_engine("numpy")
+    injector = inject_kernel_faults(
+        engine.dataset, FaultInjector(seed=seed, fail_after=1 + seed % 40)
+    )
+    with pytest.warns(KernelFallbackWarning):
+        result = engine.query(algorithm)
+    assert injector.fired == 1
+    assert result.fallback
+    assert result.complete
+    assert engine.stats.kernel_fallbacks == 1
+    assert sorted(p.record.rid for p in result) == reference_skyline_rids
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_fallback_disabled_reraises(seed):
+    engine = _make_engine("numpy")
+    inject_kernel_faults(engine.dataset, FaultInjector(seed=seed, fail_after=5))
+    with pytest.raises(KernelError) as info:
+        engine.query("sdc+", fallback=False)
+    assert info.value.partial is not None
+    assert info.value.partial.exhausted_reason == "kernel"
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_python_kernel_fault_has_no_fallback(seed):
+    engine = _make_engine("python")
+    inject_kernel_faults(engine.dataset, FaultInjector(seed=seed, fail_after=5))
+    with pytest.raises(KernelError) as info:
+        engine.query("sdc+")
+    assert info.value.partial is not None
+
+
+def test_injection_is_deterministic():
+    sites = []
+    for _ in range(2):
+        engine = _make_engine("numpy")
+        injector = inject_kernel_faults(
+            engine.dataset, FaultInjector(seed=7, fail_after=12)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelFallbackWarning)
+            engine.query("sdc+")
+        sites.append((injector.calls, tuple(injector.sites)))
+    assert sites[0] == sites[1]
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_rate_mode_is_seed_deterministic(seed):
+    def run():
+        injector = FaultInjector(seed=seed, rate=0.05, max_faults=3)
+        fired_at = []
+        for i in range(200):
+            try:
+                injector.maybe_fail("site")
+            except KernelError:
+                fired_at.append(i)
+        return fired_at
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# R-tree corruption: validate() must detect it with a typed error
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_corrupt_rtree_detected(seed):
+    engine = _make_engine("python")
+    tree = engine.dataset.index
+    tree.validate()  # sane before corruption
+    description = corrupt_rtree(tree, seed=seed)
+    assert description
+    with pytest.raises(RTreeError):
+        tree.validate()
+
+
+# ---------------------------------------------------------------------------
+# Malformed records: typed SchemaError at validation, never a traceback
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_malformed_records_rejected(seed):
+    poset = diamond()
+    schema = Schema(
+        [NumericAttribute("a", "min"), PosetAttribute.set_valued("p", poset)]
+    )
+    for record in malform_records(seed=seed):
+        with pytest.raises(SchemaError):
+            schema.validate_record(record.totals, record.partials)
+
+
+def test_malform_records_kinds():
+    records = malform_records(seed=0)
+    assert len(records) == 4
+    with pytest.raises(KernelError):
+        malform_records(kinds=("no-such-kind",))

@@ -11,7 +11,7 @@ from conftest import brute_force_skyline, random_mixed_dataset
 from repro.core.record import Record
 from repro.core.schema import NumericAttribute, PosetAttribute, Schema
 from repro.engine import skyline
-from repro.exceptions import ReproError
+from repro.exceptions import InputFormatError, ReproError
 from repro.io import (
     load_workload,
     poset_from_dict,
@@ -130,3 +130,51 @@ class TestWorkloadFiles:
         path.write_text(json.dumps({"hello": "world"}))
         with pytest.raises(ReproError):
             load_workload(path)
+
+
+class TestInputHardening:
+    """Typed errors for malformed or non-finite input (robustness PR)."""
+
+    def test_nan_total_rejected_on_save(self, tmp_path):
+        schema = Schema([NumericAttribute("a", "min")])
+        records = [Record(0, (float("nan"),), ())]
+        with pytest.raises(InputFormatError, match="not finite"):
+            save_workload(tmp_path / "bad.json", schema, records)
+
+    def test_inf_total_rejected_on_load(self):
+        with pytest.raises(InputFormatError, match="not finite"):
+            records_from_list(
+                [{"rid": 0, "totals": [float("inf")], "partials": []}]
+            )
+
+    def test_non_numeric_total_rejected(self):
+        with pytest.raises(InputFormatError, match="not numeric"):
+            records_from_list([{"rid": 0, "totals": ["ten"], "partials": []}])
+
+    def test_nan_poset_value_rejected(self):
+        from repro.posets.poset import Poset
+
+        nan = float("nan")
+        with pytest.raises(InputFormatError, match="not finite"):
+            poset_to_dict(Poset([nan, 1.0], []))
+
+    def test_poset_from_dict_missing_key(self):
+        with pytest.raises(InputFormatError, match="edges"):
+            poset_from_dict({"values": ["a", "b"]})
+
+    def test_schema_from_dict_missing_key(self):
+        with pytest.raises(InputFormatError) as info:
+            schema_from_dict({"attributes": [{"kind": "numeric", "name": "a"}]})
+        assert info.value.key == "direction"
+
+    def test_records_from_list_missing_key(self):
+        with pytest.raises(InputFormatError) as info:
+            records_from_list([{"rid": 0, "totals": [1.0]}])
+        assert info.value.key == "partials"
+
+    def test_schema_from_dict_wrong_shape(self):
+        with pytest.raises(InputFormatError):
+            schema_from_dict({"attributes": [42]})
+
+    def test_typed_errors_are_repro_errors(self):
+        assert issubclass(InputFormatError, ReproError)

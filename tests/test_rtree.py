@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 
 from repro.core.categories import Category
 from repro.core.record import Record
-from repro.exceptions import IndexError_
+from repro.exceptions import RTreeError
 from repro.rtree.bulk import str_bulk_load
 from repro.rtree.heap import EntryHeap, entry_key
 from repro.rtree.node import Node
@@ -69,15 +69,15 @@ class TestDynamicInsert:
 
     def test_dimension_mismatch(self):
         tree = RStarTree(2)
-        with pytest.raises(IndexError_):
+        with pytest.raises(RTreeError):
             tree.insert(make_point([1.0, 2.0, 3.0]))
 
     def test_bad_params(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(RTreeError):
             RStarTree(0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(RTreeError):
             RStarTree(2, max_entries=3)
-        with pytest.raises(IndexError_):
+        with pytest.raises(RTreeError):
             RStarTree(2, min_fill=0.9)
 
     def test_search_matches_linear_scan(self):
@@ -149,11 +149,11 @@ class TestBulkLoad:
         assert tree.height <= 3
 
     def test_str_dimension_mismatch(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(RTreeError):
             str_bulk_load([make_point([1, 2, 3])], 2)
 
     def test_str_bad_fill(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(RTreeError):
             str_bulk_load([make_point([1, 2])], 2, fill=0.0)
 
 
@@ -250,3 +250,10 @@ def test_bulk_tree_invariants_property(seed, n):
     tree = str_bulk_load(pts, 3, max_entries=8)
     tree.validate()
     assert len(list(tree.points())) == n
+
+
+def test_indexerror_alias_still_works():
+    """``IndexError_`` was renamed ``RTreeError``; the alias is kept."""
+    from repro.exceptions import IndexError_
+
+    assert IndexError_ is RTreeError

@@ -1,0 +1,91 @@
+"""Randomized interleaved insert/delete stress test on the engine.
+
+After every burst of random updates the incrementally maintained engine
+must agree with an engine rebuilt from scratch on the surviving records:
+same skyline answers and the same stratification shape.  Includes the
+awkward orders -- deleting a record inserted moments earlier, and
+re-inserting a previously deleted rid.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import brute_force_skyline, random_mixed_dataset
+from repro.engine import SkylineEngine
+
+
+def _strata_shape(engine: SkylineEngine) -> list[tuple[str, int]]:
+    return [
+        (str(stratum.category), stratum.tree.size)
+        for stratum in engine.dataset.stratification
+    ]
+
+
+def _check_agreement(engine: SkylineEngine, schema, live: dict) -> None:
+    rebuilt = SkylineEngine(schema, list(live.values()))
+    expected = brute_force_skyline(schema, list(live.values()))
+    for algorithm in ("sdc+", "bbs+"):
+        got = sorted(r.rid for r in engine.skyline(algorithm))
+        assert got == expected, algorithm
+        assert got == sorted(r.rid for r in rebuilt.skyline(algorithm))
+    assert _strata_shape(engine) == _strata_shape(rebuilt)
+
+
+@pytest.mark.parametrize("seed", (3, 17, 88))
+def test_interleaved_insert_delete_stress(seed):
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=50)
+    # Start the engine on half the records; the rest are an insert pool.
+    initial, pool = records[:25], records[25:]
+    engine = SkylineEngine(schema, initial)
+    live = {r.rid: r for r in initial}
+    graveyard: list = []
+
+    for step in range(120):
+        op = rng.random()
+        if op < 0.45 and pool:
+            record = pool.pop(rng.randrange(len(pool)))
+            engine.insert(record)
+            live[record.rid] = record
+            if rng.random() < 0.25:
+                # Delete-just-inserted: the record never survives a query.
+                assert engine.delete(record.rid)
+                graveyard.append(live.pop(record.rid))
+        elif op < 0.75 and live:
+            rid = rng.choice(sorted(live))
+            assert engine.delete(rid)
+            graveyard.append(live.pop(rid))
+        elif graveyard:
+            # Re-insert a previously deleted rid.
+            record = graveyard.pop(rng.randrange(len(graveyard)))
+            engine.insert(record)
+            live[record.rid] = record
+        if step % 30 == 29:
+            _check_agreement(engine, schema, live)
+
+    _check_agreement(engine, schema, live)
+
+
+def test_delete_missing_rid_is_noop():
+    rng = random.Random(1)
+    schema, records = random_mixed_dataset(rng, n=10)
+    engine = SkylineEngine(schema, records)
+    assert not engine.delete("no-such-rid")
+    assert sorted(r.rid for r in engine.skyline("sdc+")) == brute_force_skyline(
+        schema, records
+    )
+
+
+def test_drain_and_refill():
+    rng = random.Random(9)
+    schema, records = random_mixed_dataset(rng, n=20)
+    engine = SkylineEngine(schema, records)
+    for r in records:
+        assert engine.delete(r.rid)
+    assert engine.skyline("sdc+") == []
+    for r in records:
+        engine.insert(r)
+    _check_agreement(engine, schema, {r.rid: r for r in records})
