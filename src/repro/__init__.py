@@ -37,6 +37,7 @@ from repro.core.schema import AttributeKind, NumericAttribute, PosetAttribute, S
 from repro.core.stats import ComparisonStats
 from repro.engine import SkylineEngine, skyline
 from repro.exceptions import (
+    AdmissionRejectedError,
     AlgorithmError,
     BudgetExhaustedError,
     CyclicPosetError,
@@ -50,6 +51,7 @@ from repro.exceptions import (
     ResilienceError,
     RTreeError,
     SchemaError,
+    ServingError,
     UnknownValueError,
     WorkloadError,
 )
@@ -63,6 +65,7 @@ from repro.resilience import (
     ResourceBudget,
     execute,
 )
+from repro.serving import QueryRequest, ServerMetrics, SkylineServer
 from repro.workloads.config import WorkloadConfig
 from repro.workloads.generator import generate_workload
 
@@ -90,6 +93,9 @@ __all__ = [
     "ResourceBudget",
     "PartialResult",
     "execute",
+    "SkylineServer",
+    "QueryRequest",
+    "ServerMetrics",
     "ReproError",
     "PosetError",
     "CyclicPosetError",
@@ -105,5 +111,7 @@ __all__ = [
     "QueryCancelledError",
     "BudgetExhaustedError",
     "KernelFallbackWarning",
+    "ServingError",
+    "AdmissionRejectedError",
     "__version__",
 ]

@@ -26,6 +26,7 @@ assumed.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -49,25 +50,32 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self._pages: OrderedDict[int, None] = OrderedDict()
+        # One pool may be shared by the concurrent serving layer's
+        # per-query tree views (mirroring a DBMS buffer shared across
+        # queries); the lock keeps the LRU structure and hit/miss
+        # counters consistent under that sharing.
+        self._lock = threading.Lock()
 
     def access(self, node: object) -> bool:
         """Touch a page; returns ``True`` when it was resident."""
         key = id(node)
-        if key in self._pages:
-            self._pages.move_to_end(key)
-            self.hits += 1
-            return True
-        self.misses += 1
-        self._pages[key] = None
-        if len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
-        return False
+        with self._lock:
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                self.hits += 1
+                return True
+            self.misses += 1
+            self._pages[key] = None
+            if len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
+            return False
 
     def clear(self) -> None:
         """Empty the pool (cold-start the next run)."""
-        self._pages.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._pages.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def resident(self) -> int:

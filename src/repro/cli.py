@@ -15,6 +15,10 @@ Commands
 ``bench-kernels``
     Side-by-side ``explain()`` of the python vs numpy dominance
     backends on a generated workload.
+``serve-bench``
+    Seeded multi-client workload replay against the concurrent
+    :class:`~repro.serving.server.SkylineServer` (throughput, p50/p99,
+    JSON artifact; see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -159,6 +163,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithms to time",
     )
     bk.add_argument("--seed", type=int, default=7, help="workload seed")
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="seeded multi-client benchmark of the concurrent query server",
+    )
+    sb.add_argument("--size", type=int, default=400, help="records to generate")
+    sb.add_argument("--clients", type=int, default=8, help="concurrent client threads")
+    sb.add_argument(
+        "--queries-per-client", type=int, default=4, help="queries each client submits"
+    )
+    sb.add_argument("--workers", type=int, default=4, help="server worker threads")
+    sb.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=sorted(available_algorithms()),
+        help="algorithm pool clients draw from (default: all)",
+    )
+    sb.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
+    sb.add_argument("--seed", type=int, default=7, help="workload + client-stream seed")
+    sb.add_argument(
+        "--output",
+        default=None,
+        metavar="JSON",
+        help="write the full report as a JSON artifact "
+        "(e.g. benchmarks/results/serve_bench.json)",
+    )
     return parser
 
 
@@ -386,6 +422,51 @@ def _cmd_bench_kernels(args) -> int:
     return exit_code
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.serving.bench import run_serve_bench
+
+    report = run_serve_bench(
+        size=args.size,
+        clients=args.clients,
+        queries_per_client=args.queries_per_client,
+        workers=args.workers,
+        algorithms=tuple(args.algorithms) if args.algorithms else None,
+        kernel=args.kernel,
+        seed=args.seed,
+        output=args.output,
+    )
+    workload = report["workload"]
+    print(
+        f"serve-bench: {workload['clients']} clients x "
+        f"{workload['queries_per_client']} queries, "
+        f"{workload['workers']} workers, {workload['records']} records "
+        f"({workload['kernel']} kernel, seed {workload['seed']})"
+    )
+    latency = report["latency"]
+    print(
+        f"  {report['queries']} queries in {report['wall_seconds']:.3f}s "
+        f"({report['throughput_qps']:.1f} q/s); latency "
+        f"p50={latency['p50_seconds'] * 1000:.1f}ms "
+        f"p99={latency['p99_seconds'] * 1000:.1f}ms "
+        f"max={latency['max_seconds'] * 1000:.1f}ms"
+    )
+    header = f"  {'algorithm':<10} {'count':>5} {'p50 ms':>9} {'p99 ms':>9}"
+    print(header)
+    for name, summary in report["latency_by_algorithm"].items():
+        print(
+            f"  {name:<10} {summary['count']:>5} "
+            f"{summary['p50_seconds'] * 1000:>9.1f} "
+            f"{summary['p99_seconds'] * 1000:>9.1f}"
+        )
+    if report["errors"]:
+        print(f"  {len(report['errors'])} failed submissions:")
+        for line in report["errors"][:5]:
+            print(f"    {line}")
+    if args.output:
+        print(f"  report written to {args.output}")
+    return 1 if report["errors"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -400,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         "subspace": _cmd_subspace,
         "explain": _cmd_explain,
         "bench-kernels": _cmd_bench_kernels,
+        "serve-bench": _cmd_serve_bench,
     }
     try:
         return handlers[args.command](args)

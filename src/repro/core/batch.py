@@ -209,7 +209,13 @@ class _AttrRelation:
         key = (i, j)
         hit = cache.get(key)
         if hit is not None:
-            cache.move_to_end(key)
+            # The memo may be shared by concurrent per-query kernels; a
+            # concurrent eviction between get() and move_to_end() only
+            # loses the recency bump, never the (pure) verdict.
+            try:
+                cache.move_to_end(key)
+            except KeyError:
+                pass
             return hit
         verdict = self._pair_slow(i, j)
         cache[key] = verdict

@@ -32,6 +32,7 @@ from repro.transform.point import Point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.context import CancellationToken, QueryContext
+    from repro.serving.server import SkylineServer
 
 __all__ = ["SkylineEngine", "skyline"]
 
@@ -96,23 +97,43 @@ class SkylineEngine:
         return get_algorithm(name, **options)
 
     def run_points(
-        self, algorithm: str | SkylineAlgorithm = "sdc+", **options
+        self,
+        algorithm: str | SkylineAlgorithm = "sdc+",
+        *,
+        stats: ComparisonStats | None = None,
+        **options,
     ) -> Iterator[Point]:
-        """Stream skyline :class:`Point` objects progressively."""
-        return self.algorithm(algorithm, **options).run(self.dataset)
+        """Stream skyline :class:`Point` objects progressively.
+
+        ``stats`` redirects this one call's counters into the given
+        bundle instead of the engine-level one (the run executes on an
+        isolated :meth:`~repro.transform.dataset.TransformedDataset.query_view`,
+        so the engine bundle is untouched) -- per-call attribution
+        without a second engine.
+        """
+        dataset = self.dataset if stats is None else self.dataset.query_view(stats)
+        return self.algorithm(algorithm, **options).run(dataset)
 
     def run(
-        self, algorithm: str | SkylineAlgorithm = "sdc+", **options
+        self,
+        algorithm: str | SkylineAlgorithm = "sdc+",
+        *,
+        stats: ComparisonStats | None = None,
+        **options,
     ) -> Iterator[Record]:
         """Stream skyline :class:`Record` objects progressively."""
-        for point in self.run_points(algorithm, **options):
+        for point in self.run_points(algorithm, stats=stats, **options):
             yield point.record
 
     def skyline(
-        self, algorithm: str | SkylineAlgorithm = "sdc+", **options
+        self,
+        algorithm: str | SkylineAlgorithm = "sdc+",
+        *,
+        stats: ComparisonStats | None = None,
+        **options,
     ) -> list[Record]:
         """The full skyline as a record list."""
-        return list(self.run(algorithm, **options))
+        return list(self.run(algorithm, stats=stats, **options))
 
     def query(
         self,
@@ -126,6 +147,7 @@ class SkylineEngine:
         cancel: "CancellationToken | None" = None,
         context: "QueryContext | None" = None,
         fallback: bool = True,
+        stats: ComparisonStats | None = None,
         **options,
     ):
         """Run one resilient query (see :mod:`repro.resilience`).
@@ -134,7 +156,9 @@ class SkylineEngine:
         exhausting a resource budget truncates gracefully, while an
         expired ``deadline`` (seconds) or a fired ``cancel`` token raises
         the typed control error with the partial result attached.  A
-        ready-made ``context`` overrides the individual limits.
+        ready-made ``context`` overrides the individual limits; ``stats``
+        redirects this call's counters into the given bundle (the query
+        runs on an isolated view, leaving the engine bundle untouched).
         """
         from repro.resilience import QueryContext, ResourceBudget, execute
 
@@ -146,9 +170,26 @@ class SkylineEngine:
                 else None
             )
             context = QueryContext(deadline=deadline, budget=budget, cancel=cancel)
+        dataset = self.dataset if stats is None else self.dataset.query_view(stats)
         return execute(
-            self.dataset, algorithm, context, fallback=fallback, **options
+            dataset, algorithm, context, fallback=fallback, **options
         )
+
+    def serve(self, **options) -> "SkylineServer":
+        """A concurrent query server over this engine's dataset.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.serving.server.SkylineServer` (``workers``,
+        ``max_pending``, ``validate_on_admission``, ...).  Use as a
+        context manager::
+
+            with engine.serve(workers=8) as server:
+                handles = [server.submit(algorithm="sdc+") for _ in range(32)]
+                answers = [h.result() for h in handles]
+        """
+        from repro.serving import SkylineServer
+
+        return SkylineServer(self, **options)
 
     # ------------------------------------------------------------------
     # Skyline-related queries (repro.queries convenience front-ends)

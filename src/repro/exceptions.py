@@ -87,6 +87,45 @@ class KernelError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Concurrent query serving (repro.serving)
+# ---------------------------------------------------------------------------
+class ServingError(ReproError):
+    """Raised for invalid use of the concurrent query server (e.g.
+    submitting to a closed :class:`~repro.serving.server.SkylineServer`)."""
+
+
+class AdmissionRejectedError(ServingError):
+    """Raised when the server's admission controller refuses a query.
+
+    Rejection happens *before* any dominance comparison is executed: the
+    cost model predicted the query cannot finish within its budget or
+    deadline, or the server is over capacity (see
+    :mod:`repro.serving.admission`).
+
+    Attributes
+    ----------
+    reason:
+        Why the query was refused: ``"comparisons"`` (estimated
+        comparison bill exceeds the request's budget), ``"deadline"``
+        (calibrated latency exceeds the request's deadline) or
+        ``"capacity"`` (the server's pending-queue limit is reached).
+    estimate / limit:
+        The offending estimate and the limit it exceeded (``None`` for
+        ``"capacity"`` rejections, where they are the queue depth and
+        the queue capacity).
+    """
+
+    def __init__(self, reason: str, estimate: float | None, limit: float | None) -> None:
+        self.reason = reason
+        self.estimate = estimate
+        self.limit = limit
+        detail = ""
+        if estimate is not None and limit is not None:
+            detail = f" (estimated {estimate:.6g}, limit {limit:.6g})"
+        super().__init__(f"query rejected at admission: {reason}{detail}")
+
+
+# ---------------------------------------------------------------------------
 # Query-execution control (repro.resilience)
 # ---------------------------------------------------------------------------
 class ResilienceError(ReproError):

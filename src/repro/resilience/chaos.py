@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.record import Record
@@ -44,6 +45,7 @@ __all__ = [
     "ChaoticKernel",
     "ChaoticBuffer",
     "inject_kernel_faults",
+    "inject_update_faults",
     "corrupt_rtree",
     "malform_records",
 ]
@@ -70,7 +72,7 @@ class FaultInjector:
     """
 
     __slots__ = ("rng", "fail_after", "rate", "max_faults", "fault_type",
-                 "calls", "fired", "sites")
+                 "calls", "fired", "sites", "_lock")
 
     def __init__(
         self,
@@ -88,23 +90,28 @@ class FaultInjector:
         self.calls = 0
         self.fired = 0
         self.sites: list[str] = []
+        # One injector may be shared by many concurrent per-query view
+        # kernels (the server's chaos tests); the lock keeps the call
+        # counting and the max_faults cap exact under that sharing.
+        self._lock = threading.Lock()
 
     def maybe_fail(self, site: str) -> None:
         """Count one intercepted call; raise when this one should fail."""
-        self.calls += 1
-        if self.fired >= self.max_faults:
-            return
-        trip = False
-        if self.fail_after is not None:
-            trip = self.calls >= self.fail_after
-        elif self.rate > 0.0:
-            trip = self.rng.random() < self.rate
-        if trip:
+        with self._lock:
+            self.calls += 1
+            if self.fired >= self.max_faults:
+                return
+            trip = False
+            if self.fail_after is not None:
+                trip = self.calls >= self.fail_after
+            elif self.rate > 0.0:
+                trip = self.rng.random() < self.rate
+            if not trip:
+                return
             self.fired += 1
             self.sites.append(site)
-            raise self.fault_type(
-                f"injected fault at {site} (call #{self.calls})"
-            )
+            calls = self.calls
+        raise self.fault_type(f"injected fault at {site} (call #{calls})")
 
 
 class ChaoticBuffer:
@@ -225,8 +232,32 @@ def inject_kernel_faults(
     Returns the injector (for inspecting ``calls`` / ``fired`` after the
     run).  The resilient executor's fallback path builds a *fresh*
     python kernel, so a recovered query bypasses the proxy entirely.
+
+    The injector is also recorded on the dataset so per-query views
+    (:meth:`~repro.transform.dataset.TransformedDataset.query_view`)
+    re-wrap their own kernels with the same injector -- this is how the
+    serving chaos tests break exactly one of N concurrent queries.
     """
     dataset.kernel = ChaoticKernel(dataset.kernel, injector)
+    dataset._kernel_injector = injector
+    return injector
+
+
+def inject_update_faults(
+    dataset: "TransformedDataset", injector: FaultInjector
+) -> FaultInjector:
+    """Arm the dataset's update fault points with ``injector``.
+
+    ``insert_record`` / ``delete_record`` call the injector at two
+    mid-update sites each (after the point/record lists changed but
+    before the index insert/delete, and between the index and the
+    stratification maintenance), so a fired fault lands the dataset in
+    the worst spot -- and the update code must restore the exact
+    pre-update state before re-raising (asserted by the update-chaos
+    suite).  Pass ``injector=None``-like behaviour by simply never
+    arming; a dataset starts with no update injector.
+    """
+    dataset._update_injector = injector
     return injector
 
 

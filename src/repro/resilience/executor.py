@@ -140,6 +140,7 @@ def execute(
     context: QueryContext | None = None,
     *,
     fallback: bool = True,
+    sink: "list[Point] | None" = None,
     **options,
 ) -> PartialResult:
     """Run ``algorithm`` over ``dataset`` under ``context``.
@@ -153,6 +154,14 @@ def execute(
 
     ``fallback`` controls the batch-kernel recovery path; it only
     applies when the dataset's kernel is the vectorized backend.
+
+    ``sink``, when given, is an (empty) list the executor appends every
+    emitted point to *as it is emitted* -- the serving layer hands it to
+    a :class:`~repro.serving.server.QueryHandle` so callers can observe
+    a running query's partial answers without waiting for it to finish
+    (list appends are atomic under the GIL, so a concurrent snapshot is
+    always a valid emission prefix).  The returned
+    :class:`PartialResult` uses the same list as its ``points``.
     """
     # Imported lazily: repro.algorithms pulls in the transform layer,
     # which itself imports the (lighter) resilience context module.
@@ -166,7 +175,7 @@ def execute(
     ctx.start(dataset.stats)
     before = dataset.stats.snapshot()
     started = time.perf_counter()
-    points: list["Point"] = []
+    points: list["Point"] = sink if sink is not None else []
     seen: set[int] = set()
     max_answers = ctx.budget.max_answers if ctx.budget is not None else None
     used_fallback = False

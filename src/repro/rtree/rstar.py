@@ -91,6 +91,24 @@ class RStarTree:
         if self.buffer_pool is not None and not self.buffer_pool.access(node):
             self.stats.page_misses += 1
 
+    def view(self, stats: ComparisonStats, buffer_pool=None) -> "RStarTree":
+        """A read-only view of this tree counting into ``stats``.
+
+        The view shares every node with the original (no copying), so it
+        is only safe while the original is not mutated -- the serving
+        layer guarantees this by draining in-flight queries before
+        updates.  It exists so concurrent queries over one shared tree
+        can each charge ``node_accesses`` / ``page_misses`` to their own
+        per-query counter bundle instead of racing on a shared one.
+        """
+        clone = RStarTree.__new__(RStarTree)
+        clone.__dict__.update(self.__dict__)
+        clone.stats = stats
+        clone.buffer_pool = buffer_pool if buffer_pool is not None else self.buffer_pool
+        clone._reinserted_heights = set()
+        clone._pending = []
+        return clone
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Concurrent query serving for the skyline engine.
+
+A :class:`~repro.serving.server.SkylineServer` multiplexes many
+concurrent skyline queries over one shared immutable
+:class:`~repro.transform.dataset.TransformedDataset` through a worker
+thread pool, with cost-model admission control
+(:mod:`repro.serving.admission`), per-query counter isolation merged
+into server-wide aggregates (:mod:`repro.serving.metrics`), and
+reader-writer coordination between queries and dynamic updates
+(:mod:`repro.serving.rwlock`).  ``repro serve-bench`` drives the seeded
+multi-client benchmark in :mod:`repro.serving.bench`.
+
+See ``docs/serving.md`` for a guided tour.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    CostEstimate,
+    CostEstimator,
+)
+from repro.serving.bench import run_serve_bench
+from repro.serving.metrics import LatencyHistogram, ServerMetrics
+from repro.serving.rwlock import ReadWriteLock
+from repro.serving.server import QueryHandle, QueryRequest, SkylineServer
+
+__all__ = [
+    "SkylineServer",
+    "QueryRequest",
+    "QueryHandle",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CostEstimator",
+    "CostEstimate",
+    "ServerMetrics",
+    "LatencyHistogram",
+    "ReadWriteLock",
+    "run_serve_bench",
+]

@@ -1,0 +1,274 @@
+"""Deadline- and budget-aware admission control.
+
+The point of admission control is to refuse work *before* it burns its
+budget: a query whose estimated comparison bill already exceeds its
+``max_comparisons`` budget, or whose calibrated latency exceeds its
+deadline, is rejected with a typed
+:class:`~repro.exceptions.AdmissionRejectedError` having executed **zero**
+dominance comparisons, instead of being admitted, charged, and truncated
+at the budget checkpoint mid-flight.
+
+Estimation is two-phase:
+
+* **Cold start** -- an analytic upper-bound: the expected skyline size of
+  ``n`` points in ``d`` independent dimensions is
+  ``(ln n)^(d-1) / (d-1)!`` (Bentley et al.), and window/scan algorithms
+  compare every record against the surviving skyline, giving
+  ``n * s(n, d)`` comparisons.  Crude, but it only has to be the right
+  order of magnitude to stop obviously-hopeless queries.
+* **Calibrated** -- an EWMA over the *observed* per-record counter deltas
+  and wall-clock of completed queries, per algorithm
+  (:meth:`CostEstimator.observe`, fed by the server after every complete
+  query).  Once one query of an algorithm has finished, estimates track
+  the live workload and the analytic bound retires.
+
+The estimated counter delta is also priced through the
+:class:`~repro.bench.costmodel.CostModel` (the paper's 2005-era disk/CPU
+weights), so every admission decision records the modeled I/O + CPU bill
+alongside the raw comparison count.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+from repro.bench.costmodel import CostModel
+from repro.core.stats import ComparisonStats
+
+__all__ = ["CostEstimate", "CostEstimator", "AdmissionDecision", "AdmissionController"]
+
+#: Counter fields whose sum is "point-level dominance work" (must match
+#: :attr:`~repro.core.stats.ComparisonStats.total_dominance_checks`).
+_CHECK_FIELDS = ("m_dominance_point", "native_set", "native_closure", "native_numeric")
+
+
+def _analytic_skyline_size(n: int, dimensions: int) -> float:
+    """Expected skyline size of ``n`` independent points in ``d`` dims."""
+    if n <= 1:
+        return float(n)
+    k = max(1, min(dimensions, 8) - 1)
+    size = (math.log(n) ** k) / math.factorial(k)
+    return min(max(size, 1.0), float(n))
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted bill of one query, produced before it runs.
+
+    Attributes
+    ----------
+    algorithm / records:
+        What is being estimated, over how many records.
+    comparisons:
+        Predicted point-level dominance comparisons (the quantity a
+        ``max_comparisons`` budget is charged against).
+    counters:
+        Predicted full counter delta (keys from
+        :class:`~repro.core.stats.ComparisonStats`), used for the cost
+        model pricing.
+    model_ms:
+        The delta priced through the
+        :class:`~repro.bench.costmodel.CostModel` (modeled 2005-era
+        milliseconds, I/O + CPU).
+    seconds:
+        Calibrated wall-clock EWMA for this algorithm, ``None`` until
+        one query has completed (wall-clock is machine-dependent, so
+        only measured values are trusted against deadlines).
+    calibrated:
+        ``False`` while the estimate rests on the analytic cold-start
+        bound.
+    """
+
+    algorithm: str
+    records: int
+    comparisons: float
+    counters: dict = field(default_factory=dict)
+    model_ms: float = 0.0
+    seconds: float | None = None
+    calibrated: bool = False
+
+
+class _Profile:
+    """EWMA of per-record counter deltas + wall seconds for one algorithm."""
+
+    __slots__ = ("per_record", "seconds", "samples")
+
+    def __init__(self) -> None:
+        self.per_record: dict[str, float] = {}
+        self.seconds = 0.0
+        self.samples = 0
+
+
+class CostEstimator:
+    """Cold-start analytic + calibrated EWMA query-cost estimator."""
+
+    def __init__(self, cost_model: CostModel | None = None, alpha: float = 0.3) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.alpha = alpha
+        self._profiles: dict[str, _Profile] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, algorithm: str, records: int, counters: dict, seconds: float
+    ) -> None:
+        """Fold one *completed* query's measured bill into the EWMA.
+
+        ``counters`` is the query's counter delta (e.g.
+        ``ComparisonStats.snapshot()`` of its private bundle); partial
+        or failed queries must not be observed -- their truncated bills
+        would bias the estimate low and let over-budget queries sneak
+        past admission.
+        """
+        if records <= 0:
+            return
+        with self._lock:
+            profile = self._profiles.setdefault(algorithm.lower(), _Profile())
+            alpha = self.alpha if profile.samples else 1.0
+            for name, value in counters.items():
+                rate = value / records
+                old = profile.per_record.get(name, 0.0)
+                profile.per_record[name] = old + alpha * (rate - old)
+            profile.seconds += alpha * (seconds - profile.seconds)
+            profile.samples += 1
+
+    def estimate(self, algorithm: str, records: int, dimensions: int) -> CostEstimate:
+        """Predict the bill of running ``algorithm`` over ``records`` rows."""
+        with self._lock:
+            profile = self._profiles.get(algorithm.lower())
+            if profile is not None and profile.samples:
+                counters = {
+                    name: rate * records
+                    for name, rate in profile.per_record.items()
+                }
+                comparisons = sum(counters.get(f, 0.0) for f in _CHECK_FIELDS)
+                return CostEstimate(
+                    algorithm=algorithm,
+                    records=records,
+                    comparisons=comparisons,
+                    counters=counters,
+                    model_ms=self.cost_model.total_cost(counters),
+                    seconds=profile.seconds,
+                    calibrated=True,
+                )
+        comparisons = records * _analytic_skyline_size(records, dimensions)
+        counters = {
+            "m_dominance_point": comparisons,
+            "tuples_scanned": float(records),
+        }
+        return CostEstimate(
+            algorithm=algorithm,
+            records=records,
+            comparisons=comparisons,
+            counters=counters,
+            model_ms=self.cost_model.total_cost(counters),
+            seconds=None,
+            calibrated=False,
+        )
+
+    def profile_samples(self, algorithm: str) -> int:
+        """How many completed queries have calibrated ``algorithm``."""
+        with self._lock:
+            profile = self._profiles.get(algorithm.lower())
+            return profile.samples if profile is not None else 0
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``action`` is ``"admit"``, ``"deflect"`` (admit demoted to the back
+    of the queue because the server is over its soft pending limit) or
+    ``"reject"``; ``reason`` names the rejection/deflection cause
+    (``"comparisons"``, ``"deadline"``, ``"capacity"``).
+    """
+
+    action: str
+    reason: str | None
+    estimate: CostEstimate
+
+
+class AdmissionController:
+    """Decides admit / deflect / reject for every submitted query.
+
+    Parameters
+    ----------
+    estimator:
+        The :class:`CostEstimator` consulted for the up-front bill (a
+        fresh one when omitted).
+    max_pending:
+        Soft cap on queued (not yet running) queries.  Beyond it the
+        ``overload_policy`` applies.
+    hard_limit:
+        Hard cap on queued queries (default ``2 * max_pending``); beyond
+        it every query is rejected with reason ``"capacity"``.
+    overload_policy:
+        ``"deflect"`` (default): between the soft and hard limits,
+        queries are admitted but demoted to the lowest priority --
+        latency-tolerant work yields to the interactive tier instead of
+        being dropped.  ``"reject"``: the soft limit already rejects.
+    comparison_margin / deadline_margin:
+        Safety multipliers applied to the estimate before comparing it
+        with the request's budget/deadline (1.0 = trust the estimate).
+    """
+
+    def __init__(
+        self,
+        estimator: CostEstimator | None = None,
+        max_pending: int = 64,
+        hard_limit: int | None = None,
+        overload_policy: str = "deflect",
+        comparison_margin: float = 1.0,
+        deadline_margin: float = 1.0,
+    ) -> None:
+        if overload_policy not in ("deflect", "reject"):
+            from repro.exceptions import ServingError
+
+            raise ServingError(f"unknown overload_policy {overload_policy!r}")
+        self.estimator = estimator if estimator is not None else CostEstimator()
+        self.max_pending = max_pending
+        self.hard_limit = hard_limit if hard_limit is not None else 2 * max_pending
+        self.overload_policy = overload_policy
+        self.comparison_margin = comparison_margin
+        self.deadline_margin = deadline_margin
+
+    # ------------------------------------------------------------------
+    def decide(self, request, dataset, queue_depth: int) -> AdmissionDecision:
+        """Check one request against its budget, deadline and capacity.
+
+        Pure decision logic -- never executes a dominance comparison and
+        never raises; the server turns ``"reject"`` decisions into
+        :class:`~repro.exceptions.AdmissionRejectedError`.
+        """
+        estimate = self.estimator.estimate(
+            request.algorithm, len(dataset), dataset.dimensions
+        )
+        limit = request.max_comparisons
+        if limit is not None and estimate.comparisons * self.comparison_margin > limit:
+            return AdmissionDecision("reject", "comparisons", estimate)
+        if (
+            request.deadline is not None
+            and estimate.seconds is not None
+            and estimate.seconds * self.deadline_margin > request.deadline
+        ):
+            return AdmissionDecision("reject", "deadline", estimate)
+        if queue_depth >= self.hard_limit:
+            return AdmissionDecision("reject", "capacity", estimate)
+        if queue_depth >= self.max_pending:
+            if self.overload_policy == "deflect":
+                return AdmissionDecision("deflect", "capacity", estimate)
+            return AdmissionDecision("reject", "capacity", estimate)
+        return AdmissionDecision("admit", None, estimate)
+
+    def observe(self, algorithm: str, records: int, stats: ComparisonStats,
+                seconds: float) -> None:
+        """Calibrate from one completed query's private counter bundle."""
+        self.estimator.observe(algorithm, records, stats.snapshot(), seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdmissionController(max_pending={self.max_pending}, "
+            f"hard_limit={self.hard_limit}, policy={self.overload_policy!r})"
+        )

@@ -1,0 +1,149 @@
+"""Seeded multi-client serving benchmark (``repro serve-bench``).
+
+Replays a deterministic concurrent workload against a
+:class:`~repro.serving.server.SkylineServer`: ``clients`` threads each
+submit ``queries_per_client`` requests (algorithm chosen per-request by
+a seeded RNG) and block on their handles, exactly like independent
+callers of a query service.  The report covers client-observed
+end-to-end latency (throughput, p50/p90/p99 overall and per algorithm,
+computed from the exact latency samples, not histogram buckets) plus the
+server's own metrics snapshot, and is optionally written as a JSON
+artifact for CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+
+from repro.serving.server import QueryRequest, SkylineServer
+
+__all__ = ["run_serve_bench", "DEFAULT_ALGORITHMS"]
+
+DEFAULT_ALGORITHMS = ("bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+", "nn+", "dnc")
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile of a sample list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "mean_seconds": round(sum(samples) / len(samples), 6) if samples else 0.0,
+        "p50_seconds": round(_percentile(samples, 0.50), 6),
+        "p90_seconds": round(_percentile(samples, 0.90), 6),
+        "p99_seconds": round(_percentile(samples, 0.99), 6),
+        "max_seconds": round(max(samples), 6) if samples else 0.0,
+    }
+
+
+def run_serve_bench(
+    size: int = 400,
+    clients: int = 8,
+    queries_per_client: int = 4,
+    workers: int = 4,
+    algorithms: tuple[str, ...] | None = None,
+    kernel: str = "python",
+    seed: int = 7,
+    output: str | None = None,
+) -> dict:
+    """Run the concurrent serving benchmark; returns the report dict.
+
+    The workload (dataset *and* per-client query sequence) is fully
+    determined by ``seed``, so two runs submit identical request streams
+    -- only the interleaving and the latencies vary.  ``output`` writes
+    the report as JSON (parent directories created).
+    """
+    from repro.workloads.config import WorkloadConfig
+    from repro.workloads.generator import generate_workload
+
+    algorithms = tuple(algorithms) if algorithms else DEFAULT_ALGORITHMS
+    config = WorkloadConfig.default(data_size=size, seed=seed)
+    workload = generate_workload(config)
+    from repro.transform.dataset import TransformedDataset
+
+    dataset = TransformedDataset(workload.schema, workload.records, kernel=kernel)
+
+    samples: list[tuple[str, float, str]] = []  # (algorithm, seconds, outcome)
+    samples_lock = threading.Lock()
+    errors: list[str] = []
+
+    server = SkylineServer(dataset, workers=workers, warm=True)
+
+    def client(client_id: int) -> None:
+        rng = random.Random(seed * 100_003 + client_id)
+        for _ in range(queries_per_client):
+            algorithm = rng.choice(algorithms)
+            begin = time.perf_counter()
+            try:
+                handle = server.submit(QueryRequest(algorithm=algorithm))
+                result = handle.result()
+                seconds = time.perf_counter() - begin
+                outcome = "complete" if result.complete else "partial"
+                with samples_lock:
+                    samples.append((algorithm, seconds, outcome))
+            except Exception as err:  # rejected / failed: record, keep going
+                with samples_lock:
+                    errors.append(f"{algorithm}: {type(err).__name__}: {err}")
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"client-{i}")
+        for i in range(clients)
+    ]
+    bench_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - bench_start
+    server.close(wait=True)
+
+    latencies = [seconds for _, seconds, _ in samples]
+    by_algorithm = {
+        name: [s for a, s, _ in samples if a == name]
+        for name in algorithms
+        if any(a == name for a, _, _ in samples)
+    }
+    report = {
+        "workload": {
+            "records": len(workload.records),
+            "kernel": kernel,
+            "seed": seed,
+            "clients": clients,
+            "queries_per_client": queries_per_client,
+            "workers": workers,
+            "algorithms": list(algorithms),
+        },
+        "wall_seconds": round(wall, 6),
+        "queries": len(samples),
+        "errors": errors,
+        "throughput_qps": round(len(samples) / wall, 3) if wall > 0 else 0.0,
+        "latency": _latency_summary(latencies),
+        "latency_by_algorithm": {
+            name: _latency_summary(values)
+            for name, values in sorted(by_algorithm.items())
+        },
+        "server": server.metrics.snapshot(),
+    }
+    if output:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

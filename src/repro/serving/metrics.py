@@ -1,0 +1,293 @@
+"""Serving metrics: latency histograms, admission counters, gauges.
+
+One :class:`ServerMetrics` instance aggregates everything a
+:class:`~repro.serving.server.SkylineServer` observes -- per-algorithm
+latency histograms, admission/rejection/timeout/fallback counters, a
+queue-depth gauge and the server-wide
+:class:`~repro.core.stats.ComparisonStats` aggregate merged from every
+query's private bundle.  All mutation goes through one lock, so metric
+updates from many worker threads never tear; :meth:`ServerMetrics.snapshot`
+returns a plain-dict copy suitable for JSON export.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+from repro.core.stats import ComparisonStats
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+
+def _default_bounds() -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds: 0.1 ms .. ~100 s, 4 per decade."""
+    return tuple(1e-4 * (10.0 ** (i / 4.0)) for i in range(25))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimation.
+
+    Buckets are log-spaced (4 per decade from 0.1 ms to ~100 s by
+    default) plus one overflow bucket, so recording is O(log buckets)
+    and memory is constant regardless of query volume.  Quantiles are
+    linearly interpolated inside the winning bucket and clamped to the
+    observed min/max, which keeps small-sample estimates honest.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        self.bounds = tuple(bounds) if bounds is not None else _default_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (in seconds)."""
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0.0
+        for i, bucket in enumerate(self.counts):
+            if bucket == 0:
+                continue
+            if seen + bucket >= target:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (target - seen) / bucket
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+            seen += bucket
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        """Average observation in seconds (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (counts, mean, min/max, p50/p90/p99)."""
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total, 6),
+            "mean_seconds": round(self.mean, 6),
+            "min_seconds": round(self.min, 6) if self.count else 0.0,
+            "max_seconds": round(self.max, 6),
+            "p50_seconds": round(self.quantile(0.50), 6),
+            "p90_seconds": round(self.quantile(0.90), 6),
+            "p99_seconds": round(self.quantile(0.99), 6),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LatencyHistogram(count={self.count}, mean={self.mean:.6f}s)"
+
+
+class ServerMetrics:
+    """Thread-safe metric registry for one skyline server.
+
+    Counters
+    --------
+    ``submitted / admitted / deflected`` and ``rejected`` (broken down
+    by admission reason), the terminal outcomes ``completed / partial /
+    timeouts / cancelled / failures``, recovery events ``fallbacks``
+    (batch-kernel -> python retries) and ``index_repairs``
+    (rebuild-on-detect of a corrupted R-tree), and ``updates``.
+
+    Gauges
+    ------
+    ``queue_depth`` (pending requests) with a high-water mark, and
+    ``in_flight`` (queries currently executing).
+
+    Aggregates
+    ----------
+    Per-algorithm and overall latency histograms, a queue-wait
+    histogram, and one :class:`~repro.core.stats.ComparisonStats` merged
+    from every finished query's private bundle -- the replacement for
+    the racy shared engine bundle.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.admitted = 0
+        self.deflected = 0
+        self.rejected: dict[str, int] = {}
+        self.completed = 0
+        self.partial = 0
+        self.timeouts = 0
+        self.cancelled = 0
+        self.failures = 0
+        self.fallbacks = 0
+        self.index_repairs = 0
+        self.updates = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.in_flight = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self.by_algorithm: dict[str, LatencyHistogram] = {}
+        self.comparison_totals = ComparisonStats()
+
+    # ------------------------------------------------------------------
+    # Admission-side events
+    # ------------------------------------------------------------------
+    def on_submitted(self) -> None:
+        """Count one submission (before the admission decision)."""
+        with self._lock:
+            self.submitted += 1
+
+    def on_rejected(self, reason: str) -> None:
+        """Count one admission rejection under its reason."""
+        with self._lock:
+            self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def on_admitted(self, deflected: bool) -> None:
+        """Count one admitted query (optionally via deflection)."""
+        with self._lock:
+            self.admitted += 1
+            if deflected:
+                self.deflected += 1
+
+    def on_enqueued(self) -> None:
+        """Bump the queue-depth gauge (and its high-water mark)."""
+        with self._lock:
+            self.queue_depth += 1
+            if self.queue_depth > self.max_queue_depth:
+                self.max_queue_depth = self.queue_depth
+
+    def on_dequeued(self) -> None:
+        """Drop the queue-depth gauge as a worker picks a query up."""
+        with self._lock:
+            self.queue_depth -= 1
+
+    # ------------------------------------------------------------------
+    # Execution-side events
+    # ------------------------------------------------------------------
+    def on_started(self, queue_wait_seconds: float) -> None:
+        """Mark one query as executing; records its queue wait."""
+        with self._lock:
+            self.in_flight += 1
+            self.queue_wait.record(queue_wait_seconds)
+
+    def on_finished(
+        self,
+        algorithm: str,
+        seconds: float,
+        outcome: str,
+        stats: ComparisonStats | None = None,
+        fallback: bool = False,
+    ) -> None:
+        """Record one terminal query outcome.
+
+        ``outcome`` is one of ``"complete"``, ``"partial"``,
+        ``"timeout"``, ``"cancelled"`` or ``"error"``; ``stats`` is the
+        query's private counter bundle, merged into the server-wide
+        aggregate here (the only place those bundles meet).
+        """
+        with self._lock:
+            self.in_flight -= 1
+            if outcome == "complete":
+                self.completed += 1
+            elif outcome == "partial":
+                self.partial += 1
+            elif outcome == "timeout":
+                self.timeouts += 1
+            elif outcome == "cancelled":
+                self.cancelled += 1
+            else:
+                self.failures += 1
+            if fallback:
+                self.fallbacks += 1
+            if stats is not None:
+                self.comparison_totals += stats
+            if outcome in ("complete", "partial"):
+                self.latency.record(seconds)
+                histogram = self.by_algorithm.get(algorithm)
+                if histogram is None:
+                    histogram = self.by_algorithm[algorithm] = LatencyHistogram()
+                histogram.record(seconds)
+
+    def on_index_repair(self) -> None:
+        """Count one rebuild-on-detect R-tree repair."""
+        with self._lock:
+            self.index_repairs += 1
+
+    def on_update(self) -> None:
+        """Count one committed insert/delete."""
+        with self._lock:
+            self.updates += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Consistent JSON-able copy of every counter/gauge/histogram."""
+        with self._lock:
+            return {
+                "admission": {
+                    "submitted": self.submitted,
+                    "admitted": self.admitted,
+                    "deflected": self.deflected,
+                    "rejected": dict(self.rejected),
+                    "rejected_total": sum(self.rejected.values()),
+                },
+                "outcomes": {
+                    "completed": self.completed,
+                    "partial": self.partial,
+                    "timeouts": self.timeouts,
+                    "cancelled": self.cancelled,
+                    "failures": self.failures,
+                },
+                "recovery": {
+                    "kernel_fallbacks": self.fallbacks,
+                    "index_repairs": self.index_repairs,
+                },
+                "updates": self.updates,
+                "queue": {
+                    "depth": self.queue_depth,
+                    "max_depth": self.max_queue_depth,
+                    "in_flight": self.in_flight,
+                    "wait": self.queue_wait.snapshot(),
+                },
+                "latency": self.latency.snapshot(),
+                "latency_by_algorithm": {
+                    name: h.snapshot()
+                    for name, h in sorted(self.by_algorithm.items())
+                },
+                "comparison_totals": self.comparison_totals.snapshot(),
+            }
+
+    def to_json(self, path: str | None = None, indent: int = 2) -> str:
+        """Serialize :meth:`snapshot` to JSON; optionally write ``path``."""
+        text = json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServerMetrics(submitted={self.submitted}, "
+            f"completed={self.completed}, queue_depth={self.queue_depth})"
+        )

@@ -1,0 +1,94 @@
+"""Reader-writer coordination between queries and updates.
+
+Queries are readers: any number may run concurrently over the shared
+:class:`~repro.transform.dataset.TransformedDataset` (they only read the
+points, mappings and indexes; all per-query mutable state lives in their
+:meth:`~repro.transform.dataset.TransformedDataset.query_view`).
+``insert_record`` / ``delete_record`` are writers: they mutate the point
+list, the R-tree and the stratification in place, so they must wait for
+every in-flight query to drain and block new ones while they run.
+
+The lock is **writer-preferring**: once a writer is waiting, new readers
+queue behind it, so a steady stream of queries cannot starve updates.
+Readers are non-reentrant (one query holds at most one read slot).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring shared/exclusive lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Enter shared mode (blocks while a writer is active/waiting)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave shared mode; wakes a waiting writer when last out."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Enter exclusive mode (drains readers, blocks new ones)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave exclusive mode; wakes all waiters."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_lock(self):
+        """``with lock.read_lock():`` -- one query's shared section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_lock(self):
+        """``with lock.write_lock():`` -- one update's exclusive section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @property
+    def readers(self) -> int:
+        """Queries currently inside the shared section."""
+        return self._readers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReadWriteLock(readers={self._readers}, "
+            f"writer_active={self._writer_active}, "
+            f"writers_waiting={self._writers_waiting})"
+        )

@@ -1,0 +1,538 @@
+"""Thread-pool skyline server: many concurrent queries, one dataset.
+
+:class:`SkylineServer` multiplexes concurrent skyline queries over one
+shared immutable :class:`~repro.transform.dataset.TransformedDataset`
+(the paper's setting: an index built once offline, queried repeatedly).
+The moving parts, in submission order:
+
+1. **Admission** (:mod:`repro.serving.admission`): every
+   :class:`QueryRequest` is checked against its comparison budget and
+   deadline using the cost model's up-front estimate, and against the
+   server's pending capacity.  Hopeless or over-capacity queries are
+   rejected with :class:`~repro.exceptions.AdmissionRejectedError`
+   having executed zero dominance comparisons; overload can instead
+   *deflect* (admit at the lowest priority).
+2. **Queueing**: admitted requests enter a priority queue (lower
+   ``priority`` runs sooner; FIFO within a priority).
+3. **Execution**: a fixed pool of worker threads runs each query on its
+   own :meth:`~repro.transform.dataset.TransformedDataset.query_view` --
+   private :class:`~repro.core.stats.ComparisonStats`, private kernel,
+   private :class:`~repro.resilience.context.QueryContext` -- through
+   the resilient executor (deadlines, budgets, cancellation and batch
+   kernel -> python fallback all apply per query).  The request deadline
+   is **end-to-end**: time spent queued counts against it.
+4. **Accounting**: on completion the query's private counter bundle is
+   merged into the server-wide aggregate and its latency recorded in
+   per-algorithm histograms (:mod:`repro.serving.metrics`); completed
+   queries also calibrate the admission cost estimator.
+
+Updates (:meth:`SkylineServer.insert` / :meth:`SkylineServer.delete`)
+take the writer side of a writer-preferring reader-writer lock: they
+drain in-flight queries, mutate the dataset (incremental index + strata
+maintenance), and only then let new queries start.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import PriorityQueue
+from typing import TYPE_CHECKING
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResilienceError,
+    RTreeError,
+    ServingError,
+)
+from repro.resilience import (
+    CancellationToken,
+    PartialResult,
+    QueryContext,
+    ResourceBudget,
+    execute,
+)
+from repro.serving.admission import AdmissionController
+from repro.serving.metrics import ServerMetrics
+from repro.serving.rwlock import ReadWriteLock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.record import Record
+    from repro.transform.dataset import TransformedDataset
+    from repro.transform.point import Point
+
+__all__ = ["QueryRequest", "QueryHandle", "SkylineServer"]
+
+#: Priority deflected queries are demoted to (beyond any sane user value).
+DEFLECTED_PRIORITY = 1 << 20
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query's full specification, as submitted to the server.
+
+    ``priority`` orders the queue (lower runs sooner); ``deadline`` is
+    end-to-end wall-clock seconds from submission; the ``max_*`` fields
+    build the query's :class:`~repro.resilience.context.ResourceBudget`;
+    ``options`` is forwarded to the algorithm constructor (e.g.
+    ``{"window_size": 128}``); ``fallback`` controls batch-kernel
+    recovery; ``tag`` is an opaque client label echoed in the handle.
+    """
+
+    algorithm: str = "sdc+"
+    deadline: float | None = None
+    max_comparisons: int | None = None
+    max_heap_entries: int | None = None
+    max_window_entries: int | None = None
+    max_answers: int | None = None
+    priority: int = 0
+    fallback: bool = True
+    options: dict = field(default_factory=dict)
+    tag: str | None = None
+
+    def budget(self) -> ResourceBudget | None:
+        """The request's resource budget (``None`` when unlimited)."""
+        limits = (
+            self.max_comparisons,
+            self.max_heap_entries,
+            self.max_window_entries,
+            self.max_answers,
+        )
+        if any(v is not None for v in limits):
+            return ResourceBudget(*limits)
+        return None
+
+
+class QueryHandle:
+    """Future-like handle to one admitted query.
+
+    ``result()`` blocks for the outcome, ``partial()`` snapshots the
+    answers emitted so far (valid even while the query runs -- always a
+    prefix of the algorithm's deterministic emission order), and
+    ``cancel()`` fires the query's cooperative cancellation token.
+
+    ``stats`` is the query's **private**
+    :class:`~repro.core.stats.ComparisonStats` bundle -- every
+    comparison, node access and heap operation this query performed, and
+    nothing any other query did.
+    """
+
+    def __init__(self, request: QueryRequest, seq: int, estimate,
+                 deflected: bool) -> None:
+        self.request = request
+        self.seq = seq
+        self.estimate = estimate
+        self.deflected = deflected
+        self.stats = ComparisonStats()
+        self.cancel_token = CancellationToken()
+        self.submitted_at = time.perf_counter()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.outcome: str | None = None
+        self._sink: list["Point"] = []
+        self._result: PartialResult | None = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """Whether the query reached a terminal state."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> PartialResult:
+        """Block for the outcome.
+
+        Returns the :class:`~repro.resilience.executor.PartialResult`
+        (complete or budget-truncated); re-raises the query's typed
+        error for deadline expiry, cancellation or kernel failure --
+        exactly the contract of
+        :meth:`SkylineEngine.query <repro.engine.SkylineEngine.query>`.
+        Raises :class:`TimeoutError` when ``timeout`` elapses first
+        (the query keeps running; call again).
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query (seq={self.seq}, {self.request.algorithm}) still "
+                f"running after {timeout}s wait"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def partial(self) -> list["Point"]:
+        """Snapshot of the answers emitted so far (running or done)."""
+        if self._result is not None:
+            return list(self._result.points)
+        error = self._error
+        if error is not None and getattr(error, "partial", None) is not None:
+            return list(error.partial.points)
+        return list(self._sink)
+
+    def cancel(self) -> bool:
+        """Request cooperative cancellation; ``False`` if already done.
+
+        A queued query is dropped without running; a running query stops
+        at its next checkpoint and its handle raises
+        :class:`~repro.exceptions.QueryCancelledError` (with the partial
+        answers attached).
+        """
+        if self._done.is_set():
+            return False
+        self.cancel_token.cancel()
+        return True
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Seconds spent queued (``None`` until execution started)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    # ------------------------------------------------------------------
+    def _finish(self, outcome: str, result: PartialResult | None = None,
+                error: BaseException | None = None) -> None:
+        self.finished_at = time.perf_counter()
+        self.outcome = outcome
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self.outcome if self._done.is_set() else (
+            "running" if self.started_at is not None else "queued"
+        )
+        return (
+            f"QueryHandle(seq={self.seq}, {self.request.algorithm}, {state})"
+        )
+
+
+class SkylineServer:
+    """Concurrent skyline query server over one shared dataset.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.engine.SkylineEngine` or a
+        :class:`~repro.transform.dataset.TransformedDataset`.
+    workers:
+        Worker threads executing admitted queries.
+    admission:
+        A ready :class:`~repro.serving.admission.AdmissionController`;
+        when omitted one is built from ``max_pending`` / ``hard_limit``
+        / ``overload_policy``.
+    validate_on_admission:
+        Check R-tree structural invariants at every submission and, on
+        corruption, rebuild the indexes once before retrying --
+        availability recovery without an engine restart (repairs are
+        counted in the metrics).  Validation is O(index), so it defaults
+        off; switch it on for untrusted index storage.
+    warm:
+        Pre-build the global R-tree, the SDC+ stratum trees and the
+        batch kernel's relation memo at construction, so no query pays
+        the cold-build cost (mirrors the paper's offline index build).
+    metrics:
+        A ready :class:`~repro.serving.metrics.ServerMetrics` (fresh
+        when omitted).
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        workers: int = 4,
+        admission: AdmissionController | None = None,
+        max_pending: int = 64,
+        hard_limit: int | None = None,
+        overload_policy: str = "deflect",
+        validate_on_admission: bool = False,
+        warm: bool = True,
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServingError("workers must be positive")
+        self.dataset: "TransformedDataset" = getattr(target, "dataset", target)
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(
+                max_pending=max_pending,
+                hard_limit=hard_limit,
+                overload_policy=overload_policy,
+            )
+        )
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.validate_on_admission = validate_on_admission
+        self._rwlock = ReadWriteLock()
+        self._queue: PriorityQueue = PriorityQueue()
+        self._seq = itertools.count()
+        self._closed = False
+        if warm:
+            self.warm()
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"skyline-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Build every queryable structure now (offline, not per query)."""
+        dataset = self.dataset
+        _ = dataset.index
+        for stratum in dataset.stratification:
+            _ = stratum.tree
+        kernel = getattr(dataset.kernel, "wrapped", dataset.kernel)
+        if getattr(kernel, "is_batch", False):
+            with dataset._build_lock:
+                kernel.warm()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries; optionally drain and join the pool.
+
+        Already-queued queries still run to completion (their handles
+        resolve); only new submissions fail with
+        :class:`~repro.exceptions.ServingError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put((float("inf"), next(self._seq), None))
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "SkylineServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission / admission
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest | None = None, **kwargs) -> QueryHandle:
+        """Admit one query; returns its :class:`QueryHandle`.
+
+        Accepts a ready :class:`QueryRequest` or its fields as keyword
+        arguments (``server.submit(algorithm="bbs+", deadline=0.5)``).
+        Raises :class:`~repro.exceptions.AdmissionRejectedError` when
+        the admission controller refuses the query -- before a single
+        dominance comparison has been executed on its behalf -- and
+        :class:`~repro.exceptions.ServingError` after :meth:`close`.
+        """
+        if request is None:
+            request = QueryRequest(**kwargs)
+        elif kwargs:
+            raise ServingError("pass a QueryRequest or keyword fields, not both")
+        metrics = self.metrics
+        metrics.on_submitted()
+        if self._closed:
+            raise ServingError("server is closed")
+        if self.validate_on_admission:
+            self._ensure_valid_indexes()
+        decision = self.admission.decide(request, self.dataset, metrics.queue_depth)
+        if decision.action == "reject":
+            metrics.on_rejected(decision.reason)
+            estimate, limit = self._rejection_bounds(request, decision)
+            raise AdmissionRejectedError(decision.reason, estimate, limit)
+        deflected = decision.action == "deflect"
+        priority = request.priority
+        if deflected:
+            priority = DEFLECTED_PRIORITY + request.priority
+        handle = QueryHandle(request, next(self._seq), decision.estimate, deflected)
+        metrics.on_admitted(deflected)
+        metrics.on_enqueued()
+        self._queue.put((priority, handle.seq, handle))
+        return handle
+
+    def _rejection_bounds(self, request: QueryRequest, decision):
+        """The (estimate, limit) pair a rejection error reports."""
+        if decision.reason == "comparisons":
+            return decision.estimate.comparisons, float(request.max_comparisons)
+        if decision.reason == "deadline":
+            return decision.estimate.seconds, request.deadline
+        return float(self.metrics.queue_depth), float(self.admission.hard_limit)
+
+    def _ensure_valid_indexes(self) -> bool:
+        """Validate the built R-trees; rebuild once on corruption.
+
+        Returns ``True`` when a repair happened.  A second validation
+        failure after the rebuild surfaces as
+        :class:`~repro.exceptions.RTreeError` to the submitter.
+        """
+        try:
+            with self._rwlock.read_lock():
+                self._validate_trees()
+            return False
+        except RTreeError:
+            pass
+        with self._rwlock.write_lock():
+            try:
+                self._validate_trees()
+                return False  # another submitter repaired while we waited
+            except RTreeError:
+                self.dataset.rebuild_indexes(validate=True)
+                self.metrics.on_index_repair()
+                return True
+
+    def _validate_trees(self) -> None:
+        dataset = self.dataset
+        dataset.index.validate()
+        stratification = dataset._stratification
+        if stratification is not None:
+            for stratum in stratification:
+                if stratum._tree is not None:
+                    stratum._tree.validate()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            _, _, handle = self._queue.get()
+            if handle is None:  # shutdown sentinel
+                break
+            self.metrics.on_dequeued()
+            try:
+                self._run_query(handle)
+            except BaseException as err:  # pragma: no cover - last resort
+                if not handle.done():
+                    handle._finish("error", error=err)
+
+    def _run_query(self, handle: QueryHandle) -> None:
+        request = handle.request
+        metrics = self.metrics
+        handle.started_at = time.perf_counter()
+        wait = handle.started_at - handle.submitted_at
+        metrics.on_started(wait)
+        outcome = "error"
+        fallback_used = False
+        result: PartialResult | None = None
+        try:
+            if handle.cancel_token.cancelled:
+                error = QueryCancelledError()
+                error.partial = self._empty_partial(request, "cancelled")
+                handle._finish("cancelled", error=error)
+                outcome = "cancelled"
+                return
+            remaining = None
+            if request.deadline is not None:
+                remaining = request.deadline - wait
+                if remaining <= 0:  # expired while queued
+                    error = QueryTimeoutError(request.deadline, wait)
+                    error.partial = self._empty_partial(request, "deadline")
+                    handle._finish("timeout", error=error)
+                    outcome = "timeout"
+                    return
+            context = QueryContext(
+                deadline=remaining,
+                budget=request.budget(),
+                cancel=handle.cancel_token,
+            )
+            with self._rwlock.read_lock():
+                view = self.dataset.query_view(stats=handle.stats, context=context)
+                try:
+                    result = execute(
+                        view,
+                        request.algorithm,
+                        context,
+                        fallback=request.fallback,
+                        sink=handle._sink,
+                        **request.options,
+                    )
+                except QueryTimeoutError as err:
+                    handle._finish("timeout", error=err)
+                    outcome = "timeout"
+                    return
+                except QueryCancelledError as err:
+                    handle._finish("cancelled", error=err)
+                    outcome = "cancelled"
+                    return
+                except ResilienceError as err:
+                    handle._finish("error", error=err)
+                    return
+            fallback_used = result.fallback
+            outcome = "complete" if result.complete else "partial"
+            handle._finish(outcome, result=result)
+            if result.complete:
+                self.admission.observe(
+                    request.algorithm,
+                    len(self.dataset),
+                    handle.stats,
+                    result.elapsed,
+                )
+        except Exception as err:
+            handle._finish("error", error=err)
+            outcome = "error"
+        finally:
+            elapsed = time.perf_counter() - handle.started_at
+            metrics.on_finished(
+                request.algorithm,
+                elapsed,
+                outcome,
+                stats=handle.stats,
+                fallback=fallback_used,
+            )
+
+    @staticmethod
+    def _empty_partial(request: QueryRequest, reason: str) -> PartialResult:
+        return PartialResult(
+            points=[],
+            complete=False,
+            exhausted_reason=reason,
+            algorithm=request.algorithm,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates (writer side)
+    # ------------------------------------------------------------------
+    def insert(self, record: "Record") -> None:
+        """Insert one record, draining in-flight queries first."""
+        with self._rwlock.write_lock():
+            self.dataset.insert_record(record)
+        self.metrics.on_update()
+
+    def delete(self, rid) -> bool:
+        """Delete the record with id ``rid`` (``False`` when absent)."""
+        with self._rwlock.write_lock():
+            removed = self.dataset.delete_record(rid)
+        if removed:
+            self.metrics.on_update()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ComparisonStats:
+        """Server-wide counter aggregate (merged per-query bundles)."""
+        return self.metrics.comparison_totals
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet executing."""
+        return self.metrics.queue_depth
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SkylineServer(n={len(self.dataset)}, "
+            f"workers={len(self._workers)}, queue_depth={self.queue_depth}, "
+            f"closed={self._closed})"
+        )

@@ -11,6 +11,7 @@ tree for BBS+/SDC and per-stratum trees for SDC+ (via
 from __future__ import annotations
 
 import random
+import threading
 from collections.abc import Iterable
 
 from repro.core.categories import Category
@@ -123,6 +124,17 @@ class TransformedDataset:
         self._index: RStarTree | None = None
         self._stratification = None
         self._buffer_pool = None
+        #: Serializes lazy index/stratification/relation builds so that
+        #: concurrent queries racing on a cold structure build it once.
+        self._build_lock = threading.RLock()
+        #: The dataset a :meth:`query_view` borrows built structure from
+        #: (``None`` on real datasets).
+        self._base: TransformedDataset | None = None
+        #: Chaos hooks (see :mod:`repro.resilience.chaos`): a kernel
+        #: fault injector re-applied to per-query view kernels, and an
+        #: update fault injector fired inside insert/delete.
+        self._kernel_injector = None
+        self._update_injector = None
 
     # ------------------------------------------------------------------
     @property
@@ -178,18 +190,38 @@ class TransformedDataset:
 
     @property
     def index(self) -> RStarTree:
-        """The single R-tree over all points (built on first use)."""
+        """The single R-tree over all points (built on first use).
+
+        A :meth:`query_view` does not build its own tree: it borrows the
+        base dataset's (building it there exactly once, under the shared
+        build lock) and rebinds it to the view's counter bundle.
+        """
         if self._index is None:
-            self._index = self.build_tree(self.points)
+            with self._build_lock:
+                if self._index is None:
+                    if self._base is not None:
+                        self._index = self._base.index.view(self.stats)
+                    else:
+                        self._index = self.build_tree(self.points)
         return self._index
 
     @property
     def stratification(self):
-        """The SDC+ stratification (built once, stratum trees lazy)."""
-        if self._stratification is None:
-            from repro.transform.stratification import Stratification
+        """The SDC+ stratification (built once, stratum trees lazy).
 
-            self._stratification = Stratification(self)
+        Like :attr:`index`, a :meth:`query_view` borrows the base
+        dataset's stratification through a stats-rebound
+        :class:`~repro.transform.stratification.StratificationView`.
+        """
+        if self._stratification is None:
+            with self._build_lock:
+                if self._stratification is None:
+                    if self._base is not None:
+                        self._stratification = self._base.stratification.view(self)
+                    else:
+                        from repro.transform.stratification import Stratification
+
+                        self._stratification = Stratification(self)
         return self._stratification
 
     # ------------------------------------------------------------------
@@ -206,13 +238,32 @@ class TransformedDataset:
         incrementally here.
         """
         point = self.transform(record)
+        injector = self._update_injector
         self.records.append(record)
         self.points.append(point)
-        if self._index is not None:
-            self._index.insert(point)
-        if self._stratification is not None:
-            if not self._stratification.add_point(point):
-                self._stratification = None  # new stratum needed: rebuild
+        in_index = False
+        stratification = self._stratification
+        try:
+            if injector is not None:
+                injector.maybe_fail("dataset.insert_record.pre-index")
+            if self._index is not None:
+                self._index.insert(point)
+                in_index = True
+            if injector is not None:
+                injector.maybe_fail("dataset.insert_record.pre-strata")
+            if self._stratification is not None:
+                if not self._stratification.add_point(point):
+                    self._stratification = None  # new stratum needed: rebuild
+        except Exception:
+            # Restore the pre-insert state: an update either completes or
+            # leaves the dataset exactly as it was (see the update-chaos
+            # suite in tests/test_chaos.py).
+            self.points.pop()
+            self.records.pop()
+            if in_index:
+                self._index.delete(point)
+            self._stratification = stratification
+            raise
         return point
 
     def delete_record(self, rid) -> bool:
@@ -222,13 +273,51 @@ class TransformedDataset:
         )
         if position is None:
             return False
+        injector = self._update_injector
         point = self.points.pop(position)
+        record = self.records[position]
         del self.records[position]
-        if self._index is not None:
-            self._index.delete(point)
-        if self._stratification is not None:
-            self._stratification.remove_point(point)
+        from_index = False
+        try:
+            if injector is not None:
+                injector.maybe_fail("dataset.delete_record.pre-index")
+            if self._index is not None:
+                self._index.delete(point)
+                from_index = True
+            if injector is not None:
+                injector.maybe_fail("dataset.delete_record.pre-strata")
+            if self._stratification is not None:
+                self._stratification.remove_point(point)
+        except Exception:
+            # Restore the pre-delete state (logically identical dataset:
+            # same points, same strata; the re-inserted index entry may
+            # land in a different node, which changes no answer).
+            self.points.insert(position, point)
+            self.records.insert(position, record)
+            if from_index:
+                self._index.insert(point)
+            raise
         return True
+
+    def rebuild_indexes(self, validate: bool = True) -> None:
+        """Drop and rebuild the derived index structures from the points.
+
+        The recovery path for a corrupted R-tree (see
+        :func:`repro.resilience.chaos.corrupt_rtree`): the points
+        themselves are the ground truth, so rebuilding restores
+        availability without an engine restart.  With ``validate`` the
+        rebuilt global tree is checked before returning, so a failed
+        repair surfaces as :class:`~repro.exceptions.RTreeError` here
+        rather than mid-query.
+        """
+        with self._build_lock:
+            had_stratification = self._stratification is not None
+            self.invalidate()
+            tree = self.index
+            if validate:
+                tree.validate()
+            if had_stratification:
+                _ = self.stratification
 
     def invalidate(self) -> None:
         """Drop derived structures so they rebuild on next access."""
@@ -259,6 +348,10 @@ class TransformedDataset:
         view._index = None
         view._stratification = None
         view._buffer_pool = self._buffer_pool
+        view._build_lock = threading.RLock()
+        view._base = None  # different point set: builds its own trees
+        view._kernel_injector = self._kernel_injector
+        view._update_injector = None
         return view
 
     def fallback_view(self) -> "TransformedDataset":
@@ -291,6 +384,82 @@ class TransformedDataset:
         view._index = self._index
         view._stratification = self._stratification
         view._buffer_pool = self._buffer_pool
+        view._build_lock = self._build_lock
+        view._base = self._base
+        view._kernel_injector = self._kernel_injector
+        view._update_injector = None
+        return view
+
+    def query_view(
+        self,
+        stats: ComparisonStats | None = None,
+        context: QueryContext | None = None,
+    ) -> "TransformedDataset":
+        """An isolated per-query view over this dataset's shared structure.
+
+        The view shares everything immutable-during-queries -- records,
+        points, domain mappings, built R-trees and strata, the batch
+        kernel's relation memo -- but gets its **own**
+
+        * :class:`~repro.core.stats.ComparisonStats` bundle (``stats``,
+          fresh when omitted), so concurrent queries never race on one
+          shared counter bundle and every query's bill is attributable;
+        * dominance kernel of the same backend, bound to that bundle;
+        * execution ``context`` slot (the resilient executor installs an
+          armed context per query).
+
+        This is what the serving layer
+        (:class:`~repro.serving.server.SkylineServer`) runs every query
+        on, and what :meth:`SkylineEngine.run(stats=...)
+        <repro.engine.SkylineEngine.run>` uses for per-call counter
+        overrides.  Views assume the base dataset is not mutated while
+        they run; the server's reader-writer coordination guarantees it.
+        """
+        stats = stats if stats is not None else ComparisonStats()
+        base_kernel = getattr(self.kernel, "wrapped", self.kernel)
+        if getattr(base_kernel, "is_batch", False):
+            from repro.core.batch import BatchDominanceKernel
+
+            kernel = BatchDominanceKernel(
+                self.schema,
+                stats,
+                base_kernel.faithful_gate,
+                base_kernel._closures,
+                base_kernel._mappings,
+                max_bitset_nodes=base_kernel._max_bitset_nodes,
+                pair_cache_size=base_kernel._pair_cache_size,
+            )
+            # Share the (build-once, then read-mostly) relation memo.
+            with self._build_lock:
+                kernel._relations = base_kernel.relations()
+        else:
+            kernel = DominanceKernel(
+                self.schema, stats, base_kernel.faithful_gate, base_kernel._closures
+            )
+        if self._kernel_injector is not None:
+            from repro.resilience.chaos import ChaoticKernel
+
+            kernel = ChaoticKernel(kernel, self._kernel_injector)
+        view = TransformedDataset.__new__(TransformedDataset)
+        view.schema = self.schema
+        view.records = self.records
+        view.strategy = self.strategy
+        view.stats = stats
+        view.mappings = self.mappings
+        view.native_mode = self.native_mode
+        view.kernel_name = self.kernel_name
+        view.kernel = kernel
+        view.max_entries = self.max_entries
+        view.bulk_load = self.bulk_load
+        view.context = context if context is not None else NULL_CONTEXT
+        view.points = self.points
+        view._index = None
+        view._stratification = None
+        view._buffer_pool = self._buffer_pool
+        view._build_lock = self._build_lock
+        view._base = self if self._base is None else self._base
+        view._kernel_injector = self._kernel_injector
+        view._update_injector = None
         return view
 
     def attach_buffer_pool(self, pool) -> None:

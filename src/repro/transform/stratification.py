@@ -32,7 +32,13 @@ from repro.transform.point import Point
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.transform.dataset import TransformedDataset
 
-__all__ = ["Stratum", "Stratification", "stratify"]
+__all__ = [
+    "Stratum",
+    "Stratification",
+    "StratumView",
+    "StratificationView",
+    "stratify",
+]
 
 
 class Stratum:
@@ -58,9 +64,16 @@ class Stratum:
 
     @property
     def tree(self) -> RStarTree:
-        """The stratum's R-tree (built on first use)."""
+        """The stratum's R-tree (built on first use).
+
+        The build is serialized on the dataset's build lock so that
+        concurrent per-query views racing on a cold stratum build it
+        exactly once.
+        """
         if self._tree is None:
-            self._tree = self._dataset.build_tree(self.points)
+            with self._dataset._build_lock:
+                if self._tree is None:
+                    self._tree = self._dataset.build_tree(self.points)
         return self._tree
 
     def __len__(self) -> int:
@@ -150,8 +163,93 @@ class Stratification:
         """Number of non-empty strata (the paper reports e.g. 25)."""
         return len(self.strata)
 
+    def view(self, dataset: "TransformedDataset") -> "StratificationView":
+        """A per-query view charging tree accesses to ``dataset``'s stats.
+
+        Shares stratum membership and (lazily, build-once) the stratum
+        trees of this stratification; only the counter bundle node
+        accesses are charged to differs.  Used by
+        :meth:`~repro.transform.dataset.TransformedDataset.query_view`
+        so concurrent queries never race on one shared
+        :class:`~repro.core.stats.ComparisonStats`.
+        """
+        return StratificationView(self, dataset)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Stratification(" + ", ".join(s.label for s in self.strata) + ")"
+
+
+class StratumView:
+    """Read-only, stats-rebound view of one :class:`Stratum`.
+
+    Exposes the subset of the stratum interface the SDC/SDC+ traversals
+    consume (``category``, ``level``, ``points``, ``label``, ``tree``);
+    the tree is the *shared* base tree rebound to the viewing dataset's
+    counter bundle via :meth:`~repro.rtree.rstar.RStarTree.view`.
+    """
+
+    __slots__ = ("_stratum", "_dataset", "_tree")
+
+    def __init__(self, stratum: Stratum, dataset: "TransformedDataset") -> None:
+        self._stratum = stratum
+        self._dataset = dataset
+        self._tree: RStarTree | None = None
+
+    @property
+    def category(self) -> Category:
+        return self._stratum.category
+
+    @property
+    def level(self) -> int:
+        return self._stratum.level
+
+    @property
+    def points(self) -> list[Point]:
+        return self._stratum.points
+
+    @property
+    def label(self) -> str:
+        return self._stratum.label
+
+    @property
+    def tree(self) -> RStarTree:
+        """The base stratum's tree, counting into the view's stats."""
+        if self._tree is None:
+            self._tree = self._stratum.tree.view(self._dataset.stats)
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self._stratum.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StratumView({self.label}, n={len(self)})"
+
+
+class StratificationView:
+    """Read-only view of a :class:`Stratification` for one query."""
+
+    __slots__ = ("dataset", "strata")
+
+    def __init__(
+        self, base: Stratification, dataset: "TransformedDataset"
+    ) -> None:
+        self.dataset = dataset
+        self.strata: tuple[StratumView, ...] = tuple(
+            StratumView(s, dataset) for s in base.strata
+        )
+
+    def __iter__(self) -> Iterator[StratumView]:
+        return iter(self.strata)
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    @property
+    def num_strata(self) -> int:
+        return len(self.strata)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "StratificationView(" + ", ".join(s.label for s in self.strata) + ")"
 
 
 def stratify(dataset: "TransformedDataset") -> Stratification:

@@ -26,6 +26,7 @@ from repro.resilience.chaos import (
     FaultInjector,
     corrupt_rtree,
     inject_kernel_faults,
+    inject_update_faults,
     malform_records,
 )
 
@@ -164,3 +165,89 @@ def test_malform_records_kinds():
     assert len(records) == 4
     with pytest.raises(KernelError):
         malform_records(kinds=("no-such-kind",))
+
+
+# ---------------------------------------------------------------------------
+# Update-time faults: an update either completes or restores the exact
+# pre-update state (transactional insert_record / delete_record)
+# ---------------------------------------------------------------------------
+def _dataset_fingerprint(dataset) -> tuple:
+    """Everything an update could corrupt, in one comparable value."""
+    return (
+        [r.rid for r in dataset.records],
+        [p.record.rid for p in dataset.points],
+        dataset.index.size,
+        dataset.stratification.num_strata,
+        sorted(r.rid for r in [p.record for p in _skyline_points(dataset)]),
+    )
+
+
+def _skyline_points(dataset):
+    from repro.algorithms.base import get_algorithm
+
+    return list(get_algorithm("sdc+").run(dataset))
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+@pytest.mark.parametrize("fail_after", (1, 2))  # pre-index / pre-strata site
+def test_insert_fault_restores_pre_update_state(seed, fail_after):
+    engine = _make_engine("python")
+    dataset = engine.dataset
+    _ = dataset.index, dataset.stratification  # build so both sites are live
+    before = _dataset_fingerprint(dataset)
+    injector = inject_update_faults(
+        dataset, FaultInjector(seed=seed, fail_after=fail_after)
+    )
+    record = Record("chaos-insert", (1, 1), ("b",))
+    with pytest.raises(KernelError):
+        dataset.insert_record(record)
+    assert injector.fired == 1
+    assert injector.sites[0].startswith("dataset.insert_record.")
+    assert _dataset_fingerprint(dataset) == before
+    # the injector is spent (max_faults=1): the retry must now succeed
+    dataset.insert_record(record)
+    assert dataset.points[-1].record.rid == "chaos-insert"
+    assert dataset.index.size == len(dataset.points)
+    assert dataset.delete_record("chaos-insert")
+    assert _dataset_fingerprint(dataset) == before
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+@pytest.mark.parametrize("fail_after", (1, 2))
+def test_delete_fault_restores_pre_update_state(seed, fail_after):
+    engine = _make_engine("python")
+    dataset = engine.dataset
+    _ = dataset.index, dataset.stratification
+    victim = dataset.points[seed % len(dataset.points)].record.rid
+    before = _dataset_fingerprint(dataset)
+    injector = inject_update_faults(
+        dataset, FaultInjector(seed=seed, fail_after=fail_after)
+    )
+    with pytest.raises(KernelError):
+        dataset.delete_record(victim)
+    assert injector.fired == 1
+    assert injector.sites[0].startswith("dataset.delete_record.")
+    assert _dataset_fingerprint(dataset) == before
+    # spent injector: the delete now goes through and stays consistent
+    assert dataset.delete_record(victim)
+    assert victim not in {p.record.rid for p in dataset.points}
+    assert dataset.index.size == len(dataset.points)
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_update_fault_through_server_keeps_serving(seed):
+    """A failed server-side update leaves concurrent queries unharmed."""
+    from repro.serving import SkylineServer
+
+    engine = _make_engine("python")
+    expected = sorted(r.rid for r in engine.skyline("sdc+"))
+    injector = inject_update_faults(
+        engine.dataset, FaultInjector(seed=seed, fail_after=1)
+    )
+    with SkylineServer(engine.dataset, workers=2) as server:
+        with pytest.raises(KernelError):
+            server.insert(Record("chaos", (1, 1), ("b",)))
+        assert injector.fired == 1
+        result = server.submit(algorithm="sdc+").result(timeout=60)
+        assert sorted(p.record.rid for p in result.points) == expected
+    assert server.metrics.snapshot()["updates"] == 0  # nothing committed

@@ -1,0 +1,503 @@
+"""Concurrent serving subsystem: server, admission, metrics, rwlock.
+
+The cross-thread answer/counter parity guarantees have their own suite
+(``tests/test_concurrent_parity.py``); this file covers the serving
+machinery itself -- admission decisions, the reader-writer lock, the
+metrics layer, handle semantics (result / partial / cancel / deadline),
+index repair at admission, and the ``serve-bench`` workload replay.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.engine import SkylineEngine
+from repro.exceptions import (
+    AdmissionRejectedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServingError,
+)
+from repro.posets.builder import diamond
+from repro.resilience.chaos import corrupt_rtree
+from repro.serving import (
+    AdmissionController,
+    CostEstimator,
+    LatencyHistogram,
+    QueryRequest,
+    ReadWriteLock,
+    ServerMetrics,
+    SkylineServer,
+    run_serve_bench,
+)
+
+ALL_ALGORITHMS = ("bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+", "nn+", "dnc")
+
+
+def _make_engine(kernel: str = "python", n: int = 120) -> SkylineEngine:
+    rng = random.Random(23)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 40), rng.randint(1, 40)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+# ---------------------------------------------------------------------------
+# Reader-writer lock
+# ---------------------------------------------------------------------------
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        with lock.read_lock():
+            with lock.read_lock():
+                assert lock.readers == 2
+        assert lock.readers == 0
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        order: list[str] = []
+        with lock.write_lock():
+            reader = threading.Thread(
+                target=lambda: (lock.acquire_read(), order.append("read"),
+                                lock.release_read())
+            )
+            reader.start()
+            time.sleep(0.05)
+            order.append("write-held")
+        reader.join()
+        assert order == ["write-held", "read"]
+
+    def test_writer_preference_over_new_readers(self):
+        lock = ReadWriteLock()
+        order: list[str] = []
+        lock.acquire_read()
+
+        def writer():
+            with lock.write_lock():
+                order.append("write")
+
+        def late_reader():
+            with lock.read_lock():
+                order.append("late-read")
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)  # writer is now queued behind the initial reader
+        r = threading.Thread(target=late_reader)
+        r.start()
+        time.sleep(0.05)
+        assert order == []  # both blocked: writer on us, reader on the writer
+        lock.release_read()
+        w.join()
+        r.join()
+        assert order == ["write", "late-read"]
+
+
+# ---------------------------------------------------------------------------
+# Latency histogram + metrics
+# ---------------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_quantiles_bracket_observations(self):
+        histogram = LatencyHistogram()
+        for ms in (1, 2, 3, 4, 100):
+            histogram.record(ms / 1000.0)
+        assert histogram.count == 5
+        assert histogram.min == pytest.approx(0.001)
+        assert histogram.max == pytest.approx(0.1)
+        assert 0.001 <= histogram.quantile(0.5) <= 0.01
+        assert histogram.quantile(0.99) <= 0.1
+        assert histogram.quantile(0.5) <= histogram.quantile(0.9)
+
+    def test_empty_snapshot(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p99_seconds"] == 0.0
+
+    def test_overflow_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e9)  # beyond the last bound
+        assert histogram.quantile(0.5) == pytest.approx(1e9)
+
+
+class TestServerMetrics:
+    def test_snapshot_shape_and_merge(self):
+        metrics = ServerMetrics()
+        stats = ComparisonStats()
+        stats.m_dominance_point = 42
+        metrics.on_submitted()
+        metrics.on_admitted(deflected=False)
+        metrics.on_enqueued()
+        metrics.on_dequeued()
+        metrics.on_started(0.001)
+        metrics.on_finished("bnl", 0.01, "complete", stats=stats)
+        snap = metrics.snapshot()
+        assert snap["admission"]["admitted"] == 1
+        assert snap["outcomes"]["completed"] == 1
+        assert snap["queue"]["depth"] == 0
+        assert snap["queue"]["max_depth"] == 1
+        assert snap["comparison_totals"]["m_dominance_point"] == 42
+        assert "bnl" in snap["latency_by_algorithm"]
+
+    def test_to_json_roundtrip(self, tmp_path):
+        metrics = ServerMetrics()
+        path = tmp_path / "metrics.json"
+        text = metrics.to_json(str(path))
+        assert json.loads(text) == json.loads(path.read_text())
+
+
+# ---------------------------------------------------------------------------
+# Cost estimation + admission decisions
+# ---------------------------------------------------------------------------
+class TestCostEstimator:
+    def test_cold_start_is_analytic(self):
+        estimator = CostEstimator()
+        estimate = estimator.estimate("bnl", 1000, 4)
+        assert not estimate.calibrated
+        assert estimate.seconds is None
+        assert estimate.comparisons > 1000  # n * s(n, d) with s > 1
+        assert estimate.model_ms > 0
+
+    def test_calibration_tracks_observations(self):
+        estimator = CostEstimator()
+        counters = {"m_dominance_point": 5000, "tuples_scanned": 100}
+        estimator.observe("bnl", 100, counters, seconds=0.25)
+        assert estimator.profile_samples("bnl") == 1
+        estimate = estimator.estimate("bnl", 200, 4)
+        assert estimate.calibrated
+        # first sample is adopted wholesale; estimates scale per record
+        assert estimate.comparisons == pytest.approx(10_000)
+        assert estimate.seconds == pytest.approx(0.25)
+        # other algorithms remain cold
+        assert not estimator.estimate("sfs", 200, 4).calibrated
+
+
+class TestAdmissionController:
+    def test_comparison_budget_rejects(self):
+        engine = _make_engine()
+        controller = AdmissionController()
+        decision = controller.decide(
+            QueryRequest(algorithm="bnl", max_comparisons=1), engine.dataset, 0
+        )
+        assert decision.action == "reject"
+        assert decision.reason == "comparisons"
+
+    def test_deadline_rejects_only_when_calibrated(self):
+        engine = _make_engine()
+        controller = AdmissionController()
+        request = QueryRequest(algorithm="bnl", deadline=0.001)
+        # cold start: wall-clock is unknown, the deadline cannot reject
+        assert controller.decide(request, engine.dataset, 0).action == "admit"
+        stats = ComparisonStats()
+        stats.m_dominance_point = 100
+        controller.observe("bnl", len(engine.dataset), stats, seconds=5.0)
+        decision = controller.decide(request, engine.dataset, 0)
+        assert decision.action == "reject"
+        assert decision.reason == "deadline"
+
+    def test_capacity_deflects_then_rejects(self):
+        engine = _make_engine()
+        controller = AdmissionController(max_pending=2, hard_limit=4)
+        request = QueryRequest(algorithm="bnl")
+        assert controller.decide(request, engine.dataset, 1).action == "admit"
+        assert controller.decide(request, engine.dataset, 2).action == "deflect"
+        rejected = controller.decide(request, engine.dataset, 4)
+        assert rejected.action == "reject"
+        assert rejected.reason == "capacity"
+
+    def test_reject_policy_skips_deflection(self):
+        engine = _make_engine()
+        controller = AdmissionController(max_pending=1, overload_policy="reject")
+        assert controller.decide(
+            QueryRequest(), engine.dataset, 1
+        ).action == "reject"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ServingError):
+            AdmissionController(overload_policy="drop")
+
+
+# ---------------------------------------------------------------------------
+# The server
+# ---------------------------------------------------------------------------
+class TestSkylineServer:
+    def test_answers_match_serial(self):
+        engine = _make_engine()
+        expected = {a: [r.rid for r in engine.skyline(a)] for a in ALL_ALGORITHMS}
+        with engine.serve(workers=4) as server:
+            handles = [server.submit(algorithm=a) for a in ALL_ALGORITHMS]
+            for handle in handles:
+                result = handle.result(timeout=60)
+                assert result.complete
+                rids = [p.record.rid for p in result.points]
+                assert rids == expected[handle.request.algorithm]
+        snap = server.metrics.snapshot()
+        assert snap["outcomes"]["completed"] == len(ALL_ALGORITHMS)
+        assert snap["admission"]["admitted"] == len(ALL_ALGORITHMS)
+
+    def test_rejection_happens_without_any_comparison(self):
+        engine = _make_engine()
+        baseline = engine.stats.total_dominance_checks
+        with engine.serve(workers=2) as server:
+            with pytest.raises(AdmissionRejectedError) as info:
+                server.submit(algorithm="bnl", max_comparisons=1)
+            # neither the engine bundle nor the server aggregate moved:
+            # the query was priced and refused, never executed
+            assert engine.stats.total_dominance_checks == baseline
+            assert server.stats.total_dominance_checks == 0
+        assert info.value.reason == "comparisons"
+        assert info.value.estimate > info.value.limit
+        snap = server.metrics.snapshot()
+        assert snap["admission"]["rejected"] == {"comparisons": 1}
+        assert snap["outcomes"]["completed"] == 0
+
+    def test_per_query_stats_and_aggregate(self):
+        engine = _make_engine()
+        serial = ComparisonStats()
+        engine.skyline("bnl", stats=serial)
+        with engine.serve(workers=2) as server:
+            first = server.submit(algorithm="bnl")
+            second = server.submit(algorithm="bnl")
+            first.result(timeout=60)
+            second.result(timeout=60)
+        assert first.stats.snapshot() == serial.snapshot()
+        assert second.stats.snapshot() == serial.snapshot()
+        merged = ComparisonStats()
+        merged += first.stats
+        merged += second.stats
+        assert server.stats.snapshot() == merged.snapshot()
+
+    def test_deflection_demotes_but_still_runs(self):
+        engine = _make_engine()
+        with engine.serve(workers=1, max_pending=0, hard_limit=8) as server:
+            handle = server.submit(algorithm="bnl")
+            assert handle.deflected
+            assert handle.result(timeout=60).complete
+        assert server.metrics.snapshot()["admission"]["deflected"] == 1
+
+    def test_submit_after_close_raises(self):
+        engine = _make_engine()
+        server = engine.serve(workers=1)
+        server.close()
+        with pytest.raises(ServingError):
+            server.submit(algorithm="bnl")
+        server.close()  # idempotent
+
+    def test_request_and_kwargs_are_exclusive(self):
+        engine = _make_engine()
+        with engine.serve(workers=1) as server:
+            with pytest.raises(ServingError):
+                server.submit(QueryRequest(), algorithm="bnl")
+
+    def test_cancel_queued_query_never_runs(self):
+        engine = _make_engine()
+        with engine.serve(workers=1) as server:
+            server._rwlock.acquire_write()  # stall the single worker
+            try:
+                running = server.submit(algorithm="bnl")
+                queued = server.submit(algorithm="bnl")
+                time.sleep(0.05)  # worker dequeues `running`, blocks on lock
+                assert queued.cancel()
+            finally:
+                server._rwlock.release_write()
+            assert running.result(timeout=60).complete
+            with pytest.raises(QueryCancelledError):
+                queued.result(timeout=60)
+            assert queued.outcome == "cancelled"
+            assert queued.partial() == []
+            assert queued.stats.total_dominance_checks == 0
+            assert not queued.cancel()  # already finished
+
+    def test_deadline_covers_queue_wait(self):
+        engine = _make_engine()
+        with engine.serve(workers=1) as server:
+            server._rwlock.acquire_write()
+            try:
+                blocker = server.submit(algorithm="bnl")
+                rushed = server.submit(algorithm="bnl", deadline=0.01)
+                time.sleep(0.1)  # the deadline expires while queued
+            finally:
+                server._rwlock.release_write()
+            assert blocker.result(timeout=60).complete
+            with pytest.raises(QueryTimeoutError) as info:
+                rushed.result(timeout=60)
+            assert rushed.outcome == "timeout"
+            assert info.value.partial.exhausted_reason == "deadline"
+            assert rushed.stats.total_dominance_checks == 0
+        assert server.metrics.snapshot()["outcomes"]["timeouts"] == 1
+
+    def test_budget_truncates_to_partial_outcome(self):
+        engine = _make_engine()
+        with engine.serve(workers=1) as server:
+            handle = server.submit(algorithm="bnl", max_answers=2)
+            result = handle.result(timeout=60)
+        assert not result.complete
+        assert result.exhausted_reason == "answers"
+        assert len(result.points) == 2
+        assert handle.partial() == list(result.points)
+        assert server.metrics.snapshot()["outcomes"]["partial"] == 1
+
+    def test_result_wait_timeout_keeps_running(self):
+        engine = _make_engine()
+        with engine.serve(workers=1) as server:
+            server._rwlock.acquire_write()
+            try:
+                handle = server.submit(algorithm="bnl")
+                with pytest.raises(TimeoutError):
+                    handle.result(timeout=0.01)
+            finally:
+                server._rwlock.release_write()
+            assert handle.result(timeout=60).complete
+
+    def test_updates_drain_and_apply(self):
+        engine = _make_engine()
+        with engine.serve(workers=2) as server:
+            before = server.submit(algorithm="sdc+").result(timeout=60)
+            dominator = Record("new", (0, 0), ("a",))  # diamond top value
+            server.insert(dominator)
+            after = server.submit(algorithm="sdc+").result(timeout=60)
+            assert [p.record.rid for p in after.points] == ["new"]
+            assert server.delete("new")
+            assert not server.delete("no-such-rid")
+            restored = server.submit(algorithm="sdc+").result(timeout=60)
+            assert (
+                sorted(p.record.rid for p in restored.points)
+                == sorted(p.record.rid for p in before.points)
+            )
+        assert server.metrics.snapshot()["updates"] == 2
+
+    def test_calibration_flows_from_completed_queries(self):
+        engine = _make_engine()
+        with engine.serve(workers=1) as server:
+            server.submit(algorithm="bnl").result(timeout=60)
+            assert server.admission.estimator.profile_samples("bnl") == 1
+            # partial queries must not calibrate
+            server.submit(algorithm="bnl", max_answers=1).result(timeout=60)
+            assert server.admission.estimator.profile_samples("bnl") == 1
+
+    def test_rebuild_on_detect_repairs_corrupted_tree(self):
+        engine = _make_engine()
+        expected = [r.rid for r in engine.skyline("bbs+")]
+        corrupt_rtree(engine.dataset.index, seed=7)
+        with engine.serve(workers=1, validate_on_admission=True) as server:
+            result = server.submit(algorithm="bbs+").result(timeout=60)
+            assert [p.record.rid for p in result.points] == expected
+            server.submit(algorithm="bbs+").result(timeout=60)
+        snap = server.metrics.snapshot()
+        assert snap["recovery"]["index_repairs"] == 1  # repaired exactly once
+
+    def test_server_over_raw_dataset(self):
+        engine = _make_engine()
+        with SkylineServer(engine.dataset, workers=1) as server:
+            assert server.submit(algorithm="sfs").result(timeout=60).complete
+
+
+# ---------------------------------------------------------------------------
+# serve-bench
+# ---------------------------------------------------------------------------
+class TestServeBench:
+    def test_report_and_artifact(self, tmp_path):
+        path = tmp_path / "results" / "serve_bench.json"
+        report = run_serve_bench(
+            size=80,
+            clients=3,
+            queries_per_client=2,
+            workers=2,
+            seed=11,
+            output=str(path),
+        )
+        assert report["errors"] == []
+        assert report["queries"] == 6
+        assert report["throughput_qps"] > 0
+        assert report["latency"]["count"] == 6
+        assert report["server"]["outcomes"]["completed"] == 6
+        assert set(report["latency_by_algorithm"]) <= set(ALL_ALGORITHMS)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["workload"]["seed"] == 11
+
+    def test_seeded_request_stream_is_deterministic(self):
+        runs = [
+            run_serve_bench(size=60, clients=2, queries_per_client=3,
+                            workers=2, seed=5)
+            for _ in range(2)
+        ]
+        streams = [
+            sorted((a, s["count"]) for a, s in r["latency_by_algorithm"].items())
+            for r in runs
+        ]
+        assert streams[0] == streams[1]
+
+    def test_cli_serve_bench(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve-bench",
+                "--size", "60",
+                "--clients", "2",
+                "--queries-per-client", "2",
+                "--workers", "2",
+                "--algorithms", "bnl", "sfs",
+                "--output", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serve-bench" in out
+        assert "p50" in out
+        assert path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: engine-level per-call stats override
+# ---------------------------------------------------------------------------
+class TestEngineStatsOverride:
+    def test_skyline_stats_override_leaves_engine_untouched(self):
+        engine = _make_engine()
+        expected = [r.rid for r in engine.skyline("bnl")]
+        baseline = engine.stats.total_dominance_checks
+        override = ComparisonStats()
+        rids = [r.rid for r in engine.skyline("bnl", stats=override)]
+        assert rids == expected
+        assert engine.stats.total_dominance_checks == baseline
+        assert override.total_dominance_checks > 0
+
+    def test_override_counters_match_engine_bundle_delta(self):
+        first = _make_engine()
+        before = first.stats.snapshot()
+        first.skyline("sdc+")
+        delta = first.stats.diff(before)
+        second = _make_engine()
+        override = ComparisonStats()
+        second.skyline("sdc+", stats=override)
+        assert override.snapshot() == delta
+
+    def test_query_stats_override(self):
+        engine = _make_engine()
+        baseline = engine.stats.total_dominance_checks
+        override = ComparisonStats()
+        result = engine.query("bnl", max_answers=3, stats=override)
+        assert len(result.points) == 3
+        assert engine.stats.total_dominance_checks == baseline
+        assert override.total_dominance_checks > 0
