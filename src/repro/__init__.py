@@ -44,6 +44,8 @@ from repro.exceptions import (
     InputFormatError,
     KernelError,
     KernelFallbackWarning,
+    ParallelError,
+    ParallelFallbackWarning,
     PosetError,
     QueryCancelledError,
     QueryTimeoutError,
@@ -55,6 +57,7 @@ from repro.exceptions import (
     UnknownValueError,
     WorkloadError,
 )
+from repro.parallel import ParallelConfig, ParallelResult, ParallelSkylineExecutor
 from repro.posets.optimize import SpanningTreeStrategy
 from repro.posets.poset import Poset
 from repro.algorithms.base import available_algorithms, get_algorithm
@@ -113,5 +116,10 @@ __all__ = [
     "KernelFallbackWarning",
     "ServingError",
     "AdmissionRejectedError",
+    "ParallelConfig",
+    "ParallelResult",
+    "ParallelSkylineExecutor",
+    "ParallelError",
+    "ParallelFallbackWarning",
     "__version__",
 ]

@@ -19,6 +19,9 @@ Commands
     Seeded multi-client workload replay against the concurrent
     :class:`~repro.serving.server.SkylineServer` (throughput, p50/p99,
     JSON artifact; see docs/serving.md).
+``bench-parallel``
+    Worker-count speedup curve of the sharded process-pool backend
+    (parity-checked against the serial engine; see docs/parallel.md).
 """
 
 from __future__ import annotations
@@ -194,6 +197,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON",
         help="write the full report as a JSON artifact "
         "(e.g. benchmarks/results/serve_bench.json)",
+    )
+
+    bp = sub.add_parser(
+        "bench-parallel",
+        help="speedup curve of the sharded process-pool backend",
+    )
+    bp.add_argument("--size", type=int, default=20_000, help="records to generate")
+    bp.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="worker counts to sweep",
+    )
+    bp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=sorted(available_algorithms()),
+        help="algorithms to time (default: the fig12a lineup)",
+    )
+    bp.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="numpy",
+        help="dominance backend (see docs/performance.md)",
+    )
+    bp.add_argument("--seed", type=int, default=7, help="workload seed")
+    bp.add_argument(
+        "--mode",
+        choices=["auto", "strata", "grid"],
+        default="auto",
+        help="partitioning strategy (see docs/parallel.md)",
+    )
+    bp.add_argument(
+        "--output",
+        default=None,
+        metavar="JSON",
+        help="write the curve as a JSON artifact "
+        "(e.g. benchmarks/results/parallel_scaling.json)",
     )
     return parser
 
@@ -467,6 +510,39 @@ def _cmd_serve_bench(args) -> int:
     return 1 if report["errors"] else 0
 
 
+def _cmd_bench_parallel(args) -> int:
+    from repro.parallel.bench import run_parallel_bench
+
+    report = run_parallel_bench(
+        size=args.size,
+        workers=tuple(args.workers),
+        algorithms=tuple(args.algorithms) if args.algorithms else None,
+        kernel=args.kernel,
+        seed=args.seed,
+        mode=args.mode,
+        output=args.output,
+    )
+    print(
+        f"bench-parallel: {report['records']} records, "
+        f"{report['kernel']} kernel, seed {report['seed']}, "
+        f"mode {report['mode']} (cpu_count={report['cpu_count']})"
+    )
+    print(f"  {'workers':<8} {'total s':>10} {'speedup':>8}  modes")
+    for count, entry in report["workers"].items():
+        modes = sorted(
+            {info["mode"] for info in entry["algorithms"].values()}
+        )
+        print(
+            f"  {count:<8} {entry['total_seconds']:>10.3f} "
+            f"{entry['aggregate_speedup']:>7.2f}x  {','.join(modes)}"
+        )
+    if not report["parity_ok"]:
+        print("  PARITY MISMATCH against the serial engine")
+    if args.output:
+        print(f"  curve written to {args.output}")
+    return 0 if report["parity_ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -482,6 +558,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "bench-kernels": _cmd_bench_kernels,
         "serve-bench": _cmd_serve_bench,
+        "bench-parallel": _cmd_bench_parallel,
     }
     try:
         return handlers[args.command](args)

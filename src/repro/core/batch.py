@@ -897,6 +897,44 @@ class SkylineBuffer:
             self.points = self.points + other.points
         self._n = n1 + n2
 
+    def extend(self, points: list["Point"]) -> None:
+        """Bulk-append ``points`` with one array fill per column family.
+
+        Equivalent to ``for p in points: self.append(p)`` (same rows,
+        same order, no comparisons charged either way) but promotes a
+        whole batch -- a stratum buffer at an SDC+ stratum boundary, a
+        shard-local skyline entering the cross-shard merge -- without a
+        per-point Python loop over five array writes each.
+        """
+        m = len(points)
+        if m == 0:
+            return
+        n = self._n
+        self._grow(n + m)
+        kernel = self.kernel
+        block = np.empty((m, self._Vt.shape[0]), dtype=np.float64)
+        for i, p in enumerate(points):
+            block[i] = kernel.point_array(p)
+        self._Vt[:, n : n + m] = block.T
+        self._keys[n : n + m] = [p.key for p in points]
+        if self._Pt.shape[0]:
+            self._Pt[:, n : n + m] = np.array(
+                [p.pix for p in points], dtype=np.int64
+            ).T
+        self._cing[n : n + m] = [p.category.completely_covering for p in points]
+        self._ced[n : n + m] = [p.category.completely_covered for p in points]
+        self.points.extend(points)
+        self._n = n + m
+
+    @classmethod
+    def from_points(
+        cls, kernel: BatchDominanceKernel, points: list["Point"]
+    ) -> "SkylineBuffer":
+        """A buffer seeded from ``points`` in one bulk fill."""
+        buffer = cls(kernel, capacity=max(4, len(points)))
+        buffer.extend(points)
+        return buffer
+
 
 # ---------------------------------------------------------------------------
 # Batch block-nested-loops

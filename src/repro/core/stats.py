@@ -81,9 +81,28 @@ class ComparisonStats:
             setattr(self, f.name, 0)
 
     def merge(self, other: "ComparisonStats") -> None:
-        """Add ``other``'s counters into this one."""
+        """Add ``other``'s counters into this one.
+
+        Raises :class:`ValueError` when ``other is self``: merging a
+        bundle into itself silently doubles every counter, which happens
+        in practice when the same object is passed both as a per-query
+        ``stats=`` override and as a server-side aggregate.
+        """
+        if other is self:
+            raise ValueError(
+                "refusing to merge a ComparisonStats bundle into itself; "
+                "pass distinct objects for the per-query override and the "
+                "aggregate (double-counting guard)"
+            )
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def add_snapshot(self, snapshot: dict[str, int]) -> None:
+        """Add a :meth:`snapshot` dict (e.g. shipped from a worker
+        process) into this bundle.  Unknown keys are ignored so bundles
+        survive cross-version snapshots."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + snapshot.get(f.name, 0))
 
     def __iadd__(self, other: "ComparisonStats") -> "ComparisonStats":
         """``stats += other`` -- combine per-stratum/per-kernel bundles."""

@@ -31,6 +31,7 @@ from repro.transform.dataset import TransformedDataset
 from repro.transform.point import Point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel import ParallelConfig, ParallelSkylineExecutor
     from repro.resilience.context import CancellationToken, QueryContext
     from repro.serving.server import SkylineServer
 
@@ -101,6 +102,7 @@ class SkylineEngine:
         algorithm: str | SkylineAlgorithm = "sdc+",
         *,
         stats: ComparisonStats | None = None,
+        parallel: "ParallelConfig | int | None" = None,
         **options,
     ) -> Iterator[Point]:
         """Stream skyline :class:`Point` objects progressively.
@@ -110,19 +112,57 @@ class SkylineEngine:
         isolated :meth:`~repro.transform.dataset.TransformedDataset.query_view`,
         so the engine bundle is untouched) -- per-call attribution
         without a second engine.
+
+        ``parallel`` (a :class:`~repro.parallel.ParallelConfig` or a
+        worker count) shards the query across a process pool (see
+        ``docs/parallel.md``).  The answer set is identical to the
+        serial run; emission is no longer progressive (the merged answer
+        arrives in one batch) and the counters billed are the aggregate
+        of all workers plus the merge phase.  For repeated parallel
+        queries prefer :meth:`parallel_executor`, which reuses the pool
+        and the shared-memory point store across calls.
         """
+        if parallel is not None:
+            from repro.parallel import ParallelSkylineExecutor
+
+            with ParallelSkylineExecutor(self.dataset, parallel) as executor:
+                result = executor.run(
+                    algorithm if isinstance(algorithm, str) else algorithm.name,
+                    stats=stats,
+                    **options,
+                )
+            return iter(result.points)
         dataset = self.dataset if stats is None else self.dataset.query_view(stats)
         return self.algorithm(algorithm, **options).run(dataset)
+
+    def parallel_executor(
+        self, config: "ParallelConfig | int | None" = None
+    ) -> "ParallelSkylineExecutor":
+        """A reusable sharded-execution backend over this dataset.
+
+        Use as a context manager (it owns a process pool and a
+        shared-memory segment)::
+
+            with engine.parallel_executor(4) as pex:
+                for algo in ("sdc+", "bbs+"):
+                    result = pex.run(algo)
+        """
+        from repro.parallel import ParallelSkylineExecutor
+
+        return ParallelSkylineExecutor(self.dataset, config)
 
     def run(
         self,
         algorithm: str | SkylineAlgorithm = "sdc+",
         *,
         stats: ComparisonStats | None = None,
+        parallel: "ParallelConfig | int | None" = None,
         **options,
     ) -> Iterator[Record]:
         """Stream skyline :class:`Record` objects progressively."""
-        for point in self.run_points(algorithm, stats=stats, **options):
+        for point in self.run_points(
+            algorithm, stats=stats, parallel=parallel, **options
+        ):
             yield point.record
 
     def skyline(
@@ -130,10 +170,11 @@ class SkylineEngine:
         algorithm: str | SkylineAlgorithm = "sdc+",
         *,
         stats: ComparisonStats | None = None,
+        parallel: "ParallelConfig | int | None" = None,
         **options,
     ) -> list[Record]:
         """The full skyline as a record list."""
-        return list(self.run(algorithm, stats=stats, **options))
+        return list(self.run(algorithm, stats=stats, parallel=parallel, **options))
 
     def query(
         self,

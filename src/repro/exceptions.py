@@ -192,3 +192,23 @@ class KernelFallbackWarning(UserWarning):
     the backend that was asked for.  The event is also counted in
     :attr:`repro.core.stats.ComparisonStats.kernel_fallbacks`.
     """
+
+
+# ---------------------------------------------------------------------------
+# Multi-core sharded execution (repro.parallel)
+# ---------------------------------------------------------------------------
+class ParallelError(ReproError):
+    """Raised for invalid use of the process-pool skyline executor (e.g.
+    running a closed :class:`~repro.parallel.executor.ParallelSkylineExecutor`)."""
+
+
+class ParallelFallbackWarning(UserWarning):
+    """Warned when sharded execution degrades to a serial recomputation.
+
+    Emitted when a worker process dies mid-query (or the process pool
+    breaks for any other reason): the query is transparently re-run on
+    the serial engine so the caller still receives a complete, correct
+    answer.  The event is also counted in the serving layer's
+    ``parallel_fallbacks`` metric (see
+    :class:`~repro.serving.metrics.ServerMetrics`).
+    """

@@ -1,0 +1,35 @@
+"""Multi-core sharded skyline execution (docs/parallel.md).
+
+Partitions a :class:`~repro.transform.dataset.TransformedDataset` by
+SDC+ category strata (grid fallback on the monotone transformed key),
+ships the points once through ``multiprocessing.shared_memory``, runs
+the shard-local skylines in a process pool and merges them with the
+paper's Lemma 4.1 restriction checks plus a Lemma 4.2 representative
+prefilter.  Entry points::
+
+    engine.run("sdc+", parallel=ParallelConfig(workers=4))
+    engine.serve(parallel=4)                      # server execution mode
+    parallel_skyline(dataset, "sdc+", config=4)   # one-shot
+    repro bench-parallel                          # speedup curve CLI
+"""
+
+from repro.parallel.config import ParallelConfig
+from repro.parallel.executor import (
+    ParallelResult,
+    ParallelSkylineExecutor,
+    parallel_skyline,
+)
+from repro.parallel.merge import MergeOutcome, merge_local_skylines
+from repro.parallel.partition import Partition, Shard, partition_dataset
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelResult",
+    "ParallelSkylineExecutor",
+    "parallel_skyline",
+    "MergeOutcome",
+    "merge_local_skylines",
+    "Partition",
+    "Shard",
+    "partition_dataset",
+]

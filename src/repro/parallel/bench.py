@@ -1,0 +1,119 @@
+"""Speedup-curve benchmark for the sharded process-pool backend.
+
+Drives the fig12a lineup (BNL, BNL+, BBS+, SDC, SDC+) through
+:class:`~repro.parallel.executor.ParallelSkylineExecutor` at 1/2/4/8
+workers, asserts parity with the serial engine on every run, and writes
+the curve to ``benchmarks/results/parallel_scaling.json``.
+
+The report records ``cpu_count`` alongside every timing: speedup from
+process-level sharding is bounded by the physical cores available, and a
+curve measured on a 1-core container honestly shows slowdown (fork +
+shared-memory attach overhead with zero hardware parallelism).  Consumers
+must read the numbers against ``cpu_count``, not against the worker axis
+alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.engine import SkylineEngine
+from repro.parallel.config import ParallelConfig
+from repro.parallel.executor import ParallelSkylineExecutor
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+__all__ = ["FIG12A_LINEUP", "run_parallel_bench"]
+
+#: The paper's Fig. 12(a) algorithm lineup (large-dataset experiment).
+FIG12A_LINEUP = ("bnl", "bnl+", "bbs+", "sdc", "sdc+")
+
+
+def run_parallel_bench(
+    size: int = 20_000,
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+    algorithms: tuple[str, ...] | None = None,
+    kernel: str = "numpy",
+    seed: int = 7,
+    mode: str = "auto",
+    output: str | None = None,
+) -> dict:
+    """Measure the worker-count speedup curve; return the report dict.
+
+    Every sharded run is parity-checked against the serial answer (rid
+    sequence for the deterministic serial baseline vs. merged rid set);
+    a mismatch marks ``parity: false`` in the report and flips the
+    top-level ``parity_ok`` flag, which the CLI turns into a non-zero
+    exit code.
+    """
+    algorithms = tuple(algorithms) if algorithms else FIG12A_LINEUP
+    workload = generate_workload(WorkloadConfig.default(data_size=size, seed=seed))
+    engine = SkylineEngine(workload.schema, workload.records, kernel=kernel)
+    dataset = engine.dataset
+
+    serial: dict[str, dict] = {}
+    for name in algorithms:
+        begin = time.perf_counter()
+        points = list(engine.run_points(name))
+        serial[name] = {
+            "seconds": time.perf_counter() - begin,
+            "answers": len(points),
+            "rids": [p.record.rid for p in points],
+        }
+
+    curve: dict[str, dict] = {}
+    parity_ok = True
+    for count in workers:
+        per_algorithm: dict[str, dict] = {}
+        config = ParallelConfig(workers=count, mode=mode)
+        with ParallelSkylineExecutor(dataset, config) as executor:
+            for name in algorithms:
+                begin = time.perf_counter()
+                result = executor.run(name)
+                seconds = time.perf_counter() - begin
+                parity = {p.record.rid for p in result.points} == set(
+                    serial[name]["rids"]
+                )
+                parity_ok = parity_ok and parity
+                per_algorithm[name] = {
+                    "seconds": seconds,
+                    "answers": len(result.points),
+                    "speedup": serial[name]["seconds"] / seconds if seconds else 0.0,
+                    "mode": result.mode,
+                    "sharded": result.parallel,
+                    "shards": list(result.shard_sizes),
+                    "eliminated_shards": list(result.eliminated_shards),
+                    "fallback": result.fallback,
+                    "parity": parity,
+                }
+        serial_total = sum(serial[name]["seconds"] for name in algorithms)
+        sharded_total = sum(entry["seconds"] for entry in per_algorithm.values())
+        curve[str(count)] = {
+            "algorithms": per_algorithm,
+            "total_seconds": sharded_total,
+            "aggregate_speedup": serial_total / sharded_total if sharded_total else 0.0,
+        }
+
+    report = {
+        "benchmark": "parallel_scaling",
+        "experiment": "fig12a-lineup",
+        "records": size,
+        "kernel": kernel,
+        "seed": seed,
+        "mode": mode,
+        "cpu_count": os.cpu_count(),
+        "parity_ok": parity_ok,
+        "serial": {
+            name: {k: v for k, v in entry.items() if k != "rids"}
+            for name, entry in serial.items()
+        },
+        "workers": curve,
+    }
+    if output:
+        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

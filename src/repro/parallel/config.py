@@ -1,0 +1,89 @@
+"""Configuration for the multi-core sharded skyline executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.chaos import FaultInjector
+
+__all__ = ["ParallelConfig"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to shard a query across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Target process-pool size.  The partitioner may produce fewer
+        shards than workers (small datasets, few strata), in which case
+        the pool shrinks to match.
+    min_shard_points:
+        Floor on the average shard size: with ``n`` points at most
+        ``n // min_shard_points`` shards are created.  When that leaves
+        fewer than two shards the query simply runs serially (sharding
+        overhead would dominate).
+    max_stratum_skew:
+        Strata-mode eligibility threshold: when one SDC+ stratum holds
+        more than this fraction of all points, category partitioning
+        cannot balance and the partitioner falls back to grid mode.
+    mode:
+        ``"auto"`` (default) picks strata partitioning when the schema
+        has a poset attribute and the strata are balanced enough, grid
+        otherwise; ``"strata"`` / ``"grid"`` force one strategy
+        (``"strata"`` still degrades to grid when no poset attribute
+        exists).
+    start_method:
+        ``multiprocessing`` start method for the pool.  ``None`` picks
+        ``"fork"`` when the platform offers it (cheapest: the worker
+        inherits the parent's modules) and the platform default
+        otherwise.
+    poll_interval:
+        Seconds between cancellation/deadline checks while the parent
+        waits on worker futures.
+    fallback:
+        When ``True`` (default) a broken worker pool degrades to serial
+        recomputation with a :class:`~repro.exceptions.ParallelFallbackWarning`;
+        when ``False`` the underlying failure propagates.
+    chaos:
+        Optional :class:`~repro.resilience.chaos.FaultInjector` fired at
+        the ``parallel.dispatch.shard<i>`` sites.  An injected fault
+        marks that shard's task so the worker process hard-exits on
+        receipt -- a deterministic stand-in for a worker crash
+        (``kill -9``) used by the chaos suite.
+    """
+
+    workers: int = 2
+    min_shard_points: int = 32
+    max_stratum_skew: float = 0.8
+    mode: str = "auto"
+    start_method: str | None = None
+    poll_interval: float = 0.02
+    fallback: bool = True
+    chaos: "FaultInjector | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.mode not in ("auto", "strata", "grid"):
+            raise ValueError(f"unknown partition mode {self.mode!r}")
+
+    @staticmethod
+    def coerce(value: "ParallelConfig | int | None") -> "ParallelConfig | None":
+        """Normalise an ``engine.run(parallel=...)`` argument.
+
+        Accepts a ready :class:`ParallelConfig`, a bare worker count, or
+        ``None`` (meaning: run serially).
+        """
+        if value is None or isinstance(value, ParallelConfig):
+            return value
+        if isinstance(value, bool):  # bool is an int subclass; reject it
+            raise TypeError("parallel= expects a ParallelConfig or a worker count")
+        if isinstance(value, int):
+            return ParallelConfig(workers=value)
+        raise TypeError(
+            f"parallel= expects a ParallelConfig or a worker count, got {value!r}"
+        )

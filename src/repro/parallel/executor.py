@@ -1,0 +1,475 @@
+"""Process-pool skyline execution: partition, fan out, merge.
+
+:class:`ParallelSkylineExecutor` owns the sharding decision, the
+shared-memory point store and a persistent worker pool over one
+:class:`~repro.transform.dataset.TransformedDataset`.  One executor
+serves many queries (the serving layer keeps one per server); everything
+is built lazily on the first :meth:`run` and torn down by :meth:`close`.
+
+Execution contract (asserted by the parity suite):
+
+* **Answers** are the exact skyline -- the same *set* of points the
+  serial engine produces for every algorithm, and in strata mode the
+  same emission *order* as serial SDC+.
+* **Counters**: every worker's :class:`~repro.core.stats.ComparisonStats`
+  snapshot plus the parent-side merge bill are added into the same
+  aggregate bundle a serial run would charge.  The totals are exact sums
+  (no sampling, no loss) and deterministic run-to-run; they differ from
+  the serial totals only because partitioned work *is* different work.
+* **Resilience**: deadlines propagate into workers (each task re-arms a
+  :class:`~repro.resilience.context.QueryContext` with the remaining
+  wall-clock budget); cancellation is polled while waiting on futures; a
+  dead worker (or any broken pool) degrades to a serial recomputation
+  with a :class:`~repro.exceptions.ParallelFallbackWarning` -- never a
+  wrong or partial answer.  Queries carrying a *resource budget* run
+  serially: budget truncation is defined on the serial emission prefix,
+  which a fan-out cannot reproduce.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+import threading
+import time
+import warnings
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import (
+    ParallelError,
+    ParallelFallbackWarning,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResilienceError,
+)
+from repro.parallel.config import ParallelConfig
+from repro.parallel.merge import merge_local_skylines
+from repro.parallel.partition import Partition, partition_dataset
+from repro.parallel.shard import SharedPointStore
+from repro.parallel.worker import ShardTask, WorkerSetup, init_worker, run_shard_task
+from repro.resilience.context import QueryContext
+from repro.resilience.executor import PartialResult, execute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.record import Record
+    from repro.transform.dataset import TransformedDataset
+    from repro.transform.point import Point
+
+__all__ = ["ParallelResult", "ParallelSkylineExecutor", "parallel_skyline"]
+
+logger = logging.getLogger("repro.parallel")
+
+
+@dataclass
+class ParallelResult:
+    """The outcome of one sharded query.
+
+    ``counters`` is the query's aggregate bill (worker snapshots plus
+    the merge phase, or the serial bill when the query did not shard);
+    the same numbers are merged into the caller's stats bundle.
+    """
+
+    points: list["Point"] = field(default_factory=list)
+    algorithm: str = ""
+    elapsed: float = 0.0
+    #: ``"strata"``, ``"grid"`` or ``"serial"``.
+    mode: str = "serial"
+    #: Whether the query actually fanned out to worker processes.
+    parallel: bool = False
+    workers: int = 0
+    shard_sizes: tuple[int, ...] = ()
+    #: Shards eliminated whole by the representative prefilter.
+    eliminated_shards: tuple[int, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+    worker_counters: list[dict[str, int]] = field(default_factory=list)
+    merge_counters: dict[str, int] = field(default_factory=dict)
+    #: ``True`` when a broken pool degraded this query to serial.
+    fallback: bool = False
+    fallback_reason: str | None = None
+
+    @property
+    def records(self) -> list["Record"]:
+        return [p.record for p in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator["Point"]:
+        return iter(self.points)
+
+    def to_partial(self) -> PartialResult:
+        """Adapt for callers speaking the resilient-executor protocol."""
+        return PartialResult(
+            points=self.points,
+            complete=True,
+            exhausted_reason=None,
+            algorithm=self.algorithm,
+            elapsed=self.elapsed,
+            counters=dict(self.counters),
+            checkpoints=0,
+            fallback=False,
+        )
+
+
+def _fork_context(name: str | None):
+    if name is not None:
+        return multiprocessing.get_context(name)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelSkylineExecutor:
+    """Reusable sharded-execution backend over one dataset."""
+
+    def __init__(
+        self, dataset: "TransformedDataset", config: ParallelConfig | int | None = None
+    ) -> None:
+        self.dataset = dataset
+        self.config = ParallelConfig.coerce(config) or ParallelConfig()
+        self._partition: Partition | None = None
+        self._store: SharedPointStore | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+        # Serving runs concurrent queries through one executor; setup and
+        # teardown must not interleave (a lost race leaks a shm segment).
+        self._setup_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ParallelSkylineExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def partition(self) -> Partition:
+        """The sharding decision (computed on first use)."""
+        if self._partition is None:
+            self._partition = partition_dataset(self.dataset, self.config)
+        return self._partition
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._setup_lock:
+            if self._pool is not None:
+                return self._pool
+            dataset = self.dataset
+            partition = self.partition
+            if self._store is None:
+                order: list[int] = []
+                for shard in partition.shards:
+                    order.extend(shard.rows)
+                self._store = SharedPointStore(
+                    dataset.points,
+                    dataset.dimensions,
+                    dataset.schema.num_partial,
+                    order,
+                )
+            base_kernel = getattr(dataset.kernel, "wrapped", dataset.kernel)
+            setup_blob = pickle.dumps(
+                WorkerSetup(
+                    schema=dataset.schema,
+                    mappings=dataset.mappings,
+                    strategy=dataset.strategy,
+                    native_mode=dataset.native_mode,
+                    kernel_name=dataset.kernel_name,
+                    faithful_gate=base_kernel.faithful_gate,
+                    max_entries=dataset.max_entries,
+                    bulk_load=dataset.bulk_load,
+                )
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.config.workers, len(partition.shards)),
+                mp_context=_fork_context(self.config.start_method),
+                initializer=init_worker,
+                initargs=(setup_blob, self._store.layout),
+            )
+            return self._pool
+
+    def invalidate(self) -> None:
+        """Drop shards/store/pool so the next run re-shards.
+
+        Callers mutating the dataset (insert/delete) must invalidate --
+        the shared-memory arrays are a snapshot of the points at pack
+        time.  The serving layer does this under its writer lock.
+        """
+        self._teardown()
+
+    def _teardown(self) -> None:
+        with self._setup_lock:
+            pool, self._pool = self._pool, None
+            store, self._store = self._store, None
+            self._partition = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if store is not None:
+            store.close()
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared-memory segment."""
+        self._teardown()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: str = "sdc+",
+        *,
+        stats: ComparisonStats | None = None,
+        context: QueryContext | None = None,
+        sink: "list[Point] | None" = None,
+        **options,
+    ) -> ParallelResult:
+        """Execute one query, sharded when the dataset is big enough.
+
+        ``stats`` redirects the aggregate bill (defaults to the
+        dataset's bundle); ``context`` carries deadline / cancellation
+        (a resource *budget* forces the serial path, see the module
+        docstring); ``sink`` receives the merged answers in one batch
+        on completion (sharded execution is not progressive).
+        """
+        if self._closed:
+            raise ParallelError("executor is closed")
+        target = stats if stats is not None else self.dataset.stats
+        started = time.perf_counter()
+
+        has_budget = context is not None and context.budget is not None
+        partition = self.partition
+        if has_budget or partition.mode == "serial":
+            return self._run_serial(
+                algorithm,
+                target,
+                context,
+                sink,
+                options,
+                started,
+                mode="serial",
+                fallback=False,
+                fallback_reason=None,
+            )
+
+        try:
+            outcome = self._run_sharded(
+                algorithm, target, context, sink, options, started, partition
+            )
+        except ResilienceError:
+            # Deadline / cancellation stops are the query's own control
+            # flow, not a pool failure -- never recompute after them.
+            raise
+        except Exception as err:
+            if not self.config.fallback:
+                raise
+            self._teardown()  # the pool is broken; rebuild lazily
+            message = (
+                f"parallel worker pool failed mid-query "
+                f"({type(err).__name__}: {err}); recomputing serially "
+                f"(algorithm={algorithm}, shards={len(partition.shards)})"
+            )
+            logger.warning(message)
+            warnings.warn(message, ParallelFallbackWarning, stacklevel=2)
+            return self._run_serial(
+                algorithm,
+                target,
+                _remaining_context(context),
+                sink,
+                options,
+                started,
+                mode=partition.mode,
+                fallback=True,
+                fallback_reason=f"{type(err).__name__}: {err}",
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        algorithm: str,
+        target: ComparisonStats,
+        context: QueryContext | None,
+        sink,
+        options: dict,
+        started: float,
+        *,
+        mode: str,
+        fallback: bool,
+        fallback_reason: str | None,
+    ) -> ParallelResult:
+        view = self.dataset.query_view(stats=target)
+        before = target.snapshot()
+        result = execute(view, algorithm, context, sink=sink, **options)
+        return ParallelResult(
+            points=result.points,
+            algorithm=result.algorithm,
+            elapsed=time.perf_counter() - started,
+            mode=mode,
+            parallel=False,
+            workers=0,
+            shard_sizes=(),
+            eliminated_shards=(),
+            counters=target.diff(before),
+            worker_counters=[],
+            merge_counters={},
+            fallback=fallback,
+            fallback_reason=fallback_reason,
+        )
+
+    def _run_sharded(
+        self,
+        algorithm: str,
+        target: ComparisonStats,
+        context: QueryContext | None,
+        sink,
+        options: dict,
+        started: float,
+        partition: Partition,
+    ) -> ParallelResult:
+        dataset = self.dataset
+        config = self.config
+        pool = self._ensure_pool()
+        deadline = context.deadline if context is not None else None
+        cancel = context.cancel if context is not None else None
+        expires = started + deadline if deadline is not None else None
+
+        chaos = config.chaos
+        futures = []
+        cursor = 0
+        for shard in partition.shards:
+            kill = False
+            if chaos is not None:
+                try:
+                    chaos.maybe_fail(f"parallel.dispatch.shard{shard.index}")
+                except Exception:
+                    kill = True
+            remaining = None
+            if expires is not None:
+                remaining = max(1e-6, expires - time.perf_counter())
+            task = ShardTask(
+                shard_index=shard.index,
+                start=cursor,
+                stop=cursor + len(shard.rows),
+                algorithm=algorithm,
+                options=dict(options),
+                deadline=remaining,
+                kill=kill,
+            )
+            cursor += len(shard.rows)
+            futures.append(pool.submit(run_shard_task, task))
+
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending, timeout=config.poll_interval, return_when=FIRST_EXCEPTION
+            )
+            for future in done:
+                future.result()  # raises on a broken pool / worker fault
+            if cancel is not None and cancel.cancelled:
+                self._stop_pending(pending)
+                raise self._control_stop(
+                    QueryCancelledError(), algorithm, target, futures, started
+                )
+            if expires is not None and time.perf_counter() > expires:
+                self._stop_pending(pending)
+                raise self._control_stop(
+                    QueryTimeoutError(deadline, time.perf_counter() - started),
+                    algorithm,
+                    target,
+                    futures,
+                    started,
+                )
+
+        outcomes = sorted((f.result() for f in futures), key=lambda o: o.shard_index)
+        if any(o.status == "timeout" for o in outcomes):
+            raise self._control_stop(
+                QueryTimeoutError(deadline, time.perf_counter() - started),
+                algorithm,
+                target,
+                futures,
+                started,
+            )
+
+        local_skylines = [
+            [dataset.points[row] for row in outcome.rows] for outcome in outcomes
+        ]
+        merge_stats = ComparisonStats()
+        merge_view = dataset.query_view(stats=merge_stats)
+        merged = merge_local_skylines(merge_view, local_skylines)
+
+        worker_counters = [outcome.counters for outcome in outcomes]
+        aggregate = ComparisonStats()
+        for snapshot in worker_counters:
+            aggregate.add_snapshot(snapshot)
+        aggregate.merge(merge_stats)
+        for snapshot in worker_counters:
+            target.add_snapshot(snapshot)
+        target.merge(merge_stats)
+
+        if sink is not None:
+            sink.extend(merged.points)
+        return ParallelResult(
+            points=merged.points,
+            algorithm=algorithm,
+            elapsed=time.perf_counter() - started,
+            mode=partition.mode,
+            parallel=True,
+            workers=min(config.workers, len(partition.shards)),
+            shard_sizes=partition.sizes,
+            eliminated_shards=merged.eliminated,
+            counters=aggregate.snapshot(),
+            worker_counters=worker_counters,
+            merge_counters=merge_stats.snapshot(),
+            fallback=False,
+            fallback_reason=None,
+        )
+
+    @staticmethod
+    def _stop_pending(pending) -> None:
+        for future in pending:
+            future.cancel()
+
+    @staticmethod
+    def _control_stop(error, algorithm: str, target: ComparisonStats, futures, started):
+        """Package a deadline/cancel stop: bill finished shards, attach
+        an (empty) partial -- sharded execution emits nothing until the
+        merge, so a stopped query has no answer prefix."""
+        for future in futures:
+            if future.done() and not future.cancelled() and future.exception() is None:
+                target.add_snapshot(future.result().counters)
+        error.partial = PartialResult(
+            points=[],
+            complete=False,
+            exhausted_reason=(
+                "deadline" if isinstance(error, QueryTimeoutError) else "cancelled"
+            ),
+            algorithm=algorithm,
+            elapsed=time.perf_counter() - started,
+        )
+        return error
+
+
+def _remaining_context(context: QueryContext | None) -> QueryContext | None:
+    """A fresh context carrying what is left of ``context``'s deadline
+    (re-arming the original would restart its clock)."""
+    if context is None:
+        return None
+    deadline = context.deadline
+    if deadline is not None and context._expires_at is not None:
+        deadline = max(1e-6, context._expires_at - time.monotonic())
+    return QueryContext(deadline=deadline, budget=context.budget, cancel=context.cancel)
+
+
+def parallel_skyline(
+    dataset: "TransformedDataset",
+    algorithm: str = "sdc+",
+    config: ParallelConfig | int | None = None,
+    *,
+    stats: ComparisonStats | None = None,
+    context: QueryContext | None = None,
+    **options,
+) -> ParallelResult:
+    """One-shot sharded query (creates and closes a throwaway executor)."""
+    with ParallelSkylineExecutor(dataset, config) as executor:
+        return executor.run(algorithm, stats=stats, context=context, **options)

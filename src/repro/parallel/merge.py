@@ -1,0 +1,157 @@
+"""Cross-shard merge of shard-local skylines.
+
+Both partition modes are *ordered* (see :mod:`repro.parallel.partition`):
+a point in shard ``g`` can only be dominated by points in shards
+``h <= g``.  The merge is therefore a single pass in shard order -- each
+shard's candidates are checked against the running definite set ``S``
+and the survivors are promoted into ``S`` afterwards (never during: a
+shard's candidates are its local skyline, hence mutually non-dominated).
+
+Two paper devices make the pass cheap:
+
+**Lemma 4.1 restriction.**  ``S`` is bucketed by category and a
+candidate ``p`` only scans the buckets in ``dominators_of(p.category)``
+-- dominance is impossible from any other category.  With the batch
+kernel the buckets are :class:`~repro.core.batch.SkylineBuffer` objects
+seeded per shard with the bulk ``extend`` promotion; counters are
+identical to the scalar scan by the buffer contract.
+
+**Representative prefilter (Lemma 4.2).**  Before any per-point work,
+each shard nominates up to two representatives from its local skyline
+(its minimum-key point, and its minimum-key *completely covering* point)
+and earlier shards' representatives try to knock out whole later shards:
+``rep`` eliminates shard ``g`` when (a) every category present in ``g``
+is reachable from ``rep.category`` over a *bold* edge -- where
+m-dominance coincides with dominance -- and (b) ``rep`` strictly
+m-dominates the componentwise min corner of ``g``'s candidates, which
+makes it m-dominate (hence, by (a), dominate) every one of them.  The
+corner strictness also protects transformed-space duplicates of ``rep``:
+if some candidate shares ``rep``'s vector the corner test cannot be
+strict and the shard survives to the per-point pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categories import Category, dominators_of, is_bold, ordered_categories
+from repro.transform.point import Point
+
+__all__ = ["MergeOutcome", "merge_local_skylines"]
+
+
+@dataclass
+class MergeOutcome:
+    """The merged skyline plus what the prefilter managed to skip."""
+
+    points: list[Point]
+    #: Shard indexes whose entire local skyline the prefilter eliminated.
+    eliminated: tuple[int, ...]
+
+
+def _min_corner(points: list[Point]) -> list[float]:
+    mins = list(points[0].vector)
+    for p in points[1:]:
+        vector = p.vector
+        for k in range(len(mins)):
+            if vector[k] < mins[k]:
+                mins[k] = vector[k]
+    return mins
+
+
+def _representatives(points: list[Point]) -> list[Point]:
+    """Min-key candidate, plus the min-key completely covering one."""
+    best = min(range(len(points)), key=lambda i: (points[i].key, i))
+    reps = [points[best]]
+    covering = [
+        i for i, p in enumerate(points) if p.category.completely_covering
+    ]
+    if covering:
+        best_cov = min(covering, key=lambda i: (points[i].key, i))
+        if best_cov != best:
+            reps.append(points[best_cov])
+    return reps
+
+
+def merge_local_skylines(dataset, local_skylines: list[list[Point]]) -> MergeOutcome:
+    """Merge per-shard local skylines (shard order) into the global one.
+
+    ``dataset`` supplies the dominance kernel and the counter bundle the
+    merge phase bills to (callers pass an isolated ``query_view``).  The
+    returned emission order is shard order x local emission order --
+    deterministic for every algorithm, and identical to the serial SDC+
+    order under strata partitioning.
+    """
+    kernel = dataset.kernel
+    batch = getattr(kernel, "is_batch", False)
+    k = len(local_skylines)
+
+    corners = [_min_corner(c) if c else None for c in local_skylines]
+    cats = [frozenset(p.category for p in c) for c in local_skylines]
+    reps = [_representatives(c) if c else [] for c in local_skylines]
+
+    eliminated = [False] * k
+    for g in range(k):
+        if not local_skylines[g]:
+            continue
+        corner = tuple(corners[g])
+        for h in range(g):
+            if eliminated[h] or not local_skylines[h]:
+                continue
+            for rep in reps[h]:
+                if all(is_bold(rep.category, c) for c in cats[g]) and (
+                    kernel.m_dominates_mins(rep, corner)
+                ):
+                    eliminated[g] = True
+                    break
+            if eliminated[g]:
+                break
+
+    # Running definite set, bucketed by category (Lemma 4.1).
+    S: dict[Category, object] = {}
+    out: list[Point] = []
+    for g, candidates in enumerate(local_skylines):
+        if eliminated[g] or not candidates:
+            continue
+        survivors: list[Point] = []
+        for p in candidates:
+            dominated = False
+            for scat in ordered_categories(dominators_of(p.category)):
+                bucket = S.get(scat)
+                if bucket is None or not len(bucket):
+                    continue
+                if batch:
+                    dominated = bucket.scan_compare(p)
+                else:
+                    for q in bucket:
+                        if kernel.compare_dominance(p, q) == 1:
+                            dominated = True
+                            break
+                if dominated:
+                    break
+            if not dominated:
+                survivors.append(p)
+        out.extend(survivors)
+        if not survivors:
+            continue
+        # Bulk promotion into the definite buckets (one array fill per
+        # category with the batch kernel; see SkylineBuffer.extend).
+        by_cat: dict[Category, list[Point]] = {}
+        for p in survivors:
+            by_cat.setdefault(p.category, []).append(p)
+        for cat, group in by_cat.items():
+            bucket = S.get(cat)
+            if bucket is None:
+                if batch:
+                    from repro.core.batch import SkylineBuffer
+
+                    S[cat] = SkylineBuffer.from_points(kernel, group)
+                else:
+                    S[cat] = list(group)
+            else:
+                bucket.extend(group)
+
+    return MergeOutcome(
+        points=out,
+        eliminated=tuple(i for i, e in enumerate(eliminated) if e),
+    )

@@ -1,0 +1,149 @@
+"""Dataset partitioning for sharded skyline execution.
+
+Two strategies (cf. Ciaccia & Martinenghi's grid/stratum partitioning):
+
+**Strata mode** groups *consecutive* SDC+ strata (``R_cp, R_cc, R^1_pp,
+R^1_pc, ...``; see :mod:`repro.transform.stratification`) into balanced
+shards.  The stratification order carries a one-directional dominance
+guarantee -- a point can only be dominated by points in its own or an
+*earlier* stratum -- so shard-local skylines merge with a single ordered
+pass (earlier shards' survivors are definite; see
+:mod:`repro.parallel.merge`).
+
+**Grid mode** is the fallback when no poset attribute exists, a single
+stratum holds (almost) all points, or the caller forces it: points are
+rank-partitioned on the monotone L1 key of the transformed vector
+(``Point.key``) into contiguous chunks.  Key rank is one-directional for
+dominance too: dominance implies m-dominance (the transform's
+necessary-condition property, Section 4.2), and m-dominance implies a
+strictly smaller key -- so a point in a later chunk can never dominate a
+point in an earlier one and the same ordered merge applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categories import Category
+from repro.transform.dataset import TransformedDataset
+
+from repro.parallel.config import ParallelConfig
+
+__all__ = ["Shard", "Partition", "partition_dataset"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of worker-local skyline work.
+
+    ``rows`` are indexes into the parent's ``dataset.points`` list; they
+    are laid out contiguously in the shared ``order`` array so a task
+    payload is just a ``[start, stop)`` slice.
+    """
+
+    index: int
+    rows: tuple[int, ...]
+    #: Stratum labels grouped into this shard ("grid" chunks have none).
+    labels: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The sharding decision for one dataset."""
+
+    shards: tuple[Shard, ...]
+    #: ``"strata"``, ``"grid"`` or ``"serial"`` (too small to shard).
+    mode: str
+    #: Whether shard order carries the one-directional dominance
+    #: guarantee (earlier shards cannot be dominated by later ones).
+    ordered: bool
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(len(s.rows) for s in self.shards)
+
+
+def _serial(reason: str) -> Partition:  # noqa: ARG001 - reason is for callers/debug
+    return Partition(shards=(), mode="serial", ordered=True)
+
+
+def _balanced_groups(sizes: list[int], groups: int) -> list[list[int]]:
+    """Greedily group consecutive blocks into ``groups`` balanced runs."""
+    total = sum(sizes)
+    target = total / groups
+    out: list[list[int]] = []
+    current: list[int] = []
+    acc = 0
+    for i, size in enumerate(sizes):
+        current.append(i)
+        acc += size
+        if acc >= target and len(out) < groups - 1:
+            out.append(current)
+            current = []
+            acc = 0
+    if current:
+        out.append(current)
+    return out
+
+
+def partition_dataset(
+    dataset: TransformedDataset, config: ParallelConfig
+) -> Partition:
+    """Split ``dataset`` into shards per the configured strategy."""
+    n = len(dataset.points)
+    shards_wanted = min(config.workers, max(1, n // max(1, config.min_shard_points)))
+    if n == 0 or shards_wanted < 2:
+        return _serial("too small")
+
+    mode = config.mode
+    if mode in ("auto", "strata") and dataset.schema.num_partial > 0:
+        strata = dataset.stratification.strata
+        if len(strata) >= 2 and max(len(s) for s in strata) <= config.max_stratum_skew * n:
+            return _strata_partition(dataset, strata, shards_wanted)
+        # Skewed or single-stratum data: fall through to grid.
+    return _grid_partition(dataset, shards_wanted)
+
+
+def _strata_partition(dataset, strata, shards_wanted: int) -> Partition:
+    position = {id(p): i for i, p in enumerate(dataset.points)}
+    sizes = [len(s) for s in strata]
+    groups = _balanced_groups(sizes, min(shards_wanted, len(strata)))
+    shards = []
+    for gi, stratum_ixs in enumerate(groups):
+        rows: list[int] = []
+        labels: list[str] = []
+        for si in stratum_ixs:
+            stratum = strata[si]
+            labels.append(stratum.label)
+            rows.extend(position[id(p)] for p in stratum.points)
+        shards.append(Shard(index=gi, rows=tuple(rows), labels=tuple(labels)))
+    shards = [s for s in shards if s.rows]
+    if len(shards) < 2:
+        return _serial("strata collapsed")
+    return Partition(shards=tuple(shards), mode="strata", ordered=True)
+
+
+def _grid_partition(dataset, shards_wanted: int) -> Partition:
+    n = len(dataset.points)
+    ranked = sorted(range(n), key=lambda i: (dataset.points[i].key, i))
+    base, extra = divmod(n, shards_wanted)
+    shards = []
+    cursor = 0
+    for gi in range(shards_wanted):
+        size = base + (1 if gi < extra else 0)
+        if size == 0:
+            continue
+        shards.append(
+            Shard(index=len(shards), rows=tuple(ranked[cursor : cursor + size]))
+        )
+        cursor += size
+    if len(shards) < 2:
+        return _serial("grid collapsed")
+    # Key rank is one-directional for dominance even with posets:
+    # dominance => m-dominance => strictly smaller key.
+    return Partition(shards=tuple(shards), mode="grid", ordered=True)
+
+
+def shard_categories(dataset, shard: Shard) -> frozenset[Category]:
+    """Categories present in a shard (used by the merge prefilter)."""
+    return frozenset(dataset.points[i].category for i in shard.rows)

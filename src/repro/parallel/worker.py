@@ -1,0 +1,167 @@
+"""Worker-process side of the sharded skyline executor.
+
+Each pool worker runs :func:`init_worker` exactly once: it unpickles the
+setup blob (schema + domain mappings, pickled **once** in the parent)
+and attaches the shared-memory point store.  Every subsequent
+:func:`run_shard_task` call rebuilds its shard's points from shared
+array rows, assembles a standalone shard dataset (own counters, own
+kernel, own lazily-built R-trees), runs the requested algorithm locally
+and ships back only the emitted **global row ids** plus a counter
+snapshot -- a few KB per task regardless of shard size.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryTimeoutError
+
+__all__ = ["WorkerSetup", "ShardTask", "ShardOutcome", "init_worker", "run_shard_task"]
+
+
+@dataclass(frozen=True)
+class WorkerSetup:
+    """Pickled-once pool configuration (everything points don't carry)."""
+
+    schema: object
+    mappings: tuple
+    strategy: object
+    native_mode: str
+    kernel_name: str
+    faithful_gate: bool
+    max_entries: int
+    bulk_load: bool
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work order: a slice of the shared ``order`` array."""
+
+    shard_index: int
+    start: int
+    stop: int
+    algorithm: str
+    options: dict = field(default_factory=dict)
+    #: Remaining wall-clock seconds (parent deadline minus setup time).
+    deadline: float | None = None
+    #: Chaos switch: hard-exit the worker on receipt, simulating a crash.
+    kill: bool = False
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Shard-local skyline as global row ids, plus the counter bill."""
+
+    shard_index: int
+    #: Emitted local-skyline rows in emission order (``None`` on timeout).
+    rows: list[int] | None
+    counters: dict[str, int]
+    status: str  # "ok" | "timeout"
+
+
+# Per-process state installed by the pool initializer.
+_SETUP: WorkerSetup | None = None
+_STORE = None
+#: Caches that survive across tasks in one worker process (batch-kernel
+#: relation memo keyed by nothing -- one dataset per pool).
+_CACHES: dict = {}
+
+
+def init_worker(setup_blob: bytes, layout) -> None:
+    """Pool initializer: unpickle setup, attach shared memory."""
+    global _SETUP, _STORE
+    from repro.parallel.shard import AttachedPointStore
+
+    _SETUP = pickle.loads(setup_blob)
+    _STORE = AttachedPointStore(layout)
+    _CACHES.clear()
+
+
+def _make_shard_dataset(points, stats, context):
+    """A standalone :class:`TransformedDataset` over rebuilt shard points.
+
+    Mirrors ``TransformedDataset.subset_view`` construction, but with a
+    worker-local kernel bound to this task's fresh counter bundle (the
+    batch kernel's relation memo is reused across tasks in the same
+    process -- it depends only on the mappings).
+    """
+    from repro.core.dominance import DominanceKernel
+    from repro.transform.dataset import TransformedDataset
+
+    setup = _SETUP
+    closures = (
+        tuple(m.closure for m in setup.mappings)
+        if setup.native_mode == "closure" and setup.mappings
+        else None
+    )
+    if setup.kernel_name == "numpy":
+        from repro.core.batch import BatchDominanceKernel
+
+        kernel = BatchDominanceKernel(
+            setup.schema, stats, setup.faithful_gate, closures, setup.mappings
+        )
+        memo = _CACHES.get("relations")
+        if memo is not None:
+            kernel._relations = memo
+    else:
+        kernel = DominanceKernel(setup.schema, stats, setup.faithful_gate, closures)
+
+    ds = TransformedDataset.__new__(TransformedDataset)
+    ds.schema = setup.schema
+    ds.records = [p.record for p in points]
+    ds.strategy = setup.strategy
+    ds.stats = stats
+    ds.mappings = setup.mappings
+    ds.native_mode = setup.native_mode
+    ds.kernel_name = setup.kernel_name
+    ds.kernel = kernel
+    ds.max_entries = setup.max_entries
+    ds.bulk_load = setup.bulk_load
+    ds.context = context
+    ds.points = list(points)
+    ds._index = None
+    ds._stratification = None
+    ds._buffer_pool = None
+    ds._build_lock = threading.RLock()
+    ds._base = None
+    ds._kernel_injector = None
+    ds._update_injector = None
+    return ds
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Compute one shard's local skyline inside the worker process."""
+    if task.kill:
+        # Deterministic stand-in for a worker crash (chaos harness):
+        # bypass all python-level cleanup, exactly like SIGKILL.
+        os._exit(17)
+
+    from repro.algorithms.base import get_algorithm
+    from repro.core.stats import ComparisonStats
+    from repro.resilience.context import NULL_CONTEXT, QueryContext
+
+    stats = ComparisonStats()
+    if task.deadline is not None:
+        context = QueryContext(deadline=task.deadline)
+        context.start(stats)
+    else:
+        context = NULL_CONTEXT
+
+    points = _STORE.build_points(_SETUP.mappings, task.start, task.stop)
+    dataset = _make_shard_dataset(points, stats, context)
+    algorithm = get_algorithm(task.algorithm, **task.options)
+    try:
+        local = list(algorithm.run(dataset))
+    except QueryTimeoutError:
+        return ShardOutcome(task.shard_index, None, stats.snapshot(), "timeout")
+
+    if _SETUP.kernel_name == "numpy" and "relations" not in _CACHES:
+        memo = getattr(dataset.kernel, "_relations", None)
+        if memo is not None:
+            _CACHES["relations"] = memo
+
+    rows = [p.record.rid for p in local]
+    return ShardOutcome(task.shard_index, rows, stats.snapshot(), "ok")

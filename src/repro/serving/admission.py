@@ -16,11 +16,18 @@ Estimation is two-phase:
   compare every record against the surviving skyline, giving
   ``n * s(n, d)`` comparisons.  Crude, but it only has to be the right
   order of magnitude to stop obviously-hopeless queries.
-* **Calibrated** -- an EWMA over the *observed* per-record counter deltas
-  and wall-clock of completed queries, per algorithm
+* **Calibrated** -- an EWMA over the *observed* counter deltas and
+  wall-clock of completed queries, per algorithm
   (:meth:`CostEstimator.observe`, fed by the server after every complete
-  query).  Once one query of an algorithm has finished, estimates track
-  the live workload and the analytic bound retires.
+  query).  Rates are normalized per ``n * log2(n)`` *work unit* rather
+  than per record: skyline work grows super-linearly (sort-based
+  pipelines pay the sort, window algorithms pay ``n * s(n)`` with a
+  slowly-growing skyline), so a per-record rate learned on a small
+  dataset systematically under-bills a large one.  Conditioning the rate
+  on the dataset size this way lets one observation at ``n = 1000``
+  price a ``n = 100_000`` query at the right growth order.  Once one
+  query of an algorithm has finished, estimates track the live workload
+  and the analytic bound retires.
 
 The estimated counter delta is also priced through the
 :class:`~repro.bench.costmodel.CostModel` (the paper's 2005-era disk/CPU
@@ -42,6 +49,17 @@ __all__ = ["CostEstimate", "CostEstimator", "AdmissionDecision", "AdmissionContr
 #: Counter fields whose sum is "point-level dominance work" (must match
 #: :attr:`~repro.core.stats.ComparisonStats.total_dominance_checks`).
 _CHECK_FIELDS = ("m_dominance_point", "native_set", "native_closure", "native_numeric")
+
+
+def _work_units(records: int) -> float:
+    """Normalization basis for calibrated rates: ``n * log2(n)``.
+
+    Clamped below by ``n`` so tiny datasets (``n < 2``) keep a sane
+    positive denominator.
+    """
+    if records <= 0:
+        return 0.0
+    return records * max(1.0, math.log2(records))
 
 
 def _analytic_skyline_size(n: int, dimensions: int) -> float:
@@ -91,13 +109,13 @@ class CostEstimate:
 
 
 class _Profile:
-    """EWMA of per-record counter deltas + wall seconds for one algorithm."""
+    """EWMA of per-``n log n``-unit counter/seconds rates for one algorithm."""
 
-    __slots__ = ("per_record", "seconds", "samples")
+    __slots__ = ("per_unit", "seconds_per_unit", "samples")
 
     def __init__(self) -> None:
-        self.per_record: dict[str, float] = {}
-        self.seconds = 0.0
+        self.per_unit: dict[str, float] = {}
+        self.seconds_per_unit = 0.0
         self.samples = 0
 
 
@@ -120,28 +138,33 @@ class CostEstimator:
         ``ComparisonStats.snapshot()`` of its private bundle); partial
         or failed queries must not be observed -- their truncated bills
         would bias the estimate low and let over-budget queries sneak
-        past admission.
+        past admission.  Rates are stored per ``n * log2(n)`` unit so
+        observations taken at one dataset size extrapolate to another
+        (see the module docstring).
         """
         if records <= 0:
             return
+        units = _work_units(records)
         with self._lock:
             profile = self._profiles.setdefault(algorithm.lower(), _Profile())
             alpha = self.alpha if profile.samples else 1.0
             for name, value in counters.items():
-                rate = value / records
-                old = profile.per_record.get(name, 0.0)
-                profile.per_record[name] = old + alpha * (rate - old)
-            profile.seconds += alpha * (seconds - profile.seconds)
+                rate = value / units
+                old = profile.per_unit.get(name, 0.0)
+                profile.per_unit[name] = old + alpha * (rate - old)
+            rate = seconds / units
+            profile.seconds_per_unit += alpha * (rate - profile.seconds_per_unit)
             profile.samples += 1
 
     def estimate(self, algorithm: str, records: int, dimensions: int) -> CostEstimate:
         """Predict the bill of running ``algorithm`` over ``records`` rows."""
+        units = _work_units(records)
         with self._lock:
             profile = self._profiles.get(algorithm.lower())
             if profile is not None and profile.samples:
                 counters = {
-                    name: rate * records
-                    for name, rate in profile.per_record.items()
+                    name: rate * units
+                    for name, rate in profile.per_unit.items()
                 }
                 comparisons = sum(counters.get(f, 0.0) for f in _CHECK_FIELDS)
                 return CostEstimate(
@@ -150,7 +173,7 @@ class CostEstimator:
                     comparisons=comparisons,
                     counters=counters,
                     model_ms=self.cost_model.total_cost(counters),
-                    seconds=profile.seconds,
+                    seconds=profile.seconds_per_unit * units,
                     calibrated=True,
                 )
         comparisons = records * _analytic_skyline_size(records, dimensions)

@@ -140,6 +140,8 @@ class ServerMetrics:
         self.failures = 0
         self.fallbacks = 0
         self.index_repairs = 0
+        self.parallel_queries = 0
+        self.parallel_fallbacks = 0
         self.updates = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
@@ -233,6 +235,18 @@ class ServerMetrics:
         with self._lock:
             self.index_repairs += 1
 
+    def on_parallel(self, fallback: bool) -> None:
+        """Count one query routed to the sharded process-pool backend.
+
+        ``fallback`` marks queries whose worker pool broke and that were
+        transparently recomputed serially
+        (:class:`~repro.exceptions.ParallelFallbackWarning`).
+        """
+        with self._lock:
+            self.parallel_queries += 1
+            if fallback:
+                self.parallel_fallbacks += 1
+
     def on_update(self) -> None:
         """Count one committed insert/delete."""
         with self._lock:
@@ -262,6 +276,11 @@ class ServerMetrics:
                 "recovery": {
                     "kernel_fallbacks": self.fallbacks,
                     "index_repairs": self.index_repairs,
+                    "parallel_fallbacks": self.parallel_fallbacks,
+                },
+                "parallel": {
+                    "queries": self.parallel_queries,
+                    "fallbacks": self.parallel_fallbacks,
                 },
                 "updates": self.updates,
                 "queue": {

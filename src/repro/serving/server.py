@@ -239,6 +239,17 @@ class SkylineServer:
     metrics:
         A ready :class:`~repro.serving.metrics.ServerMetrics` (fresh
         when omitted).
+    parallel:
+        A :class:`~repro.parallel.ParallelConfig` (or worker count)
+        enabling the sharded process-pool execution mode
+        (``docs/parallel.md``).  Large admitted queries without a
+        resource budget run on the shared
+        :class:`~repro.parallel.ParallelSkylineExecutor`; everything
+        else stays on the serial per-thread path.  ``None`` (default)
+        disables sharding.
+    parallel_threshold:
+        Minimum dataset size (points) before an admitted query is
+        routed to the parallel executor.
     """
 
     def __init__(
@@ -253,10 +264,19 @@ class SkylineServer:
         validate_on_admission: bool = False,
         warm: bool = True,
         metrics: ServerMetrics | None = None,
+        parallel=None,
+        parallel_threshold: int = 5000,
     ) -> None:
         if workers < 1:
             raise ServingError("workers must be positive")
         self.dataset: "TransformedDataset" = getattr(target, "dataset", target)
+        self.parallel_threshold = parallel_threshold
+        if parallel is not None:
+            from repro.parallel import ParallelSkylineExecutor
+
+            self._parallel = ParallelSkylineExecutor(self.dataset, parallel)
+        else:
+            self._parallel = None
         self.admission = (
             admission
             if admission is not None
@@ -312,6 +332,8 @@ class SkylineServer:
         if wait:
             for thread in self._workers:
                 thread.join()
+        if self._parallel is not None:
+            self._parallel.close()
 
     def __enter__(self) -> "SkylineServer":
         return self
@@ -441,17 +463,35 @@ class SkylineServer:
                 budget=request.budget(),
                 cancel=handle.cancel_token,
             )
+            use_parallel = (
+                self._parallel is not None
+                and request.budget() is None
+                and len(self.dataset) >= self.parallel_threshold
+            )
             with self._rwlock.read_lock():
-                view = self.dataset.query_view(stats=handle.stats, context=context)
                 try:
-                    result = execute(
-                        view,
-                        request.algorithm,
-                        context,
-                        fallback=request.fallback,
-                        sink=handle._sink,
-                        **request.options,
-                    )
+                    if use_parallel:
+                        presult = self._parallel.run(
+                            request.algorithm,
+                            stats=handle.stats,
+                            context=context,
+                            sink=handle._sink,
+                            **request.options,
+                        )
+                        metrics.on_parallel(presult.fallback)
+                        result = presult.to_partial()
+                    else:
+                        view = self.dataset.query_view(
+                            stats=handle.stats, context=context
+                        )
+                        result = execute(
+                            view,
+                            request.algorithm,
+                            context,
+                            fallback=request.fallback,
+                            sink=handle._sink,
+                            **request.options,
+                        )
                 except QueryTimeoutError as err:
                     handle._finish("timeout", error=err)
                     outcome = "timeout"
@@ -502,12 +542,18 @@ class SkylineServer:
         """Insert one record, draining in-flight queries first."""
         with self._rwlock.write_lock():
             self.dataset.insert_record(record)
+            if self._parallel is not None:
+                # The shared-memory arrays snapshot the points at pack
+                # time; re-shard on next parallel query.
+                self._parallel.invalidate()
         self.metrics.on_update()
 
     def delete(self, rid) -> bool:
         """Delete the record with id ``rid`` (``False`` when absent)."""
         with self._rwlock.write_lock():
             removed = self.dataset.delete_record(rid)
+            if removed and self._parallel is not None:
+                self._parallel.invalidate()
         if removed:
             self.metrics.on_update()
         return removed

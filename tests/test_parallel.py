@@ -1,0 +1,471 @@
+"""Sharded process-pool execution: partition, merge and resilience edges.
+
+The cross-product parity suite lives in ``test_parallel_parity.py``;
+this file covers the unit-level contracts -- partitioner mode selection,
+the Lemma 4.2 representative prefilter, the ``ComparisonStats``
+double-count guard, the bulk buffer promotion, and the worker-crash /
+deadline / cancellation / budget behaviours of the executor.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import BatchDominanceKernel, SkylineBuffer
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.engine import SkylineEngine
+from repro.exceptions import (
+    ParallelError,
+    ParallelFallbackWarning,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.parallel import (
+    ParallelConfig,
+    ParallelSkylineExecutor,
+    merge_local_skylines,
+    parallel_skyline,
+    partition_dataset,
+)
+from repro.posets.builder import diamond
+from repro.resilience import CancellationToken, QueryContext, ResourceBudget
+from repro.resilience.chaos import FaultInjector
+from repro.serving import QueryRequest, SkylineServer
+
+KERNELS = ("python", "numpy")
+
+
+def _poset_engine(n: int = 300, seed: int = 31, kernel: str = "python") -> SkylineEngine:
+    rng = random.Random(seed)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 60), rng.randint(1, 60)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+def _numeric_engine(records, kernel: str = "python") -> SkylineEngine:
+    schema = Schema([NumericAttribute("a", "min"), NumericAttribute("b", "min")])
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+class TestParallelConfig:
+    def test_coerce(self):
+        config = ParallelConfig(workers=3)
+        assert ParallelConfig.coerce(config) is config
+        assert ParallelConfig.coerce(None) is None
+        assert ParallelConfig.coerce(4).workers == 4
+
+    def test_coerce_rejects_bool_and_junk(self):
+        with pytest.raises(TypeError):
+            ParallelConfig.coerce(True)
+        with pytest.raises(TypeError):
+            ParallelConfig.coerce("two")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(mode="hash")
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+class TestPartition:
+    def test_tiny_dataset_runs_serially(self):
+        engine = _poset_engine(n=20)
+        partition = partition_dataset(engine.dataset, ParallelConfig(workers=4))
+        assert partition.mode == "serial"
+        assert partition.shards == ()
+
+    def test_strata_mode_on_poset_data(self):
+        engine = _poset_engine(n=300)
+        partition = partition_dataset(engine.dataset, ParallelConfig(workers=4))
+        assert partition.mode == "strata"
+        assert partition.ordered
+        assert len(partition.shards) >= 2
+        # every row exactly once
+        rows = [r for s in partition.shards for r in s.rows]
+        assert sorted(rows) == list(range(300))
+        assert all(s.labels for s in partition.shards)
+
+    def test_single_stratum_falls_back_to_grid(self):
+        # All records share one poset value -> one stratum -> grid.
+        poset = diamond()
+        value = poset.value(0)
+        schema = Schema(
+            [NumericAttribute("a", "min"), PosetAttribute.set_valued("p", poset)]
+        )
+        rng = random.Random(5)
+        records = [Record(i, (rng.randint(1, 99),), (value,)) for i in range(200)]
+        engine = SkylineEngine(schema, records)
+        partition = partition_dataset(engine.dataset, ParallelConfig(workers=2))
+        assert partition.mode == "grid"
+        assert partition.ordered
+
+    def test_numeric_only_schema_uses_grid_even_when_strata_forced(self):
+        rng = random.Random(9)
+        records = [
+            Record(i, (rng.randint(1, 99), rng.randint(1, 99))) for i in range(200)
+        ]
+        engine = _numeric_engine(records)
+        partition = partition_dataset(
+            engine.dataset, ParallelConfig(workers=2, mode="strata")
+        )
+        assert partition.mode == "grid"
+
+    def test_grid_chunks_are_key_ranked(self):
+        engine = _poset_engine(n=200)
+        partition = partition_dataset(
+            engine.dataset, ParallelConfig(workers=4, mode="grid")
+        )
+        assert partition.mode == "grid"
+        points = engine.dataset.points
+        previous_max = None
+        for shard in partition.shards:
+            keys = [points[r].key for r in shard.rows]
+            if previous_max is not None:
+                assert min(keys) >= previous_max
+            previous_max = max(keys)
+
+
+# ---------------------------------------------------------------------------
+# Merge + representative prefilter
+# ---------------------------------------------------------------------------
+class TestMerge:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_empty_local_skylines_are_skipped(self, kernel):
+        rng = random.Random(3)
+        records = [
+            Record(i, (rng.randint(1, 99), rng.randint(1, 99))) for i in range(40)
+        ]
+        engine = _numeric_engine(records, kernel=kernel)
+        points = engine.dataset.points
+        outcome = merge_local_skylines(engine.dataset, [[], [points[0]], []])
+        assert outcome.points == [points[0]]
+        assert outcome.eliminated == ()
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_prefilter_eliminates_dominated_shard(self, kernel):
+        # One best point plus strictly worse filler: the later shard's
+        # entire local skyline is knocked out by shard 0's representative.
+        rng = random.Random(11)
+        records = [Record(0, (0, 0))] + [
+            Record(i, (rng.randint(5, 40), rng.randint(5, 40))) for i in range(1, 33)
+        ]
+        engine = _numeric_engine(records, kernel=kernel)
+        config = ParallelConfig(workers=2, min_shard_points=8, mode="grid")
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            result = executor.run("bnl")
+        assert result.parallel
+        assert result.eliminated_shards == (1,)
+        assert [p.record.rid for p in result.points] == [0]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_duplicate_of_representative_survives_prefilter(self, kernel):
+        # Two copies of the best vector in different shards: corner
+        # strictness must keep the later shard alive, and the per-point
+        # pass must then keep the duplicate (no strict dominance).
+        records = [Record(0, (1, 1)), Record(1, (1, 1))] + [
+            Record(i, (50 + i, 50 + i)) for i in range(2, 32)
+        ]
+        engine = _numeric_engine(records, kernel=kernel)
+        points = engine.dataset.points
+        outcome = merge_local_skylines(
+            engine.dataset, [[points[0]], [points[1]]]
+        )
+        assert outcome.eliminated == ()
+        assert {p.record.rid for p in outcome.points} == {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# ComparisonStats guard + bulk promotion (satellites)
+# ---------------------------------------------------------------------------
+class TestStatsGuards:
+    def test_merge_rejects_self(self):
+        stats = ComparisonStats()
+        with pytest.raises(ValueError, match="distinct objects"):
+            stats.merge(stats)
+
+    def test_merge_of_distinct_bundles_still_works(self):
+        a, b = ComparisonStats(), ComparisonStats()
+        b.m_dominance_point = 3
+        a.merge(b)
+        assert a.m_dominance_point == 3
+
+    def test_add_snapshot(self):
+        stats = ComparisonStats()
+        stats.add_snapshot({"m_dominance_point": 5, "tuples_scanned": 2})
+        stats.add_snapshot({"m_dominance_point": 1, "unknown_field_ignored": 9})
+        assert stats.m_dominance_point == 6
+        assert stats.tuples_scanned == 2
+
+
+class TestBufferExtend:
+    def test_extend_matches_sequential_appends(self):
+        engine = _poset_engine(n=80, kernel="numpy")
+        dataset = engine.dataset
+        base = getattr(dataset.kernel, "wrapped", dataset.kernel)
+        assert isinstance(base, BatchDominanceKernel)
+        group = list(dataset.points[:20])
+        one = SkylineBuffer(base)
+        for p in group:
+            one.append(p)
+        bulk = SkylineBuffer.from_points(base, group)
+        assert len(one) == len(bulk) == len(group)
+        assert list(one) == list(bulk)
+        # identical contents -> identical scan outcome and identical bill
+        probe = dataset.points[25]
+        before = base.stats.snapshot()
+        outcome_one = one.scan_compare(probe)
+        delta_one = base.stats.diff(before)
+        before = base.stats.snapshot()
+        outcome_bulk = bulk.scan_compare(probe)
+        delta_bulk = base.stats.diff(before)
+        assert outcome_one == outcome_bulk
+        assert delta_one == delta_bulk
+
+
+# ---------------------------------------------------------------------------
+# Executor behaviour
+# ---------------------------------------------------------------------------
+class TestExecutor:
+    def test_empty_dataset(self):
+        engine = _numeric_engine([])
+        result = parallel_skyline(engine.dataset, "bnl", ParallelConfig(workers=2))
+        assert result.points == []
+        assert result.mode == "serial"
+        assert not result.parallel
+
+    def test_closed_executor_raises(self):
+        engine = _poset_engine(n=50)
+        executor = ParallelSkylineExecutor(engine.dataset, ParallelConfig(workers=2))
+        executor.close()
+        with pytest.raises(ParallelError):
+            executor.run("bnl")
+
+    def test_budget_forces_serial_path(self):
+        engine = _poset_engine(n=300)
+        context = QueryContext(budget=ResourceBudget(max_answers=3))
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            result = executor.run("sdc+", context=context, stats=ComparisonStats())
+        assert not result.parallel
+        assert result.mode == "serial"
+        assert len(result.points) == 3
+
+    def test_deadline_propagates_into_workers(self):
+        engine = _poset_engine(n=400)
+        context = QueryContext(deadline=1e-4)
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            with pytest.raises(QueryTimeoutError) as info:
+                executor.run("sdc+", context=context, stats=ComparisonStats())
+        assert info.value.partial is not None
+        assert not info.value.partial.complete
+
+    def test_cancellation_is_polled(self):
+        engine = _poset_engine(n=300)
+        cancel = CancellationToken()
+        cancel.cancel()
+        context = QueryContext(cancel=cancel)
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            with pytest.raises(QueryCancelledError):
+                executor.run("sdc+", context=context, stats=ComparisonStats())
+
+    def test_sink_receives_merged_answers(self):
+        engine = _poset_engine(n=300)
+        sink: list = []
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            result = executor.run("sdc+", sink=sink, stats=ComparisonStats())
+        assert result.parallel
+        assert sink == result.points
+
+    def test_counters_are_exact_sums(self):
+        engine = _poset_engine(n=300, kernel="numpy")
+        stats = ComparisonStats()
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            result = executor.run("sdc+", stats=stats)
+        assert result.parallel
+        expected: dict[str, int] = {}
+        for snapshot in result.worker_counters + [result.merge_counters]:
+            for name, value in snapshot.items():
+                expected[name] = expected.get(name, 0) + value
+        aggregate = {k: v for k, v in result.counters.items() if v}
+        assert aggregate == {k: v for k, v in expected.items() if v}
+        assert stats.snapshot() == result.counters
+
+    def test_counters_are_deterministic_run_to_run(self):
+        engine = _poset_engine(n=300)
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            first = executor.run("sdc+", stats=ComparisonStats())
+            second = executor.run("sdc+", stats=ComparisonStats())
+        assert first.counters == second.counters
+        assert [p.record.rid for p in first.points] == [
+            p.record.rid for p in second.points
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Worker-crash chaos
+# ---------------------------------------------------------------------------
+class TestWorkerCrash:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_crash_degrades_to_serial_with_typed_warning(self, kernel):
+        engine = _poset_engine(n=300, kernel=kernel)
+        reference = [p.record.rid for p in engine.run_points("sdc+")]
+        chaos = FaultInjector(seed=7, rate=1.0, max_faults=1)
+        config = ParallelConfig(workers=2, chaos=chaos)
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            with pytest.warns(ParallelFallbackWarning):
+                result = executor.run("sdc+", stats=ComparisonStats())
+        assert result.fallback
+        assert result.fallback_reason
+        assert not result.parallel
+        assert [p.record.rid for p in result.points] == reference
+
+    def test_crash_without_fallback_raises(self):
+        engine = _poset_engine(n=300)
+        chaos = FaultInjector(seed=7, rate=1.0, max_faults=1)
+        config = ParallelConfig(workers=2, chaos=chaos, fallback=False)
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            with pytest.raises(Exception) as info:
+                executor.run("sdc+", stats=ComparisonStats())
+        assert not isinstance(info.value, (QueryTimeoutError, QueryCancelledError))
+
+    def test_executor_recovers_after_fallback(self):
+        engine = _poset_engine(n=300)
+        chaos = FaultInjector(seed=7, rate=1.0, max_faults=1)
+        config = ParallelConfig(workers=2, chaos=chaos)
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            with pytest.warns(ParallelFallbackWarning):
+                executor.run("sdc+", stats=ComparisonStats())
+            # injector exhausted -> pool rebuilds and shards again
+            result = executor.run("sdc+", stats=ComparisonStats())
+        assert result.parallel
+        assert not result.fallback
+
+
+# ---------------------------------------------------------------------------
+# Engine + server integration
+# ---------------------------------------------------------------------------
+class TestEngineIntegration:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_run_parallel_matches_serial(self, kernel):
+        engine = _poset_engine(n=300, kernel=kernel)
+        serial = {r.rid for r in engine.run("sdc+")}
+        sharded = {r.rid for r in engine.run("sdc+", parallel=2)}
+        assert sharded == serial
+
+    def test_reusable_executor(self):
+        engine = _poset_engine(n=300)
+        with engine.parallel_executor(ParallelConfig(workers=2)) as executor:
+            a = executor.run("bnl", stats=ComparisonStats())
+            b = executor.run("sdc+", stats=ComparisonStats())
+        assert {p.record.rid for p in a.points} == {p.record.rid for p in b.points}
+
+
+class TestServerIntegration:
+    def test_server_routes_large_queries_to_parallel(self):
+        engine = _poset_engine(n=300)
+        reference = {r.rid for r in engine.run("sdc+")}
+        server = SkylineServer(
+            engine.dataset,
+            workers=2,
+            parallel=ParallelConfig(workers=2),
+            parallel_threshold=100,
+        )
+        try:
+            result = server.submit(QueryRequest(algorithm="sdc+")).result(timeout=60)
+            assert {r.rid for r in result.points} == reference
+            snap = server.metrics.snapshot()
+            assert snap["parallel"]["queries"] == 1
+            assert snap["parallel"]["fallbacks"] == 0
+        finally:
+            server.close()
+
+    def test_server_threshold_keeps_small_queries_serial(self):
+        engine = _poset_engine(n=300)
+        server = SkylineServer(
+            engine.dataset,
+            workers=1,
+            parallel=ParallelConfig(workers=2),
+            parallel_threshold=10_000,
+        )
+        try:
+            server.submit(QueryRequest(algorithm="bnl")).result(timeout=60)
+            assert server.metrics.snapshot()["parallel"]["queries"] == 0
+        finally:
+            server.close()
+
+    def test_server_insert_invalidates_shards(self):
+        engine = _poset_engine(n=300)
+        server = SkylineServer(
+            engine.dataset,
+            workers=1,
+            parallel=ParallelConfig(workers=2),
+            parallel_threshold=100,
+        )
+        try:
+            server.submit(QueryRequest(algorithm="bnl")).result(timeout=60)
+            server.insert(Record("fresh", (0, 0), (diamond().value(0),)))
+            result = server.submit(QueryRequest(algorithm="bnl")).result(timeout=60)
+            assert "fresh" in {r.rid for r in result.points}
+            assert server.metrics.snapshot()["parallel"]["queries"] == 2
+        finally:
+            server.close()
+
+    def test_server_counts_parallel_fallbacks(self):
+        engine = _poset_engine(n=300)
+        chaos = FaultInjector(seed=2025, rate=1.0, max_faults=1)
+        server = SkylineServer(
+            engine.dataset,
+            workers=1,
+            parallel=ParallelConfig(workers=2, chaos=chaos),
+            parallel_threshold=100,
+        )
+        try:
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", ParallelFallbackWarning)
+                result = server.submit(QueryRequest(algorithm="sdc+")).result(
+                    timeout=60
+                )
+            reference = {r.rid for r in engine.run("sdc+")}
+            assert {r.rid for r in result.points} == reference
+            snap = server.metrics.snapshot()
+            assert snap["parallel"] == {"queries": 1, "fallbacks": 1}
+            assert snap["recovery"]["parallel_fallbacks"] == 1
+        finally:
+            server.close()

@@ -1,0 +1,140 @@
+"""Sharded-vs-serial parity: every algorithm, kernel, seed, worker count.
+
+CI's ``parallel-smoke`` job runs this file once per seed (it sets
+``REPRO_PARALLEL_SEED``); locally every test sweeps all three seeds.
+
+Contract asserted here:
+
+* the merged answer *set* is identical to the serial engine's for all
+  eight algorithms, both dominance backends and 2/4/8 workers;
+* under strata partitioning, ``sdc+`` additionally reproduces the exact
+  serial emission *order* (shard order x local order = stratum order);
+* the aggregate :class:`~repro.core.stats.ComparisonStats` bill equals
+  the exact sum of the worker snapshots plus the merge-phase bundle, and
+  is deterministic run-to-run.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import random
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.core.stats import ComparisonStats
+from repro.engine import SkylineEngine
+from repro.parallel import ParallelConfig, ParallelSkylineExecutor
+from repro.posets.builder import diamond
+
+_FIXED_SEEDS = (7, 101, 2025)
+_ENV_SEED = os.environ.get("REPRO_PARALLEL_SEED")
+SEEDS = (int(_ENV_SEED),) if _ENV_SEED else _FIXED_SEEDS
+
+ALL_ALGORITHMS = ("bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+", "nn+", "dnc")
+KERNELS = ("python", "numpy")
+WORKER_COUNTS = (2, 4, 8)
+_N = 240
+
+
+@functools.lru_cache(maxsize=None)
+def _engine(kernel: str, seed: int) -> SkylineEngine:
+    rng = random.Random(seed)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 60), rng.randint(1, 60)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(_N)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+@functools.lru_cache(maxsize=None)
+def _serial_reference(kernel: str, seed: int, algorithm: str) -> tuple:
+    engine = _engine(kernel, seed)
+    return tuple(p.record.rid for p in engine.run_points(algorithm))
+
+
+def _summed(worker_counters, merge_counters) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for snapshot in list(worker_counters) + [merge_counters]:
+        for name, value in snapshot.items():
+            out[name] = out.get(name, 0) + value
+    return {k: v for k, v in out.items() if v}
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parity_all_algorithms(kernel, seed, workers):
+    engine = _engine(kernel, seed)
+    config = ParallelConfig(workers=workers)
+    with ParallelSkylineExecutor(engine.dataset, config) as executor:
+        assert executor.partition.mode == "strata"
+        for algorithm in ALL_ALGORITHMS:
+            reference = _serial_reference(kernel, seed, algorithm)
+            stats = ComparisonStats()
+            result = executor.run(algorithm, stats=stats)
+            assert result.parallel, (algorithm, workers)
+            rids = [p.record.rid for p in result.points]
+            assert set(rids) == set(reference), (algorithm, kernel, seed, workers)
+            assert len(rids) == len(reference)
+            # exact aggregate = sum of worker snapshots + merge bundle
+            aggregate = {k: v for k, v in result.counters.items() if v}
+            assert aggregate == _summed(
+                result.worker_counters, result.merge_counters
+            ), (algorithm, kernel, seed, workers)
+            assert stats.snapshot() == result.counters
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_strata_mode_preserves_sdc_plus_order(kernel, seed):
+    engine = _engine(kernel, seed)
+    reference = list(_serial_reference(kernel, seed, "sdc+"))
+    with ParallelSkylineExecutor(
+        engine.dataset, ParallelConfig(workers=4, mode="strata")
+    ) as executor:
+        assert executor.partition.mode == "strata"
+        result = executor.run("sdc+", stats=ComparisonStats())
+    assert [p.record.rid for p in result.points] == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_grid_mode_parity(seed):
+    engine = _engine("numpy", seed)
+    with ParallelSkylineExecutor(
+        engine.dataset, ParallelConfig(workers=4, mode="grid")
+    ) as executor:
+        assert executor.partition.mode == "grid"
+        for algorithm in ("bnl", "sfs", "sdc+"):
+            reference = _serial_reference("numpy", seed, algorithm)
+            result = executor.run(algorithm, stats=ComparisonStats())
+            assert {p.record.rid for p in result.points} == set(reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_counters_deterministic_across_runs(seed):
+    engine = _engine("python", seed)
+    with ParallelSkylineExecutor(
+        engine.dataset, ParallelConfig(workers=4)
+    ) as executor:
+        first = executor.run("sdc+", stats=ComparisonStats())
+        second = executor.run("sdc+", stats=ComparisonStats())
+    assert first.counters == second.counters
+    assert first.worker_counters == second.worker_counters
+    assert [p.record.rid for p in first.points] == [
+        p.record.rid for p in second.points
+    ]

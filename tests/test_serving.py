@@ -10,6 +10,7 @@ index repair at admission, and the ``serve-bench`` workload replay.
 from __future__ import annotations
 
 import json
+import math
 import random
 import threading
 import time
@@ -185,11 +186,32 @@ class TestCostEstimator:
         assert estimator.profile_samples("bnl") == 1
         estimate = estimator.estimate("bnl", 200, 4)
         assert estimate.calibrated
-        # first sample is adopted wholesale; estimates scale per record
-        assert estimate.comparisons == pytest.approx(10_000)
-        assert estimate.seconds == pytest.approx(0.25)
+        # first sample is adopted wholesale; estimates scale per
+        # n*log2(n) work unit, not per record
+        scale = (200 * math.log2(200)) / (100 * math.log2(100))
+        assert estimate.comparisons == pytest.approx(5000 * scale)
+        assert estimate.seconds == pytest.approx(0.25 * scale)
+        # estimating at the observed size reproduces the observation
+        same = estimator.estimate("bnl", 100, 4)
+        assert same.comparisons == pytest.approx(5000)
+        assert same.seconds == pytest.approx(0.25)
         # other algorithms remain cold
         assert not estimator.estimate("sfs", 200, 4).calibrated
+
+    def test_calibration_conditions_on_dataset_size(self):
+        # An observation taken on a small dataset must extrapolate
+        # super-linearly to a large one: 100x the records costs 200x the
+        # bill under the n*log2(n) normalization (log2 doubles from
+        # n=100 to n=10_000), not 100x as per-record rates would say.
+        estimator = CostEstimator()
+        counters = {"m_dominance_point": 6000, "tuples_scanned": 100}
+        estimator.observe("bnl", 100, counters, seconds=0.1)
+        small = estimator.estimate("bnl", 100, 3)
+        large = estimator.estimate("bnl", 10_000, 3)
+        assert small.comparisons == pytest.approx(6000)
+        assert large.comparisons == pytest.approx(6000 * 200)
+        assert large.seconds == pytest.approx(0.1 * 200)
+        assert large.model_ms > small.model_ms
 
 
 class TestAdmissionController:
