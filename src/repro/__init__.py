@@ -69,6 +69,7 @@ from repro.resilience import (
     execute,
 )
 from repro.serving import QueryRequest, ServerMetrics, SkylineServer
+from repro.views import QueryShape, ResultCache, ViewManager
 from repro.workloads.config import WorkloadConfig
 from repro.workloads.generator import generate_workload
 
@@ -99,6 +100,9 @@ __all__ = [
     "SkylineServer",
     "QueryRequest",
     "ServerMetrics",
+    "QueryShape",
+    "ResultCache",
+    "ViewManager",
     "ReproError",
     "PosetError",
     "CyclicPosetError",

@@ -22,6 +22,10 @@ Commands
 ``bench-parallel``
     Worker-count speedup curve of the sharded process-pool backend
     (parity-checked against the serial engine; see docs/parallel.md).
+``bench-views``
+    Hit-rate vs. speedup curves of the materialized-view result cache
+    under repeated-query workloads (parity-checked against uncached
+    recomputes; see docs/views.md).
 """
 
 from __future__ import annotations
@@ -192,6 +196,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument("--seed", type=int, default=7, help="workload + client-stream seed")
     sb.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="probability each client re-submits the hot request instead "
+        "of drawing a fresh algorithm (0..1; models repeated-query "
+        "production traffic)",
+    )
+    sb.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the server's materialized-view result cache "
+        "(docs/views.md) so the report measures cache-aware throughput",
+    )
+    sb.add_argument(
         "--output",
         default=None,
         metavar="JSON",
@@ -237,6 +256,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON",
         help="write the curve as a JSON artifact "
         "(e.g. benchmarks/results/parallel_scaling.json)",
+    )
+    bp.add_argument(
+        "--assert-speedup",
+        action="store_true",
+        help="exit non-zero when the multi-worker aggregate speedup is "
+        "<= 1.0x serial; automatically skipped (with a note) on "
+        "machines with fewer than 4 cores, where sharding honestly "
+        "measures pure overhead",
+    )
+
+    bv = sub.add_parser(
+        "bench-views",
+        help="hit-rate vs. speedup curves of the materialized-view result cache",
+    )
+    bv.add_argument("--size", type=int, default=400, help="records to generate")
+    bv.add_argument(
+        "--queries", type=int, default=60, help="queries per repeat fraction"
+    )
+    bv.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="F",
+        help="repeat fractions to sweep (default: 0.0 0.25 0.5 0.75)",
+    )
+    bv.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
+    bv.add_argument("--seed", type=int, default=7, help="workload + stream seed")
+    bv.add_argument("--workers", type=int, default=2, help="server worker threads")
+    bv.add_argument(
+        "--output",
+        default=None,
+        metavar="JSON",
+        help="write the curves as a JSON artifact "
+        "(e.g. benchmarks/results/view_cache.json)",
     )
     return parser
 
@@ -477,6 +536,8 @@ def _cmd_serve_bench(args) -> int:
         kernel=args.kernel,
         seed=args.seed,
         output=args.output,
+        repeat_fraction=args.repeat_fraction,
+        cache=args.cache,
     )
     workload = report["workload"]
     print(
@@ -485,6 +546,19 @@ def _cmd_serve_bench(args) -> int:
         f"{workload['workers']} workers, {workload['records']} records "
         f"({workload['kernel']} kernel, seed {workload['seed']})"
     )
+    if workload["repeat_fraction"] or workload["cache"]:
+        cache_stats = report["server"]["cache"]
+        print(
+            f"  repeat_fraction={workload['repeat_fraction']:.2f} "
+            f"cache={'on' if workload['cache'] else 'off'}"
+            + (
+                f" (hits={cache_stats['hits']}, "
+                f"misses={cache_stats['misses']}, "
+                f"hit_rate={cache_stats['hit_rate']:.2f})"
+                if workload["cache"]
+                else ""
+            )
+        )
     latency = report["latency"]
     print(
         f"  {report['queries']} queries in {report['wall_seconds']:.3f}s "
@@ -540,7 +614,72 @@ def _cmd_bench_parallel(args) -> int:
         print("  PARITY MISMATCH against the serial engine")
     if args.output:
         print(f"  curve written to {args.output}")
-    return 0 if report["parity_ok"] else 1
+    exit_code = 0 if report["parity_ok"] else 1
+    if args.assert_speedup:
+        assertion = report["speedup_assertion"]
+        if not assertion["evaluated"]:
+            print(
+                f"  speedup assertion SKIPPED: "
+                f"cpu_count={assertion['cpu_count']} < "
+                f"required {assertion['required_cores']} cores"
+            )
+        elif assertion["passed"]:
+            print(
+                f"  speedup assertion passed: "
+                f"{assertion['best_aggregate_speedup']:.2f}x at "
+                f"{assertion['best_workers']} workers"
+            )
+        else:
+            print(
+                f"  speedup assertion FAILED: best aggregate speedup "
+                f"{assertion['best_aggregate_speedup']:.2f}x <= 1.0x serial "
+                f"(cpu_count={assertion['cpu_count']})"
+            )
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_bench_views(args) -> int:
+    from repro.views.bench import DEFAULT_FRACTIONS, run_views_bench
+
+    report = run_views_bench(
+        size=args.size,
+        queries=args.queries,
+        fractions=(
+            tuple(args.fractions) if args.fractions else DEFAULT_FRACTIONS
+        ),
+        kernel=args.kernel,
+        seed=args.seed,
+        workers=args.workers,
+        output=args.output,
+    )
+    print(
+        f"bench-views: {report['records']} records, "
+        f"{report['queries_per_fraction']} queries per fraction, "
+        f"{report['kernel']} kernel, seed {report['seed']}"
+    )
+    print(
+        f"  {'fraction':<9} {'hit rate':>8} {'uncached s':>11} "
+        f"{'cached s':>9} {'speedup':>8}  parity"
+    )
+    for key, entry in sorted(report["curves"].items()):
+        print(
+            f"  {key:<9} {entry['hit_rate']:>8.2f} "
+            f"{entry['uncached_wall_seconds']:>11.3f} "
+            f"{entry['cached_wall_seconds']:>9.3f} "
+            f"{entry['speedup']:>7.2f}x  "
+            f"{'ok' if entry['parity'] else 'MISMATCH'}"
+        )
+    acceptance = report["acceptance"]
+    status = "passed" if acceptance["passed"] else "FAILED"
+    print(
+        f"  acceptance ({acceptance['required_speedup']:.0f}x at "
+        f"{acceptance['repeat_fraction']:.2f} repeat fraction): "
+        f"{acceptance['achieved_speedup']:.2f}x -> {status}"
+    )
+    if args.output:
+        print(f"  curves written to {args.output}")
+    return 0 if (report["parity_ok"] and acceptance["passed"]) else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -559,6 +698,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-kernels": _cmd_bench_kernels,
         "serve-bench": _cmd_serve_bench,
         "bench-parallel": _cmd_bench_parallel,
+        "bench-views": _cmd_bench_views,
     }
     try:
         return handlers[args.command](args)

@@ -232,6 +232,26 @@ class SkylineEngine:
 
         return SkylineServer(self, **options)
 
+    def materialize(self, cache=None, **options):
+        """A :class:`~repro.views.ViewManager` over this engine's dataset.
+
+        Materializes the full-space skyline immediately and registers
+        for incremental maintenance on :meth:`insert` / :meth:`delete`.
+        ``cache`` is an optional ready
+        :class:`~repro.views.ResultCache`; other keyword arguments are
+        forwarded to the manager (``algorithm``, ``cache_entries``,
+        ``cache_bytes``, ``metrics``).  Use as a context manager (or
+        call :meth:`~repro.views.ViewManager.detach`) to unhook::
+
+            with engine.materialize() as views:
+                hit = views.lookup(QueryShape.full_skyline())
+        """
+        from repro.views import ViewManager
+
+        manager = ViewManager(self.dataset, cache=cache, **options)
+        manager.materialize()
+        return manager
+
     # ------------------------------------------------------------------
     # Skyline-related queries (repro.queries convenience front-ends)
     # ------------------------------------------------------------------

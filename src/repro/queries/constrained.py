@@ -194,7 +194,9 @@ def constrained_skyline(
                 return True
         return False
 
-    for e in traverse(dataset.index, dataset.stats, node_pruned, point_pruned):
+    for e in traverse(
+        dataset.index, dataset.stats, node_pruned, point_pruned, dataset.context
+    ):
         if not constraint.admits(dataset, e):
             continue
         dominated = False

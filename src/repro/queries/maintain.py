@@ -16,6 +16,14 @@ inserted and deleted, without recomputing from scratch on every change.
   by ``r`` and by no *remaining* skyline member, and the new answers are
   the skyline of that candidate set.
 
+The point-level transition functions :func:`apply_insert` /
+:func:`apply_delete` are exposed separately so other consumers of
+already-transformed update events -- most importantly the materialized
+views of :mod:`repro.views`, which observe committed
+``insert_record``/``delete_record`` via dataset update listeners -- run
+exactly the same incremental maintenance without driving the dataset
+mutation themselves.
+
 The maintained set is verified against recomputation by randomised churn
 tests.
 """
@@ -29,7 +37,59 @@ from repro.exceptions import AlgorithmError
 from repro.transform.dataset import TransformedDataset
 from repro.transform.point import Point
 
-__all__ = ["MaintainedSkyline"]
+__all__ = ["MaintainedSkyline", "apply_insert", "apply_delete"]
+
+
+def apply_insert(skyline: dict, point: Point, kernel) -> bool:
+    """Fold one inserted ``point`` into a ``{rid: point}`` skyline map.
+
+    ``O(|S|)`` native comparisons; returns ``True`` when the skyline
+    changed (the point joined, possibly evicting dominated members).
+    """
+    for member in skyline.values():
+        if kernel.native_dominates(member, point):
+            return False
+    evicted = [
+        rid
+        for rid, member in skyline.items()
+        if kernel.native_dominates(point, member)
+    ]
+    for rid in evicted:
+        del skyline[rid]
+    skyline[point.record.rid] = point
+    return True
+
+
+def apply_delete(
+    skyline: dict, point: Point, remaining: Iterable[Point], kernel
+) -> bool:
+    """Fold one deleted ``point`` into a ``{rid: point}`` skyline map.
+
+    ``remaining`` is the post-delete point population (the deleted point
+    must already be absent from it).  Deleting a non-member changes
+    nothing; deleting a member promotes the records only it was
+    shielding.  Returns ``True`` when the skyline changed.
+    """
+    victim = skyline.pop(point.record.rid, None)
+    if victim is None:
+        return False  # non-skyline records shield nothing
+    survivors = list(skyline.values())
+    candidates: list[Point] = []
+    for p in remaining:
+        if p.record.rid in skyline:
+            continue
+        if not kernel.native_dominates(victim, p):
+            continue  # was not shielded by the victim
+        if any(kernel.native_dominates(s, p) for s in survivors):
+            continue  # still shielded by a remaining member
+        candidates.append(p)
+    # New answers are the skyline of the candidate set itself.
+    for p in candidates:
+        if not any(
+            q is not p and kernel.native_dominates(q, p) for q in candidates
+        ):
+            skyline[p.record.rid] = p
+    return True
 
 
 class MaintainedSkyline:
@@ -72,54 +132,19 @@ class MaintainedSkyline:
         ):
             raise AlgorithmError(f"record id {record.rid!r} already present")
         point = self.dataset.insert_record(record)
-        kernel = self.dataset.kernel
-        for member in self._skyline.values():
-            if kernel.native_dominates(member, point):
-                return False
-        evicted = [
-            rid
-            for rid, member in self._skyline.items()
-            if kernel.native_dominates(point, member)
-        ]
-        for rid in evicted:
-            del self._skyline[rid]
-        self._skyline[record.rid] = point
-        return True
+        return apply_insert(self._skyline, point, self.dataset.kernel)
 
     def delete(self, rid) -> bool:
         """Remove a record; returns ``True`` when the skyline changed."""
-        victim = self._skyline.get(rid)
         point = next(
             (p for p in self.dataset.points if p.record.rid == rid), None
         )
         if point is None:
             raise AlgorithmError(f"no record with id {rid!r}")
         self.dataset.delete_record(rid)
-        if victim is None:
-            return False  # non-skyline records shield nothing
-        del self._skyline[rid]
-        self._promote_after(victim)
-        return True
-
-    def _promote_after(self, victim: Point) -> None:
-        """Promote records that only ``victim`` was dominating."""
-        kernel = self.dataset.kernel
-        survivors = list(self._skyline.values())
-        candidates: list[Point] = []
-        for p in self.dataset.points:
-            if p.record.rid in self._skyline:
-                continue
-            if not kernel.native_dominates(victim, p):
-                continue  # was not shielded by the victim
-            if any(kernel.native_dominates(s, p) for s in survivors):
-                continue  # still shielded by a remaining member
-            candidates.append(p)
-        # New answers are the skyline of the candidate set itself.
-        for p in candidates:
-            if not any(
-                q is not p and kernel.native_dominates(q, p) for q in candidates
-            ):
-                self._skyline[p.record.rid] = p
+        return apply_delete(
+            self._skyline, point, self.dataset.points, self.dataset.kernel
+        )
 
     # ------------------------------------------------------------------
     def apply(self, inserts: Iterable[Record] = (), deletes: Iterable = ()) -> int:

@@ -99,7 +99,9 @@ def k_skyband_bbs(dataset: TransformedDataset, k: int) -> list[Point]:
                     return True
         return False
 
-    for e in traverse(dataset.index, dataset.stats, node_pruned, point_pruned):
+    for e in traverse(
+        dataset.index, dataset.stats, node_pruned, point_pruned, dataset.context
+    ):
         if not point_pruned(e):
             candidates.append(e)
 

@@ -81,6 +81,11 @@ class PartialResult:
     fallback:
         ``True`` when a batch-kernel failure was recovered by re-running
         the remaining work on the reference python kernel.
+    cached:
+        ``True`` when the answer was served from a materialized view or
+        result-cache hit (:mod:`repro.views`) -- zero dominance
+        comparisons were executed and ``points`` is in canonical
+        (record-id) order rather than an algorithm's emission order.
     """
 
     points: list["Point"] = field(default_factory=list)
@@ -91,6 +96,7 @@ class PartialResult:
     counters: dict[str, int] = field(default_factory=dict)
     checkpoints: int = 0
     fallback: bool = False
+    cached: bool = False
 
     @property
     def records(self) -> list["Record"]:

@@ -71,6 +71,20 @@ def _analytic_skyline_size(n: int, dimensions: int) -> float:
     return min(max(size, 1.0), float(n))
 
 
+def _profile_key(algorithm: str, shape) -> str:
+    """Calibration bucket for an (algorithm, query shape) pair.
+
+    Full-space skylines keep the bare algorithm key (so existing
+    calibration and tests are untouched); shaped queries get their own
+    per-kind profile -- a constrained scan and a full-space scan of the
+    same algorithm have very different bills, and mixing them into one
+    EWMA would bias both.
+    """
+    if shape is None or shape.kind == "skyline":
+        return algorithm.lower()
+    return f"{algorithm.lower()}|{shape.kind}"
+
+
 @dataclass(frozen=True)
 class CostEstimate:
     """Predicted bill of one query, produced before it runs.
@@ -130,7 +144,8 @@ class CostEstimator:
 
     # ------------------------------------------------------------------
     def observe(
-        self, algorithm: str, records: int, counters: dict, seconds: float
+        self, algorithm: str, records: int, counters: dict, seconds: float,
+        shape=None,
     ) -> None:
         """Fold one *completed* query's measured bill into the EWMA.
 
@@ -140,13 +155,17 @@ class CostEstimator:
         would bias the estimate low and let over-budget queries sneak
         past admission.  Rates are stored per ``n * log2(n)`` unit so
         observations taken at one dataset size extrapolate to another
-        (see the module docstring).
+        (see the module docstring).  ``shape`` (a
+        :class:`~repro.views.keys.QueryShape`) routes shaped queries to
+        their own per-kind calibration profile.
         """
         if records <= 0:
             return
         units = _work_units(records)
         with self._lock:
-            profile = self._profiles.setdefault(algorithm.lower(), _Profile())
+            profile = self._profiles.setdefault(
+                _profile_key(algorithm, shape), _Profile()
+            )
             alpha = self.alpha if profile.samples else 1.0
             for name, value in counters.items():
                 rate = value / units
@@ -156,11 +175,22 @@ class CostEstimator:
             profile.seconds_per_unit += alpha * (rate - profile.seconds_per_unit)
             profile.samples += 1
 
-    def estimate(self, algorithm: str, records: int, dimensions: int) -> CostEstimate:
-        """Predict the bill of running ``algorithm`` over ``records`` rows."""
+    def estimate(
+        self, algorithm: str, records: int, dimensions: int, shape=None
+    ) -> CostEstimate:
+        """Predict the bill of running ``algorithm`` over ``records`` rows.
+
+        ``shape`` conditions the estimate on the query's
+        :class:`~repro.views.keys.QueryShape`: calibrated rates come
+        from the per-``(algorithm, kind)`` profile, and the analytic
+        cold-start bound is adjusted -- a subspace query's skyline grows
+        with the *projected* dimensionality, a ``k``-skyband answer (and
+        therefore its window/heap work) scales roughly ``k``-fold, and a
+        constrained query is bounded above by the unconstrained bill.
+        """
         units = _work_units(records)
         with self._lock:
-            profile = self._profiles.get(algorithm.lower())
+            profile = self._profiles.get(_profile_key(algorithm, shape))
             if profile is not None and profile.samples:
                 counters = {
                     name: rate * units
@@ -176,7 +206,15 @@ class CostEstimator:
                     seconds=profile.seconds_per_unit * units,
                     calibrated=True,
                 )
-        comparisons = records * _analytic_skyline_size(records, dimensions)
+        effective_dims = dimensions
+        if shape is not None and shape.kind == "subspace":
+            effective_dims = max(1, len(shape.subspace))
+        comparisons = records * _analytic_skyline_size(records, effective_dims)
+        if shape is not None and shape.kind == "skyband":
+            # The k-skyband keeps every point dominated by fewer than k
+            # others: answer (and window) size grows roughly k-fold.
+            comparisons *= max(1, shape.k)
+        comparisons = min(comparisons, float(records) * records)
         counters = {
             "m_dominance_point": comparisons,
             "tuples_scanned": float(records),
@@ -191,10 +229,10 @@ class CostEstimator:
             calibrated=False,
         )
 
-    def profile_samples(self, algorithm: str) -> int:
+    def profile_samples(self, algorithm: str, shape=None) -> int:
         """How many completed queries have calibrated ``algorithm``."""
         with self._lock:
-            profile = self._profiles.get(algorithm.lower())
+            profile = self._profiles.get(_profile_key(algorithm, shape))
             return profile.samples if profile is not None else 0
 
 
@@ -265,8 +303,9 @@ class AdmissionController:
         never raises; the server turns ``"reject"`` decisions into
         :class:`~repro.exceptions.AdmissionRejectedError`.
         """
+        shape = request.shape() if hasattr(request, "shape") else None
         estimate = self.estimator.estimate(
-            request.algorithm, len(dataset), dataset.dimensions
+            request.algorithm, len(dataset), dataset.dimensions, shape=shape
         )
         limit = request.max_comparisons
         if limit is not None and estimate.comparisons * self.comparison_margin > limit:
@@ -286,9 +325,11 @@ class AdmissionController:
         return AdmissionDecision("admit", None, estimate)
 
     def observe(self, algorithm: str, records: int, stats: ComparisonStats,
-                seconds: float) -> None:
+                seconds: float, shape=None) -> None:
         """Calibrate from one completed query's private counter bundle."""
-        self.estimator.observe(algorithm, records, stats.snapshot(), seconds)
+        self.estimator.observe(
+            algorithm, records, stats.snapshot(), seconds, shape=shape
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

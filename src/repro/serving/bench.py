@@ -60,6 +60,8 @@ def run_serve_bench(
     kernel: str = "python",
     seed: int = 7,
     output: str | None = None,
+    repeat_fraction: float = 0.0,
+    cache: bool = False,
 ) -> dict:
     """Run the concurrent serving benchmark; returns the report dict.
 
@@ -67,7 +69,18 @@ def run_serve_bench(
     determined by ``seed``, so two runs submit identical request streams
     -- only the interleaving and the latencies vary.  ``output`` writes
     the report as JSON (parent directories created).
+
+    ``repeat_fraction`` makes each client re-submit a fixed *hot*
+    request (the full-space skyline via ``sdc+``) with that probability
+    instead of drawing a fresh algorithm -- the repeated-query pattern
+    production services see.  ``cache`` turns the server's views layer
+    on so the report measures cache-aware throughput; repeated shapes
+    then serve from the materialized view instead of recomputing.
     """
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError(
+            f"repeat_fraction must be in [0, 1], got {repeat_fraction!r}"
+        )
     from repro.workloads.config import WorkloadConfig
     from repro.workloads.generator import generate_workload
 
@@ -82,12 +95,15 @@ def run_serve_bench(
     samples_lock = threading.Lock()
     errors: list[str] = []
 
-    server = SkylineServer(dataset, workers=workers, warm=True)
+    server = SkylineServer(dataset, workers=workers, warm=True, cache=cache)
 
     def client(client_id: int) -> None:
         rng = random.Random(seed * 100_003 + client_id)
         for _ in range(queries_per_client):
-            algorithm = rng.choice(algorithms)
+            if repeat_fraction and rng.random() < repeat_fraction:
+                algorithm = "sdc+"  # the hot request every client repeats
+            else:
+                algorithm = rng.choice(algorithms)
             begin = time.perf_counter()
             try:
                 handle = server.submit(QueryRequest(algorithm=algorithm))
@@ -127,6 +143,8 @@ def run_serve_bench(
             "queries_per_client": queries_per_client,
             "workers": workers,
             "algorithms": list(algorithms),
+            "repeat_fraction": repeat_fraction,
+            "cache": bool(cache),
         },
         "wall_seconds": round(wall, 6),
         "queries": len(samples),

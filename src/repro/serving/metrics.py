@@ -150,6 +150,18 @@ class ServerMetrics:
         self.queue_wait = LatencyHistogram()
         self.by_algorithm: dict[str, LatencyHistogram] = {}
         self.comparison_totals = ComparisonStats()
+        # Result-cache section (repro.views): traffic counters, the
+        # bytes/entries residency gauges, and the staleness-age
+        # histogram (seconds since the served answer was last computed
+        # or patched, recorded at each hit).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.cache_invalidations = 0
+        self.cache_evictions = 0
+        self.cache_bytes = 0
+        self.cache_entries = 0
+        self.cache_age = LatencyHistogram()
 
     # ------------------------------------------------------------------
     # Admission-side events
@@ -253,6 +265,41 @@ class ServerMetrics:
             self.updates += 1
 
     # ------------------------------------------------------------------
+    # Result-cache events (repro.views)
+    # ------------------------------------------------------------------
+    def on_cache_hit(self, age_seconds: float) -> None:
+        """Count one served cache/view hit; records its staleness age."""
+        with self._lock:
+            self.cache_hits += 1
+            self.cache_age.record(age_seconds)
+
+    def on_cache_miss(self) -> None:
+        """Count one cacheable query that had to be computed."""
+        with self._lock:
+            self.cache_misses += 1
+
+    def on_cache_stored(self) -> None:
+        """Count one answer set populated into the cache."""
+        with self._lock:
+            self.cache_stores += 1
+
+    def on_cache_invalidated(self, entries: int = 1) -> None:
+        """Count entries dropped because an update touched their region."""
+        with self._lock:
+            self.cache_invalidations += entries
+
+    def on_cache_evicted(self, entries: int = 1) -> None:
+        """Count entries dropped by LRU/byte-budget pressure."""
+        with self._lock:
+            self.cache_evictions += entries
+
+    def set_cache_resident(self, resident_bytes: int, entries: int) -> None:
+        """Refresh the cache residency gauges."""
+        with self._lock:
+            self.cache_bytes = resident_bytes
+            self.cache_entries = entries
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -283,6 +330,22 @@ class ServerMetrics:
                     "fallbacks": self.parallel_fallbacks,
                 },
                 "updates": self.updates,
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": (
+                        self.cache_hits
+                        / (self.cache_hits + self.cache_misses)
+                        if (self.cache_hits + self.cache_misses)
+                        else 0.0
+                    ),
+                    "stores": self.cache_stores,
+                    "invalidations": self.cache_invalidations,
+                    "evictions": self.cache_evictions,
+                    "bytes_resident": self.cache_bytes,
+                    "entries": self.cache_entries,
+                    "staleness_age": self.cache_age.snapshot(),
+                },
                 "queue": {
                     "depth": self.queue_depth,
                     "max_depth": self.max_queue_depth,

@@ -30,6 +30,12 @@ Updates (:meth:`SkylineServer.insert` / :meth:`SkylineServer.delete`)
 take the writer side of a writer-preferring reader-writer lock: they
 drain in-flight queries, mutate the dataset (incremental index + strata
 maintenance), and only then let new queries start.
+
+With ``cache`` enabled (``docs/views.md``), step 1 is preceded by a
+views-layer lookup: a query whose canonical shape is resident is served
+at submission time in O(answer) with zero dominance comparisons, and
+committed updates invalidate or incrementally patch affected entries
+inside the writer lock, so readers can never observe a stale hit.
 """
 
 from __future__ import annotations
@@ -82,6 +88,14 @@ class QueryRequest:
     ``options`` is forwarded to the algorithm constructor (e.g.
     ``{"window_size": 128}``); ``fallback`` controls batch-kernel
     recovery; ``tag`` is an opaque client label echoed in the handle.
+
+    At most one of the *shaping* fields may be set: ``subspace`` (an
+    attribute-name collection: skyline over the projection),
+    ``constraint`` (a :class:`~repro.queries.constrained.Constraint`) or
+    ``skyband_k`` (the k-skyband).  All three default off, leaving the
+    full-space skyline.  For constrained/skyband requests ``options``
+    may carry ``{"method": "bnl"/"nested-loops"}`` to override the
+    default index-accelerated evaluation.
     """
 
     algorithm: str = "sdc+"
@@ -94,6 +108,24 @@ class QueryRequest:
     fallback: bool = True
     options: dict = field(default_factory=dict)
     tag: str | None = None
+    subspace: tuple | None = None
+    constraint: object | None = None
+    skyband_k: int | None = None
+
+    def shape(self):
+        """This request's canonical, algorithm-independent
+        :class:`~repro.views.keys.QueryShape` (cache key).
+
+        Raises :class:`~repro.exceptions.ServingError` when more than
+        one shaping field is set.
+        """
+        from repro.views.keys import QueryShape
+
+        return QueryShape.of(
+            subspace=self.subspace,
+            constraint=self.constraint,
+            skyband_k=self.skyband_k,
+        )
 
     def budget(self) -> ResourceBudget | None:
         """The request's resource budget (``None`` when unlimited)."""
@@ -134,6 +166,10 @@ class QueryHandle:
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self.outcome: str | None = None
+        #: Dataset ``update_version`` the answer reflects (set while the
+        #: read lock is held, for both cache hits and computed queries);
+        #: ``None`` until then.  Staleness tests replay against this.
+        self.served_version: int | None = None
         self._sink: list["Point"] = []
         self._result: PartialResult | None = None
         self._error: BaseException | None = None
@@ -250,6 +286,20 @@ class SkylineServer:
     parallel_threshold:
         Minimum dataset size (points) before an admitted query is
         routed to the parallel executor.
+    cache:
+        Result caching (``docs/views.md``).  ``None``/``False``
+        (default) disables it -- every query recomputes, and per-query
+        counters match a serial run exactly.  ``True`` builds a
+        :class:`~repro.views.ViewManager` with a fresh
+        :class:`~repro.views.ResultCache` (sized by ``cache_entries`` /
+        ``cache_bytes``); a ready ``ViewManager`` or ``ResultCache`` is
+        used as-is.  With caching on, a submitted query whose shape is
+        resident is served at admission in O(answer) with **zero**
+        dominance comparisons, bypassing the cost model and the
+        executor; committed updates invalidate or incrementally patch
+        affected entries before the writer lock releases.
+    cache_entries / cache_bytes:
+        Budgets for the built cache when ``cache=True``.
     """
 
     def __init__(
@@ -266,6 +316,9 @@ class SkylineServer:
         metrics: ServerMetrics | None = None,
         parallel=None,
         parallel_threshold: int = 5000,
+        cache=None,
+        cache_entries: int = 256,
+        cache_bytes: int = 32 * 1024 * 1024,
     ) -> None:
         if workers < 1:
             raise ServingError("workers must be positive")
@@ -292,6 +345,31 @@ class SkylineServer:
         self._queue: PriorityQueue = PriorityQueue()
         self._seq = itertools.count()
         self._closed = False
+        self._views = None
+        if cache:
+            from repro.views import ResultCache, ViewManager
+
+            if isinstance(cache, ViewManager):
+                if cache.dataset is not self.dataset:
+                    raise ServingError(
+                        "the ViewManager is attached to a different dataset"
+                    )
+                if cache.metrics is None:
+                    cache.metrics = self.metrics
+                    if cache.cache.metrics is None:
+                        cache.cache.metrics = self.metrics
+                self._views = cache
+            elif isinstance(cache, ResultCache):
+                self._views = ViewManager(
+                    self.dataset, cache=cache, metrics=self.metrics
+                )
+            else:
+                self._views = ViewManager(
+                    self.dataset,
+                    metrics=self.metrics,
+                    cache_entries=cache_entries,
+                    cache_bytes=cache_bytes,
+                )
         if warm:
             self.warm()
         self._workers = [
@@ -316,6 +394,8 @@ class SkylineServer:
         if getattr(kernel, "is_batch", False):
             with dataset._build_lock:
                 kernel.warm()
+        if self._views is not None and not self._views.materialized:
+            self._views.materialize()
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting queries; optionally drain and join the pool.
@@ -334,6 +414,8 @@ class SkylineServer:
                 thread.join()
         if self._parallel is not None:
             self._parallel.close()
+        if self._views is not None:
+            self._views.detach()
 
     def __enter__(self) -> "SkylineServer":
         return self
@@ -364,6 +446,11 @@ class SkylineServer:
             raise ServingError("server is closed")
         if self.validate_on_admission:
             self._ensure_valid_indexes()
+        if self._views is not None:
+            handle = self._serve_from_cache(request)
+            if handle is not None:
+                return handle
+            metrics.on_cache_miss()
         decision = self.admission.decide(request, self.dataset, metrics.queue_depth)
         if decision.action == "reject":
             metrics.on_rejected(decision.reason)
@@ -377,6 +464,42 @@ class SkylineServer:
         metrics.on_admitted(deflected)
         metrics.on_enqueued()
         self._queue.put((priority, handle.seq, handle))
+        return handle
+
+    def _serve_from_cache(self, request: QueryRequest) -> QueryHandle | None:
+        """Serve ``request`` from the views layer; ``None`` on a miss.
+
+        Runs at submission time, under the read lock (so the looked-up
+        answer is consistent with a committed dataset state and cannot
+        race a writer).  A hit bypasses the admission cost model, the
+        queue and the executor entirely: the handle resolves before this
+        method returns, in O(answer) time, with its private counter
+        bundle untouched -- zero dominance comparisons, asserted.
+        """
+        shape = request.shape()  # raises ServingError on invalid combos
+        with self._rwlock.read_lock():
+            hit = self._views.lookup(shape)
+            if hit is None:
+                return None
+            handle = QueryHandle(request, next(self._seq), None, False)
+            handle.served_version = hit.version
+            assert handle.stats.total_dominance_checks == 0, (
+                "cache hit must not execute dominance comparisons"
+            )
+            handle.started_at = handle.submitted_at
+            handle._sink.extend(hit.points)
+            handle._finish(
+                "complete",
+                result=PartialResult(
+                    points=hit.points,
+                    complete=True,
+                    algorithm=request.algorithm,
+                    elapsed=time.perf_counter() - handle.submitted_at,
+                    counters=handle.stats.snapshot(),
+                    cached=True,
+                ),
+            )
+        self.metrics.on_cache_hit(hit.age)
         return handle
 
     def _rejection_bounds(self, request: QueryRequest, decision):
@@ -463,8 +586,10 @@ class SkylineServer:
                 budget=request.budget(),
                 cancel=handle.cancel_token,
             )
+            shape = request.shape()
             use_parallel = (
                 self._parallel is not None
+                and shape.kind == "skyline"
                 and request.budget() is None
                 and len(self.dataset) >= self.parallel_threshold
             )
@@ -480,6 +605,8 @@ class SkylineServer:
                         )
                         metrics.on_parallel(presult.fallback)
                         result = presult.to_partial()
+                    elif shape.kind != "skyline":
+                        result = self._run_shaped(handle, request, shape, context)
                     else:
                         view = self.dataset.query_view(
                             stats=handle.stats, context=context
@@ -503,6 +630,15 @@ class SkylineServer:
                 except ResilienceError as err:
                     handle._finish("error", error=err)
                     return
+                # Both reads happen while writers are still excluded:
+                # the version tag and the populated entry are guaranteed
+                # consistent with the state the answer was computed on.
+                handle.served_version = self.dataset.update_version
+                if self._views is not None and result.complete:
+                    self._views.store(
+                        shape, result.points, region=request.constraint
+                    )
+                    metrics.on_cache_stored()
             fallback_used = result.fallback
             outcome = "complete" if result.complete else "partial"
             handle._finish(outcome, result=result)
@@ -512,6 +648,7 @@ class SkylineServer:
                     len(self.dataset),
                     handle.stats,
                     result.elapsed,
+                    shape=shape,
                 )
         except Exception as err:
             handle._finish("error", error=err)
@@ -525,6 +662,53 @@ class SkylineServer:
                 stats=handle.stats,
                 fallback=fallback_used,
             )
+
+    def _run_shaped(self, handle: QueryHandle, request: QueryRequest,
+                    shape, context: QueryContext) -> PartialResult:
+        """Execute a subspace/constrained/skyband query on a private view.
+
+        Same isolation contract as the full-space path: private stats,
+        private kernel, armed context (deadlines, budgets and
+        cancellation all enforced at the evaluators' checkpoints).
+        Shaped evaluators are not generators, so answers land in the
+        handle's sink only on completion.
+        """
+        from repro.queries.constrained import constrained_skyline
+        from repro.queries.skyband import k_skyband
+        from repro.queries.subspace import project_dataset
+
+        start = time.perf_counter()
+        view = self.dataset.query_view(stats=handle.stats, context=context)
+        context.start(handle.stats)
+        if shape.kind == "subspace":
+            from repro.algorithms.base import get_algorithm
+
+            projected = project_dataset(view, list(shape.subspace))
+            projected.context = context
+            by_rid = {p.record.rid: p for p in view.points}
+            points = [
+                by_rid[p.record.rid]
+                for p in get_algorithm(
+                    request.algorithm, **request.options
+                ).run(projected)
+            ]
+        elif shape.kind == "constrained":
+            points = constrained_skyline(
+                view, request.constraint, request.options.get("method", "bbs")
+            )
+        else:  # skyband
+            points = k_skyband(
+                view, request.skyband_k, request.options.get("method", "bbs")
+            )
+        handle._sink.extend(points)
+        return PartialResult(
+            points=points,
+            complete=True,
+            algorithm=request.algorithm,
+            elapsed=time.perf_counter() - start,
+            counters=handle.stats.snapshot(),
+            checkpoints=context.checkpoints,
+        )
 
     @staticmethod
     def _empty_partial(request: QueryRequest, reason: str) -> PartialResult:
@@ -565,6 +749,11 @@ class SkylineServer:
     def stats(self) -> ComparisonStats:
         """Server-wide counter aggregate (merged per-query bundles)."""
         return self.metrics.comparison_totals
+
+    @property
+    def views(self):
+        """The :class:`~repro.views.ViewManager` (``None`` when off)."""
+        return self._views
 
     @property
     def queue_depth(self) -> int:

@@ -135,6 +135,20 @@ class TransformedDataset:
         #: update fault injector fired inside insert/delete.
         self._kernel_injector = None
         self._update_injector = None
+        #: Monotone commit counter: bumped once per *successful*
+        #: insert/delete (a rolled-back update leaves it untouched), so
+        #: observers can tell exactly which dataset state an answer was
+        #: computed against (the materialized-view staleness tests key
+        #: on it; see ``docs/views.md``).
+        self.update_version = 0
+        #: Committed-update observers, ``fn(op, point)`` with ``op`` in
+        #: ``("insert", "delete")``.  Fired synchronously *after* an
+        #: update commits (never on rollback) and still inside whatever
+        #: exclusive section the caller holds -- the serving layer's
+        #: writer lock -- which is what lets a
+        #: :class:`~repro.views.ViewManager` patch/invalidate its
+        #: materialized answers atomically with the update.
+        self._update_listeners: list = []
 
     # ------------------------------------------------------------------
     @property
@@ -264,6 +278,8 @@ class TransformedDataset:
                 self._index.delete(point)
             self._stratification = stratification
             raise
+        self.update_version += 1
+        self._notify_listeners("insert", point)
         return point
 
     def delete_record(self, rid) -> bool:
@@ -297,7 +313,24 @@ class TransformedDataset:
             if from_index:
                 self._index.insert(point)
             raise
+        self.update_version += 1
+        self._notify_listeners("delete", point)
         return True
+
+    def add_update_listener(self, listener) -> None:
+        """Register ``fn(op, point)`` to fire after each committed update."""
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(self, listener) -> None:
+        """Unregister a committed-update observer (no-op when absent)."""
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_listeners(self, op: str, point: Point) -> None:
+        for listener in self._update_listeners:
+            listener(op, point)
 
     def rebuild_indexes(self, validate: bool = True) -> None:
         """Drop and rebuild the derived index structures from the points.
@@ -352,6 +385,8 @@ class TransformedDataset:
         view._base = None  # different point set: builds its own trees
         view._kernel_injector = self._kernel_injector
         view._update_injector = None
+        view.update_version = self.update_version
+        view._update_listeners = []
         return view
 
     def fallback_view(self) -> "TransformedDataset":
@@ -388,6 +423,8 @@ class TransformedDataset:
         view._base = self._base
         view._kernel_injector = self._kernel_injector
         view._update_injector = None
+        view.update_version = self.update_version
+        view._update_listeners = []
         return view
 
     def query_view(
@@ -460,6 +497,8 @@ class TransformedDataset:
         view._base = self if self._base is None else self._base
         view._kernel_injector = self._kernel_injector
         view._update_injector = None
+        view.update_version = self.update_version
+        view._update_listeners = []
         return view
 
     def attach_buffer_pool(self, pool) -> None:

@@ -1,0 +1,38 @@
+"""Materialized skyline views and the hot-query result cache.
+
+The serving bridge from one-shot skyline algorithms to O(answer)
+repeated-query latency:
+
+* :mod:`repro.views.keys` -- canonical, algorithm-independent
+  :class:`~repro.views.keys.QueryShape` cache keys and the canonical
+  (record-id) answer order;
+* :mod:`repro.views.cache` -- the LRU + byte-budget
+  :class:`~repro.views.cache.ResultCache`;
+* :mod:`repro.views.manager` -- the
+  :class:`~repro.views.manager.ViewManager` keeping the materialized
+  full-space skyline incrementally correct under updates and
+  invalidating cached shaped answers region-aware, inside the writer
+  lock;
+* :mod:`repro.views.bench` -- the ``repro bench-views`` hit-rate vs.
+  speedup benchmark.
+
+See ``docs/views.md`` for the view lifecycle and the invalidation
+protocol.
+"""
+
+from repro.views.bench import run_views_bench
+from repro.views.cache import CacheEntry, ResultCache, estimate_result_bytes
+from repro.views.keys import QueryShape, canonical_order, constraint_key
+from repro.views.manager import ViewHit, ViewManager
+
+__all__ = [
+    "run_views_bench",
+    "CacheEntry",
+    "QueryShape",
+    "ResultCache",
+    "ViewHit",
+    "ViewManager",
+    "canonical_order",
+    "constraint_key",
+    "estimate_result_bytes",
+]

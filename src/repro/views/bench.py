@@ -1,0 +1,188 @@
+"""Hit-rate vs. speedup benchmark for the views layer (``repro bench-views``).
+
+Replays identical seeded query streams against two servers over the same
+dataset -- one with the views layer on, one without -- at several
+*repeat fractions*.  Each stream mixes a small **hot set** (the
+full-space skyline under the fig12a algorithm lineup, one constrained
+box, one subspace, one skyband -- the repeated shapes production
+services see) with **cold** one-off constrained-box queries; a query is
+drawn from the hot set with probability equal to the repeat fraction.
+Per fraction the report records wall time for both servers, the
+aggregate speedup, the observed hit rate, total dominance comparisons
+on each side, and a per-query rid-set parity check (every cached answer
+must equal the uncached recompute).  The acceptance gate -- >= 5x
+aggregate speedup at the 0.5 repeat fraction -- is evaluated into the
+report, and the artifact lands at ``benchmarks/results/view_cache.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.serving.server import QueryRequest, SkylineServer
+
+__all__ = ["run_views_bench", "HOT_ALGORITHMS"]
+
+#: The paper's Fig. 12(a) algorithm lineup -- the hot-set algorithms.
+HOT_ALGORITHMS = ("bnl", "bnl+", "bbs+", "sdc", "sdc+")
+
+#: Repeat fractions the benchmark sweeps.
+DEFAULT_FRACTIONS = (0.0, 0.25, 0.5, 0.75)
+
+#: The acceptance gate: required aggregate speedup at this fraction.
+ACCEPTANCE_FRACTION = 0.5
+ACCEPTANCE_SPEEDUP = 5.0
+
+
+def _hot_templates(constraint_cls) -> list[dict]:
+    """The hot set: request field dicts (rebuilt into QueryRequests)."""
+    templates: list[dict] = [
+        {"algorithm": name} for name in HOT_ALGORITHMS
+    ]
+    templates.append(
+        {
+            "algorithm": "bbs+",
+            "constraint": constraint_cls(ranges={"t0": (100.0, 400.0)}),
+        }
+    )
+    templates.append({"algorithm": "bnl", "subspace": ("t0", "t1")})
+    templates.append({"algorithm": "bbs+", "skyband_k": 2})
+    return templates
+
+
+def _make_stream(
+    rng: random.Random, queries: int, fraction: float, constraint_cls
+) -> list[QueryRequest]:
+    """One seeded request stream at the given repeat fraction."""
+    hot = _hot_templates(constraint_cls)
+    stream: list[QueryRequest] = []
+    for _ in range(queries):
+        if rng.random() < fraction:
+            stream.append(QueryRequest(**rng.choice(hot)))
+        else:
+            # Cold one-off: a narrow unique constraint box (cheap to
+            # compute, never repeated, so it can only miss).
+            lo = float(rng.randrange(0, 900))
+            stream.append(
+                QueryRequest(
+                    algorithm="bbs+",
+                    constraint=constraint_cls(
+                        ranges={"t0": (lo, lo + 60.0)}
+                    ),
+                )
+            )
+    return stream
+
+
+def _replay(server: SkylineServer, stream: list[QueryRequest]):
+    """Run the stream sequentially; returns (wall_seconds, rid_sets)."""
+    answers: list[frozenset] = []
+    begin = time.perf_counter()
+    for request in stream:
+        result = server.submit(request).result()
+        answers.append(
+            frozenset(str(p.record.rid) for p in result.points)
+        )
+    return time.perf_counter() - begin, answers
+
+
+def run_views_bench(
+    size: int = 400,
+    queries: int = 60,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    kernel: str = "python",
+    seed: int = 7,
+    workers: int = 2,
+    output: str | None = None,
+) -> dict:
+    """Measure hit-rate vs. speedup curves; return the report dict.
+
+    The dataset and every query stream are fully determined by ``seed``;
+    both servers replay byte-identical streams, so the wall-clock ratio
+    isolates exactly what the views layer saves.
+    """
+    from repro.queries.constrained import Constraint
+    from repro.transform.dataset import TransformedDataset
+    from repro.workloads.config import WorkloadConfig
+    from repro.workloads.generator import generate_workload
+
+    workload = generate_workload(
+        WorkloadConfig.default(data_size=size, seed=seed)
+    )
+    dataset = TransformedDataset(
+        workload.schema, workload.records, kernel=kernel
+    )
+
+    curves: dict[str, dict] = {}
+    parity_ok = True
+    for fraction in fractions:
+        rng = random.Random(seed * 1_000_003 + int(fraction * 1000))
+        stream = _make_stream(rng, queries, fraction, Constraint)
+
+        cold_server = SkylineServer(
+            dataset, workers=workers, warm=True, cache=None
+        )
+        cold_wall, cold_answers = _replay(cold_server, stream)
+        cold_checks = cold_server.stats.total_dominance_checks
+        cold_server.close()
+
+        warm_begin = time.perf_counter()
+        hot_server = SkylineServer(
+            dataset, workers=workers, warm=True, cache=True
+        )
+        warm_seconds = time.perf_counter() - warm_begin
+        hot_wall, hot_answers = _replay(hot_server, stream)
+        hot_checks = hot_server.stats.total_dominance_checks
+        cache_section = hot_server.metrics.snapshot()["cache"]
+        views_snapshot = hot_server.views.snapshot()
+        hot_server.close()
+
+        parity = cold_answers == hot_answers
+        parity_ok = parity_ok and parity
+        curves[f"{fraction:.2f}"] = {
+            "repeat_fraction": fraction,
+            "queries": len(stream),
+            "uncached_wall_seconds": round(cold_wall, 6),
+            "cached_wall_seconds": round(hot_wall, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(cold_wall / hot_wall, 3) if hot_wall else 0.0,
+            "hit_rate": cache_section["hit_rate"],
+            "hits": cache_section["hits"],
+            "misses": cache_section["misses"],
+            "uncached_comparisons": cold_checks,
+            "cached_comparisons": hot_checks,
+            "maintenance_comparisons": views_snapshot[
+                "maintenance_comparisons"
+            ],
+            "parity": parity,
+        }
+
+    gate_key = f"{ACCEPTANCE_FRACTION:.2f}"
+    achieved = curves.get(gate_key, {}).get("speedup", 0.0)
+    report = {
+        "benchmark": "view_cache",
+        "experiment": "fig12a-hot-set",
+        "records": size,
+        "kernel": kernel,
+        "seed": seed,
+        "queries_per_fraction": queries,
+        "workers": workers,
+        "hot_algorithms": list(HOT_ALGORITHMS),
+        "parity_ok": parity_ok,
+        "curves": curves,
+        "acceptance": {
+            "repeat_fraction": ACCEPTANCE_FRACTION,
+            "required_speedup": ACCEPTANCE_SPEEDUP,
+            "achieved_speedup": achieved,
+            "passed": bool(parity_ok and achieved >= ACCEPTANCE_SPEEDUP),
+        },
+    }
+    if output:
+        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

@@ -1,0 +1,258 @@
+"""Keyed hot-query result cache with LRU + byte-budget eviction.
+
+:class:`ResultCache` maps :class:`~repro.views.keys.QueryShape` keys to
+fully-computed answer sets (canonical order) so a repeated query is
+served in O(answer) time with zero dominance comparisons.  Two budgets
+bound residency -- an entry-count cap and a byte budget over the
+estimated answer-set footprints -- evicted least-recently-used first;
+``pinned`` entries (registered materialized variants managed by a
+:class:`~repro.views.manager.ViewManager`) are exempt from LRU eviction
+but not from explicit invalidation.
+
+The cache itself is a passive, thread-safe map: *when* entries are
+invalidated is the :class:`~repro.views.manager.ViewManager`'s business
+(it observes committed dataset updates under the server's writer lock),
+and *whether* a hit may be trusted is guaranteed by that protocol, never
+by entry ageing -- there is no TTL, because a cached answer is correct
+until an update touching its region commits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import ServingError
+from repro.views.keys import QueryShape, canonical_order
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.metrics import ServerMetrics
+    from repro.transform.point import Point
+
+__all__ = ["CacheEntry", "ResultCache", "estimate_result_bytes"]
+
+#: Rough per-point footprint: a Point carries its transformed vector
+#: (floats), poset node indexes, native sets and the record reference;
+#: the cache stores only list slots + shared references, so the charge
+#: is the list slot plus bookkeeping, scaled by dimensionality.
+_POINT_BYTES_BASE = 64
+_PER_DIMENSION_BYTES = 8
+_ENTRY_OVERHEAD_BYTES = 256
+
+
+def estimate_result_bytes(points: list, dimensions: int) -> int:
+    """Estimated resident footprint of one cached answer set."""
+    per_point = _POINT_BYTES_BASE + _PER_DIMENSION_BYTES * max(dimensions, 1)
+    return _ENTRY_OVERHEAD_BYTES + per_point * len(points)
+
+
+class CacheEntry:
+    """One cached answer set and its bookkeeping."""
+
+    __slots__ = ("shape", "points", "region", "bytes", "created_at",
+                 "version", "hits", "pinned")
+
+    def __init__(self, shape: QueryShape, points: list, region, size: int,
+                 created_at: float, version: int, pinned: bool) -> None:
+        self.shape = shape
+        #: Canonically-ordered answer points (never mutated in place).
+        self.points = points
+        #: The original :class:`~repro.queries.constrained.Constraint`
+        #: for constrained shapes -- kept so invalidation can test
+        #: whether an updated point falls inside the entry's region.
+        self.region = region
+        self.bytes = size
+        self.created_at = created_at
+        #: Dataset ``update_version`` the answer was computed against.
+        self.version = version
+        self.hits = 0
+        self.pinned = pinned
+
+    def age(self, now: float) -> float:
+        """Seconds since the entry was (re)populated."""
+        return max(0.0, now - self.created_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheEntry({self.shape}, {len(self.points)} answers, "
+            f"{self.bytes}B, hits={self.hits}{', pinned' if self.pinned else ''})"
+        )
+
+
+class ResultCache:
+    """Thread-safe LRU + byte-budget cache of canonical answer sets.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count cap (unpinned entries beyond it evict LRU-first).
+    max_bytes:
+        Byte budget over the estimated resident footprints.
+    metrics:
+        Optional :class:`~repro.serving.metrics.ServerMetrics`; when
+        given, eviction counts and the bytes/entries gauges are pushed
+        there after every mutation (hit/miss/invalidation events are the
+        manager's and server's to record -- they know *why*).
+    clock:
+        Injectable time source (tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_bytes: int = 32 * 1024 * 1024,
+        metrics: "ServerMetrics | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ServingError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ServingError("max_bytes must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.metrics = metrics
+        self._clock = clock
+        self._entries: "OrderedDict[QueryShape, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.bytes_resident = 0
+        # Standalone counters (mirrored into ServerMetrics when attached).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, shape: QueryShape) -> bool:
+        with self._lock:
+            return shape in self._entries
+
+    def get(self, shape: QueryShape) -> CacheEntry | None:
+        """The entry for ``shape`` (refreshed to most-recently-used)."""
+        with self._lock:
+            entry = self._entries.get(shape)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(shape)
+            entry.hits += 1
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        shape: QueryShape,
+        points: list,
+        dimensions: int,
+        region=None,
+        version: int = 0,
+        pinned: bool = False,
+    ) -> CacheEntry:
+        """Store (or replace) the canonical answer set for ``shape``."""
+        ordered = canonical_order(points)
+        size = estimate_result_bytes(ordered, dimensions)
+        entry = CacheEntry(
+            shape, ordered, region, size, self._clock(), version, pinned
+        )
+        with self._lock:
+            old = self._entries.pop(shape, None)
+            if old is not None:
+                self.bytes_resident -= old.bytes
+            self._entries[shape] = entry
+            self.bytes_resident += size
+            self.stores += 1
+            evicted = self._evict_over_budget()
+        self._push_gauges(evicted)
+        return entry
+
+    def _evict_over_budget(self) -> int:
+        """LRU-evict unpinned entries until both budgets hold (locked)."""
+        evicted = 0
+        while len(self._entries) > self.max_entries or (
+            self.bytes_resident > self.max_bytes and len(self._entries) > 1
+        ):
+            victim_shape = next(
+                (s for s, e in self._entries.items() if not e.pinned), None
+            )
+            if victim_shape is None:
+                break  # everything pinned: budgets are advisory then
+            victim = self._entries.pop(victim_shape)
+            self.bytes_resident -= victim.bytes
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
+    # ------------------------------------------------------------------
+    def invalidate(self, shape: QueryShape) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            entry = self._entries.pop(shape, None)
+            if entry is not None:
+                self.bytes_resident -= entry.bytes
+                self.invalidations += 1
+        self._push_gauges(0)
+        return entry is not None
+
+    def invalidate_where(
+        self, predicate: Callable[[CacheEntry], bool]
+    ) -> int:
+        """Drop every entry matching ``predicate``; returns the count."""
+        with self._lock:
+            victims = [
+                shape
+                for shape, entry in self._entries.items()
+                if predicate(entry)
+            ]
+            for shape in victims:
+                entry = self._entries.pop(shape)
+                self.bytes_resident -= entry.bytes
+            self.invalidations += len(victims)
+        self._push_gauges(0)
+        return len(victims)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were resident."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.bytes_resident = 0
+            self.invalidations += dropped
+        self._push_gauges(0)
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _push_gauges(self, evicted: int) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        if evicted:
+            metrics.on_cache_evicted(evicted)
+        metrics.set_cache_resident(self.bytes_resident, len(self._entries))
+
+    def snapshot(self) -> dict:
+        """JSON-able summary of residency and traffic."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes_resident": self.bytes_resident,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "shapes": [str(shape) for shape in self._entries],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache(entries={len(self._entries)}, "
+            f"bytes={self.bytes_resident}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,150 @@
+"""Canonical query-shape keys for result caching.
+
+A :class:`QueryShape` identifies *what answer set* a query asks for,
+independently of *how* it is computed: the algorithm name, the dominance
+kernel, the evaluation method (``bbs`` vs ``nested-loops``) and any
+algorithm tuning options are all deliberately excluded, because every
+algorithm in this library returns the same canonical answer set for the
+same shape.  Two requests with equal shapes are therefore
+cache-equivalent even when one asks for ``bnl`` on the python kernel and
+the other for ``sdc+`` on numpy.
+
+The shape's algorithm-independent fields:
+
+* ``kind`` -- ``"skyline"`` (full space), ``"subspace"``,
+  ``"constrained"`` or ``"skyband"``;
+* ``subspace`` -- the sorted attribute-name tuple of a subspace query;
+* ``constraint_key`` -- the canonicalized predicate tuple of a
+  :class:`~repro.queries.constrained.Constraint` (sorted per-attribute
+  ranges and dominance anchors, so two constraints built from dicts in
+  different insertion orders key identically);
+* ``k`` -- the skyband dominator threshold.
+
+Answer sets are cached in *canonical order* -- sorted by record id via
+:func:`canonical_order` -- because emission order is an algorithm
+property, not a shape property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.queries.constrained import Constraint
+    from repro.transform.point import Point
+
+__all__ = ["QueryShape", "constraint_key", "canonical_order"]
+
+
+def _rid_sort_key(rid) -> tuple[str, str]:
+    # Mixed-type record ids (ints and strings) are not mutually
+    # orderable; sort on (type, repr) exactly like the skycube does.
+    return (str(type(rid)), str(rid))
+
+
+def canonical_order(points: Iterable["Point"]) -> list["Point"]:
+    """Answer points in the cache's canonical (record-id) order."""
+    return sorted(points, key=lambda p: _rid_sort_key(p.record.rid))
+
+
+def constraint_key(constraint: "Constraint") -> tuple:
+    """Hashable canonical form of a constraint's predicate conjunction."""
+    ranges = tuple(
+        sorted(
+            (
+                name,
+                None if lo is None else float(lo),
+                None if hi is None else float(hi),
+            )
+            for name, (lo, hi) in constraint.ranges.items()
+        )
+    )
+    must = tuple(
+        sorted(
+            constraint.must_dominate.items(),
+            key=lambda kv: (kv[0], str(kv[1])),
+        )
+    )
+    dominated = tuple(
+        sorted(
+            constraint.dominated_by.items(),
+            key=lambda kv: (kv[0], str(kv[1])),
+        )
+    )
+    return (ranges, must, dominated)
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """One query's canonical, algorithm-independent identity."""
+
+    kind: str = "skyline"
+    subspace: tuple[str, ...] = ()
+    constraint_key: tuple = ()
+    k: int = 0
+
+    @classmethod
+    def full_skyline(cls) -> "QueryShape":
+        """The full-space skyline shape."""
+        return cls()
+
+    @classmethod
+    def for_subspace(cls, attributes: Iterable[str]) -> "QueryShape":
+        """Shape of a subspace skyline over ``attributes``."""
+        names = tuple(sorted(attributes))
+        if not names:
+            raise ServingError("a subspace shape needs at least one attribute")
+        return cls(kind="subspace", subspace=names)
+
+    @classmethod
+    def for_constraint(cls, constraint: "Constraint") -> "QueryShape":
+        """Shape of a constrained skyline under ``constraint``."""
+        return cls(kind="constrained", constraint_key=constraint_key(constraint))
+
+    @classmethod
+    def for_skyband(cls, k: int) -> "QueryShape":
+        """Shape of the ``k``-skyband."""
+        if k < 1:
+            raise ServingError(f"skyband k must be positive, got {k!r}")
+        return cls(kind="skyband", k=k)
+
+    @classmethod
+    def of(
+        cls,
+        subspace: Iterable[str] | None = None,
+        constraint: "Constraint | None" = None,
+        skyband_k: int | None = None,
+    ) -> "QueryShape":
+        """Shape of a request given its (at most one) shaping field."""
+        given = [
+            name
+            for name, value in (
+                ("subspace", subspace),
+                ("constraint", constraint),
+                ("skyband_k", skyband_k),
+            )
+            if value is not None
+        ]
+        if len(given) > 1:
+            raise ServingError(
+                f"a query has exactly one shape; got {' + '.join(given)}"
+            )
+        if subspace is not None:
+            return cls.for_subspace(subspace)
+        if constraint is not None:
+            return cls.for_constraint(constraint)
+        if skyband_k is not None:
+            return cls.for_skyband(skyband_k)
+        return cls.full_skyline()
+
+    def __str__(self) -> str:
+        if self.kind == "subspace":
+            return f"subspace[{','.join(self.subspace)}]"
+        if self.kind == "constrained":
+            return f"constrained[{hash(self.constraint_key) & 0xFFFFFF:06x}]"
+        if self.kind == "skyband":
+            return f"skyband[k={self.k}]"
+        return "skyline"

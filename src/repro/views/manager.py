@@ -1,0 +1,341 @@
+"""Materialized skyline views with incremental maintenance.
+
+:class:`ViewManager` is the coordination point between three existing
+subsystems and the new result cache:
+
+* the **dataset** (:class:`~repro.transform.dataset.TransformedDataset`)
+  publishes committed ``insert_record``/``delete_record`` events through
+  its update-listener registry;
+* the **maintenance kernel** (:func:`repro.queries.maintain.apply_insert`
+  / :func:`~repro.queries.maintain.apply_delete`) folds each committed
+  update into the materialized full-space skyline in ``O(|S|)`` native
+  comparisons instead of a recompute;
+* the **cache** (:class:`~repro.views.cache.ResultCache`) holds answer
+  sets for every other query shape, invalidated region-aware on each
+  update.
+
+Invalidation protocol (the correctness core):
+
+1. A writer (``SkylineServer.insert``/``delete``) holds the
+   writer-preferring lock, so no query is in flight.
+2. The dataset commits the mutation (indexes + strata incrementally
+   maintained, rolled back on chaos faults) and only *after* a
+   successful commit notifies listeners -- a rolled-back update never
+   reaches the manager, so the cache provably survives failed updates.
+3. :meth:`ViewManager.on_update` runs synchronously inside the writer
+   lock: it patches the materialized full-space skyline and invalidates
+   exactly the cache entries whose region the update touches.  By the
+   time the writer lock releases, every surviving cache entry is
+   consistent with the new dataset state -- a reader can never observe
+   a stale hit.
+
+Region rules: a ``constrained`` entry is dropped only when the updated
+point satisfies its :meth:`~repro.queries.constrained.Constraint.admits`
+predicate; ``subspace`` and ``skyband`` entries are always dropped
+(dominance in a projection or at depth ``k`` cannot be decided from the
+full-space event alone); ``skyline`` entries are dropped only when the
+incremental patch reports the answer actually changed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.core.stats import ComparisonStats
+from repro.exceptions import ServingError
+from repro.queries.maintain import apply_delete, apply_insert
+from repro.views.cache import CacheEntry, ResultCache
+from repro.views.keys import QueryShape, canonical_order
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.metrics import ServerMetrics
+    from repro.transform.dataset import TransformedDataset
+    from repro.transform.point import Point
+
+__all__ = ["ViewHit", "ViewManager"]
+
+
+class ViewHit:
+    """One successful cache/view lookup, ready to serve."""
+
+    __slots__ = ("shape", "points", "age", "version", "source")
+
+    def __init__(self, shape: QueryShape, points: list, age: float,
+                 version: int, source: str) -> None:
+        self.shape = shape
+        #: Canonically-ordered answer points (a fresh list per hit).
+        self.points = points
+        #: Seconds since the answer was last (re)computed or patched.
+        self.age = age
+        #: Dataset ``update_version`` the answer reflects.
+        self.version = version
+        #: ``"view"`` (materialized skyline) or ``"cache"`` (entry).
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ViewHit({self.shape}, {len(self.points)} answers, "
+            f"age={self.age:.3f}s, v{self.version}, {self.source})"
+        )
+
+
+class ViewManager:
+    """Materialized full-space skyline + shaped-result cache over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The base :class:`~repro.transform.dataset.TransformedDataset`
+        (not a query view).  The manager registers itself as an update
+        listener; call :meth:`detach` when done.
+    cache:
+        A ready :class:`~repro.views.cache.ResultCache`, or ``None`` to
+        build one from ``cache_entries``/``cache_bytes``.
+    metrics:
+        Optional :class:`~repro.serving.metrics.ServerMetrics` receiving
+        cache traffic events (also pushed into the cache's gauge hook).
+    algorithm:
+        Algorithm used for the initial materialization (any of the 8 --
+        they agree on the answer set).
+
+    The manager's own dominance work (initial materialization + every
+    incremental patch) is billed to a private
+    :class:`~repro.core.stats.ComparisonStats` bundle (:attr:`stats`),
+    never to any query's counters -- which is what makes the served-hit
+    ``comparisons == 0`` assertion meaningful.
+    """
+
+    def __init__(
+        self,
+        dataset: "TransformedDataset",
+        cache: ResultCache | None = None,
+        metrics: "ServerMetrics | None" = None,
+        algorithm: str = "sdc+",
+        cache_entries: int = 256,
+        cache_bytes: int = 32 * 1024 * 1024,
+    ) -> None:
+        if getattr(dataset, "_base", None) is not None:
+            raise ServingError(
+                "ViewManager must attach to the base dataset, not a query view"
+            )
+        self.dataset = dataset
+        self.metrics = metrics
+        self.algorithm = algorithm
+        self.stats = ComparisonStats()
+        # Maintenance view: shares the base dataset's point list (so it
+        # tracks committed updates) but bills comparisons privately.
+        self._view = dataset.query_view(stats=self.stats)
+        if cache is None:
+            cache = ResultCache(
+                max_entries=cache_entries, max_bytes=cache_bytes,
+                metrics=metrics,
+            )
+        elif metrics is not None and cache.metrics is None:
+            cache.metrics = metrics
+        self.cache = cache
+        self._lock = threading.RLock()
+        self._skyline: dict | None = None  # {rid: Point} once materialized
+        self._refreshed_at: float = time.monotonic()
+        self._registered: set[QueryShape] = set()
+        self._detached = False
+        # Counters (exposed via snapshot()).
+        self.patches = 0
+        self.patch_changes = 0
+        self.rebuilds = 0
+        self.materialize_seconds = 0.0
+        dataset.add_update_listener(self._on_dataset_update)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def materialize(self) -> int:
+        """Compute and pin the full-space skyline; returns its size.
+
+        Idempotent -- re-materializing recomputes from scratch (used as
+        the fail-safe after a patch error).
+        """
+        from repro.algorithms.base import get_algorithm
+
+        start = time.perf_counter()
+        with self._lock:
+            points = get_algorithm(self.algorithm).run(self._view)
+            self._skyline = {p.record.rid: p for p in points}
+            self._refreshed_at = time.monotonic()
+            self.materialize_seconds = time.perf_counter() - start
+            return len(self._skyline)
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the full-space skyline is currently materialized."""
+        return self._skyline is not None
+
+    def detach(self) -> None:
+        """Unregister from the dataset's update-listener registry."""
+        if not self._detached:
+            self._detached = True
+            self.dataset.remove_update_listener(self._on_dataset_update)
+
+    def __enter__(self) -> "ViewManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Serving-side API (called under the server's read lock)
+    # ------------------------------------------------------------------
+    def lookup(self, shape: QueryShape) -> ViewHit | None:
+        """The current answer for ``shape``, or ``None`` on a miss.
+
+        The full-space skyline is served from the materialized view when
+        available (always warm after :meth:`materialize`); every other
+        shape is served from the cache.  Never executes a dominance
+        comparison on the caller's behalf.
+        """
+        now = time.monotonic()
+        if shape.kind == "skyline":
+            with self._lock:
+                if self._skyline is not None:
+                    return ViewHit(
+                        shape,
+                        canonical_order(self._skyline.values()),
+                        now - self._refreshed_at,
+                        self.dataset.update_version,
+                        "view",
+                    )
+        entry = self.cache.get(shape)
+        if entry is None:
+            return None
+        return ViewHit(
+            shape, list(entry.points), entry.age(now), entry.version, "cache"
+        )
+
+    def store(self, shape: QueryShape, points: list, region=None) -> None:
+        """Populate the cache with a freshly-computed complete answer.
+
+        Must be called while the dataset state the answer was computed
+        against is still current (the server stores inside its read
+        lock, which excludes writers).  Full-skyline answers are not
+        cached when the materialized view already serves them.
+        """
+        if shape.kind == "skyline" and self._skyline is not None:
+            return
+        self.cache.put(
+            shape,
+            points,
+            self.dataset.dimensions,
+            region=region,
+            version=self.dataset.update_version,
+            pinned=shape in self._registered,
+        )
+
+    def register(self, shape: QueryShape, points: list | None = None,
+                 region=None) -> None:
+        """Pin ``shape`` as a registered variant.
+
+        Registered shapes survive LRU/byte eviction (though not
+        invalidation); when ``points`` is given the answer is stored
+        immediately.
+        """
+        with self._lock:
+            self._registered.add(shape)
+        if points is not None:
+            self.store(shape, points, region=region)
+
+    # ------------------------------------------------------------------
+    # Update-side API (runs inside the writer lock, post-commit)
+    # ------------------------------------------------------------------
+    def _on_dataset_update(self, op: str, point: "Point") -> None:
+        try:
+            self.on_update(op, point)
+        except Exception as err:
+            # Fail safe, never fail stale: drop everything cached and
+            # the materialized view rather than risk serving a wrong
+            # answer; the next queries recompute and repopulate.
+            with self._lock:
+                self._skyline = None
+            self.cache.clear()
+            self.rebuilds += 1
+            warnings.warn(
+                f"materialized view patch failed ({err!r}); cache cleared "
+                f"and full-space view dropped pending re-materialization",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def on_update(self, op: str, point: "Point") -> None:
+        """Fold one committed update into views and cache.
+
+        Called synchronously from the dataset's listener notification --
+        i.e. inside the server's writer lock, after indexes and strata
+        committed.  On return every resident answer is consistent with
+        the post-update dataset.
+        """
+        changed = True  # conservative when not materialized
+        with self._lock:
+            if self._skyline is not None:
+                kernel = self._view.kernel
+                self.patches += 1
+                if op == "insert":
+                    changed = apply_insert(self._skyline, point, kernel)
+                elif op == "delete":
+                    changed = apply_delete(
+                        self._skyline, point, self._view.points, kernel
+                    )
+                else:  # pragma: no cover - future-proofing
+                    raise ServingError(f"unknown update op {op!r}")
+                if changed:
+                    self.patch_changes += 1
+                    self._refreshed_at = time.monotonic()
+        invalidated = self.cache.invalidate_where(
+            lambda entry: self._touches(entry, op, point, changed)
+        )
+        if self.metrics is not None and invalidated:
+            self.metrics.on_cache_invalidated(invalidated)
+
+    def _touches(self, entry: CacheEntry, op: str, point: "Point",
+                 skyline_changed: bool) -> bool:
+        """Whether one committed update can affect one cached answer."""
+        kind = entry.shape.kind
+        if kind == "skyline":
+            return skyline_changed
+        if kind == "constrained" and entry.region is not None:
+            # Outside the constraint box the point is filtered out
+            # before any dominance test, so the answer is untouched.
+            return bool(entry.region.admits(self.dataset, point))
+        # Subspace and skyband answers (and region-less constrained
+        # entries) cannot be judged from the full-space event alone.
+        return True
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able summary of view + cache state."""
+        with self._lock:
+            skyline_size = (
+                len(self._skyline) if self._skyline is not None else None
+            )
+            return {
+                "materialized": self._skyline is not None,
+                "skyline_size": skyline_size,
+                "algorithm": self.algorithm,
+                "update_version": self.dataset.update_version,
+                "patches": self.patches,
+                "patch_changes": self.patch_changes,
+                "rebuilds": self.rebuilds,
+                "materialize_seconds": self.materialize_seconds,
+                "registered_shapes": sorted(str(s) for s in self._registered),
+                "maintenance_comparisons": (
+                    self.stats.total_dominance_checks
+                ),
+                "cache": self.cache.snapshot(),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        size = len(self._skyline) if self._skyline is not None else "-"
+        return (
+            f"ViewManager(materialized={self._skyline is not None}, "
+            f"skyline={size}, cache={len(self.cache)} entries)"
+        )

@@ -1,0 +1,565 @@
+"""Materialized views + result cache: keys, cache, manager, serving.
+
+Covers the views layer bottom-up: canonical query-shape keys
+(algorithm/kernel-independent), LRU + byte-budget cache mechanics,
+incremental view maintenance parity against recomputation, region-aware
+invalidation, the server's O(answer) hit path (zero dominance
+comparisons, bit-identical to a cold recompute for all 8 algorithms),
+shaped query execution, shape-conditioned admission estimates, and the
+rollback guarantee (a failed update never invalidates the cache).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.engine import SkylineEngine
+from repro.exceptions import KernelError, ServingError
+from repro.posets.builder import diamond
+from repro.queries.constrained import Constraint, constrained_skyline
+from repro.queries.skyband import k_skyband
+from repro.queries.subspace import subspace_skyline
+from repro.resilience.chaos import FaultInjector, inject_update_faults
+from repro.serving import CostEstimator, QueryRequest, SkylineServer
+from repro.views import (
+    QueryShape,
+    ResultCache,
+    ViewManager,
+    canonical_order,
+    constraint_key,
+)
+
+ALL_ALGORITHMS = ("bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+", "nn+", "dnc")
+
+
+def _make_engine(kernel: str = "python", n: int = 120, seed: int = 23) -> SkylineEngine:
+    rng = random.Random(seed)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 40), rng.randint(1, 40)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+def _rids(points) -> list[str]:
+    return sorted(str(p.record.rid) for p in points)
+
+
+# ---------------------------------------------------------------------------
+# Query-shape keys
+# ---------------------------------------------------------------------------
+class TestQueryShape:
+    def test_full_skyline_is_default(self):
+        assert QueryShape.full_skyline() == QueryShape()
+        assert QueryShape.of() == QueryShape.full_skyline()
+        assert str(QueryShape.full_skyline()) == "skyline"
+
+    def test_subspace_attribute_order_is_canonical(self):
+        assert QueryShape.for_subspace(["b", "a"]) == QueryShape.for_subspace(
+            ("a", "b")
+        )
+        assert str(QueryShape.for_subspace(["b", "a"])) == "subspace[a,b]"
+
+    def test_empty_subspace_rejected(self):
+        with pytest.raises(ServingError):
+            QueryShape.for_subspace([])
+
+    def test_constraint_key_is_insertion_order_independent(self):
+        c1 = Constraint(ranges={"a": (1, 10), "b": (None, 5)})
+        c2 = Constraint(ranges={"b": (None, 5), "a": (1, 10)})
+        assert constraint_key(c1) == constraint_key(c2)
+        assert QueryShape.for_constraint(c1) == QueryShape.for_constraint(c2)
+
+    def test_different_constraints_key_differently(self):
+        c1 = Constraint(ranges={"a": (1, 10)})
+        c2 = Constraint(ranges={"a": (1, 11)})
+        assert QueryShape.for_constraint(c1) != QueryShape.for_constraint(c2)
+
+    def test_skyband_requires_positive_k(self):
+        with pytest.raises(ServingError):
+            QueryShape.for_skyband(0)
+        assert QueryShape.for_skyband(3).k == 3
+
+    def test_at_most_one_shaping_field(self):
+        with pytest.raises(ServingError):
+            QueryShape.of(subspace=("a",), skyband_k=2)
+        with pytest.raises(ServingError):
+            QueryShape.of(
+                constraint=Constraint(ranges={"a": (1, 2)}), skyband_k=2
+            )
+
+    def test_shapes_are_hashable_cache_keys(self):
+        shapes = {
+            QueryShape.full_skyline(),
+            QueryShape.for_subspace(["a"]),
+            QueryShape.for_skyband(2),
+        }
+        assert len(shapes) == 3
+
+    def test_canonical_order_handles_mixed_rid_types(self):
+        engine = _make_engine(n=10)
+        points = list(engine.dataset.points)
+        ordered = canonical_order(reversed(points))
+        assert [p.record.rid for p in ordered] == [
+            p.record.rid
+            for p in sorted(
+                points, key=lambda p: (str(type(p.record.rid)), str(p.record.rid))
+            )
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def _points(self, engine, n):
+        return list(engine.dataset.points[:n])
+
+    def test_put_get_roundtrip_canonicalizes(self):
+        engine = _make_engine(n=20)
+        cache = ResultCache()
+        shape = QueryShape.full_skyline()
+        points = list(reversed(engine.dataset.points[:5]))
+        cache.put(shape, points, dimensions=4)
+        entry = cache.get(shape)
+        assert entry is not None
+        assert [p.record.rid for p in entry.points] == [
+            p.record.rid for p in canonical_order(points)
+        ]
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = ResultCache()
+        assert cache.get(QueryShape.for_skyband(2)) is None
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        engine = _make_engine(n=30)
+        cache = ResultCache(max_entries=2)
+        s1, s2, s3 = (QueryShape.for_skyband(k) for k in (1, 2, 3))
+        cache.put(s1, self._points(engine, 1), 4)
+        cache.put(s2, self._points(engine, 1), 4)
+        cache.get(s1)  # refresh s1 -> s2 is now LRU
+        cache.put(s3, self._points(engine, 1), 4)
+        assert s1 in cache and s3 in cache and s2 not in cache
+        assert cache.evictions == 1
+
+    def test_byte_budget_eviction(self):
+        engine = _make_engine(n=50)
+        cache = ResultCache(max_entries=100, max_bytes=3000)
+        for k in range(1, 6):
+            cache.put(QueryShape.for_skyband(k), self._points(engine, 10), 4)
+        assert cache.bytes_resident <= 3000
+        assert cache.evictions > 0
+        assert len(cache) >= 1  # the budget never empties the cache
+
+    def test_pinned_entries_survive_pressure_but_not_invalidation(self):
+        engine = _make_engine(n=30)
+        cache = ResultCache(max_entries=1)
+        pinned = QueryShape.full_skyline()
+        cache.put(pinned, self._points(engine, 2), 4, pinned=True)
+        cache.put(QueryShape.for_skyband(2), self._points(engine, 2), 4)
+        assert pinned in cache  # the unpinned newcomer was evicted instead
+        assert cache.invalidate(pinned)
+        assert pinned not in cache
+
+    def test_invalidate_where_and_clear(self):
+        engine = _make_engine(n=30)
+        cache = ResultCache()
+        cache.put(QueryShape.for_skyband(2), self._points(engine, 2), 4)
+        cache.put(QueryShape.for_subspace(["a"]), self._points(engine, 2), 4)
+        dropped = cache.invalidate_where(lambda e: e.shape.kind == "skyband")
+        assert dropped == 1 and len(cache) == 1
+        assert cache.clear() == 1 and len(cache) == 0
+        assert cache.bytes_resident == 0
+
+    def test_snapshot_shape(self):
+        cache = ResultCache()
+        snap = cache.snapshot()
+        for key in ("entries", "bytes_resident", "hits", "misses", "shapes"):
+            assert key in snap
+
+    def test_budgets_must_be_positive(self):
+        with pytest.raises(ServingError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ServingError):
+            ResultCache(max_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# View manager: maintenance parity and invalidation
+# ---------------------------------------------------------------------------
+class TestViewManager:
+    def test_requires_base_dataset(self):
+        engine = _make_engine(n=10)
+        with pytest.raises(ServingError):
+            ViewManager(engine.dataset.query_view())
+
+    def test_materialize_matches_every_algorithm(self):
+        engine = _make_engine(n=80)
+        with engine.materialize() as views:
+            hit = views.lookup(QueryShape.full_skyline())
+            assert hit is not None and hit.source == "view"
+            for name in ALL_ALGORITHMS:
+                assert _rids(engine.run_points(name)) == _rids(hit.points)
+
+    def test_maintenance_stays_correct_under_churn(self):
+        engine = _make_engine(n=60, seed=5)
+        rng = random.Random(99)
+        poset = engine.dataset.schema.partial_attrs[0].poset
+        with engine.materialize() as views:
+            for step in range(12):
+                if rng.random() < 0.5 and len(engine.dataset) > 10:
+                    victim = rng.choice(engine.dataset.points).record.rid
+                    engine.delete(victim)
+                else:
+                    engine.insert(
+                        Record(
+                            f"new-{step}",
+                            (rng.randint(1, 40), rng.randint(1, 40)),
+                            (poset.value(rng.randrange(len(poset))),),
+                        )
+                    )
+                hit = views.lookup(QueryShape.full_skyline())
+                assert _rids(hit.points) == _rids(engine.run_points("bnl"))
+
+    def test_maintenance_billed_privately(self):
+        engine = _make_engine(n=60)
+        with engine.materialize() as views:
+            base = engine.stats.total_dominance_checks
+            engine.insert(Record("fresh", (1, 1), ("b",)))
+            assert views.stats.total_dominance_checks > 0
+            # the shared engine bundle saw none of the patch work
+            assert engine.stats.total_dominance_checks == base
+
+    def test_constrained_entries_invalidate_region_aware(self):
+        engine = _make_engine(n=60)
+        with engine.materialize() as views:
+            inside = Constraint(ranges={"a": (None, 50.0)})
+            outside = Constraint(ranges={"a": (1000.0, 2000.0)})
+            views.store(
+                QueryShape.for_constraint(inside),
+                constrained_skyline(engine.dataset, inside),
+                region=inside,
+            )
+            views.store(
+                QueryShape.for_constraint(outside),
+                constrained_skyline(engine.dataset, outside),
+                region=outside,
+            )
+            engine.insert(Record("mid", (10, 10), ("b",)))  # a=10: inside only
+            assert views.lookup(QueryShape.for_constraint(inside)) is None
+            assert views.lookup(QueryShape.for_constraint(outside)) is not None
+
+    def test_subspace_and_skyband_entries_always_invalidate(self):
+        engine = _make_engine(n=60)
+        with engine.materialize() as views:
+            sub = QueryShape.for_subspace(["a", "b"])
+            band = QueryShape.for_skyband(2)
+            views.store(sub, engine.dataset.points[:3])
+            views.store(band, engine.dataset.points[:3])
+            engine.insert(Record("any", (39, 39), ("b",)))
+            assert views.lookup(sub) is None
+            assert views.lookup(band) is None
+
+    def test_view_patch_failure_fails_safe(self):
+        engine = _make_engine(n=40)
+        views = engine.materialize()
+        try:
+            views.store(QueryShape.for_skyband(2), engine.dataset.points[:3])
+
+            def broken(*_a, **_k):
+                raise KernelError("chaos: maintenance kernel down")
+
+            views.on_update = broken
+            with pytest.warns(RuntimeWarning, match="patch failed"):
+                engine.insert(Record("boom", (1, 1), ("b",)))
+            # Fail safe, never fail stale: everything cached is gone...
+            assert not views.materialized
+            assert len(views.cache) == 0
+            assert views.rebuilds == 1
+            # ...and re-materializing recovers the correct answer.
+            del views.on_update
+            views.materialize()
+            hit = views.lookup(QueryShape.full_skyline())
+            assert _rids(hit.points) == _rids(engine.run_points("bnl"))
+        finally:
+            views.detach()
+
+    def test_detach_stops_maintenance(self):
+        engine = _make_engine(n=40)
+        views = engine.materialize()
+        views.detach()
+        engine.insert(Record("after-detach", (1, 1), ("b",)))
+        assert views.patches == 0
+
+    def test_snapshot_reports_state(self):
+        engine = _make_engine(n=40)
+        with engine.materialize() as views:
+            snap = views.snapshot()
+            assert snap["materialized"] is True
+            assert snap["skyline_size"] == len(
+                views.lookup(QueryShape.full_skyline()).points
+            )
+            assert "cache" in snap
+
+
+# ---------------------------------------------------------------------------
+# Server integration: the O(answer) hit path
+# ---------------------------------------------------------------------------
+class TestServerCache:
+    @pytest.mark.parametrize("kernel", ("python", "numpy"))
+    def test_hit_is_bit_identical_to_cold_recompute_all_algorithms(self, kernel):
+        engine = _make_engine(kernel=kernel)
+        cold = {
+            name: _rids(engine.run_points(name)) for name in ALL_ALGORITHMS
+        }
+        with SkylineServer(engine, workers=2, cache=True) as server:
+            for name in ALL_ALGORITHMS:
+                handle = server.submit(QueryRequest(algorithm=name))
+                result = handle.result(timeout=60)
+                assert result.cached and result.complete
+                assert handle.stats.total_dominance_checks == 0
+                assert _rids(result.points) == cold[name]
+        snap = server.metrics.snapshot()["cache"]
+        assert snap["hits"] == len(ALL_ALGORITHMS)
+
+    def test_cache_defaults_off(self):
+        engine = _make_engine(n=40)
+        with SkylineServer(engine, workers=1) as server:
+            assert server.views is None
+            result = server.submit(QueryRequest()).result(timeout=60)
+            assert not result.cached
+            assert server.metrics.snapshot()["cache"]["hits"] == 0
+
+    def test_shaped_queries_compute_then_hit(self):
+        engine = _make_engine()
+        dataset = engine.dataset
+        constraint = Constraint(ranges={"a": (None, 20.0)})
+        expected = {
+            "constrained": _rids(constrained_skyline(dataset, constraint)),
+            "subspace": sorted(
+                str(r.rid) for r in subspace_skyline(dataset, ["a", "b"])
+            ),
+            "skyband": _rids(k_skyband(dataset, 2)),
+        }
+        requests = {
+            "constrained": QueryRequest(
+                algorithm="bbs+", constraint=constraint
+            ),
+            "subspace": QueryRequest(algorithm="bnl", subspace=("a", "b")),
+            "skyband": QueryRequest(algorithm="bbs+", skyband_k=2),
+        }
+        with SkylineServer(engine, workers=2, cache=True) as server:
+            for kind, request in requests.items():
+                cold_handle = server.submit(request)
+                cold_result = cold_handle.result(timeout=60)
+                assert not cold_result.cached
+                assert cold_handle.stats.total_dominance_checks > 0
+                assert _rids(cold_result.points) == expected[kind]
+                hot_handle = server.submit(request)
+                hot_result = hot_handle.result(timeout=60)
+                assert hot_result.cached
+                assert hot_handle.stats.total_dominance_checks == 0
+                assert _rids(hot_result.points) == expected[kind]
+
+    def test_shaped_queries_work_without_cache(self):
+        engine = _make_engine()
+        constraint = Constraint(ranges={"a": (None, 20.0)})
+        expected = _rids(constrained_skyline(engine.dataset, constraint))
+        with SkylineServer(engine, workers=1) as server:
+            result = server.submit(
+                QueryRequest(constraint=constraint)
+            ).result(timeout=60)
+            assert _rids(result.points) == expected
+
+    def test_conflicting_shape_fields_rejected(self):
+        engine = _make_engine(n=30)
+        with SkylineServer(engine, workers=1, cache=True) as server:
+            with pytest.raises(ServingError):
+                server.submit(
+                    QueryRequest(subspace=("a",), skyband_k=2)
+                )
+
+    def test_update_patches_view_before_next_query(self):
+        engine = _make_engine()
+        with SkylineServer(engine, workers=2, cache=True) as server:
+            first = server.submit(QueryRequest()).result(timeout=60)
+            assert first.cached
+            server.insert(Record("dominator", (0, 0), ("b",)))
+            after = server.submit(QueryRequest())
+            result = after.result(timeout=60)
+            assert result.cached  # patched in place, still served O(answer)
+            assert "dominator" in {p.record.rid for p in result.points}
+            assert after.served_version == 1
+            assert _rids(result.points) == _rids(engine.run_points("bnl"))
+
+    def test_failed_update_does_not_invalidate_cache(self):
+        engine = _make_engine()
+        constraint = Constraint(ranges={"a": (None, 30.0)})
+        with SkylineServer(engine, workers=2, cache=True) as server:
+            server.submit(QueryRequest(constraint=constraint)).result(timeout=60)
+            before = server.views.cache.snapshot()
+            injector = inject_update_faults(
+                engine.dataset, FaultInjector(seed=3, fail_after=1)
+            )
+            with pytest.raises(KernelError):
+                server.insert(Record("chaos", (1, 1), ("b",)))
+            assert injector.fired == 1
+            after = server.views.cache.snapshot()
+            assert after["shapes"] == before["shapes"]
+            assert after["invalidations"] == before["invalidations"]
+            # the rolled-back update never bumped the commit counter...
+            assert engine.dataset.update_version == 0
+            # ...and the cached constrained answer still serves as a hit
+            hot = server.submit(QueryRequest(constraint=constraint))
+            assert hot.result(timeout=60).cached
+            assert hot.stats.total_dominance_checks == 0
+
+    def test_metrics_cache_section(self):
+        engine = _make_engine()
+        with SkylineServer(engine, workers=2, cache=True) as server:
+            server.submit(QueryRequest()).result(timeout=60)  # view hit
+            miss = QueryRequest(skyband_k=2)
+            server.submit(miss).result(timeout=60)
+            server.submit(QueryRequest(skyband_k=2)).result(timeout=60)
+        snap = server.metrics.snapshot()["cache"]
+        assert snap["hits"] == 2 and snap["misses"] == 1
+        assert snap["stores"] == 1
+        assert snap["entries"] == 1 and snap["bytes_resident"] > 0
+        assert snap["staleness_age"]["count"] == 2
+        assert 0.0 < snap["hit_rate"] < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Shape-conditioned admission estimates
+# ---------------------------------------------------------------------------
+class TestShapedAdmission:
+    def test_positional_estimate_signature_unchanged(self):
+        estimator = CostEstimator()
+        estimate = estimator.estimate("bnl", 1000, 4)
+        assert estimate.comparisons > 0 and not estimate.calibrated
+
+    def test_subspace_estimate_shrinks_with_projection(self):
+        estimator = CostEstimator()
+        full = estimator.estimate("bnl", 5000, 5)
+        sub = estimator.estimate(
+            "bnl", 5000, 5, shape=QueryShape.for_subspace(["a", "b"])
+        )
+        assert sub.comparisons < full.comparisons
+
+    def test_skyband_estimate_scales_with_k(self):
+        estimator = CostEstimator()
+        skyline = estimator.estimate("bbs+", 5000, 3)
+        band = estimator.estimate(
+            "bbs+", 5000, 3, shape=QueryShape.for_skyband(4)
+        )
+        assert band.comparisons == pytest.approx(skyline.comparisons * 4)
+
+    def test_shaped_observations_calibrate_separate_profiles(self):
+        estimator = CostEstimator()
+        shape = QueryShape.for_constraint(Constraint(ranges={"a": (1, 2)}))
+        estimator.observe(
+            "bnl", 1000, {"m_dominance_point": 500}, 0.01, shape=shape
+        )
+        assert estimator.profile_samples("bnl", shape=shape) == 1
+        assert estimator.profile_samples("bnl") == 0
+        assert not estimator.estimate("bnl", 1000, 4).calibrated
+        assert estimator.estimate("bnl", 1000, 4, shape=shape).calibrated
+
+    def test_server_observes_shaped_queries_into_shaped_profile(self):
+        engine = _make_engine()
+        with SkylineServer(engine, workers=1) as server:
+            request = QueryRequest(skyband_k=2)
+            server.submit(request).result(timeout=60)
+            estimator = server.admission.estimator
+            assert (
+                estimator.profile_samples(
+                    request.algorithm, shape=request.shape()
+                )
+                == 1
+            )
+
+
+# ---------------------------------------------------------------------------
+# Parallel speedup assertion gate (unit)
+# ---------------------------------------------------------------------------
+class TestSpeedupAssertion:
+    def _curve(self, speedups: dict[int, float]) -> dict:
+        return {
+            str(count): {"aggregate_speedup": value}
+            for count, value in speedups.items()
+        }
+
+    def test_skipped_below_core_floor(self):
+        from repro.parallel.bench import speedup_assertion
+
+        result = speedup_assertion(self._curve({1: 0.4, 4: 0.5}), cpu_count=1)
+        assert result["evaluated"] is False and result["passed"] is None
+
+    def test_passes_with_real_speedup(self):
+        from repro.parallel.bench import speedup_assertion
+
+        result = speedup_assertion(
+            self._curve({1: 1.0, 2: 1.4, 4: 2.1}), cpu_count=8
+        )
+        assert result["evaluated"] and result["passed"]
+        assert result["best_workers"] == 4
+
+    def test_fails_on_slowdown_with_enough_cores(self):
+        from repro.parallel.bench import speedup_assertion
+
+        result = speedup_assertion(
+            self._curve({1: 1.0, 2: 0.6, 4: 0.7}), cpu_count=8
+        )
+        assert result["evaluated"] and result["passed"] is False
+
+    def test_single_worker_curve_never_evaluates(self):
+        from repro.parallel.bench import speedup_assertion
+
+        result = speedup_assertion(self._curve({1: 1.0}), cpu_count=16)
+        assert result["evaluated"] is False
+
+
+# ---------------------------------------------------------------------------
+# serve-bench repeat-fraction knob
+# ---------------------------------------------------------------------------
+class TestServeBenchRepeatFraction:
+    def test_invalid_fraction_rejected(self):
+        from repro.serving.bench import run_serve_bench
+
+        with pytest.raises(ValueError):
+            run_serve_bench(size=20, repeat_fraction=1.5)
+
+    def test_cached_repeat_workload_reports_hits(self):
+        from repro.serving.bench import run_serve_bench
+
+        report = run_serve_bench(
+            size=60,
+            clients=2,
+            queries_per_client=6,
+            workers=2,
+            repeat_fraction=0.8,
+            cache=True,
+            seed=11,
+        )
+        assert report["workload"]["repeat_fraction"] == 0.8
+        assert report["workload"]["cache"] is True
+        assert not report["errors"]
+        assert report["server"]["cache"]["hits"] > 0

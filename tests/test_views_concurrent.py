@@ -1,0 +1,217 @@
+"""Cache correctness under concurrent reads and interleaved updates.
+
+The staleness protocol: every served answer is tagged with the dataset
+``update_version`` it reflects (``QueryHandle.served_version``).  The
+single writer logs the exact record population at every version, so an
+offline replay can recompute the *reference* answer for each version a
+reader observed and assert the served rid set matches -- a stale hit
+(an answer from version ``v`` served after version ``v+1`` committed
+*tagged as* ``v+1``) is impossible to miss.  Runs with two fixed seeds
+so the interleavings are reproducible.
+
+The rollback case proves the other half of the invalidation protocol:
+a chaos-injected update fault rolls the dataset back *before* listeners
+fire, so a failed update must leave every cached entry resident and
+the invalidation counter untouched.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.engine import SkylineEngine
+from repro.exceptions import KernelError
+from repro.posets.builder import diamond
+from repro.queries.constrained import Constraint, constrained_skyline
+from repro.resilience.chaos import FaultInjector, inject_update_faults
+from repro.serving import QueryRequest, SkylineServer
+from repro.transform.dataset import TransformedDataset
+
+SEEDS = (7, 2025)
+READERS = 4
+QUERIES_PER_READER = 12
+WRITER_OPS = 10
+
+
+def _make_engine(kernel: str = "python", n: int = 80, seed: int = 23) -> SkylineEngine:
+    rng = random.Random(seed)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 40), rng.randint(1, 40)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+def _reference_rids(schema, records, constraint=None) -> frozenset:
+    """Recompute the answer for one logged version from scratch."""
+    from repro.algorithms.base import get_algorithm
+
+    dataset = TransformedDataset(schema, records, kernel="python")
+    if constraint is None:
+        points = get_algorithm("bnl").run(dataset)
+    else:
+        points = constrained_skyline(dataset, constraint)
+    return frozenset(str(p.record.rid) for p in points)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_readers_never_observe_stale_answers(seed):
+    engine = _make_engine(seed=seed)
+    schema = engine.dataset.schema
+    poset = schema.partial_attrs[0].poset
+    constraint = Constraint(ranges={"a": (None, 25.0)})
+
+    # version -> exact record population after that version committed
+    versions: dict[int, list[Record]] = {0: list(engine.dataset.records)}
+    observations: list[tuple[int, str, frozenset]] = []
+    reader_errors: list[BaseException] = []
+    begin = threading.Barrier(READERS + 1)
+
+    with SkylineServer(engine, workers=READERS, cache=True) as server:
+
+        def reader(reader_id: int) -> None:
+            rng = random.Random(seed * 1009 + reader_id)
+            begin.wait()
+            try:
+                for _ in range(QUERIES_PER_READER):
+                    if rng.random() < 0.7:
+                        request, kind = QueryRequest(), "skyline"
+                    else:
+                        request = QueryRequest(
+                            algorithm="bbs+", constraint=constraint
+                        )
+                        kind = "constrained"
+                    handle = server.submit(request)
+                    result = handle.result(timeout=60)
+                    assert result.complete
+                    observations.append(
+                        (
+                            handle.served_version,
+                            kind,
+                            frozenset(
+                                str(p.record.rid) for p in result.points
+                            ),
+                        )
+                    )
+            except BaseException as err:  # surfaced after join
+                reader_errors.append(err)
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(READERS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Single writer, interleaved with the reader storm.
+        write_rng = random.Random(seed * 7919)
+        population = list(engine.dataset.records)
+        begin.wait()
+        for step in range(WRITER_OPS):
+            if write_rng.random() < 0.4 and len(population) > 20:
+                victim = write_rng.choice(population)
+                assert server.delete(victim.rid)
+                population = [r for r in population if r.rid != victim.rid]
+            else:
+                record = Record(
+                    f"w{seed}-{step}",
+                    (write_rng.randint(1, 40), write_rng.randint(1, 40)),
+                    (poset.value(write_rng.randrange(len(poset))),),
+                )
+                server.insert(record)
+                population = population + [record]
+            versions[engine.dataset.update_version] = list(population)
+
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+        cache_section = server.metrics.snapshot()["cache"]
+
+    assert not reader_errors, reader_errors
+    assert len(observations) == READERS * QUERIES_PER_READER
+    assert engine.dataset.update_version == WRITER_OPS
+
+    # Offline replay: every served answer must equal the reference
+    # recompute for the exact version it was tagged with.
+    references: dict[tuple[int, str], frozenset] = {}
+    for version, kind, rids in observations:
+        assert version in versions, f"answer tagged unknown version {version}"
+        key = (version, kind)
+        if key not in references:
+            references[key] = _reference_rids(
+                schema,
+                versions[version],
+                constraint if kind == "constrained" else None,
+            )
+        assert rids == references[key], (
+            f"stale answer at version {version} ({kind}): "
+            f"served {sorted(rids)} != reference {sorted(references[key])}"
+        )
+
+    # The run must actually have exercised the cache, not just missed
+    # through it.
+    assert cache_section["hits"] > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_failed_update_rolls_back_without_invalidating_cache(seed):
+    engine = _make_engine(seed=seed)
+    constraint = Constraint(ranges={"a": (None, 30.0)})
+    with SkylineServer(engine, workers=2, cache=True) as server:
+        # Warm the cache: one shaped answer + the materialized skyline.
+        cold = server.submit(
+            QueryRequest(algorithm="bbs+", constraint=constraint)
+        ).result(timeout=60)
+        baseline = frozenset(str(p.record.rid) for p in cold.points)
+        before = server.views.cache.snapshot()
+        invalidations_before = server.metrics.snapshot()["cache"][
+            "invalidations"
+        ]
+
+        injector = inject_update_faults(
+            engine.dataset, FaultInjector(seed=seed, fail_after=1)
+        )
+        with pytest.raises(KernelError):
+            server.insert(Record("chaos", (1, 1), ("b",)))
+        assert injector.fired == 1
+        # Rolled back before listeners fire: no version bump, no patch.
+        assert engine.dataset.update_version == 0
+        assert server.views.patches == 0
+
+        after = server.views.cache.snapshot()
+        assert after["shapes"] == before["shapes"]
+        assert after["entries"] == before["entries"]
+        assert (
+            server.metrics.snapshot()["cache"]["invalidations"]
+            == invalidations_before
+        )
+
+        # The cached answer still serves -- as a hit, zero comparisons,
+        # identical rid set.
+        hot_handle = server.submit(
+            QueryRequest(algorithm="bbs+", constraint=constraint)
+        )
+        hot = hot_handle.result(timeout=60)
+        assert hot.cached
+        assert hot_handle.stats.total_dominance_checks == 0
+        assert frozenset(str(p.record.rid) for p in hot.points) == baseline
+        # The materialized view survived too.
+        view_hit = server.submit(QueryRequest()).result(timeout=60)
+        assert view_hit.cached
