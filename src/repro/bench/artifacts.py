@@ -1,0 +1,66 @@
+"""Deterministic benchmark artifacts: one canonical JSON form.
+
+Committed benchmark outputs (``benchmarks/results/*.json``) are diffed
+across runs and across machines, so every writer funnels through
+:func:`write_artifact`: keys sorted, floats rounded to a pinned
+precision (via :func:`canonical`), tuples coerced to lists, a trailing
+newline, UTF-8.  Two runs that measured the same thing then produce
+byte-identical files, and a changed byte always means a changed
+measurement -- not dict ordering or float repr jitter.
+
+Measured *timings* still vary run to run; determinism here is about the
+encoding, not the clock.  Fields that must be stable across runs
+(counters, configuration echoes, schedules derived from seeds) are.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = ["canonical", "dumps_artifact", "write_artifact"]
+
+#: Decimal places floats are rounded to in committed artifacts.
+FLOAT_PLACES = 6
+
+
+def canonical(obj, places: int = FLOAT_PLACES):
+    """Recursively normalize ``obj`` for deterministic JSON encoding.
+
+    Floats are rounded to ``places`` decimals (non-finite values become
+    ``None`` -- JSON has no representation for them and ``nan`` never
+    round-trips equal); tuples/sets become sorted-where-unordered lists;
+    dict keys are coerced to strings.  Integers and bools pass through
+    untouched.
+    """
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            return None
+        rounded = round(obj, places)
+        # Avoid "-0.0" vs "0.0" diffs.
+        return rounded + 0.0
+    if isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): canonical(v, places) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v, places) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical(v, places) for v in obj)
+    return str(obj)
+
+
+def dumps_artifact(obj, places: int = FLOAT_PLACES) -> str:
+    """The canonical JSON text for ``obj`` (sorted keys, newline-terminated)."""
+    return json.dumps(canonical(obj, places), indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(path, obj, places: int = FLOAT_PLACES) -> Path:
+    """Write ``obj`` to ``path`` in canonical form; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dumps_artifact(obj, places), encoding="utf-8")
+    return target

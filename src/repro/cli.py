@@ -19,6 +19,12 @@ Commands
     Seeded multi-client workload replay against the concurrent
     :class:`~repro.serving.server.SkylineServer` (throughput, p50/p99,
     JSON artifact; see docs/serving.md).
+``replay``
+    Trace-driven capacity-envelope sweep: seeded Poisson / bursty /
+    diurnal arrival traces replayed at a ladder of rate multipliers
+    (optionally under chaos fault injection), reporting p50/p99,
+    shed/reject counts and degradation behaviour per cell
+    (see docs/overload.md).
 ``bench-parallel``
     Worker-count speedup curve of the sharded process-pool backend
     (parity-checked against the serial engine; see docs/parallel.md).
@@ -216,6 +222,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON",
         help="write the full report as a JSON artifact "
         "(e.g. benchmarks/results/serve_bench.json)",
+    )
+
+    rp = sub.add_parser(
+        "replay",
+        help="trace-driven capacity-envelope sweep of the query server",
+    )
+    rp.add_argument("--size", type=int, default=300, help="records to generate")
+    rp.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=["poisson", "bursty", "diurnal"],
+        help="arrival processes to sweep (default: all three)",
+    )
+    rp.add_argument(
+        "--duration",
+        type=float,
+        default=3.0,
+        help="base trace length in seconds (scaled down at higher multipliers)",
+    )
+    rp.add_argument(
+        "--rate", type=float, default=30.0, help="base mean arrival rate (q/s)"
+    )
+    rp.add_argument(
+        "--multipliers",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="M",
+        help="rate multipliers to sweep (default: 0.5 1.0 2.0 4.0)",
+    )
+    rp.add_argument("--workers", type=int, default=4, help="server worker threads")
+    rp.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
+    rp.add_argument("--seed", type=int, default=7, help="workload + trace seed")
+    rp.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm deterministic fault injection (worker kill + kernel "
+        "faults) in every cell; the sweep then asserts chaos-replay "
+        "invariants (docs/overload.md)",
+    )
+    rp.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="bounded queue capacity (0 = unbounded)",
+    )
+    rp.add_argument(
+        "--shed-policy",
+        choices=["deadline", "priority", "reject-newest"],
+        default="deadline",
+        help="shedding policy when the bounded queue fills",
+    )
+    rp.add_argument(
+        "--deadline",
+        type=float,
+        default=0.5,
+        help="end-to-end deadline carried by a fraction of requests "
+        "(0 disables deadlines)",
+    )
+    rp.add_argument(
+        "--output",
+        default=None,
+        metavar="JSON",
+        help="write the capacity envelope as a JSON artifact "
+        "(e.g. benchmarks/results/replay_capacity.json)",
+    )
+    rp.add_argument(
+        "--assert-resilient",
+        action="store_true",
+        help="exit non-zero unless every cell drained with zero hung "
+        "handles and the server returned to healthy",
     )
 
     bp = sub.add_parser(
@@ -584,6 +669,63 @@ def _cmd_serve_bench(args) -> int:
     return 1 if report["errors"] else 0
 
 
+def _cmd_replay(args) -> int:
+    from repro.serving.replay import run_replay
+
+    report = run_replay(
+        size=args.size,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+        duration=args.duration,
+        rate=args.rate,
+        multipliers=tuple(args.multipliers) if args.multipliers else None,
+        workers=args.workers,
+        kernel=args.kernel,
+        seed=args.seed,
+        chaos_seed=args.chaos_seed,
+        capacity=args.capacity if args.capacity > 0 else None,
+        shed_policy=args.shed_policy,
+        deadline=args.deadline if args.deadline > 0 else None,
+        output=args.output,
+    )
+    config = report["config"]
+    chaos = (
+        f", chaos seed {config['chaos_seed']}"
+        if config["chaos_seed"] is not None
+        else ""
+    )
+    print(
+        f"replay: {config['records']} records, {config['workers']} workers, "
+        f"{config['base_rate_qps']:g} q/s x {config['duration_seconds']:g}s "
+        f"base trace ({config['kernel']} kernel, seed {config['seed']}{chaos})"
+    )
+    resilient = True
+    for scenario, row in report["scenarios"].items():
+        print(f"  {scenario} ({row['arrivals']} arrivals):")
+        header = (
+            f"    {'xrate':>5} {'offered':>7} {'done':>5} {'shed':>5} "
+            f"{'rej':>4} {'t/o':>4} {'err':>4} {'hung':>4} "
+            f"{'p50 ms':>8} {'p99 ms':>8} {'mode':>11} {'healthy':>7}"
+        )
+        print(header)
+        for cell in row["cells"]:
+            healthy = cell["returned_healthy"]
+            resilient = resilient and healthy and cell["hung"] == 0
+            print(
+                f"    {cell['multiplier']:>5g} {cell['offered']:>7} "
+                f"{cell['completed']:>5} {cell['shed']:>5} "
+                f"{cell['rejected']:>4} {cell['timeouts']:>4} "
+                f"{cell['errors']:>4} {cell['hung']:>4} "
+                f"{cell['latency_p50_ms']:>8.1f} {cell['latency_p99_ms']:>8.1f} "
+                f"{cell['final_mode']:>11} {'yes' if healthy else 'NO':>7}"
+            )
+    if args.output:
+        print(f"  envelope written to {args.output}")
+    if args.assert_resilient and not resilient:
+        print("replay: FAILED resilience assertion (hung handle or no recovery)")
+        return 1
+    return 0
+
+
 def _cmd_bench_parallel(args) -> int:
     from repro.parallel.bench import run_parallel_bench
 
@@ -697,6 +839,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "bench-kernels": _cmd_bench_kernels,
         "serve-bench": _cmd_serve_bench,
+        "replay": _cmd_replay,
         "bench-parallel": _cmd_bench_parallel,
         "bench-views": _cmd_bench_views,
     }

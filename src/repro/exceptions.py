@@ -125,6 +125,51 @@ class AdmissionRejectedError(ServingError):
         super().__init__(f"query rejected at admission: {reason}{detail}")
 
 
+class QueryShedError(ServingError):
+    """Raised/attached when overload shedding drops a query.
+
+    Shedding happens either at submission (the bounded queue is full and
+    the incoming query loses under the configured policy -- ``submit``
+    raises) or while queued (a policy evicts an already-admitted query
+    -- its :class:`~repro.serving.server.QueryHandle` resolves with this
+    error).  Either way the query executed **zero** dominance
+    comparisons, so the attached ``partial`` is empty -- trivially a
+    prefix of the algorithm's emission order.
+
+    Attributes
+    ----------
+    policy:
+        The shedding policy that dropped the query (``"reject-newest"``,
+        ``"priority"``, ``"deadline"``).
+    reason:
+        Why this particular query lost (``"queue-full"``,
+        ``"lower-priority"``, ``"doomed-deadline"``, or a degradation
+        mode such as ``"cache_only"`` / ``"rejecting"``).
+    """
+
+    def __init__(self, policy: str, reason: str) -> None:
+        self.policy = policy
+        self.reason = reason
+        self.partial = None
+        super().__init__(f"query shed under {policy!r} policy: {reason}")
+
+
+class LockTimeoutError(ServingError):
+    """Raised when a reader-writer lock acquisition exceeds its timeout.
+
+    Carries the requested ``mode`` (``"read"`` / ``"write"``) and the
+    ``timeout`` that elapsed, so a stuck reader surfaces as a typed
+    error at the update site instead of silently deadlocking writers.
+    """
+
+    def __init__(self, mode: str, timeout: float) -> None:
+        self.mode = mode
+        self.timeout = timeout
+        super().__init__(
+            f"could not acquire {mode} lock within {timeout:.6g}s"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Query-execution control (repro.resilience)
 # ---------------------------------------------------------------------------

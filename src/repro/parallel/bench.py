@@ -15,10 +15,10 @@ alone.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
+from repro.bench.artifacts import write_artifact
 from repro.engine import SkylineEngine
 from repro.parallel.config import ParallelConfig
 from repro.parallel.executor import ParallelSkylineExecutor
@@ -148,8 +148,5 @@ def run_parallel_bench(
         "workers": curve,
     }
     if output:
-        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
-        with open(output, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_artifact(output, report)
     return report

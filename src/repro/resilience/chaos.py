@@ -17,7 +17,16 @@ skyline service actually breaks:
   :class:`~repro.exceptions.SchemaError` at transform time);
 * **NaN / infinity numerics** -- :func:`malform_records` also emits
   non-finite totals, rejected by input hardening in the schema and
-  :mod:`repro.io` layers.
+  :mod:`repro.io` layers;
+* **serving-infrastructure failures** -- :class:`StallInjector` plus the
+  ``inject_worker_*`` / :func:`inject_lock_delays` /
+  :func:`inject_pool_crashes` helpers arm the
+  :class:`~repro.serving.server.SkylineServer`'s chaos fault points:
+  worker threads that die or wedge mid-query, updates that stall while
+  holding the writer lock, and parallel worker processes that hard-exit
+  mid-shard.  The overload layer (``docs/overload.md``) must turn each
+  into a typed error, a watchdog respawn or a breaker-guarded
+  degradation -- never a hung ``QueryHandle``.
 
 None of the proxies ever *falsifies* a verdict: a fault is always an
 exception, never a wrong answer, so everything an algorithm emitted
@@ -42,10 +51,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FaultInjector",
+    "StallInjector",
     "ChaoticKernel",
     "ChaoticBuffer",
     "inject_kernel_faults",
     "inject_update_faults",
+    "inject_worker_faults",
+    "inject_worker_stalls",
+    "inject_lock_delays",
+    "inject_pool_crashes",
     "corrupt_rtree",
     "malform_records",
 ]
@@ -112,6 +126,62 @@ class FaultInjector:
             self.sites.append(site)
             calls = self.calls
         raise self.fault_type(f"injected fault at {site} (call #{calls})")
+
+
+class StallInjector:
+    """Seeded stall source: a fault that *wedges* instead of raising.
+
+    Same triggering contract as :class:`FaultInjector` (``fail_after``
+    exact-call mode, ``rate`` probabilistic mode, ``max_faults`` cap,
+    thread-safe under concurrent sharing) but a tripped call sleeps for
+    ``stall_seconds`` instead of raising -- modelling a wedged worker
+    thread or an update stuck while holding the writer lock.  The sleep
+    honours an optional ``release`` event so tests can un-wedge a stall
+    early instead of waiting it out.
+    """
+
+    __slots__ = ("rng", "fail_after", "rate", "max_faults", "stall_seconds",
+                 "calls", "fired", "sites", "release", "_lock")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fail_after: int | None = None,
+        rate: float = 0.0,
+        max_faults: int = 1,
+        stall_seconds: float = 0.5,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.fail_after = fail_after
+        self.rate = rate
+        self.max_faults = max_faults
+        self.stall_seconds = stall_seconds
+        self.calls = 0
+        self.fired = 0
+        self.sites: list[str] = []
+        self.release = threading.Event()
+        self._lock = threading.Lock()
+
+    def maybe_stall(self, site: str) -> bool:
+        """Count one intercepted call; sleep when this one should wedge.
+
+        Returns ``True`` when a stall happened (after it ends).
+        """
+        with self._lock:
+            self.calls += 1
+            if self.fired >= self.max_faults:
+                return False
+            trip = False
+            if self.fail_after is not None:
+                trip = self.calls >= self.fail_after
+            elif self.rate > 0.0:
+                trip = self.rng.random() < self.rate
+            if not trip:
+                return False
+            self.fired += 1
+            self.sites.append(site)
+        self.release.wait(self.stall_seconds)
+        return True
 
 
 class ChaoticBuffer:
@@ -258,6 +328,69 @@ def inject_update_faults(
     arming; a dataset starts with no update injector.
     """
     dataset._update_injector = injector
+    return injector
+
+
+# ---------------------------------------------------------------------------
+# Serving-infrastructure fault points
+# ---------------------------------------------------------------------------
+def inject_worker_faults(server, injector: FaultInjector) -> FaultInjector:
+    """Arm the server's worker fault point with ``injector``.
+
+    The injector fires at the ``server.worker`` site, at the top of a
+    worker thread's query execution (before the query is marked
+    started).  With ``fault_type=SystemExit`` the fired call kills the
+    worker thread outright -- the regression scenario for satellite
+    hang-proofing: the orphaned query's handle must still resolve (a
+    typed :class:`~repro.exceptions.ServingError`) and the watchdog
+    must respawn the thread.  With an ``Exception`` fault type the
+    query fails but the worker survives.
+    """
+    server._worker_injector = injector
+    return injector
+
+
+def inject_worker_stalls(server, injector: StallInjector) -> StallInjector:
+    """Arm the server's worker stall point with ``injector``.
+
+    A tripped call wedges the worker thread at the ``server.worker``
+    site for ``stall_seconds`` -- long enough for the watchdog's
+    ``stuck_after`` detection to flag the query and degrade the server.
+    """
+    server._stall_injector = injector
+    return injector
+
+
+def inject_lock_delays(server, injector: StallInjector) -> StallInjector:
+    """Arm the server's writer-lock-hold stall point with ``injector``.
+
+    A tripped update stalls at ``server.update.lock_hold`` *while
+    holding the writer lock*, starving every queued reader -- the
+    scenario :meth:`~repro.serving.rwlock.ReadWriteLock.acquire_write`
+    timeouts and queue shedding are built for.
+    """
+    server._lock_injector = injector
+    return injector
+
+
+def inject_pool_crashes(target, injector: FaultInjector) -> FaultInjector:
+    """Arm the parallel executor's pool-crash fault points.
+
+    ``target`` is a :class:`~repro.serving.server.SkylineServer` (its
+    shared executor is armed) or a
+    :class:`~repro.parallel.ParallelSkylineExecutor`.  A fired fault
+    hard-exits a worker *process* mid-shard (``parallel.dispatch.*``
+    sites), breaking the pool; the executor's serial fallback and the
+    server's parallel circuit breaker must absorb it.
+    ``ParallelConfig`` is frozen, so the config is swapped for a copy
+    carrying the injector.
+    """
+    import dataclasses
+
+    executor = getattr(target, "_parallel", target)
+    if executor is None:
+        raise KernelError("target has no parallel executor to arm")
+    executor.config = dataclasses.replace(executor.config, chaos=injector)
     return injector
 
 

@@ -7,10 +7,15 @@ thread pool, with cost-model admission control
 (:mod:`repro.serving.admission`), per-query counter isolation merged
 into server-wide aggregates (:mod:`repro.serving.metrics`), and
 reader-writer coordination between queries and dynamic updates
-(:mod:`repro.serving.rwlock`).  ``repro serve-bench`` drives the seeded
-multi-client benchmark in :mod:`repro.serving.bench`.
+(:mod:`repro.serving.rwlock`).  The overload-resilience layer
+(:mod:`repro.serving.overload`) adds bounded-queue load shedding, a
+retry policy, circuit breakers around the expensive recovery paths and
+a watchdog-driven degradation ladder.  ``repro serve-bench`` drives the
+seeded multi-client benchmark in :mod:`repro.serving.bench`;
+``repro replay`` sweeps trace-driven capacity envelopes
+(:mod:`repro.serving.replay`).
 
-See ``docs/serving.md`` for a guided tour.
+See ``docs/serving.md`` and ``docs/overload.md`` for guided tours.
 """
 
 from repro.serving.admission import (
@@ -21,6 +26,14 @@ from repro.serving.admission import (
 )
 from repro.serving.bench import run_serve_bench
 from repro.serving.metrics import LatencyHistogram, ServerMetrics
+from repro.serving.overload import (
+    BoundedQueryQueue,
+    CircuitBreaker,
+    DegradationLadder,
+    OverloadConfig,
+    RetryPolicy,
+)
+from repro.serving.replay import replay_trace, run_replay
 from repro.serving.rwlock import ReadWriteLock
 from repro.serving.server import QueryHandle, QueryRequest, SkylineServer
 
@@ -36,4 +49,11 @@ __all__ = [
     "LatencyHistogram",
     "ReadWriteLock",
     "run_serve_bench",
+    "OverloadConfig",
+    "BoundedQueryQueue",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "run_replay",
+    "replay_trace",
 ]

@@ -13,12 +13,11 @@ artifact for CI trend tracking.
 
 from __future__ import annotations
 
-import json
-import os
 import random
 import threading
 import time
 
+from repro.bench.artifacts import write_artifact
 from repro.serving.server import QueryRequest, SkylineServer
 
 __all__ = ["run_serve_bench", "DEFAULT_ALGORITHMS"]
@@ -158,10 +157,5 @@ def run_serve_bench(
         "server": server.metrics.snapshot(),
     }
     if output:
-        parent = os.path.dirname(output)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(output, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_artifact(output, report)
     return report

@@ -162,6 +162,20 @@ class ServerMetrics:
         self.cache_bytes = 0
         self.cache_entries = 0
         self.cache_age = LatencyHistogram()
+        # Overload-resilience section (repro.serving.overload): load
+        # shedding, retry/backoff, circuit-breaker transitions, worker
+        # watchdog events and the degradation ladder.
+        self.shed: dict[str, int] = {}
+        self.retries = 0
+        self.worker_deaths = 0
+        self.worker_restarts = 0
+        self.stuck_queries = 0
+        self.breaker_states: dict[str, str] = {}
+        self.breaker_transitions: dict[str, int] = {}
+        self.breaker_opens: dict[str, int] = {}
+        self.degradation_mode = "healthy"
+        self.degradations = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     # Admission-side events
@@ -265,6 +279,62 @@ class ServerMetrics:
             self.updates += 1
 
     # ------------------------------------------------------------------
+    # Overload-resilience events (repro.serving.overload)
+    # ------------------------------------------------------------------
+    def on_shed(self, reason: str, queued: bool = True) -> None:
+        """Count one shed query; ``queued`` entries also leave the queue."""
+        with self._lock:
+            self.shed[reason] = self.shed.get(reason, 0) + 1
+            if queued:
+                self.queue_depth -= 1
+
+    def on_retry(self) -> None:
+        """Count one granted execution retry."""
+        with self._lock:
+            self.retries += 1
+
+    def on_worker_death(self) -> None:
+        """Count one worker thread found dead by the watchdog."""
+        with self._lock:
+            self.worker_deaths += 1
+
+    def on_worker_restart(self) -> None:
+        """Count one replacement worker spawned by the watchdog."""
+        with self._lock:
+            self.worker_restarts += 1
+
+    def on_stuck_query(self) -> None:
+        """Count one in-flight query flagged as stuck by the watchdog."""
+        with self._lock:
+            self.stuck_queries += 1
+
+    def register_breaker(self, name: str, state: str = "closed") -> None:
+        """Expose a breaker's initial state before any transition."""
+        with self._lock:
+            self.breaker_states.setdefault(name, state)
+
+    def on_breaker(self, name: str, old: str, new: str) -> None:
+        """Record one circuit-breaker state transition."""
+        with self._lock:
+            self.breaker_states[name] = new
+            self.breaker_transitions[name] = (
+                self.breaker_transitions.get(name, 0) + 1
+            )
+            if new == "open":
+                self.breaker_opens[name] = self.breaker_opens.get(name, 0) + 1
+
+    def on_degradation(self, old: str, new: str, reason: str) -> None:
+        """Record one degradation-ladder transition (either direction)."""
+        from repro.serving.overload import _MODE_RANK
+
+        with self._lock:
+            self.degradation_mode = new
+            if _MODE_RANK[new] > _MODE_RANK[old]:
+                self.degradations += 1
+            else:
+                self.recoveries += 1
+
+    # ------------------------------------------------------------------
     # Result-cache events (repro.views)
     # ------------------------------------------------------------------
     def on_cache_hit(self, age_seconds: float) -> None:
@@ -345,6 +415,25 @@ class ServerMetrics:
                     "bytes_resident": self.cache_bytes,
                     "entries": self.cache_entries,
                     "staleness_age": self.cache_age.snapshot(),
+                },
+                "overload": {
+                    "mode": self.degradation_mode,
+                    "degradations": self.degradations,
+                    "recoveries": self.recoveries,
+                    "shed": dict(self.shed),
+                    "shed_total": sum(self.shed.values()),
+                    "retries": self.retries,
+                    "worker_deaths": self.worker_deaths,
+                    "worker_restarts": self.worker_restarts,
+                    "stuck_queries": self.stuck_queries,
+                    "breakers": {
+                        name: {
+                            "state": state,
+                            "transitions": self.breaker_transitions.get(name, 0),
+                            "opens": self.breaker_opens.get(name, 0),
+                        }
+                        for name, state in sorted(self.breaker_states.items())
+                    },
                 },
                 "queue": {
                     "depth": self.queue_depth,

@@ -1,0 +1,558 @@
+"""Overload resilience: shedding, retries, breakers, degradation.
+
+The admission controller (:mod:`repro.serving.admission`) refuses work
+whose *individual* bill is hopeless, but it cannot defend the server
+against *sustained* overload or repeated infrastructure failure: a burst
+of perfectly-admissible queries still fills an unbounded queue, a
+crashed process pool re-enters the same failing path on every large
+query, and a dead worker thread strands its query forever.  This module
+supplies the second line of defense, in four parts:
+
+* :class:`BoundedQueryQueue` -- the server's priority queue, optionally
+  bounded, with pluggable shedding policies.  ``"deadline"`` first
+  drops queued queries whose end-to-end deadline already expired (they
+  would only time out after wasting a worker), ``"priority"`` evicts
+  the worst-priority queued entry when the newcomer outranks it, and
+  ``"reject-newest"`` sheds the incoming query.  A shed query resolves
+  with a typed :class:`~repro.exceptions.QueryShedError` carrying an
+  empty partial -- trivially a prefix of the emission order.
+* :class:`RetryPolicy` -- exponential backoff with seeded jitter, a
+  bounded attempt count, an optional server-wide retry *budget* (so a
+  correlated failure cannot trigger a retry storm), and an idempotency
+  gate: only requests marked idempotent are ever retried.
+* :class:`CircuitBreaker` -- the classic closed / open / half-open
+  state machine, wrapped by the server around the parallel process-pool
+  executor and the numpy batch kernel.  Repeated failures open the
+  breaker and the server degrades *once* (serial / python-kernel) for
+  the whole recovery window instead of re-paying the failure per query;
+  a half-open probe re-tests the fast path and re-closes on success.
+* :class:`DegradationLadder` -- the server's explicit degradation mode
+  (``healthy -> serial_only -> cache_only -> rejecting``), driven by
+  the watchdog thread in :class:`~repro.serving.server.SkylineServer`
+  from live health signals (dead/stuck workers, open breakers) and
+  stepped back down one rung at a time once signals stay clear for a
+  recovery window.
+
+Everything here is deterministic given its seed and injected clock, so
+the chaos-replay suite can assert exact shedding/backoff/transition
+behaviour.  See ``docs/overload.md`` for the guided tour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.server import QueryHandle
+
+__all__ = [
+    "SHED_POLICIES",
+    "DEGRADATION_MODES",
+    "BoundedQueryQueue",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "OverloadConfig",
+]
+
+#: Recognized shedding policies of :class:`BoundedQueryQueue`.
+SHED_POLICIES = ("deadline", "priority", "reject-newest")
+
+#: The degradation ladder, mildest first.  ``healthy`` allows every
+#: execution path; ``serial_only`` bypasses the parallel process pool;
+#: ``cache_only`` serves only result-cache hits and rejects misses;
+#: ``rejecting`` refuses all new queries.
+DEGRADATION_MODES = ("healthy", "serial_only", "cache_only", "rejecting")
+
+_MODE_RANK = {mode: rank for rank, mode in enumerate(DEGRADATION_MODES)}
+
+
+# ---------------------------------------------------------------------------
+# Bounded queue with shedding
+# ---------------------------------------------------------------------------
+class BoundedQueryQueue:
+    """Priority queue of admitted queries with optional load shedding.
+
+    Entries are ``(priority, seq, handle)`` -- lower priority runs
+    sooner, FIFO within a priority -- exactly the ordering of the
+    unbounded queue it replaces.  With ``capacity=None`` (the default)
+    behaviour is identical to the old :class:`queue.PriorityQueue`;
+    with a capacity, a full queue sheds according to ``policy``:
+
+    ``"deadline"``
+        Drop every queued query whose end-to-end deadline has already
+        expired (reason ``"doomed-deadline"``) -- it could only time
+        out after burning a worker.  When nothing is doomed, fall back
+        to ``"priority"``.
+    ``"priority"``
+        Evict the worst queued entry -- highest ``(priority, seq)`` --
+        when the newcomer outranks it (reason ``"lower-priority"``);
+        otherwise shed the newcomer itself.
+    ``"reject-newest"``
+        Always shed the incoming query (reason ``"queue-full"``).
+
+    ``on_shed(handle, reason)`` is invoked for every *queued* entry the
+    policy drops (the server resolves the handle with a typed
+    :class:`~repro.exceptions.QueryShedError` there); an incoming query
+    that loses is reported by :meth:`put` returning a reason string and
+    never touches the callback.
+
+    Shutdown sentinels (:meth:`put_sentinel`) bypass the capacity so a
+    full queue can never block :meth:`~SkylineServer.close`.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: str = "deadline",
+        on_shed: Callable[["QueryHandle", str], None] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if policy not in SHED_POLICIES:
+            raise ServingError(
+                f"unknown shed policy {policy!r}; expected one of {SHED_POLICIES}"
+            )
+        if capacity is not None and capacity < 1:
+            raise ServingError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.on_shed = on_shed
+        self.clock = clock
+        self._heap: list[tuple[float, int, "QueryHandle | None"]] = []
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(1 for _, _, h in self._heap if h is not None)
+
+    # ------------------------------------------------------------------
+    def put(self, priority: float, seq: int, handle: "QueryHandle") -> str | None:
+        """Enqueue one admitted query, shedding under pressure.
+
+        Returns ``None`` when the query was enqueued, or the shed
+        *reason* when the incoming query itself lost under the policy
+        (the caller raises the typed error; nothing was enqueued).
+        """
+        shed: list[tuple["QueryHandle", str]] = []
+        with self._cond:
+            if self.capacity is not None and self._depth() >= self.capacity:
+                verdict = self._make_room(priority, seq, shed)
+                if verdict is not None:
+                    # Still notify sheds collected before the newcomer lost.
+                    self._notify_sheds(shed)
+                    return verdict
+            heapq.heappush(self._heap, (priority, seq, handle))
+            self._cond.notify()
+        self._notify_sheds(shed)
+        return None
+
+    def put_sentinel(self, seq: int) -> None:
+        """Enqueue one shutdown sentinel (ignores the capacity bound)."""
+        with self._cond:
+            heapq.heappush(self._heap, (float("inf"), seq, None))
+            self._cond.notify()
+
+    def get(self) -> "QueryHandle | None":
+        """Block for the next entry; ``None`` is a shutdown sentinel."""
+        with self._cond:
+            while not self._heap:
+                self._cond.wait()
+            _, _, handle = heapq.heappop(self._heap)
+            return handle
+
+    # ------------------------------------------------------------------
+    def _depth(self) -> int:
+        return sum(1 for _, _, h in self._heap if h is not None)
+
+    def _make_room(
+        self, priority: float, seq: int,
+        shed: list[tuple["QueryHandle", str]],
+    ) -> str | None:
+        """Apply the policy to a full queue.  Caller holds the lock.
+
+        Returns ``None`` when room was made for the newcomer, or the
+        reason the newcomer itself should be shed.
+        """
+        if self.policy == "reject-newest":
+            return "queue-full"
+        if self.policy == "deadline":
+            now = self.clock()
+            doomed = [
+                entry
+                for entry in self._heap
+                if entry[2] is not None and self._is_doomed(entry[2], now)
+            ]
+            if doomed:
+                for entry in doomed:
+                    self._heap.remove(entry)
+                    shed.append((entry[2], "doomed-deadline"))
+                heapq.heapify(self._heap)
+                return None
+            # Nothing doomed: fall through to priority shedding.
+        worst = max(
+            (entry for entry in self._heap if entry[2] is not None),
+            key=lambda entry: (entry[0], entry[1]),
+            default=None,
+        )
+        if worst is None or (priority, seq) >= (worst[0], worst[1]):
+            return "queue-full" if self.policy == "reject-newest" else "lower-priority"
+        self._heap.remove(worst)
+        heapq.heapify(self._heap)
+        shed.append((worst[2], "lower-priority"))
+        return None
+
+    @staticmethod
+    def _is_doomed(handle: "QueryHandle", now: float) -> bool:
+        deadline = handle.request.deadline
+        if deadline is None:
+            return False
+        return now - handle.submitted_at >= deadline
+
+    def _notify_sheds(self, shed: list[tuple["QueryHandle", str]]) -> None:
+        if self.on_shed is not None:
+            for handle, reason in shed:
+                self.on_shed(handle, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BoundedQueryQueue(depth={len(self)}, capacity={self.capacity}, "
+            f"policy={self.policy!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and a server-wide budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total execution attempts per query (first try included), so
+        ``max_attempts=3`` allows at most two retries.
+    base_delay / multiplier / max_delay:
+        The backoff schedule: retry ``k`` (0-based) sleeps
+        ``min(max_delay, base_delay * multiplier**k)``, scaled by
+        jitter.
+    jitter:
+        Fraction of the delay randomized away (``0.5`` draws uniformly
+        from ``[0.5 * d, d]``).  The RNG is seeded, so the full delay
+        sequence is reproducible.
+    budget:
+        Optional cap on the *total* retries this policy will ever grant
+        (across all queries sharing it).  A correlated failure burns the
+        budget once instead of amplifying itself into a retry storm;
+        ``None`` means unbounded.
+    seed:
+        Seeds the jitter RNG.
+
+    Only requests marked idempotent may retry -- re-running a read-only
+    skyline query is always safe, but the gate keeps any future
+    side-effecting request types from being silently re-executed.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.02,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        budget: int | None = None,
+        seed: int = 7,
+    ) -> None:
+        if max_attempts < 1:
+            raise ServingError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ServingError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.budget = budget
+        self.seed = seed
+        self.granted = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def grant(self, attempt: int, idempotent: bool = True) -> bool:
+        """Whether retry number ``attempt`` (0-based) may proceed.
+
+        Consumes one unit of the budget when granted, so callers must
+        ask exactly once per contemplated retry.
+        """
+        if not idempotent:
+            return False
+        with self._lock:
+            if attempt + 1 >= self.max_attempts:
+                return False
+            if self.budget is not None and self.granted >= self.budget:
+                return False
+            self.granted += 1
+            return True
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jitter applied."""
+        base = min(self.max_delay, self.base_delay * (self.multiplier ** attempt))
+        with self._lock:
+            scale = 1.0 - self.jitter * self._rng.random()
+        return base * scale
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, budget={self.budget}, "
+            f"granted={self.granted})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class CircuitBreaker:
+    """Closed / open / half-open breaker around a failing fast path.
+
+    *Closed* passes everything through and counts consecutive failures;
+    ``failure_threshold`` consecutive failures open the breaker.  *Open*
+    refuses (:meth:`allow` returns ``False`` -- the caller takes its
+    degraded path without paying the failure) until ``recovery_time``
+    has elapsed, then moves to *half-open* and admits a single probe.
+    A successful probe re-closes the breaker; a failed one re-opens it
+    and restarts the recovery clock.
+
+    ``on_transition(name, old, new)`` (when given) observes every state
+    change -- the server wires it to
+    :meth:`~repro.serving.metrics.ServerMetrics.on_breaker`.  ``clock``
+    is injectable so tests can drive recovery deterministically.
+    """
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 3,
+        recovery_time: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServingError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.clock = clock
+        self.on_transition = on_transition
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._lock = threading.Lock()
+        self.transitions: list[tuple[str, str]] = []
+
+    @property
+    def state(self) -> str:
+        """Current state (``"closed"`` / ``"open"`` / ``"half_open"``)."""
+        with self._lock:
+            return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the protected path may be attempted right now.
+
+        In the open state, returns ``False`` until ``recovery_time``
+        elapses, then transitions to half-open and admits exactly one
+        in-flight probe (concurrent callers keep getting ``False``
+        until that probe reports).
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self.clock() - self._opened_at < self.recovery_time:
+                    return False
+                self._transition("half_open")
+                self._probing = True
+                return True
+            # half-open: one probe at a time
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """Report one successful use of the protected path."""
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._transition("closed")
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """Report one failure of the protected path."""
+        with self._lock:
+            if self._state == "half_open":
+                self._probing = False
+                self._opened_at = self.clock()
+                self._transition("open")
+                return
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.failure_threshold:
+                self._opened_at = self.clock()
+                self._transition("open")
+
+    def _transition(self, new: str) -> None:
+        old, self._state = self._state, new
+        self.transitions.append((old, new))
+        if self.on_transition is not None:
+            self.on_transition(self.name, old, new)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker({self.name!r}, state={self._state!r}, "
+            f"failures={self._failures})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+# ---------------------------------------------------------------------------
+class DegradationLadder:
+    """The server's explicit degradation mode, one rung at a time.
+
+    Escalation (:meth:`escalate`) jumps straight to the signalled mode;
+    recovery (:meth:`recover`) steps down exactly one rung per call, so
+    the server re-earns each capability (parallel pool, computed
+    queries, any queries at all) instead of flapping back to
+    ``healthy`` and immediately re-failing.  ``on_transition(old, new,
+    reason)`` observes every change.
+    """
+
+    def __init__(
+        self,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        self._mode = "healthy"
+        self._lock = threading.Lock()
+        self.on_transition = on_transition
+        self.transitions: list[tuple[str, str, str]] = []
+
+    @property
+    def mode(self) -> str:
+        """The current degradation mode."""
+        with self._lock:
+            return self._mode
+
+    def at_least(self, mode: str) -> bool:
+        """Whether the current mode is ``mode`` or worse."""
+        with self._lock:
+            return _MODE_RANK[self._mode] >= _MODE_RANK[mode]
+
+    def escalate(self, mode: str, reason: str) -> bool:
+        """Move to ``mode`` when it is worse than the current rung."""
+        if mode not in _MODE_RANK:
+            raise ServingError(f"unknown degradation mode {mode!r}")
+        with self._lock:
+            if _MODE_RANK[mode] <= _MODE_RANK[self._mode]:
+                return False
+            self._set(mode, reason)
+            return True
+
+    def recover(self, reason: str = "recovery-window-clear") -> bool:
+        """Step one rung toward ``healthy``; ``False`` at the bottom."""
+        with self._lock:
+            rank = _MODE_RANK[self._mode]
+            if rank == 0:
+                return False
+            self._set(DEGRADATION_MODES[rank - 1], reason)
+            return True
+
+    def _set(self, mode: str, reason: str) -> None:
+        old, self._mode = self._mode, mode
+        self.transitions.append((old, mode, reason))
+        if self.on_transition is not None:
+            self.on_transition(old, mode, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DegradationLadder(mode={self.mode!r})"
+
+
+# ---------------------------------------------------------------------------
+# Config
+# ---------------------------------------------------------------------------
+@dataclass
+class OverloadConfig:
+    """Tuning knobs for the server's overload-resilience layer.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Bound on the admitted-but-not-running queue.  ``None`` keeps
+        the queue unbounded (the admission controller's ``hard_limit``
+        is then the only cap) -- the pre-overload behaviour.
+    shed_policy:
+        Shedding policy of :class:`BoundedQueryQueue` when the queue is
+        bounded and full.
+    retry:
+        A :class:`RetryPolicy` for transient execution failures
+        (kernel/index/pool errors), or ``None`` (default) to fail fast.
+    breakers:
+        Whether to wrap the parallel executor and the batch kernel in
+        :class:`CircuitBreaker` instances.
+    breaker_failures / breaker_recovery:
+        Consecutive-failure threshold and open-state recovery window of
+        both breakers.
+    watchdog:
+        Whether to run the watchdog thread (worker liveness, stuck
+        detection, degradation-ladder driving).
+    watchdog_interval:
+        Seconds between watchdog sweeps.
+    stuck_after:
+        Flag an in-flight query as *stuck* after this many seconds
+        (health signal for the ladder); ``None`` disables -- a
+        legitimately long query is indistinguishable from a wedged one
+        without a workload-specific bound.
+    recovery_window:
+        Seconds of continuously-clear health signals before the ladder
+        steps down one rung.
+    death_window / cache_only_deaths:
+        A worker death within ``death_window`` seconds keeps the server
+        at least ``serial_only``; ``cache_only_deaths`` deaths within
+        the window escalate to ``cache_only``.
+    update_lock_timeout:
+        Timeout for the writer lock in ``insert`` / ``delete``
+        (:class:`~repro.exceptions.LockTimeoutError` on expiry);
+        ``None`` waits forever (the pre-overload behaviour).
+    """
+
+    queue_capacity: int | None = None
+    shed_policy: str = "deadline"
+    retry: RetryPolicy | None = None
+    breakers: bool = True
+    breaker_failures: int = 3
+    breaker_recovery: float = 2.0
+    watchdog: bool = True
+    watchdog_interval: float = 0.1
+    stuck_after: float | None = None
+    recovery_window: float = 1.0
+    death_window: float = 5.0
+    cache_only_deaths: int = 2
+    update_lock_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shed_policy not in SHED_POLICIES:
+            raise ServingError(
+                f"unknown shed policy {self.shed_policy!r}; "
+                f"expected one of {SHED_POLICIES}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ServingError("queue_capacity must be positive")
+        if self.watchdog_interval <= 0:
+            raise ServingError("watchdog_interval must be positive")

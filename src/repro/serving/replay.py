@@ -1,0 +1,305 @@
+"""Trace-driven replay: capacity envelopes under bursty load.
+
+``repro replay`` (:func:`run_replay`) replays seeded arrival traces
+(:mod:`repro.workloads.trace`) against a fresh
+:class:`~repro.serving.server.SkylineServer` at a ladder of rate
+multipliers, one server per (scenario, multiplier) cell.  A dispatcher
+thread submits each request at its scheduled offset -- open-loop, like
+real clients: arrivals do not slow down because the server is busy --
+and every handle is then drained with a hang guard.  The per-cell report
+(completed / shed / rejected / timeout / error counts, p50/p99 latency,
+breaker transitions, worst degradation mode, recovery check) plotted
+against the multiplier is the server's **capacity envelope**: the
+offered load where latency knees, where shedding starts, and whether
+the overload layer kept every failure typed (``hung`` must be zero
+everywhere -- docs/overload.md).
+
+With ``chaos_seed`` set, each cell also runs under deterministic fault
+injection -- a worker-thread kill plus seeded kernel faults
+(:mod:`repro.resilience.chaos`) -- turning the sweep into a chaos
+replay: the envelope must additionally show the watchdog respawning
+workers, retries absorbing transient faults, and the degradation ladder
+returning to ``healthy`` after the fault window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench.artifacts import write_artifact
+from repro.serving.overload import OverloadConfig, RetryPolicy
+from repro.serving.server import QueryRequest, SkylineServer
+from repro.workloads.trace import SCENARIOS, WorkloadTrace, generate_trace
+
+__all__ = ["run_replay", "replay_trace", "DEFAULT_MULTIPLIERS"]
+
+#: Rate multipliers swept by default: below, at, and past saturation.
+DEFAULT_MULTIPLIERS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def _overload_config(capacity: int | None, shed_policy: str,
+                     seed: int) -> OverloadConfig:
+    """The replay server's overload tuning.
+
+    Deliberately twitchy -- fast watchdog, short death/recovery windows
+    -- so a few seconds of trace are enough to observe the full
+    degrade-and-recover cycle the invariants assert on.
+    """
+    return OverloadConfig(
+        queue_capacity=capacity,
+        shed_policy=shed_policy,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.05, seed=seed
+        ),
+        watchdog_interval=0.05,
+        recovery_window=0.3,
+        death_window=1.0,
+        stuck_after=5.0,
+    )
+
+
+def replay_trace(
+    server: SkylineServer,
+    trace: WorkloadTrace,
+    *,
+    grace: float = 10.0,
+) -> dict:
+    """Replay one trace against ``server``; returns the cell stats.
+
+    Open-loop dispatch: requests are submitted at their scheduled
+    offsets regardless of server state.  After the last submission every
+    outstanding handle is drained with a ``grace``-second hang guard --
+    a handle that resolves neither then nor after ``close()`` counts in
+    ``hung``, the invariant the overload layer must keep at zero.
+    """
+    handles = []
+    submit_errors = {"rejected": 0, "shed": 0, "closed": 0}
+    start = time.perf_counter()
+    for event in trace.events:
+        delay = (start + event.at) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        request = QueryRequest(
+            algorithm=event.algorithm,
+            priority=event.priority,
+            deadline=event.deadline,
+            idempotent=event.idempotent,
+        )
+        try:
+            handles.append(server.submit(request))
+        except Exception as err:
+            name = type(err).__name__
+            if name == "AdmissionRejectedError":
+                submit_errors["rejected"] += 1
+            elif name == "QueryShedError":
+                submit_errors["shed"] += 1
+            else:
+                submit_errors["closed"] += 1
+    dispatch_wall = time.perf_counter() - start
+
+    outcomes = {"complete": 0, "partial": 0, "shed": 0, "timeout": 0,
+                "cancelled": 0, "error": 0}
+    latencies: list[float] = []
+    queue_waits: list[float] = []
+    hung = 0
+    deadline_misses = 0
+    for handle in handles:
+        try:
+            handle.result(timeout=grace)
+        except TimeoutError:
+            hung += 1
+            continue
+        except Exception:
+            pass  # typed outcome; counted below
+        outcomes[handle.outcome] = outcomes.get(handle.outcome, 0) + 1
+        if handle.outcome in ("complete", "partial"):
+            latency = handle.finished_at - handle.submitted_at
+            latencies.append(latency)
+            if handle.queue_wait is not None:
+                queue_waits.append(handle.queue_wait)
+            request = handle.request
+            if request.deadline is not None and latency > request.deadline:
+                deadline_misses += 1
+    wall = time.perf_counter() - start
+    completed = outcomes["complete"] + outcomes["partial"]
+    return {
+        "offered": len(trace.events),
+        "offered_qps": round(len(trace.events) / trace.duration, 3)
+        if trace.duration > 0 else 0.0,
+        "dispatch_wall_seconds": dispatch_wall,
+        "wall_seconds": wall,
+        "submitted": len(handles),
+        "completed": completed,
+        "achieved_qps": round(completed / wall, 3) if wall > 0 else 0.0,
+        "shed": outcomes["shed"] + submit_errors["shed"],
+        "rejected": submit_errors["rejected"],
+        "timeouts": outcomes["timeout"],
+        "errors": outcomes["error"] + submit_errors["closed"],
+        "cancelled": outcomes["cancelled"],
+        "hung": hung,
+        "deadline_misses": deadline_misses,
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "queue_wait_p99_ms": round(_percentile(queue_waits, 0.99) * 1e3, 3),
+    }
+
+
+def _await_healthy(server: SkylineServer, timeout: float) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if server.mode == "healthy":
+            return True
+        time.sleep(0.02)
+    return server.mode == "healthy"
+
+
+def run_replay(
+    size: int = 300,
+    scenarios: tuple[str, ...] | None = None,
+    duration: float = 3.0,
+    rate: float = 30.0,
+    multipliers: tuple[float, ...] | None = None,
+    workers: int = 4,
+    kernel: str = "python",
+    seed: int = 7,
+    chaos_seed: int | None = None,
+    capacity: int | None = 64,
+    shed_policy: str = "deadline",
+    algorithms: tuple[str, ...] = ("sdc+", "bbs+", "bnl+"),
+    deadline: float | None = 0.5,
+    cache: bool = False,
+    grace: float = 10.0,
+    output: str | None = None,
+) -> dict:
+    """Sweep the capacity envelope; returns (and optionally writes) it.
+
+    One dataset is generated per ``seed``/``size``; each (scenario,
+    multiplier) cell gets a **fresh** dataset copy and server, so chaos
+    injection and breaker history cannot leak between cells.  The trace
+    for a scenario is generated once and time-compressed per multiplier
+    (:meth:`~repro.workloads.trace.WorkloadTrace.scaled`), so every cell
+    of a scenario's row offers the *same request sequence* at different
+    rates.  ``output`` writes the canonical JSON artifact
+    (:mod:`repro.bench.artifacts`).
+
+    ``cache`` defaults **off** here (unlike production serving): every
+    trace algorithm maps to the same full-space query shape, so a warm
+    cache would serve the whole trace in O(answer) at submission and
+    the envelope would measure the cache, not the execution path.
+
+    With ``chaos_seed`` set, every cell is additionally replayed under a
+    deterministic fault plan: one worker-thread kill early in the trace
+    (the watchdog must respawn it) and seeded kernel faults (retries /
+    fallbacks must absorb them); after the drain, the cell records
+    whether the server returned to ``healthy``.
+    """
+    from repro.transform.dataset import TransformedDataset
+    from repro.workloads.config import WorkloadConfig
+    from repro.workloads.generator import generate_workload
+
+    scenarios = tuple(scenarios) if scenarios else SCENARIOS
+    multipliers = tuple(multipliers) if multipliers else DEFAULT_MULTIPLIERS
+    config = WorkloadConfig.default(data_size=size, seed=seed)
+    workload = generate_workload(config)
+
+    report: dict = {
+        "config": {
+            "records": size,
+            "kernel": kernel,
+            "seed": seed,
+            "chaos_seed": chaos_seed,
+            "workers": workers,
+            "duration_seconds": duration,
+            "base_rate_qps": rate,
+            "multipliers": list(multipliers),
+            "queue_capacity": capacity,
+            "shed_policy": shed_policy,
+            "algorithms": list(algorithms),
+            "deadline_seconds": deadline,
+            "cache": bool(cache),
+        },
+        "scenarios": {},
+    }
+    for scenario in scenarios:
+        base = generate_trace(
+            scenario,
+            duration=duration,
+            rate=rate,
+            seed=seed,
+            algorithms=algorithms,
+            deadline=deadline,
+        )
+        cells = []
+        for multiplier in multipliers:
+            trace = base.scaled(multiplier)
+            dataset = TransformedDataset(
+                workload.schema, workload.records, kernel=kernel
+            )
+            server = SkylineServer(
+                dataset,
+                workers=workers,
+                warm=True,
+                cache=cache,
+                overload=_overload_config(capacity, shed_policy, seed),
+            )
+            if chaos_seed is not None:
+                from repro.resilience.chaos import (
+                    FaultInjector,
+                    inject_kernel_faults,
+                    inject_worker_faults,
+                )
+
+                inject_worker_faults(
+                    server,
+                    FaultInjector(
+                        seed=chaos_seed, fail_after=3, max_faults=1,
+                        fault_type=SystemExit,
+                    ),
+                )
+                inject_kernel_faults(
+                    dataset,
+                    FaultInjector(seed=chaos_seed + 1, rate=0.02, max_faults=4),
+                )
+            try:
+                cell = replay_trace(server, trace, grace=grace)
+                cell["multiplier"] = multiplier
+                recovered = _await_healthy(server, timeout=3.0)
+                cell["final_mode"] = server.mode
+                cell["returned_healthy"] = recovered
+                snapshot = server.metrics.snapshot()
+                overload = snapshot.get("overload", {})
+                cell["degradations"] = overload.get("degradations", 0)
+                cell["retries"] = overload.get("retries", 0)
+                cell["worker_deaths"] = overload.get("worker_deaths", 0)
+                cell["worker_restarts"] = overload.get("worker_restarts", 0)
+                cell["breakers"] = {
+                    name: {
+                        "transitions": stats.get("transitions", 0),
+                        "opens": stats.get("opens", 0),
+                        "state": stats.get("state", "closed"),
+                    }
+                    for name, stats in overload.get("breakers", {}).items()
+                }
+            finally:
+                server.close(wait=True)
+            cells.append(cell)
+        report["scenarios"][scenario] = {
+            "arrivals": len(base.events),
+            "cells": cells,
+        }
+    if output:
+        write_artifact(output, report)
+    return report

@@ -11,12 +11,22 @@ every in-flight query to drain and block new ones while they run.
 The lock is **writer-preferring**: once a writer is waiting, new readers
 queue behind it, so a steady stream of queries cannot starve updates.
 Readers are non-reentrant (one query holds at most one read slot).
+
+Both acquisition sides take an optional ``timeout``: a stuck reader (a
+wedged worker thread that never releases its slot) then surfaces as a
+typed :class:`~repro.exceptions.LockTimeoutError` at the update site
+instead of silently deadlocking every subsequent writer -- the overload
+layer (``docs/overload.md``) relies on this to keep a degraded server
+diagnosable.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from repro.exceptions import LockTimeoutError
 
 __all__ = ["ReadWriteLock"]
 
@@ -31,11 +41,18 @@ class ReadWriteLock:
         self._writers_waiting = 0
 
     # ------------------------------------------------------------------
-    def acquire_read(self) -> None:
-        """Enter shared mode (blocks while a writer is active/waiting)."""
+    def acquire_read(self, timeout: float | None = None) -> None:
+        """Enter shared mode (blocks while a writer is active/waiting).
+
+        Raises :class:`~repro.exceptions.LockTimeoutError` when
+        ``timeout`` (seconds) elapses before the slot is granted; the
+        lock state is untouched in that case.
+        """
+        expires = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+                if not self._wait(expires):
+                    raise LockTimeoutError("read", timeout)
             self._readers += 1
 
     def release_read(self) -> None:
@@ -45,15 +62,27 @@ class ReadWriteLock:
             if self._readers == 0:
                 self._cond.notify_all()
 
-    def acquire_write(self) -> None:
-        """Enter exclusive mode (drains readers, blocks new ones)."""
+    def acquire_write(self, timeout: float | None = None) -> None:
+        """Enter exclusive mode (drains readers, blocks new ones).
+
+        Raises :class:`~repro.exceptions.LockTimeoutError` when
+        ``timeout`` (seconds) elapses first; the writer's queue slot is
+        released, so blocked readers resume as if the attempt never
+        happened.
+        """
+        expires = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
-                    self._cond.wait()
+                    if not self._wait(expires):
+                        raise LockTimeoutError("write", timeout)
             finally:
                 self._writers_waiting -= 1
+                if self._writers_waiting == 0 and not self._writer_active:
+                    # A timed-out writer must wake the readers it was
+                    # holding back, or they stall until the next event.
+                    self._cond.notify_all()
             self._writer_active = True
 
     def release_write(self) -> None:
@@ -62,20 +91,31 @@ class ReadWriteLock:
             self._writer_active = False
             self._cond.notify_all()
 
+    def _wait(self, expires: float | None) -> bool:
+        """One condition wait; ``False`` when ``expires`` has passed."""
+        if expires is None:
+            self._cond.wait()
+            return True
+        remaining = expires - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
+
     # ------------------------------------------------------------------
     @contextmanager
-    def read_lock(self):
+    def read_lock(self, timeout: float | None = None):
         """``with lock.read_lock():`` -- one query's shared section."""
-        self.acquire_read()
+        self.acquire_read(timeout)
         try:
             yield
         finally:
             self.release_read()
 
     @contextmanager
-    def write_lock(self):
+    def write_lock(self, timeout: float | None = None):
         """``with lock.write_lock():`` -- one update's exclusive section."""
-        self.acquire_write()
+        self.acquire_write(timeout)
         try:
             yield
         finally:

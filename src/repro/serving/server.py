@@ -12,19 +12,39 @@ The moving parts, in submission order:
    rejected with :class:`~repro.exceptions.AdmissionRejectedError`
    having executed zero dominance comparisons; overload can instead
    *deflect* (admit at the lowest priority).
-2. **Queueing**: admitted requests enter a priority queue (lower
-   ``priority`` runs sooner; FIFO within a priority).
+2. **Queueing**: admitted requests enter a
+   :class:`~repro.serving.overload.BoundedQueryQueue` (lower
+   ``priority`` runs sooner; FIFO within a priority).  When bounded, a
+   full queue *sheds* by policy -- doomed-deadline drops, priority
+   eviction, or reject-newest -- resolving shed handles with a typed
+   :class:`~repro.exceptions.QueryShedError` and an empty partial.
 3. **Execution**: a fixed pool of worker threads runs each query on its
    own :meth:`~repro.transform.dataset.TransformedDataset.query_view` --
    private :class:`~repro.core.stats.ComparisonStats`, private kernel,
    private :class:`~repro.resilience.context.QueryContext` -- through
    the resilient executor (deadlines, budgets, cancellation and batch
    kernel -> python fallback all apply per query).  The request deadline
-   is **end-to-end**: time spent queued counts against it.
+   is **end-to-end**: time spent queued counts against it.  Transient
+   infrastructure failures (kernel faults, index corruption, broken
+   pools) may be retried under the overload layer's
+   :class:`~repro.serving.overload.RetryPolicy` (idempotent requests
+   only, exponential backoff, bounded budget).
 4. **Accounting**: on completion the query's private counter bundle is
    merged into the server-wide aggregate and its latency recorded in
    per-algorithm histograms (:mod:`repro.serving.metrics`); completed
    queries also calibrate the admission cost estimator.
+
+Two :class:`~repro.serving.overload.CircuitBreaker` instances guard the
+expensive recovery paths: repeated parallel-pool failures or batch
+kernel fallbacks open the matching breaker and the server degrades
+*once* (serial execution / python kernel) for the recovery window
+instead of re-paying the failure per query.  A watchdog thread monitors
+worker liveness -- a dead worker's query resolves with a typed error
+(never a hang), a replacement thread is spawned, and sustained failure
+drives the explicit degradation ladder ``healthy -> serial_only ->
+cache_only -> rejecting`` surfaced in
+:class:`~repro.serving.metrics.ServerMetrics`.  See
+``docs/overload.md``.
 
 Updates (:meth:`SkylineServer.insert` / :meth:`SkylineServer.delete`)
 take the writer side of a writer-preferring reader-writer lock: they
@@ -44,13 +64,15 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from queue import PriorityQueue
 from typing import TYPE_CHECKING
 
 from repro.core.stats import ComparisonStats
 from repro.exceptions import (
     AdmissionRejectedError,
+    KernelError,
+    ParallelError,
     QueryCancelledError,
+    QueryShedError,
     QueryTimeoutError,
     ResilienceError,
     RTreeError,
@@ -65,6 +87,12 @@ from repro.resilience import (
 )
 from repro.serving.admission import AdmissionController
 from repro.serving.metrics import ServerMetrics
+from repro.serving.overload import (
+    BoundedQueryQueue,
+    CircuitBreaker,
+    DegradationLadder,
+    OverloadConfig,
+)
 from repro.serving.rwlock import ReadWriteLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -77,6 +105,10 @@ __all__ = ["QueryRequest", "QueryHandle", "SkylineServer"]
 #: Priority deflected queries are demoted to (beyond any sane user value).
 DEFLECTED_PRIORITY = 1 << 20
 
+#: Transient infrastructure failures the retry policy may re-attempt.
+#: Control errors (deadline/cancel/budget) and logic errors never retry.
+RETRYABLE_FAULTS = (KernelError, FloatingPointError, RTreeError, ParallelError)
+
 
 @dataclass(frozen=True)
 class QueryRequest:
@@ -87,7 +119,11 @@ class QueryRequest:
     build the query's :class:`~repro.resilience.context.ResourceBudget`;
     ``options`` is forwarded to the algorithm constructor (e.g.
     ``{"window_size": 128}``); ``fallback`` controls batch-kernel
-    recovery; ``tag`` is an opaque client label echoed in the handle.
+    recovery; ``tag`` is an opaque client label echoed in the handle;
+    ``idempotent`` marks the request as safe to re-execute, which is
+    what the overload layer's retry policy requires before re-running
+    it after a transient failure (skyline queries are read-only, so the
+    default is ``True``).
 
     At most one of the *shaping* fields may be set: ``subspace`` (an
     attribute-name collection: skyline over the projection),
@@ -111,6 +147,7 @@ class QueryRequest:
     subspace: tuple | None = None
     constraint: object | None = None
     skyband_k: int | None = None
+    idempotent: bool = True
 
     def shape(self):
         """This request's canonical, algorithm-independent
@@ -185,8 +222,8 @@ class QueryHandle:
 
         Returns the :class:`~repro.resilience.executor.PartialResult`
         (complete or budget-truncated); re-raises the query's typed
-        error for deadline expiry, cancellation or kernel failure --
-        exactly the contract of
+        error for deadline expiry, cancellation, shedding or kernel
+        failure -- exactly the contract of
         :meth:`SkylineEngine.query <repro.engine.SkylineEngine.query>`.
         Raises :class:`TimeoutError` when ``timeout`` elapses first
         (the query keeps running; call again).
@@ -300,6 +337,14 @@ class SkylineServer:
         affected entries before the writer lock releases.
     cache_entries / cache_bytes:
         Budgets for the built cache when ``cache=True``.
+    overload:
+        An :class:`~repro.serving.overload.OverloadConfig` tuning the
+        overload-resilience layer (bounded queue + shedding policy,
+        retry policy, circuit breakers, watchdog + degradation ladder;
+        ``docs/overload.md``).  The default keeps the queue unbounded
+        and retries off -- behaviourally identical to the pre-overload
+        server under healthy operation -- while breakers and the
+        watchdog defend against repeated failure.
     """
 
     def __init__(
@@ -319,6 +364,7 @@ class SkylineServer:
         cache=None,
         cache_entries: int = 256,
         cache_bytes: int = 32 * 1024 * 1024,
+        overload: OverloadConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ServingError("workers must be positive")
@@ -342,7 +388,38 @@ class SkylineServer:
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.validate_on_admission = validate_on_admission
         self._rwlock = ReadWriteLock()
-        self._queue: PriorityQueue = PriorityQueue()
+        self.overload = overload if overload is not None else OverloadConfig()
+        self._queue = BoundedQueryQueue(
+            capacity=self.overload.queue_capacity,
+            policy=self.overload.shed_policy,
+            on_shed=self._on_queue_shed,
+        )
+        self._retry = self.overload.retry
+        if self.overload.breakers:
+            self._parallel_breaker = CircuitBreaker(
+                "parallel",
+                failure_threshold=self.overload.breaker_failures,
+                recovery_time=self.overload.breaker_recovery,
+                on_transition=self.metrics.on_breaker,
+            )
+            self._kernel_breaker = CircuitBreaker(
+                "kernel",
+                failure_threshold=self.overload.breaker_failures,
+                recovery_time=self.overload.breaker_recovery,
+                on_transition=self.metrics.on_breaker,
+            )
+            self.metrics.register_breaker("parallel")
+            self.metrics.register_breaker("kernel")
+        else:
+            self._parallel_breaker = None
+            self._kernel_breaker = None
+        self._ladder = DegradationLadder(
+            on_transition=self.metrics.on_degradation
+        )
+        # Chaos fault points (armed by repro.resilience.chaos helpers).
+        self._worker_injector = None
+        self._stall_injector = None
+        self._lock_injector = None
         self._seq = itertools.count()
         self._closed = False
         self._views = None
@@ -372,14 +449,31 @@ class SkylineServer:
                 )
         if warm:
             self.warm()
+        # Worker pool + watchdog state.  ``_inflight`` maps a worker
+        # slot to its currently-executing handle so the watchdog can
+        # resolve queries orphaned by a dead thread.
+        self._workers_lock = threading.Lock()
+        self._inflight: dict[int, tuple[QueryHandle, float]] = {}
+        self._inflight_lock = threading.Lock()
+        self._worker_deaths: list[float] = []
+        self._stuck_seqs: set[int] = set()
+        self._last_degraded_signal = 0.0
         self._workers = [
             threading.Thread(
-                target=self._worker, name=f"skyline-worker-{i}", daemon=True
+                target=self._worker, args=(i,),
+                name=f"skyline-worker-{i}", daemon=True,
             )
             for i in range(workers)
         ]
         for thread in self._workers:
             thread.start()
+        self._watchdog_stop = threading.Event()
+        self._watchdog: threading.Thread | None = None
+        if self.overload.watchdog:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="skyline-watchdog", daemon=True
+            )
+            self._watchdog.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -407,10 +501,15 @@ class SkylineServer:
         if self._closed:
             return
         self._closed = True
-        for _ in self._workers:
-            self._queue.put((float("inf"), next(self._seq), None))
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join()
+        with self._workers_lock:
+            workers = list(self._workers)
+        for _ in workers:
+            self._queue.put_sentinel(next(self._seq))
         if wait:
-            for thread in self._workers:
+            for thread in workers:
                 thread.join()
         if self._parallel is not None:
             self._parallel.close()
@@ -432,8 +531,11 @@ class SkylineServer:
         Accepts a ready :class:`QueryRequest` or its fields as keyword
         arguments (``server.submit(algorithm="bbs+", deadline=0.5)``).
         Raises :class:`~repro.exceptions.AdmissionRejectedError` when
-        the admission controller refuses the query -- before a single
-        dominance comparison has been executed on its behalf -- and
+        the admission controller (or the degradation ladder) refuses
+        the query -- before a single dominance comparison has been
+        executed on its behalf -- ,
+        :class:`~repro.exceptions.QueryShedError` when the bounded
+        queue sheds the incoming query under load, and
         :class:`~repro.exceptions.ServingError` after :meth:`close`.
         """
         if request is None:
@@ -446,11 +548,18 @@ class SkylineServer:
             raise ServingError("server is closed")
         if self.validate_on_admission:
             self._ensure_valid_indexes()
+        mode = self._ladder.mode
+        if mode == "rejecting":
+            metrics.on_rejected("rejecting")
+            raise AdmissionRejectedError("rejecting", None, None)
         if self._views is not None:
             handle = self._serve_from_cache(request)
             if handle is not None:
                 return handle
             metrics.on_cache_miss()
+        if mode == "cache_only":
+            metrics.on_rejected("cache_only")
+            raise AdmissionRejectedError("cache_only", None, None)
         decision = self.admission.decide(request, self.dataset, metrics.queue_depth)
         if decision.action == "reject":
             metrics.on_rejected(decision.reason)
@@ -463,8 +572,27 @@ class SkylineServer:
         handle = QueryHandle(request, next(self._seq), decision.estimate, deflected)
         metrics.on_admitted(deflected)
         metrics.on_enqueued()
-        self._queue.put((priority, handle.seq, handle))
+        shed_reason = self._queue.put(priority, handle.seq, handle)
+        if shed_reason is not None:
+            metrics.on_shed(shed_reason)
+            error = QueryShedError(self._queue.policy, shed_reason)
+            error.partial = self._empty_partial(request, "shed")
+            handle._finish("shed", error=error)
+            raise error
         return handle
+
+    def _on_queue_shed(self, handle: QueryHandle, reason: str) -> None:
+        """Resolve one queued query the shedding policy dropped.
+
+        The handle finishes with a typed
+        :class:`~repro.exceptions.QueryShedError` carrying an empty
+        partial (zero comparisons executed, trivially a prefix of the
+        emission order), so blocked ``result()`` callers never hang.
+        """
+        error = QueryShedError(self._queue.policy, reason)
+        error.partial = self._empty_partial(handle.request, "shed")
+        handle._finish("shed", error=error)
+        self.metrics.on_shed(reason)
 
     def _serve_from_cache(self, request: QueryRequest) -> QueryHandle | None:
         """Serve ``request`` from the views layer; ``None`` on a miss.
@@ -544,21 +672,41 @@ class SkylineServer:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _worker(self) -> None:
+    def _worker(self, slot: int) -> None:
         while True:
-            _, _, handle = self._queue.get()
+            handle = self._queue.get()
             if handle is None:  # shutdown sentinel
                 break
             self.metrics.on_dequeued()
+            with self._inflight_lock:
+                self._inflight[slot] = (handle, time.monotonic())
             try:
                 self._run_query(handle)
-            except BaseException as err:  # pragma: no cover - last resort
+            except BaseException as err:  # noqa: BLE001 - last resort
                 if not handle.done():
-                    handle._finish("error", error=err)
+                    error = err if isinstance(err, Exception) else ServingError(
+                        f"worker thread died mid-query "
+                        f"({type(err).__name__}); resubmit"
+                    )
+                    handle._finish("error", error=error)
+                if not isinstance(err, Exception):
+                    # A genuine thread-killing event (SystemExit-like):
+                    # let the thread die; the watchdog respawns it.
+                    raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(slot, None)
 
     def _run_query(self, handle: QueryHandle) -> None:
         request = handle.request
         metrics = self.metrics
+        # Chaos fault points, armed by repro.resilience.chaos: a kill
+        # injector raising a non-Exception (e.g. SystemExit) emulates a
+        # dying worker thread; a stall injector emulates a wedged one.
+        if self._worker_injector is not None:
+            self._worker_injector.maybe_fail("server.worker")
+        if self._stall_injector is not None:
+            self._stall_injector.maybe_stall("server.worker")
         handle.started_at = time.perf_counter()
         wait = handle.started_at - handle.submitted_at
         metrics.on_started(wait)
@@ -572,53 +720,27 @@ class SkylineServer:
                 handle._finish("cancelled", error=error)
                 outcome = "cancelled"
                 return
-            remaining = None
-            if request.deadline is not None:
-                remaining = request.deadline - wait
-                if remaining <= 0:  # expired while queued
-                    error = QueryTimeoutError(request.deadline, wait)
-                    error.partial = self._empty_partial(request, "deadline")
-                    handle._finish("timeout", error=error)
-                    outcome = "timeout"
-                    return
-            context = QueryContext(
-                deadline=remaining,
-                budget=request.budget(),
-                cancel=handle.cancel_token,
-            )
             shape = request.shape()
-            use_parallel = (
-                self._parallel is not None
-                and shape.kind == "skyline"
-                and request.budget() is None
-                and len(self.dataset) >= self.parallel_threshold
-            )
-            with self._rwlock.read_lock():
+            attempt = 0
+            while True:
+                elapsed = time.perf_counter() - handle.submitted_at
+                remaining = None
+                if request.deadline is not None:
+                    remaining = request.deadline - elapsed
+                    if remaining <= 0:  # expired while queued / retrying
+                        error = QueryTimeoutError(request.deadline, elapsed)
+                        error.partial = self._empty_partial(request, "deadline")
+                        handle._finish("timeout", error=error)
+                        outcome = "timeout"
+                        return
+                context = QueryContext(
+                    deadline=remaining,
+                    budget=request.budget(),
+                    cancel=handle.cancel_token,
+                )
                 try:
-                    if use_parallel:
-                        presult = self._parallel.run(
-                            request.algorithm,
-                            stats=handle.stats,
-                            context=context,
-                            sink=handle._sink,
-                            **request.options,
-                        )
-                        metrics.on_parallel(presult.fallback)
-                        result = presult.to_partial()
-                    elif shape.kind != "skyline":
-                        result = self._run_shaped(handle, request, shape, context)
-                    else:
-                        view = self.dataset.query_view(
-                            stats=handle.stats, context=context
-                        )
-                        result = execute(
-                            view,
-                            request.algorithm,
-                            context,
-                            fallback=request.fallback,
-                            sink=handle._sink,
-                            **request.options,
-                        )
+                    result = self._attempt(handle, request, shape, context)
+                    break
                 except QueryTimeoutError as err:
                     handle._finish("timeout", error=err)
                     outcome = "timeout"
@@ -630,15 +752,11 @@ class SkylineServer:
                 except ResilienceError as err:
                     handle._finish("error", error=err)
                     return
-                # Both reads happen while writers are still excluded:
-                # the version tag and the populated entry are guaranteed
-                # consistent with the state the answer was computed on.
-                handle.served_version = self.dataset.update_version
-                if self._views is not None and result.complete:
-                    self._views.store(
-                        shape, result.points, region=request.constraint
-                    )
-                    metrics.on_cache_stored()
+                except RETRYABLE_FAULTS as err:
+                    if not self._grant_retry(handle, request, attempt):
+                        handle._finish("error", error=err)
+                        return
+                    attempt += 1
             fallback_used = result.fallback
             outcome = "complete" if result.complete else "partial"
             handle._finish(outcome, result=result)
@@ -654,6 +772,16 @@ class SkylineServer:
             handle._finish("error", error=err)
             outcome = "error"
         finally:
+            # No path may leave the handle unresolved -- a hung
+            # ``result()`` is the one failure mode clients cannot
+            # defend against.
+            if not handle.done():
+                handle._finish(
+                    "error",
+                    error=ServingError(
+                        "query aborted: worker terminated mid-execution"
+                    ),
+                )
             elapsed = time.perf_counter() - handle.started_at
             metrics.on_finished(
                 request.algorithm,
@@ -662,6 +790,119 @@ class SkylineServer:
                 stats=handle.stats,
                 fallback=fallback_used,
             )
+
+    def _grant_retry(self, handle: QueryHandle, request: QueryRequest,
+                     attempt: int) -> bool:
+        """Decide + pace one retry of a transiently-failed execution.
+
+        Grants only idempotent requests under the configured
+        :class:`~repro.serving.overload.RetryPolicy`, refuses when the
+        backoff sleep would blow the end-to-end deadline, clears the
+        handle's sink (the retry restarts emission from scratch, so the
+        observable partial stays a prefix of one attempt's emission
+        order) and sleeps the jittered backoff before returning.
+        """
+        policy = self._retry
+        if policy is None or not policy.grant(attempt, request.idempotent):
+            return False
+        delay = policy.delay(attempt)
+        if request.deadline is not None:
+            elapsed = time.perf_counter() - handle.submitted_at
+            if elapsed + delay >= request.deadline:
+                return False
+        self.metrics.on_retry()
+        del handle._sink[:]
+        time.sleep(delay)
+        return True
+
+    def _attempt(self, handle: QueryHandle, request: QueryRequest,
+                 shape, context: QueryContext) -> PartialResult:
+        """One execution attempt under the read lock.
+
+        Routes through the parallel executor / batch kernel only when
+        the degradation ladder and the matching circuit breaker allow
+        it; breaker verdicts are recorded from the attempt's outcome
+        (a parallel-pool fallback or batch-kernel fallback counts as a
+        failure of the guarded fast path even though the query itself
+        recovered).
+        """
+        metrics = self.metrics
+        dataset = self.dataset
+        use_parallel = (
+            self._parallel is not None
+            and shape.kind == "skyline"
+            and request.budget() is None
+            and len(dataset) >= self.parallel_threshold
+            and not self._ladder.at_least("serial_only")
+            and (self._parallel_breaker is None or self._parallel_breaker.allow())
+        )
+        with self._rwlock.read_lock():
+            if use_parallel:
+                breaker = self._parallel_breaker
+                try:
+                    presult = self._parallel.run(
+                        request.algorithm,
+                        stats=handle.stats,
+                        context=context,
+                        sink=handle._sink,
+                        **request.options,
+                    )
+                except Exception:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    raise
+                metrics.on_parallel(presult.fallback)
+                if breaker is not None:
+                    if presult.fallback:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+                result = presult.to_partial()
+            elif shape.kind != "skyline":
+                result = self._run_shaped(handle, request, shape, context)
+            else:
+                view = dataset.query_view(
+                    stats=handle.stats, context=context
+                )
+                breaker = self._kernel_breaker
+                base_kernel = getattr(view.kernel, "wrapped", view.kernel)
+                batch = getattr(base_kernel, "is_batch", False)
+                probing = True
+                if batch and breaker is not None:
+                    probing = breaker.allow()
+                    if not probing:
+                        # Breaker open: degrade to the reference python
+                        # kernel up front instead of re-paying the batch
+                        # failure + per-query fallback.
+                        view = view.fallback_view()
+                try:
+                    result = execute(
+                        view,
+                        request.algorithm,
+                        context,
+                        fallback=request.fallback,
+                        sink=handle._sink,
+                        **request.options,
+                    )
+                except RETRYABLE_FAULTS:
+                    if batch and breaker is not None and probing:
+                        breaker.record_failure()
+                    raise
+                if batch and breaker is not None and probing:
+                    if result.fallback:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+            # Both reads happen while writers are still excluded:
+            # the version tag and the populated entry are guaranteed
+            # consistent with the state the answer was computed on.
+            handle.served_version = self.dataset.update_version
+            if self._views is not None and result.complete:
+                self._views.store(
+                    shape, result.points, region=request.constraint
+                )
+                metrics.on_cache_stored()
+        return result
 
     def _run_shaped(self, handle: QueryHandle, request: QueryRequest,
                     shape, context: QueryContext) -> PartialResult:
@@ -720,11 +961,110 @@ class SkylineServer:
         )
 
     # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        """Monitor worker liveness; drive the degradation ladder.
+
+        Each sweep: (1) any dead worker thread has its orphaned query
+        resolved with a typed error and a replacement thread spawned in
+        its slot; (2) in-flight queries older than ``stuck_after`` are
+        flagged; (3) the worst current health signal picks a target
+        mode -- escalation is immediate, recovery steps down one rung
+        per ``recovery_window`` of continuously-clear signals.
+        """
+        cfg = self.overload
+        while not self._watchdog_stop.wait(cfg.watchdog_interval):
+            if self._closed:
+                break
+            self._watchdog_sweep()
+
+    def _watchdog_sweep(self) -> None:
+        cfg = self.overload
+        metrics = self.metrics
+        now = time.monotonic()
+        with self._workers_lock:
+            workers = list(enumerate(self._workers))
+        dead = [(slot, t) for slot, t in workers if not t.is_alive()]
+        for slot, thread in dead:
+            metrics.on_worker_death()
+            self._worker_deaths.append(now)
+            with self._inflight_lock:
+                orphan = self._inflight.pop(slot, None)
+            if orphan is not None and not orphan[0].done():
+                orphan[0]._finish(
+                    "error",
+                    error=ServingError(
+                        "worker thread died mid-query; resubmit"
+                    ),
+                )
+            replacement = threading.Thread(
+                target=self._worker, args=(slot,),
+                name=f"{thread.name}+", daemon=True,
+            )
+            with self._workers_lock:
+                self._workers[slot] = replacement
+            replacement.start()
+            metrics.on_worker_restart()
+        self._worker_deaths = [
+            t for t in self._worker_deaths if now - t < cfg.death_window
+        ]
+        stuck_seqs: set[int] = set()
+        if cfg.stuck_after is not None:
+            with self._inflight_lock:
+                inflight = list(self._inflight.values())
+            stuck_seqs = {
+                h.seq for h, started in inflight
+                if now - started > cfg.stuck_after
+            }
+            for _ in stuck_seqs - self._stuck_seqs:
+                metrics.on_stuck_query()
+        self._stuck_seqs = stuck_seqs
+        deaths = len(self._worker_deaths)
+        breaker_open = any(
+            b is not None and b.state == "open"
+            for b in (self._parallel_breaker, self._kernel_breaker)
+        )
+        if deaths >= cfg.cache_only_deaths or stuck_seqs:
+            target = "cache_only"
+            reason = (
+                "repeated-worker-deaths"
+                if deaths >= cfg.cache_only_deaths
+                else "stuck-queries"
+            )
+            if self._views is None:
+                # Without a result cache there is nothing to serve in
+                # cache_only mode; refusing outright is more honest.
+                target = "rejecting"
+        elif deaths > 0 or breaker_open:
+            target = "serial_only"
+            reason = "worker-death" if deaths else "breaker-open"
+        else:
+            target, reason = "healthy", ""
+        if target != "healthy":
+            self._last_degraded_signal = now
+            self._ladder.escalate(target, reason)
+        elif (
+            self._ladder.mode != "healthy"
+            and now - self._last_degraded_signal >= cfg.recovery_window
+        ):
+            self._ladder.recover()
+            # Each rung re-earns its own clear window before the next.
+            self._last_degraded_signal = now
+
+    # ------------------------------------------------------------------
     # Updates (writer side)
     # ------------------------------------------------------------------
     def insert(self, record: "Record") -> None:
-        """Insert one record, draining in-flight queries first."""
-        with self._rwlock.write_lock():
+        """Insert one record, draining in-flight queries first.
+
+        Raises :class:`~repro.exceptions.LockTimeoutError` when the
+        overload config's ``update_lock_timeout`` elapses before every
+        in-flight query drains (the dataset is untouched in that case).
+        """
+        timeout = self.overload.update_lock_timeout
+        with self._rwlock.write_lock(timeout=timeout):
+            self._chaos_lock_hold()
             self.dataset.insert_record(record)
             if self._parallel is not None:
                 # The shared-memory arrays snapshot the points at pack
@@ -734,13 +1074,20 @@ class SkylineServer:
 
     def delete(self, rid) -> bool:
         """Delete the record with id ``rid`` (``False`` when absent)."""
-        with self._rwlock.write_lock():
+        timeout = self.overload.update_lock_timeout
+        with self._rwlock.write_lock(timeout=timeout):
+            self._chaos_lock_hold()
             removed = self.dataset.delete_record(rid)
             if removed and self._parallel is not None:
                 self._parallel.invalidate()
         if removed:
             self.metrics.on_update()
         return removed
+
+    def _chaos_lock_hold(self) -> None:
+        """Chaos fault point: stall while holding the writer lock."""
+        if self._lock_injector is not None:
+            self._lock_injector.maybe_stall("server.update.lock_hold")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -754,6 +1101,26 @@ class SkylineServer:
     def views(self):
         """The :class:`~repro.views.ViewManager` (``None`` when off)."""
         return self._views
+
+    @property
+    def ladder(self) -> DegradationLadder:
+        """The degradation ladder (``docs/overload.md``)."""
+        return self._ladder
+
+    @property
+    def mode(self) -> str:
+        """Current degradation mode (``"healthy"`` .. ``"rejecting"``)."""
+        return self._ladder.mode
+
+    @property
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """The circuit breakers by name (empty when disabled)."""
+        result = {}
+        if self._parallel_breaker is not None:
+            result["parallel"] = self._parallel_breaker
+        if self._kernel_breaker is not None:
+            result["kernel"] = self._kernel_breaker
+        return result
 
     @property
     def queue_depth(self) -> int:

@@ -17,11 +17,10 @@ report, and the artifact lands at ``benchmarks/results/view_cache.json``.
 
 from __future__ import annotations
 
-import json
-import os
 import random
 import time
 
+from repro.bench.artifacts import write_artifact
 from repro.serving.server import QueryRequest, SkylineServer
 
 __all__ = ["run_views_bench", "HOT_ALGORITHMS"]
@@ -181,8 +180,5 @@ def run_views_bench(
         },
     }
     if output:
-        os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
-        with open(output, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_artifact(output, report)
     return report

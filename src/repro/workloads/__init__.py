@@ -8,6 +8,12 @@ from repro.workloads.numeric import (
 )
 from repro.workloads.config import WorkloadConfig
 from repro.workloads.generator import GeneratedWorkload, generate_workload
+from repro.workloads.trace import (
+    SCENARIOS,
+    TraceRequest,
+    WorkloadTrace,
+    generate_trace,
+)
 
 __all__ = [
     "independent",
@@ -17,4 +23,8 @@ __all__ = [
     "WorkloadConfig",
     "GeneratedWorkload",
     "generate_workload",
+    "SCENARIOS",
+    "TraceRequest",
+    "WorkloadTrace",
+    "generate_trace",
 ]

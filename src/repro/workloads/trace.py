@@ -1,0 +1,230 @@
+"""Seeded workload traces: arrival processes for replay experiments.
+
+A :class:`WorkloadTrace` is a deterministic list of timestamped query
+submissions -- *when* each query arrives and *what* it asks for -- kept
+separate from the data workload (:mod:`repro.workloads.generator`
+produces the records; the trace produces the request stream against
+them).  Three arrival processes cover the load shapes a serving layer
+must survive (``docs/overload.md``):
+
+``poisson``
+    Homogeneous Poisson arrivals: i.i.d. exponential inter-arrival
+    times at a constant mean ``rate``.  The steady-state baseline.
+``bursty``
+    An on/off modulated Poisson process: the source alternates between
+    *on* phases (arrivals at ``rate * burst_factor``) and *off* phases
+    (a trickle at ``rate * idle_factor``), phase lengths themselves
+    exponential.  Mean load can be well under capacity while bursts
+    exceed it several-fold -- the load-shedding stress case.
+``diurnal``
+    A nonhomogeneous Poisson process with a sinusoidal intensity (one
+    full "day" over the trace duration), sampled by Lewis-Shedler
+    thinning: draw candidates at the peak intensity, keep each with
+    probability ``lambda(t) / lambda_max``.  Models the slow
+    peak/trough cycle capacity planning is done against.
+
+Every generator is seeded: the same ``(scenario, duration, rate, seed)``
+reproduces the identical schedule bit-for-bit, which is what lets a
+failing replay (or a chaos run layered over one) be replayed exactly.
+Request *shapes* (algorithm, priority, deadline) are drawn from the same
+seeded RNG, after the arrival sampling, so arrivals and shapes are
+independently reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["TraceRequest", "WorkloadTrace", "generate_trace", "SCENARIOS"]
+
+#: Supported arrival scenarios, in canonical order.
+SCENARIOS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One scheduled query submission.
+
+    ``at`` is the arrival offset in seconds from trace start; the
+    remaining fields parameterize the
+    :class:`~repro.serving.server.QueryRequest` the replayer submits.
+    """
+
+    at: float
+    algorithm: str = "sdc+"
+    priority: int = 0
+    deadline: float | None = None
+    idempotent: bool = True
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A deterministic arrival schedule (sorted by ``at``)."""
+
+    scenario: str
+    seed: int
+    duration: float
+    rate: float
+    events: tuple[TraceRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def scaled(self, multiplier: float) -> "WorkloadTrace":
+        """The same trace compressed to ``multiplier`` times the rate.
+
+        Time-compression (dividing every arrival offset) keeps the
+        request sequence and its relative structure identical across
+        multipliers, so a capacity envelope varies exactly one thing:
+        offered load.
+        """
+        if multiplier <= 0:
+            raise WorkloadError("rate multiplier must be positive")
+        if multiplier == 1.0:
+            return self
+        return WorkloadTrace(
+            scenario=self.scenario,
+            seed=self.seed,
+            duration=self.duration / multiplier,
+            rate=self.rate * multiplier,
+            events=tuple(
+                replace(e, at=e.at / multiplier) for e in self.events
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkloadTrace({self.scenario!r}, seed={self.seed}, "
+            f"{len(self.events)} arrivals over {self.duration:.3g}s)"
+        )
+
+
+def _poisson_arrivals(rng: random.Random, duration: float,
+                      rate: float) -> list[float]:
+    times = []
+    t = rng.expovariate(rate)
+    while t < duration:
+        times.append(t)
+        t += rng.expovariate(rate)
+    return times
+
+
+def _bursty_arrivals(rng: random.Random, duration: float, rate: float,
+                     burst_factor: float, idle_factor: float,
+                     mean_on: float, mean_off: float) -> list[float]:
+    times: list[float] = []
+    t = 0.0
+    on = False  # start idle, so the first burst onset lands mid-trace
+    while t < duration:
+        phase = rng.expovariate(1.0 / (mean_on if on else mean_off))
+        phase_rate = rate * (burst_factor if on else idle_factor)
+        end = min(t + phase, duration)
+        if phase_rate > 0:
+            at = t + rng.expovariate(phase_rate)
+            while at < end:
+                times.append(at)
+                at += rng.expovariate(phase_rate)
+        t = end
+        on = not on
+    return times
+
+
+def _diurnal_arrivals(rng: random.Random, duration: float,
+                      rate: float) -> list[float]:
+    # lambda(t) = rate * (1 + sin(2*pi*t/duration - pi/2)):
+    # trough (0) at t=0, peak (2*rate) mid-trace, mean exactly `rate`.
+    lam_max = 2.0 * rate
+    times = []
+    t = rng.expovariate(lam_max)
+    while t < duration:
+        lam = rate * (1.0 + math.sin(2.0 * math.pi * t / duration - math.pi / 2.0))
+        if rng.random() < lam / lam_max:
+            times.append(t)
+        t += rng.expovariate(lam_max)
+    return times
+
+
+def generate_trace(
+    scenario: str = "poisson",
+    *,
+    duration: float = 10.0,
+    rate: float = 20.0,
+    seed: int = 7,
+    algorithms: tuple[str, ...] = ("sdc+",),
+    deadline: float | None = None,
+    deadline_fraction: float = 0.25,
+    priority_levels: int = 3,
+    burst_factor: float = 5.0,
+    idle_factor: float = 0.2,
+    mean_on: float = 1.0,
+    mean_off: float = 3.0,
+) -> WorkloadTrace:
+    """Generate one deterministic arrival trace.
+
+    Parameters
+    ----------
+    scenario:
+        ``"poisson"``, ``"bursty"`` or ``"diurnal"`` (see module docs).
+    duration / rate:
+        Trace length (seconds) and mean arrival rate (queries/second).
+        Every scenario is normalized to the same *mean* rate, so the
+        multipliers of a capacity sweep are comparable across scenarios.
+    seed:
+        Seeds the private RNG; same arguments, same schedule, always.
+    algorithms:
+        Request algorithms, drawn uniformly per arrival.
+    deadline / deadline_fraction:
+        When ``deadline`` is set, that fraction of requests (seeded
+        draw) carries it as an end-to-end deadline -- the prey of the
+        ``deadline`` shedding policy.
+    priority_levels:
+        Requests draw a priority uniformly from ``[0, levels)``.
+    burst_factor / idle_factor / mean_on / mean_off:
+        Bursty-scenario shape: on-phase rate multiplier, off-phase rate
+        multiplier, and the mean phase lengths (seconds).
+    """
+    if scenario not in SCENARIOS:
+        raise WorkloadError(
+            f"unknown trace scenario {scenario!r}; expected one of {SCENARIOS}"
+        )
+    if duration <= 0 or rate <= 0:
+        raise WorkloadError("duration and rate must be positive")
+    if not algorithms:
+        raise WorkloadError("at least one algorithm is required")
+    if priority_levels < 1:
+        raise WorkloadError("priority_levels must be positive")
+    rng = random.Random(seed)
+    if scenario == "poisson":
+        times = _poisson_arrivals(rng, duration, rate)
+    elif scenario == "bursty":
+        times = _bursty_arrivals(
+            rng, duration, rate, burst_factor, idle_factor, mean_on, mean_off
+        )
+    else:
+        times = _diurnal_arrivals(rng, duration, rate)
+    events = []
+    for t in times:
+        algorithm = algorithms[rng.randrange(len(algorithms))]
+        priority = rng.randrange(priority_levels)
+        dl = None
+        if deadline is not None and rng.random() < deadline_fraction:
+            dl = deadline
+        events.append(
+            TraceRequest(
+                at=t, algorithm=algorithm, priority=priority, deadline=dl
+            )
+        )
+    return WorkloadTrace(
+        scenario=scenario,
+        seed=seed,
+        duration=duration,
+        rate=rate,
+        events=tuple(events),
+    )

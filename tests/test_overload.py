@@ -1,0 +1,696 @@
+"""Overload-resilience layer: shedding, retries, breakers, watchdog.
+
+Unit coverage for :mod:`repro.serving.overload` (queue policies, retry
+policy, breaker state machine, degradation ladder) plus the server-level
+integration invariants: a dead worker can never strand a
+:class:`~repro.serving.server.QueryHandle`, the watchdog respawns
+threads and walks the ladder back to ``healthy``, an open kernel breaker
+degrades to the python kernel *once* instead of per-query, and writer
+lock acquisition honours its timeout.  The trace-driven chaos replay
+suite is ``tests/test_trace_replay.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.exceptions import (
+    LockTimeoutError,
+    QueryShedError,
+    ServingError,
+)
+from repro.resilience.chaos import (
+    FaultInjector,
+    StallInjector,
+    inject_kernel_faults,
+    inject_lock_delays,
+    inject_worker_faults,
+    inject_worker_stalls,
+)
+from repro.serving import QueryRequest, ReadWriteLock, SkylineServer
+from repro.serving.overload import (
+    BoundedQueryQueue,
+    CircuitBreaker,
+    DegradationLadder,
+    OverloadConfig,
+    RetryPolicy,
+)
+
+
+def _make_engine(kernel: str = "python", n: int = 120):
+    import random
+
+    from repro.core.record import Record
+    from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+    from repro.engine import SkylineEngine
+    from repro.posets.builder import diamond
+
+    rng = random.Random(23)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 40), rng.randint(1, 40)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+def _fake_handle(seq: int, deadline: float | None = None,
+                 submitted_at: float = 0.0):
+    return SimpleNamespace(
+        seq=seq,
+        submitted_at=submitted_at,
+        request=SimpleNamespace(deadline=deadline),
+    )
+
+
+# ---------------------------------------------------------------------------
+# BoundedQueryQueue
+# ---------------------------------------------------------------------------
+class TestBoundedQueue:
+    def test_unbounded_is_plain_priority_queue(self):
+        queue = BoundedQueryQueue(capacity=None)
+        handles = [_fake_handle(i) for i in range(3)]
+        assert queue.put(5, 0, handles[0]) is None
+        assert queue.put(1, 1, handles[1]) is None
+        assert queue.put(5, 2, handles[2]) is None
+        assert queue.get() is handles[1]  # lowest priority value first
+        assert queue.get() is handles[0]  # FIFO within a priority
+        assert queue.get() is handles[2]
+
+    def test_reject_newest_sheds_incoming(self):
+        queue = BoundedQueryQueue(capacity=1, policy="reject-newest")
+        assert queue.put(0, 0, _fake_handle(0)) is None
+        assert queue.put(0, 1, _fake_handle(1)) == "queue-full"
+        assert len(queue) == 1
+
+    def test_priority_policy_evicts_worse_entry(self):
+        shed = []
+        queue = BoundedQueryQueue(
+            capacity=1, policy="priority",
+            on_shed=lambda h, reason: shed.append((h.seq, reason)),
+        )
+        loser = _fake_handle(0)
+        assert queue.put(9, 0, loser) is None
+        winner = _fake_handle(1)
+        assert queue.put(1, 1, winner) is None  # outranks the queued entry
+        assert shed == [(0, "lower-priority")]
+        assert queue.get() is winner
+
+    def test_priority_policy_sheds_incoming_when_outranked(self):
+        shed = []
+        queue = BoundedQueryQueue(
+            capacity=1, policy="priority",
+            on_shed=lambda h, reason: shed.append(h.seq),
+        )
+        assert queue.put(1, 0, _fake_handle(0)) is None
+        assert queue.put(5, 1, _fake_handle(1)) == "lower-priority"
+        assert shed == []  # the queued entry survived
+
+    def test_deadline_policy_drops_doomed_entries_first(self):
+        now = [100.0]
+        shed = []
+        queue = BoundedQueryQueue(
+            capacity=2, policy="deadline", clock=lambda: now[0],
+            on_shed=lambda h, reason: shed.append((h.seq, reason)),
+        )
+        doomed = _fake_handle(0, deadline=1.0, submitted_at=90.0)
+        alive = _fake_handle(1, deadline=100.0, submitted_at=99.0)
+        assert queue.put(0, 0, doomed) is None
+        assert queue.put(0, 1, alive) is None
+        incoming = _fake_handle(2)
+        assert queue.put(0, 2, incoming) is None  # doomed entry made room
+        assert shed == [(0, "doomed-deadline")]
+        assert queue.get() is alive
+
+    def test_deadline_policy_falls_back_to_priority(self):
+        queue = BoundedQueryQueue(
+            capacity=1, policy="deadline", clock=lambda: 0.0
+        )
+        assert queue.put(1, 0, _fake_handle(0)) is None  # nothing doomed
+        assert queue.put(5, 1, _fake_handle(1)) == "lower-priority"
+
+    def test_sentinel_bypasses_capacity(self):
+        queue = BoundedQueryQueue(capacity=1, policy="reject-newest")
+        assert queue.put(0, 0, _fake_handle(0)) is None
+        queue.put_sentinel(1)
+        assert queue.get() is not None
+        assert queue.get() is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServingError):
+            BoundedQueryQueue(policy="oldest")
+        with pytest.raises(ServingError):
+            BoundedQueryQueue(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_attempt_limit(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.grant(0)
+        assert policy.grant(1)
+        assert not policy.grant(2)  # third retry would be a fourth attempt
+
+    def test_idempotency_gate(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.grant(0, idempotent=False)
+        assert policy.granted == 0  # refused retries consume no budget
+
+    def test_budget_is_shared_and_exhausts(self):
+        policy = RetryPolicy(max_attempts=10, budget=2)
+        assert policy.grant(0)
+        assert policy.grant(0)
+        assert not policy.grant(0)
+        assert policy.granted == 2
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.3)  # capped
+        assert policy.delay(5) == pytest.approx(0.3)
+
+    def test_jittered_delays_are_seed_deterministic(self):
+        a = RetryPolicy(seed=11, jitter=0.5)
+        b = RetryPolicy(seed=11, jitter=0.5)
+        seq_a = [a.delay(k) for k in range(6)]
+        seq_b = [b.delay(k) for k in range(6)]
+        assert seq_a == seq_b
+        assert all(d > 0 for d in seq_a)
+        different = RetryPolicy(seed=12, jitter=0.5)
+        assert [different.delay(k) for k in range(6)] != seq_a
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ServingError):
+            RetryPolicy(jitter=1.5)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recovers_via_probe(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "k", failure_threshold=2, recovery_time=5.0, clock=lambda: now[0]
+        )
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # inside the recovery window
+        now[0] = 6.0
+        assert breaker.allow()  # half-open probe admitted
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # single probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert ("closed", "open") in breaker.transitions
+        assert ("half_open", "closed") in breaker.transitions
+
+    def test_failed_probe_reopens_and_restarts_clock(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "k", failure_threshold=1, recovery_time=5.0, clock=lambda: now[0]
+        )
+        breaker.record_failure()
+        now[0] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        now[0] = 10.0  # recovery clock restarted at t=6
+        assert not breaker.allow()
+        now[0] = 12.0
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker("k", failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_transition_callback(self):
+        seen = []
+        breaker = CircuitBreaker(
+            "pool", failure_threshold=1,
+            on_transition=lambda name, old, new: seen.append((name, old, new)),
+        )
+        breaker.record_failure()
+        assert seen == [("pool", "closed", "open")]
+
+
+# ---------------------------------------------------------------------------
+# DegradationLadder
+# ---------------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_escalate_and_single_rung_recovery(self):
+        ladder = DegradationLadder()
+        assert ladder.mode == "healthy"
+        assert ladder.escalate("cache_only", "deaths")
+        assert ladder.mode == "cache_only"
+        assert not ladder.escalate("serial_only", "weaker signal ignored")
+        assert ladder.at_least("serial_only")
+        assert ladder.recover()
+        assert ladder.mode == "serial_only"
+        assert ladder.recover()
+        assert ladder.mode == "healthy"
+        assert not ladder.recover()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServingError):
+            DegradationLadder().escalate("on-fire", "?")
+
+
+# ---------------------------------------------------------------------------
+# ReadWriteLock timeouts (satellite: typed LockTimeoutError)
+# ---------------------------------------------------------------------------
+class TestRwLockTimeout:
+    def test_write_timeout_while_reader_holds(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(LockTimeoutError) as info:
+                lock.acquire_write(timeout=0.05)
+            assert time.perf_counter() - start < 2.0
+            assert info.value.mode == "write"
+            assert info.value.timeout == pytest.approx(0.05)
+        finally:
+            lock.release_read()
+        # The failed writer left no residue: write now succeeds.
+        lock.acquire_write(timeout=0.5)
+        lock.release_write()
+
+    def test_read_timeout_while_writer_holds(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        try:
+            with pytest.raises(LockTimeoutError) as info:
+                lock.acquire_read(timeout=0.05)
+            assert info.value.mode == "read"
+        finally:
+            lock.release_write()
+        with lock.read_lock(timeout=0.5):
+            assert lock.readers == 1
+
+    def test_timed_out_writer_releases_blocked_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()  # forces the writer to wait
+        got_read = threading.Event()
+
+        def late_reader():
+            # Queues behind the waiting writer (writer preference)...
+            lock.acquire_read()
+            got_read.set()
+            lock.release_read()
+
+        def doomed_writer():
+            try:
+                lock.acquire_write(timeout=0.1)
+                lock.release_write()
+            except LockTimeoutError:
+                pass
+
+        writer = threading.Thread(target=doomed_writer)
+        writer.start()
+        time.sleep(0.02)  # let the writer start waiting
+        reader = threading.Thread(target=late_reader)
+        reader.start()
+        writer.join(timeout=5.0)
+        # ...and must be woken when the writer gives up.
+        assert got_read.wait(timeout=5.0), "reader stuck behind dead writer"
+        reader.join(timeout=5.0)
+        lock.release_read()
+
+    def test_server_update_lock_timeout(self):
+        engine = _make_engine("python", n=40)
+        server = SkylineServer(
+            engine,
+            workers=1,
+            overload=OverloadConfig(update_lock_timeout=0.05, watchdog=False),
+        )
+        try:
+            from repro.core.record import Record
+
+            server._rwlock.acquire_read()  # a wedged reader
+            try:
+                with pytest.raises(LockTimeoutError):
+                    server.insert(Record("late", (1, 1), ("a",)))
+            finally:
+                server._rwlock.release_read()
+            assert all(p.record.rid != "late" for p in server.dataset.points)
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# Server integration: worker death, shedding, breaker degrade-once
+# ---------------------------------------------------------------------------
+def _quick_watchdog(**overrides) -> OverloadConfig:
+    base = dict(
+        watchdog_interval=0.02,
+        death_window=0.3,
+        recovery_window=0.05,
+        breaker_recovery=0.2,
+    )
+    base.update(overrides)
+    return OverloadConfig(**base)
+
+
+def _await(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestWorkerDeath:
+    pytestmark = pytest.mark.filterwarnings(
+        # The injected SystemExit kills the worker thread on purpose.
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+
+    def test_handle_resolves_even_without_watchdog(self):
+        # Regression: result(timeout=None) must never block forever when
+        # the worker thread dies mid-query.
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(
+            engine, workers=1, overload=OverloadConfig(watchdog=False)
+        )
+        try:
+            inject_worker_faults(
+                server,
+                FaultInjector(fail_after=1, max_faults=1, fault_type=SystemExit),
+            )
+            handle = server.submit(QueryRequest(algorithm="sdc+"))
+            with pytest.raises(ServingError, match="worker"):
+                handle.result()  # no timeout: must not hang
+            assert handle.done()
+        finally:
+            server.close(wait=False)
+
+    def test_watchdog_respawns_worker_and_recovers_health(self):
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(engine, workers=2, overload=_quick_watchdog())
+        try:
+            inject_worker_faults(
+                server,
+                FaultInjector(fail_after=1, max_faults=1, fault_type=SystemExit),
+            )
+            handle = server.submit(QueryRequest(algorithm="sdc+"))
+            with pytest.raises(ServingError):
+                handle.result(timeout=5.0)
+            assert _await(lambda: server.metrics.worker_restarts >= 1)
+            assert _await(
+                lambda: all(t.is_alive() for t in server._workers)
+            ), "dead worker slot was not respawned"
+            # Degraded on the death signal, then recovered.
+            assert _await(lambda: server.mode == "healthy")
+            assert server.metrics.worker_deaths == 1
+            # The respawned pool still serves correctly.
+            result = server.submit(QueryRequest(algorithm="sdc+")).result(
+                timeout=10.0
+            )
+            assert result.complete
+            snapshot = server.metrics.snapshot()
+            assert snapshot["overload"]["worker_restarts"] == 1
+            assert snapshot["overload"]["degradations"] >= 1
+        finally:
+            server.close()
+
+    def test_stalled_worker_flagged_and_query_drains(self):
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(
+            engine, workers=1, overload=_quick_watchdog(stuck_after=0.05)
+        )
+        try:
+            stall = inject_worker_stalls(
+                server,
+                StallInjector(fail_after=1, max_faults=1, stall_seconds=30.0),
+            )
+            handle = server.submit(QueryRequest(algorithm="sdc+"))
+            assert _await(lambda: server.metrics.stuck_queries >= 1)
+            assert server.mode in ("cache_only", "rejecting")
+            stall.release.set()  # un-wedge
+            assert handle.result(timeout=10.0).complete
+            assert _await(lambda: server.mode == "healthy")
+        finally:
+            server.close()
+
+
+class TestServerShedding:
+    def test_full_queue_sheds_with_typed_error(self):
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(
+            engine,
+            workers=1,
+            max_pending=1000,  # admission must not be the limiter here
+            overload=OverloadConfig(
+                queue_capacity=1, shed_policy="reject-newest", watchdog=False
+            ),
+        )
+        stall = inject_worker_stalls(
+            server, StallInjector(fail_after=1, max_faults=1, stall_seconds=30.0)
+        )
+        try:
+            wedged = server.submit(QueryRequest(algorithm="sdc+"))
+            _await(lambda: len(server._queue) == 0, timeout=2.0)
+            queued = server.submit(QueryRequest(algorithm="sdc+"))
+            with pytest.raises(QueryShedError) as info:
+                server.submit(QueryRequest(algorithm="sdc+"))
+            assert info.value.reason == "queue-full"
+            assert info.value.partial is not None
+            assert info.value.partial.points == []
+            assert server.metrics.shed.get("queue-full", 0) == 1
+            stall.release.set()
+            assert wedged.result(timeout=10.0).complete
+            assert queued.result(timeout=10.0).complete
+        finally:
+            stall.release.set()
+            server.close()
+
+    def test_priority_shedding_resolves_evicted_handle(self):
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(
+            engine,
+            workers=1,
+            max_pending=1000,
+            overload=OverloadConfig(
+                queue_capacity=1, shed_policy="priority", watchdog=False
+            ),
+        )
+        stall = inject_worker_stalls(
+            server, StallInjector(fail_after=1, max_faults=1, stall_seconds=30.0)
+        )
+        try:
+            wedged = server.submit(QueryRequest(algorithm="sdc+"))
+            _await(lambda: len(server._queue) == 0, timeout=2.0)
+            cheap = server.submit(QueryRequest(algorithm="sdc+", priority=9))
+            urgent = server.submit(QueryRequest(algorithm="sdc+", priority=0))
+            # The low-priority queued query was evicted and resolved.
+            with pytest.raises(QueryShedError) as info:
+                cheap.result(timeout=5.0)
+            assert info.value.reason == "lower-priority"
+            stall.release.set()
+            assert wedged.result(timeout=10.0).complete
+            assert urgent.result(timeout=10.0).complete
+        finally:
+            stall.release.set()
+            server.close()
+
+
+class TestKernelBreaker:
+    pytestmark = pytest.mark.filterwarnings(
+        # The three pre-open queries each legitimately fall back.
+        "ignore::repro.exceptions.KernelFallbackWarning"
+    )
+
+    def test_breaker_degrades_once_not_per_query(self):
+        pytest.importorskip("numpy")
+        engine = _make_engine("numpy", n=80)
+        server = SkylineServer(
+            engine,
+            workers=1,
+            overload=OverloadConfig(
+                breaker_failures=3, breaker_recovery=60.0, watchdog=False
+            ),
+        )
+        try:
+            # Every batch-kernel call fails: each query pays one fallback
+            # until the breaker opens.
+            injector = inject_kernel_faults(
+                engine.dataset,
+                FaultInjector(seed=3, rate=1.0, max_faults=10_000),
+            )
+            reference = sorted(
+                p.record.rid
+                for p in server.submit(QueryRequest(algorithm="sdc+")).result(
+                    timeout=10.0
+                ).points
+            )
+            for _ in range(2):
+                server.submit(QueryRequest(algorithm="sdc+")).result(timeout=10.0)
+            assert server.breakers["kernel"].state == "open"
+            fired_at_open = injector.fired
+            fallbacks_at_open = server.metrics.comparison_totals.kernel_fallbacks
+            # Post-open queries go straight to the python kernel: same
+            # answer, no new faults, no new per-query fallbacks.
+            for _ in range(4):
+                result = server.submit(QueryRequest(algorithm="sdc+")).result(
+                    timeout=10.0
+                )
+                assert result.complete
+                assert sorted(p.record.rid for p in result.points) == reference
+            assert injector.fired == fired_at_open
+            assert (
+                server.metrics.comparison_totals.kernel_fallbacks
+                == fallbacks_at_open
+            )
+            snapshot = server.metrics.snapshot()
+            assert snapshot["overload"]["breakers"]["kernel"]["state"] == "open"
+            assert snapshot["overload"]["breakers"]["kernel"]["opens"] == 1
+        finally:
+            server.close()
+
+
+class TestRetryIntegration:
+    def test_transient_kernel_fault_is_retried_to_success(self):
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(
+            engine,
+            workers=1,
+            overload=OverloadConfig(
+                retry=RetryPolicy(
+                    max_attempts=3, base_delay=0.01, max_delay=0.02, seed=5
+                ),
+                watchdog=False,
+            ),
+        )
+        try:
+            # Python kernel: a KernelError has no in-executor fallback,
+            # so only the server's retry loop can save the query.
+            inject_kernel_faults(
+                engine.dataset, FaultInjector(seed=5, fail_after=5, max_faults=1)
+            )
+            result = server.submit(QueryRequest(algorithm="sdc+")).result(
+                timeout=10.0
+            )
+            assert result.complete
+            assert server.metrics.retries == 1
+        finally:
+            server.close()
+
+    def test_non_idempotent_request_fails_fast(self):
+        from repro.exceptions import KernelError
+
+        engine = _make_engine("python", n=60)
+        server = SkylineServer(
+            engine,
+            workers=1,
+            overload=OverloadConfig(
+                retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+                watchdog=False,
+            ),
+        )
+        try:
+            inject_kernel_faults(
+                engine.dataset, FaultInjector(seed=5, fail_after=5, max_faults=1)
+            )
+            handle = server.submit(
+                QueryRequest(algorithm="sdc+", idempotent=False)
+            )
+            with pytest.raises(KernelError):
+                handle.result(timeout=10.0)
+            assert server.metrics.retries == 0
+        finally:
+            server.close()
+
+
+class TestLockDelayInjection:
+    def test_update_stall_holds_writer_lock(self):
+        engine = _make_engine("python", n=40)
+        server = SkylineServer(
+            engine, workers=1, overload=OverloadConfig(watchdog=False)
+        )
+        try:
+            from repro.core.record import Record
+
+            stall = inject_lock_delays(
+                server,
+                StallInjector(fail_after=1, max_faults=1, stall_seconds=0.2),
+            )
+            start = time.perf_counter()
+            server.insert(Record("slow", (2, 2), ("a",)))
+            elapsed = time.perf_counter() - start
+            assert stall.fired == 1
+            assert stall.sites == ["server.update.lock_hold"]
+            assert elapsed >= 0.15  # the stall really held the lock
+            assert any(p.record.rid == "slow" for p in server.dataset.points)
+        finally:
+            server.close()
+
+
+def test_degradation_modes_gate_submission():
+    engine = _make_engine("python", n=40)
+    server = SkylineServer(
+        engine, workers=1, overload=OverloadConfig(watchdog=False)
+    )
+    try:
+        from repro.exceptions import AdmissionRejectedError
+
+        server._ladder.escalate("rejecting", "test")
+        with pytest.raises(AdmissionRejectedError) as info:
+            server.submit(QueryRequest(algorithm="sdc+"))
+        assert info.value.reason == "rejecting"
+        assert server.metrics.rejected.get("rejecting", 0) == 1
+    finally:
+        server.close()
+
+
+def test_cache_only_mode_serves_hits_rejects_misses():
+    from repro.exceptions import AdmissionRejectedError
+
+    engine = _make_engine("python", n=60)
+    server = SkylineServer(
+        engine, workers=1, cache=True, overload=OverloadConfig(watchdog=False)
+    )
+    try:
+        warm = server.submit(QueryRequest(algorithm="sdc+")).result(timeout=10.0)
+        assert warm.complete
+        server._ladder.escalate("cache_only", "test")
+        hit = server.submit(QueryRequest(algorithm="sdc+")).result(timeout=10.0)
+        assert hit.cached
+        assert sorted(p.record.rid for p in hit.points) == sorted(
+            p.record.rid for p in warm.points
+        )
+        with pytest.raises(AdmissionRejectedError) as info:
+            server.submit(QueryRequest(algorithm="sdc+", skyband_k=2))
+        assert info.value.reason == "cache_only"
+    finally:
+        server.close()

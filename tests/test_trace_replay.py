@@ -1,0 +1,350 @@
+"""Workload traces and the chaos replay harness.
+
+Trace generation must be bit-deterministic per seed (the foundation of
+reproducible capacity envelopes), and the replay harness must uphold the
+graceful-degradation invariants under bursty load with injected faults:
+no hung :class:`~repro.serving.server.QueryHandle`, every completed
+answer identical to a serial run, shed/failed queries carrying empty
+(prefix) partials, and the server back at ``healthy`` after the fault
+window.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.exceptions import WorkloadError
+from repro.posets.builder import diamond
+from repro.serving import QueryRequest, SkylineServer
+from repro.serving.overload import OverloadConfig, RetryPolicy
+from repro.serving.replay import replay_trace, run_replay
+from repro.workloads.trace import SCENARIOS, generate_trace
+
+TRACE_SEEDS = (7, 101, 2025)
+
+
+def _make_engine(kernel: str = "python", n: int = 100):
+    from repro.engine import SkylineEngine
+
+    rng = random.Random(31)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("x", "min"),
+            NumericAttribute("y", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 50), rng.randint(1, 50)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+# ---------------------------------------------------------------------------
+# Trace generation
+# ---------------------------------------------------------------------------
+class TestTraceGeneration:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("seed", TRACE_SEEDS)
+    def test_same_seed_identical_schedule(self, scenario, seed):
+        kwargs = dict(duration=5.0, rate=25.0, seed=seed,
+                      algorithms=("sdc+", "bbs+"), deadline=0.4)
+        a = generate_trace(scenario, **kwargs)
+        b = generate_trace(scenario, **kwargs)
+        assert a == b  # frozen dataclasses: full structural equality
+        assert a.events == b.events
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_different_seeds_differ(self, scenario):
+        a = generate_trace(scenario, duration=5.0, rate=25.0, seed=1)
+        b = generate_trace(scenario, duration=5.0, rate=25.0, seed=2)
+        assert a.events != b.events
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_arrivals_sorted_and_in_range(self, scenario):
+        trace = generate_trace(scenario, duration=5.0, rate=25.0, seed=7)
+        times = [e.at for e in trace.events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 5.0 for t in times)
+        assert len(trace) > 0
+
+    def test_mean_rates_comparable_across_scenarios(self):
+        # All scenarios are normalized to the same mean rate, so cell
+        # rows of the capacity envelope are comparable.  Average over
+        # seeds to damp process variance.
+        counts = {}
+        for scenario in SCENARIOS:
+            totals = [
+                len(generate_trace(scenario, duration=20.0, rate=20.0, seed=s))
+                for s in range(5)
+            ]
+            counts[scenario] = sum(totals) / len(totals)
+        expected = 20.0 * 20.0
+        for scenario, mean in counts.items():
+            assert 0.5 * expected < mean < 1.6 * expected, (scenario, mean)
+
+    def test_bursty_is_actually_bursty(self):
+        trace = generate_trace("bursty", duration=20.0, rate=20.0, seed=7)
+        # Bin arrivals into seconds; on/off modulation should produce
+        # both near-idle and well-over-mean bins.
+        bins = [0] * 20
+        for event in trace.events:
+            bins[min(19, int(event.at))] += 1
+        assert min(bins) < 10 < max(bins), bins
+
+    def test_scaled_compresses_time_only(self):
+        base = generate_trace("poisson", duration=8.0, rate=10.0, seed=7)
+        fast = base.scaled(4.0)
+        assert len(fast) == len(base)
+        assert fast.duration == pytest.approx(2.0)
+        assert fast.rate == pytest.approx(40.0)
+        for orig, scaled in zip(base.events, fast.events):
+            assert scaled.at == pytest.approx(orig.at / 4.0)
+            assert scaled.algorithm == orig.algorithm
+            assert scaled.priority == orig.priority
+        with pytest.raises(WorkloadError):
+            base.scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_trace("weekly")
+        with pytest.raises(WorkloadError):
+            generate_trace("poisson", duration=-1.0)
+        with pytest.raises(WorkloadError):
+            generate_trace("poisson", algorithms=())
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector edge cases (satellite coverage)
+# ---------------------------------------------------------------------------
+class TestFaultInjectorEdges:
+    def test_max_faults_zero_never_fires(self):
+        from repro.resilience.chaos import FaultInjector
+
+        injector = FaultInjector(seed=7, rate=1.0, max_faults=0)
+        for _ in range(100):
+            injector.maybe_fail("site")  # must never raise
+        assert injector.fired == 0
+        assert injector.calls == 100
+
+    def test_rate_mode_deterministic_under_shared_concurrent_use(self):
+        # The trip decision depends only on the call index drawn from
+        # the seeded RNG under the injector lock -- so the *number* of
+        # fired faults is identical no matter how many threads share
+        # the injector or how they interleave.
+        import threading
+
+        from repro.exceptions import KernelError
+        from repro.resilience.chaos import FaultInjector
+
+        def run(threads: int, calls_per_thread: int) -> int:
+            injector = FaultInjector(seed=42, rate=0.05, max_faults=1_000)
+            fired = [0] * threads
+
+            def hammer(k: int) -> None:
+                for _ in range(calls_per_thread):
+                    try:
+                        injector.maybe_fail(f"t{k}")
+                    except KernelError:
+                        fired[k] += 1
+
+            pool = [
+                threading.Thread(target=hammer, args=(k,))
+                for k in range(threads)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+            assert sum(fired) == injector.fired
+            return injector.fired
+
+        serial = run(1, 400)
+        assert serial > 0
+        assert run(4, 100) == serial
+        assert run(8, 50) == serial
+
+
+# ---------------------------------------------------------------------------
+# Replay harness + chaos invariants
+# ---------------------------------------------------------------------------
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestChaosReplay:
+    def test_bursty_chaos_replay_invariants(self):
+        """The acceptance scenario: bursty overload + worker kill +
+        kernel faults, asserted end to end."""
+        from repro.resilience.chaos import (
+            FaultInjector,
+            inject_kernel_faults,
+            inject_worker_faults,
+        )
+
+        engine = _make_engine("python", n=100)
+        reference = sorted(p.record.rid for p in engine.query("sdc+").points)
+
+        engine2 = _make_engine("python", n=100)
+        server = SkylineServer(
+            engine2,
+            workers=3,
+            max_pending=1000,
+            overload=OverloadConfig(
+                queue_capacity=8,
+                shed_policy="deadline",
+                retry=RetryPolicy(max_attempts=3, base_delay=0.01,
+                                  max_delay=0.02, seed=7),
+                watchdog_interval=0.02,
+                death_window=0.3,
+                recovery_window=0.05,
+            ),
+        )
+        inject_worker_faults(
+            server,
+            FaultInjector(seed=101, fail_after=3, max_faults=1,
+                          fault_type=SystemExit),
+        )
+        inject_kernel_faults(
+            engine2.dataset,
+            FaultInjector(seed=102, rate=0.02, max_faults=4),
+        )
+        trace = generate_trace(
+            "bursty", duration=1.5, rate=60.0, seed=7,
+            algorithms=("sdc+",), deadline=0.5,
+        )
+        try:
+            cell = replay_trace(server, trace, grace=15.0)
+            # Invariant 1: nothing hangs, every handle reaches a typed
+            # terminal state.
+            assert cell["hung"] == 0
+            assert (
+                cell["completed"] + cell["shed"] + cell["rejected"]
+                + cell["timeouts"] + cell["errors"] + cell["cancelled"]
+                == cell["offered"]
+            )
+            assert cell["completed"] > 0
+            # Invariant 2: the worker kill was absorbed.
+            assert server.metrics.worker_deaths == 1
+            assert server.metrics.worker_restarts == 1
+            # Invariant 3: the server walks back to healthy after the
+            # fault window.
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while server.mode != "healthy" and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.mode == "healthy"
+            # Invariant 4: post-chaos answers are bit-identical to the
+            # serial reference.
+            result = server.submit(QueryRequest(algorithm="sdc+")).result(
+                timeout=10.0
+            )
+            assert sorted(p.record.rid for p in result.points) == reference
+        finally:
+            server.close()
+
+    def test_completed_answers_match_serial_under_load(self):
+        engine = _make_engine("python", n=100)
+        reference = sorted(p.record.rid for p in engine.query("sdc+").points)
+        engine2 = _make_engine("python", n=100)
+        server = SkylineServer(
+            engine2, workers=3, max_pending=1000,
+            overload=OverloadConfig(queue_capacity=16, watchdog=False),
+        )
+        trace = generate_trace(
+            "bursty", duration=1.0, rate=80.0, seed=2025, algorithms=("sdc+",)
+        )
+        handles = []
+        try:
+            import time
+
+            start = time.perf_counter()
+            for event in trace.events:
+                delay = (start + event.at) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    handles.append(
+                        server.submit(QueryRequest(algorithm=event.algorithm))
+                    )
+                except Exception:
+                    pass  # shed/rejected at submit: fine under load
+            completed = 0
+            for handle in handles:
+                try:
+                    result = handle.result(timeout=15.0)
+                except TimeoutError:
+                    pytest.fail("hung QueryHandle under bursty load")
+                except Exception as err:
+                    # Shed handles must carry an empty prefix partial.
+                    partial = getattr(err, "partial", None)
+                    if partial is not None:
+                        assert list(partial.points) == []
+                    continue
+                completed += 1
+                assert sorted(p.record.rid for p in result.points) == reference
+            assert completed > 0
+        finally:
+            server.close()
+
+    def test_run_replay_report_shape(self, tmp_path):
+        out = tmp_path / "replay.json"
+        report = run_replay(
+            size=60,
+            scenarios=("poisson", "bursty", "diurnal"),
+            duration=0.5,
+            rate=20.0,
+            multipliers=(1.0, 2.0),
+            workers=2,
+            seed=7,
+            capacity=8,
+            grace=10.0,
+            output=str(out),
+        )
+        assert set(report["scenarios"]) == {"poisson", "bursty", "diurnal"}
+        for row in report["scenarios"].values():
+            assert len(row["cells"]) == 2
+            for cell in row["cells"]:
+                assert cell["hung"] == 0
+                for key in ("offered", "completed", "shed", "rejected",
+                            "timeouts", "errors", "latency_p50_ms",
+                            "latency_p99_ms", "final_mode",
+                            "returned_healthy", "multiplier"):
+                    assert key in cell
+        # The artifact is canonical: re-encoding is byte-stable.
+        import json
+
+        from repro.bench.artifacts import dumps_artifact
+
+        text = out.read_text()
+        assert text == dumps_artifact(json.loads(text))
+        assert text.endswith("\n")
+
+    def test_artifact_canonical_form(self):
+        from repro.bench.artifacts import canonical, dumps_artifact
+
+        raw = {
+            "b": 0.1234567891,
+            "a": (1, 2.000000049),
+            "nested": {"z": float("nan"), "y": -0.0},
+            "flag": True,
+        }
+        norm = canonical(raw)
+        assert norm["b"] == 0.123457
+        assert norm["a"] == [1, 2.0]
+        assert norm["nested"]["z"] is None
+        assert str(norm["nested"]["y"]) == "0.0"
+        # Deterministic: same input, same bytes, keys sorted.
+        assert dumps_artifact(raw) == dumps_artifact(dict(reversed(raw.items())))
+        lines = dumps_artifact(raw).splitlines()
+        assert lines[1].strip().startswith('"a"')
