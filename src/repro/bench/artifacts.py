@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import tempfile
 from pathlib import Path
 
 __all__ = ["canonical", "dumps_artifact", "write_artifact"]
@@ -59,8 +61,28 @@ def dumps_artifact(obj, places: int = FLOAT_PLACES) -> str:
 
 
 def write_artifact(path, obj, places: int = FLOAT_PLACES) -> Path:
-    """Write ``obj`` to ``path`` in canonical form; returns the path."""
+    """Atomically write ``obj`` to ``path`` in canonical form.
+
+    The text goes to a temp file in the target directory, is flushed
+    and fsynced, then published with ``os.replace`` -- an interrupted
+    bench run (or a crash mid-write) leaves either the previous
+    artifact or the new one under ``path``, never a torn JSON.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(dumps_artifact(obj, places), encoding="utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(dumps_artifact(obj, places))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return target

@@ -302,6 +302,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every cell drained with zero hung "
         "handles and the server returned to healthy",
     )
+    rp.add_argument(
+        "--baseline",
+        default=None,
+        metavar="JSON",
+        help="committed replay artifact to compare the p99-vs-rate "
+        "saturation knee against; a knee shifting left beyond the "
+        "tolerance prints a warning (never fails the run)",
+    )
+    rp.add_argument(
+        "--knee-tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="fractional left-shift of the saturation knee tolerated "
+        "before warning (default 0.25)",
+    )
+    rp.add_argument(
+        "--knee-factor",
+        type=float,
+        default=3.0,
+        metavar="F",
+        help="p99 multiple over the lowest-rate cell that defines the "
+        "knee (default 3.0)",
+    )
 
     bp = sub.add_parser(
         "bench-parallel",
@@ -381,6 +405,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON",
         help="write the curves as a JSON artifact "
         "(e.g. benchmarks/results/view_cache.json)",
+    )
+
+    fs = sub.add_parser(
+        "fsck",
+        help="recover a durability directory and audit its integrity",
+    )
+    fs.add_argument(
+        "directory",
+        help="durability root (wal/ + snapshots/, see docs/durability.md)",
+    )
+    fs.add_argument(
+        "--algorithm",
+        default="sdc+",
+        choices=sorted(available_algorithms()),
+        help="algorithm used for the skyline recompute comparison",
+    )
+
+    cr = sub.add_parser(
+        "crash-replay",
+        help="kill-point x seed crash chaos matrix over the durability layer",
+    )
+    cr.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[7, 2025],
+        help="workload seeds to sweep",
+    )
+    cr.add_argument(
+        "--kill-points",
+        nargs="+",
+        default=None,
+        metavar="SITE",
+        help="kill-points to inject (default: all; see "
+        "repro.resilience.chaos.KILL_POINTS)",
+    )
+    cr.add_argument(
+        "--size", type=int, default=40, help="base records per cell"
+    )
+    cr.add_argument(
+        "--ops", type=int, default=12, help="insert/delete plan length per cell"
+    )
+    cr.add_argument(
+        "--output",
+        default=None,
+        metavar="JSON",
+        help="write the recovery report as a JSON artifact "
+        "(e.g. benchmarks/results/crash_replay.json)",
     )
     return parser
 
@@ -720,10 +792,117 @@ def _cmd_replay(args) -> int:
             )
     if args.output:
         print(f"  envelope written to {args.output}")
+    if args.baseline:
+        import json as _json
+
+        from repro.serving.replay import compare_baseline
+
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = _json.load(fh)
+        comparison = compare_baseline(
+            report,
+            baseline,
+            tolerance=args.knee_tolerance,
+            factor=args.knee_factor,
+        )
+        print(
+            f"  knee vs baseline {args.baseline} "
+            f"(factor {comparison['factor']:g}x, "
+            f"tolerance {comparison['tolerance']:.0%}):"
+        )
+        for name, entry in comparison["scenarios"].items():
+            knee = entry["current_knee"]
+            base_knee = entry["baseline_knee"]
+            fmt = lambda k: f"{k:g}x" if k is not None else ">sweep"
+            mark = "  WARNING: knee shifted left" if entry["shifted_left"] else ""
+            print(f"    {name:<10} {fmt(base_knee):>7} -> {fmt(knee):>7}{mark}")
+        if comparison["regressions"]:
+            print(
+                "  WARNING: saturation knee regressed in "
+                + ", ".join(comparison["regressions"])
+                + " (capacity envelope shrank; not failing the run)"
+            )
     if args.assert_resilient and not resilient:
         print("replay: FAILED resilience assertion (hung handle or no recovery)")
         return 1
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.durability import fsck, recover
+    from repro.exceptions import DurabilityError
+
+    try:
+        report = recover(args.directory)
+    except DurabilityError as err:
+        print(f"fsck: {err}")
+        return 2
+    info = report.to_dict()
+    print(
+        f"fsck: recovered {args.directory} from {info['snapshot']} "
+        f"(LSN {info['snapshot_lsn']}) + {info['replayed']} replayed WAL records "
+        f"-> version {info['last_lsn']}"
+    )
+    if info["truncated_bytes"]:
+        print(f"  truncated {info['truncated_bytes']} torn/corrupt WAL bytes")
+    if info["orphaned_segments"]:
+        print(f"  quarantined segments: {', '.join(info['orphaned_segments'])}")
+    if info["skipped_snapshots"]:
+        print(f"  skipped snapshots: {', '.join(info['skipped_snapshots'])}")
+    audit = fsck(report.dataset, algorithm=args.algorithm)
+    for check, detail in audit["checks"].items():
+        print(f"  {check}: {detail}")
+    if audit["clean"]:
+        print("fsck: clean")
+        return 0
+    for problem in audit["problems"]:
+        print(f"  PROBLEM: {problem}")
+    print("fsck: FAILED")
+    return 1
+
+
+def _cmd_crash_replay(args) -> int:
+    from repro.durability.crashreplay import run_crash_replay
+    from repro.resilience.chaos import KILL_POINTS
+
+    kill_points = tuple(args.kill_points) if args.kill_points else KILL_POINTS
+    unknown = sorted(set(kill_points) - set(KILL_POINTS))
+    if unknown:
+        print(f"crash-replay: unknown kill-points {', '.join(unknown)}")
+        return 2
+    report = run_crash_replay(
+        kill_points=kill_points,
+        seeds=tuple(args.seeds),
+        n=args.size,
+        ops=args.ops,
+        out=args.output,
+    )
+    config = report["config"]
+    print(
+        f"crash-replay: {len(config['kill_points'])} kill-points x "
+        f"{len(config['seeds'])} seeds ({config['n']} records, "
+        f"{config['ops']} ops per cell)"
+    )
+    print(
+        f"  {'kill-point':<24} {'seed':>5} {'acked':>5} {'recov':>5} "
+        f"{'torn B':>6} {'skyline':>7}  status"
+    )
+    for cell in report["cells"]:
+        status = "pass" if cell["pass"] else "FAIL"
+        print(
+            f"  {cell['kill_point']:<24} {cell['seed']:>5} {cell['acked']:>5} "
+            f"{cell['recovered']:>5} {cell['truncated_bytes']:>6} "
+            f"{cell['skyline_size']:>7}  {status}"
+        )
+        for problem in cell["problems"]:
+            print(f"      {problem}")
+    if args.output:
+        print(f"  report written to {args.output}")
+    if report["passed"]:
+        print("crash-replay: all cells passed")
+        return 0
+    print(f"crash-replay: {report['failures']} cell(s) FAILED")
+    return 1
 
 
 def _cmd_bench_parallel(args) -> int:
@@ -842,6 +1021,8 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "bench-parallel": _cmd_bench_parallel,
         "bench-views": _cmd_bench_views,
+        "fsck": _cmd_fsck,
+        "crash-replay": _cmd_crash_replay,
     }
     try:
         return handlers[args.command](args)

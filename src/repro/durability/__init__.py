@@ -1,0 +1,33 @@
+"""Durable state: write-ahead log, snapshots, crash recovery, fsck.
+
+The persistence subsystem behind ``SkylineServer(durability=...)`` --
+see ``docs/durability.md`` for the on-disk formats and the
+acknowledgement contract, and :mod:`repro.durability.crashreplay` for
+the kill-point chaos matrix that proves it.
+"""
+
+from repro.durability.manager import DurabilityConfig, DurabilityManager
+from repro.durability.recovery import RecoveryReport, fsck, recover
+from repro.durability.snapshot import (
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    rebuild_dataset,
+    write_snapshot,
+)
+from repro.durability.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityManager",
+    "RecoveryReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "fsck",
+    "list_snapshots",
+    "load_snapshot",
+    "prune_snapshots",
+    "rebuild_dataset",
+    "recover",
+    "write_snapshot",
+]

@@ -1,0 +1,306 @@
+"""Kill-point chaos matrix: crash a real process, recover, audit.
+
+``repro crash-replay`` runs, for every kill-point × seed cell:
+
+1. **Workload child** -- a forked process builds the cell's seeded
+   dataset, attaches a :class:`~repro.durability.DurabilityManager`
+   with a :class:`~repro.resilience.chaos.CrashInjector` armed at the
+   cell's kill-point, and applies a deterministic insert/delete plan.
+   Before each operation it fsyncs the op index to a ``submitted`` log;
+   after the commit returns (i.e. the WAL record is durable and the
+   caller would have been acknowledged) it fsyncs the index to an
+   ``acked`` log.  The injector kills the process (``os._exit``) at
+   the armed site mid-workload.
+2. **Recovery** -- the parent recovers the durability directory
+   in-process and audits the result.  For the ``recovery.mid-replay``
+   kill-point an intermediate *recovery child* is crashed mid-replay
+   first, proving recovery is idempotent.
+
+The audited invariants (the acknowledgement contract,
+``docs/durability.md``):
+
+* ``acked <= recovered <= submitted`` -- zero acknowledged-commit
+  loss, zero resurrection of operations that were never submitted;
+* the recovered operations are exactly the **prefix** ``plan[:V]`` of
+  the deterministic plan (checked by replaying that prefix onto a
+  fresh dataset and comparing full-space skylines bit-for-bit);
+* a torn WAL record (``wal.append.mid-write``) is truncated, never
+  replayed: recovered == acked exactly;
+* a fully-appended but unacknowledged record (crash between append and
+  ack) may legitimately be recovered -- committed-to-log is the
+  durability boundary -- hence the one-op slack in the upper bound;
+* :func:`~repro.durability.recovery.fsck` is clean afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import tempfile
+from pathlib import Path
+
+from repro.core.record import Record
+from repro.durability.manager import DurabilityConfig, DurabilityManager
+from repro.durability.recovery import fsck, recover
+from repro.posets.generator import PosetGeneratorConfig
+from repro.resilience.chaos import KILL_POINTS, CrashInjector
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import generate_workload
+
+__all__ = ["run_crash_replay", "CRASH_EXIT_CODE"]
+
+#: The exit code an injected crash dies with (distinguishes an armed
+#: kill from an accidental child failure).
+CRASH_EXIT_CODE = 17
+
+
+def _cell_workload(seed: int, n: int, ops: int):
+    """The cell's deterministic (schema, records, op plan) triple.
+
+    Parent and children both call this with the same arguments, so the
+    plan never has to cross the process boundary -- determinism *is*
+    the protocol.
+    """
+    config = WorkloadConfig(
+        num_total=2,
+        num_partial=1,
+        data_size=n,
+        seed=seed,
+        poset=PosetGeneratorConfig(num_nodes=48, seed=seed),
+    )
+    workload = generate_workload(config)
+    rng = random.Random(seed * 7919 + 13)
+    plan: list[tuple[str, object]] = []
+    live = [r.rid for r in workload.records]
+    pool = workload.records
+    next_rid = n
+    for _ in range(ops):
+        if live and rng.random() < 0.4:
+            plan.append(("delete", live.pop(rng.randrange(len(live)))))
+        else:
+            base = pool[rng.randrange(len(pool))]
+            record = Record(next_rid, base.totals, base.partials)
+            next_rid += 1
+            live.append(record.rid)
+            plan.append(("insert", record))
+    return workload.schema, workload.records, plan
+
+
+def _build_dataset(schema, records):
+    from repro.transform.dataset import TransformedDataset
+
+    return TransformedDataset(schema, records)
+
+
+def _log_append(path: Path, value: int) -> None:
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(f"{value}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _log_count(path: Path) -> int:
+    if not path.exists():
+        return 0
+    return sum(1 for line in path.read_text().splitlines() if line.strip())
+
+
+def _workload_child(
+    root: str,
+    seed: int,
+    n: int,
+    ops: int,
+    kill_point: str,
+    fail_after: int,
+    checkpoint_interval: int,
+) -> None:
+    """Forked child: run the plan until the armed kill-point fires."""
+    schema, records, plan = _cell_workload(seed, n, ops)
+    dataset = _build_dataset(schema, records)
+    crash = CrashInjector(kill_point, fail_after=fail_after, exit_code=CRASH_EXIT_CODE)
+    manager = DurabilityManager(
+        DurabilityConfig(root, checkpoint_interval=checkpoint_interval),
+        crash=crash,
+    )
+    manager.attach(dataset)
+    submitted = Path(root) / "submitted.log"
+    acked = Path(root) / "acked.log"
+    for index, (op, arg) in enumerate(plan):
+        _log_append(submitted, index)
+        if op == "insert":
+            dataset.insert_record(arg)
+        else:
+            dataset.delete_record(arg)
+        _log_append(acked, index)
+    os._exit(0)  # armed kill-point never fired: the cell flags this
+
+
+def _recovery_child(root: str) -> None:
+    """Forked child: crash mid-replay to prove recovery idempotence."""
+    crash = CrashInjector(
+        "recovery.mid-replay", fail_after=2, exit_code=CRASH_EXIT_CODE
+    )
+    recover(root, crash=crash)
+    os._exit(0)
+
+
+def _run_cell(kill_point: str, seed: int, n: int, ops: int, workdir: Path) -> dict:
+    """Crash, recover and audit one (kill-point, seed) cell."""
+    from repro.algorithms.base import get_algorithm
+
+    root = Path(tempfile.mkdtemp(prefix=f"cell-{seed}-", dir=workdir))
+    problems: list[str] = []
+    context = multiprocessing.get_context("fork")
+
+    # snapshot.mid-rename needs an auto checkpoint mid-workload; the
+    # genesis snapshot at attach is the injector's call #1, so arming
+    # fail_after=2 crashes the first post-attach checkpoint.  The WAL
+    # kill-points crash on the fail_after-th append, i.e. mid-plan.
+    if kill_point == "snapshot.mid-rename":
+        fail_after, interval = 2, max(2, ops // 2)
+    else:
+        fail_after, interval = max(2, ops // 2), 0
+    child_kill = (
+        "wal.append.pre-fsync"
+        if kill_point == "recovery.mid-replay"
+        else kill_point
+    )
+    child = context.Process(
+        target=_workload_child,
+        args=(str(root), seed, n, ops, child_kill, fail_after, interval),
+    )
+    child.start()
+    child.join(timeout=120)
+    if child.is_alive():  # pragma: no cover - hang backstop
+        child.terminate()
+        child.join()
+        problems.append("workload child hung")
+    exit_code = child.exitcode
+    if exit_code != CRASH_EXIT_CODE:
+        problems.append(
+            f"workload child exited {exit_code}, expected injected crash "
+            f"{CRASH_EXIT_CODE}"
+        )
+
+    recovery_crash_code = None
+    if kill_point == "recovery.mid-replay":
+        crasher = context.Process(target=_recovery_child, args=(str(root),))
+        crasher.start()
+        crasher.join(timeout=120)
+        recovery_crash_code = crasher.exitcode
+        if recovery_crash_code != CRASH_EXIT_CODE:
+            problems.append(
+                f"recovery child exited {recovery_crash_code}, expected "
+                f"injected crash {CRASH_EXIT_CODE}"
+            )
+
+    submitted = _log_count(root / "submitted.log")
+    acked = _log_count(root / "acked.log")
+    schema, records, plan = _cell_workload(seed, n, ops)
+
+    report = recover(str(root))
+    recovered = report.dataset.update_version
+    if not acked <= recovered:
+        problems.append(
+            f"acknowledged-commit loss: acked {acked} ops, recovered {recovered}"
+        )
+    if not recovered <= submitted:
+        problems.append(
+            f"resurrected unsubmitted ops: recovered {recovered}, "
+            f"submitted {submitted}"
+        )
+    if recovered > acked + 1:
+        problems.append(
+            f"recovered {recovered} ops with only {acked} acked: more than "
+            "the one in-flight op can be unacknowledged"
+        )
+    if kill_point == "wal.append.mid-write":
+        if recovered != acked:
+            problems.append(
+                f"torn record replayed: recovered {recovered} != acked {acked}"
+            )
+        if report.truncated_bytes == 0:
+            problems.append("mid-write crash left no torn tail to truncate")
+
+    # Prefix audit: the recovered state must equal plan[:recovered]
+    # applied to a fresh dataset, bit-for-bit on the skyline.
+    expected = _build_dataset(schema, records)
+    for op, arg in plan[:recovered]:
+        if op == "insert":
+            expected.insert_record(arg)
+        else:
+            expected.delete_record(arg)
+    got = [p.record.rid for p in get_algorithm("sdc+").run(report.dataset)]
+    want = [p.record.rid for p in get_algorithm("sdc+").run(expected)]
+    if got != want:
+        problems.append(
+            f"skyline mismatch after recovery: {len(got)} != {len(want)} rids "
+            "or different order"
+        )
+
+    audit = fsck(report.dataset)
+    if not audit["clean"]:
+        problems.extend(f"fsck: {p}" for p in audit["problems"])
+
+    return {
+        "kill_point": kill_point,
+        "seed": seed,
+        "pass": not problems,
+        "exit_code": exit_code,
+        "recovery_crash_code": recovery_crash_code,
+        "submitted": submitted,
+        "acked": acked,
+        "recovered": recovered,
+        "replayed": report.replayed,
+        "truncated_bytes": report.truncated_bytes,
+        "orphaned_segments": report.orphaned_segments,
+        "skyline_size": len(got),
+        "fsck_clean": audit["clean"],
+        "problems": problems,
+    }
+
+
+def run_crash_replay(
+    kill_points=KILL_POINTS,
+    seeds=(7, 2025),
+    n: int = 40,
+    ops: int = 12,
+    workdir: str | Path | None = None,
+    out: str | Path | None = None,
+) -> dict:
+    """Run the full kill-point × seed matrix; returns the report dict.
+
+    ``n`` is the base dataset size per cell, ``ops`` the plan length.
+    With ``out`` the report is written as a canonical benchmark
+    artifact (atomic, sorted keys).
+    """
+    owned = workdir is None
+    workdir = Path(tempfile.mkdtemp(prefix="crash-replay-")) if owned else Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    cells = []
+    try:
+        for kill_point in kill_points:
+            for seed in seeds:
+                cells.append(_run_cell(kill_point, seed, n, ops, workdir))
+    finally:
+        if owned:
+            import shutil
+
+            shutil.rmtree(workdir, ignore_errors=True)
+    report = {
+        "config": {
+            "kill_points": list(kill_points),
+            "seeds": list(seeds),
+            "n": n,
+            "ops": ops,
+        },
+        "cells": cells,
+        "passed": all(cell["pass"] for cell in cells),
+        "failures": sum(1 for cell in cells if not cell["pass"]),
+    }
+    if out is not None:
+        from repro.bench.artifacts import write_artifact
+
+        write_artifact(out, report)
+    return report

@@ -1,0 +1,220 @@
+"""Durability orchestration: wiring WAL + snapshots into a live dataset.
+
+:class:`DurabilityManager` owns one durability root directory::
+
+    <root>/wal/        wal-<start-lsn>.log segments
+    <root>/snapshots/  snapshot-<lsn>.json checkpoints
+
+and attaches to a :class:`~repro.transform.dataset.TransformedDataset`
+in two places:
+
+* the **commit hook** -- called synchronously *inside* the dataset's
+  transactional update, after the structural mutation but before the
+  version bump, post-commit listeners or any acknowledgement.  It
+  appends (and under ``sync="commit"`` fsyncs) the WAL record; if the
+  append fails the raise propagates into the dataset's rollback path,
+  so the update is undone in memory and never acknowledged -- the
+  durability contract has no half-states.
+* a **post-commit listener** -- counts committed updates and triggers
+  an automatic :meth:`checkpoint` every ``checkpoint_interval``
+  commits.  Checkpoint failures are isolated by the hardened listener
+  registry (they must not fail the already-durable commit) and surface
+  through the metrics counters instead.
+
+A checkpoint snapshots the dataset atomically, rotates the WAL onto a
+fresh segment and retires segments wholly covered by the snapshot LSN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.durability.recovery import SNAPSHOT_SUBDIR, WAL_SUBDIR
+from repro.durability.snapshot import (
+    list_snapshots,
+    prune_snapshots,
+    snapshot_lsn,
+    write_snapshot,
+)
+from repro.durability.wal import WalRecord, WriteAheadLog
+from repro.exceptions import DurabilityError
+
+__all__ = ["DurabilityConfig", "DurabilityManager"]
+
+
+@dataclass
+class DurabilityConfig:
+    """Policy knobs for one :class:`DurabilityManager`.
+
+    ``checkpoint_interval`` is the number of committed updates between
+    automatic checkpoints (``0`` disables them; call
+    :meth:`DurabilityManager.checkpoint` manually).  ``sync`` is the WAL
+    fsync policy (``"commit"`` or ``"never"``); ``keep_snapshots`` is
+    how many checkpoints to retain for fallback.
+    """
+
+    directory: str | Path
+    sync: str = "commit"
+    checkpoint_interval: int = 0
+    keep_snapshots: int = 2
+
+    @classmethod
+    def parse(cls, value) -> "DurabilityConfig":
+        """Coerce a path-like or config into a config."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, (str, Path)):
+            return cls(directory=value)
+        raise DurabilityError(f"cannot interpret durability config {value!r}")
+
+
+class DurabilityManager:
+    """WAL + snapshot lifecycle for one dataset (see module docstring)."""
+
+    def __init__(self, config, *, metrics=None, crash=None) -> None:
+        self.config = DurabilityConfig.parse(config)
+        self.root = Path(self.config.directory)
+        self.metrics = metrics
+        self.crash = crash
+        self.dataset = None
+        self.wal: WriteAheadLog | None = None
+        self.commits_since_checkpoint = 0
+        self.checkpoints = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def attach(self, dataset) -> None:
+        """Bind to ``dataset``: open the WAL, write the genesis snapshot.
+
+        The dataset must either be fresh relative to the directory or be
+        the product of :func:`~repro.durability.recovery.recover` over
+        it: attaching with an un-replayed WAL tail (log records with
+        LSN beyond the dataset's ``update_version``) would fork history
+        and is rejected loudly.
+        """
+        if self._attached:
+            raise DurabilityError("DurabilityManager is already attached")
+        if getattr(dataset, "_commit_hook", None) is not None:
+            raise DurabilityError("dataset already has a commit hook")
+        on_fsync = (
+            self.metrics.wal_fsync.record if self.metrics is not None else None
+        )
+        wal = WriteAheadLog(
+            self.root / WAL_SUBDIR,
+            sync=self.config.sync,
+            start_lsn=dataset.update_version + 1,
+            on_fsync=on_fsync,
+            crash=self.crash,
+        )
+        wal.repair()
+        tail = wal.last_lsn()
+        if tail is not None and tail > dataset.update_version:
+            wal.close()
+            raise DurabilityError(
+                f"WAL tail at LSN {tail} is ahead of dataset version "
+                f"{dataset.update_version}; recover() before attaching"
+            )
+        self.dataset = dataset
+        self.wal = wal
+        self._attached = True
+        if not list_snapshots(self.root / SNAPSHOT_SUBDIR):
+            # Genesis checkpoint: recovery always has a base to replay
+            # from, even if the process dies before the first rotation.
+            self.checkpoint()
+        dataset.set_commit_hook(self._on_commit)
+        dataset.add_update_listener(self._on_committed)
+
+    def detach(self) -> None:
+        """Unhook from the dataset and close the WAL."""
+        if not self._attached:
+            return
+        self.dataset.set_commit_hook(None)
+        self.dataset.remove_update_listener(self._on_committed)
+        if self.wal is not None:
+            self.wal.close()
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Dataset hooks
+    # ------------------------------------------------------------------
+    def _on_commit(self, op: str, point, lsn: int) -> None:
+        """The commit hook: make the update durable or fail the commit."""
+        if op == "insert":
+            entry = WalRecord(lsn, "insert", record=point.record)
+        else:
+            entry = WalRecord(lsn, "delete", rid=point.record.rid)
+        try:
+            nbytes = self.wal.append(entry)
+        except DurabilityError:
+            if self.metrics is not None:
+                self.metrics.on_wal_failure()
+            raise
+        if self.metrics is not None:
+            self.metrics.on_wal_append(nbytes)
+
+    def _on_committed(self, op: str, point) -> None:
+        """Post-commit listener: drive the automatic checkpoint cadence."""
+        self.commits_since_checkpoint += 1
+        interval = self.config.checkpoint_interval
+        if interval and self.commits_since_checkpoint >= interval:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Snapshot now; rotate the WAL; retire covered segments.
+
+        Any failure surfaces as :class:`DurabilityError` *after* the
+        metrics counter is bumped; when called from the post-commit
+        listener the hardened registry keeps it from failing the commit
+        (the WAL record is already durable, so nothing is lost -- the
+        next checkpoint simply has more to cover).
+        """
+        if not self._attached and self.dataset is None:
+            raise DurabilityError("DurabilityManager is not attached")
+        lsn = self.dataset.update_version
+        try:
+            path = write_snapshot(
+                self.root / SNAPSHOT_SUBDIR, self.dataset, lsn, crash=self.crash
+            )
+            self.wal.rotate(lsn + 1)
+            prune_snapshots(
+                self.root / SNAPSHOT_SUBDIR, keep=self.config.keep_snapshots
+            )
+            # Retire only segments covered by the *oldest retained*
+            # snapshot, not the one just written: if the newest snapshot
+            # later fails its checksum, recovery falls back to an older
+            # one and must still be able to replay the log forward to
+            # the acknowledged tail.
+            retained = list_snapshots(self.root / SNAPSHOT_SUBDIR)
+            retain_lsn = snapshot_lsn(retained[0]) if retained else lsn
+            retired = self.wal.retire(retain_lsn)
+        except DurabilityError:
+            if self.metrics is not None:
+                self.metrics.on_checkpoint_failure()
+            raise
+        except Exception as err:
+            if self.metrics is not None:
+                self.metrics.on_checkpoint_failure()
+            raise DurabilityError(f"checkpoint failed: {err}") from err
+        self.commits_since_checkpoint = 0
+        self.checkpoints += 1
+        if self.metrics is not None:
+            self.metrics.on_checkpoint(retired=len(retired))
+        return path
+
+    def close(self) -> None:
+        """Alias for :meth:`detach` (context-manager friendliness)."""
+        self.detach()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DurabilityManager({str(self.root)!r}, attached={self._attached}, "
+            f"checkpoints={self.checkpoints})"
+        )

@@ -1,0 +1,223 @@
+"""Crash recovery and integrity verification (``repro fsck``).
+
+:func:`recover` rebuilds a dataset from a durability directory: repair
+the WAL (truncate torn tails, quarantine unreachable segments), load
+the newest snapshot that passes its checksum (falling back to older
+ones), then replay the WAL tail in strict LSN order through the same
+``insert_record``/``delete_record`` commit path live updates take.
+Replay is idempotent -- the only disk mutation recovery performs is the
+tail truncation, so a crash *during* recovery (the
+``recovery.mid-replay`` kill-point) just means recovery runs again from
+the same snapshot.
+
+:func:`fsck` is the independent auditor: it rebuilds a second dataset
+from scratch out of the recovered records (with the same persisted
+spanning forests) and asserts the recovered derived state -- full-space
+skyline, stratification, category counts, R-tree structure and, when a
+:class:`~repro.views.ViewManager` is attached, the materialized view --
+is bit-identical to the from-scratch recompute.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import DurabilityError
+from repro.durability.snapshot import (
+    dataset_body,
+    list_snapshots,
+    load_snapshot,
+    rebuild_dataset,
+)
+from repro.durability.wal import WriteAheadLog
+
+__all__ = ["RecoveryReport", "recover", "fsck"]
+
+WAL_SUBDIR = "wal"
+SNAPSHOT_SUBDIR = "snapshots"
+
+
+@dataclass
+class RecoveryReport:
+    """What one :func:`recover` call did."""
+
+    dataset: object
+    snapshot_path: str
+    snapshot_lsn: int
+    last_lsn: int
+    replayed: int
+    truncated_bytes: int
+    orphaned_segments: list = field(default_factory=list)
+    skipped_snapshots: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the ``repro fsck`` report body)."""
+        return {
+            "snapshot": Path(self.snapshot_path).name,
+            "snapshot_lsn": self.snapshot_lsn,
+            "last_lsn": self.last_lsn,
+            "replayed": self.replayed,
+            "truncated_bytes": self.truncated_bytes,
+            "orphaned_segments": list(self.orphaned_segments),
+            "skipped_snapshots": list(self.skipped_snapshots),
+        }
+
+
+def recover(
+    directory: str | Path,
+    *,
+    kernel: str | None = None,
+    stats=None,
+    crash=None,
+) -> RecoveryReport:
+    """Rebuild the committed dataset state under ``directory``.
+
+    ``directory`` is a durability root as laid out by
+    :class:`~repro.durability.manager.DurabilityManager` (``wal/`` and
+    ``snapshots/`` subdirectories).  Raises
+    :class:`~repro.exceptions.DurabilityError` when no snapshot passes
+    its checksum or the WAL tail is inconsistent with the snapshot
+    (an LSN gap means committed state is unrecoverable -- better a loud
+    failure than a silently wrong skyline).
+    """
+    directory = Path(directory)
+    wal = WriteAheadLog(directory / WAL_SUBDIR)
+    repair = wal.repair()
+
+    skipped: list[str] = []
+    body = None
+    snapshot_file: Path | None = None
+    for candidate in reversed(list_snapshots(directory / SNAPSHOT_SUBDIR)):
+        try:
+            body = load_snapshot(candidate)
+        except DurabilityError as err:
+            warnings.warn(f"skipping snapshot {candidate.name}: {err}", stacklevel=2)
+            skipped.append(candidate.name)
+            continue
+        snapshot_file = candidate
+        break
+    if body is None:
+        raise DurabilityError(
+            f"no usable snapshot under {directory / SNAPSHOT_SUBDIR}"
+            + (f" (skipped: {', '.join(skipped)})" if skipped else "")
+        )
+
+    dataset = rebuild_dataset(body, kernel=kernel, stats=stats)
+    snapshot_lsn = int(body["lsn"])
+    dataset.update_version = snapshot_lsn
+
+    replayed = 0
+    for entry in wal.records(after_lsn=snapshot_lsn):
+        expected = dataset.update_version + 1
+        if entry.lsn != expected:
+            raise DurabilityError(
+                f"WAL gap during replay: expected LSN {expected}, found {entry.lsn}"
+            )
+        if crash is not None:
+            crash.maybe_crash("recovery.mid-replay")
+        if entry.op == "insert":
+            dataset.insert_record(entry.record)
+        else:
+            if not dataset.delete_record(entry.rid):
+                raise DurabilityError(
+                    f"WAL replay: delete of unknown rid {entry.rid!r} at LSN {entry.lsn}"
+                )
+        replayed += 1
+    wal.close()
+
+    return RecoveryReport(
+        dataset=dataset,
+        snapshot_path=str(snapshot_file),
+        snapshot_lsn=snapshot_lsn,
+        last_lsn=dataset.update_version,
+        replayed=replayed,
+        truncated_bytes=repair["truncated_bytes"],
+        orphaned_segments=repair["orphaned_segments"],
+        skipped_snapshots=skipped,
+    )
+
+
+def _skyline_rids(dataset, algorithm: str) -> list:
+    from repro.algorithms.base import get_algorithm
+
+    return [p.record.rid for p in get_algorithm(algorithm).run(dataset)]
+
+
+def fsck(dataset, *, algorithm: str = "sdc+", views=None) -> dict:
+    """Audit a (recovered) dataset against a from-scratch recompute.
+
+    Builds an independent dataset from ``dataset``'s records with the
+    same spanning forests and compares, bit-for-bit:
+
+    * the full-space skyline (rids in emission order);
+    * the stratification (stratum labels and sorted per-stratum rids,
+      in processing order);
+    * the per-category point counts;
+    * R-tree structural invariants (``tree.validate()``), on the global
+      tree and on every stratum tree that is already built;
+    * when ``views`` (a :class:`~repro.views.ViewManager`) is given,
+      its materialized full-space skyline against the recomputed one.
+
+    Returns ``{"clean": bool, "checks": {...}, "problems": [...]}``.
+    """
+    problems: list[str] = []
+    checks: dict[str, str] = {}
+    reference = rebuild_dataset(dataset_body(dataset, dataset.update_version))
+
+    got = _skyline_rids(dataset, algorithm)
+    want = _skyline_rids(reference, algorithm)
+    checks["skyline"] = f"{len(got)} points"
+    if got != want:
+        problems.append(
+            f"skyline mismatch: recovered {len(got)} rids != recomputed {len(want)}"
+        )
+
+    got_strata = [
+        (s.label, sorted((p.record.rid for p in s.points), key=repr))
+        for s in dataset.stratification
+    ]
+    want_strata = [
+        (s.label, sorted((p.record.rid for p in s.points), key=repr))
+        for s in reference.stratification
+    ]
+    checks["strata"] = f"{len(got_strata)} strata"
+    if got_strata != want_strata:
+        problems.append(
+            f"stratification mismatch: {[l for l, _ in got_strata]} != "
+            f"{[l for l, _ in want_strata]}"
+        )
+
+    got_cats = {c.value: n for c, n in dataset.category_counts().items()}
+    want_cats = {c.value: n for c, n in reference.category_counts().items()}
+    checks["categories"] = str(got_cats)
+    if got_cats != want_cats:
+        problems.append(f"category counts {got_cats} != {want_cats}")
+
+    try:
+        dataset.index.validate()
+        built = sum(
+            1 for s in dataset.stratification if s._tree is not None
+        )
+        for stratum in dataset.stratification:
+            if stratum._tree is not None:
+                stratum._tree.validate()
+        checks["rtree"] = f"global + {built} stratum trees valid"
+    except Exception as err:
+        problems.append(f"R-tree validation failed: {err}")
+
+    if views is not None:
+        if not views.materialized:
+            problems.append("view manager attached but skyline not materialized")
+        else:
+            view_rids = sorted((rid for rid in views._skyline), key=repr)
+            want_rids = sorted(want, key=repr)
+            checks["views"] = f"{len(view_rids)} materialized points"
+            if view_rids != want_rids:
+                problems.append(
+                    f"materialized view holds {len(view_rids)} rids, "
+                    f"recompute yields {len(want_rids)}"
+                )
+
+    return {"clean": not problems, "checks": checks, "problems": problems}

@@ -1,0 +1,226 @@
+"""Atomic checkpoints of a transformed dataset.
+
+A snapshot file is one JSON document:
+
+.. code-block:: text
+
+    {"format": "repro-snapshot", "version": 1,
+     "crc32": <crc of canonical body JSON>,
+     "body": {"lsn": ..., "schema": ..., "records": ...,
+              "config": {...}, "forests": {...}}}
+
+``body`` captures everything needed to rebuild the *exact* dataset --
+not just the records but the spanning-forest parent arrays of every
+poset attribute, so the interval encoding (and therefore every
+transformed point, every stratum and every R-tree rectangle) is
+reconstructed bit-identically rather than re-derived from a strategy
+that might tie-break differently.  Derived structures (trees, strata,
+views) are deliberately *not* persisted: the points are the ground
+truth and the rebuild is cheap relative to the recovery guarantee.
+
+Writes are crash-atomic: the document goes to a temp file in the same
+directory, is fsynced, then published with ``os.replace`` (the
+``snapshot.mid-rename`` kill-point sits between the two), and the
+directory entry is fsynced.  Readers verify the CRC over the canonical
+body serialization; a truncated or bit-flipped snapshot is detected and
+skipped, which is what lets recovery fall back to the previous one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from repro.exceptions import DurabilityError
+from repro.io import (
+    records_from_list,
+    records_to_list,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.posets.spanning_tree import SpanningForest
+
+__all__ = [
+    "SNAPSHOT_PREFIX",
+    "write_snapshot",
+    "load_snapshot",
+    "list_snapshots",
+    "rebuild_dataset",
+    "prune_snapshots",
+]
+
+SNAPSHOT_PREFIX = "snapshot-"
+_FORMAT = "repro-snapshot"
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def snapshot_path(directory: str | Path, lsn: int) -> Path:
+    """The canonical file path of the checkpoint taken at ``lsn``."""
+    return Path(directory) / f"{SNAPSHOT_PREFIX}{lsn:016d}.json"
+
+
+def list_snapshots(directory: str | Path) -> list[Path]:
+    """Snapshot paths oldest-first (by the LSN embedded in the name)."""
+    return sorted(
+        p
+        for p in Path(directory).glob(f"{SNAPSHOT_PREFIX}*.json")
+        if p.name[len(SNAPSHOT_PREFIX) : -len(".json")].isdigit()
+    )
+
+
+def snapshot_lsn(path: Path) -> int:
+    """The checkpoint LSN a snapshot file was written at (from its name)."""
+    return int(path.name[len(SNAPSHOT_PREFIX) : -len(".json")])
+
+
+def dataset_body(dataset, lsn: int) -> dict:
+    """The serializable checkpoint body of ``dataset`` at ``lsn``."""
+    forests = {
+        attr.name: list(mapping.forest._parent)
+        for attr, mapping in zip(dataset.schema.partial_attrs, dataset.mappings)
+    }
+    return {
+        "lsn": lsn,
+        "schema": schema_to_dict(dataset.schema),
+        "records": records_to_list(dataset.records),
+        "config": {
+            "strategy": dataset.strategy.value,
+            "native_mode": dataset.native_mode,
+            "kernel": dataset.kernel_name,
+            "max_entries": dataset.max_entries,
+            "bulk_load": dataset.bulk_load,
+        },
+        "forests": forests,
+    }
+
+
+def write_snapshot(directory: str | Path, dataset, lsn: int, *, crash=None) -> Path:
+    """Atomically persist ``dataset``'s committed state at ``lsn``.
+
+    The temp file is fsynced before ``os.replace`` publishes it, so a
+    crash at any instant leaves either no new snapshot (the temp file is
+    garbage-collected by :func:`prune_snapshots`) or a complete one --
+    never a torn document under the published name.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    body = dataset_body(dataset, lsn)
+    canonical = _canonical(body)
+    document = {
+        "format": _FORMAT,
+        "version": 1,
+        "crc32": zlib.crc32(canonical),
+        "body": body,
+    }
+    final = snapshot_path(directory, lsn)
+    tmp = final.with_suffix(".json.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if crash is not None:
+            crash.maybe_crash("snapshot.mid-rename")
+        os.replace(tmp, final)
+        _fsync_dir(directory)
+    except DurabilityError:
+        raise
+    except Exception as err:
+        raise DurabilityError(f"snapshot write failed: {err}") from err
+    return final
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read and checksum-verify one snapshot; returns its ``body``.
+
+    Raises :class:`~repro.exceptions.DurabilityError` on a missing,
+    torn, malformed or checksum-failing document -- the caller
+    (recovery) falls back to an older snapshot.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except Exception as err:
+        raise DurabilityError(f"unreadable snapshot {path.name}: {err}") from err
+    if document.get("format") != _FORMAT:
+        raise DurabilityError(f"{path.name} is not a repro snapshot")
+    body = document.get("body")
+    if not isinstance(body, dict):
+        raise DurabilityError(f"snapshot {path.name} has no body")
+    if zlib.crc32(_canonical(body)) != document.get("crc32"):
+        raise DurabilityError(f"snapshot {path.name} failed its checksum")
+    return body
+
+
+def rebuild_dataset(body: dict, *, kernel: str | None = None, stats=None):
+    """Reconstruct the exact :class:`TransformedDataset` of a snapshot body.
+
+    The persisted parent arrays are turned back into
+    :class:`~repro.posets.spanning_tree.SpanningForest` objects and
+    passed as explicit ``forests=``, so the interval encoding -- and
+    with it every transformed coordinate -- matches the pre-crash
+    dataset bit-for-bit regardless of strategy tie-breaking.
+    """
+    from repro.transform.dataset import TransformedDataset
+
+    try:
+        schema = schema_from_dict(body["schema"])
+        records = records_from_list(body["records"])
+        config = body["config"]
+        forests = {
+            attr.name: SpanningForest(attr.poset, body["forests"][attr.name])
+            for attr in schema.partial_attrs
+        }
+        return TransformedDataset(
+            schema,
+            records,
+            strategy=config["strategy"],
+            native_mode=config["native_mode"],
+            kernel=kernel if kernel is not None else config["kernel"],
+            max_entries=config["max_entries"],
+            bulk_load=config["bulk_load"],
+            forests=forests,
+            stats=stats,
+        )
+    except DurabilityError:
+        raise
+    except Exception as err:
+        raise DurabilityError(f"snapshot rebuild failed: {err}") from err
+
+
+def prune_snapshots(directory: str | Path, keep: int = 2) -> list[Path]:
+    """Unlink all but the ``keep`` newest snapshots, plus stray temp files.
+
+    At least two snapshots are kept by default so recovery always has a
+    fallback if the newest one fails its checksum.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    for tmp in directory.glob(f"{SNAPSHOT_PREFIX}*.json.tmp"):
+        tmp.unlink()
+        removed.append(tmp)
+    snapshots = list_snapshots(directory)
+    for stale in snapshots[: max(0, len(snapshots) - keep)]:
+        stale.unlink()
+        removed.append(stale)
+    if removed:
+        _fsync_dir(directory)
+    return removed

@@ -1,0 +1,397 @@
+"""Write-ahead log: length-prefixed, CRC32-checksummed update records.
+
+One :class:`WriteAheadLog` owns a directory of **segments** named
+``wal-<start-lsn>.log`` (16-digit zero-padded start LSN).  Every
+committed ``insert_record``/``delete_record`` appends one record:
+
+.. code-block:: text
+
+    +----------------+----------------+------------------------+
+    | length (u32 BE)| crc32 (u32 BE) | payload (JSON, UTF-8)  |
+    +----------------+----------------+------------------------+
+
+``length`` is the payload byte count, ``crc32`` is computed over the
+payload, and the payload is a JSON object carrying the record's LSN
+(the dataset ``update_version`` the commit produces), the operation and
+its argument (the full serialized record for an insert, the rid for a
+delete).  The append path writes the whole frame, flushes it to the OS
+and -- under the default ``sync="commit"`` policy -- ``fsync``\\ s before
+returning, so a commit that was acknowledged to the caller is on disk.
+
+**Torn tails.**  A crash mid-append leaves a truncated or
+checksum-broken frame at the end of the newest segment.
+:meth:`WriteAheadLog.repair` (run by every attach and every recovery)
+scans forward, keeps the longest valid prefix, physically truncates the
+file at the first invalid byte and never replays anything after it.  A
+corrupt record mid-log is treated the same way -- everything from the
+first invalid frame on is unreachable; later segments (which cannot
+legitimately exist past a corruption) are quarantined with an
+``.orphan`` suffix rather than silently replayed.
+
+Segments rotate at checkpoint time (:meth:`rotate`), and
+:meth:`retire` unlinks segments wholly covered by a snapshot's LSN.
+See ``docs/durability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.record import Record
+from repro.exceptions import DurabilityError
+from repro.io import records_from_list, records_to_list
+
+__all__ = ["WalRecord", "WriteAheadLog", "SEGMENT_PREFIX"]
+
+_HEADER = struct.Struct(">II")
+
+#: Frames claiming a payload larger than this are treated as corruption
+#: (a torn length field must not trigger a gigabyte allocation).
+MAX_PAYLOAD_BYTES = 1 << 26
+
+SEGMENT_PREFIX = "wal-"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Durably record directory-entry changes (best effort off-POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: ``(lsn, op, record-or-rid)``."""
+
+    lsn: int
+    op: str  # "insert" | "delete"
+    record: Record | None = None  # inserts carry the full record
+    rid: object | None = None  # deletes carry the rid only
+
+    def encode(self) -> bytes:
+        """The framed on-disk bytes of this record."""
+        payload: dict = {"lsn": self.lsn, "op": self.op}
+        if self.op == "insert":
+            payload["record"] = records_to_list([self.record])[0]
+        elif self.op == "delete":
+            payload["rid"] = self.rid
+        else:
+            raise DurabilityError(f"unknown WAL op {self.op!r}")
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+    @classmethod
+    def decode_payload(cls, body: bytes) -> "WalRecord":
+        """Decode one CRC-verified payload; raises on malformed JSON."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            lsn = int(payload["lsn"])
+            op = payload["op"]
+            if op == "insert":
+                record = records_from_list([payload["record"]])[0]
+                return cls(lsn, op, record=record)
+            if op == "delete":
+                return cls(lsn, op, rid=payload["rid"])
+        except DurabilityError:
+            raise
+        except Exception as err:
+            raise DurabilityError(f"undecodable WAL payload: {err}") from err
+        raise DurabilityError(f"unknown WAL op {op!r}")
+
+
+def _scan_segment(path: Path) -> tuple[list[WalRecord], int, str | None]:
+    """Longest valid record prefix of one segment.
+
+    Returns ``(records, valid_bytes, problem)`` where ``problem`` names
+    what stopped the scan (``None`` for a clean segment): a torn header,
+    a torn payload, a CRC mismatch or an undecodable payload.  The file
+    is not modified.
+    """
+    data = path.read_bytes()
+    records: list[WalRecord] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            return records, offset, "torn header"
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_PAYLOAD_BYTES:
+            return records, offset, f"implausible payload length {length}"
+        body = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        if len(body) < length:
+            return records, offset, "torn payload"
+        if zlib.crc32(body) != crc:
+            return records, offset, "crc mismatch"
+        try:
+            records.append(WalRecord.decode_payload(body))
+        except DurabilityError:
+            return records, offset, "undecodable payload"
+        offset += _HEADER.size + length
+    return records, offset, None
+
+
+class WriteAheadLog:
+    """Append/scan/rotate/retire interface over one WAL directory.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the segments (created if absent).
+    sync:
+        ``"commit"`` (default) fsyncs every append before it returns --
+        the acknowledgement contract; ``"never"`` leaves flushing to
+        the OS (benchmarks and tests only; an acknowledged commit can
+        then be lost to a machine crash, though not to a process
+        crash).
+    start_lsn:
+        First LSN the *next* append will carry, used to name the first
+        segment when the directory has none.
+    on_fsync:
+        Optional ``fn(seconds)`` latency observer (the server wires the
+        WAL-fsync histogram of
+        :class:`~repro.serving.metrics.ServerMetrics` here).
+    crash:
+        Optional :class:`~repro.resilience.chaos.CrashInjector` armed at
+        one of the WAL kill-points.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        sync: str = "commit",
+        start_lsn: int = 1,
+        on_fsync=None,
+        crash=None,
+    ) -> None:
+        if sync not in ("commit", "never"):
+            raise DurabilityError(f"unknown WAL sync policy {sync!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self.on_fsync = on_fsync
+        self.crash = crash
+        self._start_lsn = start_lsn
+        self._file = None
+        self._path: Path | None = None
+        self.appended = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Segment inventory
+    # ------------------------------------------------------------------
+    def segments(self) -> list[Path]:
+        """Live segment paths, oldest first (orphans excluded)."""
+        return sorted(
+            p
+            for p in self.directory.glob(f"{SEGMENT_PREFIX}*.log")
+            if p.name[len(SEGMENT_PREFIX) : -len(".log")].isdigit()
+        )
+
+    @staticmethod
+    def segment_start_lsn(path: Path) -> int:
+        """The first LSN a segment was opened for (from its name)."""
+        return int(path.name[len(SEGMENT_PREFIX) : -len(".log")])
+
+    def _segment_path(self, start_lsn: int) -> Path:
+        return self.directory / f"{SEGMENT_PREFIX}{start_lsn:016d}.log"
+
+    # ------------------------------------------------------------------
+    # Repair / scan
+    # ------------------------------------------------------------------
+    def repair(self) -> dict:
+        """Truncate torn/corrupt tails; quarantine unreachable segments.
+
+        Scans segments oldest-first.  The first invalid frame ends the
+        valid log: its segment is physically truncated there, and any
+        *later* segments -- unreachable past the corruption -- are
+        renamed to ``*.orphan`` so no future replay can resurrect them.
+        Returns a report (``truncated_bytes``, ``orphaned_segments``,
+        ``last_lsn``).  Idempotent: re-running repairs nothing new.
+        """
+        truncated_bytes = 0
+        orphaned: list[str] = []
+        last_lsn: int | None = None
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            records, valid_bytes, problem = _scan_segment(path)
+            if records:
+                last_lsn = records[-1].lsn
+            if problem is None:
+                continue
+            size = path.stat().st_size
+            truncated_bytes += size - valid_bytes
+            with open(path, "rb+") as fh:
+                fh.truncate(valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+            for orphan in segments[index + 1 :]:
+                orphan.rename(orphan.with_suffix(".log.orphan"))
+                orphaned.append(orphan.name)
+            _fsync_dir(self.directory)
+            break
+        return {
+            "truncated_bytes": truncated_bytes,
+            "orphaned_segments": orphaned,
+            "last_lsn": last_lsn,
+        }
+
+    def records(self, after_lsn: int | None = None) -> list[WalRecord]:
+        """All valid records in LSN order, optionally ``lsn > after_lsn``.
+
+        Assumes :meth:`repair` ran first (raises on an invalid frame).
+        """
+        out: list[WalRecord] = []
+        for path in self.segments():
+            records, _, problem = _scan_segment(path)
+            if problem is not None:
+                raise DurabilityError(
+                    f"invalid WAL frame in {path.name} ({problem}); run repair()"
+                )
+            out.extend(records)
+        if after_lsn is not None:
+            out = [r for r in out if r.lsn > after_lsn]
+        return out
+
+    def last_lsn(self) -> int | None:
+        """LSN of the newest valid record (``None`` for an empty log)."""
+        for path in reversed(self.segments()):
+            records, _, _ = _scan_segment(path)
+            if records:
+                return records[-1].lsn
+        return None
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._file is not None:
+            return
+        segments = self.segments()
+        path = segments[-1] if segments else self._segment_path(self._start_lsn)
+        created = not path.exists()
+        self._file = open(path, "ab")
+        self._path = path
+        if created:
+            _fsync_dir(self.directory)
+
+    def append(self, record: WalRecord) -> int:
+        """Durably append one record; returns the frame's byte count.
+
+        Any OS-level failure (write, flush, fsync) surfaces as a typed
+        :class:`~repro.exceptions.DurabilityError` -- the caller (the
+        dataset's commit path) rolls the update back, so a commit whose
+        log append failed is never acknowledged.
+        """
+        frame = record.encode()
+        try:
+            self._ensure_open()
+            crash = self.crash
+            if crash is not None:
+                # Torn-write kill-point: flush only a prefix of the
+                # frame to the OS, then die.  The partial bytes survive
+                # the process (page cache), modelling a power cut
+                # mid-write; repair() must truncate them.
+                fh = self._file
+
+                def torn() -> None:
+                    fh.write(frame[: max(1, len(frame) // 2)])
+                    fh.flush()
+
+                crash.maybe_crash("wal.append.mid-write", before_exit=torn)
+            self._file.write(frame)
+            self._file.flush()
+            if crash is not None:
+                # Complete frame flushed to the OS but not fsynced and
+                # not acknowledged: recovery may legitimately replay it.
+                crash.maybe_crash("wal.append.pre-fsync")
+            if self.sync == "commit":
+                start = time.perf_counter()
+                os.fsync(self._file.fileno())
+                if self.on_fsync is not None:
+                    self.on_fsync(time.perf_counter() - start)
+        except DurabilityError:
+            raise
+        except Exception as err:
+            raise DurabilityError(f"WAL append failed: {err}") from err
+        self.appended += 1
+        self.bytes_written += len(frame)
+        return len(frame)
+
+    # ------------------------------------------------------------------
+    # Rotation / retirement
+    # ------------------------------------------------------------------
+    def rotate(self, next_lsn: int) -> Path:
+        """Close the active segment; open a fresh one for ``next_lsn``."""
+        if self._file is not None:
+            self._file.flush()
+            if self.sync == "commit":
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+            self._path = None
+        self._start_lsn = next_lsn
+        path = self._segment_path(next_lsn)
+        self._file = open(path, "ab")
+        self._path = path
+        _fsync_dir(self.directory)
+        return path
+
+    def retire(self, checkpoint_lsn: int) -> list[Path]:
+        """Unlink segments wholly covered by a ``checkpoint_lsn`` snapshot.
+
+        A segment is retired when a *later* segment starts at or before
+        ``checkpoint_lsn + 1`` -- i.e. every record it holds has LSN
+        <= ``checkpoint_lsn`` and is reproducible from the snapshot.
+        The active segment is never retired.
+        """
+        segments = self.segments()
+        retired: list[Path] = []
+        for index, path in enumerate(segments):
+            if path == self._path:
+                continue
+            later = segments[index + 1 :]
+            if later and self.segment_start_lsn(later[0]) <= checkpoint_lsn + 1:
+                path.unlink()
+                retired.append(path)
+        if retired:
+            _fsync_dir(self.directory)
+        return retired
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the active segment (append re-opens it)."""
+        if self._file is not None:
+            self._file.flush()
+            if self.sync == "commit":
+                try:
+                    os.fsync(self._file.fileno())
+                except OSError:  # pragma: no cover - platform-dependent
+                    pass
+            self._file.close()
+            self._file = None
+            self._path = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, sync={self.sync!r}, "
+            f"segments={len(self.segments())})"
+        )

@@ -257,3 +257,19 @@ class ParallelFallbackWarning(UserWarning):
     ``parallel_fallbacks`` metric (see
     :class:`~repro.serving.metrics.ServerMetrics`).
     """
+
+
+# ---------------------------------------------------------------------------
+# Durable state (repro.durability)
+# ---------------------------------------------------------------------------
+class DurabilityError(ReproError):
+    """Raised when the persistence subsystem cannot uphold durability.
+
+    Covers write-ahead-log append/fsync failures (the triggering update
+    is rolled back and must not be acknowledged), snapshot checksum
+    mismatches, and recovery-time log inconsistencies (an LSN gap, a
+    dataset attached to a log it has not been recovered from).  A
+    :class:`~repro.serving.server.SkylineServer` turns a WAL append
+    failure into read-only degradation instead of crashing; see
+    ``docs/durability.md``.
+    """

@@ -52,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "FaultInjector",
     "StallInjector",
+    "CrashInjector",
+    "KILL_POINTS",
     "ChaoticKernel",
     "ChaoticBuffer",
     "inject_kernel_faults",
@@ -63,6 +65,19 @@ __all__ = [
     "corrupt_rtree",
     "malform_records",
 ]
+
+#: Named process kill-points honoured by the durability subsystem
+#: (:mod:`repro.durability`): mid-WAL-append leaves a torn record on
+#: disk, post-append-pre-fsync leaves a complete but unacknowledged
+#: record, mid-snapshot-rename leaves a temp file next to the previous
+#: checkpoint, and mid-replay dies while a *recovery* is replaying the
+#: log.  ``repro crash-replay`` sweeps all four (docs/durability.md).
+KILL_POINTS = (
+    "wal.append.mid-write",
+    "wal.append.pre-fsync",
+    "snapshot.mid-rename",
+    "recovery.mid-replay",
+)
 
 
 class FaultInjector:
@@ -182,6 +197,50 @@ class StallInjector:
             self.sites.append(site)
         self.release.wait(self.stall_seconds)
         return True
+
+
+class CrashInjector:
+    """Seeded process kill: ``os._exit`` at a named durability site.
+
+    Unlike :class:`FaultInjector` (raises) and :class:`StallInjector`
+    (sleeps), a tripped call *terminates the process immediately* --
+    no ``finally`` blocks, no atexit handlers, no flushing -- which is
+    exactly what a power cut or ``kill -9`` looks like to the
+    write-ahead log.  The durability code threads one injector through
+    its crash sites (:data:`KILL_POINTS`); ``maybe_crash`` fires on the
+    ``fail_after``-th call at the armed ``site`` and ignores every other
+    site, so one injector models one precisely-placed crash.
+
+    ``before_exit`` (passed by the call site, not the constructor) runs
+    just before the exit to materialize the torn on-disk state the
+    crash should leave behind -- e.g. half of a WAL record flushed to
+    the OS.  Exit code :attr:`exit_code` (default 17) lets the
+    crash-replay harness distinguish an injected crash from a real bug.
+    """
+
+    __slots__ = ("site", "fail_after", "exit_code", "calls", "armed")
+
+    def __init__(self, site: str, fail_after: int = 1, exit_code: int = 17) -> None:
+        if site not in KILL_POINTS:
+            raise KernelError(f"unknown kill-point {site!r}")
+        self.site = site
+        self.fail_after = fail_after
+        self.exit_code = exit_code
+        self.calls = 0
+        self.armed = True
+
+    def maybe_crash(self, site: str, before_exit=None) -> None:
+        """Count one pass through ``site``; kill the process on the match."""
+        if not self.armed or site != self.site:
+            return
+        self.calls += 1
+        if self.calls < self.fail_after:
+            return
+        import os
+
+        if before_exit is not None:
+            before_exit()
+        os._exit(self.exit_code)
 
 
 class ChaoticBuffer:

@@ -176,6 +176,20 @@ class ServerMetrics:
         self.degradation_mode = "healthy"
         self.degradations = 0
         self.recoveries = 0
+        # Durability section (repro.durability): WAL traffic and fsync
+        # latency, checkpoint cadence, segment retirement, the sticky
+        # read-only degradation state, and per-listener failure counts
+        # mirrored from the dataset's hardened post-commit registry.
+        self.wal_appends = 0
+        self.wal_bytes = 0
+        self.wal_failures = 0
+        self.wal_fsync = LatencyHistogram()
+        self.checkpoints = 0
+        self.checkpoint_failures = 0
+        self.wal_segments_retired = 0
+        self.listener_failures: dict[str, int] = {}
+        self.read_only = False
+        self.read_only_reason: str | None = None
 
     # ------------------------------------------------------------------
     # Admission-side events
@@ -335,6 +349,42 @@ class ServerMetrics:
                 self.recoveries += 1
 
     # ------------------------------------------------------------------
+    # Durability events (repro.durability)
+    # ------------------------------------------------------------------
+    def on_wal_append(self, nbytes: int) -> None:
+        """Count one durable WAL append of ``nbytes`` framed bytes."""
+        with self._lock:
+            self.wal_appends += 1
+            self.wal_bytes += nbytes
+
+    def on_wal_failure(self) -> None:
+        """Count one WAL append failure (the commit was rolled back)."""
+        with self._lock:
+            self.wal_failures += 1
+
+    def on_checkpoint(self, retired: int = 0) -> None:
+        """Count one completed checkpoint and its retired WAL segments."""
+        with self._lock:
+            self.checkpoints += 1
+            self.wal_segments_retired += retired
+
+    def on_checkpoint_failure(self) -> None:
+        """Count one failed checkpoint (the WAL still covers the data)."""
+        with self._lock:
+            self.checkpoint_failures += 1
+
+    def on_listener_failure(self, name: str) -> None:
+        """Count one isolated post-commit listener failure by name."""
+        with self._lock:
+            self.listener_failures[name] = self.listener_failures.get(name, 0) + 1
+
+    def on_read_only(self, reason: str) -> None:
+        """Latch the sticky read-only degradation state."""
+        with self._lock:
+            self.read_only = True
+            self.read_only_reason = reason
+
+    # ------------------------------------------------------------------
     # Result-cache events (repro.views)
     # ------------------------------------------------------------------
     def on_cache_hit(self, age_seconds: float) -> None:
@@ -400,6 +450,21 @@ class ServerMetrics:
                     "fallbacks": self.parallel_fallbacks,
                 },
                 "updates": self.updates,
+                "durability": {
+                    "wal_appends": self.wal_appends,
+                    "wal_bytes": self.wal_bytes,
+                    "wal_failures": self.wal_failures,
+                    "wal_fsync": self.wal_fsync.snapshot(),
+                    "checkpoints": self.checkpoints,
+                    "checkpoint_failures": self.checkpoint_failures,
+                    "wal_segments_retired": self.wal_segments_retired,
+                    "read_only": self.read_only,
+                    "read_only_reason": self.read_only_reason,
+                },
+                "listeners": {
+                    "failures": dict(sorted(self.listener_failures.items())),
+                    "failures_total": sum(self.listener_failures.values()),
+                },
                 "cache": {
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,

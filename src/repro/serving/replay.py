@@ -32,7 +32,13 @@ from repro.serving.overload import OverloadConfig, RetryPolicy
 from repro.serving.server import QueryRequest, SkylineServer
 from repro.workloads.trace import SCENARIOS, WorkloadTrace, generate_trace
 
-__all__ = ["run_replay", "replay_trace", "DEFAULT_MULTIPLIERS"]
+__all__ = [
+    "run_replay",
+    "replay_trace",
+    "saturation_knee",
+    "compare_baseline",
+    "DEFAULT_MULTIPLIERS",
+]
 
 #: Rate multipliers swept by default: below, at, and past saturation.
 DEFAULT_MULTIPLIERS = (0.5, 1.0, 2.0, 4.0)
@@ -154,6 +160,79 @@ def replay_trace(
         "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
         "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
         "queue_wait_p99_ms": round(_percentile(queue_waits, 0.99) * 1e3, 3),
+    }
+
+
+def saturation_knee(report: dict, factor: float = 3.0) -> dict:
+    """Per-scenario saturation knee of one replay report.
+
+    The knee is the lowest rate multiplier whose p99 latency reaches
+    ``factor`` × the p99 at the lowest multiplier of the same scenario
+    -- the point where the envelope visibly bends.  Scenarios whose p99
+    never reaches the factor within the sweep map to ``None`` (no knee
+    observed: the server kept up at every offered rate).
+    """
+    knees: dict[str, float | None] = {}
+    for name, scenario in report.get("scenarios", {}).items():
+        cells = sorted(scenario.get("cells", []), key=lambda c: c["multiplier"])
+        if not cells:
+            knees[name] = None
+            continue
+        base = cells[0].get("latency_p99_ms", 0.0)
+        knee = None
+        if base > 0:
+            for cell in cells:
+                if cell.get("latency_p99_ms", 0.0) >= factor * base:
+                    knee = cell["multiplier"]
+                    break
+        knees[name] = knee
+    return knees
+
+
+def compare_baseline(
+    report: dict,
+    baseline: dict,
+    tolerance: float = 0.25,
+    factor: float = 3.0,
+) -> dict:
+    """Compare saturation knees against a committed baseline artifact.
+
+    A scenario **regresses** when its knee shifted *left* -- the server
+    now saturates at a lower offered rate -- by more than ``tolerance``
+    (fractional): ``current < baseline * (1 - tolerance)``.  A scenario
+    with no observed knee is treated as saturating beyond the sweep, so
+    losing the knee entirely never regresses and gaining one where the
+    baseline had none always does.  This is a *warning* signal for the
+    capacity-envelope tracking workflow (``repro replay --baseline``),
+    not a hard gate: absolute timings are machine-dependent, but a knee
+    sliding left on the same machine usually means a real capacity
+    loss.
+    """
+    current = saturation_knee(report, factor)
+    previous = saturation_knee(baseline, factor)
+    scenarios: dict[str, dict] = {}
+    regressions: list[str] = []
+    for name in sorted(set(current) & set(previous)):
+        knee, base_knee = current[name], previous[name]
+        if base_knee is None:
+            shifted = knee is not None
+        elif knee is None:
+            shifted = False
+        else:
+            shifted = knee < base_knee * (1.0 - tolerance)
+        scenarios[name] = {
+            "current_knee": knee,
+            "baseline_knee": base_knee,
+            "shifted_left": shifted,
+        }
+        if shifted:
+            regressions.append(name)
+    return {
+        "factor": factor,
+        "tolerance": tolerance,
+        "scenarios": scenarios,
+        "regressions": regressions,
+        "ok": not regressions,
     }
 
 

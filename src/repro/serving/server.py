@@ -345,6 +345,19 @@ class SkylineServer:
         and retries off -- behaviourally identical to the pre-overload
         server under healthy operation -- while breakers and the
         watchdog defend against repeated failure.
+    durability:
+        Opt-in crash safety (``docs/durability.md``).  ``None``
+        (default) keeps the server purely in-memory.  A directory path
+        or :class:`~repro.durability.DurabilityConfig` builds a
+        :class:`~repro.durability.DurabilityManager` (owned: closed
+        with the server); a ready manager is attached as-is.  With
+        durability on, every :meth:`insert`/:meth:`delete` appends a
+        fsynced WAL record inside the dataset's commit path under the
+        writer lock -- an update is acknowledged only once it is on
+        disk -- and a WAL I/O failure rolls the update back and
+        latches the server into **read-only** degradation (queries
+        keep serving; further updates raise
+        :class:`~repro.exceptions.ServingError`) instead of crashing.
     """
 
     def __init__(
@@ -365,6 +378,7 @@ class SkylineServer:
         cache_entries: int = 256,
         cache_bytes: int = 32 * 1024 * 1024,
         overload: OverloadConfig | None = None,
+        durability=None,
     ) -> None:
         if workers < 1:
             raise ServingError("workers must be positive")
@@ -416,6 +430,31 @@ class SkylineServer:
         self._ladder = DegradationLadder(
             on_transition=self.metrics.on_degradation
         )
+        # Sticky read-only degradation: latched on a WAL I/O failure and
+        # deliberately NOT a ladder rung -- the ladder's recovery path
+        # steps down automatically after a clear window, which must
+        # never silently re-enable writes over a broken log.
+        self._read_only = False
+        self._read_only_reason: str | None = None
+        # Per-listener failure counts from the dataset's hardened
+        # post-commit registry surface in this server's metrics.
+        self.dataset._listener_failure_hook = self.metrics.on_listener_failure
+        self._durability = None
+        self._owns_durability = False
+        if durability is not None:
+            from repro.durability import DurabilityManager
+
+            if isinstance(durability, DurabilityManager):
+                self._durability = durability
+                if durability.metrics is None:
+                    durability.metrics = self.metrics
+            else:
+                self._durability = DurabilityManager(
+                    durability, metrics=self.metrics
+                )
+                self._owns_durability = True
+            if not self._durability._attached:
+                self._durability.attach(self.dataset)
         # Chaos fault points (armed by repro.resilience.chaos helpers).
         self._worker_injector = None
         self._stall_injector = None
@@ -515,6 +554,8 @@ class SkylineServer:
             self._parallel.close()
         if self._views is not None:
             self._views.detach()
+        if self._durability is not None and self._owns_durability:
+            self._durability.detach()
 
     def __enter__(self) -> "SkylineServer":
         return self
@@ -1062,10 +1103,19 @@ class SkylineServer:
         overload config's ``update_lock_timeout`` elapses before every
         in-flight query drains (the dataset is untouched in that case).
         """
+        from repro.exceptions import DurabilityError
+
+        self._check_writable()
         timeout = self.overload.update_lock_timeout
         with self._rwlock.write_lock(timeout=timeout):
             self._chaos_lock_hold()
-            self.dataset.insert_record(record)
+            try:
+                self.dataset.insert_record(record)
+            except DurabilityError as err:
+                # The dataset already rolled the update back; the
+                # storage layer is no longer trustworthy for writes.
+                self._enter_read_only(str(err))
+                raise
             if self._parallel is not None:
                 # The shared-memory arrays snapshot the points at pack
                 # time; re-shard on next parallel query.
@@ -1074,15 +1124,48 @@ class SkylineServer:
 
     def delete(self, rid) -> bool:
         """Delete the record with id ``rid`` (``False`` when absent)."""
+        from repro.exceptions import DurabilityError
+
+        self._check_writable()
         timeout = self.overload.update_lock_timeout
         with self._rwlock.write_lock(timeout=timeout):
             self._chaos_lock_hold()
-            removed = self.dataset.delete_record(rid)
+            try:
+                removed = self.dataset.delete_record(rid)
+            except DurabilityError as err:
+                self._enter_read_only(str(err))
+                raise
             if removed and self._parallel is not None:
                 self._parallel.invalidate()
         if removed:
             self.metrics.on_update()
         return removed
+
+    def checkpoint(self):
+        """Force a durability checkpoint now (writer-excluded snapshot).
+
+        Raises :class:`~repro.exceptions.ServingError` when the server
+        was built without ``durability``.
+        """
+        if self._durability is None:
+            raise ServingError("server has no durability manager")
+        timeout = self.overload.update_lock_timeout
+        with self._rwlock.write_lock(timeout=timeout):
+            return self._durability.checkpoint()
+
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise ServingError(
+                f"server is read-only ({self._read_only_reason}); "
+                "recover the durability directory and restart to resume writes"
+            )
+
+    def _enter_read_only(self, reason: str) -> None:
+        """Latch read-only degradation after a durability failure."""
+        if not self._read_only:
+            self._read_only = True
+            self._read_only_reason = reason
+            self.metrics.on_read_only(reason)
 
     def _chaos_lock_hold(self) -> None:
         """Chaos fault point: stall while holding the writer lock."""
@@ -1101,6 +1184,16 @@ class SkylineServer:
     def views(self):
         """The :class:`~repro.views.ViewManager` (``None`` when off)."""
         return self._views
+
+    @property
+    def durability(self):
+        """The :class:`~repro.durability.DurabilityManager` (or ``None``)."""
+        return self._durability
+
+    @property
+    def read_only(self) -> bool:
+        """Whether a durability failure latched the server read-only."""
+        return self._read_only
 
     @property
     def ladder(self) -> DegradationLadder:

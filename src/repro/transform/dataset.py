@@ -149,6 +149,20 @@ class TransformedDataset:
         #: :class:`~repro.views.ViewManager` patch/invalidate its
         #: materialized answers atomically with the update.
         self._update_listeners: list = []
+        #: The durability commit hook, ``fn(op, point, lsn)``.  Unlike
+        #: post-commit listeners it runs *inside* the transactional
+        #: section, after the structural mutation but before the version
+        #: bump: a raise here rolls the whole update back, which is how
+        #: a failed WAL append prevents the commit from ever being
+        #: acknowledged (see :mod:`repro.durability.manager`).
+        self._commit_hook = None
+        #: Per-listener failure tally, ``{qualified name: count}`` --
+        #: a post-commit listener that raises is isolated (the commit
+        #: stands, later listeners still fire), logged and counted here.
+        self.listener_failures: dict[str, int] = {}
+        #: Optional ``fn(name)`` mirror of listener failures into
+        #: :class:`~repro.serving.metrics.ServerMetrics`.
+        self._listener_failure_hook = None
 
     # ------------------------------------------------------------------
     @property
@@ -256,6 +270,7 @@ class TransformedDataset:
         self.records.append(record)
         self.points.append(point)
         in_index = False
+        in_stratum = False
         stratification = self._stratification
         try:
             if injector is not None:
@@ -266,16 +281,25 @@ class TransformedDataset:
             if injector is not None:
                 injector.maybe_fail("dataset.insert_record.pre-strata")
             if self._stratification is not None:
-                if not self._stratification.add_point(point):
+                if self._stratification.add_point(point):
+                    in_stratum = True
+                else:
                     self._stratification = None  # new stratum needed: rebuild
+            if self._commit_hook is not None:
+                self._commit_hook("insert", point, self.update_version + 1)
         except Exception:
             # Restore the pre-insert state: an update either completes or
             # leaves the dataset exactly as it was (see the update-chaos
-            # suite in tests/test_chaos.py).
+            # suite in tests/test_chaos.py).  The stratum membership must
+            # be undone explicitly -- restoring the reference alone would
+            # leave the point inside its stratum when a later step (the
+            # durability commit hook) fails.
             self.points.pop()
             self.records.pop()
             if in_index:
                 self._index.delete(point)
+            if in_stratum:
+                stratification.remove_point(point)
             self._stratification = stratification
             raise
         self.update_version += 1
@@ -294,6 +318,7 @@ class TransformedDataset:
         record = self.records[position]
         del self.records[position]
         from_index = False
+        from_strata = False
         try:
             if injector is not None:
                 injector.maybe_fail("dataset.delete_record.pre-index")
@@ -303,7 +328,9 @@ class TransformedDataset:
             if injector is not None:
                 injector.maybe_fail("dataset.delete_record.pre-strata")
             if self._stratification is not None:
-                self._stratification.remove_point(point)
+                from_strata = self._stratification.remove_point(point)
+            if self._commit_hook is not None:
+                self._commit_hook("delete", point, self.update_version + 1)
         except Exception:
             # Restore the pre-delete state (logically identical dataset:
             # same points, same strata; the re-inserted index entry may
@@ -312,6 +339,11 @@ class TransformedDataset:
             self.records.insert(position, record)
             if from_index:
                 self._index.insert(point)
+            if from_strata:
+                if not self._stratification.add_point(point):
+                    # The emptied stratum was dropped by remove_point;
+                    # rebuild lazily rather than resurrect it in place.
+                    self._stratification = None
             raise
         self.update_version += 1
         self._notify_listeners("delete", point)
@@ -328,9 +360,50 @@ class TransformedDataset:
         except ValueError:
             pass
 
+    def set_commit_hook(self, hook) -> None:
+        """Install (or with ``None`` clear) the transactional commit hook.
+
+        At most one hook may be active -- it is the durability layer's
+        slot, and silently replacing a live WAL hook would fork the log.
+        """
+        if hook is not None and self._commit_hook is not None:
+            from repro.exceptions import DurabilityError
+
+            raise DurabilityError("dataset already has a commit hook")
+        self._commit_hook = hook
+
+    @staticmethod
+    def _listener_name(listener) -> str:
+        name = getattr(listener, "__qualname__", None)
+        if name is None:  # bound methods carry it on __func__
+            name = getattr(
+                getattr(listener, "__func__", listener), "__qualname__", None
+            )
+        return name if name is not None else repr(listener)
+
     def _notify_listeners(self, op: str, point: Point) -> None:
-        for listener in self._update_listeners:
-            listener(op, point)
+        # The commit already happened (and, with durability on, is on
+        # disk): one misbehaving observer must neither un-commit it nor
+        # starve the listeners after it.  Isolate, warn, count.
+        for listener in list(self._update_listeners):
+            try:
+                listener(op, point)
+            except Exception as err:
+                import warnings
+
+                name = self._listener_name(listener)
+                self.listener_failures[name] = self.listener_failures.get(name, 0) + 1
+                warnings.warn(
+                    f"update listener {name} raised on {op}: {err!r} "
+                    "(commit stands; listener isolated)",
+                    stacklevel=2,
+                )
+                hook = self._listener_failure_hook
+                if hook is not None:
+                    try:
+                        hook(name)
+                    except Exception:
+                        pass
 
     def rebuild_indexes(self, validate: bool = True) -> None:
         """Drop and rebuild the derived index structures from the points.
@@ -387,6 +460,9 @@ class TransformedDataset:
         view._update_injector = None
         view.update_version = self.update_version
         view._update_listeners = []
+        view._commit_hook = None
+        view.listener_failures = {}
+        view._listener_failure_hook = None
         return view
 
     def fallback_view(self) -> "TransformedDataset":
@@ -425,6 +501,9 @@ class TransformedDataset:
         view._update_injector = None
         view.update_version = self.update_version
         view._update_listeners = []
+        view._commit_hook = None
+        view.listener_failures = {}
+        view._listener_failure_hook = None
         return view
 
     def query_view(
@@ -499,6 +578,9 @@ class TransformedDataset:
         view._update_injector = None
         view.update_version = self.update_version
         view._update_listeners = []
+        view._commit_hook = None
+        view.listener_failures = {}
+        view._listener_failure_hook = None
         return view
 
     def attach_buffer_pool(self, pool) -> None:

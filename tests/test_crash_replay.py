@@ -1,0 +1,151 @@
+"""Kill-point chaos matrix: real process crashes, recovery audits.
+
+Each cell forks a workload child that dies at an armed kill-point
+(``os._exit`` mid-WAL-append, pre-fsync, mid-snapshot-rename or
+mid-replay), then recovers the durability directory and checks the
+acknowledgement contract.  The full matrix is cheap (<1s) because the
+cells are tiny; CI additionally runs ``repro crash-replay`` with the
+default sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.crashreplay import (
+    CRASH_EXIT_CODE,
+    _cell_workload,
+    run_crash_replay,
+)
+from repro.resilience.chaos import KILL_POINTS, CrashInjector
+
+
+class TestCrashInjector:
+    def test_unarmed_site_never_fires(self):
+        crash = CrashInjector("wal.append.mid-write", fail_after=1)
+        crash.maybe_crash("snapshot.mid-rename")  # different site: no-op
+
+    def test_kill_points_cover_all_layers(self):
+        assert set(KILL_POINTS) == {
+            "wal.append.mid-write",
+            "wal.append.pre-fsync",
+            "snapshot.mid-rename",
+            "recovery.mid-replay",
+        }
+
+
+class TestWorkloadDeterminism:
+    def test_plan_is_reproducible_across_calls(self):
+        # Parent and forked children regenerate the workload from the
+        # seed instead of pickling it; the plans must agree exactly.
+        schema_a, records_a, plan_a = _cell_workload(7, 30, 10)
+        schema_b, records_b, plan_b = _cell_workload(7, 30, 10)
+        assert [r.rid for r in records_a] == [r.rid for r in records_b]
+        assert [op for op, _ in plan_a] == [op for op, _ in plan_b]
+        for (op_a, arg_a), (op_b, arg_b) in zip(plan_a, plan_b):
+            if op_a == "insert":
+                assert arg_a.rid == arg_b.rid
+                assert arg_a.totals == arg_b.totals
+            else:
+                assert arg_a == arg_b
+
+    def test_different_seeds_differ(self):
+        _, _, plan_a = _cell_workload(7, 30, 10)
+        _, _, plan_b = _cell_workload(2025, 30, 10)
+        assert [op for op, _ in plan_a] != [op for op, _ in plan_b] or [
+            getattr(arg, "rid", arg) for _, arg in plan_a
+        ] != [getattr(arg, "rid", arg) for _, arg in plan_b]
+
+
+class TestCrashReplayMatrix:
+    def test_full_matrix_passes(self, tmp_path):
+        report = run_crash_replay(
+            seeds=(7,), n=30, ops=10, workdir=tmp_path,
+            out=tmp_path / "report.json",
+        )
+        assert report["passed"], [
+            (c["kill_point"], c["problems"])
+            for c in report["cells"]
+            if not c["pass"]
+        ]
+        assert len(report["cells"]) == len(KILL_POINTS)
+        assert (tmp_path / "report.json").exists()
+        by_kp = {c["kill_point"]: c for c in report["cells"]}
+        for cell in report["cells"]:
+            # The child must die from the armed crash, not accidentally.
+            assert cell["exit_code"] == CRASH_EXIT_CODE
+            # The acknowledgement contract.
+            assert cell["acked"] <= cell["recovered"] <= cell["submitted"]
+            assert cell["recovered"] <= cell["acked"] + 1
+            assert cell["fsck_clean"]
+        torn = by_kp["wal.append.mid-write"]
+        # A torn record is truncated, never replayed.
+        assert torn["recovered"] == torn["acked"]
+        assert torn["truncated_bytes"] > 0
+        # The two-phase cell proved recovery survives its own crash.
+        mid_replay = by_kp["recovery.mid-replay"]
+        assert mid_replay["recovery_crash_code"] == CRASH_EXIT_CODE
+
+    def test_unknown_kill_point_rejected_by_cli(self, capsys):
+        from repro.cli import main
+
+        code = main(["crash-replay", "--kill-points", "wal.append.sideways"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown kill-point" in (captured.out + captured.err).lower()
+
+    def test_cli_runs_one_cell(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "matrix.json"
+        code = main(
+            [
+                "crash-replay",
+                "--kill-points",
+                "wal.append.pre-fsync",
+                "--seeds",
+                "7",
+                "--size",
+                "30",
+                "--ops",
+                "8",
+                "--output",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        assert "pass" in captured.out.lower()
+        assert out.exists()
+
+
+class TestFsckCli:
+    def test_fsck_clean_directory(self, tmp_path, capsys):
+        import random
+
+        from conftest import random_mixed_dataset
+        from repro.cli import main
+        from repro.durability import DurabilityConfig, DurabilityManager
+        from repro.transform.dataset import TransformedDataset
+
+        rng = random.Random(3)
+        schema, records = random_mixed_dataset(rng, n=15)
+        dataset = TransformedDataset(schema, records)
+        with DurabilityManager(DurabilityConfig(tmp_path)) as manager:
+            manager.attach(dataset)
+            template = records[0]
+            from repro.core.record import Record
+
+            dataset.insert_record(
+                Record("cli-extra", template.totals, template.partials)
+            )
+        code = main(["fsck", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        assert "clean" in captured.out.lower()
+
+    def test_fsck_missing_directory_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["fsck", str(tmp_path / "nope")])
+        assert code != 0

@@ -1,0 +1,671 @@
+"""Tests for the durability layer: WAL, snapshots, recovery, fsck.
+
+The crash-process chaos matrix lives in ``test_crash_replay.py``; this
+file covers the single-process contracts: frame encoding, torn-tail
+repair, snapshot atomicity and fallback, manager attach/checkpoint
+semantics, commit rollback on WAL failure, the server's read-only
+degradation, the hardened listener registry and atomic bench artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from conftest import random_mixed_dataset
+from repro.core.record import Record
+from repro.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    WalRecord,
+    WriteAheadLog,
+    fsck,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    recover,
+    rebuild_dataset,
+    write_snapshot,
+)
+from repro.durability.recovery import SNAPSHOT_SUBDIR, WAL_SUBDIR
+from repro.durability.snapshot import dataset_body, snapshot_lsn
+from repro.durability.wal import _HEADER, MAX_PAYLOAD_BYTES
+from repro.exceptions import DurabilityError
+from repro.transform.dataset import TransformedDataset
+
+
+def _dataset(seed: int = 11, n: int = 25, **kwargs) -> TransformedDataset:
+    rng = random.Random(seed)
+    schema, records = random_mixed_dataset(rng, n=n)
+    return TransformedDataset(schema, records, **kwargs)
+
+
+def _fresh_record(dataset: TransformedDataset, rid) -> Record:
+    template = dataset.records[0]
+    return Record(rid, template.totals, template.partials)
+
+
+# ---------------------------------------------------------------------------
+# WAL frames and segments
+# ---------------------------------------------------------------------------
+class TestWal:
+    def test_append_read_roundtrip(self, tmp_path):
+        dataset = _dataset(n=5)
+        with WriteAheadLog(tmp_path, sync="never") as wal:
+            wal.append(WalRecord(1, "insert", record=dataset.records[0]))
+            wal.append(WalRecord(2, "delete", rid=dataset.records[1].rid))
+            records = wal.records()
+        assert [r.lsn for r in records] == [1, 2]
+        assert records[0].op == "insert"
+        assert records[0].record.rid == dataset.records[0].rid
+        assert records[0].record.totals == dataset.records[0].totals
+        assert records[1].op == "delete"
+        assert records[1].rid == dataset.records[1].rid
+        assert wal.appended == 2
+        assert wal.bytes_written > 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DurabilityError, match="unknown WAL op"):
+            WalRecord(1, "truncate").encode()
+
+    def test_records_after_lsn_filter(self, tmp_path):
+        dataset = _dataset(n=3)
+        with WriteAheadLog(tmp_path, sync="never") as wal:
+            for lsn in (1, 2, 3):
+                wal.append(WalRecord(lsn, "insert", record=dataset.records[0]))
+            assert [r.lsn for r in wal.records(after_lsn=1)] == [2, 3]
+            assert wal.last_lsn() == 3
+
+    def test_torn_payload_truncated(self, tmp_path):
+        dataset = _dataset(n=3)
+        with WriteAheadLog(tmp_path, sync="never") as wal:
+            wal.append(WalRecord(1, "insert", record=dataset.records[0]))
+            frame = WalRecord(2, "insert", record=dataset.records[1]).encode()
+        segment = WriteAheadLog(tmp_path).segments()[0]
+        with open(segment, "ab") as fh:
+            fh.write(frame[:-4])  # torn mid-payload
+        wal = WriteAheadLog(tmp_path)
+        report = wal.repair()
+        assert report["truncated_bytes"] == len(frame) - 4
+        assert report["last_lsn"] == 1
+        assert [r.lsn for r in wal.records()] == [1]
+        # Idempotent: a second repair finds nothing.
+        assert wal.repair()["truncated_bytes"] == 0
+
+    def test_crc_mismatch_truncated(self, tmp_path):
+        dataset = _dataset(n=3)
+        with WriteAheadLog(tmp_path, sync="never") as wal:
+            wal.append(WalRecord(1, "insert", record=dataset.records[0]))
+            offset = wal.bytes_written
+            wal.append(WalRecord(2, "insert", record=dataset.records[1]))
+        segment = WriteAheadLog(tmp_path).segments()[0]
+        data = bytearray(segment.read_bytes())
+        data[offset + _HEADER.size + 2] ^= 0xFF  # flip a payload byte
+        segment.write_bytes(bytes(data))
+        wal = WriteAheadLog(tmp_path)
+        assert wal.repair()["truncated_bytes"] > 0
+        assert [r.lsn for r in wal.records()] == [1]
+
+    def test_implausible_length_is_corruption(self, tmp_path):
+        segment = tmp_path / "wal-0000000000000001.log"
+        segment.write_bytes(_HEADER.pack(MAX_PAYLOAD_BYTES + 1, 0))
+        wal = WriteAheadLog(tmp_path)
+        report = wal.repair()
+        assert report["truncated_bytes"] == _HEADER.size
+        assert wal.records() == []
+
+    def test_corruption_orphans_later_segments(self, tmp_path):
+        dataset = _dataset(n=3)
+        wal = WriteAheadLog(tmp_path, sync="never")
+        wal.append(WalRecord(1, "insert", record=dataset.records[0]))
+        wal.rotate(2)
+        wal.append(WalRecord(2, "insert", record=dataset.records[1]))
+        wal.close()
+        first = WriteAheadLog(tmp_path).segments()[0]
+        with open(first, "ab") as fh:
+            fh.write(b"\x00\x01")  # torn header mid-log
+        wal = WriteAheadLog(tmp_path)
+        report = wal.repair()
+        assert report["orphaned_segments"] == ["wal-0000000000000002.log"]
+        # Nothing past the corruption is ever replayed.
+        assert [r.lsn for r in wal.records()] == [1]
+        assert len(list(tmp_path.glob("*.orphan"))) == 1
+
+    def test_unrepaired_corruption_refuses_scan(self, tmp_path):
+        segment = tmp_path / "wal-0000000000000001.log"
+        segment.write_bytes(b"\x00\x00")
+        with pytest.raises(DurabilityError, match="run repair"):
+            WriteAheadLog(tmp_path).records()
+
+    def test_rotate_and_retire(self, tmp_path):
+        dataset = _dataset(n=4)
+        wal = WriteAheadLog(tmp_path, sync="never")
+        wal.append(WalRecord(1, "insert", record=dataset.records[0]))
+        wal.rotate(2)
+        wal.append(WalRecord(2, "insert", record=dataset.records[1]))
+        wal.rotate(3)
+        retired = wal.retire(2)
+        assert [p.name for p in retired] == [
+            "wal-0000000000000001.log",
+            "wal-0000000000000002.log",
+        ]
+        # The active segment survives even when covered.
+        assert len(wal.segments()) == 1
+        wal.close()
+
+    def test_bad_sync_policy(self, tmp_path):
+        with pytest.raises(DurabilityError, match="sync policy"):
+            WriteAheadLog(tmp_path, sync="sometimes")
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+class TestSnapshot:
+    def test_write_load_rebuild_bit_identical(self, tmp_path):
+        dataset = _dataset(seed=3, n=20)
+        path = write_snapshot(tmp_path, dataset, dataset.update_version)
+        body = load_snapshot(path)
+        rebuilt = rebuild_dataset(body)
+        assert [r.rid for r in rebuilt.records] == [
+            r.rid for r in dataset.records
+        ]
+        # Transformed coordinates must be bit-identical (the persisted
+        # spanning forests pin the encoding).
+        assert [p.vector for p in rebuilt.points] == [
+            p.vector for p in dataset.points
+        ]
+        assert [p.pix for p in rebuilt.points] == [
+            p.pix for p in dataset.points
+        ]
+        assert snapshot_lsn(path) == dataset.update_version
+
+    def test_no_temp_files_left(self, tmp_path):
+        dataset = _dataset(n=5)
+        write_snapshot(tmp_path, dataset, 0)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_corrupt_checksum_detected(self, tmp_path):
+        dataset = _dataset(n=5)
+        path = write_snapshot(tmp_path, dataset, 0)
+        doc = json.loads(path.read_text())
+        doc["crc32"] ^= 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(DurabilityError, match="checksum"):
+            load_snapshot(path)
+
+    def test_prune_keeps_newest(self, tmp_path):
+        dataset = _dataset(n=5)
+        for lsn in (1, 2, 3):
+            write_snapshot(tmp_path, dataset, lsn)
+        (tmp_path / "snapshot-stray.json.tmp").write_text("junk")
+        prune_snapshots(tmp_path, keep=2)
+        assert [snapshot_lsn(p) for p in list_snapshots(tmp_path)] == [2, 3]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_body_round_trips_config(self, tmp_path):
+        dataset = _dataset(n=8, kernel="numpy", max_entries=4)
+        body = dataset_body(dataset, 0)
+        rebuilt = rebuild_dataset(body)
+        assert rebuilt.kernel_name == "numpy"
+        assert rebuilt.max_entries == 4
+        assert rebuilt.native_mode == dataset.native_mode
+
+
+# ---------------------------------------------------------------------------
+# Manager: attach, checkpoint, rollback on WAL failure
+# ---------------------------------------------------------------------------
+class TestManager:
+    def test_attach_writes_genesis_snapshot(self, tmp_path):
+        dataset = _dataset(n=10)
+        with DurabilityManager(DurabilityConfig(tmp_path)) as manager:
+            manager.attach(dataset)
+            assert len(list_snapshots(tmp_path / SNAPSHOT_SUBDIR)) == 1
+            assert manager.checkpoints == 1
+
+    def test_double_attach_rejected(self, tmp_path):
+        dataset = _dataset(n=5)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        try:
+            with pytest.raises(DurabilityError, match="already attached"):
+                manager.attach(dataset)
+            other = DurabilityManager(DurabilityConfig(tmp_path / "b"))
+            with pytest.raises(DurabilityError, match="commit hook"):
+                other.attach(dataset)
+        finally:
+            manager.detach()
+
+    def test_unreplayed_tail_rejected(self, tmp_path):
+        dataset = _dataset(n=10)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        dataset.insert_record(_fresh_record(dataset, "extra"))
+        manager.detach()
+        # A fresh dataset (version 0) against a WAL tail at LSN 1 would
+        # fork history; attach must demand recover() instead.
+        fresh = _dataset(n=10)
+        with pytest.raises(DurabilityError, match="recover"):
+            DurabilityManager(DurabilityConfig(tmp_path)).attach(fresh)
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        dataset = _dataset(n=10)
+        config = DurabilityConfig(
+            tmp_path, checkpoint_interval=2, keep_snapshots=2
+        )
+        with DurabilityManager(config) as manager:
+            manager.attach(dataset)
+            for i in range(4):
+                dataset.insert_record(_fresh_record(dataset, f"auto-{i}"))
+            assert manager.checkpoints == 3  # genesis + 2 automatic
+            assert manager.commits_since_checkpoint == 0
+
+    def test_wal_failure_rolls_back_commit(self, tmp_path):
+        dataset = _dataset(n=10)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        try:
+            version = dataset.update_version
+            size = len(dataset.points)
+            skyline_before = {
+                p.record.rid for p in _skyline_points(dataset)
+            }
+
+            def broken_append(entry):
+                raise DurabilityError("disk on fire")
+
+            manager.wal.append = broken_append
+            with pytest.raises(DurabilityError, match="disk on fire"):
+                dataset.insert_record(_fresh_record(dataset, "doomed"))
+            # Fully rolled back: version unbumped, point gone, strata
+            # and skyline exactly as before the failed commit.
+            assert dataset.update_version == version
+            assert len(dataset.points) == size
+            assert all(p.record.rid != "doomed" for p in dataset.points)
+            assert {
+                p.record.rid for p in _skyline_points(dataset)
+            } == skyline_before
+        finally:
+            manager.detach()
+
+    def test_wal_failure_rolls_back_delete(self, tmp_path):
+        dataset = _dataset(n=10)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        try:
+            victim = dataset.records[0].rid
+            version = dataset.update_version
+
+            def broken_append(entry):
+                raise DurabilityError("no space")
+
+            manager.wal.append = broken_append
+            with pytest.raises(DurabilityError):
+                dataset.delete_record(victim)
+            assert dataset.update_version == version
+            assert any(p.record.rid == victim for p in dataset.points)
+            assert fsck(dataset)["clean"]
+        finally:
+            manager.detach()
+
+    def test_checkpoint_retires_covered_segments(self, tmp_path):
+        dataset = _dataset(n=10)
+        with DurabilityManager(DurabilityConfig(tmp_path)) as manager:
+            manager.attach(dataset)
+            for i in range(3):
+                dataset.insert_record(_fresh_record(dataset, f"cp-{i}"))
+            manager.checkpoint()  # snapshots {0, 3}: nothing retirable yet
+            wal_dir = tmp_path / WAL_SUBDIR
+            # Segments covered only by the *newest* snapshot are kept:
+            # they back the fallback snapshot's forward replay.
+            assert len(WriteAheadLog(wal_dir).segments()) == 2
+            for i in range(2):
+                dataset.insert_record(_fresh_record(dataset, f"cp2-{i}"))
+            manager.checkpoint()  # snapshots {3, 5}: genesis pruned
+            live = WriteAheadLog(wal_dir).segments()
+            # The pre-LSN-3 segment is now wholly covered by the oldest
+            # retained snapshot and gone; LSN 4-5 stay replayable.
+            assert [WriteAheadLog.segment_start_lsn(p) for p in live] == [4, 6]
+
+
+def _skyline_points(dataset):
+    from repro.algorithms.base import get_algorithm
+
+    return list(get_algorithm("sdc+").run(dataset))
+
+
+# ---------------------------------------------------------------------------
+# Recovery and fsck
+# ---------------------------------------------------------------------------
+class TestRecovery:
+    def _churn(self, dataset, steps: int = 6):
+        rng = random.Random(99)
+        live = [r.rid for r in dataset.records]
+        for step in range(steps):
+            if live and rng.random() < 0.4:
+                dataset.delete_record(live.pop(rng.randrange(len(live))))
+            else:
+                record = _fresh_record(dataset, f"churn-{step}")
+                dataset.insert_record(record)
+                live.append(record.rid)
+
+    def test_round_trip_equals_original(self, tmp_path):
+        dataset = _dataset(seed=5, n=20)
+        manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_interval=3)
+        )
+        manager.attach(dataset)
+        self._churn(dataset)
+        manager.detach()
+        report = recover(tmp_path)
+        assert report.last_lsn == dataset.update_version
+        assert report.dataset.update_version == dataset.update_version
+        assert [p.record.rid for p in _skyline_points(report.dataset)] == [
+            p.record.rid for p in _skyline_points(dataset)
+        ]
+        audit = fsck(report.dataset)
+        assert audit["clean"], audit["problems"]
+        assert report.to_dict()["replayed"] == report.replayed
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        dataset = _dataset(n=15)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        self._churn(dataset, steps=4)
+        manager.detach()
+        first = recover(tmp_path)
+        second = recover(tmp_path)
+        assert first.dataset.update_version == second.dataset.update_version
+        assert second.truncated_bytes == 0
+
+    def test_corrupt_newest_snapshot_falls_back(self, tmp_path):
+        dataset = _dataset(n=15)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        self._churn(dataset, steps=3)
+        manager.checkpoint()
+        manager.detach()
+        snapshots = list_snapshots(tmp_path / SNAPSHOT_SUBDIR)
+        assert len(snapshots) == 2
+        newest = snapshots[-1]
+        newest.write_text(newest.read_text()[:-40])  # corrupt it
+        with pytest.warns(UserWarning, match="snapshot"):
+            report = recover(tmp_path)
+        from pathlib import Path
+
+        assert Path(report.snapshot_path) != newest
+        assert report.skipped_snapshots == [newest.name]
+        # Fallback replays the WAL forward to the same final state.
+        assert report.dataset.update_version == dataset.update_version
+        assert fsck(report.dataset)["clean"]
+
+    def test_no_usable_snapshot_raises(self, tmp_path):
+        (tmp_path / SNAPSHOT_SUBDIR).mkdir(parents=True)
+        (tmp_path / WAL_SUBDIR).mkdir(parents=True)
+        with pytest.raises(DurabilityError, match="no usable snapshot"):
+            recover(tmp_path)
+
+    def test_lsn_gap_detected(self, tmp_path):
+        dataset = _dataset(n=10)
+        manager = DurabilityManager(DurabilityConfig(tmp_path))
+        manager.attach(dataset)
+        dataset.insert_record(_fresh_record(dataset, "a"))
+        dataset.insert_record(_fresh_record(dataset, "b"))
+        dataset.insert_record(_fresh_record(dataset, "c"))
+        manager.detach()
+        # Surgically remove the middle record (LSN 2) from the segment.
+        wal = WriteAheadLog(tmp_path / WAL_SUBDIR)
+        segment = wal.segments()[-1]
+        frames = []
+        data = segment.read_bytes()
+        offset = 0
+        while offset < len(data):
+            length, _ = _HEADER.unpack_from(data, offset)
+            end = offset + _HEADER.size + length
+            frames.append(data[offset:end])
+            offset = end
+        segment.write_bytes(frames[0] + frames[2])
+        with pytest.raises(DurabilityError, match="gap"):
+            recover(tmp_path)
+
+    def test_fsck_detects_tampering(self, tmp_path):
+        dataset = _dataset(n=15)
+        assert fsck(dataset)["clean"]
+        # Drop a skyline point from the live set while leaving it in
+        # the records: the from-scratch reference then disagrees.
+        victim = _skyline_points(dataset)[0]
+        dataset.points = [
+            p for p in dataset.points if p.record.rid != victim.record.rid
+        ]
+        dataset._stratification = None
+        dataset._index = None
+        audit = fsck(dataset)
+        assert not audit["clean"]
+        assert audit["problems"]
+
+
+# ---------------------------------------------------------------------------
+# Server integration: durability wiring and read-only degradation
+# ---------------------------------------------------------------------------
+class TestServerDurability:
+    def _server(self, tmp_path, **kwargs):
+        from repro.serving.server import SkylineServer
+
+        dataset = _dataset(seed=21, n=20)
+        return SkylineServer(
+            dataset, workers=1, durability=str(tmp_path), **kwargs
+        )
+
+    def test_server_writes_are_durable(self, tmp_path):
+        server = self._server(tmp_path)
+        try:
+            server.insert(_fresh_record(server.dataset, "durable"))
+            assert server.delete(server.dataset.records[0].rid)
+            version = server.dataset.update_version
+        finally:
+            server.close()
+        report = recover(tmp_path)
+        assert report.dataset.update_version == version
+        assert any(
+            r.rid == "durable" for r in report.dataset.records
+        )
+        snapshot = server.metrics.snapshot()
+        assert snapshot["durability"]["wal_appends"] == 2
+        assert snapshot["durability"]["checkpoints"] >= 1
+
+    def test_manual_checkpoint(self, tmp_path):
+        server = self._server(tmp_path)
+        try:
+            server.insert(_fresh_record(server.dataset, "pre-cp"))
+            path = server.checkpoint()
+            assert path.exists()
+        finally:
+            server.close()
+
+    def test_wal_failure_latches_read_only(self, tmp_path):
+        from repro.exceptions import ServingError
+        from repro.serving.server import QueryRequest
+
+        server = self._server(tmp_path)
+        try:
+            def broken_append(entry):
+                raise DurabilityError("device gone")
+
+            server.durability.wal.append = broken_append
+            with pytest.raises(DurabilityError):
+                server.insert(_fresh_record(server.dataset, "lost"))
+            assert server.read_only
+            # Reads still serve while writes are refused...
+            handle = server.submit(QueryRequest(algorithm="sdc+"))
+            assert handle.result() is not None
+            with pytest.raises(ServingError, match="read-only"):
+                server.insert(_fresh_record(server.dataset, "more"))
+            with pytest.raises(ServingError, match="read-only"):
+                server.delete(server.dataset.records[0].rid)
+            snapshot = server.metrics.snapshot()
+            assert snapshot["durability"]["read_only"] is True
+            assert snapshot["durability"]["wal_failures"] == 1
+            # ...and the rejected write never reached the dataset.
+            assert all(
+                p.record.rid != "lost" for p in server.dataset.points
+            )
+        finally:
+            server.close()
+
+    def test_checkpoint_without_durability_raises(self):
+        from repro.exceptions import ServingError
+        from repro.serving.server import SkylineServer
+
+        server = SkylineServer(_dataset(n=10), workers=1)
+        try:
+            with pytest.raises(ServingError, match="durability"):
+                server.checkpoint()
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# Hardened post-commit listener registry
+# ---------------------------------------------------------------------------
+class TestHardenedListeners:
+    def test_raising_listener_does_not_abort_commit(self):
+        dataset = _dataset(n=10)
+        seen = []
+
+        def bad_listener(op, point):
+            raise RuntimeError("listener bug")
+
+        def good_listener(op, point):
+            seen.append((op, point.record.rid))
+
+        dataset.add_update_listener(bad_listener)
+        dataset.add_update_listener(good_listener)
+        with pytest.warns(UserWarning, match="listener bug"):
+            dataset.insert_record(_fresh_record(dataset, "ok"))
+        # The commit stands, later listeners still ran, failure counted.
+        assert any(p.record.rid == "ok" for p in dataset.points)
+        assert seen == [("insert", "ok")]
+        assert sum(dataset.listener_failures.values()) == 1
+
+    def test_failure_hook_feeds_metrics(self):
+        from repro.serving.metrics import ServerMetrics
+
+        dataset = _dataset(n=10)
+        metrics = ServerMetrics()
+        dataset._listener_failure_hook = metrics.on_listener_failure
+
+        def bad_listener(op, point):
+            raise ValueError("boom")
+
+        dataset.add_update_listener(bad_listener)
+        with pytest.warns(UserWarning):
+            dataset.insert_record(_fresh_record(dataset, "x"))
+        snapshot = metrics.snapshot()
+        assert snapshot["listeners"]["failures_total"] == 1
+
+    def test_broken_failure_hook_is_contained(self):
+        dataset = _dataset(n=10)
+        dataset._listener_failure_hook = lambda name: 1 / 0
+
+        def bad_listener(op, point):
+            raise ValueError("boom")
+
+        dataset.add_update_listener(bad_listener)
+        with pytest.warns(UserWarning):
+            dataset.insert_record(_fresh_record(dataset, "x"))
+        assert any(p.record.rid == "x" for p in dataset.points)
+
+
+# ---------------------------------------------------------------------------
+# Atomic bench artifacts (satellite: torn-artifact hardening)
+# ---------------------------------------------------------------------------
+class TestAtomicArtifacts:
+    def test_write_leaves_no_temp(self, tmp_path):
+        from repro.bench.artifacts import write_artifact
+
+        target = tmp_path / "results" / "report.json"
+        write_artifact(target, {"b": 2, "a": 1.23456789})
+        assert json.loads(target.read_text()) == {"a": 1.234568, "b": 2}
+        assert list(target.parent.glob("*.tmp")) == []
+
+    def test_failed_write_preserves_previous(self, tmp_path, monkeypatch):
+        import repro.bench.artifacts as artifacts
+
+        target = tmp_path / "report.json"
+        artifacts.write_artifact(target, {"version": 1})
+
+        def broken_replace(src, dst):
+            raise OSError("simulated crash at publish")
+
+        monkeypatch.setattr(artifacts.os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            artifacts.write_artifact(target, {"version": 2})
+        # Old artifact intact, no temp litter.
+        assert json.loads(target.read_text()) == {"version": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ---------------------------------------------------------------------------
+# Replay baseline knee comparison (satellite: saturation regression)
+# ---------------------------------------------------------------------------
+class TestKneeComparison:
+    def _report(self, p99s):
+        return {
+            "scenarios": {
+                "steady": {
+                    "cells": [
+                        {"multiplier": m, "latency_p99_ms": p}
+                        for m, p in p99s
+                    ]
+                }
+            }
+        }
+
+    def test_saturation_knee_found(self):
+        from repro.serving.replay import saturation_knee
+
+        report = self._report([(1.0, 2.0), (2.0, 4.0), (4.0, 9.0)])
+        assert saturation_knee(report, factor=3.0) == {"steady": 4.0}
+
+    def test_saturation_knee_absent(self):
+        from repro.serving.replay import saturation_knee
+
+        report = self._report([(1.0, 2.0), (2.0, 2.5), (4.0, 3.0)])
+        assert saturation_knee(report, factor=3.0) == {"steady": None}
+
+    def test_left_shift_regresses(self):
+        from repro.serving.replay import compare_baseline
+
+        current = self._report([(1.0, 2.0), (2.0, 7.0), (4.0, 9.0)])
+        baseline = self._report([(1.0, 2.0), (2.0, 4.0), (4.0, 9.0)])
+        result = compare_baseline(current, baseline, tolerance=0.25)
+        assert result["regressions"] == ["steady"]
+        assert not result["ok"]
+        assert result["scenarios"]["steady"]["current_knee"] == 2.0
+        assert result["scenarios"]["steady"]["baseline_knee"] == 4.0
+
+    def test_within_tolerance_ok(self):
+        from repro.serving.replay import compare_baseline
+
+        current = self._report([(1.0, 2.0), (2.0, 4.0), (4.0, 9.0)])
+        baseline = self._report([(1.0, 2.0), (2.0, 4.0), (4.0, 9.0)])
+        result = compare_baseline(current, baseline)
+        assert result["ok"]
+        assert result["regressions"] == []
+
+    def test_losing_the_knee_never_regresses(self):
+        from repro.serving.replay import compare_baseline
+
+        current = self._report([(1.0, 2.0), (2.0, 2.1), (4.0, 2.2)])
+        baseline = self._report([(1.0, 2.0), (2.0, 7.0), (4.0, 9.0)])
+        assert compare_baseline(current, baseline)["ok"]
+
+    def test_gaining_a_knee_where_none_existed_regresses(self):
+        from repro.serving.replay import compare_baseline
+
+        current = self._report([(1.0, 2.0), (2.0, 7.0), (4.0, 9.0)])
+        baseline = self._report([(1.0, 2.0), (2.0, 2.1), (4.0, 2.2)])
+        result = compare_baseline(current, baseline)
+        assert result["regressions"] == ["steady"]
