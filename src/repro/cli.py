@@ -19,6 +19,15 @@ Commands
     Seeded multi-client workload replay against the concurrent
     :class:`~repro.serving.server.SkylineServer` (throughput, p50/p99,
     JSON artifact; see docs/serving.md).
+``serve``
+    Run the asyncio network front-end: remote clients connect over TCP
+    and receive skyline answers progressively, stratum by stratum
+    (see docs/network.md).
+``net-bench``
+    Seeded multi-connection open-loop benchmark of the network
+    front-end: throughput, p50/p99, time-to-first-point vs.
+    time-to-done, optional disconnect-storm chaos (JSON artifact;
+    see docs/network.md).
 ``replay``
     Trace-driven capacity-envelope sweep: seeded Poisson / bursty /
     diurnal arrival traces replayed at a ladder of rate multipliers
@@ -222,6 +231,114 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON",
         help="write the full report as a JSON artifact "
         "(e.g. benchmarks/results/serve_bench.json)",
+    )
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the asyncio network front-end (docs/network.md)",
+    )
+    sv.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address (port 0 picks an ephemeral port)",
+    )
+    sv.add_argument("--size", type=int, default=4000, help="records to generate")
+    sv.add_argument("--seed", type=int, default=7, help="workload seed")
+    sv.add_argument("--workers", type=int, default=8, help="server worker threads")
+    sv.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
+    sv.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the server's materialized-view result cache",
+    )
+    sv.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="per-connection token-bucket refill (cost-model tokens/s)",
+    )
+    sv.add_argument(
+        "--burst",
+        type=float,
+        default=200.0,
+        help="per-connection token-bucket capacity",
+    )
+    sv.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write 'HOST PORT' here once listening (CI readiness probe)",
+    )
+
+    nb = sub.add_parser(
+        "net-bench",
+        help="seeded multi-connection benchmark of the network front-end",
+    )
+    nb.add_argument("--size", type=int, default=4000, help="records to generate")
+    nb.add_argument(
+        "--connections", type=int, default=8, help="concurrent client connections"
+    )
+    nb.add_argument(
+        "--queries-per-connection",
+        type=int,
+        default=4,
+        help="queries each connection submits (open-loop)",
+    )
+    nb.add_argument("--workers", type=int, default=8, help="server worker threads")
+    nb.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=sorted(available_algorithms()),
+        help="algorithm pool connections draw from (default: all)",
+    )
+    nb.add_argument(
+        "--kernel",
+        choices=["python", "numpy"],
+        default="python",
+        help="dominance backend (see docs/performance.md)",
+    )
+    nb.add_argument("--seed", type=int, default=7, help="workload + arrival seed")
+    nb.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.5,
+        metavar="QPS",
+        help="per-connection open-loop arrival rate (queries/second)",
+    )
+    nb.add_argument(
+        "--disconnect-rate",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="chaos: probability each query's connection is hard-aborted "
+        "mid-stream (0..1; exercises disconnect -> cancellation)",
+    )
+    nb.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive an already-running 'repro serve' instead of a "
+        "self-contained in-process server",
+    )
+    nb.add_argument(
+        "--assert-progressive",
+        action="store_true",
+        help="fail unless median time-to-first-point < 0.5x median "
+        "time-to-done and multi-point answers span multiple frames",
+    )
+    nb.add_argument(
+        "--output",
+        default=None,
+        metavar="JSON",
+        help="write the full report as a JSON artifact "
+        "(e.g. benchmarks/results/net_bench.json)",
     )
 
     rp = sub.add_parser(
@@ -741,6 +858,129 @@ def _cmd_serve_bench(args) -> int:
     return 1 if report["errors"] else 0
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.lstrip("-").isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.net.netserver import NetworkConfig, NetworkFrontend
+    from repro.serving.server import SkylineServer
+    from repro.transform.dataset import TransformedDataset
+    from repro.workloads.config import WorkloadConfig
+    from repro.workloads.generator import generate_workload
+
+    host, port = _parse_hostport(args.listen)
+    config = WorkloadConfig.default(data_size=args.size, seed=args.seed)
+    workload = generate_workload(config)
+    dataset = TransformedDataset(
+        workload.schema, workload.records, kernel=args.kernel
+    )
+    server = SkylineServer(
+        dataset, workers=args.workers, warm=True, cache=args.cache
+    )
+    frontend = NetworkFrontend(
+        server,
+        NetworkConfig(host=host, port=port, rate=args.rate, burst=args.burst),
+    )
+
+    async def main() -> None:
+        bound_host, bound_port = await frontend.start()
+        print(
+            f"serving {len(dataset)} records ({args.kernel} kernel, "
+            f"seed {args.seed}) on {bound_host}:{bound_port}",
+            flush=True,
+        )
+        if args.ready_file:
+            from pathlib import Path
+
+            Path(args.ready_file).write_text(
+                f"{bound_host} {bound_port}\n", encoding="utf-8"
+            )
+        try:
+            await frontend.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await frontend.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_net_bench(args) -> int:
+    from repro.net.bench import run_net_bench
+
+    connect = _parse_hostport(args.connect) if args.connect else None
+    try:
+        report = run_net_bench(
+            size=args.size,
+            connections=args.connections,
+            queries_per_connection=args.queries_per_connection,
+            workers=args.workers,
+            algorithms=tuple(args.algorithms) if args.algorithms else None,
+            kernel=args.kernel,
+            seed=args.seed,
+            output=args.output,
+            arrival_rate=args.arrival_rate,
+            disconnect_rate=args.disconnect_rate,
+            connect=connect,
+            assert_progressive=args.assert_progressive,
+        )
+    except AssertionError as err:
+        print(f"net-bench FAILED: {err}")
+        return 1
+    config = report["config"]
+    where = args.connect if args.connect else "in-process"
+    print(
+        f"net-bench: {config['connections']} connections x "
+        f"{config['queries_per_connection']} queries against {where} "
+        f"(seed {config['seed']}, arrival {config['arrival_rate']}/s"
+        + (
+            f", disconnect_rate={config['disconnect_rate']:.2f}"
+            if config["disconnect_rate"]
+            else ""
+        )
+        + ")"
+    )
+    ttd = report["time_to_done"]
+    ttfp = report["time_to_first_point"]
+    prog = report["progressiveness"]
+    print(
+        f"  {report['completed']}/{report['queries']} completed in "
+        f"{report['elapsed_seconds']:.3f}s ({report['throughput_qps']:.1f} q/s), "
+        f"{report['disconnects']} chaos disconnects"
+    )
+    print(
+        f"  time-to-done     p50={ttd['p50_seconds'] * 1000:.1f}ms "
+        f"p99={ttd['p99_seconds'] * 1000:.1f}ms"
+    )
+    print(
+        f"  time-to-first    p50={ttfp['p50_seconds'] * 1000:.1f}ms "
+        f"p99={ttfp['p99_seconds'] * 1000:.1f}ms"
+    )
+    print(
+        f"  progressiveness: ttfp/ttd ratio {prog['ratio']:.3f} "
+        f"({prog['multi_frame_queries']}/{prog['multi_point_queries']} "
+        f"multi-point queries streamed over >1 frame)"
+    )
+    if report["errors"]:
+        print(f"  errors by code: {report['errors']}")
+    print(f"  server mode after run: {report['server']['mode']}")
+    if args.output:
+        print(f"  report written to {args.output}")
+    return 0
+
+
 def _cmd_replay(args) -> int:
     from repro.serving.replay import run_replay
 
@@ -1018,6 +1258,8 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "bench-kernels": _cmd_bench_kernels,
         "serve-bench": _cmd_serve_bench,
+        "serve": _cmd_serve,
+        "net-bench": _cmd_net_bench,
         "replay": _cmd_replay,
         "bench-parallel": _cmd_bench_parallel,
         "bench-views": _cmd_bench_views,

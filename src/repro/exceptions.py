@@ -260,6 +260,87 @@ class ParallelFallbackWarning(UserWarning):
 
 
 # ---------------------------------------------------------------------------
+# Network front-end (repro.net)
+# ---------------------------------------------------------------------------
+class NetError(ReproError):
+    """Base class for errors raised by the network front-end
+    (:mod:`repro.net`): protocol violations, rate limiting, slow-consumer
+    shedding and remote query failures."""
+
+
+class ProtocolError(NetError):
+    """Raised when a wire frame violates the framing protocol.
+
+    Covers CRC mismatches, oversized frames, truncated length prefixes,
+    payloads that are not valid JSON objects, missing/unknown frame
+    types and handshake-version mismatches.  The server answers one
+    malformed frame with a typed ERROR frame and closes the connection
+    -- framing state cannot be trusted after a bad frame.
+    """
+
+
+class RateLimitedError(NetError):
+    """Raised/sent when a client's token bucket cannot cover a query.
+
+    Attributes
+    ----------
+    cost / retry_after:
+        The priced token cost of the refused query (from the
+        shape-conditioned admission cost model) and the seconds until
+        the bucket will have refilled enough to cover it.
+    """
+
+    def __init__(self, cost: float, retry_after: float) -> None:
+        self.cost = cost
+        self.retry_after = retry_after
+        super().__init__(
+            f"rate limited: query costs {cost:.3g} tokens, "
+            f"retry in {retry_after:.3g}s"
+        )
+
+
+class SlowConsumerError(NetError):
+    """Raised/sent when a streamed query is shed for slow consumption.
+
+    The per-connection send queue and per-query pending buffer are
+    bounded; a client that stops reading first pauses emission and --
+    past the configured bound or pause window -- has the query cancelled
+    and the stream terminated with this typed error instead of buffering
+    without bound or hanging the server.
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(f"stream shed: slow consumer ({reason})")
+
+
+class RemoteQueryError(NetError):
+    """Raised by the asyncio client when the server ends a stream with
+    an ERROR frame.
+
+    Attributes
+    ----------
+    code:
+        The wire error code (e.g. ``"admission-rejected"``, ``"shed"``,
+        ``"timeout"``, ``"rate-limited"``, ``"slow-consumer"``).
+    detail:
+        The frame's structured detail payload (reason, estimate, limit,
+        retry_after, ... -- whatever the originating typed exception
+        carried).
+    points:
+        The emission prefix streamed before the failure (always a valid
+        prefix of the algorithm's emission order).
+    """
+
+    def __init__(self, code: str, message: str, detail: dict | None = None,
+                 points: list | None = None) -> None:
+        self.code = code
+        self.detail = dict(detail) if detail else {}
+        self.points = list(points) if points else []
+        super().__init__(f"remote query failed [{code}]: {message}")
+
+
+# ---------------------------------------------------------------------------
 # Durable state (repro.durability)
 # ---------------------------------------------------------------------------
 class DurabilityError(ReproError):

@@ -1,0 +1,66 @@
+"""Asyncio network front-end for the skyline server (``docs/network.md``).
+
+Modules
+-------
+:mod:`repro.net.stream`
+    :class:`~repro.net.stream.EmissionChannel` -- the incremental,
+    thread-safe sink every query emits through.
+:mod:`repro.net.protocol`
+    Length-prefixed, CRC-checked JSON frame codec and the typed
+    error-code mapping.
+:mod:`repro.net.ratelimit`
+    Per-client token buckets priced by the shape-conditioned admission
+    cost model.
+:mod:`repro.net.netserver`
+    :class:`~repro.net.netserver.NetworkFrontend` -- the asyncio TCP
+    server bridging remote connections onto a
+    :class:`~repro.serving.server.SkylineServer`.
+:mod:`repro.net.client`
+    :class:`~repro.net.client.SkylineClient` -- the asyncio client
+    library (progressive iteration over POINTS frames).
+:mod:`repro.net.bench`
+    ``repro net-bench`` -- seeded multi-connection open-loop driver.
+
+Attribute access is lazy: ``repro.net.stream`` is imported by
+:mod:`repro.serving.server` (every :class:`QueryHandle` sink is an
+emission channel) while :mod:`repro.net.netserver` imports the serving
+layer back, so eagerly importing the whole package here would be
+circular.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__all__ = [
+    "EmissionChannel",
+    "NetworkFrontend",
+    "NetworkConfig",
+    "SkylineClient",
+    "QueryStream",
+    "TokenBucket",
+    "PROTOCOL_VERSION",
+]
+
+_EXPORTS = {
+    "EmissionChannel": "repro.net.stream",
+    "NetworkFrontend": "repro.net.netserver",
+    "NetworkConfig": "repro.net.netserver",
+    "SkylineClient": "repro.net.client",
+    "QueryStream": "repro.net.client",
+    "TokenBucket": "repro.net.ratelimit",
+    "PROTOCOL_VERSION": "repro.net.protocol",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,302 @@
+"""Seeded multi-connection network benchmark (``repro net-bench``).
+
+Drives a :class:`~repro.net.netserver.NetworkFrontend` with ``n``
+concurrent client connections, each submitting an *open-loop* schedule
+of queries (send times drawn up front from a seeded RNG, independent of
+completions -- the arrival pattern a real service sees, where clients
+do not politely wait for each other).  Per query it records the two
+latencies the progressive-skyline literature treats as distinct:
+**time-to-first-point** (QUERY frame to first POINTS frame) and
+**time-to-done** (QUERY frame to terminal frame).  Their ratio is the
+progressiveness headline: per-stratum streaming should put the first
+answers on the wire long before the query completes.
+
+A ``disconnect_rate`` turns the run into a chaos pass: that fraction of
+queries is submitted and then has its connection hard-aborted
+mid-stream, exercising the disconnect -> CancellationToken path under
+load; the driver reconnects and keeps going.  The report asserts the
+server came back to an idle, healthy state afterwards.
+
+The benchmark can run **self-contained** (it builds the seeded dataset,
+the :class:`~repro.serving.server.SkylineServer` and the frontend
+in-process) or against an external ``repro serve`` instance via
+``connect=(host, port)`` -- the CI smoke job uses the latter.  The
+report is written with the canonical atomic artifact writer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from repro.bench.artifacts import write_artifact
+from repro.exceptions import ProtocolError, RemoteQueryError
+from repro.net.client import SkylineClient
+from repro.serving.bench import DEFAULT_ALGORITHMS, _latency_summary, _percentile
+
+__all__ = ["run_net_bench"]
+
+#: Wall-clock cap on any single remote query (zero-hang guarantee: the
+#: driver never waits longer than this on one stream).
+QUERY_TIMEOUT = 120.0
+
+
+async def _drive(
+    host: str,
+    port: int,
+    *,
+    connections: int,
+    queries_per_connection: int,
+    algorithms: tuple[str, ...],
+    seed: int,
+    arrival_rate: float,
+    disconnect_rate: float,
+) -> dict:
+    samples: list[dict] = []
+    disconnects = 0
+
+    async def run_query(client_box: list, rng: random.Random, offset: float,
+                        algorithm: str, chaos: bool) -> None:
+        nonlocal disconnects
+        await asyncio.sleep(offset)
+        client = client_box[0]
+        started = time.perf_counter()
+        try:
+            if chaos:
+                stream = await client.query(algorithm=algorithm)
+                # Wait for the stream to get going (first event or a
+                # short seeded delay), then slam the connection shut.
+                try:
+                    await asyncio.wait_for(
+                        stream._events.get(), timeout=0.05 + rng.random() * 0.1
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                client._writer.transport.abort()
+                disconnects += 1
+                samples.append({"outcome": "disconnected"})
+                try:
+                    # Consume the abandoned stream's failure so the
+                    # event loop doesn't log an unretrieved exception.
+                    await asyncio.wait_for(stream.result(), timeout=5.0)
+                except Exception:  # noqa: BLE001 - expected to fail
+                    pass
+                client_box[0] = await SkylineClient.connect(host, port)
+                return
+            stream = await client.query(algorithm=algorithm)
+            result = await asyncio.wait_for(
+                stream.result(), timeout=QUERY_TIMEOUT
+            )
+            samples.append(
+                {
+                    "outcome": "complete" if result.complete else "partial",
+                    "algorithm": algorithm,
+                    "points": len(result.points),
+                    "point_frames": result.point_frames,
+                    "ttfp": result.time_to_first_point,
+                    "ttd": result.time_to_done,
+                    "cached": result.cached,
+                }
+            )
+        except RemoteQueryError as err:
+            samples.append(
+                {
+                    "outcome": "error",
+                    "code": err.code,
+                    "algorithm": algorithm,
+                    "ttd": time.perf_counter() - started,
+                }
+            )
+            if err.code == "connection":
+                # This stream rode a chaos-aborted connection; the next
+                # queries use the reconnected client in the box.
+                pass
+        except ProtocolError:
+            samples.append({"outcome": "error", "code": "connection"})
+
+    async def one_connection(ci: int) -> None:
+        rng = random.Random(seed * 100_003 + ci)
+        client_box = [await SkylineClient.connect(host, port)]
+        offset = 0.0
+        tasks = []
+        try:
+            for _ in range(queries_per_connection):
+                offset += (
+                    rng.expovariate(arrival_rate) if arrival_rate > 0 else 0.0
+                )
+                algorithm = rng.choice(list(algorithms))
+                chaos = rng.random() < disconnect_rate
+                tasks.append(
+                    asyncio.ensure_future(
+                        run_query(client_box, rng, offset, algorithm, chaos)
+                    )
+                )
+            await asyncio.gather(*tasks)
+        finally:
+            try:
+                await client_box[0].close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_connection(ci) for ci in range(connections)))
+    elapsed = time.perf_counter() - started
+
+    # Post-chaos health probe on a fresh connection: the server must be
+    # reachable, idle (only this probe active) and fully healthy.
+    probe = await SkylineClient.connect(host, port)
+    snapshot = await probe.metrics()
+    await probe.close()
+
+    return {
+        "samples": samples,
+        "elapsed": elapsed,
+        "disconnects": disconnects,
+        "metrics": snapshot,
+    }
+
+
+def run_net_bench(
+    size: int = 4000,
+    connections: int = 8,
+    queries_per_connection: int = 4,
+    workers: int = 8,
+    algorithms: tuple[str, ...] | None = None,
+    kernel: str = "python",
+    seed: int = 7,
+    output: str | None = None,
+    arrival_rate: float = 0.5,
+    disconnect_rate: float = 0.0,
+    connect: tuple[str, int] | None = None,
+    assert_progressive: bool = False,
+) -> dict:
+    """Run the network benchmark; returns (and optionally writes) the report.
+
+    Self-contained by default (seeded fig12a-style workload ->
+    ``SkylineServer`` -> ``NetworkFrontend`` on an ephemeral port);
+    ``connect=(host, port)`` drives an already-running ``repro serve``
+    instead (``size``/``workers``/``kernel`` are then ignored).
+
+    ``assert_progressive`` enforces the streaming contract on the
+    measurements themselves: median time-to-first-point must be below
+    0.5x median time-to-done, and multi-point queries must have arrived
+    in more than one POINTS frame (per-stratum delivery, not one
+    terminal batch).  Raises :class:`AssertionError` otherwise.
+    """
+    chosen = tuple(algorithms) if algorithms else DEFAULT_ALGORITHMS
+
+    async def main() -> dict:
+        frontend = None
+        server = None
+        if connect is not None:
+            host, port = connect
+        else:
+            from repro.net.netserver import NetworkConfig, NetworkFrontend
+            from repro.serving.server import SkylineServer
+            from repro.transform.dataset import TransformedDataset
+            from repro.workloads.config import WorkloadConfig
+            from repro.workloads.generator import generate_workload
+
+            config = WorkloadConfig.default(data_size=size, seed=seed)
+            workload = generate_workload(config)
+            dataset = TransformedDataset(
+                workload.schema, workload.records, kernel=kernel
+            )
+            server = SkylineServer(dataset, workers=workers, warm=True)
+            frontend = NetworkFrontend(server, NetworkConfig())
+            host, port = await frontend.start()
+        try:
+            return await _drive(
+                host,
+                port,
+                connections=connections,
+                queries_per_connection=queries_per_connection,
+                algorithms=chosen,
+                seed=seed,
+                arrival_rate=arrival_rate,
+                disconnect_rate=disconnect_rate,
+            )
+        finally:
+            if frontend is not None:
+                await frontend.close()
+            if server is not None:
+                server.close()
+
+    outcome = asyncio.run(main())
+    samples = outcome["samples"]
+    completed = [s for s in samples if s["outcome"] in ("complete", "partial")]
+    streamed = [s for s in completed if s.get("ttfp") is not None]
+    errors: dict[str, int] = {}
+    for s in samples:
+        if s["outcome"] == "error":
+            errors[s["code"]] = errors.get(s["code"], 0) + 1
+
+    ttd = [s["ttd"] for s in completed]
+    ttfp = [s["ttfp"] for s in streamed]
+    median_ttd = _percentile(ttd, 0.50)
+    median_ttfp = _percentile(ttfp, 0.50)
+    multi_point = [s for s in streamed if s["points"] > 1 and not s["cached"]]
+    multi_frame = [s for s in multi_point if s["point_frames"] > 1]
+
+    net = outcome["metrics"].get("net", {})
+    overload_mode = outcome["metrics"].get("overload", {}).get("mode")
+    report = {
+        "bench": "net_bench",
+        "config": {
+            "size": None if connect is not None else size,
+            "connections": connections,
+            "queries_per_connection": queries_per_connection,
+            "workers": None if connect is not None else workers,
+            "kernel": None if connect is not None else kernel,
+            "seed": seed,
+            "algorithms": list(chosen),
+            "arrival_rate": arrival_rate,
+            "disconnect_rate": disconnect_rate,
+            "remote": connect is not None,
+        },
+        "queries": len(samples),
+        "completed": len(completed),
+        "errors": errors,
+        "disconnects": outcome["disconnects"],
+        "elapsed_seconds": round(outcome["elapsed"], 6),
+        "throughput_qps": round(len(completed) / outcome["elapsed"], 6)
+        if outcome["elapsed"] > 0
+        else 0.0,
+        "time_to_done": _latency_summary(ttd),
+        "time_to_first_point": _latency_summary(ttfp),
+        "progressiveness": {
+            "median_ttfp_seconds": round(median_ttfp, 6),
+            "median_ttd_seconds": round(median_ttd, 6),
+            "ratio": round(median_ttfp / median_ttd, 6) if median_ttd else 0.0,
+            "multi_point_queries": len(multi_point),
+            "multi_frame_queries": len(multi_frame),
+        },
+        "server": {
+            "mode": overload_mode,
+            "active_connections": net.get("connections", {}).get("active"),
+            "net": net,
+        },
+    }
+
+    if assert_progressive:
+        if not completed:
+            raise AssertionError("no queries completed; nothing to assert on")
+        if median_ttd > 0 and not median_ttfp < 0.5 * median_ttd:
+            raise AssertionError(
+                f"not progressive: median ttfp {median_ttfp:.6f}s is not "
+                f"< 0.5x median ttd {median_ttd:.6f}s"
+            )
+        if multi_point and not multi_frame:
+            raise AssertionError(
+                "multi-point queries arrived as single terminal batches"
+            )
+    if overload_mode is not None and overload_mode != "healthy":
+        raise AssertionError(
+            f"server did not return to healthy after the run "
+            f"(mode={overload_mode!r})"
+        )
+
+    if output is not None:
+        write_artifact(output, report)
+    return report

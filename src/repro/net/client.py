@@ -1,0 +1,317 @@
+"""Asyncio client for the skyline network protocol.
+
+::
+
+    client = await SkylineClient.connect(host, port)
+    stream = await client.query(algorithm="sdc+")
+    async for batch in stream:          # POINTS batches, as they arrive
+        render(batch)
+    result = await stream.result()      # terminal DONE summary
+    await client.close()
+
+One reader task per connection dispatches inbound frames to the stream
+that owns their ``qid``; many queries can be in flight concurrently on
+one connection.  Frames arrive exactly in server emission order, so the
+points a stream accumulates are always a prefix of the algorithm's
+emission order -- and a RESET frame (server-side retry) transparently
+retracts the prefix before re-emission, visible to batch iterators as a
+``reset`` event.
+
+Failures surface as :class:`~repro.exceptions.RemoteQueryError` with
+the server's typed wire code (``admission-rejected``, ``shed``,
+``timeout``, ``rate-limited``, ``slow-consumer``, ...) and the point
+prefix streamed before the failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError, RemoteQueryError
+from repro.net.protocol import PROTOCOL_VERSION, read_frame, write_frame
+
+__all__ = ["SkylineClient", "QueryStream", "RemoteResult"]
+
+
+@dataclass
+class RemoteResult:
+    """Terminal summary of one streamed query (the DONE frame)."""
+
+    points: list = field(default_factory=list)
+    complete: bool = False
+    outcome: str = ""
+    exhausted_reason: str | None = None
+    elapsed: float = 0.0
+    cached: bool = False
+    fallback: bool = False
+    #: Client-side instrumentation: seconds from QUERY to first POINTS
+    #: frame and to the terminal frame (``None`` when no points arrived).
+    time_to_first_point: float | None = None
+    time_to_done: float = 0.0
+    #: POINTS frames received (>=2 demonstrates progressive delivery).
+    point_frames: int = 0
+    resets: int = 0
+
+
+class QueryStream:
+    """Client-side state of one in-flight query.
+
+    Iterate it (``async for batch in stream``) for progressive batches,
+    or just ``await stream.result()`` for the terminal summary.  Batch
+    events are ``("points", [...])`` / ``("reset", [])`` tuples from
+    :meth:`events`; plain iteration yields only the point batches and
+    silently restarts on reset (the accumulated ``points`` list is
+    retracted either way).
+    """
+
+    def __init__(self, client: "SkylineClient", qid: int) -> None:
+        self.client = client
+        self.qid = qid
+        self.points: list = []
+        self.sent_at = time.perf_counter()
+        self.first_point_at: float | None = None
+        self.point_frames = 0
+        self.resets = 0
+        self.cached = False
+        self._events: asyncio.Queue = asyncio.Queue()
+        self._done: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    # -- frame delivery (reader task) ---------------------------------
+    def _on_frame(self, frame: dict) -> None:
+        kind = frame["type"]
+        if kind == "points":
+            if self.first_point_at is None:
+                self.first_point_at = time.perf_counter()
+            self.point_frames += 1
+            self.cached = self.cached or bool(frame.get("cached"))
+            batch = frame["points"]
+            self.points.extend(batch)
+            self._events.put_nowait(("points", batch))
+        elif kind == "reset":
+            self.resets += 1
+            self.points.clear()
+            self._events.put_nowait(("reset", []))
+        elif kind == "progress":
+            self._events.put_nowait(("progress", frame))
+        elif kind == "done":
+            result = RemoteResult(
+                points=list(self.points),
+                complete=bool(frame.get("complete")),
+                outcome=frame.get("outcome", ""),
+                exhausted_reason=frame.get("exhausted_reason"),
+                elapsed=float(frame.get("elapsed", 0.0)),
+                cached=bool(frame.get("cached")),
+                fallback=bool(frame.get("fallback")),
+                time_to_first_point=(
+                    self.first_point_at - self.sent_at
+                    if self.first_point_at is not None
+                    else None
+                ),
+                time_to_done=time.perf_counter() - self.sent_at,
+                point_frames=self.point_frames,
+                resets=self.resets,
+            )
+            self._resolve(result)
+        elif kind == "error":
+            self._resolve(
+                error=RemoteQueryError(
+                    frame.get("code", "internal"),
+                    frame.get("message", ""),
+                    detail=frame.get("detail"),
+                    points=list(self.points),
+                )
+            )
+
+    def _resolve(self, result=None, error=None) -> None:
+        if not self._done.done():
+            if error is not None:
+                self._done.set_exception(error)
+            else:
+                self._done.set_result(result)
+        self._events.put_nowait(None)  # end-of-stream sentinel
+
+    # -- consumer API --------------------------------------------------
+    async def result(self) -> RemoteResult:
+        """Wait for the terminal frame; raises
+        :class:`~repro.exceptions.RemoteQueryError` on ERROR."""
+        return await self._done
+
+    def done(self) -> bool:
+        """True once the stream has received its terminal DONE/ERROR frame."""
+        return self._done.done()
+
+    async def cancel(self) -> None:
+        """Send a CANCEL frame (the stream then ends with a typed
+        ``cancelled`` error carrying the streamed prefix)."""
+        await self.client._send({"type": "cancel", "qid": self.qid})
+
+    async def events(self):
+        """Async-iterate raw ``(kind, payload)`` stream events."""
+        while True:
+            event = await self._events.get()
+            if event is None:
+                return
+            yield event
+
+    def __aiter__(self):
+        return self._batches()
+
+    async def _batches(self):
+        async for kind, payload in self.events():
+            if kind == "points":
+                yield payload
+
+
+class SkylineClient:
+    """One connection to a :class:`~repro.net.netserver.NetworkFrontend`."""
+
+    def __init__(self, reader, writer, hello: dict) -> None:
+        self._reader = reader
+        self._writer = writer
+        #: The server's HELLO payload (protocol, records, dimensions).
+        self.server_info = dict(hello)
+        self._streams: dict[int, QueryStream] = {}
+        self._next_qid = 0
+        self._metrics_waiters: list[asyncio.Future] = []
+        self._closed = False
+        self._conn_error: BaseException | None = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, timeout: float = 10.0
+    ) -> "SkylineClient":
+        """Open a connection and complete the versioned handshake."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+        write_frame(writer, {"type": "hello", "protocol": PROTOCOL_VERSION})
+        await writer.drain()
+        received = await asyncio.wait_for(read_frame(reader), timeout=timeout)
+        if received is None:
+            raise ProtocolError("server closed the connection mid-handshake")
+        frame, _ = received
+        if frame["type"] == "error":
+            raise RemoteQueryError(
+                frame.get("code", "protocol"), frame.get("message", "")
+            )
+        if frame["type"] != "hello":
+            raise ProtocolError(
+                f"expected hello frame, got {frame['type']!r}"
+            )
+        return cls(reader, writer, frame)
+
+    # ------------------------------------------------------------------
+    async def query(self, *, qid: int | None = None, progress: bool = False,
+                    **fields) -> QueryStream:
+        """Submit one query; returns its :class:`QueryStream`.
+
+        ``fields`` are :class:`~repro.serving.server.QueryRequest`
+        fields (``algorithm=``, ``deadline=``, ``max_answers=``,
+        ``subspace=``, ``constraint=`` as a JSON-able dict, ...).
+        """
+        if self._conn_error is not None:
+            raise self._conn_error
+        if self._closed:
+            raise ProtocolError("client is closed")
+        if qid is None:
+            qid = self._next_qid
+            self._next_qid += 1
+        stream = QueryStream(self, qid)
+        self._streams[qid] = stream
+        frame = {"type": "query", "qid": qid, **fields}
+        if progress:
+            frame["progress"] = True
+        await self._send(frame)
+        return stream
+
+    async def execute(self, **fields) -> RemoteResult:
+        """Submit and wait for the terminal result in one call."""
+        stream = await self.query(**fields)
+        return await stream.result()
+
+    async def metrics(self, *, timeout: float = 10.0) -> dict:
+        """Fetch the server's metrics snapshot (including ``net``)."""
+        waiter = asyncio.get_running_loop().create_future()
+        self._metrics_waiters.append(waiter)
+        await self._send({"type": "metrics"})
+        return await asyncio.wait_for(waiter, timeout=timeout)
+
+    async def close(self) -> None:
+        """Close the connection (server cancels in-flight queries)."""
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+        self._fail_pending(ProtocolError("connection closed"))
+
+    # ------------------------------------------------------------------
+    async def _send(self, frame: dict) -> None:
+        write_frame(self._writer, frame)
+        await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                received = await read_frame(self._reader)
+                if received is None:
+                    self._fail_pending(
+                        ProtocolError("server closed the connection")
+                    )
+                    return
+                frame, _ = received
+                self._dispatch(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as err:  # noqa: BLE001 - surface to waiters
+            self._fail_pending(err)
+
+    def _dispatch(self, frame: dict) -> None:
+        kind = frame["type"]
+        if kind == "metrics":
+            for waiter in self._metrics_waiters:
+                if not waiter.done():
+                    waiter.set_result(frame.get("data", {}))
+            self._metrics_waiters.clear()
+            return
+        qid = frame.get("qid")
+        stream = self._streams.get(qid)
+        if stream is not None:
+            stream._on_frame(frame)
+            if stream.done():
+                self._streams.pop(qid, None)
+        elif kind == "error" and qid is None:
+            # Connection-level error (handshake/protocol): fail everything.
+            self._fail_pending(
+                RemoteQueryError(
+                    frame.get("code", "protocol"), frame.get("message", "")
+                )
+            )
+
+    def _fail_pending(self, error: BaseException) -> None:
+        if self._conn_error is None:
+            self._conn_error = error
+        for stream in list(self._streams.values()):
+            stream._resolve(
+                error=RemoteQueryError(
+                    "connection",
+                    str(error),
+                    points=list(stream.points),
+                )
+            )
+        self._streams.clear()
+        for waiter in self._metrics_waiters:
+            if not waiter.done():
+                waiter.set_exception(error)
+        self._metrics_waiters.clear()

@@ -1,0 +1,640 @@
+"""Asyncio TCP front-end bridging remote clients onto a SkylineServer.
+
+:class:`NetworkFrontend` accepts connections speaking the frame protocol
+of :mod:`repro.net.protocol` and maps each QUERY frame onto one
+:meth:`~repro.serving.server.SkylineServer.submit`.  The bridge is built
+around three invariants:
+
+**Progressive delivery.**  Each in-flight query's answers stream to the
+client as POINTS frames *while the query runs*: the connection
+subscribes to the handle's :class:`~repro.net.stream.EmissionChannel`
+(with replay, so cache hits -- which resolve before ``submit`` returns
+-- stream correctly too) and every emission event hops onto the event
+loop with ``call_soon_threadsafe``.  Because the worker thread performs
+its final sink mutation before resolving the handle, the loop observes
+points strictly before the terminal event, and the concatenation of a
+stream's POINTS frames is always a prefix of the algorithm's emission
+order.  A server-side retry retracts the prefix with a typed RESET
+frame first (see ``EmissionChannel.reset``).
+
+**Bounded everything, never a hang.**  Outbound frames go through a
+bounded per-connection send queue drained by one writer task (so one
+stalled ``drain()`` never blocks frame *production*).  Each query
+additionally buffers undelivered points on the loop: past the soft
+bound emission is considered *paused* (counted in metrics and released
+when the consumer drains); past the hard bound -- or when even the send
+queue stays full for the configured timeout -- the stream is **shed**:
+the query's cancellation token fires, the buffered points are dropped
+and the client gets a typed ``slow-consumer`` ERROR frame (or, if it
+is not even reading that, the connection is aborted).  No path buffers
+without bound and no path waits forever.
+
+**Disconnect == cancel.**  A client that goes away (EOF, connection
+error, malformed frame) has every in-flight query cancelled through its
+:class:`~repro.resilience.context.CancellationToken`, so abandoned
+queries stop burning comparisons and worker slots drain back to idle.
+
+Rate limiting sits in front of submission: each connection owns a
+:class:`~repro.net.ratelimit.TokenBucket` and every QUERY is priced
+from the shape-conditioned admission cost model, so expensive queries
+drain the bucket proportionally to the work they are predicted to cost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    ProtocolError,
+    RateLimitedError,
+    ServingError,
+    SlowConsumerError,
+)
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_payload,
+    read_frame,
+)
+from repro.net.ratelimit import TokenBucket, price_request
+from repro.net.stream import EVENT_RESET
+from repro.serving.server import QueryRequest
+
+__all__ = ["NetworkConfig", "NetworkFrontend", "request_from_payload", "point_to_wire"]
+
+logger = logging.getLogger("repro.net")
+
+#: Frame types only the server may send; receiving one is a violation.
+_SERVER_ONLY_TYPES = frozenset({"points", "progress", "reset", "done", "error"})
+
+_REQUEST_FIELDS = (
+    "algorithm",
+    "deadline",
+    "max_comparisons",
+    "max_heap_entries",
+    "max_window_entries",
+    "max_answers",
+    "priority",
+    "fallback",
+    "tag",
+    "skyband_k",
+    "idempotent",
+)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunables of one :class:`NetworkFrontend`.
+
+    ``rate``/``burst`` parameterize each connection's token bucket (in
+    cost-model tokens: ~1 per cheap query, ~7-8 per million-comparison
+    scan).  ``send_queue_frames`` bounds the per-connection outbound
+    queue; ``pending_soft`` / ``pending_hard`` bound each query's
+    undelivered-point buffer (pause / shed); ``send_timeout`` bounds how
+    long any single enqueue onto a full send queue may wait before the
+    consumer is declared dead.  ``points_per_frame`` caps the batch size
+    of one POINTS frame so a huge stratum never builds one giant frame.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    rate: float = 50.0
+    burst: float = 200.0
+    send_queue_frames: int = 64
+    pending_soft: int = 4096
+    pending_hard: int = 65536
+    send_timeout: float = 10.0
+    handshake_timeout: float = 5.0
+    points_per_frame: int = 512
+
+
+def point_to_wire(point) -> dict:
+    """JSON representation of one emitted point (record id + values)."""
+    record = point.record
+    return {
+        "rid": record.rid,
+        "totals": list(record.totals),
+        "partials": list(record.partials),
+    }
+
+
+def request_from_payload(payload: dict) -> QueryRequest:
+    """Build a :class:`QueryRequest` from a QUERY frame payload.
+
+    Raises :class:`~repro.exceptions.ProtocolError` on structurally
+    invalid fields; semantic errors (unknown algorithm, invalid
+    constraint values) surface later as typed serving errors on the
+    stream, exactly like local submission.
+    """
+    kwargs = {}
+    for name in _REQUEST_FIELDS:
+        if payload.get(name) is not None:
+            kwargs[name] = payload[name]
+    options = payload.get("options")
+    if options is not None:
+        if not isinstance(options, dict):
+            raise ProtocolError("query 'options' must be a JSON object")
+        kwargs["options"] = dict(options)
+    subspace = payload.get("subspace")
+    if subspace is not None:
+        if not isinstance(subspace, (list, tuple)):
+            raise ProtocolError("query 'subspace' must be a list of names")
+        kwargs["subspace"] = tuple(subspace)
+    constraint = payload.get("constraint")
+    if constraint is not None:
+        if not isinstance(constraint, dict):
+            raise ProtocolError("query 'constraint' must be a JSON object")
+        from repro.queries.constrained import Constraint
+
+        try:
+            ranges = {
+                name: tuple(bounds)
+                for name, bounds in (constraint.get("ranges") or {}).items()
+            }
+            kwargs["constraint"] = Constraint(
+                ranges=ranges,
+                must_dominate=constraint.get("must_dominate"),
+                dominated_by=constraint.get("dominated_by"),
+            )
+        except (TypeError, ValueError) as err:
+            raise ProtocolError(f"invalid query constraint: {err}") from err
+    try:
+        return QueryRequest(**kwargs)
+    except TypeError as err:
+        raise ProtocolError(f"invalid query fields: {err}") from err
+
+
+class _QueryStream:
+    """Loop-side state of one streamed query on one connection.
+
+    Emission events arrive from worker threads via
+    ``call_soon_threadsafe`` and accumulate in ``pending``; one pump
+    task per stream drains ``pending`` into POINTS frames on the
+    connection's bounded send queue and emits the terminal DONE/ERROR
+    frame after the last point.
+    """
+
+    def __init__(self, conn: "_Connection", qid, handle) -> None:
+        self.conn = conn
+        self.qid = qid
+        self.handle = handle
+        self.started = time.perf_counter()
+        self.pending: list = []
+        self.seq = 0
+        self.sent_points = 0
+        self.reset_pending = False
+        self.finished = False
+        self.first_point_at: float | None = None
+        self.paused = False
+        self.shed = False
+        self.closed = False
+        self.wake = asyncio.Event()
+        self.progress = False
+        self.unsubscribe = None
+        self.pump_task: asyncio.Task | None = None
+
+    # -- worker-thread side -------------------------------------------
+    def on_emission(self, kind: str, points: list) -> None:
+        """EmissionChannel callback (any thread): hop onto the loop."""
+        loop = self.conn.loop
+        try:
+            loop.call_soon_threadsafe(self._on_event, kind, points)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def on_done(self, _handle) -> None:
+        """Handle done-callback (any thread): hop onto the loop."""
+        loop = self.conn.loop
+        try:
+            loop.call_soon_threadsafe(self._on_finished)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    # -- loop side -----------------------------------------------------
+    def _on_event(self, kind: str, points: list) -> None:
+        if self.closed or self.shed:
+            return
+        metrics = self.conn.frontend.metrics
+        if kind == EVENT_RESET:
+            self.pending.clear()
+            self.reset_pending = True
+            self.paused = False
+        else:
+            self.pending.extend(points)
+            if len(self.pending) > self.conn.frontend.config.pending_hard:
+                # Hard bound: the consumer is not keeping up and the
+                # buffer must not grow further -- shed the stream.
+                self.shed = True
+                self.pending.clear()
+                metrics.on_slow_consumer_shed()
+                self.handle.cancel()
+            elif (
+                len(self.pending) > self.conn.frontend.config.pending_soft
+                and not self.paused
+            ):
+                self.paused = True
+                metrics.on_backpressure_pause()
+        self.wake.set()
+
+    def _on_finished(self) -> None:
+        self.finished = True
+        self.wake.set()
+
+    async def pump(self) -> None:
+        """Drain emission events into frames until the stream ends."""
+        conn = self.conn
+        cfg = conn.frontend.config
+        metrics = conn.frontend.metrics
+        try:
+            while True:
+                await self.wake.wait()
+                self.wake.clear()
+                if self.closed:
+                    return
+                if self.shed:
+                    await conn.send(
+                        error_payload(
+                            SlowConsumerError(
+                                f"per-query buffer exceeded "
+                                f"{cfg.pending_hard} undelivered points"
+                            ),
+                            qid=self.qid,
+                        )
+                    )
+                    return
+                if self.reset_pending:
+                    self.reset_pending = False
+                    self.seq = 0
+                    self.sent_points = 0
+                    metrics.on_reset_sent()
+                    await conn.send({"type": "reset", "qid": self.qid})
+                while self.pending and not self.shed and not self.closed:
+                    batch = self.pending[: cfg.points_per_frame]
+                    del self.pending[: cfg.points_per_frame]
+                    frame = {
+                        "type": "points",
+                        "qid": self.qid,
+                        "seq": self.seq,
+                        "points": [point_to_wire(p) for p in batch],
+                        "cached": self._cached(),
+                    }
+                    self.seq += 1
+                    self.sent_points += len(batch)
+                    if self.first_point_at is None:
+                        self.first_point_at = time.perf_counter()
+                        metrics.on_first_point(
+                            self.first_point_at - self.started
+                        )
+                    await conn.send(frame)
+                    if self.progress:
+                        await conn.send(
+                            {
+                                "type": "progress",
+                                "qid": self.qid,
+                                "emitted": self.sent_points,
+                                "elapsed": time.perf_counter() - self.started,
+                            }
+                        )
+                if self.paused and len(self.pending) <= cfg.pending_soft:
+                    self.paused = False
+                if (
+                    self.finished
+                    and not self.pending
+                    and not self.reset_pending
+                    and not self.shed
+                ):
+                    await conn.send(self._terminal_frame())
+                    return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self.close()
+            conn.streams.pop(self.qid, None)
+
+    def _cached(self) -> bool:
+        result = self.handle._result
+        return bool(result is not None and result.cached)
+
+    def _terminal_frame(self) -> dict:
+        handle = self.handle
+        error = handle._error
+        if error is not None:
+            return error_payload(error, qid=self.qid)
+        result = handle._result
+        return {
+            "type": "done",
+            "qid": self.qid,
+            "complete": bool(result.complete),
+            "outcome": handle.outcome,
+            "exhausted_reason": result.exhausted_reason,
+            "elapsed": result.elapsed,
+            "count": len(result.points),
+            "cached": bool(result.cached),
+            "fallback": bool(result.fallback),
+        }
+
+    def close(self) -> None:
+        """Detach from the emission channel and stop delivering."""
+        self.closed = True
+        if self.unsubscribe is not None:
+            self.unsubscribe()
+            self.unsubscribe = None
+        self.wake.set()
+
+
+class _Connection:
+    """One accepted client connection: dispatch loop + writer task."""
+
+    def __init__(self, frontend: "NetworkFrontend", reader, writer) -> None:
+        self.frontend = frontend
+        self.reader = reader
+        self.writer = writer
+        self.loop = asyncio.get_running_loop()
+        self.out: asyncio.Queue = asyncio.Queue(
+            maxsize=frontend.config.send_queue_frames
+        )
+        self.streams: dict = {}
+        self.bucket = TokenBucket(frontend.config.rate, frontend.config.burst)
+        self.writer_task: asyncio.Task | None = None
+        self.aborted = False
+
+    async def send(self, frame: dict) -> None:
+        """Enqueue one outbound frame; abort the consumer on timeout.
+
+        The send queue is bounded; a consumer that leaves it full for
+        ``send_timeout`` seconds is not reading at all -- the connection
+        is aborted (which cancels every in-flight query) instead of
+        waiting forever.
+        """
+        if self.aborted:
+            return
+        try:
+            await asyncio.wait_for(
+                self.out.put(frame), timeout=self.frontend.config.send_timeout
+            )
+        except asyncio.TimeoutError:
+            logger.warning(
+                "send queue full for %.3gs; aborting connection",
+                self.frontend.config.send_timeout,
+            )
+            self.abort()
+
+    def abort(self) -> None:
+        """Hard-close the transport; cleanup happens in :meth:`run`."""
+        self.aborted = True
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
+    async def _writer_loop(self) -> None:
+        metrics = self.frontend.metrics
+        try:
+            while True:
+                frame = await self.out.get()
+                if frame is None:
+                    return
+                data = encode_frame(frame)
+                self.writer.write(data)
+                await self.writer.drain()
+                points = (
+                    len(frame["points"]) if frame["type"] == "points" else 0
+                )
+                metrics.on_frame_out(len(data), points)
+        except (ConnectionError, asyncio.CancelledError, RuntimeError):
+            return
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        metrics = self.frontend.metrics
+        self.writer_task = asyncio.ensure_future(self._writer_loop())
+        try:
+            await self._handshake()
+            while True:
+                try:
+                    received = await read_frame(self.reader)
+                except ProtocolError as err:
+                    metrics.on_malformed_frame()
+                    await self.send(error_payload(err))
+                    return
+                if received is None:
+                    return  # clean disconnect
+                frame, nbytes = received
+                metrics.on_frame_in(nbytes)
+                await self._dispatch(frame)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        finally:
+            await self._cleanup()
+
+    async def _handshake(self) -> None:
+        cfg = self.frontend.config
+        metrics = self.frontend.metrics
+        try:
+            received = await asyncio.wait_for(
+                read_frame(self.reader), timeout=cfg.handshake_timeout
+            )
+        except asyncio.TimeoutError as err:
+            raise ConnectionError("handshake timeout") from err
+        except ProtocolError as err:
+            metrics.on_malformed_frame()
+            await self.send(error_payload(err))
+            raise ConnectionError("malformed handshake") from err
+        if received is None:
+            raise ConnectionError("disconnected before handshake")
+        frame, nbytes = received
+        metrics.on_frame_in(nbytes)
+        if frame["type"] != "hello" or frame.get("protocol") != PROTOCOL_VERSION:
+            metrics.on_malformed_frame()
+            await self.send(
+                error_payload(
+                    ProtocolError(
+                        f"unsupported handshake (type={frame['type']!r}, "
+                        f"protocol={frame.get('protocol')!r}); server "
+                        f"speaks protocol {PROTOCOL_VERSION}"
+                    )
+                )
+            )
+            raise ConnectionError("handshake version mismatch")
+        server = self.frontend.server
+        await self.send(
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "server": "repro-skyline",
+                "records": len(server.dataset),
+                "dimensions": server.dataset.dimensions,
+            }
+        )
+
+    async def _dispatch(self, frame: dict) -> None:
+        kind = frame["type"]
+        if kind == "query":
+            await self._handle_query(frame)
+        elif kind == "cancel":
+            stream = self.streams.get(frame.get("qid"))
+            if stream is not None:
+                stream.handle.cancel()
+        elif kind == "metrics":
+            await self.send(
+                {"type": "metrics", "data": self.frontend.metrics.snapshot()}
+            )
+        elif kind in _SERVER_ONLY_TYPES:
+            self.frontend.metrics.on_malformed_frame()
+            await self.send(
+                error_payload(
+                    ProtocolError(f"clients must not send {kind!r} frames"),
+                    qid=frame.get("qid"),
+                )
+            )
+        # A repeated "hello" is harmless; ignore it.
+
+    async def _handle_query(self, frame: dict) -> None:
+        metrics = self.frontend.metrics
+        qid = frame.get("qid")
+        if qid is None or not isinstance(qid, (int, str)):
+            metrics.on_malformed_frame()
+            await self.send(
+                error_payload(ProtocolError("query frame needs an int/str qid"))
+            )
+            return
+        if qid in self.streams:
+            await self.send(
+                error_payload(
+                    ProtocolError(f"qid {qid!r} is already in flight"), qid=qid
+                )
+            )
+            return
+        try:
+            request = request_from_payload(frame)
+        except ProtocolError as err:
+            metrics.on_malformed_frame()
+            await self.send(error_payload(err, qid=qid))
+            return
+
+        server = self.frontend.server
+        try:
+            cost = price_request(
+                server.admission, request, len(server.dataset),
+                server.dataset.dimensions,
+            )
+            self.bucket.acquire(cost)
+        except RateLimitedError as err:
+            metrics.on_rate_limited()
+            await self.send(error_payload(err, qid=qid))
+            return
+
+        metrics.on_net_query()
+        stream = _QueryStream(self, qid, handle=None)
+        stream.progress = bool(frame.get("progress"))
+        try:
+            handle = await self.loop.run_in_executor(
+                None, server.submit, request
+            )
+        except Exception as err:  # typed serving errors -> ERROR frame
+            await self.send(error_payload(err, qid=qid))
+            return
+        stream.handle = handle
+        self.streams[qid] = stream
+        # Replay delivers the already-emitted prefix (cache hits resolve
+        # before submit() even returns) and the done callback fires
+        # after the final emission -- both hop onto the loop in order.
+        stream.unsubscribe = handle.subscribe(stream.on_emission, replay=True)
+        stream.pump_task = asyncio.ensure_future(stream.pump())
+        handle.add_done_callback(stream.on_done)
+
+    async def _cleanup(self) -> None:
+        metrics = self.frontend.metrics
+        for stream in list(self.streams.values()):
+            stream.close()
+            if stream.handle is not None and not stream.handle.done():
+                if stream.handle.cancel():
+                    metrics.on_disconnect_cancellation()
+            if stream.pump_task is not None:
+                stream.pump_task.cancel()
+        self.streams.clear()
+        if self.writer_task is not None:
+            try:
+                self.out.put_nowait(None)
+            except asyncio.QueueFull:
+                self.writer_task.cancel()
+            try:
+                await asyncio.wait_for(self.writer_task, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self.writer_task.cancel()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+class NetworkFrontend:
+    """Asyncio TCP server exposing one SkylineServer to remote clients.
+
+    ::
+
+        frontend = NetworkFrontend(server, NetworkConfig(port=7777))
+        host, port = await frontend.start()
+        ...
+        await frontend.close()
+    """
+
+    def __init__(self, server, config: NetworkConfig | None = None) -> None:
+        self.server = server
+        self.config = config if config is not None else NetworkConfig()
+        self.metrics = server.metrics
+        self._tcp: asyncio.base_events.Server | None = None
+        self._connections: set = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        if self._tcp is not None:
+            raise ServingError("network frontend already started")
+        self._tcp = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._tcp is None:
+            raise ServingError("network frontend is not listening")
+        sock = self._tcp.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def _on_connection(self, reader, writer) -> None:
+        self.metrics.on_connection_opened()
+        conn = _Connection(self, reader, writer)
+        self._connections.add(conn)
+        try:
+            await conn.run()
+        except Exception:  # noqa: BLE001 - one bad connection stays local
+            logger.exception("connection handler failed")
+        finally:
+            self._connections.discard(conn)
+            self.metrics.on_connection_closed()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``repro serve`` runs this)."""
+        if self._tcp is None:
+            await self.start()
+        async with self._tcp:
+            await self._tcp.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, abort live connections, wait for teardown."""
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        for conn in list(self._connections):
+            conn.abort()
+        for _ in range(100):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.01)

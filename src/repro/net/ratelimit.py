@@ -1,0 +1,105 @@
+"""Per-client token-bucket rate limiting priced by the cost model.
+
+A flat queries-per-second limit is wrong for skyline serving: one
+constrained BBS probe over 1K records and one full-space SDC+ scan over
+1M records are both "a query", but differ by orders of magnitude in the
+comparisons they burn.  Instead each client connection gets a
+:class:`TokenBucket` and every QUERY frame is *priced* from the same
+shape-conditioned :class:`~repro.serving.admission.CostEstimator` the
+admission controller uses -- so an expensive query drains the bucket
+proportionally to the work it is predicted to cost, and shaped traffic
+(subspace / constrained / skyband) is priced by its own calibrated
+profile, not the full-space one.
+
+The price is logarithmic in the predicted comparison bill
+(``1 + log10(1 + comparisons)``): cheap cached-size probes cost ~1
+token, million-comparison scans cost ~7-8, and the bucket's
+``rate``/``capacity`` stay in human-readable units (tokens/second)
+rather than raw comparison counts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.exceptions import RateLimitedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.admission import AdmissionController
+    from repro.serving.server import QueryRequest
+
+__all__ = ["TokenBucket", "price_request"]
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable clock (for tests).
+
+    ``acquire(cost)`` is non-blocking: it either debits the bucket and
+    returns, or raises :class:`~repro.exceptions.RateLimitedError`
+    carrying ``retry_after`` -- the seconds until the bucket will have
+    refilled enough to cover ``cost`` (capped at the time to refill a
+    full bucket, so an over-capacity cost still yields a finite hint).
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_updated", "_clock", "_lock")
+
+    def __init__(self, rate: float, capacity: float, *, clock=None) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("token bucket rate and capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._clock = clock if clock is not None else time.monotonic
+        self._updated = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def acquire(self, cost: float) -> None:
+        """Debit ``cost`` tokens or raise :class:`RateLimitedError`."""
+        with self._lock:
+            self._refill()
+            if cost <= self._tokens:
+                self._tokens -= cost
+                return
+            deficit = min(cost, self.capacity) - self._tokens
+            retry_after = deficit / self.rate
+        raise RateLimitedError(cost=cost, retry_after=retry_after)
+
+    def available(self) -> float:
+        """Current token balance (after refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+def price_request(
+    admission: "AdmissionController",
+    request: "QueryRequest",
+    records: int,
+    dimensions: int,
+) -> float:
+    """Token price of one query from the shape-conditioned cost model.
+
+    Uses the admission controller's estimator so rate limiting and
+    admission agree on what a query costs; falls back to the floor price
+    of 1 token when no estimate is available for the algorithm.
+    """
+    try:
+        estimate = admission.estimator.estimate(
+            request.algorithm, records, dimensions, shape=request.shape()
+        )
+        comparisons = float(estimate.comparisons)
+    except Exception:  # noqa: BLE001 - pricing must never kill a query
+        comparisons = 0.0
+    if comparisons <= 0:
+        return 1.0
+    return 1.0 + math.log10(1.0 + comparisons)

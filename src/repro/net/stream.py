@@ -1,0 +1,187 @@
+"""Incremental, thread-safe emission channels.
+
+The resilient executor appends each emitted skyline point to its
+``sink`` list *as the algorithm yields it*; historically that list was a
+plain ``list`` the serving layer snapshotted on demand, which is enough
+for polling (:meth:`~repro.serving.server.QueryHandle.partial`) but not
+for *push* delivery: a network stream must learn about new points the
+moment they exist, not when somebody polls.
+
+:class:`EmissionChannel` is a drop-in replacement: it subclasses
+``list`` (so the executor's ``points.append``, the server's
+``sink.extend`` and ``PartialResult(points=sink)`` all keep working
+unchanged) and additionally notifies registered subscribers of every
+mutation, under one lock, in emission order:
+
+* ``("points", [p, ...])`` -- new points were appended; the batch is a
+  contiguous slice of the emission order.
+* ``("reset", [])`` -- the emitted prefix was retracted (the serving
+  layer's retry path restarts emission from scratch).  Subscribers that
+  already forwarded points downstream must forward the retraction too
+  (the network layer sends a typed RESET frame); the next ``points``
+  events restart from position zero.
+
+Ordering guarantees (the *prefix-of-emission-order* contract end to
+end):
+
+* Subscriber callbacks run synchronously under the channel lock, on the
+  emitting thread, so events arrive in exactly the order the mutations
+  happened -- no torn batches, no reordering.
+* :meth:`subscribe` with ``replay=True`` (the default) delivers the
+  already-emitted prefix as one synthetic ``points`` event *inside the
+  same critical section* that registers the callback, so a subscriber
+  sees every point exactly once no matter when it attaches -- before,
+  during or after the query runs.  Cache hits (which emit their whole
+  answer before the submitter even gets the handle back) stream
+  correctly because of this replay.
+
+Callbacks must be fast and must not re-enter the channel; the network
+layer's callback is a single ``loop.call_soon_threadsafe`` hop.  A
+subscriber that raises is dropped (and the error recorded) rather than
+poisoning the query's emission path.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transform.point import Point
+
+__all__ = ["EmissionChannel"]
+
+logger = logging.getLogger("repro.net")
+
+#: Event kinds delivered to subscribers.
+EVENT_POINTS = "points"
+EVENT_RESET = "reset"
+
+Subscriber = Callable[[str, list], None]
+
+
+class EmissionChannel(list):
+    """A ``list`` of emitted points that pushes every mutation to
+    subscribers.
+
+    The channel *is* the query's sink: the executor appends into it, the
+    serving layer snapshots it, and the returned
+    :class:`~repro.resilience.executor.PartialResult` uses it as its
+    ``points``.  Subscribers observe the same sequence incrementally.
+    """
+
+    __slots__ = ("_lock", "_subscribers", "_next_token", "generation")
+
+    def __init__(self, initial: Iterable | None = None) -> None:
+        super().__init__(initial or ())
+        self._lock = threading.Lock()
+        self._subscribers: dict[int, Subscriber] = {}
+        self._next_token = 0
+        #: Bumped by every :meth:`reset`; lets late observers detect
+        #: that the current contents are not the first emission attempt.
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Subscriber, replay: bool = True) -> Callable[[], None]:
+        """Register ``callback(kind, points)``; returns an unsubscribe
+        function.
+
+        With ``replay`` (default) the already-emitted prefix is
+        delivered as one ``points`` event inside the registration
+        critical section -- exactly-once delivery regardless of when the
+        subscriber attaches relative to emission.
+        """
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            if replay and len(self):
+                self._deliver_one(token, callback, EVENT_POINTS, list(self))
+            self._subscribers[token] = callback
+
+        def unsubscribe() -> None:
+            with self._lock:
+                self._subscribers.pop(token, None)
+
+        return unsubscribe
+
+    @property
+    def subscriber_count(self) -> int:
+        """How many subscribers are currently attached."""
+        with self._lock:
+            return len(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Mutators (the executor / serving layer call these)
+    # ------------------------------------------------------------------
+    def append(self, point: "Point") -> None:
+        with self._lock:
+            list.append(self, point)
+            self._notify(EVENT_POINTS, [point])
+
+    def extend(self, points: Iterable["Point"]) -> None:
+        batch = list(points)
+        if not batch:
+            return
+        with self._lock:
+            list.extend(self, batch)
+            self._notify(EVENT_POINTS, batch)
+
+    def reset(self) -> None:
+        """Retract the emitted prefix (retry restarting emission).
+
+        Clears the list, bumps :attr:`generation` and pushes a
+        ``reset`` event so downstream streams can send a typed RESET
+        frame before the re-emission arrives.
+        """
+        with self._lock:
+            list.clear(self)
+            self.generation += 1
+            self._notify(EVENT_RESET, [])
+
+    def clear(self) -> None:  # pragma: no cover - alias for safety
+        self.reset()
+
+    def __delitem__(self, index) -> None:
+        # ``del channel[:]`` is the legacy retry idiom; route it through
+        # reset so subscribers always see the retraction.
+        if isinstance(index, slice) and index == slice(None, None, None):
+            self.reset()
+            return
+        raise TypeError(
+            "EmissionChannel only supports full-slice deletion (reset); "
+            "emitted prefixes must never be partially retracted"
+        )
+
+    def snapshot(self) -> list:
+        """A consistent copy of the emitted prefix."""
+        with self._lock:
+            return list(self)
+
+    # ------------------------------------------------------------------
+    def _notify(self, kind: str, points: list) -> None:
+        """Deliver one event to every subscriber (lock held by caller)."""
+        if not self._subscribers:
+            return
+        for token, callback in list(self._subscribers.items()):
+            self._deliver_one(token, callback, kind, points)
+
+    def _deliver_one(self, token: int, callback: Subscriber, kind: str,
+                     points: list) -> None:
+        try:
+            callback(kind, points)
+        except Exception:  # noqa: BLE001 - subscriber isolation
+            # A broken subscriber must not poison the query's emission
+            # path (or the other subscribers): drop it and log.
+            self._subscribers.pop(token, None)
+            logger.exception(
+                "emission subscriber raised; unsubscribed (kind=%s)", kind
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EmissionChannel({len(self)} points, "
+            f"{len(self._subscribers)} subscribers, gen={self.generation})"
+        )

@@ -229,8 +229,10 @@ class ParallelSkylineExecutor:
         ``stats`` redirects the aggregate bill (defaults to the
         dataset's bundle); ``context`` carries deadline / cancellation
         (a resource *budget* forces the serial path, see the module
-        docstring); ``sink`` receives the merged answers in one batch
-        on completion (sharded execution is not progressive).
+        docstring); ``sink`` receives answers incrementally -- on the
+        serial path per algorithm checkpoint, on the sharded path one
+        batch per merged shard as its merge pass completes (each batch
+        extends a valid prefix of the final emission order).
         """
         if self._closed:
             raise ParallelError("executor is closed")
@@ -271,6 +273,16 @@ class ParallelSkylineExecutor:
             )
             logger.warning(message)
             warnings.warn(message, ParallelFallbackWarning, stacklevel=2)
+            if sink is not None and len(sink):
+                # The merge may have streamed some shard batches before
+                # the failure; the serial recompute restarts emission
+                # from scratch, so retract the stale prefix (push sinks
+                # propagate this as a typed reset).
+                reset = getattr(sink, "reset", None)
+                if reset is not None:
+                    reset()
+                else:
+                    del sink[:]
             return self._run_serial(
                 algorithm,
                 target,
@@ -396,7 +408,11 @@ class ParallelSkylineExecutor:
         ]
         merge_stats = ComparisonStats()
         merge_view = dataset.query_view(stats=merge_stats)
-        merged = merge_local_skylines(merge_view, local_skylines)
+        # The sink rides through the merge itself: each shard's survivor
+        # batch is pushed the moment that shard's pass finishes, so a
+        # streaming consumer sees progressive per-bucket delivery
+        # instead of one terminal batch.
+        merged = merge_local_skylines(merge_view, local_skylines, sink=sink)
 
         worker_counters = [outcome.counters for outcome in outcomes]
         aggregate = ComparisonStats()
@@ -407,8 +423,6 @@ class ParallelSkylineExecutor:
             target.add_snapshot(snapshot)
         target.merge(merge_stats)
 
-        if sink is not None:
-            sink.extend(merged.points)
         return ParallelResult(
             points=merged.points,
             algorithm=algorithm,

@@ -73,7 +73,8 @@ def _representatives(points: list[Point]) -> list[Point]:
     return reps
 
 
-def merge_local_skylines(dataset, local_skylines: list[list[Point]]) -> MergeOutcome:
+def merge_local_skylines(dataset, local_skylines: list[list[Point]],
+                         sink=None) -> MergeOutcome:
     """Merge per-shard local skylines (shard order) into the global one.
 
     ``dataset`` supplies the dominance kernel and the counter bundle the
@@ -81,6 +82,12 @@ def merge_local_skylines(dataset, local_skylines: list[list[Point]]) -> MergeOut
     returned emission order is shard order x local emission order --
     deterministic for every algorithm, and identical to the serial SDC+
     order under strata partitioning.
+
+    ``sink``, when given, receives each shard's survivor batch the
+    moment that shard's merge pass finishes (progressive delivery: a
+    shard's survivors are definite skyline members -- only earlier
+    shards could have dominated them -- so each batch extends a valid
+    prefix of the final emission order long before later shards merge).
     """
     kernel = dataset.kernel
     batch = getattr(kernel, "is_batch", False)
@@ -134,6 +141,8 @@ def merge_local_skylines(dataset, local_skylines: list[list[Point]]) -> MergeOut
         out.extend(survivors)
         if not survivors:
             continue
+        if sink is not None:
+            sink.extend(survivors)
         # Bulk promotion into the definite buckets (one array fill per
         # category with the batch kernel; see SkylineBuffer.extend).
         by_cat: dict[Category, list[Point]] = {}

@@ -190,6 +190,27 @@ class ServerMetrics:
         self.listener_failures: dict[str, int] = {}
         self.read_only = False
         self.read_only_reason: str | None = None
+        # Network front-end section (repro.net): connection and frame
+        # traffic, rate-limit throttles, slow-consumer backpressure, the
+        # disconnect->cancellation path and the time-to-first-point
+        # histogram (the progressiveness metric: seconds from QUERY
+        # frame to the first POINTS frame of each streamed query).
+        self.net_connections_opened = 0
+        self.net_connections_closed = 0
+        self.net_connections_active = 0
+        self.net_frames_in = 0
+        self.net_frames_out = 0
+        self.net_bytes_in = 0
+        self.net_bytes_out = 0
+        self.net_queries = 0
+        self.net_points_sent = 0
+        self.net_rate_limited = 0
+        self.net_backpressure_pauses = 0
+        self.net_slow_consumer_sheds = 0
+        self.net_disconnect_cancellations = 0
+        self.net_malformed_frames = 0
+        self.net_resets_sent = 0
+        self.net_ttfp = LatencyHistogram()
 
     # ------------------------------------------------------------------
     # Admission-side events
@@ -420,6 +441,74 @@ class ServerMetrics:
             self.cache_entries = entries
 
     # ------------------------------------------------------------------
+    # Network front-end events (repro.net)
+    # ------------------------------------------------------------------
+    def on_connection_opened(self) -> None:
+        """Count one accepted client connection."""
+        with self._lock:
+            self.net_connections_opened += 1
+            self.net_connections_active += 1
+
+    def on_connection_closed(self) -> None:
+        """Count one client connection torn down (any reason)."""
+        with self._lock:
+            self.net_connections_closed += 1
+            self.net_connections_active -= 1
+
+    def on_frame_in(self, nbytes: int) -> None:
+        """Count one decoded inbound frame of ``nbytes`` wire bytes."""
+        with self._lock:
+            self.net_frames_in += 1
+            self.net_bytes_in += nbytes
+
+    def on_frame_out(self, nbytes: int, points: int = 0) -> None:
+        """Count one sent outbound frame (and the points it carried)."""
+        with self._lock:
+            self.net_frames_out += 1
+            self.net_bytes_out += nbytes
+            self.net_points_sent += points
+
+    def on_net_query(self) -> None:
+        """Count one QUERY frame accepted for submission."""
+        with self._lock:
+            self.net_queries += 1
+
+    def on_rate_limited(self) -> None:
+        """Count one query refused by a client's token bucket."""
+        with self._lock:
+            self.net_rate_limited += 1
+
+    def on_backpressure_pause(self) -> None:
+        """Count one emission pause while a slow consumer drains."""
+        with self._lock:
+            self.net_backpressure_pauses += 1
+
+    def on_slow_consumer_shed(self) -> None:
+        """Count one streamed query shed for sustained slow consumption."""
+        with self._lock:
+            self.net_slow_consumer_sheds += 1
+
+    def on_disconnect_cancellation(self) -> None:
+        """Count one in-flight query cancelled by a client disconnect."""
+        with self._lock:
+            self.net_disconnect_cancellations += 1
+
+    def on_malformed_frame(self) -> None:
+        """Count one protocol violation (bad CRC, oversize, bad JSON)."""
+        with self._lock:
+            self.net_malformed_frames += 1
+
+    def on_reset_sent(self) -> None:
+        """Count one RESET frame (retry retracted a streamed prefix)."""
+        with self._lock:
+            self.net_resets_sent += 1
+
+    def on_first_point(self, seconds: float) -> None:
+        """Record one query's time-to-first-point (QUERY -> first POINTS)."""
+        with self._lock:
+            self.net_ttfp.record(seconds)
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -499,6 +588,26 @@ class ServerMetrics:
                         }
                         for name, state in sorted(self.breaker_states.items())
                     },
+                },
+                "net": {
+                    "connections": {
+                        "opened": self.net_connections_opened,
+                        "closed": self.net_connections_closed,
+                        "active": self.net_connections_active,
+                    },
+                    "frames_in": self.net_frames_in,
+                    "frames_out": self.net_frames_out,
+                    "bytes_in": self.net_bytes_in,
+                    "bytes_out": self.net_bytes_out,
+                    "queries": self.net_queries,
+                    "points_sent": self.net_points_sent,
+                    "rate_limited": self.net_rate_limited,
+                    "backpressure_pauses": self.net_backpressure_pauses,
+                    "slow_consumer_sheds": self.net_slow_consumer_sheds,
+                    "disconnect_cancellations": self.net_disconnect_cancellations,
+                    "malformed_frames": self.net_malformed_frames,
+                    "resets_sent": self.net_resets_sent,
+                    "time_to_first_point": self.net_ttfp.snapshot(),
                 },
                 "queue": {
                     "depth": self.queue_depth,

@@ -85,6 +85,7 @@ from repro.resilience import (
     ResourceBudget,
     execute,
 )
+from repro.net.stream import EmissionChannel
 from repro.serving.admission import AdmissionController
 from repro.serving.metrics import ServerMetrics
 from repro.serving.overload import (
@@ -207,10 +208,15 @@ class QueryHandle:
         #: read lock is held, for both cache hits and computed queries);
         #: ``None`` until then.  Staleness tests replay against this.
         self.served_version: int | None = None
-        self._sink: list["Point"] = []
+        #: Incremental emission channel: the executor appends answers
+        #: into it as the algorithm yields them, and push consumers
+        #: (the network front-end) subscribe for live delivery.
+        self._sink: EmissionChannel = EmissionChannel()
         self._result: PartialResult | None = None
         self._error: BaseException | None = None
         self._done = threading.Event()
+        self._callback_lock = threading.Lock()
+        self._done_callbacks: list = []
 
     # ------------------------------------------------------------------
     def done(self) -> bool:
@@ -247,6 +253,45 @@ class QueryHandle:
             return list(error.partial.points)
         return list(self._sink)
 
+    def subscribe(self, callback, replay: bool = True):
+        """Subscribe to this query's incremental emission stream.
+
+        ``callback(kind, points)`` receives every
+        :class:`~repro.net.stream.EmissionChannel` event -- ``points``
+        batches in emission order and ``reset`` retractions (retry
+        restarts).  With ``replay`` (default) the already-emitted prefix
+        is delivered first, so late subscribers (including cache hits,
+        which resolve before ``submit`` even returns) see the complete
+        stream exactly once.  Returns an unsubscribe function.
+        """
+        return self._sink.subscribe(callback, replay=replay)
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(handle)`` when the query reaches a terminal state.
+
+        Fires exactly once, on the finishing thread -- immediately if
+        the query is already done.  Callback errors are swallowed (a
+        consumer's bug must not poison the worker).  Because the same
+        worker thread performs the final sink mutation and then
+        ``_finish``, a subscriber attached via :meth:`subscribe` always
+        observes the last ``points`` event before the done callback.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._done_callbacks.append(fn)
+                return
+        self._invoke_done_callback(fn)
+
+    def _invoke_done_callback(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - consumer isolation
+            import logging
+
+            logging.getLogger("repro.serving").exception(
+                "query done-callback raised (seq=%d)", self.seq
+            )
+
     def cancel(self) -> bool:
         """Request cooperative cancellation; ``False`` if already done.
 
@@ -274,7 +319,11 @@ class QueryHandle:
         self.outcome = outcome
         self._result = result
         self._error = error
-        self._done.set()
+        with self._callback_lock:
+            self._done.set()
+            callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            self._invoke_done_callback(fn)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = self.outcome if self._done.is_set() else (
@@ -852,7 +901,10 @@ class SkylineServer:
             if elapsed + delay >= request.deadline:
                 return False
         self.metrics.on_retry()
-        del handle._sink[:]
+        # Retraction, not deletion: subscribers (network streams) get a
+        # typed ``reset`` event so remote clients discard the stale
+        # prefix before the retry's re-emission arrives.
+        handle._sink.reset()
         time.sleep(delay)
         return True
 

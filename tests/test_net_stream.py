@@ -1,0 +1,276 @@
+"""EmissionChannel semantics and the end-to-end prefix-streaming property.
+
+The channel is the spine of progressive delivery: every point an
+algorithm emits flows through it, and every subscriber -- no matter when
+it attaches -- must observe exactly the emission prefix, exactly once.
+The property test at the bottom closes the loop: for all 8 algorithms x
+both kernels, the concatenation of the batches a subscriber receives
+equals the channel contents and is a prefix of the algorithm's serial
+emission order, including under deadline expiry, budget exhaustion and
+seeded chaos faults.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.record import Record
+from repro.core.schema import NumericAttribute, PosetAttribute, Schema
+from repro.engine import SkylineEngine
+from repro.exceptions import (
+    BudgetExhaustedError,
+    KernelError,
+    QueryTimeoutError,
+)
+from repro.net.stream import EVENT_POINTS, EVENT_RESET, EmissionChannel
+from repro.posets.builder import diamond
+from repro.resilience import QueryContext, ResourceBudget, execute
+from repro.resilience.chaos import FaultInjector, inject_kernel_faults
+
+ALL_ALGORITHMS = ("bnl", "bnl+", "sfs", "bbs+", "sdc", "sdc+", "nn+", "dnc")
+KERNELS = ("python", "numpy")
+
+
+def _mixed_engine(kernel: str = "python", n: int = 150) -> SkylineEngine:
+    rng = random.Random(23)
+    poset = diamond()
+    schema = Schema(
+        [
+            NumericAttribute("a", "min"),
+            NumericAttribute("b", "min"),
+            PosetAttribute.set_valued("p", poset),
+        ]
+    )
+    records = [
+        Record(
+            i,
+            (rng.randint(1, 40), rng.randint(1, 40)),
+            (poset.value(rng.randrange(len(poset))),),
+        )
+        for i in range(n)
+    ]
+    return SkylineEngine(schema, records, kernel=kernel)
+
+
+class _Recorder:
+    """Subscriber that replays the channel protocol into local state."""
+
+    def __init__(self) -> None:
+        self.batches: list[list] = []
+        self.resets = 0
+        self.received: list = []
+
+    def __call__(self, event: str, batch: list) -> None:
+        if event == EVENT_RESET:
+            self.resets += 1
+            self.received = []
+        else:
+            assert event == EVENT_POINTS
+            self.batches.append(list(batch))
+            self.received.extend(batch)
+
+
+class TestEmissionChannel:
+    def test_append_extend_notify_in_order(self):
+        ch = EmissionChannel()
+        rec = _Recorder()
+        ch.subscribe(rec)
+        ch.append("a")
+        ch.extend(["b", "c"])
+        ch.extend([])  # empty extends are not events
+        assert rec.received == ["a", "b", "c"]
+        assert rec.batches == [["a"], ["b", "c"]]
+        assert list(ch) == ["a", "b", "c"]
+
+    def test_late_subscriber_replays_prefix_exactly_once(self):
+        ch = EmissionChannel()
+        ch.extend(["a", "b"])
+        rec = _Recorder()
+        ch.subscribe(rec, replay=True)
+        ch.append("c")
+        assert rec.received == ["a", "b", "c"]
+        # The replayed prefix arrives as one batch, then live batches.
+        assert rec.batches == [["a", "b"], ["c"]]
+
+    def test_subscribe_without_replay_sees_only_new_points(self):
+        ch = EmissionChannel()
+        ch.extend(["a", "b"])
+        rec = _Recorder()
+        ch.subscribe(rec, replay=False)
+        ch.append("c")
+        assert rec.received == ["c"]
+
+    def test_reset_retracts_and_bumps_generation(self):
+        ch = EmissionChannel()
+        rec = _Recorder()
+        ch.subscribe(rec)
+        ch.extend(["a", "b"])
+        gen = ch.generation
+        ch.reset()
+        assert ch.generation == gen + 1
+        assert list(ch) == []
+        assert rec.resets == 1
+        ch.extend(["x"])
+        assert rec.received == ["x"]
+
+    def test_full_slice_delete_routes_to_reset(self):
+        ch = EmissionChannel()
+        rec = _Recorder()
+        ch.subscribe(rec)
+        ch.extend(["a", "b"])
+        del ch[:]  # the retry path's historical idiom
+        assert rec.resets == 1
+        assert list(ch) == []
+
+    def test_partial_delete_rejected(self):
+        ch = EmissionChannel()
+        ch.extend(["a", "b", "c"])
+        with pytest.raises(TypeError):
+            del ch[0]
+        with pytest.raises(TypeError):
+            del ch[0:2]
+
+    def test_unsubscribe_stops_delivery(self):
+        ch = EmissionChannel()
+        rec = _Recorder()
+        unsubscribe = ch.subscribe(rec)
+        ch.append("a")
+        unsubscribe()
+        unsubscribe()  # idempotent
+        ch.append("b")
+        assert rec.received == ["a"]
+
+    def test_broken_subscriber_dropped_others_survive(self):
+        ch = EmissionChannel()
+        rec = _Recorder()
+
+        def broken(event, batch):
+            raise RuntimeError("subscriber bug")
+
+        ch.subscribe(broken)
+        ch.subscribe(rec)
+        ch.extend(["a"])
+        ch.extend(["b"])  # broken one is gone by now
+        assert rec.received == ["a", "b"]
+
+    def test_snapshot_is_isolated_copy(self):
+        ch = EmissionChannel()
+        ch.extend(["a"])
+        snap = ch.snapshot()
+        ch.append("b")
+        assert snap == ["a"]
+
+    def test_concurrent_writers_deliver_every_point(self):
+        ch = EmissionChannel()
+        received = []
+        lock = threading.Lock()
+
+        def collect(event, batch):
+            with lock:
+                received.extend(batch)
+
+        ch.subscribe(collect)
+
+        def writer(base):
+            for i in range(200):
+                ch.append(base + i)
+
+        threads = [
+            threading.Thread(target=writer, args=(base,))
+            for base in (0, 1000, 2000)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(received) == sorted(ch)
+        assert len(received) == 600
+
+
+def _run_with_channel(dataset, algorithm, context=None):
+    """Execute with an EmissionChannel sink + live subscriber attached.
+
+    Returns ``(recorder, channel, partial_or_error)``.
+    """
+    channel = EmissionChannel()
+    rec = _Recorder()
+    channel.subscribe(rec)
+    try:
+        partial = execute(dataset, algorithm, context, sink=channel)
+        return rec, channel, partial
+    except (QueryTimeoutError, BudgetExhaustedError, KernelError) as err:
+        return rec, channel, err
+
+
+def _assert_prefix(rec: _Recorder, channel: EmissionChannel, full: list) -> None:
+    got = rec.received
+    assert got == list(channel)
+    assert got == full[: len(got)]
+
+
+class TestPrefixStreamingProperty:
+    """Concatenated batches == channel contents == emission-order prefix."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_full_run_streams_complete_emission_order(self, algorithm, kernel):
+        if kernel == "numpy":
+            pytest.importorskip("numpy")
+        engine = _mixed_engine(kernel)
+        reference = execute(engine.dataset, algorithm).points
+        rec, channel, outcome = _run_with_channel(engine.dataset, algorithm)
+        assert outcome.complete
+        _assert_prefix(rec, channel, reference)
+        assert rec.received == reference  # complete => the whole order
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_budget_exhaustion_streams_a_prefix(self, algorithm, kernel):
+        if kernel == "numpy":
+            pytest.importorskip("numpy")
+        engine = _mixed_engine(kernel)
+        reference = execute(engine.dataset, algorithm).points
+        ctx = QueryContext(budget=ResourceBudget(max_comparisons=400))
+        rec, channel, outcome = _run_with_channel(
+            engine.dataset, algorithm, ctx
+        )
+        _assert_prefix(rec, channel, reference)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_answer_budget_streams_a_prefix(self, algorithm):
+        engine = _mixed_engine("python")
+        reference = execute(engine.dataset, algorithm).points
+        ctx = QueryContext(budget=ResourceBudget(max_answers=3))
+        rec, channel, outcome = _run_with_channel(
+            engine.dataset, algorithm, ctx
+        )
+        _assert_prefix(rec, channel, reference)
+        assert len(rec.received) <= max(3, len(reference))
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_expired_deadline_streams_a_prefix(self, algorithm):
+        engine = _mixed_engine("python")
+        reference = execute(engine.dataset, algorithm).points
+        ctx = QueryContext(deadline=1e-9)
+        rec, channel, outcome = _run_with_channel(
+            engine.dataset, algorithm, ctx
+        )
+        _assert_prefix(rec, channel, reference)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_chaos_faults_stream_a_prefix(self, algorithm, kernel):
+        if kernel == "numpy":
+            pytest.importorskip("numpy")
+        engine = _mixed_engine(kernel)
+        reference = execute(engine.dataset, algorithm).points
+        inject_kernel_faults(
+            engine.dataset, FaultInjector(seed=5, fail_after=50, max_faults=1)
+        )
+        rec, channel, outcome = _run_with_channel(
+            engine.dataset, algorithm
+        )
+        _assert_prefix(rec, channel, reference)
