@@ -477,6 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="partitioning strategy (see docs/parallel.md)",
     )
     bp.add_argument(
+        "--filter",
+        choices=["dynamic", "static", "off"],
+        default="dynamic",
+        help="filter-board mode for the scaling curve runs (the "
+        "comparison-reduction section always measures the "
+        "deterministic static filter; see docs/parallel.md)",
+    )
+    bp.add_argument(
         "--output",
         default=None,
         metavar="JSON",
@@ -490,6 +498,14 @@ def build_parser() -> argparse.ArgumentParser:
         "<= 1.0x serial; automatically skipped (with a note) on "
         "machines with fewer than 4 cores, where sharding honestly "
         "measures pure overhead",
+    )
+    bp.add_argument(
+        "--assert-comparison-reduction",
+        action="store_true",
+        help="exit non-zero unless steal-mode with filter propagation "
+        "spends >= 15%% fewer aggregate dominance comparisons than the "
+        "static partition/merge path (counter-based: hardware- and "
+        "core-count-independent)",
     )
 
     bv = sub.add_parser(
@@ -1155,27 +1171,57 @@ def _cmd_bench_parallel(args) -> int:
         kernel=args.kernel,
         seed=args.seed,
         mode=args.mode,
+        filter=args.filter,
         output=args.output,
     )
     print(
         f"bench-parallel: {report['records']} records, "
         f"{report['kernel']} kernel, seed {report['seed']}, "
-        f"mode {report['mode']} (cpu_count={report['cpu_count']})"
+        f"mode {report['mode']}, filter {report['filter']} "
+        f"(cpu_count={report['cpu_count']})"
     )
-    print(f"  {'workers':<8} {'total s':>10} {'speedup':>8}  modes")
+    print(
+        f"  {'workers':<8} {'total s':>10} {'speedup':>8} "
+        f"{'steals':>7} {'board hits':>11}  modes"
+    )
     for count, entry in report["workers"].items():
-        modes = sorted(
-            {info["mode"] for info in entry["algorithms"].values()}
-        )
+        algos = entry["algorithms"].values()
+        modes = sorted({info["mode"] for info in algos})
+        steals = sum(info["steals"] for info in algos)
+        hits = sum(info["filter_board_hits"] for info in algos)
         print(
             f"  {count:<8} {entry['total_seconds']:>10.3f} "
-            f"{entry['aggregate_speedup']:>7.2f}x  {','.join(modes)}"
+            f"{entry['aggregate_speedup']:>7.2f}x "
+            f"{steals:>7} {hits:>11}  {','.join(modes)}"
         )
+    comparison = report["comparison"]
+    print(
+        f"  comparisons at {comparison['workers']} workers: "
+        f"static {comparison['static_comparisons']}, "
+        f"steal {comparison['steal_comparisons']} "
+        f"({comparison['reduction']:.1%} reduction; dynamic-filter "
+        f"{comparison['steal_dynamic_comparisons']})"
+    )
     if not report["parity_ok"]:
         print("  PARITY MISMATCH against the serial engine")
     if args.output:
         print(f"  curve written to {args.output}")
     exit_code = 0 if report["parity_ok"] else 1
+    if args.assert_comparison_reduction:
+        assertion = report["comparison_assertion"]
+        if assertion["passed"]:
+            print(
+                f"  comparison-reduction assertion passed: "
+                f"{assertion['reduction']:.1%} >= "
+                f"{assertion['required_reduction']:.0%}"
+            )
+        else:
+            print(
+                f"  comparison-reduction assertion FAILED: "
+                f"{assertion['reduction']:.1%} < "
+                f"{assertion['required_reduction']:.0%}"
+            )
+            exit_code = 1
     if args.assert_speedup:
         assertion = report["speedup_assertion"]
         if not assertion["evaluated"]:

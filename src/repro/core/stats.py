@@ -55,6 +55,16 @@ class ComparisonStats:
         Batch-kernel failures recovered by re-running the remaining work
         on the reference python kernel (see
         :mod:`repro.resilience.executor`); zero on every healthy query.
+    filter_board_checks:
+        Cross-shard filter-board tests performed by parallel workers
+        (one Lemma 4.2 representative-vs-point Pareto test each; see
+        :mod:`repro.parallel.board`).  Kept separate from
+        ``m_dominance_point`` so the comparison-reduction benchmark can
+        charge the filter honestly without inflating the algorithms'
+        own dominance bill.
+    filter_board_hits:
+        Points eliminated by the filter board before they reached the
+        shard-local algorithm (each saved an entire window/index scan).
     """
 
     m_dominance_point: int = 0
@@ -70,6 +80,8 @@ class ComparisonStats:
     heap_pops: int = 0
     window_inserts: int = 0
     kernel_fallbacks: int = 0
+    filter_board_checks: int = 0
+    filter_board_hits: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Immutable copy of all counters."""

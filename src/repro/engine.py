@@ -114,13 +114,17 @@ class SkylineEngine:
         without a second engine.
 
         ``parallel`` (a :class:`~repro.parallel.ParallelConfig` or a
-        worker count) shards the query across a process pool (see
-        ``docs/parallel.md``).  The answer set is identical to the
-        serial run; emission is no longer progressive (the merged answer
-        arrives in one batch) and the counters billed are the aggregate
-        of all workers plus the merge phase.  For repeated parallel
-        queries prefer :meth:`parallel_executor`, which reuses the pool
-        and the shared-memory point store across calls.
+        worker count) shards the query across a work-stealing process
+        pool (see ``docs/parallel.md``).  The answer set is identical to
+        the serial run (same emission order as serial SDC+ under strata
+        partitioning); this convenience entry point returns the fully
+        merged answer, but the executor itself streams each merged
+        shard's survivors to a ``sink`` incrementally while later tasks
+        still compute -- pass one through
+        :meth:`parallel_executor`\\ 's ``run``.  Counters billed are the
+        aggregate of all tasks plus the merge phase.  For repeated
+        parallel queries prefer :meth:`parallel_executor`, which reuses
+        the pool and the shared-memory point store across calls.
         """
         if parallel is not None:
             from repro.parallel import ParallelSkylineExecutor

@@ -1,16 +1,18 @@
 """Multi-core sharded skyline execution (docs/parallel.md).
 
 Partitions a :class:`~repro.transform.dataset.TransformedDataset` by
-SDC+ category strata (grid fallback on the monotone transformed key),
-ships the points once through ``multiprocessing.shared_memory``, runs
-the shard-local skylines in a process pool and merges them with the
-paper's Lemma 4.1 restriction checks plus a Lemma 4.2 representative
-prefilter.  Entry points::
+SDC+ category strata (grid fallback on the monotone transformed key)
+into fine-grained tasks sized by the admission cost model, ships the
+points once through ``multiprocessing.shared_memory``, drains the tasks
+through a work-stealing process pool with a cross-shard filter board
+(Lemma 4.2 representatives prune other workers' shards *during*
+compute), and merges finished shards incrementally with the paper's
+Lemma 4.1 restriction checks.  Entry points::
 
     engine.run("sdc+", parallel=ParallelConfig(workers=4))
     engine.serve(parallel=4)                      # server execution mode
     parallel_skyline(dataset, "sdc+", config=4)   # one-shot
-    repro bench-parallel                          # speedup curve CLI
+    repro bench-parallel                          # speedup + comparison CLI
 """
 
 from repro.parallel.config import ParallelConfig
@@ -19,17 +21,26 @@ from repro.parallel.executor import (
     ParallelSkylineExecutor,
     parallel_skyline,
 )
-from repro.parallel.merge import MergeOutcome, merge_local_skylines
-from repro.parallel.partition import Partition, Shard, partition_dataset
+from repro.parallel.merge import IncrementalMerger, MergeOutcome, merge_local_skylines
+from repro.parallel.partition import (
+    Partition,
+    Shard,
+    TaskPlan,
+    partition_dataset,
+    plan_tasks,
+)
 
 __all__ = [
     "ParallelConfig",
     "ParallelResult",
     "ParallelSkylineExecutor",
     "parallel_skyline",
+    "IncrementalMerger",
     "MergeOutcome",
     "merge_local_skylines",
     "Partition",
     "Shard",
+    "TaskPlan",
     "partition_dataset",
+    "plan_tasks",
 ]

@@ -1,7 +1,8 @@
-"""Configuration for the multi-core sharded skyline executor."""
+"""Configuration for the multi-core work-stealing skyline executor."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -18,14 +19,18 @@ class ParallelConfig:
     Parameters
     ----------
     workers:
-        Target process-pool size.  The partitioner may produce fewer
-        shards than workers (small datasets, few strata), in which case
+        Worker-process slots.  ``None`` (default) resolves to
+        ``os.cpu_count()`` -- the pool is sized by the hardware unless
+        the caller pins it.  The partitioner may still produce fewer
+        tasks than slots (small datasets, few strata), in which case
         the pool shrinks to match.
     min_shard_points:
-        Floor on the average shard size: with ``n`` points at most
-        ``n // min_shard_points`` shards are created.  When that leaves
-        fewer than two shards the query simply runs serially (sharding
-        overhead would dominate).
+        Floor on the average task size: with ``n`` points at most
+        ``n // min_shard_points`` tasks are created.  When that leaves
+        fewer than two tasks the query is routed serial (sharding
+        overhead would dominate) and the routing is *counted* -- see
+        :attr:`ParallelResult.routed_serial` and the ``routed_serial``
+        counter in the server's ``parallel`` metrics section.
     max_stratum_skew:
         Strata-mode eligibility threshold: when one SDC+ stratum holds
         more than this fraction of all points, category partitioning
@@ -36,14 +41,52 @@ class ParallelConfig:
         otherwise; ``"strata"`` / ``"grid"`` force one strategy
         (``"strata"`` still degrades to grid when no poset attribute
         exists).
+    scheduler:
+        ``"steal"`` (default): over-partition into fine-grained tasks
+        (about :attr:`tasks_per_worker` per slot, scaled down when the
+        cost model predicts little work) drained from a shared task
+        deque with steal accounting, cross-shard filter propagation
+        through the shared-memory board, and an incremental merge that
+        absorbs finished shards while others still compute.
+        ``"static"``: the legacy one-task-per-worker partition/merge
+        path (the baseline the comparison-reduction benchmark measures
+        against).  Platforms without the ``fork`` start method degrade
+        ``"steal"`` to ``"static"`` (the claim lock is inherited).
+    tasks_per_worker:
+        Steal-mode over-partitioning target: aim for this many tasks
+        per worker slot so skewed strata cannot leave slots idle.
+    min_task_work:
+        Steal-mode work floor, in estimated dominance comparisons per
+        task.  The task count adapts to the admission cost model's
+        per-``n log n`` work estimate (calibrated when an estimator is
+        supplied, analytic otherwise): light queries get fewer, larger
+        tasks so per-task dispatch overhead cannot dominate.
+    filter:
+        Filter-board behaviour.  ``"dynamic"`` (default): workers
+        consult the board before and between chunks of their shard scan
+        and publish improved representatives from each finished local
+        skyline -- best pruning, but the visible board depends on task
+        timing so counter *magnitudes* (never answers) can vary
+        run-to-run.  ``"static"``: only the parent's deterministic
+        seed representatives are consulted -- bit-reproducible
+        counters, used by the CI comparison-reduction gate.  ``"off"``:
+        no board pruning (pure scheduling benefit).
+    board_reps:
+        Per-task filter-board capacity: the parent seeds up to two
+        static representatives per task and workers may publish into
+        the remaining slots.
+    filter_chunk:
+        Rows per filter pass: steal workers prune their shard in chunks
+        of this size, re-reading the board between chunks so
+        representatives published mid-query prune the remainder.
     start_method:
         ``multiprocessing`` start method for the pool.  ``None`` picks
         ``"fork"`` when the platform offers it (cheapest: the worker
         inherits the parent's modules) and the platform default
         otherwise.
     poll_interval:
-        Seconds between cancellation/deadline checks while the parent
-        waits on worker futures.
+        Seconds between cancellation/deadline/merge-frontier checks
+        while the parent waits on workers.
     fallback:
         When ``True`` (default) a broken worker pool degrades to serial
         recomputation with a :class:`~repro.exceptions.ParallelFallbackWarning`;
@@ -51,25 +94,61 @@ class ParallelConfig:
     chaos:
         Optional :class:`~repro.resilience.chaos.FaultInjector` fired at
         the ``parallel.dispatch.shard<i>`` sites.  An injected fault
-        marks that shard's task so the worker process hard-exits on
-        receipt -- a deterministic stand-in for a worker crash
-        (``kill -9``) used by the chaos suite.
+        marks that task so the worker process hard-exits the moment it
+        *claims* it -- a deterministic stand-in for a worker crash
+        (``kill -9``) mid-steal, used by the chaos suite.
     """
 
-    workers: int = 2
+    workers: int | None = None
     min_shard_points: int = 32
     max_stratum_skew: float = 0.8
     mode: str = "auto"
+    scheduler: str = "steal"
+    tasks_per_worker: int = 4
+    min_task_work: float = 8_000.0
+    filter: str = "dynamic"
+    board_reps: int = 4
+    filter_chunk: int = 4096
     start_method: str | None = None
     poll_interval: float = 0.02
     fallback: bool = True
     chaos: "FaultInjector | None" = None
 
     def __post_init__(self) -> None:
-        if self.workers < 1:
+        if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.mode not in ("auto", "strata", "grid"):
             raise ValueError(f"unknown partition mode {self.mode!r}")
+        if self.scheduler not in ("steal", "static"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.filter not in ("dynamic", "static", "off"):
+            raise ValueError(f"unknown filter mode {self.filter!r}")
+        if self.min_shard_points < 1:
+            raise ValueError(
+                f"min_shard_points must be >= 1, got {self.min_shard_points}"
+            )
+        if self.tasks_per_worker < 1:
+            raise ValueError(
+                f"tasks_per_worker must be >= 1, got {self.tasks_per_worker}"
+            )
+        if self.min_task_work <= 0:
+            raise ValueError(f"min_task_work must be > 0, got {self.min_task_work}")
+        if self.board_reps < 2:
+            raise ValueError(f"board_reps must be >= 2, got {self.board_reps}")
+        if self.filter_chunk < 1:
+            raise ValueError(f"filter_chunk must be >= 1, got {self.filter_chunk}")
+        if not 0.0 < self.max_stratum_skew <= 1.0:
+            raise ValueError(
+                f"max_stratum_skew must be in (0, 1], got {self.max_stratum_skew}"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {self.poll_interval}")
+
+    def resolved_workers(self) -> int:
+        """Worker slots: the explicit count, or ``os.cpu_count()``."""
+        if self.workers is not None:
+            return self.workers
+        return max(1, os.cpu_count() or 1)
 
     @staticmethod
     def coerce(value: "ParallelConfig | int | None") -> "ParallelConfig | None":

@@ -1,4 +1,4 @@
-"""Process-pool skyline execution: partition, fan out, merge.
+"""Process-pool skyline execution: partition, fan out, steal, merge.
 
 :class:`ParallelSkylineExecutor` owns the sharding decision, the
 shared-memory point store and a persistent worker pool over one
@@ -6,24 +6,46 @@ shared-memory point store and a persistent worker pool over one
 serves many queries (the serving layer keeps one per server); everything
 is built lazily on the first :meth:`run` and torn down by :meth:`close`.
 
+Two schedulers share the pool (see
+:attr:`~repro.parallel.config.ParallelConfig.scheduler`):
+
+* ``"static"`` -- the legacy one-task-per-worker fan-out: dispatch every
+  shard as its own future, barrier on all of them, merge once.
+* ``"steal"`` (default) -- over-partition into fine-grained tasks, submit
+  one *drain* per worker slot, and let drains claim tasks from the
+  shared deque (stealing from the most-loaded victim when their home
+  queue runs dry).  Workers prune their shards against the cross-shard
+  filter board before and during their scans, and the parent absorbs
+  finished shards into the merge **incrementally** -- shard ``g`` merges
+  (and streams to the sink) the moment tasks ``0..g`` are done, while
+  later tasks still compute.
+
 Execution contract (asserted by the parity suite):
 
 * **Answers** are the exact skyline -- the same *set* of points the
   serial engine produces for every algorithm, and in strata mode the
   same emission *order* as serial SDC+.
-* **Counters**: every worker's :class:`~repro.core.stats.ComparisonStats`
+* **Counters**: every task's :class:`~repro.core.stats.ComparisonStats`
   snapshot plus the parent-side merge bill are added into the same
   aggregate bundle a serial run would charge.  The totals are exact sums
-  (no sampling, no loss) and deterministic run-to-run; they differ from
-  the serial totals only because partitioned work *is* different work.
+  (no sampling, no loss); they differ from the serial totals only
+  because partitioned work *is* different work.  With ``filter="static"``
+  (or ``"off"``) they are also deterministic run-to-run; the default
+  ``"dynamic"`` filter keeps answers exact but lets counter *magnitudes*
+  vary with task timing (a representative published earlier prunes
+  more).
 * **Resilience**: deadlines propagate into workers (each task re-arms a
   :class:`~repro.resilience.context.QueryContext` with the remaining
-  wall-clock budget); cancellation is polled while waiting on futures; a
-  dead worker (or any broken pool) degrades to a serial recomputation
-  with a :class:`~repro.exceptions.ParallelFallbackWarning` -- never a
-  wrong or partial answer.  Queries carrying a *resource budget* run
-  serially: budget truncation is defined on the serial emission prefix,
-  which a fan-out cannot reproduce.
+  wall-clock budget at claim time); cancellation is polled while waiting
+  on workers; a dead worker (or any broken pool) degrades to a serial
+  recomputation with a :class:`~repro.exceptions.ParallelFallbackWarning`
+  -- never a wrong or partial answer (an already-streamed sink prefix is
+  retracted through the sink's typed reset).  Queries carrying a
+  *resource budget* run serially: budget truncation is defined on the
+  serial emission prefix, which a fan-out cannot reproduce.  Every
+  serial routing is explicit -- :attr:`ParallelResult.routed_serial`
+  plus a reason, surfaced as the server's ``routed_serial`` metric --
+  instead of a silent fall-through.
 """
 
 from __future__ import annotations
@@ -46,11 +68,24 @@ from repro.exceptions import (
     QueryTimeoutError,
     ResilienceError,
 )
+from repro.parallel.board import (
+    TASK_PENDING,
+    TASK_TIMEOUT,
+    ControlBlock,
+    static_representatives,
+)
 from repro.parallel.config import ParallelConfig
-from repro.parallel.merge import merge_local_skylines
+from repro.parallel.merge import IncrementalMerger, merge_local_skylines
 from repro.parallel.partition import Partition, partition_dataset
 from repro.parallel.shard import SharedPointStore
-from repro.parallel.worker import ShardTask, WorkerSetup, init_worker, run_shard_task
+from repro.parallel.worker import (
+    ShardTask,
+    WorkerSetup,
+    ensure_claim_lock,
+    init_worker,
+    run_shard_task,
+    run_steal_drain,
+)
 from repro.resilience.context import QueryContext
 from repro.resilience.executor import PartialResult, execute
 
@@ -62,6 +97,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ParallelResult", "ParallelSkylineExecutor", "parallel_skyline"]
 
 logger = logging.getLogger("repro.parallel")
+
+#: Stage keys every :attr:`ParallelResult.stage_seconds` dict carries.
+STAGE_KEYS = ("partition", "pool_setup", "compute", "steal_wait", "merge")
 
 
 @dataclass
@@ -90,10 +128,37 @@ class ParallelResult:
     #: ``True`` when a broken pool degraded this query to serial.
     fallback: bool = False
     fallback_reason: str | None = None
+    #: ``"steal"``, ``"static"`` or ``"serial"`` -- the discipline that
+    #: actually ran (``"steal"`` degrades to ``"static"`` without fork).
+    scheduler: str = "serial"
+    #: Fine-grained tasks the query fanned out into (0 when serial).
+    tasks: int = 0
+    #: Tasks executed by a slot other than their home (steal events).
+    steals: int = 0
+    #: ``True`` when the query was *deliberately* routed to the serial
+    #: path (tiny data, shard floor, collapsed partition, budget) --
+    #: distinct from :attr:`fallback`, which is a crash recovery.
+    routed_serial: bool = False
+    routed_reason: str | None = None
+    #: Wall-clock breakdown; ``merge`` overlaps ``compute`` under the
+    #: steal scheduler (shards absorb while others still run) and
+    #: ``steal_wait`` is the *aggregate* across slots of time spent in
+    #: claim/steal arbitration.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Dynamic filter-board representatives published by workers.
+    filter_reps_published: int = 0
 
     @property
     def records(self) -> list["Record"]:
         return [p.record for p in self.points]
+
+    @property
+    def filter_board_checks(self) -> int:
+        return self.counters.get("filter_board_checks", 0)
+
+    @property
+    def filter_board_hits(self) -> int:
+        return self.counters.get("filter_board_hits", 0)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -123,15 +188,27 @@ def _fork_context(name: str | None):
     return multiprocessing.get_context()
 
 
+def _stage_dict(**values: float) -> dict[str, float]:
+    return {key: float(values.get(key, 0.0)) for key in STAGE_KEYS}
+
+
 class ParallelSkylineExecutor:
     """Reusable sharded-execution backend over one dataset."""
 
     def __init__(
-        self, dataset: "TransformedDataset", config: ParallelConfig | int | None = None
+        self,
+        dataset: "TransformedDataset",
+        config: ParallelConfig | int | None = None,
+        estimator=None,
     ) -> None:
         self.dataset = dataset
         self.config = ParallelConfig.coerce(config) or ParallelConfig()
+        #: Optional :class:`~repro.serving.admission.CostEstimator`
+        #: feeding the adaptive task sizing (the serving layer wires in
+        #: the admission controller's calibrated estimator).
+        self.estimator = estimator
         self._partition: Partition | None = None
+        self._partition_seconds = 0.0
         self._store: SharedPointStore | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
@@ -150,8 +227,21 @@ class ParallelSkylineExecutor:
     def partition(self) -> Partition:
         """The sharding decision (computed on first use)."""
         if self._partition is None:
-            self._partition = partition_dataset(self.dataset, self.config)
+            started = time.perf_counter()
+            self._partition = partition_dataset(
+                self.dataset, self.config, self.estimator
+            )
+            self._partition_seconds = time.perf_counter() - started
         return self._partition
+
+    def effective_scheduler(self) -> str:
+        """``"steal"`` only where the claim lock can be fork-inherited."""
+        if self.config.scheduler == "static":
+            return "static"
+        ctx = _fork_context(self.config.start_method)
+        if ctx.get_start_method() != "fork":
+            return "static"
+        return "steal"
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._setup_lock:
@@ -182,8 +272,15 @@ class ParallelSkylineExecutor:
                     bulk_load=dataset.bulk_load,
                 )
             )
+            if self.effective_scheduler() == "steal":
+                # Must exist in the parent's module globals *before* the
+                # pool forks its workers -- locks travel by inheritance,
+                # not pickling (see repro.parallel.worker).
+                ensure_claim_lock()
             self._pool = ProcessPoolExecutor(
-                max_workers=min(self.config.workers, len(partition.shards)),
+                max_workers=min(
+                    self.config.resolved_workers(), len(partition.shards)
+                ),
                 mp_context=_fork_context(self.config.start_method),
                 initializer=init_worker,
                 initargs=(setup_blob, self._store.layout),
@@ -232,7 +329,8 @@ class ParallelSkylineExecutor:
         docstring); ``sink`` receives answers incrementally -- on the
         serial path per algorithm checkpoint, on the sharded path one
         batch per merged shard as its merge pass completes (each batch
-        extends a valid prefix of the final emission order).
+        extends a valid prefix of the final emission order; under the
+        steal scheduler batches arrive while later tasks still compute).
         """
         if self._closed:
             raise ParallelError("executor is closed")
@@ -242,6 +340,7 @@ class ParallelSkylineExecutor:
         has_budget = context is not None and context.budget is not None
         partition = self.partition
         if has_budget or partition.mode == "serial":
+            reason = "budget" if has_budget else (partition.reason or "serial")
             return self._run_serial(
                 algorithm,
                 target,
@@ -252,12 +351,19 @@ class ParallelSkylineExecutor:
                 mode="serial",
                 fallback=False,
                 fallback_reason=None,
+                routed_reason=reason,
             )
 
+        scheduler = self.effective_scheduler()
         try:
-            outcome = self._run_sharded(
-                algorithm, target, context, sink, options, started, partition
-            )
+            if scheduler == "steal":
+                outcome = self._run_stealing(
+                    algorithm, target, context, sink, options, started, partition
+                )
+            else:
+                outcome = self._run_sharded(
+                    algorithm, target, context, sink, options, started, partition
+                )
         except ResilienceError:
             # Deadline / cancellation stops are the query's own control
             # flow, not a pool failure -- never recompute after them.
@@ -293,6 +399,7 @@ class ParallelSkylineExecutor:
                 mode=partition.mode,
                 fallback=True,
                 fallback_reason=f"{type(err).__name__}: {err}",
+                routed_reason=None,
             )
         return outcome
 
@@ -309,6 +416,7 @@ class ParallelSkylineExecutor:
         mode: str,
         fallback: bool,
         fallback_reason: str | None,
+        routed_reason: str | None,
     ) -> ParallelResult:
         view = self.dataset.query_view(stats=target)
         before = target.snapshot()
@@ -327,8 +435,15 @@ class ParallelSkylineExecutor:
             merge_counters={},
             fallback=fallback,
             fallback_reason=fallback_reason,
+            scheduler="serial",
+            tasks=0,
+            steals=0,
+            routed_serial=routed_reason is not None,
+            routed_reason=routed_reason,
+            stage_seconds=_stage_dict(partition=self._partition_seconds),
         )
 
+    # -- static scheduler ----------------------------------------------
     def _run_sharded(
         self,
         algorithm: str,
@@ -341,7 +456,9 @@ class ParallelSkylineExecutor:
     ) -> ParallelResult:
         dataset = self.dataset
         config = self.config
+        setup_started = time.perf_counter()
         pool = self._ensure_pool()
+        pool_setup = time.perf_counter() - setup_started
         deadline = context.deadline if context is not None else None
         cancel = context.cancel if context is not None else None
         expires = started + deadline if deadline is not None else None
@@ -349,6 +466,7 @@ class ParallelSkylineExecutor:
         chaos = config.chaos
         futures = []
         cursor = 0
+        compute_started = time.perf_counter()
         for shard in partition.shards:
             kill = False
             if chaos is not None:
@@ -392,6 +510,7 @@ class ParallelSkylineExecutor:
                     futures,
                     started,
                 )
+        compute_seconds = time.perf_counter() - compute_started
 
         outcomes = sorted((f.result() for f in futures), key=lambda o: o.shard_index)
         if any(o.status == "timeout" for o in outcomes):
@@ -412,7 +531,9 @@ class ParallelSkylineExecutor:
         # batch is pushed the moment that shard's pass finishes, so a
         # streaming consumer sees progressive per-bucket delivery
         # instead of one terminal batch.
+        merge_started = time.perf_counter()
         merged = merge_local_skylines(merge_view, local_skylines, sink=sink)
+        merge_seconds = time.perf_counter() - merge_started
 
         worker_counters = [outcome.counters for outcome in outcomes]
         aggregate = ComparisonStats()
@@ -429,7 +550,7 @@ class ParallelSkylineExecutor:
             elapsed=time.perf_counter() - started,
             mode=partition.mode,
             parallel=True,
-            workers=min(config.workers, len(partition.shards)),
+            workers=min(config.resolved_workers(), len(partition.shards)),
             shard_sizes=partition.sizes,
             eliminated_shards=merged.eliminated,
             counters=aggregate.snapshot(),
@@ -437,7 +558,201 @@ class ParallelSkylineExecutor:
             merge_counters=merge_stats.snapshot(),
             fallback=False,
             fallback_reason=None,
+            scheduler="static",
+            tasks=len(partition.shards),
+            steals=0,
+            routed_serial=False,
+            routed_reason=None,
+            stage_seconds=_stage_dict(
+                partition=self._partition_seconds,
+                pool_setup=pool_setup,
+                compute=compute_seconds,
+                merge=merge_seconds,
+            ),
         )
+
+    # -- steal scheduler -----------------------------------------------
+    def _run_stealing(
+        self,
+        algorithm: str,
+        target: ComparisonStats,
+        context: QueryContext | None,
+        sink,
+        options: dict,
+        started: float,
+        partition: Partition,
+    ) -> ParallelResult:
+        dataset = self.dataset
+        config = self.config
+        setup_started = time.perf_counter()
+        pool = self._ensure_pool()
+        n_tasks = len(partition.shards)
+        slots = min(config.resolved_workers(), n_tasks)
+        deadline = context.deadline if context is not None else None
+        cancel = context.cancel if context is not None else None
+        expires = started + deadline if deadline is not None else None
+        deadline_epoch = (
+            time.time() + (expires - time.perf_counter())
+            if expires is not None
+            else None
+        )
+
+        block = ControlBlock.create(
+            partition.shards,
+            slots,
+            dataset.dimensions,
+            config.board_reps,
+            filter_mode=config.filter,
+            filter_chunk=config.filter_chunk,
+            deadline_epoch=deadline_epoch,
+        )
+        try:
+            if config.filter != "off":
+                # Deterministic parent-side board seed: every task gets
+                # its static representatives *before* any worker starts,
+                # so static-filter counters are claim-order independent.
+                for shard in partition.shards:
+                    block.seed_static_reps(
+                        shard.index,
+                        static_representatives(dataset.points, shard.rows),
+                    )
+            chaos = config.chaos
+            if chaos is not None:
+                for shard in partition.shards:
+                    try:
+                        chaos.maybe_fail(f"parallel.dispatch.shard{shard.index}")
+                    except Exception:
+                        block.kill[shard.index] = 1
+            pool_setup = time.perf_counter() - setup_started
+
+            compute_started = time.perf_counter()
+            futures = [
+                pool.submit(
+                    run_steal_drain, block.layout, slot, algorithm, dict(options)
+                )
+                for slot in range(slots)
+            ]
+
+            merge_stats = ComparisonStats()
+            merge_view = dataset.query_view(stats=merge_stats)
+            merger = IncrementalMerger(merge_view, sink=sink)
+            frontier = 0
+            merge_seconds = 0.0
+            compute_seconds = None
+            pending = set(futures)
+            while True:
+                if pending:
+                    done, pending = wait(
+                        pending,
+                        timeout=config.poll_interval,
+                        return_when=FIRST_EXCEPTION,
+                    )
+                    for future in done:
+                        future.result()  # raises on a broken pool
+                    if not pending:
+                        compute_seconds = time.perf_counter() - compute_started
+                # Absorb every newly finished shard at the frontier --
+                # merging while later tasks are still computing.
+                while (
+                    frontier < n_tasks
+                    and int(block.status[frontier]) != TASK_PENDING
+                ):
+                    if int(block.status[frontier]) == TASK_TIMEOUT:
+                        block.cancel()
+                        raise self._steal_stop(
+                            QueryTimeoutError(
+                                deadline, time.perf_counter() - started
+                            ),
+                            algorithm,
+                            target,
+                            block,
+                            merge_stats,
+                            merger,
+                            started,
+                        )
+                    lo = int(block.bounds[frontier, 0])
+                    count = int(block.result_count[frontier])
+                    rows = block.result_rows[lo : lo + count].tolist()
+                    candidates = [dataset.points[row] for row in rows]
+                    absorb_started = time.perf_counter()
+                    merger.absorb(frontier, candidates)
+                    merge_seconds += time.perf_counter() - absorb_started
+                    frontier += 1
+                # Control checks come before the exit test: a cancelled
+                # or expired query must raise even when every task
+                # happened to finish inside the first poll interval
+                # (same semantics as the static path's wait loop).
+                if cancel is not None and cancel.cancelled:
+                    block.cancel()
+                    raise self._steal_stop(
+                        QueryCancelledError(),
+                        algorithm,
+                        target,
+                        block,
+                        merge_stats,
+                        merger,
+                        started,
+                    )
+                if expires is not None and time.perf_counter() > expires:
+                    block.cancel()
+                    raise self._steal_stop(
+                        QueryTimeoutError(deadline, time.perf_counter() - started),
+                        algorithm,
+                        target,
+                        block,
+                        merge_stats,
+                        merger,
+                        started,
+                    )
+                if frontier >= n_tasks and not pending:
+                    break
+            if compute_seconds is None:  # pragma: no cover - defensive
+                compute_seconds = time.perf_counter() - compute_started
+
+            merged = merger.outcome()
+            worker_counters = [block.task_counters(i) for i in range(n_tasks)]
+            aggregate = ComparisonStats()
+            for snapshot in worker_counters:
+                aggregate.add_snapshot(snapshot)
+            aggregate.merge(merge_stats)
+            for snapshot in worker_counters:
+                target.add_snapshot(snapshot)
+            target.merge(merge_stats)
+
+            from repro.parallel.board import REP_DYNAMIC
+
+            return ParallelResult(
+                points=merged.points,
+                algorithm=algorithm,
+                elapsed=time.perf_counter() - started,
+                mode=partition.mode,
+                parallel=True,
+                workers=slots,
+                shard_sizes=partition.sizes,
+                eliminated_shards=merged.eliminated,
+                counters=aggregate.snapshot(),
+                worker_counters=worker_counters,
+                merge_counters=merge_stats.snapshot(),
+                fallback=False,
+                fallback_reason=None,
+                scheduler="steal",
+                tasks=n_tasks,
+                steals=int(block.steals.sum()),
+                routed_serial=False,
+                routed_reason=None,
+                stage_seconds=_stage_dict(
+                    partition=self._partition_seconds,
+                    pool_setup=pool_setup,
+                    compute=compute_seconds,
+                    steal_wait=float(block.claim_seconds.sum()),
+                    merge=merge_seconds,
+                ),
+                filter_reps_published=int(
+                    (block.rep_state == REP_DYNAMIC).sum()
+                ),
+            )
+        finally:
+            block.close()
 
     @staticmethod
     def _stop_pending(pending) -> None:
@@ -447,13 +762,42 @@ class ParallelSkylineExecutor:
     @staticmethod
     def _control_stop(error, algorithm: str, target: ComparisonStats, futures, started):
         """Package a deadline/cancel stop: bill finished shards, attach
-        an (empty) partial -- sharded execution emits nothing until the
-        merge, so a stopped query has no answer prefix."""
+        an (empty) partial -- static sharded execution emits nothing
+        until the merge, so a stopped query has no answer prefix."""
         for future in futures:
             if future.done() and not future.cancelled() and future.exception() is None:
                 target.add_snapshot(future.result().counters)
         error.partial = PartialResult(
             points=[],
+            complete=False,
+            exhausted_reason=(
+                "deadline" if isinstance(error, QueryTimeoutError) else "cancelled"
+            ),
+            algorithm=algorithm,
+            elapsed=time.perf_counter() - started,
+        )
+        return error
+
+    @staticmethod
+    def _steal_stop(
+        error,
+        algorithm: str,
+        target: ComparisonStats,
+        block: ControlBlock,
+        merge_stats: ComparisonStats,
+        merger: IncrementalMerger,
+        started: float,
+    ):
+        """Package a steal-mode stop: bill every finished task plus the
+        merge work done so far, and attach the already-absorbed shard
+        prefix (a valid prefix of the final emission order -- strictly
+        more useful than the static path's empty partial)."""
+        for i in range(block.layout.n_tasks):
+            if int(block.status[i]) != TASK_PENDING:
+                target.add_snapshot(block.task_counters(i))
+        target.merge(merge_stats)
+        error.partial = PartialResult(
+            points=list(merger.outcome().points),
             complete=False,
             exhausted_reason=(
                 "deadline" if isinstance(error, QueryTimeoutError) else "cancelled"

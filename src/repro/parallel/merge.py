@@ -7,6 +7,15 @@ shard's candidates are checked against the running definite set ``S``
 and the survivors are promoted into ``S`` afterwards (never during: a
 shard's candidates are its local skyline, hence mutually non-dominated).
 
+That single-pass structure is what makes the merge *incremental*:
+:class:`IncrementalMerger` absorbs one shard at a time, so the
+work-stealing executor can merge shard ``g`` the moment tasks
+``0..g`` have finished, while later tasks are still computing -- no
+barrier on the full fan-out, and each absorbed shard's survivors stream
+to the sink immediately (they are definite: only earlier shards could
+have dominated them).  :func:`merge_local_skylines` is the one-shot
+wrapper over the same pass, bit-identical in answers and counters.
+
 Two paper devices make the pass cheap:
 
 **Lemma 4.1 restriction.**  ``S`` is bucketed by category and a
@@ -37,7 +46,7 @@ from dataclasses import dataclass
 from repro.core.categories import Category, dominators_of, is_bold, ordered_categories
 from repro.transform.point import Point
 
-__all__ = ["MergeOutcome", "merge_local_skylines"]
+__all__ = ["MergeOutcome", "IncrementalMerger", "merge_local_skylines"]
 
 
 @dataclass
@@ -73,94 +82,101 @@ def _representatives(points: list[Point]) -> list[Point]:
     return reps
 
 
-def merge_local_skylines(dataset, local_skylines: list[list[Point]],
-                         sink=None) -> MergeOutcome:
-    """Merge per-shard local skylines (shard order) into the global one.
+class IncrementalMerger:
+    """Absorb shard-local skylines one at a time, **in shard order**.
 
     ``dataset`` supplies the dominance kernel and the counter bundle the
-    merge phase bills to (callers pass an isolated ``query_view``).  The
-    returned emission order is shard order x local emission order --
-    deterministic for every algorithm, and identical to the serial SDC+
-    order under strata partitioning.
-
+    merge phase bills to (callers pass an isolated ``query_view``).
     ``sink``, when given, receives each shard's survivor batch the
-    moment that shard's merge pass finishes (progressive delivery: a
-    shard's survivors are definite skyline members -- only earlier
-    shards could have dominated them -- so each batch extends a valid
-    prefix of the final emission order long before later shards merge).
+    moment :meth:`absorb` finishes with it -- long before later shards
+    merge; each batch extends a valid prefix of the final emission
+    order, which is shard order x local emission order and identical to
+    the serial SDC+ order under strata partitioning.
     """
-    kernel = dataset.kernel
-    batch = getattr(kernel, "is_batch", False)
-    k = len(local_skylines)
 
-    corners = [_min_corner(c) if c else None for c in local_skylines]
-    cats = [frozenset(p.category for p in c) for c in local_skylines]
-    reps = [_representatives(c) if c else [] for c in local_skylines]
+    def __init__(self, dataset, sink=None) -> None:
+        self._kernel = dataset.kernel
+        self._batch = getattr(self._kernel, "is_batch", False)
+        self._sink = sink
+        #: Representatives of absorbed, non-eliminated, non-empty shards.
+        self._reps: list[list[Point]] = []
+        #: Running definite set, bucketed by category (Lemma 4.1).
+        self._S: dict[Category, object] = {}
+        self._out: list[Point] = []
+        self._eliminated: list[int] = []
 
-    eliminated = [False] * k
-    for g in range(k):
-        if not local_skylines[g]:
-            continue
-        corner = tuple(corners[g])
-        for h in range(g):
-            if eliminated[h] or not local_skylines[h]:
-                continue
-            for rep in reps[h]:
-                if all(is_bold(rep.category, c) for c in cats[g]) and (
-                    kernel.m_dominates_mins(rep, corner)
+    def absorb(self, shard_index: int, candidates: list[Point]) -> list[Point]:
+        """Merge one shard's local skyline; returns its survivors."""
+        if not candidates:
+            return []
+
+        # Representative prefilter (Lemma 4.2): earlier shards try to
+        # knock out this whole shard before any per-point work.
+        corner = tuple(_min_corner(candidates))
+        cats = frozenset(p.category for p in candidates)
+        for reps in self._reps:
+            for rep in reps:
+                if all(is_bold(rep.category, c) for c in cats) and (
+                    self._kernel.m_dominates_mins(rep, corner)
                 ):
-                    eliminated[g] = True
-                    break
-            if eliminated[g]:
-                break
+                    self._eliminated.append(shard_index)
+                    return []
 
-    # Running definite set, bucketed by category (Lemma 4.1).
-    S: dict[Category, object] = {}
-    out: list[Point] = []
-    for g, candidates in enumerate(local_skylines):
-        if eliminated[g] or not candidates:
-            continue
         survivors: list[Point] = []
         for p in candidates:
             dominated = False
             for scat in ordered_categories(dominators_of(p.category)):
-                bucket = S.get(scat)
+                bucket = self._S.get(scat)
                 if bucket is None or not len(bucket):
                     continue
-                if batch:
+                if self._batch:
                     dominated = bucket.scan_compare(p)
                 else:
                     for q in bucket:
-                        if kernel.compare_dominance(p, q) == 1:
+                        if self._kernel.compare_dominance(p, q) == 1:
                             dominated = True
                             break
                 if dominated:
                     break
             if not dominated:
                 survivors.append(p)
-        out.extend(survivors)
+        self._out.extend(survivors)
+        self._reps.append(_representatives(candidates))
         if not survivors:
-            continue
-        if sink is not None:
-            sink.extend(survivors)
+            return []
+        if self._sink is not None:
+            self._sink.extend(survivors)
         # Bulk promotion into the definite buckets (one array fill per
         # category with the batch kernel; see SkylineBuffer.extend).
         by_cat: dict[Category, list[Point]] = {}
         for p in survivors:
             by_cat.setdefault(p.category, []).append(p)
         for cat, group in by_cat.items():
-            bucket = S.get(cat)
+            bucket = self._S.get(cat)
             if bucket is None:
-                if batch:
+                if self._batch:
                     from repro.core.batch import SkylineBuffer
 
-                    S[cat] = SkylineBuffer.from_points(kernel, group)
+                    self._S[cat] = SkylineBuffer.from_points(self._kernel, group)
                 else:
-                    S[cat] = list(group)
+                    self._S[cat] = list(group)
             else:
                 bucket.extend(group)
+        return survivors
 
-    return MergeOutcome(
-        points=out,
-        eliminated=tuple(i for i, e in enumerate(eliminated) if e),
-    )
+    def outcome(self) -> MergeOutcome:
+        """Global skyline so far (emission order) + eliminated shards."""
+        return MergeOutcome(points=self._out, eliminated=tuple(self._eliminated))
+
+
+def merge_local_skylines(dataset, local_skylines: list[list[Point]],
+                         sink=None) -> MergeOutcome:
+    """Merge per-shard local skylines (shard order) into the global one.
+
+    One-shot wrapper over :class:`IncrementalMerger`; see its docstring
+    for the emission-order and progressive-delivery guarantees.
+    """
+    merger = IncrementalMerger(dataset, sink=sink)
+    for g, candidates in enumerate(local_skylines):
+        merger.absorb(g, candidates)
+    return merger.outcome()

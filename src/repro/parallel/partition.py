@@ -18,6 +18,16 @@ dominance too: dominance implies m-dominance (the transform's
 necessary-condition property, Section 4.2), and m-dominance implies a
 strictly smaller key -- so a point in a later chunk can never dominate a
 point in an earlier one and the same ordered merge applies.
+
+**Task sizing** is adaptive under the ``"steal"`` scheduler:
+:func:`plan_tasks` targets :attr:`~repro.parallel.config.ParallelConfig.tasks_per_worker`
+tasks per worker slot (so skewed strata cannot leave slots idle), scaled
+down when the admission cost model's calibrated per-``n log n`` work
+estimate says the query is too light to amortise that many dispatches,
+and floored by ``min_shard_points``.  The legacy ``"static"`` scheduler
+keeps one task per slot.  Every serial routing decision carries an
+explicit ``reason`` so callers can *count* it (the ``routed_serial``
+metric) instead of silently falling through.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from repro.transform.dataset import TransformedDataset
 
 from repro.parallel.config import ParallelConfig
 
-__all__ = ["Shard", "Partition", "partition_dataset"]
+__all__ = ["Shard", "Partition", "TaskPlan", "plan_tasks", "partition_dataset"]
 
 
 @dataclass(frozen=True)
@@ -57,14 +67,83 @@ class Partition:
     #: Whether shard order carries the one-directional dominance
     #: guarantee (earlier shards cannot be dominated by later ones).
     ordered: bool
+    #: Why the partitioner chose this outcome -- always set for serial
+    #: routings (``"tiny-data"``, ``"shard-floor"``, ``"single-stratum"``,
+    #: ``"strata-collapsed"``, ``"grid-collapsed"``), informational
+    #: otherwise (``"skewed-strata"`` for a skew-forced grid, ``None``
+    #: for a plain strata/grid split).
+    reason: str | None = None
+    #: Worker slots the plan was sized for.
+    slots: int = 0
 
     @property
     def sizes(self) -> tuple[int, ...]:
         return tuple(len(s.rows) for s in self.shards)
 
 
-def _serial(reason: str) -> Partition:  # noqa: ARG001 - reason is for callers/debug
-    return Partition(shards=(), mode="serial", ordered=True)
+@dataclass(frozen=True)
+class TaskPlan:
+    """How many tasks :func:`partition_dataset` should aim for."""
+
+    slots: int
+    tasks: int
+    #: Estimated total dominance comparisons the sizing was based on.
+    estimated_comparisons: float
+    #: ``True`` when the estimate came from a calibrated cost profile.
+    calibrated: bool
+    #: Set when the plan routes the query serial.
+    serial_reason: str | None = None
+
+
+def _serial(reason: str, slots: int = 0) -> Partition:
+    return Partition(
+        shards=(), mode="serial", ordered=True, reason=reason, slots=slots
+    )
+
+
+def _estimated_work(n: int, dimensions: int, estimator) -> tuple[float, bool]:
+    """Total-comparison estimate driving the task-count adaptation."""
+    if estimator is not None:
+        try:
+            return estimator.peak_comparisons(n, dimensions)
+        except AttributeError:  # duck-typed estimator without the hook
+            pass
+    from repro.serving.admission import _analytic_skyline_size
+
+    return n * _analytic_skyline_size(n, dimensions), False
+
+
+def plan_tasks(
+    dataset: TransformedDataset, config: ParallelConfig, estimator=None
+) -> TaskPlan:
+    """Pick the task count for one dataset under one config.
+
+    Static scheduler: one task per worker slot (legacy behaviour).
+    Steal scheduler: ``slots * tasks_per_worker`` tasks, scaled down to
+    ``estimated_work / min_task_work`` when the cost model predicts the
+    query is light, floored at one task per slot and capped by the
+    ``min_shard_points`` floor.  Fewer than two viable tasks routes the
+    query serial with an explicit reason.
+    """
+    n = len(dataset.points)
+    slots = config.resolved_workers()
+    floor_cap = n // max(1, config.min_shard_points)
+    if n == 0 or n < 2 * config.min_shard_points:
+        return TaskPlan(slots, 0, 0.0, False, serial_reason="tiny-data")
+    if config.scheduler == "static":
+        tasks = min(slots, floor_cap)
+        if tasks < 2:
+            return TaskPlan(slots, tasks, 0.0, False, serial_reason="shard-floor")
+        return TaskPlan(slots, tasks, 0.0, False)
+    work, calibrated = _estimated_work(n, dataset.dimensions, estimator)
+    by_work = int(work // config.min_task_work)
+    tasks = max(slots, min(slots * config.tasks_per_worker, max(1, by_work)))
+    tasks = min(tasks, floor_cap)
+    if tasks < 2:
+        return TaskPlan(
+            slots, tasks, work, calibrated, serial_reason="shard-floor"
+        )
+    return TaskPlan(slots, tasks, work, calibrated)
 
 
 def _balanced_groups(sizes: list[int], groups: int) -> list[list[int]]:
@@ -87,27 +166,41 @@ def _balanced_groups(sizes: list[int], groups: int) -> list[list[int]]:
 
 
 def partition_dataset(
-    dataset: TransformedDataset, config: ParallelConfig
+    dataset: TransformedDataset, config: ParallelConfig, estimator=None
 ) -> Partition:
-    """Split ``dataset`` into shards per the configured strategy."""
+    """Split ``dataset`` into shards per the configured strategy.
+
+    ``estimator`` (a :class:`~repro.serving.admission.CostEstimator`, or
+    anything with its ``peak_comparisons`` hook) feeds the steal
+    scheduler's adaptive task sizing; without one the analytic
+    cold-start work bound is used.
+    """
     n = len(dataset.points)
-    shards_wanted = min(config.workers, max(1, n // max(1, config.min_shard_points)))
-    if n == 0 or shards_wanted < 2:
-        return _serial("too small")
+    plan = plan_tasks(dataset, config, estimator)
+    if plan.serial_reason is not None:
+        return _serial(plan.serial_reason, plan.slots)
 
     mode = config.mode
     if mode in ("auto", "strata") and dataset.schema.num_partial > 0:
         strata = dataset.stratification.strata
-        if len(strata) >= 2 and max(len(s) for s in strata) <= config.max_stratum_skew * n:
-            return _strata_partition(dataset, strata, shards_wanted)
-        # Skewed or single-stratum data: fall through to grid.
-    return _grid_partition(dataset, shards_wanted)
+        if len(strata) < 2:
+            # All points share one stratum (e.g. a single-category
+            # dataset): category partitioning is impossible.
+            return _grid_partition(dataset, plan, reason="single-stratum")
+        if max(len(s) for s in strata) > config.max_stratum_skew * n:
+            return _grid_partition(dataset, plan, reason="skewed-strata")
+        return _strata_partition(dataset, strata, plan)
+    return _grid_partition(dataset, plan, reason=None)
 
 
-def _strata_partition(dataset, strata, shards_wanted: int) -> Partition:
+def _strata_partition(dataset, strata, plan: TaskPlan) -> Partition:
     position = {id(p): i for i, p in enumerate(dataset.points)}
     sizes = [len(s) for s in strata]
-    groups = _balanced_groups(sizes, min(shards_wanted, len(strata)))
+    # A stratum is never split: within one stratum there is no dominance
+    # direction, so a split would break the ordered-merge invariant (and
+    # the serial SDC+ emission order).  Fine granularity comes from
+    # grouping fewer strata per task.
+    groups = _balanced_groups(sizes, min(plan.tasks, len(strata)))
     shards = []
     for gi, stratum_ixs in enumerate(groups):
         rows: list[int] = []
@@ -119,17 +212,22 @@ def _strata_partition(dataset, strata, shards_wanted: int) -> Partition:
         shards.append(Shard(index=gi, rows=tuple(rows), labels=tuple(labels)))
     shards = [s for s in shards if s.rows]
     if len(shards) < 2:
-        return _serial("strata collapsed")
-    return Partition(shards=tuple(shards), mode="strata", ordered=True)
+        return _serial("strata-collapsed", plan.slots)
+    shards = tuple(
+        Shard(index=i, rows=s.rows, labels=s.labels) for i, s in enumerate(shards)
+    )
+    return Partition(
+        shards=shards, mode="strata", ordered=True, reason=None, slots=plan.slots
+    )
 
 
-def _grid_partition(dataset, shards_wanted: int) -> Partition:
+def _grid_partition(dataset, plan: TaskPlan, reason: str | None) -> Partition:
     n = len(dataset.points)
     ranked = sorted(range(n), key=lambda i: (dataset.points[i].key, i))
-    base, extra = divmod(n, shards_wanted)
+    base, extra = divmod(n, plan.tasks)
     shards = []
     cursor = 0
-    for gi in range(shards_wanted):
+    for gi in range(plan.tasks):
         size = base + (1 if gi < extra else 0)
         if size == 0:
             continue
@@ -138,10 +236,13 @@ def _grid_partition(dataset, shards_wanted: int) -> Partition:
         )
         cursor += size
     if len(shards) < 2:
-        return _serial("grid collapsed")
+        return _serial("grid-collapsed", plan.slots)
     # Key rank is one-directional for dominance even with posets:
     # dominance => m-dominance => strictly smaller key.
-    return Partition(shards=tuple(shards), mode="grid", ordered=True)
+    return Partition(
+        shards=tuple(shards), mode="grid", ordered=True, reason=reason,
+        slots=plan.slots,
+    )
 
 
 def shard_categories(dataset, shard: Shard) -> frozenset[Category]:

@@ -15,6 +15,10 @@ dimensions, ``m`` poset attributes)::
     vectors  float64  (n, d)   transformed minimisation vectors
     levels   int64    (n,)     record-level uncovered levels
     cats     uint8    (n,)     category codes (CATEGORY_CODES order)
+    rids     int64    (n,)     original record ids (rebuilt points carry
+                               the true rid so heap tie-breaks match the
+                               parent's; non-int rids fall back to the
+                               row id)
     order    int64    (n,)     shard layout: global row ids, shards
                                contiguous; a task is a [start, stop)
                                slice of this array
@@ -65,6 +69,7 @@ class ShmLayout:
     vectors_off: int
     levels_off: int
     cats_off: int
+    rids_off: int
     order_off: int
     pix_off: int
     total: int
@@ -74,7 +79,8 @@ def _compute_layout(name: str, n: int, dims: int, nposets: int) -> ShmLayout:
     vectors_off = 0
     levels_off = _align8(vectors_off + 8 * n * dims)
     cats_off = _align8(levels_off + 8 * n)
-    order_off = _align8(cats_off + n)
+    rids_off = _align8(cats_off + n)
+    order_off = _align8(rids_off + 8 * n)
     pix_off = _align8(order_off + 8 * n)
     total = _align8(pix_off + 8 * n * nposets)
     return ShmLayout(
@@ -85,6 +91,7 @@ def _compute_layout(name: str, n: int, dims: int, nposets: int) -> ShmLayout:
         vectors_off=vectors_off,
         levels_off=levels_off,
         cats_off=cats_off,
+        rids_off=rids_off,
         order_off=order_off,
         pix_off=pix_off,
         total=max(total, 8),
@@ -97,13 +104,14 @@ def _map_arrays(buf, layout: ShmLayout):
     vectors = np.ndarray((n, d), dtype=np.float64, buffer=buf, offset=layout.vectors_off)
     levels = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=layout.levels_off)
     cats = np.ndarray((n,), dtype=np.uint8, buffer=buf, offset=layout.cats_off)
+    rids = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=layout.rids_off)
     order = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=layout.order_off)
     pix = (
         np.ndarray((n, m), dtype=np.int64, buffer=buf, offset=layout.pix_off)
         if m
         else None
     )
-    return vectors, levels, cats, order, pix
+    return vectors, levels, cats, rids, order, pix
 
 
 class SharedPointStore:
@@ -114,11 +122,20 @@ class SharedPointStore:
         probe = _compute_layout("?", n, dims, nposets)
         self._shm = shared_memory.SharedMemory(create=True, size=probe.total)
         self.layout = _compute_layout(self._shm.name, n, dims, nposets)
-        vectors, levels, cats, order_arr, pix = _map_arrays(self._shm.buf, self.layout)
+        vectors, levels, cats, rids, order_arr, pix = _map_arrays(
+            self._shm.buf, self.layout
+        )
         for i, p in enumerate(points):
             vectors[i] = p.vector
             levels[i] = p.level
             cats[i] = CATEGORY_CODES[p.category]
+            # Heap tie-breaks key on rid (rtree/heap.py); ship the true
+            # rid so worker-local emission order matches the parent's.
+            # Non-int rids degrade to the row id -- order parity then
+            # needs rids that sort like row positions, which every
+            # integer-rid dataset satisfies trivially.
+            rid = p.record.rid
+            rids[i] = rid if isinstance(rid, int) else i
             if pix is not None:
                 pix[i] = p.pix
         order_arr[:] = np.asarray(order, dtype=np.int64)
@@ -140,23 +157,35 @@ class AttachedPointStore:
     def __init__(self, layout: ShmLayout) -> None:
         self.layout = layout
         self._shm = shared_memory.SharedMemory(name=layout.name)
-        (self.vectors, self.levels, self.cats, self.order, self.pix) = _map_arrays(
-            self._shm.buf, layout
-        )
+        (
+            self.vectors,
+            self.levels,
+            self.cats,
+            self.rids,
+            self.order,
+            self.pix,
+        ) = _map_arrays(self._shm.buf, layout)
 
     def build_points(self, mappings, start: int, stop: int) -> list[Point]:
-        """Rebuild the points for rows ``order[start:stop]``.
+        """Rebuild the points for rows ``order[start:stop]``."""
+        return self.build_rows(mappings, self.order[start:stop].tolist())
+
+    def build_rows(self, mappings, rows) -> list[Point]:
+        """Rebuild points for explicit **global** row ids.
 
         ``Point.record`` carries a lightweight stub whose ``rid`` is the
-        **global row id** in the parent's ``dataset.points`` order --
-        that is how shard-local answers are shipped back (a list of row
-        ids, mapped to real points parent-side).  Vectors round-trip
-        exactly (float64 in, float64 out), so the lazily-derived
-        ``Point.key`` is bit-identical to the parent's.
+        parent point's **original record id**, so the heap's canonical
+        ``(key, rid)`` tie-break (rtree/heap.py) orders worker-local
+        emission exactly like the parent's serial run would.  Answers
+        ship back as global row ids via an identity map kept by the
+        caller (``zip(points, rows)``), never via the stub rid.  Vectors
+        round-trip exactly (float64 in, float64 out), so the
+        lazily-derived ``Point.key`` is bit-identical to the parent's.
+        Steal-mode workers call this directly with the rows that
+        survived the filter board.
         """
         from repro.core.record import Record
 
-        rows = self.order[start:stop].tolist()
         points: list[Point] = []
         for g in rows:
             vector = tuple(self.vectors[g].tolist())
@@ -170,7 +199,7 @@ class AttachedPointStore:
                 nsets = ()
             points.append(
                 Point(
-                    Record(g, (), ()),
+                    Record(int(self.rids[g]), (), ()),
                     vector,
                     pix,
                     nsets,
@@ -182,5 +211,6 @@ class AttachedPointStore:
 
     def close(self) -> None:
         """Detach (the parent owns unlinking)."""
-        self.vectors = self.levels = self.cats = self.order = self.pix = None
+        self.vectors = self.levels = self.cats = None
+        self.rids = self.order = self.pix = None
         self._shm.close()

@@ -2,12 +2,31 @@
 
 Each pool worker runs :func:`init_worker` exactly once: it unpickles the
 setup blob (schema + domain mappings, pickled **once** in the parent)
-and attaches the shared-memory point store.  Every subsequent
-:func:`run_shard_task` call rebuilds its shard's points from shared
-array rows, assembles a standalone shard dataset (own counters, own
-kernel, own lazily-built R-trees), runs the requested algorithm locally
-and ships back only the emitted **global row ids** plus a counter
-snapshot -- a few KB per task regardless of shard size.
+and attaches the shared-memory point store.
+
+Two execution disciplines share that setup:
+
+* **Static** (:func:`run_shard_task`): the parent dispatches one
+  pre-assigned shard per call; the worker rebuilds the shard's points
+  from shared array rows, assembles a standalone shard dataset (own
+  counters, own kernel, own lazily-built R-trees), runs the requested
+  algorithm locally and ships back only the emitted **global row ids**
+  plus a counter snapshot -- a few KB per task regardless of shard size.
+
+* **Work-stealing** (:func:`run_steal_drain`): the parent submits one
+  *drain* per worker slot.  Each drain claims fine-grained tasks from
+  the shared control block -- its own home queue front-to-back first,
+  then steals from the back of the most-loaded victim -- until the deque
+  is empty.  Before (and, in dynamic filter mode, during) each shard
+  scan it prunes rows against the cross-shard filter board, and results
+  travel back through the control block's shared arrays rather than the
+  future's return value, so the parent can merge finished shards while
+  the drain is still running.
+
+The claim lock is a module global installed by the parent **before**
+pool creation: ``multiprocessing`` locks cannot be pickled into
+``initargs``, but a ``fork``-started worker inherits the module state
+as of the fork, lock included.
 """
 
 from __future__ import annotations
@@ -15,11 +34,20 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import QueryTimeoutError
 
-__all__ = ["WorkerSetup", "ShardTask", "ShardOutcome", "init_worker", "run_shard_task"]
+__all__ = [
+    "WorkerSetup",
+    "ShardTask",
+    "ShardOutcome",
+    "init_worker",
+    "run_shard_task",
+    "run_steal_drain",
+    "ensure_claim_lock",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +96,22 @@ _STORE = None
 #: Caches that survive across tasks in one worker process (batch-kernel
 #: relation memo keyed by nothing -- one dataset per pool).
 _CACHES: dict = {}
+#: Steal-mode claim lock, created parent-side *before* the pool forks
+#: (see module docstring).  One process-wide lock serves every pool a
+#: parent creates -- coarser than strictly necessary (claims across two
+#: executors serialise on it), but it guarantees a late-forked worker of
+#: any pool inherits *the* lock, never a stale one.
+_CLAIM_LOCK = None
+
+
+def ensure_claim_lock():
+    """Parent-side: create (once) the fork-inherited claim lock."""
+    global _CLAIM_LOCK
+    if _CLAIM_LOCK is None:
+        import multiprocessing
+
+        _CLAIM_LOCK = multiprocessing.Lock()
+    return _CLAIM_LOCK
 
 
 def init_worker(setup_blob: bytes, layout) -> None:
@@ -150,7 +194,11 @@ def run_shard_task(task: ShardTask) -> ShardOutcome:
     else:
         context = NULL_CONTEXT
 
-    points = _STORE.build_points(_SETUP.mappings, task.start, task.stop)
+    shard_rows = _STORE.order[task.start : task.stop].tolist()
+    points = _STORE.build_rows(_SETUP.mappings, shard_rows)
+    # Stub rids are *original* record ids (heap tie-break parity); map
+    # emitted points back to global rows by identity.
+    row_of = {id(p): g for p, g in zip(points, shard_rows)}
     dataset = _make_shard_dataset(points, stats, context)
     algorithm = get_algorithm(task.algorithm, **task.options)
     try:
@@ -163,5 +211,183 @@ def run_shard_task(task: ShardTask) -> ShardOutcome:
         if memo is not None:
             _CACHES["relations"] = memo
 
-    rows = [p.record.rid for p in local]
+    rows = [row_of[id(p)] for p in local]
     return ShardOutcome(task.shard_index, rows, stats.snapshot(), "ok")
+
+
+def _claim_task(block, slot: int):
+    """Claim one task under the inherited lock, stealing when dry.
+
+    Own home queue front-to-back first (preserves shard locality), then
+    the *back* of the victim slot with the most unclaimed tasks -- the
+    classic steal-from-the-tail discipline, which takes the work its
+    owner would reach last.  Lock hold plus scan time is billed to the
+    per-slot ``claim_seconds`` cell (the bench's ``steal_wait`` stage).
+    """
+    started = time.perf_counter()
+    with _CLAIM_LOCK:
+        claims = block.claims
+        home = block.home
+        mine = None
+        for i in range(block.layout.n_tasks):
+            if home[i] == slot and not claims[i]:
+                mine = i
+                break
+        stolen = False
+        if mine is None:
+            per_slot: dict[int, list[int]] = {}
+            for i in range(block.layout.n_tasks):
+                if not claims[i]:
+                    per_slot.setdefault(int(home[i]), []).append(i)
+            if per_slot:
+                victim = max(per_slot, key=lambda s: (len(per_slot[s]), -s))
+                mine = per_slot[victim][-1]
+                stolen = True
+        if mine is not None:
+            claims[mine] = 1
+            if stolen:
+                block.steals[slot] += 1
+        block.claim_seconds[slot] += time.perf_counter() - started
+    return mine
+
+
+def _board_prune(block, rows, stats):
+    """Filter one task's rows against the board; returns survivors.
+
+    Rows are scanned in ``filter_chunk``-sized passes; in dynamic filter
+    mode the board is re-read between passes so representatives
+    published by other workers mid-query prune the remainder of this
+    shard too.  Billing goes to the dedicated ``filter_board_*``
+    counters, never to the algorithms' own dominance bill.
+    """
+    import numpy as np
+
+    from repro.parallel.board import FILTER_MODES, prune_chunk
+
+    mode = block.filter_mode
+    if mode == FILTER_MODES["off"] or len(rows) == 0:
+        return rows
+    vectors = _STORE.vectors[rows]
+    cats = _STORE.cats[rows]
+    alive = np.ones(len(rows), dtype=bool)
+    chunk = max(1, block.filter_chunk)
+    rep_vecs, rep_cats = block.read_reps(mode)
+    for lo in range(0, len(rows), chunk):
+        if lo and mode == FILTER_MODES["dynamic"]:
+            rep_vecs, rep_cats = block.read_reps(mode)
+        if not len(rep_vecs):
+            continue
+        hi = min(lo + chunk, len(rows))
+        checks, hits = prune_chunk(
+            vectors[lo:hi], cats[lo:hi], alive[lo:hi], rep_vecs, rep_cats
+        )
+        stats.filter_board_checks += checks
+        stats.filter_board_hits += hits
+    return rows[alive]
+
+
+def _local_representatives(points, local) -> list:
+    """Min-key local-skyline representative per category, best first."""
+    from repro.parallel.shard import CATEGORY_CODES
+
+    best: dict = {}
+    for p in local:
+        cur = best.get(p.category)
+        if cur is None or p.key < cur.key:
+            best[p.category] = p
+    ranked = sorted(best.values(), key=lambda p: (p.key, CATEGORY_CODES[p.category]))
+    return [(CATEGORY_CODES[p.category], p.vector) for p in ranked]
+
+
+def _run_steal_task(block, task_ix: int, algorithm: str, options: dict) -> None:
+    """Execute one claimed task; all output goes through the block.
+
+    The status word is written *last* so the parent's incremental merge
+    never observes a half-written result region.
+    """
+    from repro.algorithms.base import get_algorithm
+    from repro.core.stats import ComparisonStats
+    from repro.parallel.board import (
+        FILTER_MODES,
+        TASK_OK,
+        TASK_TIMEOUT,
+    )
+    from repro.resilience.context import NULL_CONTEXT, QueryContext
+
+    started = time.perf_counter()
+    stats = ComparisonStats()
+    start, stop = (int(v) for v in block.bounds[task_ix])
+    rows = _STORE.order[start:stop]
+
+    remaining = block.remaining_seconds()
+    if remaining is not None and remaining <= 0:
+        block.write_task_counters(task_ix, stats)
+        block.task_elapsed[task_ix] = time.perf_counter() - started
+        block.status[task_ix] = TASK_TIMEOUT
+        return
+    if remaining is not None:
+        # Deadline re-arming: the worker-side budget is whatever is left
+        # of the parent's absolute deadline at *claim* time.
+        context = QueryContext(deadline=remaining)
+        context.start(stats)
+    else:
+        context = NULL_CONTEXT
+
+    surviving = _board_prune(block, rows, stats).tolist()
+    points = _STORE.build_rows(_SETUP.mappings, surviving)
+    # Stub rids are *original* record ids (heap tie-break parity); map
+    # emitted points back to global rows by identity.
+    row_of = {id(p): g for p, g in zip(points, surviving)}
+    dataset = _make_shard_dataset(points, stats, context)
+    algo = get_algorithm(algorithm, **options)
+    try:
+        local = list(algo.run(dataset))
+    except QueryTimeoutError:
+        block.write_task_counters(task_ix, stats)
+        block.task_elapsed[task_ix] = time.perf_counter() - started
+        block.status[task_ix] = TASK_TIMEOUT
+        return
+
+    if _SETUP.kernel_name == "numpy" and "relations" not in _CACHES:
+        memo = getattr(dataset.kernel, "_relations", None)
+        if memo is not None:
+            _CACHES["relations"] = memo
+
+    if block.filter_mode == FILTER_MODES["dynamic"] and local:
+        block.publish_dynamic_reps(task_ix, _local_representatives(points, local))
+
+    count = len(local)
+    block.result_rows[start : start + count] = [row_of[id(p)] for p in local]
+    block.result_count[task_ix] = count
+    block.write_task_counters(task_ix, stats)
+    block.task_elapsed[task_ix] = time.perf_counter() - started
+    block.status[task_ix] = TASK_OK
+
+
+def run_steal_drain(control_layout, slot: int, algorithm: str, options: dict) -> int:
+    """Drain the shared task deque from worker slot ``slot``.
+
+    Claims (or steals) tasks until none remain or the query is
+    cancelled, running each through the board filter and the shard-local
+    algorithm.  Returns the number of tasks this slot executed; results
+    travel through the control block, not the future.
+    """
+    from repro.parallel.board import ControlBlock
+
+    block = ControlBlock.attach(control_layout)
+    executed = 0
+    try:
+        while not block.cancelled:
+            task_ix = _claim_task(block, slot)
+            if task_ix is None:
+                break
+            if block.kill[task_ix]:
+                # Deterministic stand-in for a worker crash mid-steal
+                # (chaos harness): bypass all python-level cleanup,
+                # exactly like SIGKILL.
+                os._exit(17)
+            _run_steal_task(block, task_ix, algorithm, options)
+            executed += 1
+    finally:
+        block.close()
+    return executed

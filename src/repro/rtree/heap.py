@@ -4,6 +4,16 @@ BBS visits index entries in ascending order of their L1 distance to the
 ideal corner of the (normalised minimisation) space: ``sum(mins)`` for a
 node, ``sum(vector)`` for a point.  That ordering guarantees a point is
 popped only after every point that could m-dominate it.
+
+Ties are broken canonically, not structurally: at equal priority every
+*node* pops before any *point* (a node with ``min_key == k`` may still
+contain key-``k`` points, so expanding it first guarantees all tied
+points are in the heap before the first one pops), and tied points pop
+in record-id order.  The pop sequence of data points is therefore a
+pure function of the point set itself -- independent of how the R-tree
+happened to group them -- which is what lets sharded execution prune
+provably dominated points from a shard (the parallel filter board)
+without perturbing the emission order of the survivors.
 """
 
 from __future__ import annotations
@@ -27,24 +37,35 @@ def entry_key(entry: Union[Node, Point]) -> float:
 
 
 class EntryHeap:
-    """Priority queue of mixed node/point entries with stable tie-breaks."""
+    """Priority queue of mixed node/point entries with canonical tie-breaks."""
 
     __slots__ = ("_heap", "_tie", "stats")
 
     def __init__(self, stats: ComparisonStats | None = None) -> None:
-        self._heap: list[tuple[float, int, Union[Node, Point]]] = []
+        self._heap: list[tuple] = []
         self._tie = itertools.count()
         self.stats = stats if stats is not None else ComparisonStats()
 
     def push(self, entry: Union[Node, Point]) -> None:
         """Insert an entry with its BBS priority."""
         self.stats.heap_pushes += 1
-        heapq.heappush(self._heap, (entry_key(entry), next(self._tie), entry))
+        if isinstance(entry, Point):
+            # Points tie-break on rid when it is an int (canonical,
+            # tree-shape independent); other rid types keep the legacy
+            # insertion-order tie-break -- rids of mixed/unorderable
+            # types cannot be compared, and such datasets never ride
+            # the sharded path that needs canonical order.
+            rid = entry.record.rid
+            tie = (0, rid) if isinstance(rid, int) else (1, next(self._tie))
+            item = (entry.key, 1, tie, entry)
+        else:
+            item = (entry.min_key, 0, (0, next(self._tie)), entry)
+        heapq.heappush(self._heap, item)
 
     def pop(self) -> Union[Node, Point]:
         """Remove and return the entry with the smallest priority."""
         self.stats.heap_pops += 1
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)[3]
 
     def __len__(self) -> int:
         return len(self._heap)

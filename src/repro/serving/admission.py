@@ -235,6 +235,32 @@ class CostEstimator:
             profile = self._profiles.get(_profile_key(algorithm, shape))
             return profile.samples if profile is not None else 0
 
+    def peak_comparisons(self, records: int, dimensions: int) -> tuple[float, bool]:
+        """Worst-case dominance-comparison estimate over any algorithm.
+
+        The parallel partitioner sizes its work-stealing tasks from this
+        (see :func:`repro.parallel.partition.plan_tasks`): it wants the
+        heaviest plausible bill for ``records`` rows, not a per-query
+        one, so it takes the max over every *calibrated full-space*
+        profile (bare algorithm keys; shaped profiles describe
+        constrained scans the fan-out never serves).  Returns
+        ``(comparisons, calibrated)`` -- the analytic cold-start bound
+        with ``calibrated=False`` when nothing has calibrated yet.
+        """
+        units = _work_units(records)
+        best = 0.0
+        with self._lock:
+            for key, profile in self._profiles.items():
+                if "|" in key or not profile.samples:
+                    continue
+                comparisons = units * sum(
+                    profile.per_unit.get(f, 0.0) for f in _CHECK_FIELDS
+                )
+                best = max(best, comparisons)
+        if best > 0.0:
+            return min(best, float(records) * records), True
+        return records * _analytic_skyline_size(records, dimensions), False
+
 
 @dataclass(frozen=True)
 class AdmissionDecision:

@@ -142,6 +142,12 @@ class ServerMetrics:
         self.index_repairs = 0
         self.parallel_queries = 0
         self.parallel_fallbacks = 0
+        self.parallel_routed_serial = 0
+        self.parallel_tasks = 0
+        self.parallel_steals = 0
+        self.parallel_filter_checks = 0
+        self.parallel_filter_hits = 0
+        self.parallel_stage_seconds: dict[str, float] = {}
         self.updates = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
@@ -296,17 +302,44 @@ class ServerMetrics:
         with self._lock:
             self.index_repairs += 1
 
-    def on_parallel(self, fallback: bool) -> None:
+    def on_parallel(
+        self,
+        fallback: bool,
+        *,
+        routed_serial: bool = False,
+        tasks: int = 0,
+        steals: int = 0,
+        filter_checks: int = 0,
+        filter_hits: int = 0,
+        stage_seconds: dict | None = None,
+    ) -> None:
         """Count one query routed to the sharded process-pool backend.
 
         ``fallback`` marks queries whose worker pool broke and that were
         transparently recomputed serially
-        (:class:`~repro.exceptions.ParallelFallbackWarning`).
+        (:class:`~repro.exceptions.ParallelFallbackWarning`);
+        ``routed_serial`` marks queries the partitioner *deliberately*
+        kept serial (tiny data, shard floor, collapsed partition,
+        resource budget) -- an explicit counter instead of a silent
+        fall-through.  The remaining keywords accumulate the steal
+        scheduler's work accounting (fine-grained tasks, steal events,
+        filter-board checks/hits) and the per-stage wall-clock breakdown.
         """
         with self._lock:
             self.parallel_queries += 1
             if fallback:
                 self.parallel_fallbacks += 1
+            if routed_serial:
+                self.parallel_routed_serial += 1
+            self.parallel_tasks += tasks
+            self.parallel_steals += steals
+            self.parallel_filter_checks += filter_checks
+            self.parallel_filter_hits += filter_hits
+            if stage_seconds:
+                for stage, seconds in stage_seconds.items():
+                    self.parallel_stage_seconds[stage] = (
+                        self.parallel_stage_seconds.get(stage, 0.0) + seconds
+                    )
 
     def on_update(self) -> None:
         """Count one committed insert/delete."""
@@ -537,6 +570,17 @@ class ServerMetrics:
                 "parallel": {
                     "queries": self.parallel_queries,
                     "fallbacks": self.parallel_fallbacks,
+                    "routed_serial": self.parallel_routed_serial,
+                    "tasks": self.parallel_tasks,
+                    "steals": self.parallel_steals,
+                    "filter_board_checks": self.parallel_filter_checks,
+                    "filter_board_hits": self.parallel_filter_hits,
+                    "stage_seconds": {
+                        stage: round(seconds, 6)
+                        for stage, seconds in sorted(
+                            self.parallel_stage_seconds.items()
+                        )
+                    },
                 },
                 "updates": self.updates,
                 "durability": {

@@ -433,12 +433,6 @@ class SkylineServer:
             raise ServingError("workers must be positive")
         self.dataset: "TransformedDataset" = getattr(target, "dataset", target)
         self.parallel_threshold = parallel_threshold
-        if parallel is not None:
-            from repro.parallel import ParallelSkylineExecutor
-
-            self._parallel = ParallelSkylineExecutor(self.dataset, parallel)
-        else:
-            self._parallel = None
         self.admission = (
             admission
             if admission is not None
@@ -448,6 +442,16 @@ class SkylineServer:
                 overload_policy=overload_policy,
             )
         )
+        if parallel is not None:
+            from repro.parallel import ParallelSkylineExecutor
+
+            # The admission controller's calibrated estimator drives the
+            # steal scheduler's adaptive task sizing.
+            self._parallel = ParallelSkylineExecutor(
+                self.dataset, parallel, estimator=self.admission.estimator
+            )
+        else:
+            self._parallel = None
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.validate_on_admission = validate_on_admission
         self._rwlock = ReadWriteLock()
@@ -944,7 +948,15 @@ class SkylineServer:
                     if breaker is not None:
                         breaker.record_failure()
                     raise
-                metrics.on_parallel(presult.fallback)
+                metrics.on_parallel(
+                    presult.fallback,
+                    routed_serial=presult.routed_serial,
+                    tasks=presult.tasks,
+                    steals=presult.steals,
+                    filter_checks=presult.filter_board_checks,
+                    filter_hits=presult.filter_board_hits,
+                    stage_seconds=presult.stage_seconds,
+                )
                 if breaker is not None:
                     if presult.fallback:
                         breaker.record_failure()

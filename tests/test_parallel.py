@@ -25,11 +25,13 @@ from repro.exceptions import (
     QueryTimeoutError,
 )
 from repro.parallel import (
+    IncrementalMerger,
     ParallelConfig,
     ParallelSkylineExecutor,
     merge_local_skylines,
     parallel_skyline,
     partition_dataset,
+    plan_tasks,
 )
 from repro.posets.builder import diamond
 from repro.resilience import CancellationToken, QueryContext, ResourceBudget
@@ -86,6 +88,26 @@ class TestParallelConfig:
             ParallelConfig(workers=0)
         with pytest.raises(ValueError):
             ParallelConfig(mode="hash")
+        with pytest.raises(ValueError):
+            ParallelConfig(scheduler="fifo")
+        with pytest.raises(ValueError):
+            ParallelConfig(filter="maybe")
+        with pytest.raises(ValueError):
+            ParallelConfig(tasks_per_worker=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(min_task_work=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(board_reps=1)
+        with pytest.raises(ValueError):
+            ParallelConfig(filter_chunk=0)
+
+    def test_default_workers_resolve_to_cpu_count(self):
+        import os
+
+        config = ParallelConfig()
+        assert config.workers is None
+        assert config.resolved_workers() == max(1, os.cpu_count() or 1)
+        assert ParallelConfig(workers=3).resolved_workers() == 3
 
 
 # ---------------------------------------------------------------------------
@@ -97,6 +119,99 @@ class TestPartition:
         partition = partition_dataset(engine.dataset, ParallelConfig(workers=4))
         assert partition.mode == "serial"
         assert partition.shards == ()
+        assert partition.reason == "tiny-data"
+
+    def test_shard_floor_routes_serial_with_reason(self):
+        # One worker slot and a work estimate too light to amortise a
+        # second task: explicit shard-floor routing, not silence.
+        engine = _poset_engine(n=300)
+        partition = partition_dataset(
+            engine.dataset, ParallelConfig(workers=1, min_task_work=1e12)
+        )
+        assert partition.mode == "serial"
+        assert partition.reason == "shard-floor"
+        partition = partition_dataset(
+            engine.dataset, ParallelConfig(workers=1, scheduler="static")
+        )
+        assert partition.mode == "serial"
+        assert partition.reason == "shard-floor"
+
+    def test_steal_overpartitions_beyond_worker_count(self):
+        engine = _poset_engine(n=300)
+        config = ParallelConfig(
+            workers=2, min_shard_points=16, min_task_work=1.0, mode="grid"
+        )
+        plan = plan_tasks(engine.dataset, config)
+        assert plan.serial_reason is None
+        assert plan.slots == 2
+        assert plan.tasks == 2 * config.tasks_per_worker
+        assert not plan.calibrated
+        partition = partition_dataset(engine.dataset, config)
+        assert len(partition.shards) == plan.tasks
+
+    def test_strata_mode_caps_tasks_at_stratum_count(self):
+        # Strata are never split, so fine granularity in strata mode is
+        # bounded by how many strata exist (here: 3).
+        engine = _poset_engine(n=300)
+        config = ParallelConfig(workers=2, min_shard_points=16, min_task_work=1.0)
+        partition = partition_dataset(engine.dataset, config)
+        assert partition.mode == "strata"
+        strata = engine.dataset.stratification.strata
+        assert 2 <= len(partition.shards) <= len(strata)
+
+    def test_light_work_estimate_caps_task_count(self):
+        # A huge min_task_work makes every query "light": the plan drops
+        # to one task per slot instead of tasks_per_worker x slots.
+        engine = _poset_engine(n=300)
+        plan = plan_tasks(
+            engine.dataset,
+            ParallelConfig(workers=2, min_shard_points=16, min_task_work=1e12),
+        )
+        assert plan.tasks == 2
+
+    def test_calibrated_estimator_feeds_task_plan(self):
+        from repro.serving.admission import CostEstimator
+
+        engine = _poset_engine(n=300)
+        estimator = CostEstimator()
+        estimator.observe(
+            "sdc+", 300, {"m_dominance_point": 3_000_000}, seconds=0.5
+        )
+        plan = plan_tasks(
+            engine.dataset,
+            ParallelConfig(workers=2, min_shard_points=16, min_task_work=1.0),
+            estimator,
+        )
+        assert plan.calibrated
+        assert plan.estimated_comparisons > 0
+
+    def test_static_scheduler_keeps_one_task_per_worker(self):
+        engine = _poset_engine(n=300)
+        partition = partition_dataset(
+            engine.dataset, ParallelConfig(workers=4, scheduler="static")
+        )
+        assert len(partition.shards) <= 4
+
+    def test_strata_are_never_split(self):
+        # Fine-grained steal tasks must respect stratum boundaries --
+        # within a stratum there is no dominance direction.
+        engine = _poset_engine(n=300)
+        config = ParallelConfig(workers=4, min_shard_points=2, min_task_work=1.0)
+        partition = partition_dataset(engine.dataset, config)
+        assert partition.mode == "strata"
+        strata = engine.dataset.stratification.strata
+        assert len(partition.shards) <= len(strata)
+        position = {}
+        for si, stratum in enumerate(strata):
+            for p in stratum.points:
+                position[id(p)] = si
+        seen: set[int] = set()
+        for shard in partition.shards:
+            shard_strata = {
+                position[id(engine.dataset.points[r])] for r in shard.rows
+            }
+            assert not (shard_strata & seen)
+            seen |= shard_strata
 
     def test_strata_mode_on_poset_data(self):
         engine = _poset_engine(n=300)
@@ -168,18 +283,55 @@ class TestMerge:
     @pytest.mark.parametrize("kernel", KERNELS)
     def test_prefilter_eliminates_dominated_shard(self, kernel):
         # One best point plus strictly worse filler: the later shard's
-        # entire local skyline is knocked out by shard 0's representative.
+        # entire local skyline is knocked out by shard 0's representative
+        # (static scheduler -- merge-time prefilter; under steal mode
+        # the filter board usually empties the shard *before* merge,
+        # covered by TestFilterBoard).
         rng = random.Random(11)
         records = [Record(0, (0, 0))] + [
             Record(i, (rng.randint(5, 40), rng.randint(5, 40))) for i in range(1, 33)
         ]
         engine = _numeric_engine(records, kernel=kernel)
-        config = ParallelConfig(workers=2, min_shard_points=8, mode="grid")
+        config = ParallelConfig(
+            workers=2, min_shard_points=8, mode="grid", scheduler="static"
+        )
         with ParallelSkylineExecutor(engine.dataset, config) as executor:
             result = executor.run("bnl")
         assert result.parallel
         assert result.eliminated_shards == (1,)
         assert [p.record.rid for p in result.points] == [0]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_incremental_merger_matches_one_shot(self, kernel):
+        engine = _poset_engine(n=200, kernel=kernel)
+        partition = partition_dataset(
+            engine.dataset, ParallelConfig(workers=4, min_shard_points=8)
+        )
+        assert len(partition.shards) >= 2
+        points = engine.dataset.points
+        # Stand-in local skylines: every shard's raw rows (mutually
+        # dominated rows make the merge do real elimination work).
+        locals_ = [
+            [points[r] for r in shard.rows] for shard in partition.shards
+        ]
+        one_stats = ComparisonStats()
+        one_shot = merge_local_skylines(
+            engine.dataset.query_view(stats=one_stats), locals_
+        )
+        inc_stats = ComparisonStats()
+        sink: list = []
+        merger = IncrementalMerger(
+            engine.dataset.query_view(stats=inc_stats), sink=sink
+        )
+        for g, candidates in enumerate(locals_):
+            merger.absorb(g, candidates)
+        incremental = merger.outcome()
+        assert [p.record.rid for p in incremental.points] == [
+            p.record.rid for p in one_shot.points
+        ]
+        assert incremental.eliminated == one_shot.eliminated
+        assert inc_stats.snapshot() == one_stats.snapshot()
+        assert sink == incremental.points
 
     @pytest.mark.parametrize("kernel", KERNELS)
     def test_duplicate_of_representative_survives_prefilter(self, kernel):
@@ -324,9 +476,12 @@ class TestExecutor:
         assert stats.snapshot() == result.counters
 
     def test_counters_are_deterministic_run_to_run(self):
+        # filter="static" pins the board to the parent's seed reps, so
+        # steal-mode counters are bit-reproducible regardless of claim
+        # timing (the CI comparison gate depends on this).
         engine = _poset_engine(n=300)
         with ParallelSkylineExecutor(
-            engine.dataset, ParallelConfig(workers=2)
+            engine.dataset, ParallelConfig(workers=2, filter="static")
         ) as executor:
             first = executor.run("sdc+", stats=ComparisonStats())
             second = executor.run("sdc+", stats=ComparisonStats())
@@ -334,6 +489,142 @@ class TestExecutor:
         assert [p.record.rid for p in first.points] == [
             p.record.rid for p in second.points
         ]
+
+    def test_routed_serial_is_counted_not_silent(self):
+        engine = _poset_engine(n=20)
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=4)
+        ) as executor:
+            result = executor.run("sdc+", stats=ComparisonStats())
+        assert not result.parallel
+        assert result.routed_serial
+        assert result.routed_reason == "tiny-data"
+        assert not result.fallback
+
+    def test_budget_routing_carries_reason(self):
+        engine = _poset_engine(n=300)
+        context = QueryContext(budget=ResourceBudget(max_answers=3))
+        with ParallelSkylineExecutor(
+            engine.dataset, ParallelConfig(workers=2)
+        ) as executor:
+            result = executor.run("sdc+", context=context, stats=ComparisonStats())
+        assert result.routed_serial
+        assert result.routed_reason == "budget"
+
+    def test_stage_timings_and_steal_accounting(self):
+        from repro.parallel.executor import STAGE_KEYS
+
+        engine = _poset_engine(n=300)
+        config = ParallelConfig(
+            workers=2, min_shard_points=16, min_task_work=1.0, mode="grid"
+        )
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            result = executor.run("sdc+", stats=ComparisonStats())
+        assert result.parallel
+        assert result.scheduler == "steal"
+        assert result.tasks == len(result.shard_sizes)
+        assert result.tasks > result.workers
+        assert result.steals >= 0
+        assert set(result.stage_seconds) == set(STAGE_KEYS)
+        assert all(v >= 0.0 for v in result.stage_seconds.values())
+        assert result.stage_seconds["compute"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard filter board
+# ---------------------------------------------------------------------------
+class TestFilterBoard:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_board_prunes_before_local_compute(self, kernel):
+        # One best point plus strictly worse filler: shard 0's static
+        # representative empties every later shard *during* compute.
+        rng = random.Random(11)
+        records = [Record(0, (0, 0))] + [
+            Record(i, (rng.randint(5, 40), rng.randint(5, 40))) for i in range(1, 65)
+        ]
+        engine = _numeric_engine(records, kernel=kernel)
+        config = ParallelConfig(
+            workers=2, min_shard_points=8, mode="grid",
+            filter="static", min_task_work=1.0,
+        )
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            result = executor.run("bnl", stats=ComparisonStats())
+        assert result.parallel
+        assert result.scheduler == "steal"
+        assert [p.record.rid for p in result.points] == [0]
+        assert result.filter_board_checks > 0
+        # Everything except the best point is strictly dominated by it,
+        # and every cross-task survivor candidate gets board-pruned.
+        assert result.filter_board_hits > 0
+        assert result.counters["filter_board_hits"] == result.filter_board_hits
+
+    @pytest.mark.parametrize("filter_mode", ["off", "static", "dynamic"])
+    def test_filter_modes_preserve_answers(self, filter_mode):
+        engine = _poset_engine(n=300)
+        serial = [p.record.rid for p in engine.run_points("sdc+")]
+        config = ParallelConfig(
+            workers=2, min_shard_points=16, min_task_work=1.0,
+            filter=filter_mode,
+        )
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            result = executor.run("sdc+", stats=ComparisonStats())
+        assert result.parallel
+        assert [p.record.rid for p in result.points] == serial
+        if filter_mode == "off":
+            assert result.filter_board_checks == 0
+
+    def test_prune_chunk_soundness(self):
+        import numpy as np
+
+        from repro.parallel.board import prune_chunk
+        from repro.parallel.shard import CATEGORY_CODES
+
+        rng = random.Random(17)
+        records = [
+            Record(i, (rng.randint(1, 99), rng.randint(1, 99))) for i in range(200)
+        ]
+        engine = _numeric_engine(records)
+        points = engine.dataset.points
+        rep = min(points, key=lambda p: p.key)
+        vectors = np.array([p.vector for p in points])
+        cats = np.array([CATEGORY_CODES[p.category] for p in points], dtype=np.uint8)
+        alive = np.ones(len(points), dtype=bool)
+        rep_vecs = np.array([rep.vector])
+        rep_cats = np.array([CATEGORY_CODES[rep.category]])
+        checks, hits = prune_chunk(vectors, cats, alive, rep_vecs, rep_cats)
+        assert checks > 0 and hits == int((~alive).sum())
+        # The representative itself (strictness) always survives ...
+        assert alive[points.index(rep)]
+        # ... and every pruned point is *really* dominated by rep.
+        stats_view = engine.dataset.query_view(stats=ComparisonStats())
+        for i, p in enumerate(points):
+            if not alive[i]:
+                assert stats_view.kernel.compare_dominance(p, rep) == 1
+
+    def test_static_representatives_min_key(self):
+        from repro.parallel.board import static_representatives
+        from repro.parallel.shard import CATEGORY_BY_CODE
+
+        engine = _poset_engine(n=100)
+        points = engine.dataset.points
+        rows = list(range(50))
+        reps = static_representatives(points, rows)
+        assert 1 <= len(reps) <= 2
+        best = min(rows, key=lambda i: (points[i].key, i))
+        cat_code, vector = reps[0]
+        assert vector == points[best].vector
+        assert CATEGORY_BY_CODE[cat_code] == points[best].category
+
+    def test_dynamic_mode_publishes_reps(self):
+        engine = _poset_engine(n=300)
+        config = ParallelConfig(
+            workers=2, min_shard_points=16, min_task_work=1.0, filter="dynamic"
+        )
+        with ParallelSkylineExecutor(engine.dataset, config) as executor:
+            result = executor.run("sdc+", stats=ComparisonStats())
+        assert result.parallel
+        assert result.filter_reps_published >= 0  # timing-dependent count
+        assert result.counters["filter_board_checks"] > 0
 
 
 # ---------------------------------------------------------------------------
@@ -465,7 +756,52 @@ class TestServerIntegration:
             reference = {r.rid for r in engine.run("sdc+")}
             assert {r.rid for r in result.points} == reference
             snap = server.metrics.snapshot()
-            assert snap["parallel"] == {"queries": 1, "fallbacks": 1}
+            assert snap["parallel"]["queries"] == 1
+            assert snap["parallel"]["fallbacks"] == 1
             assert snap["recovery"]["parallel_fallbacks"] == 1
+        finally:
+            server.close()
+
+    def test_server_surfaces_steal_and_board_metrics(self):
+        engine = _poset_engine(n=300)
+        server = SkylineServer(
+            engine.dataset,
+            workers=1,
+            parallel=ParallelConfig(
+                workers=2, min_shard_points=16, min_task_work=1.0, mode="grid"
+            ),
+            parallel_threshold=100,
+        )
+        try:
+            server.submit(QueryRequest(algorithm="sdc+")).result(timeout=60)
+            snap = server.metrics.snapshot()["parallel"]
+            assert snap["queries"] == 1
+            assert snap["routed_serial"] == 0
+            assert snap["tasks"] > 2
+            assert snap["steals"] >= 0
+            assert snap["filter_board_checks"] > 0
+            assert set(snap["stage_seconds"]) == {
+                "partition", "pool_setup", "compute", "steal_wait", "merge"
+            }
+        finally:
+            server.close()
+
+    def test_server_counts_routed_serial(self):
+        # Below the executor's own shard floor but above the server's
+        # parallel_threshold: the executor routes serial and the server
+        # counts it explicitly.
+        engine = _poset_engine(n=300)
+        server = SkylineServer(
+            engine.dataset,
+            workers=1,
+            parallel=ParallelConfig(workers=2, min_shard_points=200),
+            parallel_threshold=100,
+        )
+        try:
+            server.submit(QueryRequest(algorithm="sdc+")).result(timeout=60)
+            snap = server.metrics.snapshot()["parallel"]
+            assert snap["queries"] == 1
+            assert snap["routed_serial"] == 1
+            assert snap["fallbacks"] == 0
         finally:
             server.close()

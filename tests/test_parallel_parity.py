@@ -6,12 +6,16 @@ CI's ``parallel-smoke`` job runs this file once per seed (it sets
 Contract asserted here:
 
 * the merged answer *set* is identical to the serial engine's for all
-  eight algorithms, both dominance backends and 2/4/8 workers;
+  eight algorithms, both dominance backends, 2/4/8 workers and both
+  schedulers (legacy ``static`` one-shot and adaptive ``steal``);
 * under strata partitioning, ``sdc+`` additionally reproduces the exact
   serial emission *order* (shard order x local order = stratum order);
 * the aggregate :class:`~repro.core.stats.ComparisonStats` bill equals
-  the exact sum of the worker snapshots plus the merge-phase bundle, and
-  is deterministic run-to-run.
+  the exact sum of the worker/task snapshots plus the merge-phase
+  bundle, and is deterministic run-to-run with a ``"static"`` filter
+  board (parent-seeded representatives only);
+* a seeded chaos fault killing one worker mid-steal degrades to the
+  serial engine with a *bit-identical* answer sequence.
 """
 
 from __future__ import annotations
@@ -75,27 +79,31 @@ def _summed(worker_counters, merge_counters) -> dict[str, int]:
     return {k: v for k, v in out.items() if v}
 
 
+@pytest.mark.parametrize("scheduler", ("static", "steal"))
 @pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
-def test_parity_all_algorithms(kernel, seed, workers):
+def test_parity_all_algorithms(kernel, seed, workers, scheduler):
     engine = _engine(kernel, seed)
-    config = ParallelConfig(workers=workers)
+    config = ParallelConfig(workers=workers, scheduler=scheduler)
     with ParallelSkylineExecutor(engine.dataset, config) as executor:
         assert executor.partition.mode == "strata"
         for algorithm in ALL_ALGORITHMS:
             reference = _serial_reference(kernel, seed, algorithm)
             stats = ComparisonStats()
             result = executor.run(algorithm, stats=stats)
-            assert result.parallel, (algorithm, workers)
+            assert result.parallel, (algorithm, workers, scheduler)
+            assert result.scheduler == executor.effective_scheduler()
             rids = [p.record.rid for p in result.points]
-            assert set(rids) == set(reference), (algorithm, kernel, seed, workers)
+            assert set(rids) == set(reference), (
+                algorithm, kernel, seed, workers, scheduler,
+            )
             assert len(rids) == len(reference)
-            # exact aggregate = sum of worker snapshots + merge bundle
+            # exact aggregate = sum of worker/task snapshots + merge bundle
             aggregate = {k: v for k, v in result.counters.items() if v}
             assert aggregate == _summed(
                 result.worker_counters, result.merge_counters
-            ), (algorithm, kernel, seed, workers)
+            ), (algorithm, kernel, seed, workers, scheduler)
             assert stats.snapshot() == result.counters
 
 
@@ -125,12 +133,14 @@ def test_grid_mode_parity(seed):
             assert {p.record.rid for p in result.points} == set(reference)
 
 
+@pytest.mark.parametrize("scheduler", ("static", "steal"))
 @pytest.mark.parametrize("seed", SEEDS)
-def test_counters_deterministic_across_runs(seed):
+def test_counters_deterministic_across_runs(seed, scheduler):
+    # ``filter="static"`` pins the board to parent-seeded representatives,
+    # so steal-mode counters cannot depend on claim timing.
     engine = _engine("python", seed)
-    with ParallelSkylineExecutor(
-        engine.dataset, ParallelConfig(workers=4)
-    ) as executor:
+    config = ParallelConfig(workers=4, scheduler=scheduler, filter="static")
+    with ParallelSkylineExecutor(engine.dataset, config) as executor:
         first = executor.run("sdc+", stats=ComparisonStats())
         second = executor.run("sdc+", stats=ComparisonStats())
     assert first.counters == second.counters
@@ -138,3 +148,36 @@ def test_counters_deterministic_across_runs(seed):
     assert [p.record.rid for p in first.points] == [
         p.record.rid for p in second.points
     ]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_kill_mid_steal_falls_back_bit_identical(kernel, seed):
+    # A seeded fault kills one drain worker while it holds a claimed
+    # task (os._exit inside the steal loop).  The executor must degrade
+    # to the serial engine and reproduce the serial answer *sequence*
+    # exactly -- not merely the same set.
+    from repro.parallel.executor import ParallelFallbackWarning
+    from repro.resilience.chaos import FaultInjector
+
+    engine = _engine(kernel, seed)
+    reference = list(_serial_reference(kernel, seed, "sdc+"))
+    chaos = FaultInjector(seed=seed, rate=1.0, max_faults=1)
+    config = ParallelConfig(
+        workers=2,
+        scheduler="steal",
+        tasks_per_worker=4,
+        min_task_work=1.0,
+        min_shard_points=16,
+        chaos=chaos,
+    )
+    with ParallelSkylineExecutor(engine.dataset, config) as executor:
+        with pytest.warns(ParallelFallbackWarning):
+            result = executor.run("sdc+", stats=ComparisonStats())
+    assert result.fallback
+    assert not result.parallel
+    assert [p.record.rid for p in result.points] == reference
+    # serial fallback bills exactly what a serial run bills
+    serial_stats = ComparisonStats()
+    list(engine.run_points("sdc+", stats=serial_stats))
+    assert result.counters == serial_stats.snapshot()
